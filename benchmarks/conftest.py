@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every ``test_bench_e*`` module regenerates one experiment from the
+paper's evaluation content (see DESIGN.md section 5).  Benchmarks print
+the same rows/series the paper reports, then assert the *shape* of the
+result (who wins, monotonicity, crossovers) — absolute numbers depend on
+the simulated substrate and are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diversity.catalog import default_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """One shared catalog across all benchmarks."""
+    return default_catalog()
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator: benchmarks are reproducible."""
+    return np.random.default_rng(20130624)  # DSN 2013 anniversary seed
+
+
+def print_banner(title: str) -> None:
+    """Uniform experiment banner in benchmark output."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,77 @@
+"""E1 — the paper's §I composition claim.
+
+    "If the machines are identical, it suffices to compromise one machine
+    and then repeating the exploit for the other (PSA ≈ PM).  When the
+    machines are different ... PSA ≈ PM1 × PM2: succeeding is harder and
+    time-consuming."
+
+Regenerates: PSA and expected attack time for identical vs. diverse
+machine chains, for chain lengths 2..8 and PM ∈ {0.1 .. 0.9}, from both
+the closed forms and Monte-Carlo simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.core.report import format_table
+from repro.diversity.psa import (
+    AttackerProfile,
+    chain_attack,
+    diverse_chain,
+    identical_chain,
+)
+
+
+def run_experiment(rng: np.random.Generator):
+    profile = AttackerProfile(
+        exploit_attempts=1, attempt_time=10.0, reuse_time=0.5
+    )
+    rows = []
+    for n in (2, 3, 4, 6, 8):
+        for pm in (0.3, 0.5, 0.7, 0.9):
+            psa_i, t_i = identical_chain(pm, n, profile)
+            psa_d, t_d = diverse_chain([pm] * n, profile)
+            mc_hits = 0
+            mc_n = 400
+            for _ in range(mc_n):
+                ok, __ = chain_attack(
+                    [pm] * n, identical=False, rng=rng, profile=profile
+                )
+                mc_hits += ok
+            rows.append(
+                (n, pm, psa_i, psa_d, mc_hits / mc_n, psa_i / max(psa_d, 1e-12),
+                 t_i, t_d)
+            )
+    return rows
+
+
+def test_bench_e1_psa_composition(benchmark, rng):
+    rows = benchmark.pedantic(
+        run_experiment, args=(rng,), rounds=1, iterations=1
+    )
+    print_banner(
+        "E1  PSA composition: identical (PSA~PM) vs diverse (PSA~prod PMi)"
+    )
+    print(
+        format_table(
+            ["n", "PM", "PSA ident", "PSA diverse", "PSA div (MC)",
+             "ratio", "E[T] ident", "E[T] diverse"],
+            rows,
+        )
+    )
+    for n, pm, psa_i, psa_d, psa_mc, ratio, t_i, t_d in rows:
+        # Identical chains: PSA equals the single-machine probability.
+        assert psa_i == pytest.approx(pm)
+        # Diverse chains: geometric composition.
+        assert psa_d == pytest.approx(pm**n)
+        # Monte Carlo agrees with the closed form.
+        assert abs(psa_mc - psa_d) < 0.1
+        # "harder and time-consuming": both directions of the claim.
+        assert psa_d <= psa_i
+        assert t_d >= t_i
+    # The advantage grows geometrically with chain length.
+    ratios_at_half = [r[5] for r in rows if r[1] == 0.5]
+    assert ratios_at_half == sorted(ratios_at_half)

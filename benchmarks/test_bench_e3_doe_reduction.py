@@ -1,0 +1,111 @@
+"""E3 — DoE narrows the configuration space (§II, step 2).
+
+    "Given the large number of HW/SW components that can be potentially
+    diversified in a real system ... measurement of security indicators
+    is driven by a DoE approach.  DoE allows narrowing the number of
+    configurations to assess."
+
+Regenerates: run counts and estimated main effects for full factorial vs
+half-fraction vs Plackett-Burman over k = 6 binary component factors on
+a synthetic-but-structured response surface (so the ground-truth effects
+are known exactly), plus run-count reduction factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.core.report import format_table
+from repro.doe.design import Factor
+from repro.doe.factorial import full_factorial
+from repro.doe.fractional import fractional_factorial
+from repro.doe.plackett_burman import plackett_burman
+from repro.stats.effects import effect_magnitudes, main_effects
+
+# Ground-truth main effects of the synthetic indicator surface: the
+# response mimics a restricted-mean TTA in hours.
+TRUE_EFFECTS = {
+    "operating_system": 40.0,
+    "plc_firmware": 18.0,
+    "protocol_stack": 10.0,
+    "antivirus": 6.0,
+    "firewall_software": 3.0,
+    "sensor_model": 1.0,
+}
+
+FACTOR_NAMES = list(TRUE_EFFECTS)
+
+
+def response(run, rng):
+    """Synthetic TTA: sum of main effects + mild interaction + noise."""
+    value = 50.0
+    for name, effect in TRUE_EFFECTS.items():
+        value += effect / 2.0 * (1 if run[name] == "strong" else -1)
+    # A mild two-way interaction the screening designs will alias.
+    osv = 1 if run["operating_system"] == "strong" else -1
+    plc = 1 if run["plc_firmware"] == "strong" else -1
+    value += 2.0 * osv * plc
+    return value + rng.normal(0.0, 2.0)
+
+
+def measure(design, rng, replications=3):
+    records = []
+    for run in design.runs:
+        for _ in range(replications):
+            record = dict(run.as_dict())
+            record["tta"] = response(run, rng)
+            records.append(record)
+    return records
+
+
+def estimated_effects(records):
+    effects = main_effects(records, "tta", FACTOR_NAMES)
+    return effect_magnitudes(effects)
+
+
+def run_experiment(rng: np.random.Generator):
+    factors = [Factor(n, ("weak", "strong")) for n in FACTOR_NAMES]
+
+    designs = {}
+    designs["full 2^6"] = full_factorial(factors)
+    frac, info = fractional_factorial(
+        FACTOR_NAMES, ["E=ABC", "F=BCD"], levels=("weak", "strong")
+    )
+    designs[f"2^(6-2) res {info.resolution}"] = frac
+    designs["Plackett-Burman"] = plackett_burman(factors)
+
+    results = {}
+    for label, design in designs.items():
+        records = measure(design, rng)
+        results[label] = (design.n_runs, estimated_effects(records))
+    return results
+
+
+def test_bench_e3_doe_reduction(benchmark, rng):
+    results = benchmark.pedantic(
+        run_experiment, args=(rng,), rounds=1, iterations=1
+    )
+    print_banner("E3  DoE reduction: run counts and main-effect recovery")
+    header = ["design", "runs", *FACTOR_NAMES]
+    rows = []
+    rows.append(("ground truth", "--", *TRUE_EFFECTS.values()))
+    for label, (n_runs, effects) in results.items():
+        rows.append((label, n_runs, *[effects[n] for n in FACTOR_NAMES]))
+    print(format_table(header, rows))
+
+    full_runs = results["full 2^6"][0]
+    for label, (n_runs, effects) in results.items():
+        if label != "full 2^6":
+            reduction = full_runs / n_runs
+            print(f"{label}: {reduction:.1f}x fewer runs than full factorial")
+            assert n_runs <= full_runs / 4  # at least 4x reduction
+        # Every design must rank the dominant factor first and recover
+        # the large effects within ~25%.
+        ranked = sorted(effects, key=lambda n: -effects[n])
+        assert ranked[0] == "operating_system"
+        for name in ("operating_system", "plc_firmware"):
+            assert effects[name] == pytest.approx(
+                TRUE_EFFECTS[name], rel=0.3
+            )

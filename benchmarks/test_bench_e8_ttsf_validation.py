@@ -1,0 +1,96 @@
+"""E8 — TTSF semantics validation against Madan et al. (paper ref. [5]).
+
+The paper adopts Time-To-Security-Failure from Madan, Goseva-Popstojanova,
+Vaidyanathan, Trivedi (DSN 2002), where the measure is the absorption
+time of a security-state Markov chain (good → vulnerable → compromised →
+security-failed).  This experiment builds that canonical chain as a SAN,
+computes the mean TTSF exactly via the CTMC path, and checks the Monte
+Carlo simulator reproduces it — validating both the SAN engine and the
+indicator's estimator on a model with a known answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.core.report import format_table
+from repro.san.builder import SANBuilder
+from repro.san.ctmc import san_to_ctmc
+from repro.san.simulator import SANSimulator
+from repro.stats.ci import mean_ci
+
+
+def madan_chain(rate_vulnerable=0.5, rate_compromise=0.25,
+                rate_detect_fail=0.4, p_compromise=0.6):
+    """The Madan-style security-state chain as a SAN.
+
+    good --(vulnerability disclosed)--> vulnerable
+    vulnerable --(exploit attempt: succeeds w.p. p)--> compromised
+    compromised --(manifestation)--> security_failed (absorbing)
+    """
+    builder = SANBuilder("madan2002")
+    builder.place("good", 1)
+    for p in ("vulnerable", "compromised", "security_failed"):
+        builder.place(p, 0)
+    builder.stage("disclose", "good", "vulnerable", rate=rate_vulnerable)
+    builder.stage(
+        "exploit", "vulnerable", "compromised",
+        rate=rate_compromise, success_probability=p_compromise,
+    )
+    builder.stage("manifest", "compromised", "security_failed",
+                  rate=rate_detect_fail)
+    return builder.build()
+
+
+def run_experiment(rng: np.random.Generator):
+    model = madan_chain()
+    ctmc = san_to_ctmc(model)
+    targets = [
+        i for i, s in enumerate(ctmc.states)
+        if dict(s).get("security_failed", 0) > 0
+    ]
+    start = int(np.argmax(ctmc.initial))
+    analytic_ttsf = float(ctmc.mean_hitting_time(targets)[start])
+    p_fail_by = {
+        t: float(
+            ctmc.state_probability(
+                t, lambda m: m.get("security_failed", 0) > 0
+            )
+        )
+        for t in (2.0, 5.0, 10.0, 20.0, 50.0)
+    }
+
+    sim = SANSimulator(model)
+    runs = sim.batch(
+        10_000.0, 1500, rng, stop=lambda m: m["security_failed"] > 0
+    )
+    times = [r.stop_time for r in runs if r.stopped]
+    mc_ci = mean_ci(times)
+    return analytic_ttsf, p_fail_by, mc_ci
+
+
+def test_bench_e8_ttsf_validation(benchmark, rng):
+    analytic, p_fail_by, mc_ci = benchmark.pedantic(
+        run_experiment, args=(rng,), rounds=1, iterations=1
+    )
+    print_banner("E8  TTSF validation: SAN Monte Carlo vs exact CTMC (Madan 2002)")
+    # Hand-derived mean: 1/0.5 + 1/(0.25*0.6) + 1/0.4 = 2 + 6.667 + 2.5.
+    expected = 1 / 0.5 + 1 / (0.25 * 0.6) + 1 / 0.4
+    rows = [
+        ("analytic (CTMC)", analytic),
+        ("closed form", expected),
+        ("Monte Carlo", mc_ci.estimate),
+    ]
+    print(format_table(["method", "mean TTSF"], rows))
+    print("\nP(security failure by t):")
+    print(format_table(["t", "P"], list(p_fail_by.items())))
+
+    assert analytic == pytest.approx(expected, rel=1e-9)
+    # Monte Carlo within its own CI half-width (plus slack) of analytic.
+    assert abs(mc_ci.estimate - analytic) < max(4 * mc_ci.half_width, 0.4)
+    # Failure probability is monotone in t and approaches 1.
+    values = list(p_fail_by.values())
+    assert values == sorted(values)
+    assert values[-1] > 0.95

@@ -1,0 +1,90 @@
+"""E9 — the smart-grid motivation (§I) + cost-balanced design.
+
+Extension experiment beyond the paper's cooling case study, covering two
+of its explicit motivations:
+
+* *"what if an attacker overloads a power distribution system"* — the
+  same Stuxnet-like campaign machinery drives a distribution feeder
+  (tie-closing / load-shed-blocking payload, conductor thermal damage);
+* *"a balanced approach between secure system design and diversification
+  costs"* — the cost-constrained portfolio optimizer traces the
+  budget/security efficient frontier for the feeder SCADA.
+
+Expected shape: the attack succeeds against the homogeneous utility; the
+efficient frontier is monotone (more budget → no worse security) with a
+steep initial drop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro.attacks.profiles import stuxnet_like
+from repro.core.indicators import compute_indicators
+from repro.core.portfolio import PortfolioOptimizer
+from repro.core.report import format_table
+from repro.scada.components import ComponentKind
+from repro.scada.plant.feeder import PowerFeeder
+from repro.scada.topologies import smart_grid_feeder
+
+K = ComponentKind
+
+
+def run_experiment(catalog, rng: np.random.Generator):
+    threat = stuxnet_like()
+    config = CampaignConfig(
+        horizon=120.0, tick_interval=0.5, plant_factory=PowerFeeder
+    )
+
+    # Campaign on the homogeneous utility.
+    outcomes = AttackCampaign(
+        smart_grid_feeder(), catalog, threat, config
+    ).run_batch(40, rng)
+    indicators = compute_indicators(outcomes).summary_row()
+
+    # Efficient frontier.
+    optimizer = PortfolioOptimizer(
+        smart_grid_feeder,
+        catalog,
+        threat,
+        kinds=[K.OPERATING_SYSTEM, K.PLC_FIRMWARE, K.PROTOCOL_STACK,
+               K.ANTIVIRUS],
+    )
+    base = optimizer.evaluate(optimizer.cheapest_assignment())
+    budgets = [base.cost * m for m in (1.0, 1.15, 1.3, 1.6, 2.0)]
+    frontier = optimizer.efficient_frontier(budgets)
+    return indicators, base, frontier
+
+
+def test_bench_e9_smart_grid(benchmark, catalog, rng):
+    indicators, base, frontier = benchmark.pedantic(
+        run_experiment, args=(catalog, rng), rounds=1, iterations=1
+    )
+    print_banner("E9  Smart-grid feeder overload + cost/security frontier")
+    print("Campaign vs homogeneous utility (40 reps, 120 h):")
+    print(f"  PSA = {indicators['psa']:.2f},  "
+          f"TTA = {indicators['tta_restricted_mean']:.1f} h,  "
+          f"P(detect) = {indicators['detection_probability']:.2f}\n")
+    rows = [
+        (f"{budget:.0f}",
+         f"{choice.cost:.0f}" if choice else "--",
+         choice.success_probability if choice else float("nan"))
+        for budget, choice in frontier
+    ]
+    print(format_table(["budget", "spent", "analytic PSA"], rows,
+                       title="Efficient frontier (exhaustive portfolios)"))
+
+    # The overload attack works against the homogeneous utility.
+    assert indicators["psa"] > 0.7
+    # Frontier is monotone non-increasing in PSA as budget grows.
+    psas = [c.success_probability for __, c in frontier if c is not None]
+    assert all(b <= a + 1e-12 for a, b in zip(psas, psas[1:]))
+    # A modest budget increase brings a large security gain.
+    assert psas[-1] < psas[0] * 0.05
+    # The zero-slack budget can only buy the cheapest portfolio.
+    assert frontier[0][1].success_probability == pytest.approx(
+        base.success_probability
+    )

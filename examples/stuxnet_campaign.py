@@ -1,0 +1,108 @@
+"""Anatomy of one Stuxnet-like campaign.
+
+Walks through a single attack replication in detail: entry infection,
+activation, privilege escalation, lateral movement, PLC reprogramming,
+physical sabotage with monitoring-signal spoofing, and how/when the
+SCADA master perceives the attack.  Also demonstrates the protocol-level
+diversity mechanism directly on the Modbus-like codec.
+
+Run:
+    python examples/stuxnet_campaign.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import default_catalog, scope_cooling_topology, stuxnet_like
+from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro.scada.protocol import (
+    FunctionCode,
+    ModbusFrame,
+    ProtocolError,
+    STANDARD_DIALECT,
+    decode_frame,
+    encode_frame,
+    remapped_dialect,
+)
+
+
+def protocol_demo() -> None:
+    """Why diversified protocol stacks stop a canned payload."""
+    print("--- protocol-dialect diversity demo ---")
+    payload = ModbusFrame(
+        unit=1,
+        function=FunctionCode.WRITE_SINGLE_REGISTER,
+        address=202,          # chiller setpoint register
+        values=(500,),        # 50.0 C: sabotage value
+    )
+    wire = encode_frame(payload, STANDARD_DIALECT)
+    print(f"malware payload ({len(wire)} bytes) crafted for the standard dialect")
+
+    same = decode_frame(wire, STANDARD_DIALECT)
+    print(f"  PLC speaking standard dialect: accepted -> write {same.values[0]} "
+          f"to register {same.address}")
+
+    variant = remapped_dialect("modbus_variant_b")
+    try:
+        decode_frame(wire, variant)
+    except ProtocolError as exc:
+        print(f"  PLC speaking variant dialect:  REJECTED ({exc})")
+    print()
+
+
+def campaign_walkthrough() -> None:
+    print("--- single campaign walkthrough (baseline system) ---")
+    rng = np.random.default_rng(2013)
+    catalog = default_catalog()
+    network = scope_cooling_topology()
+    config = CampaignConfig(horizon=120.0, tick_interval=0.25)
+    campaign = AttackCampaign(network, catalog, stuxnet_like(), config)
+
+    # Find a replication where the attack succeeds.
+    outcome = campaign.run(rng)
+    attempts = 1
+    while not outcome.success and attempts < 10:
+        outcome = campaign.run(rng)
+        attempts += 1
+
+    print(f"replication horizon: {outcome.horizon:.0f} h, "
+          f"{outcome.n_hosts} infectable hosts\n")
+    print("timeline:")
+    for record in outcome.trace:
+        detail = ""
+        if record.kind == "compromise":
+            detail = f" via {record.data.get('vector', '?')}"
+        print(f"  t={record.time:8.2f} h  {record.kind:<12} {record.subject}{detail}")
+
+    print("\nstage milestones:")
+    for stage, time in sorted(outcome.stage_times.items()):
+        print(f"  {stage.label:<18} {time:8.2f} h")
+
+    if outcome.success:
+        print(f"\nTime-To-Attack: {outcome.success_time:.2f} h "
+              f"(device impairment)")
+    if not math.isnan(outcome.detection_time):
+        relation = (
+            "BEFORE impairment" if outcome.detection_time
+            < outcome.success_time else "after impairment"
+        )
+        print(f"Time-To-Security-Failure: {outcome.detection_time:.2f} h "
+              f"({relation})")
+    else:
+        print("The attack was never perceived — the spoofed monitoring "
+              "signals fooled the master for the whole run.")
+    ratio_curve = [
+        (t, outcome.compromised_ratio_at(t)) for t in (5, 10, 20, 40, 80)
+    ]
+    print("\ncompromised ratio:",
+          "  ".join(f"{t}h:{r:.2f}" for t, r in ratio_curve))
+
+
+def main() -> None:
+    protocol_demo()
+    campaign_walkthrough()
+
+
+if __name__ == "__main__":
+    main()

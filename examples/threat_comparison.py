@@ -1,0 +1,94 @@
+"""Comparing threat models: Stuxnet-, Duqu- and Flame-like campaigns.
+
+The paper's future work names Duqu and Flame as the wider threat models
+to incorporate.  This example runs all three profiles against the same
+system in baseline and diversified configurations and prints the full
+indicator comparison, showing how the *kind* of threat changes which
+diversification helps.
+
+Run:
+    python examples/threat_comparison.py
+"""
+
+import numpy as np
+
+from repro import default_catalog, scope_cooling_topology
+from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro.attacks.profiles import duqu_like, flame_like, stuxnet_like
+from repro.core.indicators import compute_indicators
+from repro.core.report import format_table
+from repro.scada.components import ComponentKind
+
+K = ComponentKind
+
+
+def diversified_topology():
+    """OS + firmware + protocol + sensor diversity applied together."""
+    net = scope_cooling_topology()
+    hardened_os = {
+        "scada_server": "linux_hardened",
+        "eng_ws": "linux_hardened",
+        "hmi_0": "win_patched",
+        "hmi_1": "linux_hardened",
+        "historian": "win_patched",
+    }
+    for name, variant in hardened_os.items():
+        net.host(name).install(K.OPERATING_SYSTEM, variant)
+    for host in net.hosts:
+        if host.variant_of(K.PLC_FIRMWARE) is not None:
+            host.install(K.PLC_FIRMWARE, "firmware_alt")
+        if host.variant_of(K.PROTOCOL_STACK) is not None:
+            host.install(K.PROTOCOL_STACK, "modbus_variant_b")
+        if host.variant_of(K.SENSOR_MODEL) is not None:
+            host.install(K.SENSOR_MODEL, "sensor_authenticated")
+        if host.variant_of(K.FIREWALL_SOFTWARE) is not None:
+            host.install(K.FIREWALL_SOFTWARE, "fw_dpi")
+    return net
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    catalog = default_catalog()
+    config = CampaignConfig(horizon=100.0, tick_interval=0.5)
+
+    threats = {
+        "stuxnet-like (sabotage)": stuxnet_like(),
+        "duqu-like (exfiltration)": duqu_like(),
+        "flame-like (recon)": flame_like(),
+    }
+    rows = []
+    for label, threat in threats.items():
+        for system_label, factory in (
+            ("baseline", scope_cooling_topology),
+            ("diversified", diversified_topology),
+        ):
+            outcomes = AttackCampaign(
+                factory(), catalog, threat, config
+            ).run_batch(40, rng)
+            row = compute_indicators(outcomes).summary_row()
+            rows.append(
+                (
+                    label,
+                    system_label,
+                    f"{row['psa']:.2f}",
+                    f"{row['tta_restricted_mean']:.1f}",
+                    f"{row['detection_probability']:.2f}",
+                    f"{row['ttsf_restricted_mean']:.1f}",
+                )
+            )
+    print(
+        format_table(
+            ["threat", "system", "PSA", "TTA(h)", "P(detect)", "TTSF(h)"],
+            rows,
+            title="Threat-model comparison, 40 replications each, 100 h horizon",
+        )
+    )
+    print(
+        "\nReading: diversification slows every threat (higher TTA), and the"
+        "\nsensor/firewall variants mainly sharpen detection (TTSF) against"
+        "\nthe sabotage threat, whose payload depends on signal spoofing."
+    )
+
+
+if __name__ == "__main__":
+    main()

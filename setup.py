@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in
+offline environments whose setuptools predates PEP 660 support (older
+toolchains fall back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Diversity-based security evaluation for monitoring and control "
+        "(SCADA) systems - reproduction of Cotroneo, Pecchia, Russo (DSN 2013)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,91 @@
+"""repro — diversity-based security evaluation for monitoring and control systems.
+
+A from-scratch reproduction of D. Cotroneo, A. Pecchia, S. Russo,
+*"Towards Secure Monitoring and Control Systems: Diversify!"* (DSN 2013).
+
+The library implements the paper's three-step modeling and evaluation
+approach — attack modeling, DoE & measurements, ANOVA-based diversity
+assessment — together with every substrate it depends on: a discrete-event
+simulation kernel, a stochastic-activity-network engine with exact CTMC
+analysis, GSPNs, attack trees, Bayesian attack graphs, a zoned SCADA
+system model with a diversifiable Modbus-like protocol, a physical
+cooling-plant model, and Stuxnet/Duqu/Flame-like threat profiles.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        DiversityStudy, default_catalog, scope_cooling_topology,
+        stuxnet_like,
+    )
+
+    study = DiversityStudy(
+        network_factory=scope_cooling_topology,
+        catalog=default_catalog(),
+        threat=stuxnet_like(),
+        design_kind="fractional",
+        replications=20,
+    )
+    result = study.execute(np.random.default_rng(42))
+    print(result.report())
+"""
+
+from repro.attacks import (
+    AttackCampaign,
+    AttackOutcome,
+    AttackStage,
+    CampaignConfig,
+    ThreatProfile,
+    duqu_like,
+    flame_like,
+    stuxnet_like,
+)
+from repro.core import (
+    DiversityStudy,
+    IndicatorSet,
+    MeasurementPlan,
+    PlacementProblem,
+    StudyResult,
+    assess,
+    attack_tree_for,
+    bayesian_attack_graph_for,
+    compute_indicators,
+    san_model_for,
+)
+from repro.diversity import (
+    SystemConfiguration,
+    VariantCatalog,
+    default_catalog,
+)
+from repro.scada.network import SCADANetwork, Zone
+from repro.scada.topologies import scope_cooling_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackCampaign",
+    "AttackOutcome",
+    "AttackStage",
+    "CampaignConfig",
+    "DiversityStudy",
+    "IndicatorSet",
+    "MeasurementPlan",
+    "PlacementProblem",
+    "SCADANetwork",
+    "StudyResult",
+    "SystemConfiguration",
+    "ThreatProfile",
+    "VariantCatalog",
+    "Zone",
+    "assess",
+    "attack_tree_for",
+    "bayesian_attack_graph_for",
+    "compute_indicators",
+    "default_catalog",
+    "duqu_like",
+    "flame_like",
+    "san_model_for",
+    "scope_cooling_topology",
+    "stuxnet_like",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Threat models and the attack-campaign simulator.
+
+Implements the paper's attack side:
+
+* :mod:`repro.attacks.stages` — the canonical stage progression the
+  paper lists (*initial, activated, root access, network propagation,
+  device impairment*).
+* :mod:`repro.attacks.vectors` — Stuxnet's propagation vectors (USB
+  removable media, shared folders, print spooler, generic network
+  exploit).
+* :mod:`repro.attacks.c2` — command-and-control beaconing and its
+  detection.
+* :mod:`repro.attacks.spoof` — monitoring-signal spoofing (constant
+  hold vs. record-and-replay).
+* :mod:`repro.attacks.profiles` — Stuxnet-like (sabotage), Duqu-like
+  (exfiltration) and Flame-like (reconnaissance) threat profiles.
+* :mod:`repro.attacks.campaign` — the discrete-event campaign simulator
+  coupling a threat profile, a SCADA network, the variant catalog, the
+  cooling plant and the SCADA master; produces the
+  :class:`~repro.attacks.campaign.AttackOutcome` records from which the
+  security indicators are computed.
+"""
+
+from repro.attacks.c2 import C2Channel
+from repro.attacks.campaign import AttackCampaign, AttackOutcome, CampaignConfig
+from repro.attacks.history import (
+    CalibratedStages,
+    IncidentRecord,
+    calibrate,
+    generate_incident_history,
+)
+from repro.attacks.profiles import (
+    ThreatProfile,
+    duqu_like,
+    flame_like,
+    stuxnet_like,
+)
+from repro.attacks.spoof import ConstantSpoofer, ReplaySpoofer, Spoofer
+from repro.attacks.stages import AttackStage, StageRecord
+from repro.attacks.vectors import (
+    NetworkExploitVector,
+    PrintSpoolerVector,
+    PropagationVector,
+    SharedFolderVector,
+    USBVector,
+)
+
+__all__ = [
+    "AttackCampaign",
+    "AttackOutcome",
+    "AttackStage",
+    "C2Channel",
+    "CalibratedStages",
+    "CampaignConfig",
+    "IncidentRecord",
+    "calibrate",
+    "generate_incident_history",
+    "ConstantSpoofer",
+    "NetworkExploitVector",
+    "PrintSpoolerVector",
+    "PropagationVector",
+    "ReplaySpoofer",
+    "SharedFolderVector",
+    "Spoofer",
+    "StageRecord",
+    "ThreatProfile",
+    "USBVector",
+    "duqu_like",
+    "flame_like",
+    "stuxnet_like",
+]

@@ -1,0 +1,578 @@
+"""The attack-campaign simulator.
+
+Couples a :class:`~repro.attacks.profiles.ThreatProfile`, a
+:class:`~repro.scada.network.SCADANetwork` (with installed variants), the
+:class:`~repro.diversity.catalog.VariantCatalog`, the cooling plant and
+the SCADA master into one discrete-event simulation.  Each replication
+produces an :class:`AttackOutcome`, from which the paper's security
+indicators — Time-To-Attack, Time-To-Security-Failure, compromised ratio
+— are computed (:mod:`repro.core.indicators`).
+
+Modeling notes
+--------------
+
+* Attempt processes are *thinned Poisson processes*: attempts occur at a
+  vector's base rate and each succeeds with the per-variant probability
+  from the catalog, so the time to first success is exponential with
+  rate ``base_rate × p_success`` — zero-probability targets are simply
+  never compromised.  This is exactly the paper's mechanism of *"varying
+  the success probabilities involved at each attack stage"* as a function
+  of the installed component variants.
+* Failed attempts are noisy: they feed a detection process whose rate
+  grows when behavioural antivirus variants are deployed.
+* Sabotage couples to the physical plant through the PLC register image;
+  the payload spoofs the monitoring signal (replay or constant-hold),
+  and the master's alarm/spoof-detection logic defines the perceived
+  manifestation time (TTSF).
+* Time unit: hours.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.attacks.profiles import ThreatProfile
+from repro.attacks.stages import AttackStage, StageTracker
+from repro.attacks.vectors import PropagationVector
+from repro.diversity.catalog import VariantCatalog
+from repro.scada.components import ComponentKind, HostRole
+from repro.scada.monitoring import Alarm, SCADAMaster
+from repro.scada.network import SCADANetwork, Zone
+from repro.scada.plant.cooling import CoolingPlant, CoolingPlantConfig
+from repro.scada.plant.process import PhysicalProcess
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import TraceRecorder
+
+
+def _default_plant() -> PhysicalProcess:
+    """The SCoPE-like cooling plant, history off for Monte-Carlo speed."""
+    return CoolingPlant(CoolingPlantConfig(), record_history=False)
+
+
+@dataclass
+class CampaignConfig:
+    """Campaign simulation parameters.
+
+    Attributes:
+        horizon: Simulation horizon (hours).
+        tick_interval: Plant/master polling period (hours).
+        failed_attempt_noise: Baseline probability that one failed
+            exploit attempt is noticed by host defenses.
+        response_enabled: If True, incident response reacts to the first
+            detection; if False (default) the attack continues and
+            detection is recorded as TTSF only.
+        response_delay_rate: With response enabled, the eviction happens
+            an Exp(rate)-distributed delay after detection (triage +
+            containment time).  ``None`` means instantaneous eviction
+            (the pre-existing stop-at-detection behaviour).
+        plant_factory: Builds the physical process under control — the
+            cooling plant by default; pass e.g.
+            ``lambda: PowerFeeder()`` for the smart-grid scenario.
+    """
+
+    horizon: float = 400.0
+    tick_interval: float = 0.25
+    failed_attempt_noise: float = 0.03
+    response_enabled: bool = False
+    response_delay_rate: Optional[float] = None
+    plant_factory: Callable[[], PhysicalProcess] = field(
+        default=_default_plant
+    )
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one campaign replication.
+
+    Attributes:
+        success: Whether the threat achieved its goal before the horizon.
+        success_time: Goal-achievement time (nan when unsuccessful) —
+            the Time-To-Attack sample.
+        detection_time: First perceived manifestation (nan if never) —
+            the Time-To-Security-Failure sample.
+        compromise_times: ``{host: first_compromise_time}``.
+        root_times: ``{host: root_access_time}``.
+        sabotage_start: When the controller was reprogrammed (nan if
+            never).
+        stage_times: First-entry time per canonical attack stage.
+        horizon: Horizon used.
+        n_hosts: Total computer hosts in the system (denominator of the
+            compromised ratio).
+        trace: Full event trace.
+        evicted: Whether incident response evicted the attacker before
+            the goal (always False when response is disabled).
+    """
+
+    success: bool
+    success_time: float
+    detection_time: float
+    compromise_times: Dict[str, float]
+    root_times: Dict[str, float]
+    sabotage_start: float
+    stage_times: Dict[AttackStage, float]
+    horizon: float
+    n_hosts: int
+    trace: TraceRecorder
+    evicted: bool = False
+
+    def compromised_ratio_at(self, time: float) -> float:
+        """Fraction of hosts compromised by ``time``."""
+        if self.n_hosts == 0:
+            return 0.0
+        count = sum(1 for t in self.compromise_times.values() if t <= time)
+        return count / self.n_hosts
+
+    def compromised_ratio_curve(
+        self, times: List[float]
+    ) -> List[Tuple[float, float]]:
+        """The compromised-ratio step function sampled at ``times``."""
+        return [(t, self.compromised_ratio_at(t)) for t in times]
+
+
+class AttackCampaign:
+    """Runs attack campaigns against a configured SCADA system."""
+
+    def __init__(
+        self,
+        network: SCADANetwork,
+        catalog: VariantCatalog,
+        threat: ThreatProfile,
+        config: Optional[CampaignConfig] = None,
+    ) -> None:
+        self.network = network
+        self.catalog = catalog
+        self.threat = threat
+        self.config = config or CampaignConfig()
+
+    # ------------------------------------------------------------------
+    # probability helpers
+    # ------------------------------------------------------------------
+
+    def _entry_candidates(self) -> List[str]:
+        """Hosts the initial infection can land on.
+
+        Removable media crosses air gaps: any computer with USB ports is
+        a candidate; enterprise-zone computers are candidates regardless
+        (mail/web entry).
+        """
+        names: List[str] = []
+        for host in self.network.hosts:
+            if not host.is_computer:
+                continue
+            if host.usb_ports or self.network.zone_of(host.name) == Zone.ENTERPRISE:
+                names.append(host.name)
+        return names
+
+    def _entry_probability(self, host_name: str) -> float:
+        host = self.network.host(host_name)
+        os_variant = host.variant_of(ComponentKind.OPERATING_SYSTEM)
+        action = "usb_autorun" if host.usb_ports else "net_exploit"
+        p = self.catalog.success_probability(
+            ComponentKind.OPERATING_SYSTEM, os_variant, action
+        )
+        av = host.variant_of(ComponentKind.ANTIVIRUS)
+        if av is not None:
+            p *= self.catalog.success_probability(
+                ComponentKind.ANTIVIRUS, av, "av_evasion"
+            )
+        if host.resilient:
+            p *= 0.05
+        return p
+
+    def _escalation_probability(self, host_name: str) -> float:
+        host = self.network.host(host_name)
+        os_variant = host.variant_of(ComponentKind.OPERATING_SYSTEM)
+        p = self.catalog.success_probability(
+            ComponentKind.OPERATING_SYSTEM, os_variant, "priv_escalation"
+        )
+        if host.resilient:
+            p *= 0.05
+        return p
+
+    def _propagation_probability(
+        self, vector: PropagationVector, target_name: str
+    ) -> float:
+        target = self.network.host(target_name)
+        p = vector.success_probability(target, self.catalog)
+        if target.resilient:
+            p *= 0.05
+        return p
+
+    def _reprogram_probability(self, plc_name: str) -> float:
+        plc = self.network.host(plc_name)
+        p_fw = self.catalog.success_probability(
+            ComponentKind.PLC_FIRMWARE,
+            plc.variant_of(ComponentKind.PLC_FIRMWARE),
+            "reprogram",
+        )
+        p_stack = self.catalog.success_probability(
+            ComponentKind.PROTOCOL_STACK,
+            plc.variant_of(ComponentKind.PROTOCOL_STACK),
+            "reprogram",
+        )
+        p = p_fw * p_stack
+        if plc.resilient:
+            p *= 0.05
+        return p
+
+    def _spoof_probability(self) -> float:
+        """Probability the payload can tamper with the monitored signal."""
+        sensors = self.network.hosts_with_role(HostRole.SENSOR)
+        if not sensors:
+            return 1.0
+        # The attacker must tamper with the sensor path feeding the
+        # master; authenticated sensors make that unlikely.
+        probs = [
+            self.catalog.success_probability(
+                ComponentKind.SENSOR_MODEL,
+                s.variant_of(ComponentKind.SENSOR_MODEL),
+                "signal_tamper",
+            )
+            for s in sensors
+        ]
+        return max(probs)
+
+    def _detection_noise(self, host_name: str) -> float:
+        """Per-failed-attempt detection probability at ``host_name``."""
+        host = self.network.host(host_name)
+        base = self.config.failed_attempt_noise
+        av = host.variant_of(ComponentKind.ANTIVIRUS)
+        if av is not None:
+            evasion = self.catalog.success_probability(
+                ComponentKind.ANTIVIRUS, av, "av_evasion"
+            )
+            base += 0.25 * (1.0 - evasion)
+        return min(1.0, base)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+
+    def run(self, rng: np.random.Generator) -> AttackOutcome:
+        """One campaign replication."""
+        cfg = self.config
+        engine = SimulationEngine()
+        trace = TraceRecorder()
+        stages = StageTracker()
+
+        computers = [h.name for h in self.network.hosts if h.is_computer]
+        plcs = [h.name for h in self.network.hosts_with_role(HostRole.PLC)]
+        n_hosts = len(computers)
+
+        compromised: Set[str] = set()
+        activated: Set[str] = set()
+        rooted: Set[str] = set()
+        compromise_times: Dict[str, float] = {}
+        root_times: Dict[str, float] = {}
+        scheduled_pairs: Set[Tuple[str, str, str]] = set()
+        reprogram_scheduled: Set[str] = set()
+
+        state = {
+            "detection_time": float("nan"),
+            "success_time": float("nan"),
+            "sabotage_start": float("nan"),
+            "exfiltrated": 0.0,
+            "spoof_effective": False,
+            "c2_started": False,
+            "done": False,
+            "evicted": False,
+        }
+
+        plant = cfg.plant_factory()
+        registers = plant.default_registers()
+        damage = plant.make_damage_model()
+        monitored = plant.monitored_register
+        master = SCADAMaster(
+            alarms=[
+                Alarm(
+                    "process_stress",
+                    monitored,
+                    high=plant.alarm_threshold,
+                    scale=plant.alarm_scale,
+                )
+            ]
+        )
+        master.watch(monitored)
+        spoofer = self.threat.make_spoofer()
+
+        def evict(time: float) -> None:
+            if state["done"]:
+                return
+            state["evicted"] = True
+            state["done"] = True
+            trace.record(time, "eviction", "incident_response")
+            engine.request_stop()
+
+        def detect(time: float, source: str) -> None:
+            if math.isnan(state["detection_time"]):
+                state["detection_time"] = time
+                trace.record(time, "detection", source)
+                if cfg.response_enabled:
+                    if cfg.response_delay_rate is None:
+                        evict(time)
+                    else:
+                        delay = rng.exponential(
+                            1.0 / cfg.response_delay_rate
+                        )
+                        if time + delay <= cfg.horizon:
+                            engine.schedule(
+                                time + delay, lambda ev: evict(ev.time)
+                            )
+
+        def succeed(time: float, how: str) -> None:
+            if math.isnan(state["success_time"]):
+                state["success_time"] = time
+                trace.record(time, "goal", how)
+                state["done"] = True
+                engine.request_stop()
+
+        # -------------------------- handlers ---------------------------
+
+        def schedule_detection_noise(
+            now: float, rate: float, p_success: float, host: str
+        ) -> None:
+            """Failed attempts against ``host`` may be noticed."""
+            p_detect = self._detection_noise(host)
+            noisy_rate = rate * (1.0 - p_success) * p_detect
+            if noisy_rate <= 0:
+                return
+            t = now + rng.exponential(1.0 / noisy_rate)
+            if t <= cfg.horizon:
+                engine.schedule(
+                    t, lambda ev, h=host: detect(ev.time, f"host_ids:{h}")
+                )
+
+        def schedule_compromise(
+            now: float,
+            source: str,
+            target: str,
+            vector_name: str,
+            rate: float,
+            p_success: float,
+        ) -> None:
+            key = (source, target, vector_name)
+            if key in scheduled_pairs or target in compromised:
+                return
+            scheduled_pairs.add(key)
+            schedule_detection_noise(now, rate, p_success, target)
+            effective = rate * p_success
+            if effective <= 0:
+                return
+            t = now + rng.exponential(1.0 / effective)
+            if t <= cfg.horizon:
+                engine.schedule(
+                    t,
+                    lambda ev, tgt=target, vec=vector_name: on_compromise(
+                        ev.time, tgt, vec
+                    ),
+                )
+
+        def on_compromise(now: float, host: str, how: str) -> None:
+            if host in compromised or state["done"]:
+                return
+            compromised.add(host)
+            compromise_times[host] = now
+            trace.record(now, "compromise", host, vector=how)
+            stages.reach(AttackStage.INITIAL, now, host)
+            if how != "entry":
+                # Lateral movement, not an independent initial infection.
+                stages.reach(AttackStage.PROPAGATION, now, host)
+            delay = rng.exponential(1.0 / self.threat.activation_delay_rate)
+            if now + delay <= cfg.horizon:
+                engine.schedule(
+                    now + delay, lambda ev, h=host: on_activation(ev.time, h)
+                )
+            if self.threat.goal == "recon":
+                if len(compromised) >= self.threat.recon_fraction * n_hosts:
+                    succeed(now, "recon_complete")
+
+        def on_activation(now: float, host: str) -> None:
+            if state["done"] or host in activated:
+                return
+            activated.add(host)
+            trace.record(now, "activation", host)
+            stages.reach(AttackStage.ACTIVATED, now, host)
+            # C2 channel comes alive with the first activation.
+            if self.threat.c2 is not None and not state["c2_started"]:
+                state["c2_started"] = True
+                t_detect = self.threat.c2.first_detection_time(
+                    now, cfg.horizon, self.network, self.catalog, rng
+                )
+                if t_detect is not None:
+                    engine.schedule(
+                        t_detect, lambda ev: detect(ev.time, "c2_beacon")
+                    )
+            # Privilege escalation.
+            p_root = self._escalation_probability(host)
+            schedule_detection_noise(
+                now, self.threat.escalation_rate, p_root, host
+            )
+            rate = self.threat.escalation_rate * p_root
+            if rate > 0:
+                t = now + rng.exponential(1.0 / rate)
+                if t <= cfg.horizon:
+                    engine.schedule(
+                        t, lambda ev, h=host: on_root(ev.time, h)
+                    )
+            # Lateral movement.
+            for vector in self.threat.vectors:
+                for target in vector.targets(host, self.network):
+                    p = self._propagation_probability(vector, target)
+                    schedule_compromise(
+                        now, host, target, vector.name, vector.rate, p
+                    )
+
+        def on_root(now: float, host: str) -> None:
+            if state["done"] or host in rooted:
+                return
+            rooted.add(host)
+            root_times[host] = now
+            trace.record(now, "root", host)
+            stages.reach(AttackStage.ROOT_ACCESS, now, host)
+            maybe_schedule_reprogram(now, host)
+
+        def maybe_schedule_reprogram(now: float, host: str) -> None:
+            if self.threat.goal != "impair":
+                return
+            role = self.network.host(host).role
+            if (
+                self.threat.requires_engineering_host
+                and role != HostRole.ENGINEERING_WORKSTATION
+            ):
+                return
+            for plc_name in plcs:
+                if plc_name in reprogram_scheduled:
+                    continue
+                if not self.network.flow_allowed(host, plc_name, "modbus"):
+                    continue
+                p = self._reprogram_probability(plc_name)
+                # Stuxnet drove the PLC through the engineering suite.
+                tool = self.network.host(host).variant_of(
+                    ComponentKind.ENGINEERING_TOOL
+                )
+                if tool is not None:
+                    p *= self.catalog.success_probability(
+                        ComponentKind.ENGINEERING_TOOL, tool, "reprogram"
+                    )
+                schedule_detection_noise(
+                    now, self.threat.reprogram_rate, p, plc_name
+                )
+                rate = self.threat.reprogram_rate * p
+                if rate <= 0:
+                    continue
+                reprogram_scheduled.add(plc_name)
+                t = now + rng.exponential(1.0 / rate)
+                if t <= cfg.horizon:
+                    engine.schedule(
+                        t,
+                        lambda ev, p_name=plc_name: on_sabotage(
+                            ev.time, p_name
+                        ),
+                    )
+
+        def on_sabotage(now: float, plc_name: str) -> None:
+            if state["done"] or not math.isnan(state["sabotage_start"]):
+                return
+            state["sabotage_start"] = now
+            trace.record(now, "sabotage", plc_name)
+            plant.sabotage(registers)
+            state["spoof_effective"] = (
+                spoofer is not None and rng.random() < self._spoof_probability()
+            )
+
+        def on_tick(now: float) -> None:
+            if state["done"]:
+                return
+            dt_seconds = cfg.tick_interval * 3600.0
+            plant.step(registers, dt=dt_seconds)
+            damage.update(plant.stress_level(), dt_seconds, now)
+            sabotage_active = not math.isnan(state["sabotage_start"])
+            # What the master sees.
+            reported = dict(registers)
+            actual_reading = float(registers.get(monitored, 0))
+            if sabotage_active and state["spoof_effective"] and spoofer is not None:
+                reported[monitored] = max(0, int(spoofer.emit(rng)))
+            elif spoofer is not None and not sabotage_active:
+                spoofer.record(actual_reading)
+            findings = master.poll(now, reported)
+            if findings:
+                detect(now, findings[0])
+            # Goal progress.
+            if self.threat.goal == "impair" and damage.impaired:
+                stages.reach(
+                    AttackStage.DEVICE_IMPAIRMENT, now, "physical_process"
+                )
+                succeed(now, "device_impairment")
+            if self.threat.goal == "exfiltrate":
+                reachable_data = [
+                    h
+                    for h in rooted
+                    if self.network.host(h).role
+                    in (HostRole.HISTORIAN, HostRole.SCADA_SERVER)
+                    or any(
+                        self.network.flow_allowed(h, other, "historian")
+                        for other in self.network.host_names
+                        if self.network.host(other).role == HostRole.HISTORIAN
+                    )
+                ]
+                if reachable_data:
+                    state["exfiltrated"] += (
+                        self.threat.exfiltration_rate
+                        * cfg.tick_interval
+                        * len(reachable_data)
+                    )
+                    if state["exfiltrated"] >= self.threat.exfiltration_target:
+                        succeed(now, "exfiltration_complete")
+            next_tick = now + cfg.tick_interval
+            if next_tick <= cfg.horizon:
+                engine.schedule(next_tick, lambda ev: on_tick(ev.time))
+
+        # --------------------------- kick-off ---------------------------
+
+        for entry in self._entry_candidates():
+            p = self._entry_probability(entry)
+            schedule_detection_noise(0.0, self.threat.entry_rate, p, entry)
+            rate = self.threat.entry_rate * p
+            if rate > 0:
+                t = rng.exponential(1.0 / rate)
+                if t <= cfg.horizon:
+                    engine.schedule(
+                        t,
+                        lambda ev, h=entry: on_compromise(
+                            ev.time, h, "entry"
+                        ),
+                    )
+        engine.schedule(cfg.tick_interval, lambda ev: on_tick(ev.time))
+        engine.run(horizon=cfg.horizon)
+
+        return AttackOutcome(
+            success=not math.isnan(state["success_time"]),
+            success_time=state["success_time"],
+            detection_time=state["detection_time"],
+            compromise_times=compromise_times,
+            root_times=root_times,
+            sabotage_start=state["sabotage_start"],
+            stage_times={
+                r.stage: r.time for r in stages.records()
+            },
+            horizon=cfg.horizon,
+            n_hosts=n_hosts,
+            trace=trace,
+            evicted=bool(state["evicted"]),
+        )
+
+    def run_batch(
+        self, replications: int, rng: np.random.Generator
+    ) -> List[AttackOutcome]:
+        """Independent replications.
+
+        Raises:
+            ValueError: If ``replications < 1``.
+        """
+        if replications < 1:
+            raise ValueError(f"replications must be >= 1, got {replications}")
+        return [self.run(rng) for _ in range(replications)]

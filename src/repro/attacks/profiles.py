@@ -1,0 +1,162 @@
+"""Threat profiles: Stuxnet-like, Duqu-like, Flame-like.
+
+A :class:`ThreatProfile` parameterizes the campaign simulator: which
+vectors the malware carries, how fast each stage proceeds, what the goal
+is, and how stealthy the payload is.  The paper's future work names Duqu
+and Flame as the wider threat models to add; both are included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.attacks.c2 import C2Channel
+from repro.attacks.spoof import ConstantSpoofer, ReplaySpoofer, Spoofer
+from repro.attacks.vectors import (
+    NetworkExploitVector,
+    PrintSpoolerVector,
+    PropagationVector,
+    SharedFolderVector,
+    USBVector,
+)
+
+
+@dataclass
+class ThreatProfile:
+    """A parametric multi-stage threat.
+
+    Attributes:
+        name: Threat name.
+        goal: ``"impair"`` (sabotage the plant), ``"exfiltrate"`` (steal
+            process data) or ``"recon"`` (map the network).
+        vectors: Propagation vectors carried.
+        entry_rate: Attempt rate of the initial infection (per time
+            unit, against each candidate entry host).
+        activation_delay_rate: Rate of the dropper activating after
+            landing (exponential).
+        escalation_rate: Privilege-escalation attempt rate per infected
+            host.
+        reprogram_rate: Controller-reprogramming attempt rate once an
+            attack position is established.
+        exfiltration_target: Process-data volume (abstract units) that
+            must be exfiltrated for a ``"exfiltrate"`` goal.
+        exfiltration_rate: Volume exfiltrated per time unit per rooted
+            host with historian/SCADA access.
+        recon_fraction: Fraction of hosts that must be compromised for a
+            ``"recon"`` goal.
+        spoofer_kind: ``"replay"``, ``"constant"`` or ``"none"`` — how
+            the payload emulates monitoring signals during sabotage.
+        c2: Command-and-control channel (None = fully autonomous).
+        requires_engineering_host: Whether controller reprogramming can
+            only be launched from a compromised engineering workstation
+            (true for Stuxnet, which abused the PLC programming suite).
+    """
+
+    name: str
+    goal: str
+    vectors: List[PropagationVector] = field(default_factory=list)
+    entry_rate: float = 0.1
+    activation_delay_rate: float = 2.0
+    escalation_rate: float = 1.0
+    reprogram_rate: float = 0.5
+    exfiltration_target: float = 10.0
+    exfiltration_rate: float = 1.0
+    recon_fraction: float = 0.75
+    spoofer_kind: str = "replay"
+    c2: Optional[C2Channel] = None
+    requires_engineering_host: bool = True
+
+    def __post_init__(self) -> None:
+        if self.goal not in ("impair", "exfiltrate", "recon"):
+            raise ValueError(f"unknown goal {self.goal!r}")
+        for rate_name in (
+            "entry_rate",
+            "activation_delay_rate",
+            "escalation_rate",
+            "reprogram_rate",
+            "exfiltration_rate",
+        ):
+            if getattr(self, rate_name) <= 0:
+                raise ValueError(f"{rate_name} must be > 0")
+        if self.spoofer_kind not in ("replay", "constant", "none"):
+            raise ValueError(f"unknown spoofer_kind {self.spoofer_kind!r}")
+        if not 0.0 < self.recon_fraction <= 1.0:
+            raise ValueError("recon_fraction must be in (0, 1]")
+
+    def make_spoofer(self) -> Optional[Spoofer]:
+        """Instantiate the payload's spoofing strategy."""
+        if self.spoofer_kind == "replay":
+            return ReplaySpoofer()
+        if self.spoofer_kind == "constant":
+            return ConstantSpoofer()
+        return None
+
+
+def stuxnet_like(
+    entry_rate: float = 0.15,
+    reprogram_rate: float = 0.6,
+) -> ThreatProfile:
+    """The paper's principal threat: sabotage with signal spoofing.
+
+    USB + shared-folder + print-spooler propagation, C2 beaconing,
+    reprogramming launched from a compromised engineering workstation,
+    replay spoofing of monitoring signals.
+    """
+    return ThreatProfile(
+        name="stuxnet_like",
+        goal="impair",
+        vectors=[
+            USBVector(rate=0.25),
+            SharedFolderVector(rate=0.5),
+            PrintSpoolerVector(rate=0.35),
+            NetworkExploitVector(rate=0.2),
+        ],
+        entry_rate=entry_rate,
+        activation_delay_rate=2.0,
+        escalation_rate=1.2,
+        reprogram_rate=reprogram_rate,
+        spoofer_kind="replay",
+        c2=C2Channel(beacon_interval=6.0, base_detection_probability=0.015),
+        requires_engineering_host=True,
+    )
+
+
+def duqu_like(entry_rate: float = 0.12) -> ThreatProfile:
+    """Espionage: exfiltrate process data, no physical payload."""
+    return ThreatProfile(
+        name="duqu_like",
+        goal="exfiltrate",
+        vectors=[
+            SharedFolderVector(rate=0.45),
+            NetworkExploitVector(rate=0.3),
+        ],
+        entry_rate=entry_rate,
+        activation_delay_rate=1.5,
+        escalation_rate=1.0,
+        exfiltration_target=8.0,
+        exfiltration_rate=1.5,
+        spoofer_kind="none",
+        c2=C2Channel(beacon_interval=3.0, base_detection_probability=0.03),
+        requires_engineering_host=False,
+    )
+
+
+def flame_like(entry_rate: float = 0.1) -> ThreatProfile:
+    """Reconnaissance: survey a large fraction of the hosts."""
+    return ThreatProfile(
+        name="flame_like",
+        goal="recon",
+        vectors=[
+            USBVector(rate=0.2),
+            SharedFolderVector(rate=0.55),
+            NetworkExploitVector(rate=0.35),
+        ],
+        entry_rate=entry_rate,
+        activation_delay_rate=1.8,
+        escalation_rate=0.8,
+        recon_fraction=0.6,
+        spoofer_kind="none",
+        c2=C2Channel(beacon_interval=2.0, base_detection_probability=0.02),
+        requires_engineering_host=False,
+    )

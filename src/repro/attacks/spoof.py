@@ -1,0 +1,90 @@
+"""Monitoring-signal spoofing.
+
+Stuxnet *"can remain undetected for many months because it is able to
+fool the SCADA system by emulating regular monitoring signals"*.  A
+:class:`Spoofer` intercepts the value the PLC reports to the master while
+sabotage is in progress:
+
+* :class:`ConstantSpoofer` — holds the last healthy value.  Cheap, but a
+  frozen signal is exactly what
+  :class:`~repro.scada.monitoring.SpoofDetector` looks for.
+* :class:`ReplaySpoofer` — records a window of healthy samples and
+  replays it with optional jitter; defeats the frozen-signal check, can
+  still trip the rate check at the loop seam if the recording is short.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+import numpy as np
+
+
+class Spoofer(ABC):
+    """Strategy for emulating regular monitoring signals."""
+
+    @abstractmethod
+    def record(self, value: float) -> None:
+        """Observe one healthy sample (pre-sabotage learning phase)."""
+
+    @abstractmethod
+    def emit(self, rng: np.random.Generator) -> float:
+        """Produce the next spoofed sample (sabotage phase)."""
+
+
+class ConstantSpoofer(Spoofer):
+    """Reports the last healthy value forever."""
+
+    def __init__(self) -> None:
+        self._last: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self._last = value
+
+    def emit(self, rng: np.random.Generator) -> float:
+        if self._last is None:
+            return 0.0
+        return self._last
+
+
+class ReplaySpoofer(Spoofer):
+    """Replays a recorded window of healthy samples in a loop.
+
+    Attributes:
+        capacity: Maximum recorded samples.
+        jitter: Standard deviation of Gaussian noise added on replay
+            (defeats exact-repetition detectors).
+    """
+
+    def __init__(self, capacity: int = 120, jitter: float = 0.05) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.capacity = capacity
+        self.jitter = jitter
+        self._recording: List[float] = []
+        self._cursor = 0
+
+    def record(self, value: float) -> None:
+        if len(self._recording) < self.capacity:
+            self._recording.append(value)
+        else:
+            # Rolling window: keep the freshest samples.
+            self._recording.pop(0)
+            self._recording.append(value)
+
+    def emit(self, rng: np.random.Generator) -> float:
+        if not self._recording:
+            return 0.0
+        value = self._recording[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._recording)
+        if self.jitter > 0:
+            value += float(rng.normal(0.0, self.jitter))
+        return value
+
+    @property
+    def samples_recorded(self) -> int:
+        """Number of healthy samples currently held."""
+        return len(self._recording)

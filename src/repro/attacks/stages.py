@@ -1,0 +1,76 @@
+"""Attack-stage progression.
+
+The paper's example stage chain: *"initial, activated, root access,
+network propagation, device impairment"*.  The campaign simulator records
+the first time each stage is reached; security indicators are defined
+over these times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, List, Optional
+
+
+class AttackStage(IntEnum):
+    """Canonical stages, ordered by progression."""
+
+    INITIAL = 0
+    ACTIVATED = 1
+    ROOT_ACCESS = 2
+    PROPAGATION = 3
+    DEVICE_IMPAIRMENT = 4
+
+    @property
+    def label(self) -> str:
+        """Lower-case human-readable label."""
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """First entry into a stage.
+
+    Attributes:
+        stage: The stage reached.
+        time: Simulation time of first entry.
+        subject: Host (or device) on which the stage milestone occurred.
+    """
+
+    stage: AttackStage
+    time: float
+    subject: str
+
+
+class StageTracker:
+    """Tracks the earliest time each stage is reached."""
+
+    def __init__(self) -> None:
+        self._records: Dict[AttackStage, StageRecord] = {}
+
+    def reach(self, stage: AttackStage, time: float, subject: str) -> bool:
+        """Record a stage milestone; returns True if it is the first."""
+        if stage not in self._records:
+            self._records[stage] = StageRecord(stage, time, subject)
+            return True
+        return False
+
+    def time_of(self, stage: AttackStage) -> Optional[float]:
+        """First-entry time of ``stage`` (None if never reached)."""
+        record = self._records.get(stage)
+        return record.time if record else None
+
+    def reached(self, stage: AttackStage) -> bool:
+        """Whether ``stage`` was ever reached."""
+        return stage in self._records
+
+    def records(self) -> List[StageRecord]:
+        """All records in stage order."""
+        return [self._records[s] for s in sorted(self._records)]
+
+    def furthest(self) -> Optional[AttackStage]:
+        """The most advanced stage reached, or None."""
+        if not self._records:
+            return None
+        return max(self._records)

@@ -1,0 +1,128 @@
+"""Propagation vectors.
+
+Stuxnet *"propagates either locally (e.g., by means of USB sticks) or
+remotely (e.g., via shared folders or the print spooler vulnerability)"*.
+Each vector knows:
+
+* which **service** it needs on the network path (firewall-relevant),
+* which **exploit action** it exercises (catalog key → per-variant
+  success probability),
+* which hosts it can target at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.diversity.catalog import VariantCatalog
+from repro.scada.components import ComponentKind, Host
+from repro.scada.network import SCADANetwork
+
+
+@dataclass(frozen=True)
+class PropagationVector:
+    """Base propagation vector.
+
+    Attributes:
+        name: Vector name.
+        service: Network service label the vector rides on (``"local"``
+            means no network flow is needed — e.g. removable media).
+        action: Exploitability key in the variant catalog.
+        rate: Base attempt rate (attempts per time unit) of a compromised
+            host wielding this vector.
+    """
+
+    name: str
+    service: str
+    action: str
+    rate: float = 1.0
+
+    def applicable(self, target: Host) -> bool:
+        """Whether the vector can target ``target`` at all."""
+        return target.is_computer
+
+    def success_probability(
+        self, target: Host, catalog: VariantCatalog
+    ) -> float:
+        """Per-attempt success probability against ``target``.
+
+        The OS exploit must land *and* the host's antivirus must be
+        evaded (their probabilities multiply).
+        """
+        os_variant = target.variant_of(ComponentKind.OPERATING_SYSTEM)
+        p_exploit = catalog.success_probability(
+            ComponentKind.OPERATING_SYSTEM, os_variant, self.action
+        )
+        av_variant = target.variant_of(ComponentKind.ANTIVIRUS)
+        if av_variant is not None:
+            p_exploit *= catalog.success_probability(
+                ComponentKind.ANTIVIRUS, av_variant, "av_evasion"
+            )
+        return p_exploit
+
+    def targets(
+        self, source: str, network: SCADANetwork
+    ) -> List[str]:
+        """Host names this vector can reach from ``source``."""
+        if self.service == "local":
+            # Removable media moves inside a zone (operator behaviour).
+            zone = network.zone_of(source)
+            return [
+                h.name
+                for h in network.hosts_in_zone(zone)
+                if h.name != source and self.applicable(h)
+            ]
+        return [
+            name
+            for name in network.reachable_targets(source, self.service)
+            if self.applicable(network.host(name))
+        ]
+
+
+class USBVector(PropagationVector):
+    """Removable-media infection (Stuxnet's local vector)."""
+
+    def __init__(self, rate: float = 0.2) -> None:
+        super().__init__(
+            name="usb", service="local", action="usb_autorun", rate=rate
+        )
+
+    def applicable(self, target: Host) -> bool:
+        return target.is_computer and target.usb_ports
+
+
+class SharedFolderVector(PropagationVector):
+    """Network-share infection (Stuxnet's SMB vector)."""
+
+    def __init__(self, rate: float = 0.6) -> None:
+        super().__init__(
+            name="shared_folder", service="smb", action="smb_exploit", rate=rate
+        )
+
+    def applicable(self, target: Host) -> bool:
+        return target.is_computer and target.shared_folders
+
+
+class PrintSpoolerVector(PropagationVector):
+    """Print-spooler remote code execution (MS10-061 style)."""
+
+    def __init__(self, rate: float = 0.4) -> None:
+        super().__init__(
+            name="print_spooler",
+            service="spooler",
+            action="print_spooler",
+            rate=rate,
+        )
+
+    def applicable(self, target: Host) -> bool:
+        return target.is_computer and target.print_spooler
+
+
+class NetworkExploitVector(PropagationVector):
+    """Generic remote service exploitation."""
+
+    def __init__(self, rate: float = 0.3, service: str = "scada") -> None:
+        super().__init__(
+            name="net_exploit", service=service, action="net_exploit", rate=rate
+        )

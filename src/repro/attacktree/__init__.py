@@ -1,0 +1,50 @@
+"""Attack trees.
+
+The paper lists attack trees among the candidate attack-modeling
+formalisms.  This package provides:
+
+* :mod:`repro.attacktree.nodes` — leaf attack steps and AND / OR /
+  k-of-n / SAND (sequential AND) combinators.
+* :mod:`repro.attacktree.tree` — the tree container with validation.
+* :mod:`repro.attacktree.analysis` — bottom-up propagation of success
+  probability, attacker cost and expected time, plus Monte-Carlo
+  evaluation.
+* :mod:`repro.attacktree.cutsets` — minimal cut sets (the distinct
+  attack scenarios).
+"""
+
+from repro.attacktree.analysis import TreeMetrics, evaluate, monte_carlo
+from repro.attacktree.cutsets import minimal_cut_sets
+from repro.attacktree.defenses import (
+    Defense,
+    DefensePortfolio,
+    apply_defenses,
+    select_defenses,
+)
+from repro.attacktree.nodes import (
+    AndNode,
+    KofNNode,
+    LeafAttack,
+    Node,
+    OrNode,
+    SandNode,
+)
+from repro.attacktree.tree import AttackTree
+
+__all__ = [
+    "AndNode",
+    "AttackTree",
+    "Defense",
+    "DefensePortfolio",
+    "apply_defenses",
+    "select_defenses",
+    "KofNNode",
+    "LeafAttack",
+    "Node",
+    "OrNode",
+    "SandNode",
+    "TreeMetrics",
+    "evaluate",
+    "minimal_cut_sets",
+    "monte_carlo",
+]

@@ -1,0 +1,159 @@
+"""Quantitative attack-tree analysis.
+
+Bottom-up propagation computes, under the usual leaf-independence
+assumption:
+
+* **success probability** — AND: product; OR: 1 - Π(1-p); k-of-n:
+  Poisson-binomial tail; SAND: product.
+* **attacker cost** — AND/SAND: sum of children; OR: cost of the
+  cheapest child whose probability is positive (a rational attacker
+  picks one branch); k-of-n: sum of the k cheapest children.
+* **expected time** — leaves: mean of the time distribution; SAND: sum;
+  AND: max (parallel execution); OR: time of the chosen (cheapest)
+  branch; k-of-n: k-th smallest child time.
+
+Monte-Carlo evaluation samples leaf outcomes and durations jointly,
+giving the full distribution of goal success and time — used when the
+closed forms' independence assumptions need checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attacktree.nodes import (
+    AndNode,
+    KofNNode,
+    LeafAttack,
+    Node,
+    OrNode,
+    SandNode,
+)
+from repro.attacktree.tree import AttackTree
+from repro.stats.ci import ConfidenceInterval, proportion_ci
+
+
+@dataclass(frozen=True)
+class TreeMetrics:
+    """Propagated metrics of a (sub)tree.
+
+    Attributes:
+        probability: Goal success probability.
+        cost: Expected attacker cost along the rational plan.
+        expected_time: Expected duration of the rational plan.
+    """
+
+    probability: float
+    cost: float
+    expected_time: float
+
+
+def _poisson_binomial_tail(probs: List[float], k: int) -> float:
+    """P(at least k of the independent Bernoulli trials succeed)."""
+    n = len(probs)
+    # Dynamic program over the count distribution.
+    dist = np.zeros(n + 1)
+    dist[0] = 1.0
+    for p in probs:
+        dist[1:] = dist[1:] * (1 - p) + dist[:-1] * p
+        dist[0] *= 1 - p
+    return float(dist[k:].sum())
+
+
+def evaluate(tree: AttackTree) -> TreeMetrics:
+    """Propagate probability, cost and expected time to the root."""
+    return _evaluate_node(tree.root)
+
+
+def _evaluate_node(node: Node) -> TreeMetrics:
+    if isinstance(node, LeafAttack):
+        return TreeMetrics(node.probability, node.cost, node.time.mean())
+    child_metrics = [_evaluate_node(c) for c in node.children()]
+    if isinstance(node, AndNode):
+        prob = float(np.prod([m.probability for m in child_metrics]))
+        cost = sum(m.cost for m in child_metrics)
+        time = max(m.expected_time for m in child_metrics)
+        return TreeMetrics(prob, cost, time)
+    if isinstance(node, SandNode):
+        prob = float(np.prod([m.probability for m in child_metrics]))
+        cost = sum(m.cost for m in child_metrics)
+        time = sum(m.expected_time for m in child_metrics)
+        return TreeMetrics(prob, cost, time)
+    if isinstance(node, OrNode):
+        viable = [m for m in child_metrics if m.probability > 0]
+        if not viable:
+            return TreeMetrics(0.0, min(m.cost for m in child_metrics),
+                               min(m.expected_time for m in child_metrics))
+        prob = 1.0 - float(np.prod([1 - m.probability for m in child_metrics]))
+        best = min(viable, key=lambda m: m.cost)
+        return TreeMetrics(prob, best.cost, best.expected_time)
+    if isinstance(node, KofNNode):
+        prob = _poisson_binomial_tail(
+            [m.probability for m in child_metrics], node.k
+        )
+        by_cost = sorted(child_metrics, key=lambda m: m.cost)
+        cost = sum(m.cost for m in by_cost[: node.k])
+        times = sorted(m.expected_time for m in child_metrics)
+        time = times[node.k - 1]
+        return TreeMetrics(prob, cost, time)
+    raise TypeError(f"unknown node type {type(node).__name__}")
+
+
+def monte_carlo(
+    tree: AttackTree,
+    replications: int,
+    rng: np.random.Generator,
+) -> Tuple[ConfidenceInterval, List[float]]:
+    """Sample the tree ``replications`` times.
+
+    Each replication draws every leaf's success and duration, then
+    evaluates the gates: a SAND node's time is the sum of its children's,
+    an AND node's the max, an OR node's the minimum among *successful*
+    children, a k-of-n node's the k-th order statistic among successful
+    children.
+
+    Returns:
+        ``(success_ci, success_times)`` — Wilson CI for goal success and
+        the goal completion times of the successful replications.
+
+    Raises:
+        ValueError: If ``replications < 1``.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    successes = 0
+    times: List[float] = []
+    for _ in range(replications):
+        ok, t = _sample_node(tree.root, rng)
+        if ok:
+            successes += 1
+            times.append(t)
+    return proportion_ci(successes, replications), times
+
+
+def _sample_node(node: Node, rng: np.random.Generator) -> Tuple[bool, float]:
+    if isinstance(node, LeafAttack):
+        duration = node.time.sample(rng)
+        return bool(rng.random() < node.probability), duration
+    outcomes = [_sample_node(c, rng) for c in node.children()]
+    if isinstance(node, AndNode):
+        ok = all(o for o, _ in outcomes)
+        return ok, max(t for _, t in outcomes)
+    if isinstance(node, SandNode):
+        ok = all(o for o, _ in outcomes)
+        return ok, sum(t for _, t in outcomes)
+    if isinstance(node, OrNode):
+        winners = [t for ok, t in outcomes if ok]
+        if winners:
+            return True, min(winners)
+        return False, max(t for _, t in outcomes)
+    if isinstance(node, KofNNode):
+        winners = sorted(t for ok, t in outcomes if ok)
+        if len(winners) >= node.k:
+            return True, winners[node.k - 1]
+        return False, max(t for _, t in outcomes)
+    raise TypeError(f"unknown node type {type(node).__name__}")

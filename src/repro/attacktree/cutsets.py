@@ -1,0 +1,75 @@
+"""Minimal cut sets of an attack tree.
+
+A *cut set* is a set of leaf attacks whose joint success achieves the
+root goal; a *minimal* cut set has no proper subset with that property.
+Minimal cut sets enumerate the qualitatively distinct attack scenarios —
+useful for deciding which components diversification should target.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import FrozenSet, List, Set
+
+from repro.attacktree.nodes import (
+    AndNode,
+    KofNNode,
+    LeafAttack,
+    Node,
+    OrNode,
+    SandNode,
+)
+from repro.attacktree.tree import AttackTree
+
+CutSet = FrozenSet[str]
+
+
+def _minimize(cut_sets: Set[CutSet]) -> Set[CutSet]:
+    """Remove non-minimal sets (absorption law)."""
+    minimal: Set[CutSet] = set()
+    for cs in sorted(cut_sets, key=len):
+        if not any(existing <= cs for existing in minimal):
+            minimal.add(cs)
+    return minimal
+
+
+def _cross(groups: List[Set[CutSet]]) -> Set[CutSet]:
+    """All unions of one cut set per group (AND composition)."""
+    result: Set[CutSet] = {frozenset()}
+    for group in groups:
+        result = {
+            existing | candidate
+            for existing in result
+            for candidate in group
+        }
+        result = _minimize(result)
+    return result
+
+
+def _node_cut_sets(node: Node) -> Set[CutSet]:
+    if isinstance(node, LeafAttack):
+        return {frozenset({node.name})}
+    child_sets = [_node_cut_sets(c) for c in node.children()]
+    if isinstance(node, (AndNode, SandNode)):
+        return _cross(child_sets)
+    if isinstance(node, OrNode):
+        union: Set[CutSet] = set()
+        for group in child_sets:
+            union |= group
+        return _minimize(union)
+    if isinstance(node, KofNNode):
+        union: Set[CutSet] = set()
+        for combo in combinations(range(len(child_sets)), node.k):
+            union |= _cross([child_sets[i] for i in combo])
+        return _minimize(union)
+    raise TypeError(f"unknown node type {type(node).__name__}")
+
+
+def minimal_cut_sets(tree: AttackTree) -> List[Set[str]]:
+    """All minimal cut sets of ``tree``, smallest first.
+
+    Returns:
+        A list of leaf-name sets, sorted by size then lexicographically.
+    """
+    cut_sets = _node_cut_sets(tree.root)
+    return [set(cs) for cs in sorted(cut_sets, key=lambda s: (len(s), sorted(s)))]

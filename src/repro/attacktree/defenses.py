@@ -1,0 +1,162 @@
+"""Defense annotations for attack trees.
+
+A :class:`Defense` mitigates specific leaf attacks, multiplying their
+success probabilities by a reduction factor at a deployment cost.  The
+greedy portfolio selector picks defenses under a budget to minimize the
+root success probability — the attack-tree counterpart of the diversity
+portfolio in :mod:`repro.core.portfolio`, useful when the evaluation is
+framed as "which mitigations" rather than "which variants".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.attacktree.analysis import evaluate
+from repro.attacktree.nodes import (
+    AndNode,
+    KofNNode,
+    LeafAttack,
+    Node,
+    OrNode,
+    SandNode,
+)
+from repro.attacktree.tree import AttackTree
+
+
+@dataclass(frozen=True)
+class Defense:
+    """A mitigation applied to one or more leaf attacks.
+
+    Attributes:
+        name: Defense name (e.g. ``"signed_firmware"``).
+        mitigates: ``{leaf_name: reduction_factor}`` — the leaf's success
+            probability is multiplied by the factor (0 = fully blocks,
+            1 = no effect).
+        cost: Deployment cost.
+    """
+
+    name: str
+    mitigates: Mapping[str, float]
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.mitigates:
+            raise ValueError(f"defense {self.name!r} mitigates nothing")
+        for leaf, factor in self.mitigates.items():
+            if not 0.0 <= factor <= 1.0:
+                raise ValueError(
+                    f"defense {self.name!r}: factor for {leaf!r} must be "
+                    f"in [0, 1], got {factor}"
+                )
+        if self.cost < 0:
+            raise ValueError(f"defense {self.name!r}: cost must be >= 0")
+
+
+def _rebuild(node: Node, factors: Mapping[str, float]) -> Node:
+    """Copy the tree, scaling mitigated leaf probabilities."""
+    if isinstance(node, LeafAttack):
+        factor = factors.get(node.name, 1.0)
+        return LeafAttack(
+            node.name,
+            probability=node.probability * factor,
+            cost=node.cost,
+            time=node.time,
+        )
+    children = [_rebuild(c, factors) for c in node.children()]
+    if isinstance(node, AndNode):
+        return AndNode(node.name, children)
+    if isinstance(node, SandNode):
+        return SandNode(node.name, children)
+    if isinstance(node, OrNode):
+        return OrNode(node.name, children)
+    if isinstance(node, KofNNode):
+        return KofNNode(node.name, children, k=node.k)
+    raise TypeError(f"unknown node type {type(node).__name__}")
+
+
+def apply_defenses(
+    tree: AttackTree, defenses: Sequence[Defense]
+) -> AttackTree:
+    """A new tree with all ``defenses`` applied.
+
+    Factors from multiple defenses on the same leaf multiply.
+
+    Raises:
+        ValueError: If a defense references a leaf absent from the tree.
+    """
+    leaf_names = {leaf.name for leaf in tree.leaves()}
+    factors: Dict[str, float] = {}
+    for defense in defenses:
+        for leaf, factor in defense.mitigates.items():
+            if leaf not in leaf_names:
+                raise ValueError(
+                    f"defense {defense.name!r} references unknown leaf "
+                    f"{leaf!r}"
+                )
+            factors[leaf] = factors.get(leaf, 1.0) * factor
+    return AttackTree(_rebuild(tree.root, factors))
+
+
+@dataclass
+class DefensePortfolio:
+    """A chosen set of defenses and its effect.
+
+    Attributes:
+        chosen: Selected defenses in selection order.
+        total_cost: Summed cost.
+        residual_probability: Root success probability after applying
+            the portfolio.
+    """
+
+    chosen: List[Defense]
+    total_cost: float
+    residual_probability: float
+
+
+def select_defenses(
+    tree: AttackTree,
+    candidates: Sequence[Defense],
+    budget: float,
+) -> DefensePortfolio:
+    """Greedy defense selection under a budget.
+
+    Repeatedly adds the defense with the best marginal reduction of the
+    root success probability per unit cost, until nothing affordable
+    improves the tree.
+
+    Raises:
+        ValueError: On a negative budget.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    chosen: List[Defense] = []
+    remaining = list(candidates)
+    spent = 0.0
+    current_tree = tree
+    current_p = evaluate(current_tree).probability
+    improved = True
+    while improved and remaining:
+        improved = False
+        best: Optional[Tuple[float, Defense, AttackTree, float]] = None
+        for defense in remaining:
+            if spent + defense.cost > budget:
+                continue
+            trial_tree = apply_defenses(current_tree, [defense])
+            p = evaluate(trial_tree).probability
+            gain = current_p - p
+            if gain <= 0:
+                continue
+            ratio = gain / max(defense.cost, 1e-9)
+            if best is None or ratio > best[0]:
+                best = (ratio, defense, trial_tree, p)
+        if best is not None:
+            __, defense, current_tree, current_p = best
+            chosen.append(defense)
+            remaining.remove(defense)
+            spent += defense.cost
+            improved = True
+    return DefensePortfolio(
+        chosen=chosen, total_cost=spent, residual_probability=current_p
+    )

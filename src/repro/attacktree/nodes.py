@@ -1,0 +1,96 @@
+"""Attack-tree node types.
+
+A tree is built from :class:`LeafAttack` steps combined by gates:
+
+* :class:`AndNode` — all children must succeed (performed in parallel).
+* :class:`SandNode` — sequential AND: children performed in order, times
+  add up.
+* :class:`OrNode` — any child suffices; a rational attacker picks one.
+* :class:`KofNNode` — at least k of the children must succeed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.stats.distributions import Deterministic, Distribution
+
+
+@dataclass
+class Node:
+    """Base class for attack-tree nodes.
+
+    Attributes:
+        name: Unique node name within a tree.
+    """
+
+    name: str
+
+    def children(self) -> Tuple["Node", ...]:
+        """Child nodes (empty for leaves)."""
+        return ()
+
+
+@dataclass
+class LeafAttack(Node):
+    """An atomic attack step.
+
+    Attributes:
+        probability: Success probability of a single attempt.
+        cost: Attacker resource cost of attempting the step.
+        time: Distribution of the attempt duration.
+    """
+
+    probability: float = 1.0
+    cost: float = 0.0
+    time: Distribution = field(default_factory=lambda: Deterministic(0.0))
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"leaf {self.name!r} probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+        if self.cost < 0:
+            raise ValueError(f"leaf {self.name!r} cost must be >= 0")
+
+
+@dataclass
+class _GateNode(Node):
+    """Shared structure of combinator nodes."""
+
+    _children: Tuple[Node, ...] = ()
+
+    def __init__(self, name: str, children: Sequence[Node]) -> None:
+        if len(children) < 1:
+            raise ValueError(f"gate {name!r} needs at least one child")
+        super().__init__(name)
+        self._children = tuple(children)
+
+    def children(self) -> Tuple[Node, ...]:
+        return self._children
+
+
+class AndNode(_GateNode):
+    """All children must succeed; children proceed in parallel."""
+
+
+class SandNode(_GateNode):
+    """Sequential AND: children performed in order; durations add."""
+
+
+class OrNode(_GateNode):
+    """Any single child suffices."""
+
+
+class KofNNode(_GateNode):
+    """At least ``k`` of the children must succeed."""
+
+    def __init__(self, name: str, children: Sequence[Node], k: int) -> None:
+        super().__init__(name, children)
+        if not 1 <= k <= len(children):
+            raise ValueError(
+                f"k must be in [1, {len(children)}], got {k} for node {name!r}"
+            )
+        self.k = k

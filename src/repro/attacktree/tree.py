@@ -1,0 +1,84 @@
+"""The attack-tree container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.attacktree.nodes import LeafAttack, Node
+
+
+class AttackTree:
+    """An attack tree rooted at a goal node.
+
+    Validates on construction that node names are unique and the
+    structure is acyclic (a tree/DAG reached from the root).
+    """
+
+    def __init__(self, root: Node) -> None:
+        self.root = root
+        self._nodes: Dict[str, Node] = {}
+        self._collect(root, ancestors=set())
+
+    def _collect(self, node: Node, ancestors: set) -> None:
+        if id(node) in ancestors:
+            raise ValueError(
+                f"cycle detected through node {node.name!r}"
+            )
+        existing = self._nodes.get(node.name)
+        if existing is not None and existing is not node:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        for child in node.children():
+            self._collect(child, ancestors | {id(node)})
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name.
+
+        Raises:
+            KeyError: If absent.
+        """
+        return self._nodes[name]
+
+    def leaves(self) -> List[LeafAttack]:
+        """All leaf attacks, in depth-first order."""
+        result: List[LeafAttack] = []
+        seen: set = set()
+
+        def walk(node: Node) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            if isinstance(node, LeafAttack):
+                result.append(node)
+            for child in node.children():
+                walk(child)
+
+        walk(self.root)
+        return result
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def format_tree(self) -> str:
+        """Render the tree as an indented outline."""
+        lines: List[str] = []
+
+        def walk(node: Node, depth: int) -> None:
+            indent = "  " * depth
+            kind = type(node).__name__
+            if isinstance(node, LeafAttack):
+                lines.append(
+                    f"{indent}{node.name} [{kind} p={node.probability} "
+                    f"cost={node.cost}]"
+                )
+            else:
+                extra = f" k={node.k}" if hasattr(node, "k") else ""
+                lines.append(f"{indent}{node.name} [{kind}{extra}]")
+            for child in node.children():
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Discrete Bayesian networks and Bayesian attack graphs.
+
+The paper lists Bayesian networks among the candidate attack-modeling
+formalisms.  This package implements:
+
+* :mod:`repro.bayes.network` / :mod:`repro.bayes.cpt` — discrete BNs with
+  full conditional probability tables.
+* :mod:`repro.bayes.inference` — exact inference by variable elimination.
+* :mod:`repro.bayes.sampling` — forward sampling and likelihood weighting.
+* :mod:`repro.bayes.attackgraph` — construction of a Bayesian attack
+  graph from a host topology and per-edge exploit probabilities, with
+  noisy-OR compromise semantics.
+"""
+
+from repro.bayes.attackgraph import AttackGraph, attack_graph_from_topology
+from repro.bayes.cpt import CPT
+from repro.bayes.inference import Factor, VariableElimination
+from repro.bayes.network import BayesianNetwork
+from repro.bayes.sampling import forward_sample, likelihood_weighting
+
+__all__ = [
+    "AttackGraph",
+    "BayesianNetwork",
+    "CPT",
+    "Factor",
+    "VariableElimination",
+    "attack_graph_from_topology",
+    "forward_sample",
+    "likelihood_weighting",
+]

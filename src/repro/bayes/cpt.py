@@ -1,0 +1,140 @@
+"""Conditional probability tables for discrete Bayesian networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CPT:
+    """P(variable | parents) as a dense table.
+
+    Attributes:
+        variable: Child variable name.
+        variable_states: Ordered state labels of the child.
+        parents: Ordered parent variable names (may be empty).
+        parent_states: Ordered state labels per parent.
+        table: ``{parent_state_tuple: probability_vector}``; the vector is
+            over ``variable_states`` and must sum to 1.  A root node uses
+            the empty tuple as sole key.
+    """
+
+    variable: str
+    variable_states: Tuple[str, ...]
+    parents: Tuple[str, ...]
+    parent_states: Tuple[Tuple[str, ...], ...]
+    table: Dict[Tuple[str, ...], Tuple[float, ...]]
+
+    def __post_init__(self) -> None:
+        if len(self.parents) != len(self.parent_states):
+            raise ValueError(
+                f"CPT for {self.variable!r}: parents and parent_states "
+                "lengths differ"
+            )
+        expected_rows = 1
+        for states in self.parent_states:
+            expected_rows *= len(states)
+        if len(self.table) != expected_rows:
+            raise ValueError(
+                f"CPT for {self.variable!r}: expected {expected_rows} rows, "
+                f"got {len(self.table)}"
+            )
+        for key, probs in self.table.items():
+            if len(key) != len(self.parents):
+                raise ValueError(
+                    f"CPT for {self.variable!r}: row key {key!r} has wrong arity"
+                )
+            if len(probs) != len(self.variable_states):
+                raise ValueError(
+                    f"CPT for {self.variable!r}: row {key!r} has "
+                    f"{len(probs)} entries, expected {len(self.variable_states)}"
+                )
+            if any(p < 0 for p in probs) or abs(sum(probs) - 1.0) > 1e-9:
+                raise ValueError(
+                    f"CPT for {self.variable!r}: row {key!r} is not a "
+                    f"probability vector: {probs!r}"
+                )
+
+    def probability(
+        self, value: str, parent_values: Mapping[str, str]
+    ) -> float:
+        """P(variable = value | parents = parent_values).
+
+        Raises:
+            KeyError: On unknown states.
+        """
+        key = tuple(parent_values[p] for p in self.parents)
+        probs = self.table[key]
+        idx = self.variable_states.index(value)
+        return probs[idx]
+
+    def distribution(self, parent_values: Mapping[str, str]) -> Tuple[float, ...]:
+        """The conditional distribution row for the given parent values."""
+        key = tuple(parent_values[p] for p in self.parents)
+        return self.table[key]
+
+    @staticmethod
+    def root(
+        variable: str, states: Sequence[str], probabilities: Sequence[float]
+    ) -> "CPT":
+        """A parent-less CPT (prior)."""
+        return CPT(
+            variable=variable,
+            variable_states=tuple(states),
+            parents=(),
+            parent_states=(),
+            table={(): tuple(float(p) for p in probabilities)},
+        )
+
+    @staticmethod
+    def noisy_or(
+        variable: str,
+        parents: Sequence[str],
+        activation: Mapping[str, float],
+        leak: float = 0.0,
+        true_state: str = "true",
+        false_state: str = "false",
+    ) -> "CPT":
+        """A noisy-OR CPT over binary variables.
+
+        ``P(child true | active parents S) = 1 - (1-leak)·Π_{p∈S}(1-w_p)``,
+        the standard model for "the host is compromised if any incoming
+        exploit succeeds".
+
+        Args:
+            variable: Child name.
+            parents: Parent names.
+            activation: Per-parent activation weight ``w_p`` in [0, 1].
+            leak: Baseline compromise probability with no active parent.
+        """
+        parents = tuple(parents)
+        for p in parents:
+            w = activation[p]
+            if not 0.0 <= w <= 1.0:
+                raise ValueError(f"activation weight for {p!r} must be in [0,1]")
+        if not 0.0 <= leak <= 1.0:
+            raise ValueError(f"leak must be in [0, 1], got {leak}")
+        states = (false_state, true_state)
+        table: Dict[Tuple[str, ...], Tuple[float, ...]] = {}
+        n = len(parents)
+        for mask in range(2**n):
+            key = tuple(
+                true_state if (mask >> i) & 1 else false_state
+                for i in range(n)
+            )
+            q = 1.0 - leak
+            for i, p in enumerate(parents):
+                if (mask >> i) & 1:
+                    q *= 1.0 - activation[p]
+            p_true = 1.0 - q
+            table[key] = (1.0 - p_true, p_true)
+        return CPT(
+            variable=variable,
+            variable_states=states,
+            parents=parents,
+            parent_states=tuple(states for _ in parents),
+            table=table,
+        )

@@ -1,0 +1,217 @@
+"""Exact inference by variable elimination."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayes.network import BayesianNetwork
+
+
+@dataclass
+class Factor:
+    """A multidimensional table over a set of discrete variables.
+
+    Attributes:
+        variables: Ordered variable names, one per array axis.
+        states: State labels per variable (parallel to ``variables``).
+        values: The table, shape ``tuple(len(s) for s in states)``.
+    """
+
+    variables: Tuple[str, ...]
+    states: Tuple[Tuple[str, ...], ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = tuple(len(s) for s in self.states)
+        if self.values.shape != expected:
+            raise ValueError(
+                f"factor shape {self.values.shape} does not match states "
+                f"{expected}"
+            )
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product, broadcasting over the union of variables."""
+        all_vars: List[str] = list(self.variables)
+        all_states: List[Tuple[str, ...]] = list(self.states)
+        for var, st in zip(other.variables, other.states):
+            if var not in all_vars:
+                all_vars.append(var)
+                all_states.append(st)
+
+        def expand(factor: "Factor") -> np.ndarray:
+            # Transpose the factor's axes into the relative order in which
+            # its variables appear in all_vars, then insert singleton axes
+            # for the variables it lacks; broadcasting does the rest.
+            order = sorted(
+                range(len(factor.variables)),
+                key=lambda a: all_vars.index(factor.variables[a]),
+            )
+            transposed = np.transpose(factor.values, order)
+            full_shape = [
+                len(all_states[i]) if var in factor.variables else 1
+                for i, var in enumerate(all_vars)
+            ]
+            return transposed.reshape(full_shape)
+
+        product = expand(self) * expand(other)
+        return Factor(tuple(all_vars), tuple(all_states), product)
+
+    def marginalize(self, variable: str) -> "Factor":
+        """Sum out ``variable``.
+
+        Raises:
+            KeyError: If the factor does not contain it.
+        """
+        if variable not in self.variables:
+            raise KeyError(variable)
+        axis = self.variables.index(variable)
+        new_vars = tuple(v for v in self.variables if v != variable)
+        new_states = tuple(
+            s for v, s in zip(self.variables, self.states) if v != variable
+        )
+        return Factor(new_vars, new_states, self.values.sum(axis=axis))
+
+    def reduce(self, variable: str, value: str) -> "Factor":
+        """Condition on ``variable = value`` (drops the axis)."""
+        if variable not in self.variables:
+            return self
+        axis = self.variables.index(variable)
+        idx = self.states[axis].index(value)
+        new_vars = tuple(v for v in self.variables if v != variable)
+        new_states = tuple(
+            s for v, s in zip(self.variables, self.states) if v != variable
+        )
+        return Factor(new_vars, new_states, np.take(self.values, idx, axis=axis))
+
+    def normalize(self) -> "Factor":
+        """Scale so the table sums to 1.
+
+        Raises:
+            ValueError: If the factor sums to zero (contradictory
+                evidence).
+        """
+        total = self.values.sum()
+        if total <= 0:
+            raise ValueError("factor sums to zero; evidence has probability 0")
+        return Factor(self.variables, self.states, self.values / total)
+
+
+def _cpt_factor(network: BayesianNetwork, variable: str) -> Factor:
+    """Build the factor for ``variable``'s CPT."""
+    cpt = network.cpt(variable)
+    variables = cpt.parents + (variable,)
+    states = cpt.parent_states + (cpt.variable_states,)
+    shape = tuple(len(s) for s in states)
+    values = np.zeros(shape)
+    for key, probs in cpt.table.items():
+        idx = tuple(
+            cpt.parent_states[i].index(key[i]) for i in range(len(key))
+        )
+        values[idx] = probs
+    return Factor(variables, states, values)
+
+
+class VariableElimination:
+    """Exact posterior queries on a :class:`BayesianNetwork`."""
+
+    def __init__(self, network: BayesianNetwork) -> None:
+        self.network = network
+
+    def query(
+        self,
+        variable: str,
+        evidence: Optional[Mapping[str, str]] = None,
+        elimination_order: Optional[Sequence[str]] = None,
+    ) -> Dict[str, float]:
+        """P(variable | evidence).
+
+        Args:
+            variable: Query variable.
+            evidence: ``{variable: state}`` observations.
+            elimination_order: Optional explicit order; defaults to a
+                min-degree-style heuristic (fewest-states-first).
+
+        Returns:
+            ``{state: probability}`` for the query variable.
+
+        Raises:
+            ValueError: If the evidence has probability zero, or the
+                query variable appears in the evidence with conflicting
+                semantics.
+        """
+        evidence = dict(evidence or {})
+        if variable in evidence:
+            return {
+                state: 1.0 if state == evidence[variable] else 0.0
+                for state in self.network.states(variable)
+            }
+
+        factors = [
+            _cpt_factor(self.network, v) for v in self.network.variables
+        ]
+        for var, value in evidence.items():
+            factors = [f.reduce(var, value) for f in factors]
+
+        hidden = [
+            v
+            for v in self.network.variables
+            if v != variable and v not in evidence
+        ]
+        if elimination_order is not None:
+            order = [v for v in elimination_order if v in hidden]
+            if set(order) != set(hidden):
+                raise ValueError(
+                    "elimination_order must cover exactly the hidden variables"
+                )
+        else:
+            order = sorted(
+                hidden, key=lambda v: len(self.network.states(v))
+            )
+
+        for var in order:
+            involved = [f for f in factors if var in f.variables]
+            rest = [f for f in factors if var not in f.variables]
+            if not involved:
+                continue
+            product = involved[0]
+            for f in involved[1:]:
+                product = product.multiply(f)
+            factors = rest + [product.marginalize(var)]
+
+        result = factors[0]
+        for f in factors[1:]:
+            result = result.multiply(f)
+        result = result.normalize()
+        if result.variables != (variable,):
+            axis_order = [result.variables.index(variable)]
+            # All other axes should be gone; if not, marginalize them.
+            for v in result.variables:
+                if v != variable:
+                    result = result.marginalize(v)
+        states = self.network.states(variable)
+        return {state: float(result.values[i]) for i, state in enumerate(states)}
+
+    def probability_of_evidence(self, evidence: Mapping[str, str]) -> float:
+        """P(evidence) — the normalizing constant of a query."""
+        factors = [
+            _cpt_factor(self.network, v) for v in self.network.variables
+        ]
+        for var, value in evidence.items():
+            factors = [f.reduce(var, value) for f in factors]
+        hidden = [v for v in self.network.variables if v not in evidence]
+        for var in sorted(hidden, key=lambda v: len(self.network.states(v))):
+            involved = [f for f in factors if var in f.variables]
+            rest = [f for f in factors if var not in f.variables]
+            if not involved:
+                continue
+            product = involved[0]
+            for f in involved[1:]:
+                product = product.multiply(f)
+            factors = rest + [product.marginalize(var)]
+        total = 1.0
+        for f in factors:
+            total *= float(f.values.sum())
+        return total

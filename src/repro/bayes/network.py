@@ -1,0 +1,92 @@
+"""Discrete Bayesian networks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bayes.cpt import CPT
+
+
+class BayesianNetwork:
+    """A DAG of discrete variables with CPTs.
+
+    Nodes are added with their CPTs; parents must exist first, which
+    guarantees acyclicity by construction.
+    """
+
+    def __init__(self, name: str = "bn") -> None:
+        self.name = name
+        self._cpts: Dict[str, CPT] = {}
+        self._order: List[str] = []
+
+    @property
+    def variables(self) -> List[str]:
+        """Variables in topological (insertion) order."""
+        return list(self._order)
+
+    def add_node(self, cpt: CPT) -> None:
+        """Add a variable with its CPT.
+
+        Raises:
+            ValueError: On duplicates or unknown/forward-declared parents.
+        """
+        if cpt.variable in self._cpts:
+            raise ValueError(f"duplicate variable {cpt.variable!r}")
+        for parent in cpt.parents:
+            if parent not in self._cpts:
+                raise ValueError(
+                    f"variable {cpt.variable!r} references unknown parent "
+                    f"{parent!r} (add parents first)"
+                )
+        self._cpts[cpt.variable] = cpt
+        self._order.append(cpt.variable)
+
+    def cpt(self, variable: str) -> CPT:
+        """The CPT of ``variable``.
+
+        Raises:
+            KeyError: If absent.
+        """
+        return self._cpts[variable]
+
+    def states(self, variable: str) -> Tuple[str, ...]:
+        """State labels of ``variable``."""
+        return self._cpts[variable].variable_states
+
+    def parents(self, variable: str) -> Tuple[str, ...]:
+        """Parent names of ``variable``."""
+        return self._cpts[variable].parents
+
+    def children(self, variable: str) -> List[str]:
+        """Variables that have ``variable`` as a parent."""
+        return [v for v in self._order if variable in self._cpts[v].parents]
+
+    def joint_probability(self, assignment: Mapping[str, str]) -> float:
+        """P(full assignment) via the chain rule.
+
+        Raises:
+            KeyError: If the assignment does not cover every variable.
+        """
+        prob = 1.0
+        for variable in self._order:
+            cpt = self._cpts[variable]
+            prob *= cpt.probability(assignment[variable], assignment)
+        return prob
+
+    def validate(self) -> None:
+        """Re-check all CPT invariants (rows sum to 1, arities match).
+
+        Raises:
+            ValueError: On any inconsistency (including parent state
+                mismatches across CPTs).
+        """
+        for variable in self._order:
+            cpt = self._cpts[variable]
+            cpt.__post_init__()
+            for parent, states in zip(cpt.parents, cpt.parent_states):
+                if self._cpts[parent].variable_states != states:
+                    raise ValueError(
+                        f"CPT of {variable!r} expects parent {parent!r} "
+                        f"states {states!r} but parent has "
+                        f"{self._cpts[parent].variable_states!r}"
+                    )

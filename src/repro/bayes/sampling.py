@@ -1,0 +1,62 @@
+"""Approximate inference by sampling."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.bayes.network import BayesianNetwork
+
+
+def forward_sample(
+    network: BayesianNetwork, rng: np.random.Generator
+) -> Dict[str, str]:
+    """Draw one full assignment from the joint distribution."""
+    assignment: Dict[str, str] = {}
+    for variable in network.variables:
+        cpt = network.cpt(variable)
+        probs = cpt.distribution(assignment)
+        idx = int(rng.choice(len(probs), p=np.asarray(probs)))
+        assignment[variable] = cpt.variable_states[idx]
+    return assignment
+
+
+def likelihood_weighting(
+    network: BayesianNetwork,
+    variable: str,
+    evidence: Mapping[str, str],
+    n_samples: int,
+    rng: np.random.Generator,
+) -> Dict[str, float]:
+    """Estimate P(variable | evidence) by likelihood weighting.
+
+    Evidence variables are clamped and their CPT probability multiplied
+    into the sample weight; other variables are forward-sampled.
+
+    Raises:
+        ValueError: If ``n_samples < 1`` or all weights are zero.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    states = network.states(variable)
+    totals = {state: 0.0 for state in states}
+    weight_sum = 0.0
+    for _ in range(n_samples):
+        assignment: Dict[str, str] = {}
+        weight = 1.0
+        for var in network.variables:
+            cpt = network.cpt(var)
+            if var in evidence:
+                value = evidence[var]
+                weight *= cpt.probability(value, assignment)
+                assignment[var] = value
+            else:
+                probs = cpt.distribution(assignment)
+                idx = int(rng.choice(len(probs), p=np.asarray(probs)))
+                assignment[var] = cpt.variable_states[idx]
+        totals[assignment[variable]] += weight
+        weight_sum += weight
+    if weight_sum <= 0:
+        raise ValueError("all sample weights are zero; evidence unreachable")
+    return {state: totals[state] / weight_sum for state in states}

@@ -1,0 +1,65 @@
+"""The paper's three-step modeling and evaluation framework.
+
+This is the library's primary contribution layer, mirroring Figure 1 of
+the paper:
+
+1. **Attack Modeling** — :mod:`repro.core.modeling` builds SAN, attack
+   tree or Bayesian attack-graph models from a SCADA system description
+   plus a threat profile.
+2. **DoE & Measurements** — :mod:`repro.core.measurement` sweeps system
+   configurations chosen by a DoE design and measures the security
+   indicators of :mod:`repro.core.indicators` through Monte-Carlo
+   campaign simulation.
+3. **Diversity Assessment** — :mod:`repro.core.assessment` runs ANOVA on
+   the measurements and allocates indicator variance to the components
+   responsible, ranking diversification candidates.
+
+:mod:`repro.core.study` wires the steps into a single
+:class:`~repro.core.study.DiversityStudy` pipeline;
+:mod:`repro.core.sensitivity` and :mod:`repro.core.placement` provide
+the sensitivity analysis and resilient-component placement optimization
+used in the paper's SCoPE case study.
+"""
+
+from repro.core.assessment import ComponentImpact, DiversityAssessment, assess
+from repro.core.indicators import (
+    CompromisedRatio,
+    IndicatorSet,
+    TimeToAttack,
+    TimeToSecurityFailure,
+    compute_indicators,
+)
+from repro.core.measurement import MeasurementPlan, MeasurementResult
+from repro.core.modeling import (
+    attack_tree_for,
+    bayesian_attack_graph_for,
+    san_model_for,
+)
+from repro.core.placement import PlacementProblem, PlacementResult
+from repro.core.portfolio import PortfolioChoice, PortfolioOptimizer
+from repro.core.sensitivity import oat_sweep, tornado
+from repro.core.study import DiversityStudy, StudyResult
+
+__all__ = [
+    "ComponentImpact",
+    "CompromisedRatio",
+    "DiversityAssessment",
+    "DiversityStudy",
+    "IndicatorSet",
+    "MeasurementPlan",
+    "MeasurementResult",
+    "PlacementProblem",
+    "PlacementResult",
+    "PortfolioChoice",
+    "PortfolioOptimizer",
+    "StudyResult",
+    "TimeToAttack",
+    "TimeToSecurityFailure",
+    "assess",
+    "attack_tree_for",
+    "bayesian_attack_graph_for",
+    "compute_indicators",
+    "oat_sweep",
+    "san_model_for",
+    "tornado",
+]

@@ -1,0 +1,151 @@
+"""Step 3 — Diversity assessment via ANOVA.
+
+From the paper: ANOVA techniques *"make it possible to allocate the
+variability of the security indicators (measured across the different
+system configurations established in the previous step) to the
+component(s) responsible for such variability.  This step allows
+identifying the system HW/SW components that impact security indicators,
+and thus valuable to diversify in the real system implementation."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.measurement import MeasurementResult
+from repro.core.report import format_table
+from repro.stats.anova import AnovaResult, anova
+
+
+@dataclass(frozen=True)
+class ComponentImpact:
+    """A component's measured impact on one security indicator.
+
+    Attributes:
+        component: Component-kind factor name (e.g.
+            ``"operating_system"``).
+        response: Indicator name.
+        allocation: Fraction of total indicator variance allocated to
+            the component.
+        p_value: F-test p-value.
+        significant: Whether the F test rejects at the assessment's
+            alpha.
+    """
+
+    component: str
+    response: str
+    allocation: float
+    p_value: float
+    significant: bool
+
+
+@dataclass
+class DiversityAssessment:
+    """The assessment across all responses.
+
+    Attributes:
+        anova_tables: ``{response: AnovaResult}``.
+        impacts: Flattened impact records, sorted by descending
+            allocation within each response.
+        alpha: Significance level used.
+    """
+
+    anova_tables: Dict[str, AnovaResult]
+    impacts: List[ComponentImpact]
+    alpha: float
+
+    def ranking(self, response: str) -> List[ComponentImpact]:
+        """Impacts for ``response``, highest allocation first."""
+        return sorted(
+            (i for i in self.impacts if i.response == response),
+            key=lambda i: -i.allocation,
+        )
+
+    def recommended_diversification(
+        self, response: str, top: int = 3
+    ) -> List[str]:
+        """The components most worth diversifying for ``response``.
+
+        Significant components first (by allocation), padded with
+        non-significant ones only if fewer than ``top`` are significant.
+        """
+        ranked = self.ranking(response)
+        significant = [i.component for i in ranked if i.significant]
+        if len(significant) >= top:
+            return significant[:top]
+        rest = [i.component for i in ranked if not i.significant]
+        return (significant + rest)[:top]
+
+    def format_report(self) -> str:
+        """Multi-table plain-text report."""
+        blocks: List[str] = []
+        for response, table in self.anova_tables.items():
+            blocks.append(table.format_table())
+            ranked = self.ranking(response)
+            rows = [
+                (
+                    i.component,
+                    100.0 * i.allocation,
+                    i.p_value,
+                    "yes" if i.significant else "no",
+                )
+                for i in ranked
+            ]
+            blocks.append(
+                format_table(
+                    ["component", "allocation %", "p-value", "significant"],
+                    rows,
+                    title=f"Variance allocation for {response}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def assess(
+    measurement: MeasurementResult,
+    responses: Optional[Sequence[str]] = None,
+    interactions: Optional[Sequence[Tuple[str, str]]] = None,
+    alpha: float = 0.05,
+) -> DiversityAssessment:
+    """Run the diversity assessment on measurement results.
+
+    Args:
+        measurement: Output of :class:`~repro.core.measurement.MeasurementPlan`.
+        responses: Responses to analyze (default: all).
+        interactions: Optional two-way interactions to include.
+        alpha: Significance level for the F tests.
+
+    Returns:
+        The :class:`DiversityAssessment`.
+
+    Raises:
+        ValueError: If the measurement has no records.
+    """
+    if not measurement.records:
+        raise ValueError("measurement has no records")
+    factors = [f.name for f in measurement.design.factors]
+    responses = list(responses or measurement.response_names())
+    tables: Dict[str, AnovaResult] = {}
+    impacts: List[ComponentImpact] = []
+    for response in responses:
+        table = anova(
+            measurement.records,
+            response=response,
+            factors=factors,
+            interactions=interactions,
+        )
+        tables[response] = table
+        for row in table.rows:
+            impacts.append(
+                ComponentImpact(
+                    component=row.source,
+                    response=response,
+                    allocation=row.allocation,
+                    p_value=row.p,
+                    significant=(row.p == row.p and row.p < alpha),
+                )
+            )
+    return DiversityAssessment(
+        anova_tables=tables, impacts=impacts, alpha=alpha
+    )

@@ -1,0 +1,268 @@
+"""Security indicators.
+
+The paper defines three (section II):
+
+* **Time-To-Attack (TTA)** — "the time between the beginning and
+  completion of an attack".
+* **Time-To-Security-Failure (TTSF)** — "the time between the beginning
+  of the attack and the perceived attack manifestation" (after Madan et
+  al., DSN 2002).
+* **Compromised ratio** — "the number of compromised components at time
+  t with respect to the total number of components".
+
+All three are computed from batches of
+:class:`~repro.attacks.campaign.AttackOutcome` replications.  Both TTA
+and TTSF are *right-censored* at the simulation horizon: replications in
+which the attack never completes (or is never perceived) carry no finite
+sample.  Estimators expose the censoring explicitly rather than silently
+dropping it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.campaign import AttackOutcome
+from repro.stats.ci import ConfidenceInterval, mean_ci, proportion_ci
+
+
+@dataclass
+class CensoredTimeSample:
+    """Event times with right censoring.
+
+    Attributes:
+        observed: Finite event times.
+        n_censored: Replications where the event never occurred before
+            the horizon.
+        horizon: Censoring time.
+    """
+
+    observed: List[float]
+    n_censored: int
+    horizon: float
+
+    @property
+    def n_total(self) -> int:
+        """Total replications."""
+        return len(self.observed) + self.n_censored
+
+    @property
+    def event_probability(self) -> float:
+        """Fraction of replications where the event occurred."""
+        if self.n_total == 0:
+            return float("nan")
+        return len(self.observed) / self.n_total
+
+    def event_probability_ci(self, level: float = 0.95) -> ConfidenceInterval:
+        """Wilson CI for the event probability."""
+        return proportion_ci(len(self.observed), self.n_total, level=level)
+
+    def conditional_mean(self, level: float = 0.95) -> Optional[ConfidenceInterval]:
+        """Mean event time *given the event occurred* (None if never)."""
+        if not self.observed:
+            return None
+        return mean_ci(self.observed, level=level)
+
+    def restricted_mean(self) -> float:
+        """Horizon-restricted mean: censored replications count as the horizon.
+
+        A conservative (downward-biased for the true mean, but
+        well-defined) summary usable as an ANOVA response even when many
+        replications are censored.
+        """
+        if self.n_total == 0:
+            return float("nan")
+        total = sum(self.observed) + self.n_censored * self.horizon
+        return total / self.n_total
+
+    def median(self) -> float:
+        """Median event time treating censored samples as +inf.
+
+        Returns inf when fewer than half the replications saw the event.
+        """
+        if self.n_total == 0:
+            return float("nan")
+        values = sorted(self.observed) + [math.inf] * self.n_censored
+        mid = self.n_total // 2
+        if self.n_total % 2 == 1:
+            return values[mid]
+        lo, hi = values[mid - 1], values[mid]
+        return (lo + hi) / 2.0 if math.isfinite(hi) else math.inf
+
+    def survival_curve(self) -> List[Tuple[float, float]]:
+        """Kaplan-Meier estimate of S(t) = P(event time > t).
+
+        With type-I censoring (every censored replication is censored at
+        the common horizon), the estimator reduces to
+        ``S(t) = 1 - (#events <= t) / n`` for t < horizon, but the
+        product-limit form is implemented for generality.
+
+        Returns:
+            ``(time, survival)`` step points, right-continuous, starting
+            implicitly at ``(0, 1)``.
+        """
+        events = sorted(self.observed)
+        n = self.n_total
+        curve: List[Tuple[float, float]] = []
+        at_risk = n
+        survival = 1.0
+        index = 0
+        while index < len(events):
+            t = events[index]
+            deaths = 0
+            while index < len(events) and events[index] == t:
+                deaths += 1
+                index += 1
+            if at_risk > 0:
+                survival *= 1.0 - deaths / at_risk
+            at_risk -= deaths
+            curve.append((t, survival))
+        return curve
+
+    def survival_at(self, time: float) -> float:
+        """S(time) from the Kaplan-Meier curve (1.0 before first event)."""
+        survival = 1.0
+        for t, s in self.survival_curve():
+            if t <= time:
+                survival = s
+            else:
+                break
+        return survival
+
+
+class TimeToAttack(CensoredTimeSample):
+    """TTA sample extracted from a campaign batch."""
+
+    @staticmethod
+    def from_outcomes(outcomes: Sequence[AttackOutcome]) -> "TimeToAttack":
+        """Build from replications.
+
+        Raises:
+            ValueError: On an empty batch.
+        """
+        if not outcomes:
+            raise ValueError("need at least one outcome")
+        observed = [o.success_time for o in outcomes if o.success]
+        censored = sum(1 for o in outcomes if not o.success)
+        return TimeToAttack(observed, censored, outcomes[0].horizon)
+
+
+class TimeToSecurityFailure(CensoredTimeSample):
+    """TTSF sample extracted from a campaign batch."""
+
+    @staticmethod
+    def from_outcomes(
+        outcomes: Sequence[AttackOutcome],
+    ) -> "TimeToSecurityFailure":
+        """Build from replications.
+
+        Raises:
+            ValueError: On an empty batch.
+        """
+        if not outcomes:
+            raise ValueError("need at least one outcome")
+        observed = [
+            o.detection_time
+            for o in outcomes
+            if not math.isnan(o.detection_time)
+        ]
+        censored = sum(1 for o in outcomes if math.isnan(o.detection_time))
+        return TimeToSecurityFailure(observed, censored, outcomes[0].horizon)
+
+
+@dataclass
+class CompromisedRatio:
+    """Mean compromised-ratio trajectory over a replication batch.
+
+    Attributes:
+        times: Sampling grid.
+        mean_ratio: Mean ratio at each grid point.
+        std_ratio: Standard deviation at each grid point.
+    """
+
+    times: List[float]
+    mean_ratio: List[float]
+    std_ratio: List[float]
+
+    @staticmethod
+    def from_outcomes(
+        outcomes: Sequence[AttackOutcome], n_points: int = 50
+    ) -> "CompromisedRatio":
+        """Sample the batch-mean trajectory on a uniform grid.
+
+        Raises:
+            ValueError: On an empty batch or ``n_points < 2``.
+        """
+        if not outcomes:
+            raise ValueError("need at least one outcome")
+        if n_points < 2:
+            raise ValueError("n_points must be >= 2")
+        horizon = outcomes[0].horizon
+        times = list(np.linspace(0.0, horizon, n_points))
+        curves = np.array(
+            [[o.compromised_ratio_at(t) for t in times] for o in outcomes]
+        )
+        return CompromisedRatio(
+            times=times,
+            mean_ratio=list(curves.mean(axis=0)),
+            std_ratio=list(curves.std(axis=0)),
+        )
+
+    def at(self, time: float) -> float:
+        """Interpolated mean ratio at ``time``."""
+        return float(np.interp(time, self.times, self.mean_ratio))
+
+    def final(self) -> float:
+        """Mean ratio at the horizon."""
+        return self.mean_ratio[-1]
+
+
+@dataclass
+class IndicatorSet:
+    """The paper's three indicators for one system configuration.
+
+    Attributes:
+        tta: Time-To-Attack sample.
+        ttsf: Time-To-Security-Failure sample.
+        ratio: Compromised-ratio trajectory.
+        n_replications: Batch size.
+    """
+
+    tta: TimeToAttack
+    ttsf: TimeToSecurityFailure
+    ratio: CompromisedRatio
+    n_replications: int
+
+    def summary_row(self) -> dict:
+        """A flat record usable as an ANOVA/benchmark response row."""
+        return {
+            "psa": self.tta.event_probability,
+            "tta_restricted_mean": self.tta.restricted_mean(),
+            "tta_conditional_mean": (
+                float(np.mean(self.tta.observed)) if self.tta.observed
+                else float("nan")
+            ),
+            "ttsf_restricted_mean": self.ttsf.restricted_mean(),
+            "detection_probability": self.ttsf.event_probability,
+            "final_compromised_ratio": self.ratio.final(),
+        }
+
+
+def compute_indicators(
+    outcomes: Sequence[AttackOutcome], ratio_points: int = 50
+) -> IndicatorSet:
+    """Compute all three indicators from a campaign batch.
+
+    Raises:
+        ValueError: On an empty batch.
+    """
+    return IndicatorSet(
+        tta=TimeToAttack.from_outcomes(outcomes),
+        ttsf=TimeToSecurityFailure.from_outcomes(outcomes),
+        ratio=CompromisedRatio.from_outcomes(outcomes, n_points=ratio_points),
+        n_replications=len(outcomes),
+    )

@@ -1,0 +1,121 @@
+"""Step 2 — DoE-driven measurement of security indicators.
+
+For every run of a DoE design (each run = one system configuration,
+i.e. one variant choice per diversified component kind), the plan
+executes a Monte-Carlo batch of attack campaigns and records both the
+per-replication responses (long format, for ANOVA) and the per-run
+indicator summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro.attacks.profiles import ThreatProfile
+from repro.core.indicators import IndicatorSet, compute_indicators
+from repro.diversity.catalog import VariantCatalog
+from repro.diversity.config import configuration_from_run
+from repro.doe.design import Design
+from repro.scada.network import SCADANetwork
+
+
+@dataclass
+class MeasurementResult:
+    """Output of a measurement plan.
+
+    Attributes:
+        records: Long-format per-replication records; each has the
+            factor levels plus responses ``success`` (0/1), ``tta``
+            (restricted: horizon when censored), ``ttsf`` (restricted)
+            and ``final_ratio``.
+        run_indicators: Per-design-run indicator sets, parallel to
+            ``design.runs``.
+        design: The executed design.
+        replications: Replications per run.
+    """
+
+    records: List[Dict[str, object]]
+    run_indicators: List[IndicatorSet]
+    design: Design
+    replications: int
+
+    def response_names(self) -> List[str]:
+        """The response keys present in the records."""
+        return ["success", "tta", "ttsf", "final_ratio"]
+
+
+class MeasurementPlan:
+    """Executes a DoE design against a SCADA system.
+
+    Args:
+        network_factory: Builds a *fresh* network per run (configurations
+            mutate hosts, so each run must start clean).
+        catalog: Variant catalog.
+        threat: Threat profile to simulate.
+        design: The DoE design; factor names must be
+            :class:`~repro.scada.components.ComponentKind` values and
+            levels variant names.
+        replications: Campaign replications per design run.
+        campaign_config: Campaign parameters.
+    """
+
+    def __init__(
+        self,
+        network_factory: Callable[[], SCADANetwork],
+        catalog: VariantCatalog,
+        threat: ThreatProfile,
+        design: Design,
+        replications: int = 30,
+        campaign_config: Optional[CampaignConfig] = None,
+    ) -> None:
+        if replications < 1:
+            raise ValueError(f"replications must be >= 1, got {replications}")
+        self.network_factory = network_factory
+        self.catalog = catalog
+        self.threat = threat
+        self.design = design
+        self.replications = replications
+        self.campaign_config = campaign_config or CampaignConfig()
+
+    def execute(self, rng: np.random.Generator) -> MeasurementResult:
+        """Run every design run and collect responses."""
+        records: List[Dict[str, object]] = []
+        run_indicators: List[IndicatorSet] = []
+        horizon = self.campaign_config.horizon
+        for run_index, run in enumerate(self.design.runs):
+            network = self.network_factory()
+            config = configuration_from_run(
+                network, run.as_dict(), label=f"run_{run_index}"
+            )
+            config.apply(network)
+            campaign = AttackCampaign(
+                network, self.catalog, self.threat, self.campaign_config
+            )
+            outcomes = campaign.run_batch(self.replications, rng)
+            indicators = compute_indicators(outcomes)
+            run_indicators.append(indicators)
+            for outcome in outcomes:
+                record: Dict[str, object] = dict(run.as_dict())
+                record["run"] = run_index
+                record["success"] = 1.0 if outcome.success else 0.0
+                record["tta"] = (
+                    outcome.success_time if outcome.success else horizon
+                )
+                record["ttsf"] = (
+                    outcome.detection_time
+                    if not math.isnan(outcome.detection_time)
+                    else horizon
+                )
+                record["final_ratio"] = outcome.compromised_ratio_at(horizon)
+                records.append(record)
+        return MeasurementResult(
+            records=records,
+            run_indicators=run_indicators,
+            design=self.design,
+            replications=self.replications,
+        )

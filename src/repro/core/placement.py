@@ -1,0 +1,231 @@
+"""Resilient-component placement optimization.
+
+The paper's preliminary SCoPE finding: *"the use of a small,
+strategically distributed, number of highly attack-resilient components
+can significantly lower the chance of bringing a successful attack to
+the system."*  This module searches for that strategic distribution:
+given a budget of k hosts that may receive a highly attack-resilient
+component (modeled via :attr:`repro.scada.components.Host.resilient`),
+find the subset minimizing attack-success probability.
+
+Strategies: exhaustive (small instances), greedy forward selection,
+random placement (the baseline "non-strategic" distribution), and
+simulated annealing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro.attacks.profiles import ThreatProfile
+from repro.diversity.catalog import VariantCatalog
+from repro.scada.network import SCADANetwork
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of a placement search.
+
+    Attributes:
+        subset: Chosen host names.
+        objective: Estimated attack-success probability with that subset
+            hardened.
+        evaluations: Number of candidate subsets evaluated.
+        strategy: Search strategy used.
+    """
+
+    subset: FrozenSet[str]
+    objective: float
+    evaluations: int
+    strategy: str
+
+
+class PlacementProblem:
+    """Search problem: which k hosts to harden.
+
+    Args:
+        network_factory: Builds a fresh network (hardenings mutate
+            hosts).
+        catalog: Variant catalog.
+        threat: Threat profile.
+        budget: Number of hosts that may be hardened.
+        candidates: Hosts eligible for hardening (default: every
+            computer and PLC).
+        replications: Campaign replications per evaluation.
+        campaign_config: Campaign parameters (use a modest horizon to
+            keep evaluations affordable).
+    """
+
+    def __init__(
+        self,
+        network_factory: Callable[[], SCADANetwork],
+        catalog: VariantCatalog,
+        threat: ThreatProfile,
+        budget: int,
+        candidates: Optional[Sequence[str]] = None,
+        replications: int = 25,
+        campaign_config: Optional[CampaignConfig] = None,
+    ) -> None:
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        self.network_factory = network_factory
+        self.catalog = catalog
+        self.threat = threat
+        self.budget = budget
+        self.replications = replications
+        self.campaign_config = campaign_config or CampaignConfig(horizon=150.0)
+        probe = network_factory()
+        if candidates is None:
+            candidates = [
+                h.name
+                for h in probe.hosts
+                if h.is_computer or h.role.value == "plc"
+            ]
+        self.candidates = list(candidates)
+        if budget > len(self.candidates):
+            raise ValueError(
+                f"budget {budget} exceeds candidate pool "
+                f"({len(self.candidates)})"
+            )
+        self._cache: Dict[FrozenSet[str], float] = {}
+        self.evaluations = 0
+
+    def evaluate(
+        self, subset: Sequence[str], rng: np.random.Generator
+    ) -> float:
+        """Estimate attack-success probability with ``subset`` hardened."""
+        key = frozenset(subset)
+        if key in self._cache:
+            return self._cache[key]
+        network = self.network_factory()
+        for name in key:
+            network.host(name).resilient = True
+        campaign = AttackCampaign(
+            network, self.catalog, self.threat, self.campaign_config
+        )
+        outcomes = campaign.run_batch(self.replications, rng)
+        psa = sum(1 for o in outcomes if o.success) / len(outcomes)
+        self._cache[key] = psa
+        self.evaluations += 1
+        return psa
+
+    # ----------------------------- strategies ---------------------------
+
+    def exhaustive(self, rng: np.random.Generator) -> PlacementResult:
+        """Evaluate every size-``budget`` subset (small instances only).
+
+        Raises:
+            ValueError: If the search space exceeds 5000 subsets.
+        """
+        n_subsets = math.comb(len(self.candidates), self.budget)
+        if n_subsets > 5000:
+            raise ValueError(
+                f"exhaustive search over {n_subsets} subsets is too large; "
+                "use greedy() or annealing()"
+            )
+        best: Optional[Tuple[float, FrozenSet[str]]] = None
+        start_evals = self.evaluations
+        for combo in itertools.combinations(self.candidates, self.budget):
+            psa = self.evaluate(combo, rng)
+            if best is None or psa < best[0]:
+                best = (psa, frozenset(combo))
+        assert best is not None
+        return PlacementResult(
+            best[1], best[0], self.evaluations - start_evals, "exhaustive"
+        )
+
+    def greedy(self, rng: np.random.Generator) -> PlacementResult:
+        """Forward selection: add the single best host, repeat."""
+        chosen: List[str] = []
+        start_evals = self.evaluations
+        current = self.evaluate(chosen, rng)
+        for _ in range(self.budget):
+            best_candidate: Optional[Tuple[float, str]] = None
+            for name in self.candidates:
+                if name in chosen:
+                    continue
+                psa = self.evaluate(chosen + [name], rng)
+                if best_candidate is None or psa < best_candidate[0]:
+                    best_candidate = (psa, name)
+            if best_candidate is None:
+                break
+            current = best_candidate[0]
+            chosen.append(best_candidate[1])
+        return PlacementResult(
+            frozenset(chosen), current, self.evaluations - start_evals, "greedy"
+        )
+
+    def random_placement(
+        self, rng: np.random.Generator, samples: int = 10
+    ) -> PlacementResult:
+        """Mean-quality random placement (the non-strategic baseline).
+
+        Returns the *average* objective over random subsets — this is the
+        comparison point showing that strategic placement beats spreading
+        resilient components arbitrarily.
+        """
+        start_evals = self.evaluations
+        values: List[float] = []
+        last_subset: FrozenSet[str] = frozenset()
+        for _ in range(samples):
+            idx = rng.choice(
+                len(self.candidates), size=self.budget, replace=False
+            )
+            subset = frozenset(self.candidates[int(i)] for i in idx)
+            values.append(self.evaluate(subset, rng))
+            last_subset = subset
+        return PlacementResult(
+            last_subset,
+            float(np.mean(values)),
+            self.evaluations - start_evals,
+            "random",
+        )
+
+    def annealing(
+        self,
+        rng: np.random.Generator,
+        iterations: int = 60,
+        initial_temperature: float = 0.1,
+    ) -> PlacementResult:
+        """Simulated annealing over size-``budget`` subsets."""
+        start_evals = self.evaluations
+        if self.budget == 0:
+            psa = self.evaluate([], rng)
+            return PlacementResult(frozenset(), psa, 1, "annealing")
+        idx = rng.choice(len(self.candidates), size=self.budget, replace=False)
+        current = frozenset(self.candidates[int(i)] for i in idx)
+        current_value = self.evaluate(current, rng)
+        best, best_value = current, current_value
+        for step in range(iterations):
+            temperature = initial_temperature * (
+                1.0 - step / max(iterations - 1, 1)
+            )
+            inside = list(current)
+            outside = [c for c in self.candidates if c not in current]
+            if not outside:
+                break
+            swap_out = inside[int(rng.integers(len(inside)))]
+            swap_in = outside[int(rng.integers(len(outside)))]
+            neighbor = frozenset(
+                (set(current) - {swap_out}) | {swap_in}
+            )
+            value = self.evaluate(neighbor, rng)
+            accept = value < current_value or (
+                temperature > 0
+                and rng.random() < math.exp(
+                    -(value - current_value) / max(temperature, 1e-9)
+                )
+            )
+            if accept:
+                current, current_value = neighbor, value
+                if value < best_value:
+                    best, best_value = neighbor, value
+        return PlacementResult(
+            best, best_value, self.evaluations - start_evals, "annealing"
+        )

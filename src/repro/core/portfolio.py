@@ -1,0 +1,198 @@
+"""Cost-constrained diversification portfolios.
+
+The paper frames diversification as *"a balanced approach between secure
+system design and diversification costs."*  This module makes that
+balance concrete: each catalog variant carries a relative cost, and the
+optimizer chooses, per component kind, which variant(s) to deploy so as
+to minimize the analytic attack-success probability of the stage-chain
+SAN model subject to a total cost budget.
+
+The objective uses the *give-up* SAN (one pass through the paper's stage
+chain, no infinite retries), whose success probability has a closed form
+— the product of the per-stage probabilities — so portfolio search is
+cheap and can afford exhaustive/greedy enumeration; the chosen portfolio
+can then be validated against the full campaign simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.attacks.profiles import ThreatProfile
+from repro.core.modeling import stage_probabilities
+from repro.diversity.catalog import VariantCatalog
+from repro.diversity.config import SystemConfiguration, configuration_from_run
+from repro.scada.components import ComponentKind
+from repro.scada.network import SCADANetwork
+
+
+@dataclass(frozen=True)
+class PortfolioChoice:
+    """One evaluated portfolio.
+
+    Attributes:
+        assignment: ``{kind: variant_name}`` deployed system-wide.
+        cost: Total relative cost (sum over assigned variants, weighted
+            by how many hosts carry each kind).
+        success_probability: Analytic give-up-attacker success
+            probability of the resulting system.
+    """
+
+    assignment: Tuple[Tuple[str, str], ...]
+    cost: float
+    success_probability: float
+
+    def as_dict(self) -> Dict[str, str]:
+        """The assignment as a plain dict."""
+        return dict(self.assignment)
+
+
+class PortfolioOptimizer:
+    """Chooses variants per component kind under a cost budget.
+
+    Args:
+        network_factory: Builds a fresh baseline network.
+        catalog: Variant catalog (costs + exploitability).
+        threat: Threat profile (stage rates + vectors).
+        kinds: Component kinds in the decision space.
+    """
+
+    def __init__(
+        self,
+        network_factory: Callable[[], SCADANetwork],
+        catalog: VariantCatalog,
+        threat: ThreatProfile,
+        kinds: Sequence[ComponentKind],
+    ) -> None:
+        if not kinds:
+            raise ValueError("need at least one component kind")
+        self.network_factory = network_factory
+        self.catalog = catalog
+        self.threat = threat
+        self.kinds = list(kinds)
+        probe = network_factory()
+        self._slot_counts: Dict[ComponentKind, int] = {}
+        for kind in self.kinds:
+            count = sum(
+                1
+                for host in probe.hosts
+                if kind in host.components or kind in host.missing_slots()
+            )
+            self._slot_counts[kind] = count
+            if not catalog.names_for(kind):
+                raise ValueError(f"catalog has no variants for {kind}")
+
+    def portfolio_cost(self, assignment: Mapping[ComponentKind, str]) -> float:
+        """Deployment cost: per-host variant cost summed over the slots."""
+        total = 0.0
+        for kind, variant_name in assignment.items():
+            variant = self.catalog.get(kind, variant_name)
+            total += variant.cost * self._slot_counts.get(kind, 0)
+        return total
+
+    def evaluate(self, assignment: Mapping[ComponentKind, str]) -> PortfolioChoice:
+        """Analytic success probability of deploying ``assignment``."""
+        network = self.network_factory()
+        run = {kind.value: name for kind, name in assignment.items()}
+        config = configuration_from_run(network, run, label="portfolio")
+        config.apply(network)
+        probs = stage_probabilities(network, self.catalog, self.threat)
+        psa = (
+            probs["entry"]
+            * probs["escalation"]
+            * probs["propagation"]
+            * probs["reprogram"]
+        )
+        return PortfolioChoice(
+            assignment=tuple(
+                sorted((k.value, v) for k, v in assignment.items())
+            ),
+            cost=self.portfolio_cost(assignment),
+            success_probability=psa,
+        )
+
+    def cheapest_assignment(self) -> Dict[ComponentKind, str]:
+        """The minimum-cost (usually least-secure) portfolio."""
+        return {
+            kind: min(
+                self.catalog.variants_for(kind), key=lambda v: v.cost
+            ).name
+            for kind in self.kinds
+        }
+
+    def exhaustive(self, budget: float) -> Optional[PortfolioChoice]:
+        """The best feasible portfolio by full enumeration.
+
+        Returns None when no portfolio fits the budget.
+
+        Raises:
+            ValueError: If the decision space exceeds 20 000 portfolios.
+        """
+        pools = [self.catalog.names_for(kind) for kind in self.kinds]
+        size = 1
+        for pool in pools:
+            size *= len(pool)
+        if size > 20_000:
+            raise ValueError(
+                f"decision space of {size} portfolios too large; use greedy()"
+            )
+        best: Optional[PortfolioChoice] = None
+        for combo in itertools.product(*pools):
+            assignment = dict(zip(self.kinds, combo))
+            choice = self.evaluate(assignment)
+            if choice.cost > budget:
+                continue
+            if best is None or choice.success_probability < (
+                best.success_probability
+            ):
+                best = choice
+        return best
+
+    def greedy(self, budget: float) -> Optional[PortfolioChoice]:
+        """Greedy upgrades by best security-per-cost ratio.
+
+        Starts from the cheapest portfolio and repeatedly applies the
+        single variant upgrade with the best marginal
+        ΔPSA / Δcost ratio that still fits the budget.
+        """
+        assignment = self.cheapest_assignment()
+        current = self.evaluate(assignment)
+        if current.cost > budget:
+            return None
+        improved = True
+        while improved:
+            improved = False
+            best_step: Optional[Tuple[float, ComponentKind, str,
+                                      PortfolioChoice]] = None
+            for kind in self.kinds:
+                for variant in self.catalog.names_for(kind):
+                    if variant == assignment[kind]:
+                        continue
+                    trial = dict(assignment)
+                    trial[kind] = variant
+                    choice = self.evaluate(trial)
+                    if choice.cost > budget:
+                        continue
+                    gain = current.success_probability - (
+                        choice.success_probability
+                    )
+                    extra = choice.cost - current.cost
+                    if gain <= 0:
+                        continue
+                    ratio = gain / max(extra, 1e-9)
+                    if best_step is None or ratio > best_step[0]:
+                        best_step = (ratio, kind, variant, choice)
+            if best_step is not None:
+                __, kind, variant, choice = best_step
+                assignment[kind] = variant
+                current = choice
+                improved = True
+        return current
+
+    def efficient_frontier(
+        self, budgets: Sequence[float]
+    ) -> List[Tuple[float, Optional[PortfolioChoice]]]:
+        """Best portfolio per budget — the cost/security trade-off curve."""
+        return [(b, self.exhaustive(b)) for b in budgets]

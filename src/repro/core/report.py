@@ -1,0 +1,57 @@
+"""Plain-text reporting helpers shared by studies and benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: Column headers.
+        rows: Row cells; floats are formatted with ``float_format``.
+        title: Optional title line.
+        float_format: Format spec applied to float cells.
+
+    Returns:
+        The table as a string.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != cell:  # NaN
+                return "--"
+            return float_format.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Sequence[Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an x/y series table (one x column, several y columns)."""
+    return format_table([x_label, *y_labels], points, title=title)

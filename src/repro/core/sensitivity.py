@@ -1,0 +1,150 @@
+"""Sensitivity analysis.
+
+The paper's case study reports *"a preliminary sensitivity analysis"*
+over component resilience.  This module provides model-agnostic tools:
+
+* :func:`oat_sweep` — one-at-a-time sweeps over factor levels.
+* :func:`tornado` — ranks factors by the response range of their sweep.
+* :func:`morris` — Morris elementary-effects screening for continuous
+  parameters (e.g. stage success probabilities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+Evaluator = Callable[[Mapping[str, Hashable]], float]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of an OAT sweep."""
+
+    factor: str
+    level: Hashable
+    response: float
+
+
+def oat_sweep(
+    evaluator: Evaluator,
+    baseline: Mapping[str, Hashable],
+    levels: Mapping[str, Sequence[Hashable]],
+) -> List[SweepPoint]:
+    """One-at-a-time sweep: vary each factor alone around the baseline.
+
+    Args:
+        evaluator: Maps a full factor assignment to a scalar response.
+        baseline: The reference assignment.
+        levels: Candidate levels per factor to sweep.
+
+    Returns:
+        One :class:`SweepPoint` per (factor, level) evaluated, including
+        the baseline level.
+    """
+    points: List[SweepPoint] = []
+    for factor, factor_levels in levels.items():
+        if factor not in baseline:
+            raise ValueError(f"factor {factor!r} missing from baseline")
+        for level in factor_levels:
+            assignment = dict(baseline)
+            assignment[factor] = level
+            points.append(
+                SweepPoint(factor, level, float(evaluator(assignment)))
+            )
+    return points
+
+
+def tornado(points: Sequence[SweepPoint]) -> List[Tuple[str, float, float, float]]:
+    """Tornado ranking from OAT sweep points.
+
+    Returns:
+        ``(factor, low, high, range)`` tuples sorted by descending range
+        — the classic tornado-diagram ordering.
+    """
+    by_factor: Dict[str, List[float]] = {}
+    for p in points:
+        by_factor.setdefault(p.factor, []).append(p.response)
+    rows = [
+        (factor, min(vals), max(vals), max(vals) - min(vals))
+        for factor, vals in by_factor.items()
+    ]
+    return sorted(rows, key=lambda r: -r[3])
+
+
+@dataclass
+class MorrisResult:
+    """Morris screening result for one parameter.
+
+    Attributes:
+        name: Parameter name.
+        mu_star: Mean absolute elementary effect (overall influence).
+        sigma: Standard deviation of effects (non-linearity /
+            interaction involvement).
+    """
+
+    name: str
+    mu_star: float
+    sigma: float
+
+
+def morris(
+    evaluator: Callable[[np.ndarray], float],
+    bounds: Sequence[Tuple[float, float]],
+    names: Sequence[str],
+    n_trajectories: int = 10,
+    n_levels: int = 4,
+    rng: np.random.Generator | None = None,
+) -> List[MorrisResult]:
+    """Morris elementary-effects screening.
+
+    Args:
+        evaluator: Maps a parameter vector to a scalar response.
+        bounds: ``(low, high)`` per parameter.
+        names: Parameter names (parallel to ``bounds``).
+        n_trajectories: Number of random trajectories r.
+        n_levels: Grid levels p (delta = p / (2(p-1))).
+        rng: Random generator.
+
+    Returns:
+        One :class:`MorrisResult` per parameter, sorted by descending
+        ``mu_star``.
+
+    Raises:
+        ValueError: On mismatched inputs.
+    """
+    if len(bounds) != len(names):
+        raise ValueError("bounds and names must have equal length")
+    if rng is None:
+        rng = np.random.default_rng()
+    k = len(bounds)
+    delta = n_levels / (2.0 * (n_levels - 1))
+    grid = np.linspace(0.0, 1.0 - delta, n_levels // 2)
+    lows = np.array([b[0] for b in bounds])
+    spans = np.array([b[1] - b[0] for b in bounds])
+
+    effects: Dict[int, List[float]] = {i: [] for i in range(k)}
+    for _ in range(n_trajectories):
+        x = grid[rng.integers(0, len(grid), size=k)].astype(float)
+        order = rng.permutation(k)
+        y_prev = evaluator(lows + x * spans)
+        for index in order:
+            direction = 1.0 if x[index] + delta <= 1.0 else -1.0
+            x[index] += direction * delta
+            y_new = evaluator(lows + x * spans)
+            effects[int(index)].append((y_new - y_prev) / (direction * delta))
+            y_prev = y_new
+
+    results = []
+    for i, name in enumerate(names):
+        arr = np.array(effects[i]) if effects[i] else np.array([0.0])
+        results.append(
+            MorrisResult(
+                name=name,
+                mu_star=float(np.abs(arr).mean()),
+                sigma=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            )
+        )
+    return sorted(results, key=lambda r: -r.mu_star)

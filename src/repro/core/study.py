@@ -1,0 +1,209 @@
+"""The end-to-end three-step pipeline (the paper's Figure 1).
+
+:class:`DiversityStudy` wires attack modeling, DoE-driven measurement and
+ANOVA-based assessment into one call, producing a :class:`StudyResult`
+with every intermediate artifact and a plain-text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.campaign import CampaignConfig
+from repro.attacks.profiles import ThreatProfile
+from repro.attacktree.analysis import evaluate as evaluate_tree
+from repro.attacktree.tree import AttackTree
+from repro.core.assessment import DiversityAssessment, assess
+from repro.core.measurement import MeasurementPlan, MeasurementResult
+from repro.core.modeling import attack_tree_for, san_model_for
+from repro.core.report import format_table
+from repro.diversity.catalog import VariantCatalog
+from repro.diversity.config import configuration_factors
+from repro.doe.design import Design, Factor
+from repro.doe.factorial import full_factorial
+from repro.doe.fractional import fractional_factorial
+from repro.doe.plackett_burman import plackett_burman
+from repro.san.model import SANModel
+from repro.scada.components import ComponentKind
+from repro.scada.network import SCADANetwork
+
+
+@dataclass
+class StudyResult:
+    """All artifacts of a diversity study.
+
+    Attributes:
+        design: The executed DoE design.
+        measurement: Step-2 measurements.
+        assessment: Step-3 ANOVA assessment.
+        san_model: Step-1 SAN model of the baseline system.
+        attack_tree: Step-1 attack tree of the baseline system.
+        factors: Diversification factors considered.
+    """
+
+    design: Design
+    measurement: MeasurementResult
+    assessment: DiversityAssessment
+    san_model: SANModel
+    attack_tree: AttackTree
+    factors: List[Factor]
+
+    def report(self) -> str:
+        """Human-readable study report."""
+        tree_metrics = evaluate_tree(self.attack_tree)
+        blocks = [
+            "=" * 70,
+            "DIVERSITY STUDY REPORT",
+            "=" * 70,
+            "",
+            "Step 1 - Attack Modeling",
+            f"  SAN model: {self.san_model.name} "
+            f"({len(self.san_model.activities)} activities, "
+            f"{len(self.san_model.places())} places)",
+            f"  Attack tree root success probability: "
+            f"{tree_metrics.probability:.4f}",
+            f"  Attack tree expected time: {tree_metrics.expected_time:.2f}",
+            "",
+            "Step 2 - DoE & Measurements",
+            f"  Design: {self.design.name} — {self.design.n_runs} runs x "
+            f"{self.measurement.replications} replications",
+            format_table(
+                ["factor", "levels"],
+                [(f.name, ", ".join(map(str, f.levels))) for f in self.factors],
+            ),
+            "",
+            "Step 3 - Diversity Assessment",
+            self.assessment.format_report(),
+            "",
+            "Recommended diversification targets (per indicator):",
+        ]
+        for response in self.measurement.response_names():
+            targets = self.assessment.recommended_diversification(response)
+            blocks.append(f"  {response}: {', '.join(targets)}")
+        return "\n".join(blocks)
+
+
+class DiversityStudy:
+    """The three-step modeling and evaluation pipeline.
+
+    Args:
+        network_factory: Builds a fresh baseline network.
+        catalog: Variant catalog.
+        threat: Threat profile.
+        kinds: Component kinds to diversify (default: every kind with
+            >= 2 catalog variants present in the network).
+        design_kind: ``"full"``, ``"fractional"`` or ``"pb"``.
+        two_level: Restrict every factor to its two extreme variants
+            (weakest and strongest), as required by fractional/PB
+            designs.
+        replications: Campaign replications per configuration.
+        campaign_config: Campaign parameters.
+    """
+
+    def __init__(
+        self,
+        network_factory: Callable[[], SCADANetwork],
+        catalog: VariantCatalog,
+        threat: ThreatProfile,
+        kinds: Optional[List[ComponentKind]] = None,
+        design_kind: str = "full",
+        two_level: bool = False,
+        replications: int = 20,
+        campaign_config: Optional[CampaignConfig] = None,
+    ) -> None:
+        if design_kind not in ("full", "fractional", "pb"):
+            raise ValueError(f"unknown design_kind {design_kind!r}")
+        self.network_factory = network_factory
+        self.catalog = catalog
+        self.threat = threat
+        self.kinds = kinds
+        self.design_kind = design_kind
+        self.two_level = two_level or design_kind in ("fractional", "pb")
+        self.replications = replications
+        self.campaign_config = campaign_config or CampaignConfig()
+
+    def build_factors(self) -> List[Factor]:
+        """Step-2 preamble: derive the diversification factors."""
+        network = self.network_factory()
+        factors = configuration_factors(network, self.catalog, self.kinds)
+        if not self.two_level:
+            return factors
+        reduced: List[Factor] = []
+        for factor in factors:
+            kind = ComponentKind(factor.name)
+            variants = sorted(
+                self.catalog.variants_for(kind),
+                key=lambda v: v.mean_exploitability,
+            )
+            strongest, weakest = variants[0], variants[-1]
+            if strongest.name == weakest.name:
+                continue
+            reduced.append(Factor(factor.name, (weakest.name, strongest.name)))
+        return reduced
+
+    def build_design(self, factors: Sequence[Factor]) -> Design:
+        """Instantiate the chosen DoE design over ``factors``."""
+        factors = list(factors)
+        if self.design_kind == "full":
+            return full_factorial(factors)
+        if self.design_kind == "pb":
+            return plackett_burman(factors)
+        # Fractional: half fraction with the last factor generated from
+        # the product of all base factors (maximum resolution).
+        k = len(factors)
+        if k < 3:
+            return full_factorial(factors)
+        letters = "ABCDEFGHJKLMNPQRSTUVWXYZ"[: k - 1]
+        generator = f"{'ABCDEFGHJKLMNPQRSTUVWXYZ'[k - 1]}={letters}"
+        names = [f.name for f in factors]
+        design, _ = fractional_factorial(names, [generator])
+        # Re-level: fractional_factorial used (-1, 1); rebuild with the
+        # factors' concrete variant levels.
+        from repro.doe.design import Run
+
+        runs = []
+        for run in design.runs:
+            settings = {}
+            for factor in factors:
+                coded = run[factor.name]
+                settings[factor.name] = factor.levels[0 if coded == -1 else 1]
+            runs.append(Run(settings))
+        return Design(
+            factors=factors, runs=runs, name=design.name,
+            metadata=design.metadata,
+        )
+
+    def execute(self, rng: np.random.Generator) -> StudyResult:
+        """Run all three steps."""
+        baseline = self.network_factory()
+        san_model = san_model_for(baseline, self.catalog, self.threat)
+        attack_tree = attack_tree_for(baseline, self.catalog, self.threat)
+
+        factors = self.build_factors()
+        if not factors:
+            raise ValueError(
+                "no diversifiable factors found (need >= 2 catalog variants "
+                "for at least one component kind present in the network)"
+            )
+        design = self.build_design(factors)
+        plan = MeasurementPlan(
+            self.network_factory,
+            self.catalog,
+            self.threat,
+            design,
+            replications=self.replications,
+            campaign_config=self.campaign_config,
+        )
+        measurement = plan.execute(rng)
+        assessment = assess(measurement)
+        return StudyResult(
+            design=design,
+            measurement=measurement,
+            assessment=assessment,
+            san_model=san_model,
+            attack_tree=attack_tree,
+            factors=factors,
+        )

@@ -1,0 +1,53 @@
+"""Diversity modeling.
+
+The paper's core intuition: *"diversity can be leveraged to raise the
+effort it takes to conduct a successful attack ... to such a level so as
+to make it pointless to attempt an attack at all."*  This package
+provides:
+
+* :mod:`repro.diversity.catalog` — component variants with per-vector
+  exploitability scores (the probability values the paper derives from
+  attack history, honeypots or sensitivity analysis).
+* :mod:`repro.diversity.config` — system configurations (host → variant
+  assignments) and configuration spaces for DoE.
+* :mod:`repro.diversity.metrics` — diversity indices (Shannon, Simpson,
+  distinct count).
+* :mod:`repro.diversity.psa` — the analytic PSA composition model from
+  the paper's section I (identical: PSA≈PM; diverse: PSA≈ΠPMi).
+"""
+
+from repro.diversity.catalog import Variant, VariantCatalog, default_catalog
+from repro.diversity.config import (
+    SystemConfiguration,
+    configuration_factors,
+    random_configuration,
+)
+from repro.diversity.metrics import (
+    distinct_variants,
+    shannon_entropy,
+    simpson_index,
+    variant_counts,
+)
+from repro.diversity.psa import (
+    AttackerProfile,
+    chain_attack,
+    diverse_chain,
+    identical_chain,
+)
+
+__all__ = [
+    "AttackerProfile",
+    "SystemConfiguration",
+    "Variant",
+    "VariantCatalog",
+    "chain_attack",
+    "configuration_factors",
+    "default_catalog",
+    "distinct_variants",
+    "diverse_chain",
+    "identical_chain",
+    "random_configuration",
+    "shannon_entropy",
+    "simpson_index",
+    "variant_counts",
+]

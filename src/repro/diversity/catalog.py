@@ -1,0 +1,275 @@
+"""The variant catalog: component variants and their exploitability.
+
+The paper's step 2 assigns each attack stage a success probability that
+depends on the component variant in place (*"the root access stage might
+have a success probability P1 when operating system OS1 is used, or P2 in
+case OS2 is used"*).  A :class:`Variant` records those per-action success
+probabilities; the :class:`VariantCatalog` is the lookup table the attack
+simulator consults.
+
+Exploitability keys used across the library (attack actions):
+
+``usb_autorun``       infection via removable media
+``smb_exploit``       lateral movement via shared folders
+``print_spooler``     lateral movement via the spooler vulnerability
+``net_exploit``       generic remote service exploitation
+``priv_escalation``   local privilege escalation (root access)
+``av_evasion``        evading the host's antivirus
+``reprogram``         malicious controller reprogramming
+``signal_tamper``     tampering with sensor/actuator signals
+``fw_bypass``         traversing a firewall appliance
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.scada.components import ComponentKind
+
+EXPLOIT_ACTIONS = (
+    "usb_autorun",
+    "smb_exploit",
+    "print_spooler",
+    "net_exploit",
+    "priv_escalation",
+    "av_evasion",
+    "reprogram",
+    "signal_tamper",
+    "fw_bypass",
+)
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A concrete component variant.
+
+    Attributes:
+        name: Unique variant name within its kind.
+        kind: Component slot the variant fits.
+        exploitability: ``{action: success_probability}``; actions not
+            listed default to 0 (not applicable / immune).
+        cost: Relative procurement/integration cost (used by placement
+            optimization to reason about diversification budgets).
+        description: Human-readable note.
+    """
+
+    name: str
+    kind: ComponentKind
+    exploitability: Mapping[str, float] = field(default_factory=dict)
+    cost: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for action, prob in self.exploitability.items():
+            if action not in EXPLOIT_ACTIONS:
+                raise ValueError(
+                    f"variant {self.name!r}: unknown action {action!r}"
+                )
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(
+                    f"variant {self.name!r}: probability for {action!r} "
+                    f"must be in [0, 1], got {prob}"
+                )
+        if self.cost < 0:
+            raise ValueError(f"variant {self.name!r}: cost must be >= 0")
+
+    def success_probability(self, action: str) -> float:
+        """Exploit success probability of ``action`` against this variant."""
+        return float(self.exploitability.get(action, 0.0))
+
+    @property
+    def mean_exploitability(self) -> float:
+        """Average success probability over the variant's listed actions."""
+        if not self.exploitability:
+            return 0.0
+        return sum(self.exploitability.values()) / len(self.exploitability)
+
+
+class VariantCatalog:
+    """Registry of variants, keyed by (kind, name)."""
+
+    def __init__(self) -> None:
+        self._variants: Dict[ComponentKind, Dict[str, Variant]] = {}
+
+    def register(self, variant: Variant) -> Variant:
+        """Add a variant.
+
+        Raises:
+            ValueError: On duplicate (kind, name).
+        """
+        bucket = self._variants.setdefault(variant.kind, {})
+        if variant.name in bucket:
+            raise ValueError(
+                f"duplicate variant {variant.name!r} for kind {variant.kind}"
+            )
+        bucket[variant.name] = variant
+        return variant
+
+    def get(self, kind: ComponentKind, name: str) -> Variant:
+        """Look up a variant.
+
+        Raises:
+            KeyError: If absent.
+        """
+        return self._variants[kind][name]
+
+    def variants_for(self, kind: ComponentKind) -> List[Variant]:
+        """All variants registered for ``kind``."""
+        return list(self._variants.get(kind, {}).values())
+
+    def names_for(self, kind: ComponentKind) -> List[str]:
+        """Variant names for ``kind``."""
+        return list(self._variants.get(kind, {}))
+
+    def kinds(self) -> List[ComponentKind]:
+        """Kinds with at least one variant."""
+        return list(self._variants)
+
+    def success_probability(
+        self, kind: ComponentKind, variant_name: Optional[str], action: str
+    ) -> float:
+        """Exploitability lookup tolerant of missing variants.
+
+        Returns 0 when ``variant_name`` is None (slot empty → not
+        exploitable through that slot).
+        """
+        if variant_name is None:
+            return 0.0
+        return self.get(kind, variant_name).success_probability(action)
+
+
+def default_catalog() -> VariantCatalog:
+    """A realistic default catalog.
+
+    Numbers are *plausibility-ordered* sensitivity-analysis values (the
+    paper's third sourcing option), not measurements: legacy commodity
+    software is easiest to exploit, hardened/diverse alternatives are
+    markedly harder, and purpose-built resilient components are close to
+    immune.
+    """
+    catalog = VariantCatalog()
+    K = ComponentKind
+
+    # --- operating systems -------------------------------------------------
+    catalog.register(Variant(
+        "win_legacy", K.OPERATING_SYSTEM,
+        {"usb_autorun": 0.9, "smb_exploit": 0.8, "print_spooler": 0.85,
+         "net_exploit": 0.6, "priv_escalation": 0.85},
+        cost=1.0, description="Unpatched legacy Windows workstation image"))
+    catalog.register(Variant(
+        "win_patched", K.OPERATING_SYSTEM,
+        {"usb_autorun": 0.45, "smb_exploit": 0.35, "print_spooler": 0.3,
+         "net_exploit": 0.3, "priv_escalation": 0.4},
+        cost=1.2, description="Patched Windows with hardening baseline"))
+    catalog.register(Variant(
+        "linux_hardened", K.OPERATING_SYSTEM,
+        {"usb_autorun": 0.1, "smb_exploit": 0.08, "print_spooler": 0.0,
+         "net_exploit": 0.15, "priv_escalation": 0.12},
+        cost=1.6, description="Hardened Linux with mandatory access control"))
+    catalog.register(Variant(
+        "rtos_minimal", K.OPERATING_SYSTEM,
+        {"usb_autorun": 0.02, "smb_exploit": 0.0, "print_spooler": 0.0,
+         "net_exploit": 0.05, "priv_escalation": 0.05},
+        cost=2.5, description="Minimal real-time OS, no removable media stack"))
+
+    # --- PLC firmware ------------------------------------------------------
+    catalog.register(Variant(
+        "firmware_common", K.PLC_FIRMWARE,
+        {"reprogram": 0.85, "net_exploit": 0.4},
+        cost=1.0, description="Widespread commodity PLC firmware"))
+    catalog.register(Variant(
+        "firmware_alt", K.PLC_FIRMWARE,
+        {"reprogram": 0.45, "net_exploit": 0.25},
+        cost=1.3, description="Alternate vendor firmware, different toolchain"))
+    catalog.register(Variant(
+        "firmware_signed", K.PLC_FIRMWARE,
+        {"reprogram": 0.08, "net_exploit": 0.1},
+        cost=2.0, description="Firmware with signed-logic enforcement"))
+
+    # --- protocol stacks ---------------------------------------------------
+    catalog.register(Variant(
+        "modbus_standard", K.PROTOCOL_STACK,
+        {"net_exploit": 0.5, "reprogram": 0.9, "signal_tamper": 0.7},
+        cost=1.0, description="Standard Modbus dialect, widely documented"))
+    catalog.register(Variant(
+        "modbus_variant_b", K.PROTOCOL_STACK,
+        {"net_exploit": 0.25, "reprogram": 0.3, "signal_tamper": 0.35},
+        cost=1.2, description="Remapped function codes + alternate checksum"))
+    catalog.register(Variant(
+        "modbus_variant_c", K.PROTOCOL_STACK,
+        {"net_exploit": 0.2, "reprogram": 0.25, "signal_tamper": 0.3},
+        cost=1.2, description="Little-endian dialect with unit-id offset"))
+
+    # --- engineering tools -------------------------------------------------
+    catalog.register(Variant(
+        "engtool_common", K.ENGINEERING_TOOL,
+        {"reprogram": 0.9, "av_evasion": 0.8},
+        cost=1.0, description="Ubiquitous PLC programming suite"))
+    catalog.register(Variant(
+        "engtool_alt", K.ENGINEERING_TOOL,
+        {"reprogram": 0.4, "av_evasion": 0.5},
+        cost=1.4, description="Alternate-vendor engineering suite"))
+
+    # --- HMI / historian ---------------------------------------------------
+    catalog.register(Variant(
+        "hmi_common", K.HMI_SOFTWARE,
+        {"net_exploit": 0.5, "av_evasion": 0.7}, cost=1.0,
+        description="Common HMI runtime"))
+    catalog.register(Variant(
+        "hmi_alt", K.HMI_SOFTWARE,
+        {"net_exploit": 0.2, "av_evasion": 0.4}, cost=1.3,
+        description="Alternate HMI runtime"))
+    catalog.register(Variant(
+        "historian_common", K.HISTORIAN_SOFTWARE,
+        {"net_exploit": 0.4}, cost=1.0, description="Common historian"))
+    catalog.register(Variant(
+        "historian_alt", K.HISTORIAN_SOFTWARE,
+        {"net_exploit": 0.15}, cost=1.3, description="Alternate historian"))
+
+    # --- antivirus ---------------------------------------------------------
+    catalog.register(Variant(
+        "av_signature", K.ANTIVIRUS,
+        {"av_evasion": 0.8}, cost=1.0,
+        description="Signature-based AV (zero-days walk through)"))
+    catalog.register(Variant(
+        "av_behavioral", K.ANTIVIRUS,
+        {"av_evasion": 0.35}, cost=1.5,
+        description="Behavioural/anomaly AV"))
+
+    # --- firewalls ---------------------------------------------------------
+    catalog.register(Variant(
+        "fw_basic", K.FIREWALL_SOFTWARE,
+        {"fw_bypass": 0.5}, cost=1.0, description="Port-filter firewall"))
+    catalog.register(Variant(
+        "fw_dpi", K.FIREWALL_SOFTWARE,
+        {"fw_bypass": 0.15}, cost=1.8,
+        description="Deep-packet-inspection ICS firewall"))
+
+    # --- field devices -----------------------------------------------------
+    catalog.register(Variant(
+        "sensor_basic", K.SENSOR_MODEL,
+        {"signal_tamper": 0.7}, cost=1.0, description="Unauthenticated 4-20mA"))
+    catalog.register(Variant(
+        "sensor_authenticated", K.SENSOR_MODEL,
+        {"signal_tamper": 0.1}, cost=1.7,
+        description="Digitally signed sensor readings"))
+    catalog.register(Variant(
+        "actuator_basic", K.ACTUATOR_MODEL,
+        {"signal_tamper": 0.7}, cost=1.0, description="Direct-drive actuator"))
+    catalog.register(Variant(
+        "actuator_limited", K.ACTUATOR_MODEL,
+        {"signal_tamper": 0.15}, cost=1.6,
+        description="Actuator with mechanical safety interlocks"))
+
+    # --- RTU firmware --------------------------------------------------------
+    catalog.register(Variant(
+        "rtu_common", K.RTU_FIRMWARE,
+        {"reprogram": 0.7, "net_exploit": 0.35}, cost=1.0,
+        description="Commodity RTU firmware"))
+    catalog.register(Variant(
+        "rtu_hardened", K.RTU_FIRMWARE,
+        {"reprogram": 0.12, "net_exploit": 0.1}, cost=1.8,
+        description="Hardened RTU firmware"))
+
+    return catalog

@@ -1,0 +1,165 @@
+"""System configurations: assignments of variants to host slots.
+
+A :class:`SystemConfiguration` is the unit the paper's DoE step sweeps:
+each DoE factor is a component slot (or group of slots), each level a
+variant.  Applying a configuration installs the variants into the hosts
+of a :class:`~repro.scada.network.SCADANetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.doe.design import Factor
+from repro.diversity.catalog import VariantCatalog
+from repro.scada.components import ComponentKind, Host
+from repro.scada.network import SCADANetwork
+
+
+@dataclass
+class SystemConfiguration:
+    """A complete variant assignment.
+
+    Attributes:
+        assignments: ``{host_name: {kind: variant_name}}``.
+        label: Human-readable configuration tag.
+    """
+
+    assignments: Dict[str, Dict[ComponentKind, str]] = field(default_factory=dict)
+    label: str = "config"
+
+    def assign(self, host: str, kind: ComponentKind, variant: str) -> None:
+        """Set one slot."""
+        self.assignments.setdefault(host, {})[kind] = variant
+
+    def variant_of(self, host: str, kind: ComponentKind) -> Optional[str]:
+        """Variant assigned to a slot, or None."""
+        return self.assignments.get(host, {}).get(kind)
+
+    def apply(self, network: SCADANetwork) -> None:
+        """Install the assigned variants into the network's hosts.
+
+        Raises:
+            KeyError: If an assignment references an unknown host.
+        """
+        for host_name, slots in self.assignments.items():
+            host = network.host(host_name)
+            for kind, variant in slots.items():
+                host.install(kind, variant)
+
+    def distinct_variants(self, kind: ComponentKind) -> List[str]:
+        """Distinct variant names assigned for ``kind`` across hosts."""
+        seen: Dict[str, None] = {}
+        for slots in self.assignments.values():
+            name = slots.get(kind)
+            if name is not None and name not in seen:
+                seen[name] = None
+        return list(seen)
+
+    def diversity_degree(self) -> int:
+        """Total number of distinct (kind, variant) pairs in use."""
+        pairs = {
+            (kind, name)
+            for slots in self.assignments.values()
+            for kind, name in slots.items()
+        }
+        return len(pairs)
+
+
+def configuration_factors(
+    network: SCADANetwork,
+    catalog: VariantCatalog,
+    kinds: Optional[List[ComponentKind]] = None,
+) -> List[Factor]:
+    """Build DoE factors from the network's diversifiable slots.
+
+    One factor per component *kind* present in the network (system-wide
+    variant choice per kind — the granularity the paper's DoE example
+    uses), with the catalog's variants as levels.
+
+    Args:
+        network: The system.
+        catalog: The variant catalog.
+        kinds: Restrict to these kinds (default: every kind present in
+            the network with >= 2 catalog variants).
+
+    Returns:
+        DoE factors named after the component kinds.
+    """
+    present: Dict[ComponentKind, None] = {}
+    for host in network.hosts:
+        for kind in host.components:
+            present.setdefault(kind, None)
+        for kind in host.missing_slots():
+            present.setdefault(kind, None)
+    wanted = kinds if kinds is not None else list(present)
+    factors: List[Factor] = []
+    for kind in wanted:
+        names = catalog.names_for(kind)
+        if len(names) >= 2:
+            factors.append(Factor(kind.value, tuple(names)))
+    return factors
+
+
+def configuration_from_run(
+    network: SCADANetwork,
+    run: Mapping[str, Hashable],
+    label: str = "doe-run",
+) -> SystemConfiguration:
+    """Translate a DoE run (kind-name → variant) into a configuration.
+
+    Every host slot of a kind named in the run gets that kind's chosen
+    variant (homogeneous per kind, the classic DoE treatment).
+    """
+    config = SystemConfiguration(label=label)
+    by_kind = {
+        ComponentKind(name): str(variant) for name, variant in run.items()
+    }
+    for host in network.hosts:
+        slots = set(host.components) | set(host.missing_slots())
+        for kind in slots:
+            if kind in by_kind:
+                config.assign(host.name, kind, by_kind[kind])
+    return config
+
+
+def random_configuration(
+    network: SCADANetwork,
+    catalog: VariantCatalog,
+    rng: np.random.Generator,
+    max_distinct: Optional[int] = None,
+    label: str = "random",
+) -> SystemConfiguration:
+    """A random configuration, optionally with bounded per-kind diversity.
+
+    Args:
+        network: The system.
+        catalog: Variant catalog.
+        rng: Random generator.
+        max_distinct: If given, at most this many distinct variants are
+            used per kind (1 → homogeneous system, the no-diversity
+            baseline).
+        label: Configuration label.
+    """
+    config = SystemConfiguration(label=label)
+    pools: Dict[ComponentKind, List[str]] = {}
+    for host in network.hosts:
+        slots = set(host.components) | set(host.missing_slots())
+        for kind in slots:
+            names = catalog.names_for(kind)
+            if not names:
+                continue
+            if kind not in pools:
+                if max_distinct is not None and max_distinct < len(names):
+                    chosen = rng.choice(
+                        len(names), size=max_distinct, replace=False
+                    )
+                    pools[kind] = [names[int(i)] for i in chosen]
+                else:
+                    pools[kind] = list(names)
+            pool = pools[kind]
+            config.assign(host.name, kind, pool[int(rng.integers(len(pool)))])
+    return config

@@ -1,0 +1,80 @@
+"""Diversity indices.
+
+Quantify "how diverse" a deployed configuration is, so benchmark sweeps
+can put a number on the x-axis when plotting indicators vs. diversity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.scada.components import ComponentKind
+from repro.scada.network import SCADANetwork
+
+
+def variant_counts(
+    network: SCADANetwork, kind: ComponentKind
+) -> Dict[str, int]:
+    """How many hosts run each variant of ``kind``."""
+    counts: Dict[str, int] = {}
+    for host in network.hosts:
+        name = host.variant_of(kind)
+        if name is not None:
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def shannon_entropy(counts: Mapping[str, int]) -> float:
+    """Shannon entropy (nats) of a variant count distribution.
+
+    0 for a homogeneous population; ln(k) for k equally-used variants.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        if count > 0:
+            p = count / total
+            entropy -= p * math.log(p)
+    return entropy
+
+
+def simpson_index(counts: Mapping[str, int]) -> float:
+    """Simpson diversity 1 - Σ p²: probability two random hosts differ."""
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return 1.0 - sum((c / total) ** 2 for c in counts.values())
+
+
+def distinct_variants(counts: Mapping[str, int]) -> int:
+    """Number of distinct variants in use."""
+    return sum(1 for c in counts.values() if c > 0)
+
+
+def network_diversity_profile(
+    network: SCADANetwork, kinds: Optional[Sequence[ComponentKind]] = None
+) -> Dict[str, Dict[str, float]]:
+    """Per-kind diversity summary of a deployed network.
+
+    Returns:
+        ``{kind_value: {"distinct": ..., "shannon": ..., "simpson": ...}}``.
+    """
+    if kinds is None:
+        kinds = sorted(
+            {k for host in network.hosts for k in host.components},
+            key=lambda k: k.value,
+        )
+    profile: Dict[str, Dict[str, float]] = {}
+    for kind in kinds:
+        counts = variant_counts(network, kind)
+        if not counts:
+            continue
+        profile[kind.value] = {
+            "distinct": float(distinct_variants(counts)),
+            "shannon": shannon_entropy(counts),
+            "simpson": simpson_index(counts),
+        }
+    return profile

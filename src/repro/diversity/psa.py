@@ -1,0 +1,265 @@
+"""The paper's PSA composition model (section I).
+
+    "let us consider an attack that requires compromising two machines in
+    order to be successful.  If the machines are identical, it suffices to
+    compromise one machine and then repeating the exploit for the other,
+    i.e., the chance of a successful attack PSA to the system is related
+    to the chance of compromising just one machine (PSA ≈ PM).  When the
+    machines are different, PSA is smaller because it becomes somewhat
+    related to chance of compromising each machine separately (i.e.,
+    PSA ≈ PM1 × PM2): succeeding is harder and time-consuming."
+
+This module gives that argument a precise operational semantics:
+
+* The attacker must compromise a **chain** of n machines.
+* Compromising a machine requires developing/succeeding with an exploit
+  for its variant: success probability ``pm`` per development effort.
+* Against an **identical** chain, one successful exploit is *reused* on
+  every remaining machine (reuse succeeds with probability
+  ``reuse_reliability``, near 1).
+* Against a **diverse** chain every machine needs its own exploit.
+
+Both closed forms and a per-attempt stochastic process (for time
+measures) are provided; experiment E1 regenerates the claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AttackerProfile:
+    """Attacker effort parameters.
+
+    Attributes:
+        exploit_attempts: Maximum exploit-development attempts per
+            machine before the attacker gives up (caps attack effort).
+        attempt_time: Mean time of one exploit-development attempt.
+        reuse_time: Time to re-apply a working exploit on an identical
+            machine (much smaller than ``attempt_time``).
+        reuse_reliability: Probability the reused exploit works on the
+            next identical machine.
+    """
+
+    exploit_attempts: int = 1
+    attempt_time: float = 10.0
+    reuse_time: float = 0.5
+    reuse_reliability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.exploit_attempts < 1:
+            raise ValueError("exploit_attempts must be >= 1")
+        if self.attempt_time <= 0 or self.reuse_time < 0:
+            raise ValueError("times must be positive")
+        if not 0.0 <= self.reuse_reliability <= 1.0:
+            raise ValueError("reuse_reliability must be in [0, 1]")
+
+
+def _per_machine_success(pm: float, attempts: int) -> float:
+    """P(at least one of ``attempts`` independent tries succeeds)."""
+    return 1.0 - (1.0 - pm) ** attempts
+
+
+def identical_chain(
+    pm: float, n_machines: int, profile: Optional[AttackerProfile] = None
+) -> Tuple[float, float]:
+    """PSA and expected time against n identical machines.
+
+    One exploit development (success probability per attempt ``pm``, up
+    to ``profile.exploit_attempts`` tries) unlocks every machine; each
+    additional machine costs only a reuse that succeeds with probability
+    ``reuse_reliability``.
+
+    Returns:
+        ``(psa, expected_time_given_success)``.
+
+    Raises:
+        ValueError: On out-of-range inputs.
+    """
+    _check(pm, n_machines)
+    profile = profile or AttackerProfile()
+    p_first = _per_machine_success(pm, profile.exploit_attempts)
+    psa = p_first * profile.reuse_reliability ** (n_machines - 1)
+    # E[attempts | success] for a truncated geometric.
+    expected_attempts = _mean_attempts_given_success(
+        pm, profile.exploit_attempts
+    )
+    time = (
+        expected_attempts * profile.attempt_time
+        + (n_machines - 1) * profile.reuse_time
+    )
+    return psa, time
+
+
+def diverse_chain(
+    pms: Sequence[float], profile: Optional[AttackerProfile] = None
+) -> Tuple[float, float]:
+    """PSA and expected time against fully diverse machines.
+
+    Every machine needs its own exploit development.
+
+    Returns:
+        ``(psa, expected_time_given_success)``.
+    """
+    profile = profile or AttackerProfile()
+    psa = 1.0
+    time = 0.0
+    for pm in pms:
+        _check(pm, 1)
+        psa *= _per_machine_success(pm, profile.exploit_attempts)
+        time += (
+            _mean_attempts_given_success(pm, profile.exploit_attempts)
+            * profile.attempt_time
+        )
+    return psa, time
+
+
+def _mean_attempts_given_success(pm: float, max_attempts: int) -> float:
+    """E[number of attempts | success within max_attempts]."""
+    if pm == 0.0:
+        return float(max_attempts)
+    probs = [(1 - pm) ** (k - 1) * pm for k in range(1, max_attempts + 1)]
+    total = sum(probs)
+    if total == 0.0:
+        return float(max_attempts)
+    return sum(k * p for k, p in zip(range(1, max_attempts + 1), probs)) / total
+
+
+def chain_attack(
+    pms: Sequence[float],
+    identical: bool,
+    rng: np.random.Generator,
+    profile: Optional[AttackerProfile] = None,
+) -> Tuple[bool, float]:
+    """Simulate one chain attack (stochastic counterpart of the closed forms).
+
+    Args:
+        pms: Per-machine exploit success probabilities (all equal for the
+            identical case).
+        identical: Whether machines share a variant (exploit reuse).
+        rng: Random generator.
+        profile: Attacker effort parameters.
+
+    Returns:
+        ``(success, elapsed_time)``; time covers effort spent even on
+        failed attacks.
+    """
+    profile = profile or AttackerProfile()
+    elapsed = 0.0
+    have_exploit = False
+    for index, pm in enumerate(pms):
+        _check(pm, 1)
+        if identical and have_exploit:
+            elapsed += profile.reuse_time
+            if rng.random() < profile.reuse_reliability:
+                continue
+            return False, elapsed
+        success = False
+        for _ in range(profile.exploit_attempts):
+            elapsed += rng.exponential(profile.attempt_time)
+            if rng.random() < pm:
+                success = True
+                break
+        if not success:
+            return False, elapsed
+        have_exploit = True
+    return True, elapsed
+
+
+def _check(pm: float, n_machines: int) -> None:
+    if not 0.0 <= pm <= 1.0:
+        raise ValueError(f"pm must be in [0, 1], got {pm}")
+    if n_machines < 1:
+        raise ValueError(f"n_machines must be >= 1, got {n_machines}")
+
+
+def rotating_chain(
+    pm: float,
+    n_machines: int,
+    n_variants: int,
+    rotation_period: float,
+    rng: np.random.Generator,
+    profile: Optional[AttackerProfile] = None,
+) -> Tuple[bool, float]:
+    """Moving-target extension: variants rotate while the attack runs.
+
+    Each machine runs one of ``n_variants`` variants and the deployment
+    re-randomizes every ``rotation_period`` time units.  A working
+    exploit applies only to the variant it was developed for, so a
+    rotation between two compromises invalidates reuse with probability
+    ``1 - 1/n_variants`` — temporal diversity on top of the paper's
+    spatial diversity.
+
+    Args:
+        pm: Per-attempt exploit-development success probability.
+        n_machines: Chain length.
+        n_variants: Size of the variant pool.
+        rotation_period: Time between re-randomizations (same units as
+            the attacker profile's times).  ``float("inf")`` disables
+            rotation, recovering :func:`chain_attack` with
+            ``identical=(n_variants == 1)`` semantics in distribution.
+        rng: Random generator.
+        profile: Attacker effort parameters.
+
+    Returns:
+        ``(success, elapsed_time)``.
+
+    Raises:
+        ValueError: On out-of-range inputs.
+    """
+    _check(pm, n_machines)
+    if n_variants < 1:
+        raise ValueError(f"n_variants must be >= 1, got {n_variants}")
+    if rotation_period <= 0:
+        raise ValueError("rotation_period must be > 0")
+    profile = profile or AttackerProfile()
+
+    elapsed = 0.0
+    exploits: set[int] = set()  # variant ids we hold a working exploit for
+
+    def current_variant() -> int:
+        if rotation_period == float("inf"):
+            return 0 if n_variants == 1 else int(rng.integers(n_variants))
+        # The deployment re-randomizes every period; the variant seen at
+        # a given time is i.i.d. uniform per epoch.
+        return int(rng.integers(n_variants))
+
+    for _ in range(n_machines):
+        variant = current_variant()
+        if variant in exploits:
+            epoch_at_start = (
+                0 if rotation_period == float("inf")
+                else int(elapsed / rotation_period)
+            )
+            elapsed += profile.reuse_time
+            epoch_at_end = (
+                0 if rotation_period == float("inf")
+                else int(elapsed / rotation_period)
+            )
+            rotated = epoch_at_end != epoch_at_start
+            if not rotated and rng.random() < profile.reuse_reliability:
+                continue
+            if rotated:
+                # The machine rotated under the attacker's feet; the held
+                # exploit may no longer match.
+                if rng.random() < 1.0 / n_variants and (
+                    rng.random() < profile.reuse_reliability
+                ):
+                    continue
+            else:
+                return False, elapsed
+        success = False
+        for _attempt in range(profile.exploit_attempts):
+            elapsed += rng.exponential(profile.attempt_time)
+            if rng.random() < pm:
+                success = True
+                break
+        if not success:
+            return False, elapsed
+        exploits.add(variant)
+    return True, elapsed

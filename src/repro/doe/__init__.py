@@ -1,0 +1,36 @@
+"""Design of Experiments (DoE).
+
+The paper's second step uses DoE to *"narrow the number of configurations
+to assess"* when measuring security indicators over diversified component
+combinations.  This package provides classical designs:
+
+* :func:`~repro.doe.factorial.full_factorial` — every level combination.
+* :func:`~repro.doe.fractional.fractional_factorial` — 2^(k-p) designs with
+  generator algebra, alias structure and resolution.
+* :func:`~repro.doe.plackett_burman.plackett_burman` — screening designs.
+* :func:`~repro.doe.lhs.latin_hypercube` — space-filling designs.
+* :func:`~repro.doe.ccd.central_composite` — response-surface designs.
+
+All designs share the :class:`~repro.doe.design.Design` container, which
+maps coded runs back to concrete factor levels.
+"""
+
+from repro.doe.ccd import central_composite
+from repro.doe.design import Design, Factor, Run
+from repro.doe.factorial import full_factorial, two_level_full_factorial
+from repro.doe.fractional import FractionalDesignInfo, fractional_factorial
+from repro.doe.lhs import latin_hypercube
+from repro.doe.plackett_burman import plackett_burman
+
+__all__ = [
+    "Design",
+    "Factor",
+    "FractionalDesignInfo",
+    "Run",
+    "central_composite",
+    "fractional_factorial",
+    "full_factorial",
+    "latin_hypercube",
+    "plackett_burman",
+    "two_level_full_factorial",
+]

@@ -1,0 +1,77 @@
+"""Central composite designs (CCD) for response-surface studies.
+
+A CCD augments a two-level factorial core with axial ("star") points at
+distance ``alpha`` and replicated center points, enabling quadratic
+response-surface fits — useful when tuning continuous security parameters
+(e.g. detection thresholds) rather than categorical variants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def central_composite(
+    n_factors: int,
+    alpha: str = "rotatable",
+    center_points: int = 4,
+) -> Tuple[np.ndarray, dict]:
+    """Coded CCD matrix for ``n_factors`` continuous factors.
+
+    Args:
+        n_factors: Number of factors (>= 2).
+        alpha: ``"rotatable"`` (alpha = (2^k)^(1/4)), ``"faced"``
+            (alpha = 1), or a numeric string.
+        center_points: Number of replicated center runs.
+
+    Returns:
+        ``(matrix, info)`` where matrix rows are coded runs and ``info``
+        describes the block structure.
+
+    Raises:
+        ValueError: On invalid sizes or alpha.
+    """
+    if n_factors < 2:
+        raise ValueError(f"CCD needs >= 2 factors, got {n_factors}")
+    if center_points < 0:
+        raise ValueError("center_points must be >= 0")
+
+    if alpha == "rotatable":
+        a = (2.0**n_factors) ** 0.25
+    elif alpha == "faced":
+        a = 1.0
+    else:
+        try:
+            a = float(alpha)
+        except ValueError as exc:
+            raise ValueError(f"unrecognized alpha {alpha!r}") from exc
+        if a <= 0:
+            raise ValueError(f"alpha must be > 0, got {a}")
+
+    # Factorial core: full 2^k.
+    core_rows: List[List[float]] = []
+    for i in range(2**n_factors):
+        row = [1.0 if (i >> j) & 1 else -1.0 for j in range(n_factors)]
+        core_rows.append(row)
+
+    # Axial points: two per factor.
+    axial_rows: List[List[float]] = []
+    for j in range(n_factors):
+        for sign in (-1.0, 1.0):
+            row = [0.0] * n_factors
+            row[j] = sign * a
+            axial_rows.append(row)
+
+    center_rows = [[0.0] * n_factors for _ in range(center_points)]
+    matrix = np.array(core_rows + axial_rows + center_rows)
+    info = {
+        "alpha": a,
+        "n_core": len(core_rows),
+        "n_axial": len(axial_rows),
+        "n_center": center_points,
+        "rotatable": math.isclose(a, (2.0**n_factors) ** 0.25),
+    }
+    return matrix, info

@@ -1,0 +1,194 @@
+"""Core DoE data structures: factors, runs and designs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Factor:
+    """An experimental factor and its admissible levels.
+
+    In this library a factor is typically a *component slot* of the SCADA
+    system (e.g. ``"control_os"``) and its levels are the component
+    variants available for that slot (e.g. ``("win_xp", "linux_rt")``).
+
+    Attributes:
+        name: Factor name; must be unique within a design.
+        levels: Ordered levels.  For two-level coded designs the first
+            level is coded -1 (low) and the second +1 (high).
+    """
+
+    name: str
+    levels: Tuple[Hashable, ...]
+
+    def __init__(self, name: str, levels: Sequence[Hashable]) -> None:
+        if not name:
+            raise ValueError("factor name must be non-empty")
+        levels = tuple(levels)
+        if len(levels) < 2:
+            raise ValueError(f"factor {name!r} needs >= 2 levels, got {levels!r}")
+        if len(set(levels)) != len(levels):
+            raise ValueError(f"factor {name!r} has duplicate levels: {levels!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "levels", levels)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of levels."""
+        return len(self.levels)
+
+    def coded_to_level(self, coded: float) -> Hashable:
+        """Map a coded value to a concrete level.
+
+        For two-level factors, -1 maps to the first level and +1 to the
+        second.  For multi-level factors the coded value is the level
+        index.
+        """
+        if self.n_levels == 2:
+            if coded <= 0:
+                return self.levels[0]
+            return self.levels[1]
+        idx = int(round(coded))
+        if not 0 <= idx < self.n_levels:
+            raise ValueError(
+                f"coded value {coded} out of range for factor {self.name!r}"
+            )
+        return self.levels[idx]
+
+    def level_to_coded(self, level: Hashable) -> float:
+        """Inverse of :meth:`coded_to_level`."""
+        idx = self.levels.index(level)
+        if self.n_levels == 2:
+            return -1.0 if idx == 0 else 1.0
+        return float(idx)
+
+
+@dataclass(frozen=True)
+class Run:
+    """One experimental run: an assignment of a level to every factor."""
+
+    settings: Tuple[Tuple[str, Hashable], ...]
+
+    def __init__(self, settings: Dict[str, Hashable]) -> None:
+        object.__setattr__(self, "settings", tuple(sorted(settings.items())))
+
+    def __getitem__(self, factor: str) -> Hashable:
+        for name, level in self.settings:
+            if name == factor:
+                return level
+        raise KeyError(factor)
+
+    def as_dict(self) -> Dict[str, Hashable]:
+        """The run as a plain ``{factor: level}`` dict."""
+        return dict(self.settings)
+
+    def __iter__(self) -> Iterator[Tuple[str, Hashable]]:
+        return iter(self.settings)
+
+
+@dataclass
+class Design:
+    """A designed experiment: an ordered list of runs over shared factors.
+
+    Attributes:
+        factors: The factors, in column order.
+        runs: The experimental runs.
+        name: Human-readable design label, e.g. ``"2^(5-2) resolution III"``.
+    """
+
+    factors: List[Factor]
+    runs: List[Run]
+    name: str = "design"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.factors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate factor names in design: {names}")
+        for run in self.runs:
+            run_names = {n for n, _ in run.settings}
+            if run_names != set(names):
+                raise ValueError(
+                    f"run {run!r} does not cover exactly the design factors"
+                )
+
+    @property
+    def n_runs(self) -> int:
+        """Number of runs."""
+        return len(self.runs)
+
+    @property
+    def n_factors(self) -> int:
+        """Number of factors."""
+        return len(self.factors)
+
+    def factor(self, name: str) -> Factor:
+        """Look up a factor by name.
+
+        Raises:
+            KeyError: If absent.
+        """
+        for f in self.factors:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def coded_matrix(self) -> np.ndarray:
+        """The design as a coded (runs × factors) matrix."""
+        matrix = np.zeros((self.n_runs, self.n_factors))
+        for i, run in enumerate(self.runs):
+            for j, f in enumerate(self.factors):
+                matrix[i, j] = f.level_to_coded(run[f.name])
+        return matrix
+
+    def is_balanced(self) -> bool:
+        """Every factor level appears equally often."""
+        for f in self.factors:
+            counts: Dict[Hashable, int] = {}
+            for run in self.runs:
+                counts[run[f.name]] = counts.get(run[f.name], 0) + 1
+            if len(set(counts.values())) > 1 or len(counts) != f.n_levels:
+                return False
+        return True
+
+    def is_orthogonal(self, tolerance: float = 1e-9) -> bool:
+        """Coded columns are pairwise orthogonal (two-level designs)."""
+        matrix = self.coded_matrix()
+        gram = matrix.T @ matrix
+        off_diag = gram - np.diag(np.diag(gram))
+        return bool(np.all(np.abs(off_diag) <= tolerance))
+
+    def replicate(self, times: int) -> "Design":
+        """A new design with every run repeated ``times`` times.
+
+        Raises:
+            ValueError: If ``times < 1``.
+        """
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        return Design(
+            factors=list(self.factors),
+            runs=[run for run in self.runs for _ in range(times)],
+            name=f"{self.name} x{times}",
+            metadata=dict(self.metadata),
+        )
+
+    def format_table(self) -> str:
+        """Render the design as a plain-text run table."""
+        names = [f.name for f in self.factors]
+        widths = [max(len(n), 8) for n in names]
+        header = f"{'run':>4}  " + "  ".join(
+            f"{n:>{w}}" for n, w in zip(names, widths)
+        )
+        lines = [f"Design: {self.name} ({self.n_runs} runs)", header,
+                 "-" * len(header)]
+        for i, run in enumerate(self.runs):
+            cells = "  ".join(
+                f"{str(run[n]):>{w}}" for n, w in zip(names, widths)
+            )
+            lines.append(f"{i + 1:>4}  {cells}")
+        return "\n".join(lines)

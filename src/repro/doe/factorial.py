@@ -1,0 +1,38 @@
+"""Full factorial designs."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.doe.design import Design, Factor, Run
+
+
+def full_factorial(factors: Sequence[Factor]) -> Design:
+    """Every combination of factor levels (general mixed-level design).
+
+    The run count is the product of the level counts; for k two-level
+    factors this is the classical 2^k design.
+
+    Raises:
+        ValueError: If no factors are given.
+    """
+    factors = list(factors)
+    if not factors:
+        raise ValueError("full_factorial requires at least one factor")
+    runs = []
+    for combo in itertools.product(*(f.levels for f in factors)):
+        runs.append(Run({f.name: level for f, level in zip(factors, combo)}))
+    sizes = "x".join(str(f.n_levels) for f in factors)
+    return Design(factors=factors, runs=runs, name=f"full factorial {sizes}")
+
+
+def two_level_full_factorial(names: Sequence[str]) -> Design:
+    """2^k design over factors named ``names`` with generic low/high levels.
+
+    Levels are the integers -1 and +1, convenient for purely coded studies.
+    """
+    factors = [Factor(n, (-1, 1)) for n in names]
+    design = full_factorial(factors)
+    design.name = f"2^{len(factors)} full factorial"
+    return design

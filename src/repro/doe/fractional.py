@@ -1,0 +1,179 @@
+"""Two-level fractional factorial designs: 2^(k-p) with generator algebra.
+
+A 2^(k-p) design runs a 1/2^p fraction of the full 2^k factorial.  The
+first ``k - p`` factors form a base full factorial; each remaining factor
+is *generated* as a product of base factors (e.g. ``"E=ABCD"``).  The
+module computes the defining relation, the alias structure and the design
+resolution, so a user can check which effects are confounded before
+trusting the ANOVA from the paper's step 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.doe.design import Design, Factor, Run
+from repro.doe.factorial import full_factorial
+
+_LETTERS = "ABCDEFGHJKLMNPQRSTUVWXYZ"  # classical DoE letters (no I or O)
+
+
+@dataclass
+class FractionalDesignInfo:
+    """Confounding structure of a fractional factorial design.
+
+    Attributes:
+        generators: The generator strings, e.g. ``["E=ABC"]``.
+        defining_relation: Words of the defining relation (excluding the
+            identity), as sorted letter strings, e.g. ``["ABCE"]``.
+        resolution: Length of the shortest defining word (design
+            resolution in the usual Roman-numeral sense).
+        aliases: Map from each main effect letter to the effects it is
+            aliased with (letter strings), truncated to interactions of
+            length <= 3 for readability.
+    """
+
+    generators: List[str]
+    defining_relation: List[str]
+    resolution: int
+    aliases: Dict[str, List[str]] = field(default_factory=dict)
+
+
+def _word_multiply(a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+    """Multiply two effect words modulo squares (symmetric difference)."""
+    return a.symmetric_difference(b)
+
+
+def _parse_generator(gen: str, known: Sequence[str]) -> Tuple[str, FrozenSet[str]]:
+    """Parse ``"E=ABC"`` into ``("E", frozenset({"A","B","C"}))``.
+
+    Raises:
+        ValueError: On malformed generators or unknown letters.
+    """
+    gen = gen.replace(" ", "").upper()
+    if "=" not in gen:
+        raise ValueError(f"generator must look like 'E=ABC', got {gen!r}")
+    target, word = gen.split("=", 1)
+    if len(target) != 1 or not word:
+        raise ValueError(f"generator must look like 'E=ABC', got {gen!r}")
+    for ch in word:
+        if ch not in known:
+            raise ValueError(
+                f"generator {gen!r} uses letter {ch!r} outside the base factors"
+            )
+    return target, frozenset(word)
+
+
+def fractional_factorial(
+    factor_names: Sequence[str],
+    generators: Sequence[str],
+    levels: Sequence = (-1, 1),
+) -> Tuple[Design, FractionalDesignInfo]:
+    """Build a 2^(k-p) fractional factorial design.
+
+    Args:
+        factor_names: Names of all k factors, in design-letter order: the
+            first ``k - p`` names take the base letters A, B, C, ...; the
+            rest are assigned by the generators.
+        generators: p generator strings in letter algebra, e.g.
+            ``["E=ABC", "F=BCD"]``.  Letters refer to positions in
+            ``factor_names`` (A = first name, etc.).
+        levels: The two concrete levels, low first (default coded -1/+1).
+
+    Returns:
+        ``(design, info)`` — the design and its confounding structure.
+
+    Raises:
+        ValueError: On inconsistent inputs.
+    """
+    k = len(factor_names)
+    p = len(generators)
+    if k < 2:
+        raise ValueError("need at least two factors")
+    if p < 1:
+        raise ValueError("need at least one generator (else use full_factorial)")
+    if k - p < 1:
+        raise ValueError(f"too many generators: k={k}, p={p}")
+    if len(levels) != 2:
+        raise ValueError(f"fractional factorials are two-level, got {levels!r}")
+    if k > len(_LETTERS):
+        raise ValueError(f"at most {len(_LETTERS)} factors supported")
+
+    letters = _LETTERS[:k]
+    base_letters = letters[: k - p]
+    generated_letters = letters[k - p :]
+
+    parsed: Dict[str, FrozenSet[str]] = {}
+    for gen in generators:
+        target, word = _parse_generator(gen, base_letters)
+        if target not in generated_letters:
+            raise ValueError(
+                f"generator target {target!r} must be one of {generated_letters!r}"
+            )
+        if target in parsed:
+            raise ValueError(f"duplicate generator for {target!r}")
+        parsed[target] = word
+    missing = [g for g in generated_letters if g not in parsed]
+    if missing:
+        raise ValueError(f"missing generators for letters {missing!r}")
+
+    # Base design in coded units.
+    base = full_factorial([Factor(ch, (-1, 1)) for ch in base_letters])
+
+    letter_to_name = dict(zip(letters, factor_names))
+    factors = [Factor(name, tuple(levels)) for name in factor_names]
+    runs: List[Run] = []
+    for base_run in base.runs:
+        coded: Dict[str, int] = {ch: int(base_run[ch]) for ch in base_letters}
+        for target, word in parsed.items():
+            value = 1
+            for ch in word:
+                value *= coded[ch]
+            coded[target] = value
+        settings = {
+            letter_to_name[ch]: levels[0] if coded[ch] < 0 else levels[1]
+            for ch in letters
+        }
+        runs.append(Run(settings))
+
+    # Defining relation: products of all non-empty subsets of the p
+    # defining words {target ∪ word}.
+    defining_words = [
+        frozenset({target}) | word for target, word in parsed.items()
+    ]
+    relation: set[FrozenSet[str]] = set()
+    for r in range(1, p + 1):
+        for combo in itertools.combinations(defining_words, r):
+            word: FrozenSet[str] = frozenset()
+            for w in combo:
+                word = _word_multiply(word, w)
+            if word:
+                relation.add(word)
+    relation_strs = sorted("".join(sorted(w)) for w in relation)
+    resolution = min(len(w) for w in relation) if relation else k
+
+    # Alias structure of main effects (up to 3-letter interactions).
+    aliases: Dict[str, List[str]] = {}
+    for ch in letters:
+        partner_words = []
+        for word in relation:
+            alias = _word_multiply(frozenset({ch}), word)
+            if 0 < len(alias) <= 3:
+                partner_words.append("".join(sorted(alias)))
+        aliases[ch] = sorted(partner_words)
+
+    design = Design(
+        factors=factors,
+        runs=runs,
+        name=f"2^({k}-{p}) fractional factorial (resolution {resolution})",
+        metadata={"generators": list(generators), "letters": letters},
+    )
+    info = FractionalDesignInfo(
+        generators=list(generators),
+        defining_relation=relation_strs,
+        resolution=resolution,
+        aliases=aliases,
+    )
+    return design, info

@@ -1,0 +1,91 @@
+"""Plackett–Burman screening designs.
+
+PB designs estimate k <= N-1 main effects in N runs (N a multiple of 4)
+and are the classical choice for *screening*: finding which of many
+components matter before running a finer experiment — exactly the
+narrowing role DoE plays in the paper's step 2.
+
+Designs for N in {8, 12, 16, 20, 24} are built by cyclic rotation of the
+standard generating rows, plus a final row of all minus signs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.doe.design import Design, Factor, Run
+
+# Standard Plackett–Burman generating rows (+ = +1, - = -1).
+_GENERATING_ROWS: Dict[int, str] = {
+    8: "+++-+--",
+    12: "++-+++---+-",
+    16: "++++-+-++--+---",
+    20: "++--++++-+-+----++-",
+    24: "+++++-+-++--++--+-+----",
+}
+
+
+def _pb_matrix(n_runs: int) -> np.ndarray:
+    """The full (n_runs × n_runs-1) PB matrix in coded units."""
+    if n_runs not in _GENERATING_ROWS:
+        raise ValueError(
+            f"Plackett-Burman designs available for N in "
+            f"{sorted(_GENERATING_ROWS)}, got {n_runs}"
+        )
+    row = [1 if c == "+" else -1 for c in _GENERATING_ROWS[n_runs]]
+    size = n_runs - 1
+    matrix = np.zeros((n_runs, size), dtype=int)
+    current = list(row)
+    for i in range(size):
+        matrix[i, :] = current
+        # cyclic right-shift
+        current = [current[-1]] + current[:-1]
+    matrix[size, :] = -1
+    return matrix
+
+
+def smallest_pb_runs(n_factors: int) -> int:
+    """The smallest supported PB run count that fits ``n_factors``."""
+    for n in sorted(_GENERATING_ROWS):
+        if n - 1 >= n_factors:
+            return n
+    raise ValueError(
+        f"too many factors ({n_factors}) for the built-in PB designs"
+    )
+
+
+def plackett_burman(factors: Sequence[Factor]) -> Design:
+    """Build a Plackett–Burman design for two-level ``factors``.
+
+    The smallest supported run count with enough columns is chosen
+    automatically; surplus columns are dropped.
+
+    Raises:
+        ValueError: If any factor is not two-level, or too many factors.
+    """
+    factors = list(factors)
+    if not factors:
+        raise ValueError("plackett_burman requires at least one factor")
+    for f in factors:
+        if f.n_levels != 2:
+            raise ValueError(
+                f"Plackett-Burman designs are two-level; factor {f.name!r} "
+                f"has {f.n_levels} levels"
+            )
+    n_runs = smallest_pb_runs(len(factors))
+    matrix = _pb_matrix(n_runs)
+    runs: List[Run] = []
+    for i in range(n_runs):
+        settings = {
+            f.name: f.levels[0] if matrix[i, j] < 0 else f.levels[1]
+            for j, f in enumerate(factors)
+        }
+        runs.append(Run(settings))
+    return Design(
+        factors=factors,
+        runs=runs,
+        name=f"Plackett-Burman N={n_runs}",
+        metadata={"n_runs": n_runs},
+    )

@@ -1,0 +1,204 @@
+"""Structural and behavioural analysis of Petri nets.
+
+Provides bounded reachability-graph construction, deadlock detection,
+boundedness checks and P/T-invariant computation via exact rational
+Gaussian elimination (no external solver needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.petri.net import Marking, PetriNet
+
+
+@dataclass
+class ReachabilityGraph:
+    """Explicit (possibly truncated) reachability graph.
+
+    Attributes:
+        markings: All discovered markings; index 0 is the initial marking.
+        edges: ``(source_index, transition_name, target_index)`` triples.
+        truncated: True if exploration hit ``max_markings`` before
+            exhausting the state space.
+    """
+
+    markings: List[Marking]
+    edges: List[Tuple[int, str, int]] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def n_markings(self) -> int:
+        """Number of distinct markings discovered."""
+        return len(self.markings)
+
+    def successors(self, index: int) -> List[Tuple[str, int]]:
+        """Outgoing ``(transition, target)`` pairs of marking ``index``."""
+        return [(t, dst) for src, t, dst in self.edges if src == index]
+
+
+def reachability_graph(
+    net: PetriNet,
+    max_markings: int = 10000,
+    initial: Optional[Marking] = None,
+) -> ReachabilityGraph:
+    """Breadth-first reachability exploration.
+
+    Args:
+        net: The net to explore.
+        max_markings: Truncation bound (the graph of an unbounded net is
+            infinite).
+        initial: Override for the initial marking.
+
+    Returns:
+        The (possibly truncated) :class:`ReachabilityGraph`.
+    """
+    start = initial if initial is not None else net.initial_marking()
+    index: Dict[Marking, int] = {start: 0}
+    markings = [start]
+    edges: List[Tuple[int, str, int]] = []
+    frontier = [0]
+    truncated = False
+    while frontier:
+        next_frontier: List[int] = []
+        for src in frontier:
+            marking = markings[src]
+            for transition in net.enabled_transitions(marking):
+                successor = net.fire(transition, marking)
+                if successor not in index:
+                    if len(markings) >= max_markings:
+                        truncated = True
+                        continue
+                    index[successor] = len(markings)
+                    markings.append(successor)
+                    next_frontier.append(index[successor])
+                edges.append((src, transition.name, index[successor]))
+        frontier = next_frontier
+    return ReachabilityGraph(markings=markings, edges=edges, truncated=truncated)
+
+
+def deadlock_markings(graph: ReachabilityGraph) -> List[Marking]:
+    """Markings with no outgoing edges (dead states)."""
+    has_out: Set[int] = {src for src, _, _ in graph.edges}
+    return [m for i, m in enumerate(graph.markings) if i not in has_out]
+
+
+def is_bounded(
+    net: PetriNet, bound: int = 1, max_markings: int = 10000
+) -> Optional[bool]:
+    """Check k-boundedness by exhaustive exploration.
+
+    Returns:
+        True/False if decidable within ``max_markings`` markings, else
+        ``None`` (exploration truncated without finding a violation).
+    """
+    graph = reachability_graph(net, max_markings=max_markings)
+    for marking in graph.markings:
+        for place in net.places:
+            if marking[place.name] > bound:
+                return False
+    return None if graph.truncated else True
+
+
+def _rational_nullspace(matrix: List[List[int]]) -> List[List[Fraction]]:
+    """Exact null-space basis of ``matrix`` (rows × cols) over the rationals."""
+    if not matrix:
+        return []
+    rows = [list(map(Fraction, row)) for row in matrix]
+    n_rows, n_cols = len(rows), len(rows[0])
+    pivot_cols: List[int] = []
+    r = 0
+    for c in range(n_cols):
+        pivot = next(
+            (i for i in range(r, n_rows) if rows[i][c] != 0),
+            None,
+        )
+        if pivot is None:
+            continue
+        rows[r], rows[pivot] = rows[pivot], rows[r]
+        factor = rows[r][c]
+        rows[r] = [v / factor for v in rows[r]]
+        for i in range(n_rows):
+            if i != r and rows[i][c] != 0:
+                coef = rows[i][c]
+                rows[i] = [a - coef * b for a, b in zip(rows[i], rows[r])]
+        pivot_cols.append(c)
+        r += 1
+        if r == n_rows:
+            break
+    free_cols = [c for c in range(n_cols) if c not in pivot_cols]
+    basis: List[List[Fraction]] = []
+    for free in free_cols:
+        vec = [Fraction(0)] * n_cols
+        vec[free] = Fraction(1)
+        for row_idx, pc in enumerate(pivot_cols):
+            vec[pc] = -rows[row_idx][free]
+        basis.append(vec)
+    return basis
+
+
+def _integerize(vector: Sequence[Fraction]) -> List[int]:
+    """Scale a rational vector to the smallest integer multiple."""
+    denominators = [v.denominator for v in vector]
+    lcm = 1
+    for d in denominators:
+        g = _gcd(lcm, d)
+        lcm = lcm // g * d
+    ints = [int(v * lcm) for v in vector]
+    g = 0
+    for v in ints:
+        g = _gcd(g, abs(v))
+    if g > 1:
+        ints = [v // g for v in ints]
+    return ints
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def p_invariants(net: PetriNet) -> List[Dict[str, int]]:
+    """Place invariants: integer vectors y with yᵀC = 0.
+
+    A P-invariant certifies a conservation law — the weighted token count
+    over its support is constant in every reachable marking.
+
+    Returns:
+        One ``{place: weight}`` dict per basis vector (zero weights
+        omitted).
+    """
+    place_names, _, matrix = net.incidence_matrix()
+    # y^T C = 0  <=>  C^T y = 0.
+    transposed = [list(col) for col in zip(*matrix)] if matrix else []
+    basis = _rational_nullspace(transposed)
+    invariants = []
+    for vec in basis:
+        ints = _integerize(vec)
+        invariants.append(
+            {p: w for p, w in zip(place_names, ints) if w != 0}
+        )
+    return invariants
+
+
+def t_invariants(net: PetriNet) -> List[Dict[str, int]]:
+    """Transition invariants: integer vectors x with Cx = 0.
+
+    A T-invariant is a firing-count vector whose execution reproduces the
+    starting marking (a cyclic behaviour).
+
+    Returns:
+        One ``{transition: count}`` dict per basis vector.
+    """
+    _, transition_names, matrix = net.incidence_matrix()
+    basis = _rational_nullspace(matrix)
+    invariants = []
+    for vec in basis:
+        ints = _integerize(vec)
+        invariants.append(
+            {t: w for t, w in zip(transition_names, ints) if w != 0}
+        )
+    return invariants

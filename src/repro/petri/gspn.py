@@ -1,0 +1,241 @@
+"""Generalized stochastic Petri nets (GSPN).
+
+Adds timing semantics to :class:`~repro.petri.net.PetriNet`:
+
+* **Timed transitions** fire after an exponential delay (race policy,
+  resampling on marking change) with optionally marking-dependent rates.
+* **Immediate transitions** fire in zero time; among enabled immediate
+  transitions the one with highest priority fires, ties broken by
+  relative weight.
+
+The simulator is a thin state machine over :class:`repro.sim.engine`
+semantics; transient measures are estimated via independent replications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.petri.net import Marking, PetriNet
+from repro.stats.ci import ConfidenceInterval, mean_ci, proportion_ci
+
+RateFunction = Callable[[Marking], float]
+
+
+@dataclass
+class TimedTransition:
+    """An exponentially-timed transition.
+
+    Attributes:
+        name: Name of the underlying structural transition.
+        rate: Constant firing rate, or a callable of the marking.
+    """
+
+    name: str
+    rate: float | RateFunction
+
+    def rate_in(self, marking: Marking) -> float:
+        """Evaluate the firing rate in ``marking``."""
+        value = self.rate(marking) if callable(self.rate) else self.rate
+        if value <= 0:
+            raise ValueError(
+                f"timed transition {self.name!r} has non-positive rate {value}"
+            )
+        return float(value)
+
+
+@dataclass
+class ImmediateTransition:
+    """A zero-delay transition with priority and weight.
+
+    Attributes:
+        name: Name of the underlying structural transition.
+        weight: Relative probability among equal-priority candidates.
+        priority: Higher fires first.
+    """
+
+    name: str
+    weight: float = 1.0
+    priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+
+
+@dataclass
+class GSPNResult:
+    """Result of a batch of GSPN replications.
+
+    Attributes:
+        final_markings: Final marking per replication.
+        completion_times: Time at which the stop predicate fired, per
+            replication (nan when it never fired within the horizon).
+        horizon: Simulation horizon used.
+    """
+
+    final_markings: List[Marking]
+    completion_times: List[float]
+    horizon: float
+
+    def completion_probability(self, level: float = 0.95) -> ConfidenceInterval:
+        """Wilson CI for P(stop predicate fires before the horizon)."""
+        n = len(self.completion_times)
+        successes = sum(1 for t in self.completion_times if t == t)
+        return proportion_ci(successes, n, level=level)
+
+    def mean_completion_time(self, level: float = 0.95) -> Optional[ConfidenceInterval]:
+        """t CI for completion time among completed replications."""
+        finished = [t for t in self.completion_times if t == t]
+        if not finished:
+            return None
+        return mean_ci(finished, level=level)
+
+
+class GSPN:
+    """A stochastic interpretation layered over a :class:`PetriNet`."""
+
+    def __init__(self, net: PetriNet) -> None:
+        self.net = net
+        self._timed: Dict[str, TimedTransition] = {}
+        self._immediate: Dict[str, ImmediateTransition] = {}
+
+    def add_timed(self, name: str, rate: float | RateFunction) -> TimedTransition:
+        """Declare structural transition ``name`` as exponentially timed.
+
+        Raises:
+            ValueError: If unknown or already declared.
+        """
+        self._check_declarable(name)
+        timed = TimedTransition(name, rate)
+        self._timed[name] = timed
+        return timed
+
+    def add_immediate(
+        self, name: str, weight: float = 1.0, priority: int = 1
+    ) -> ImmediateTransition:
+        """Declare structural transition ``name`` as immediate.
+
+        Raises:
+            ValueError: If unknown or already declared.
+        """
+        self._check_declarable(name)
+        imm = ImmediateTransition(name, weight, priority)
+        self._immediate[name] = imm
+        return imm
+
+    def _check_declarable(self, name: str) -> None:
+        self.net.transition(name)  # raises KeyError if absent
+        if name in self._timed or name in self._immediate:
+            raise ValueError(f"transition {name!r} already declared")
+
+    def _undeclared(self) -> List[str]:
+        return [
+            t.name
+            for t in self.net.transitions
+            if t.name not in self._timed and t.name not in self._immediate
+        ]
+
+    def simulate(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        stop: Optional[Callable[[Marking], bool]] = None,
+        initial: Optional[Marking] = None,
+        max_firings: int = 1_000_000,
+    ) -> Tuple[Marking, float, List[Tuple[float, str, Marking]]]:
+        """One replication.
+
+        Args:
+            horizon: Time horizon.
+            rng: Random generator.
+            stop: Optional predicate on the marking; simulation stops as
+                soon as it holds.
+            initial: Override initial marking.
+            max_firings: Safety cap against immediate-transition loops.
+
+        Returns:
+            ``(final_marking, stop_time, firing_log)`` where ``stop_time``
+            is nan if the predicate never held, and the log holds
+            ``(time, transition, marking_after)`` triples.
+
+        Raises:
+            ValueError: If some structural transition lacks a stochastic
+                declaration, or the immediate cap is exceeded.
+        """
+        missing = self._undeclared()
+        if missing:
+            raise ValueError(
+                f"transitions without timing declaration: {missing!r}"
+            )
+        marking = initial if initial is not None else self.net.initial_marking()
+        now = 0.0
+        log: List[Tuple[float, str, Marking]] = []
+        stop_time = float("nan")
+        if stop is not None and stop(marking):
+            return marking, 0.0, log
+        firings = 0
+        while now <= horizon:
+            if firings >= max_firings:
+                raise ValueError(
+                    f"exceeded {max_firings} firings; immediate loop likely"
+                )
+            enabled = self.net.enabled_transitions(marking)
+            if not enabled:
+                break
+            immediate = [
+                self._immediate[t.name] for t in enabled if t.name in self._immediate
+            ]
+            if immediate:
+                top = max(i.priority for i in immediate)
+                candidates = [i for i in immediate if i.priority == top]
+                weights = np.array([c.weight for c in candidates])
+                chosen = candidates[
+                    int(rng.choice(len(candidates), p=weights / weights.sum()))
+                ]
+                marking = self.net.fire(self.net.transition(chosen.name), marking)
+                log.append((now, chosen.name, marking))
+            else:
+                timed = [self._timed[t.name] for t in enabled]
+                rates = np.array([t.rate_in(marking) for t in timed])
+                total = rates.sum()
+                delay = float(rng.exponential(1.0 / total))
+                if now + delay > horizon:
+                    now = horizon
+                    break
+                now += delay
+                chosen_t = timed[
+                    int(rng.choice(len(timed), p=rates / total))
+                ]
+                marking = self.net.fire(self.net.transition(chosen_t.name), marking)
+                log.append((now, chosen_t.name, marking))
+            firings += 1
+            if stop is not None and stop(marking):
+                stop_time = now
+                break
+        return marking, stop_time, log
+
+    def transient_analysis(
+        self,
+        horizon: float,
+        replications: int,
+        rng: np.random.Generator,
+        stop: Optional[Callable[[Marking], bool]] = None,
+    ) -> GSPNResult:
+        """Monte-Carlo transient analysis over independent replications.
+
+        Raises:
+            ValueError: If ``replications < 1``.
+        """
+        if replications < 1:
+            raise ValueError(f"replications must be >= 1, got {replications}")
+        finals: List[Marking] = []
+        times: List[float] = []
+        for _ in range(replications):
+            final, stop_time, _ = self.simulate(horizon, rng, stop=stop)
+            finals.append(final)
+            times.append(stop_time)
+        return GSPNResult(finals, times, horizon)

@@ -1,0 +1,55 @@
+"""Stochastic Activity Networks (SAN).
+
+The paper's SCoPE case study is modeled *"by means of the stochastic
+activity networks (SAN) formalism"*.  This package implements that
+formalism from scratch:
+
+* :mod:`repro.san.model` — places, timed/instantaneous activities, case
+  probabilities, input gates (predicate + function) and output gates.
+* :mod:`repro.san.simulator` — discrete-event execution with the usual
+  SAN activation/abort/completion semantics.
+* :mod:`repro.san.rewards` — rate and impulse reward variables plus
+  Monte-Carlo estimation with confidence intervals.
+* :mod:`repro.san.ctmc` — exact CTMC conversion for all-exponential SANs
+  (state-space exploration, transient solution, absorption analysis);
+  used to validate the simulator.
+* :mod:`repro.san.builder` — a fluent builder for terse model definitions.
+"""
+
+from repro.san.ctmc import CTMC, san_to_ctmc
+from repro.san.model import (
+    Case,
+    InputGate,
+    InstantaneousActivity,
+    OutputGate,
+    SANMarking,
+    SANModel,
+    TimedActivity,
+)
+from repro.san.builder import SANBuilder
+from repro.san.rewards import (
+    ImpulseReward,
+    MonteCarloEstimate,
+    RateReward,
+    RewardEstimator,
+)
+from repro.san.simulator import SANSimulator, SimulationRun
+
+__all__ = [
+    "CTMC",
+    "Case",
+    "ImpulseReward",
+    "InputGate",
+    "InstantaneousActivity",
+    "MonteCarloEstimate",
+    "OutputGate",
+    "RateReward",
+    "RewardEstimator",
+    "SANBuilder",
+    "SANMarking",
+    "SANModel",
+    "SANSimulator",
+    "SimulationRun",
+    "TimedActivity",
+    "san_to_ctmc",
+]

@@ -1,0 +1,166 @@
+"""A fluent builder for SAN models.
+
+Wraps :class:`~repro.san.model.SANModel` with terse helpers for the
+patterns that dominate attack models: probabilistic stage transitions,
+guard predicates and counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.san.model import (
+    Case,
+    InputGate,
+    OutputGate,
+    SANMarking,
+    SANModel,
+    simple_case,
+)
+from repro.stats.distributions import Distribution, Exponential
+
+
+class SANBuilder:
+    """Builds a :class:`SANModel` incrementally.
+
+    Example:
+        >>> builder = SANBuilder("attack")
+        >>> builder.place("initial", 1).place("root", 0)
+        <...>
+        >>> builder.stage("escalate", "initial", "root",
+        ...               rate=0.5, success_probability=0.7,
+        ...               failure_place="initial")
+        <...>
+        >>> model = builder.build()
+    """
+
+    def __init__(self, name: str = "san") -> None:
+        self._model = SANModel(name)
+        self._gate_counter = 0
+
+    def place(self, name: str, tokens: int = 0) -> "SANBuilder":
+        """Declare a place with an initial token count."""
+        self._model.set_initial(name, tokens)
+        return self
+
+    def predicate_gate(
+        self, predicate: Callable[[SANMarking], bool], name: Optional[str] = None
+    ) -> InputGate:
+        """An input gate that only guards (identity input function)."""
+        self._gate_counter += 1
+        return InputGate(
+            name or f"gate_{self._gate_counter}",
+            predicate=predicate,
+            function=lambda marking: None,
+        )
+
+    def output_gate(
+        self, function: Callable[[SANMarking], None], name: Optional[str] = None
+    ) -> OutputGate:
+        """An output gate applying ``function`` to the marking."""
+        self._gate_counter += 1
+        return OutputGate(name or f"ogate_{self._gate_counter}", function)
+
+    def stage(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        rate: float,
+        success_probability: float = 1.0,
+        failure_place: Optional[str] = None,
+        guard: Optional[Callable[[SANMarking], bool]] = None,
+        distribution: Optional[Distribution] = None,
+    ) -> "SANBuilder":
+        """Add a probabilistic attack-stage activity.
+
+        The activity consumes one token from ``source``; with
+        ``success_probability`` it produces a token in ``target``,
+        otherwise in ``failure_place`` (or back in ``source`` when
+        omitted, modeling a retry).
+
+        Args:
+            name: Activity name.
+            source: Stage the attack is currently in.
+            target: Stage reached on success.
+            rate: Exponential completion rate (ignored when
+                ``distribution`` is given).
+            success_probability: Probability of the success case.
+            failure_place: Where the token goes on failure.
+            guard: Extra enabling predicate.
+            distribution: Override the completion-time distribution.
+        """
+        if not 0.0 <= success_probability <= 1.0:
+            raise ValueError(
+                f"success_probability must be in [0, 1], got {success_probability}"
+            )
+        fail_target = failure_place if failure_place is not None else source
+        cases = []
+        if success_probability > 0.0:
+            cases.append(
+                simple_case({target: 1}, probability=success_probability,
+                            label="success")
+            )
+        if success_probability < 1.0:
+            cases.append(
+                simple_case({fail_target: 1},
+                            probability=1.0 - success_probability,
+                            label="failure")
+            )
+        gates = [self.predicate_gate(guard)] if guard is not None else []
+        self._model.add_timed_activity(
+            name,
+            distribution or Exponential(rate),
+            input_places={source: 1},
+            input_gates=gates,
+            cases=cases,
+        )
+        return self
+
+    def timed(
+        self,
+        name: str,
+        distribution: Distribution,
+        inputs: Optional[Dict[str, int]] = None,
+        outputs: Optional[Dict[str, int]] = None,
+        cases: Sequence[Case] = (),
+        guard: Optional[Callable[[SANMarking], bool]] = None,
+    ) -> "SANBuilder":
+        """Add a general timed activity."""
+        gates = [self.predicate_gate(guard)] if guard is not None else []
+        self._model.add_timed_activity(
+            name,
+            distribution,
+            input_places=inputs,
+            input_gates=gates,
+            cases=cases,
+            output_places=None if cases else (outputs or {}),
+        )
+        return self
+
+    def instantaneous(
+        self,
+        name: str,
+        inputs: Optional[Dict[str, int]] = None,
+        outputs: Optional[Dict[str, int]] = None,
+        cases: Sequence[Case] = (),
+        weight: float = 1.0,
+        priority: int = 1,
+        guard: Optional[Callable[[SANMarking], bool]] = None,
+    ) -> "SANBuilder":
+        """Add an instantaneous activity."""
+        gates = [self.predicate_gate(guard)] if guard is not None else []
+        self._model.add_instantaneous_activity(
+            name,
+            input_places=inputs,
+            input_gates=gates,
+            cases=cases,
+            output_places=None if cases else (outputs or {}),
+            weight=weight,
+            priority=priority,
+        )
+        return self
+
+    def build(self) -> SANModel:
+        """Return the assembled model."""
+        return self._model

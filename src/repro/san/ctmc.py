@@ -1,0 +1,272 @@
+"""Exact CTMC analysis of all-exponential SAN models.
+
+When every timed activity of a SAN is exponentially distributed, the
+marking process is a continuous-time Markov chain.  This module explores
+the (tangible) state space, eliminates vanishing markings introduced by
+instantaneous activities, and provides transient and absorption analysis.
+It serves two purposes:
+
+* exact answers for small models (e.g. Madan-style security quantification
+  — the paper's reference for Time-To-Security-Failure), and
+* validation of the Monte-Carlo simulator (:mod:`repro.san.simulator`) —
+  experiment E8 in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.san.model import (
+    InstantaneousActivity,
+    SANMarking,
+    SANModel,
+    TimedActivity,
+)
+from repro.stats.distributions import Exponential
+
+FrozenMarking = Tuple[Tuple[str, int], ...]
+
+
+@dataclass
+class CTMC:
+    """An explicit-state CTMC.
+
+    Attributes:
+        states: Tangible markings (frozen); index 0 is the initial state
+            distribution's support start.
+        generator: Dense generator matrix Q (rows sum to zero).
+        initial: Initial probability vector over ``states``.
+    """
+
+    states: List[FrozenMarking]
+    generator: np.ndarray
+    initial: np.ndarray
+
+    @property
+    def n_states(self) -> int:
+        """Number of tangible states."""
+        return len(self.states)
+
+    def state_index(self, marking: FrozenMarking) -> int:
+        """Index of ``marking``.
+
+        Raises:
+            KeyError: If the marking is not a tangible state.
+        """
+        try:
+            return self.states.index(marking)
+        except ValueError as exc:
+            raise KeyError(f"unknown state {marking!r}") from exc
+
+    def transient_distribution(self, t: float) -> np.ndarray:
+        """State distribution at time ``t``: p(t) = p(0)·e^{Qt}.
+
+        Raises:
+            ValueError: If ``t < 0``.
+        """
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        return self.initial @ expm(self.generator * t)
+
+    def state_probability(
+        self, t: float, predicate: Callable[[Dict[str, int]], bool]
+    ) -> float:
+        """P(marking satisfies ``predicate``) at time ``t``."""
+        dist = self.transient_distribution(t)
+        total = 0.0
+        for i, state in enumerate(self.states):
+            if predicate(dict(state)):
+                total += float(dist[i])
+        return total
+
+    def absorbing_states(self) -> List[int]:
+        """Indices of states with no outgoing rate."""
+        out = np.abs(self.generator).sum(axis=1)
+        return [i for i in range(self.n_states) if out[i] < 1e-14]
+
+    def hitting_probability(self, targets: Sequence[int]) -> np.ndarray:
+        """P(eventually hit ``targets``) from every state.
+
+        Absorbing non-target states contribute probability 0.
+
+        Raises:
+            ValueError: If ``targets`` is empty.
+        """
+        targets = set(targets)
+        if not targets:
+            raise ValueError("need at least one target state")
+        absorbing = set(self.absorbing_states())
+        transient = [
+            i
+            for i in range(self.n_states)
+            if i not in targets and i not in absorbing
+        ]
+        x = np.zeros(self.n_states)
+        for i in targets:
+            x[i] = 1.0
+        if transient:
+            q_tt = self.generator[np.ix_(transient, transient)]
+            rhs = -self.generator[np.ix_(transient, sorted(targets))].sum(axis=1)
+            x_t = np.linalg.solve(q_tt, rhs)
+            for idx, i in enumerate(transient):
+                x[i] = float(x_t[idx])
+        return x
+
+    def mean_hitting_time(self, targets: Sequence[int]) -> np.ndarray:
+        """Expected time to hit ``targets`` from every state.
+
+        Entries are ``inf`` for states from which the targets are not hit
+        almost surely (including absorbing non-target states).
+
+        Raises:
+            ValueError: If ``targets`` is empty.
+        """
+        targets = set(targets)
+        if not targets:
+            raise ValueError("need at least one target state")
+        probs = self.hitting_probability(sorted(targets))
+        absorbing = set(self.absorbing_states())
+        transient = [
+            i
+            for i in range(self.n_states)
+            if i not in targets and i not in absorbing
+        ]
+        h = np.full(self.n_states, np.inf)
+        for i in targets:
+            h[i] = 0.0
+        certain = [i for i in transient if probs[i] > 1.0 - 1e-9]
+        if certain:
+            q_tt = self.generator[np.ix_(certain, certain)]
+            rhs = -np.ones(len(certain))
+            h_t = np.linalg.solve(q_tt, rhs)
+            for idx, i in enumerate(certain):
+                h[i] = float(h_t[idx])
+        return h
+
+
+def _tangible_expansion(
+    model: SANModel,
+    marking: SANMarking,
+    rng_placeholder: None = None,
+    max_depth: int = 1000,
+) -> List[Tuple[float, FrozenMarking]]:
+    """Expand a (possibly vanishing) marking into tangible outcomes.
+
+    Follows instantaneous activities (priority, then weight split) and
+    case branches, multiplying probabilities, until no instantaneous
+    activity is enabled.
+
+    Returns:
+        ``[(probability, tangible_frozen_marking), ...]`` summing to 1.
+
+    Raises:
+        RuntimeError: If expansion exceeds ``max_depth`` (vanishing loop).
+    """
+    results: Dict[FrozenMarking, float] = {}
+    stack: List[Tuple[float, SANMarking, int]] = [(1.0, marking, 0)]
+    while stack:
+        prob, current, depth = stack.pop()
+        if depth > max_depth:
+            raise RuntimeError("vanishing-marking loop detected")
+        inst = [
+            a
+            for a in model.instantaneous_activities
+            if a.is_enabled(current)
+        ]
+        if not inst:
+            frozen = current.freeze()
+            results[frozen] = results.get(frozen, 0.0) + prob
+            continue
+        top = max(a.priority for a in inst)
+        candidates = [a for a in inst if a.priority == top]
+        total_weight = sum(c.weight for c in candidates)
+        for activity in candidates:
+            w = activity.weight / total_weight
+            case_probs = activity.case_probabilities(current)
+            for case_index, p_case in enumerate(case_probs):
+                if p_case == 0.0:
+                    continue
+                nxt = current.copy()
+                activity.complete(nxt, case_index)
+                stack.append((prob * w * p_case, nxt, depth + 1))
+    return [(p, m) for m, p in results.items()]
+
+
+def san_to_ctmc(model: SANModel, max_states: int = 20000) -> CTMC:
+    """Convert an all-exponential SAN to an explicit CTMC.
+
+    Args:
+        model: The SAN; every timed activity must have a (possibly
+            marking-dependent) :class:`Exponential` distribution.
+        max_states: Safety cap on the tangible state space.
+
+    Returns:
+        The :class:`CTMC`.
+
+    Raises:
+        ValueError: If a timed activity is not exponential, or the state
+            space exceeds ``max_states``.
+    """
+    initial_expansion = _tangible_expansion(model, model.initial_marking())
+    index: Dict[FrozenMarking, int] = {}
+    states: List[FrozenMarking] = []
+
+    def intern(frozen: FrozenMarking) -> int:
+        if frozen not in index:
+            if len(states) >= max_states:
+                raise ValueError(
+                    f"state space exceeds max_states={max_states}"
+                )
+            index[frozen] = len(states)
+            states.append(frozen)
+        return index[frozen]
+
+    transitions: List[Tuple[int, int, float]] = []
+    frontier: List[int] = []
+    for prob, frozen in initial_expansion:
+        idx = intern(frozen)
+        if idx == len(states) - 1:
+            frontier.append(idx)
+
+    explored = 0
+    while explored < len(states):
+        src = explored
+        explored += 1
+        marking = SANMarking(dict(states[src]))
+        for activity in model.timed_activities:
+            if not activity.is_enabled(marking):
+                continue
+            dist = activity.distribution_in(marking)
+            if not isinstance(dist, Exponential):
+                raise ValueError(
+                    f"activity {activity.name!r} is not exponential "
+                    f"({type(dist).__name__}); CTMC conversion impossible"
+                )
+            rate = dist.rate
+            case_probs = activity.case_probabilities(marking)
+            for case_index, p_case in enumerate(case_probs):
+                if p_case == 0.0:
+                    continue
+                nxt = marking.copy()
+                activity.complete(nxt, case_index)
+                for p_tang, tangible in _tangible_expansion(model, nxt):
+                    dst = intern(tangible)
+                    transitions.append((src, dst, rate * p_case * p_tang))
+
+    n = len(states)
+    generator = np.zeros((n, n))
+    for src, dst, rate in transitions:
+        if src != dst:
+            generator[src, dst] += rate
+    for i in range(n):
+        generator[i, i] = -generator[i].sum()
+
+    initial = np.zeros(n)
+    for prob, frozen in initial_expansion:
+        initial[index[frozen]] += prob
+
+    return CTMC(states=states, generator=generator, initial=initial)

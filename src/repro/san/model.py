@@ -1,0 +1,383 @@
+"""SAN model elements.
+
+A stochastic activity network consists of **places** holding tokens,
+**activities** (timed or instantaneous) that move tokens, **input gates**
+(an enabling predicate plus a marking-transformation function) and
+**output gates** (a marking-transformation function).  Timed activities may
+have several **cases**, selected probabilistically at completion — this is
+how a SAN expresses, e.g., "the root-access attempt succeeds with
+probability p and fails otherwise".
+
+Marking-dependent behaviour is pervasive in SANs, so distributions, case
+probabilities and gate behaviour may all be callables of the current
+marking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.stats.distributions import Distribution, Exponential
+
+
+class SANMarking:
+    """A mutable token assignment used during simulation.
+
+    Supports dict-style access; unknown places read as 0.  ``freeze()``
+    produces a hashable snapshot for state-space exploration.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
+        self._counts: Dict[str, int] = dict(counts or {})
+        for place, count in self._counts.items():
+            if count < 0:
+                raise ValueError(f"negative tokens in place {place!r}: {count}")
+
+    def __getitem__(self, place: str) -> int:
+        return self._counts.get(place, 0)
+
+    def __setitem__(self, place: str, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"cannot set place {place!r} to {count}")
+        if count == 0:
+            self._counts.pop(place, None)
+        else:
+            self._counts[place] = count
+
+    def add(self, place: str, delta: int) -> None:
+        """Add ``delta`` tokens (may be negative).
+
+        Raises:
+            ValueError: If the count would go negative.
+        """
+        self[place] = self[place] + delta
+
+    def copy(self) -> "SANMarking":
+        """An independent copy."""
+        return SANMarking(dict(self._counts))
+
+    def freeze(self) -> Tuple[Tuple[str, int], ...]:
+        """A hashable snapshot (sorted, zero counts omitted)."""
+        return tuple(sorted((p, c) for p, c in self._counts.items() if c))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (zero counts omitted)."""
+        return {p: c for p, c in self._counts.items() if c}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SANMarking) and self.freeze() == other.freeze()
+
+    def __hash__(self) -> int:
+        raise TypeError("SANMarking is mutable; hash its freeze() instead")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p}:{c}" for p, c in sorted(self._counts.items()) if c)
+        return f"SANMarking({{{inner}}})"
+
+
+MarkingPredicate = Callable[[SANMarking], bool]
+MarkingFunction = Callable[[SANMarking], None]
+ProbabilityLike = Union[float, Callable[[SANMarking], float]]
+DistributionLike = Union[Distribution, Callable[[SANMarking], Distribution]]
+
+
+@dataclass(frozen=True)
+class InputGate:
+    """An enabling predicate and an input function.
+
+    Attributes:
+        name: Gate name.
+        predicate: Enabling condition on the marking.
+        function: Applied to the marking when the activity completes.
+    """
+
+    name: str
+    predicate: MarkingPredicate
+    function: MarkingFunction
+
+
+@dataclass(frozen=True)
+class OutputGate:
+    """A marking transformation applied on activity completion."""
+
+    name: str
+    function: MarkingFunction
+
+
+@dataclass(frozen=True)
+class Case:
+    """One probabilistic outcome of an activity.
+
+    Attributes:
+        probability: Selection probability (may depend on the marking);
+            the probabilities of an activity's cases must sum to 1.
+        output_places: ``{place: tokens}`` produced when selected.
+        output_gates: Gates applied when selected.
+        label: Optional human-readable tag (e.g. ``"success"``).
+    """
+
+    probability: ProbabilityLike
+    output_places: Tuple[Tuple[str, int], ...] = ()
+    output_gates: Tuple[OutputGate, ...] = ()
+    label: str = ""
+
+    def probability_in(self, marking: SANMarking) -> float:
+        """Evaluate the case probability in ``marking``."""
+        p = (
+            self.probability(marking)
+            if callable(self.probability)
+            else self.probability
+        )
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"case probability {p} outside [0, 1]")
+        return float(p)
+
+
+def _normalize_places(places: Optional[Dict[str, int]]) -> Tuple[Tuple[str, int], ...]:
+    items = tuple(sorted((places or {}).items()))
+    for place, count in items:
+        if count < 1:
+            raise ValueError(f"arc to {place!r} must carry >= 1 tokens")
+    return items
+
+
+@dataclass
+class _ActivityBase:
+    """Shared structure of timed and instantaneous activities."""
+
+    name: str
+    input_places: Tuple[Tuple[str, int], ...] = ()
+    input_gates: Tuple[InputGate, ...] = ()
+    cases: Tuple[Case, ...] = ()
+
+    def is_enabled(self, marking: SANMarking) -> bool:
+        """SAN enabling rule: input arcs marked and all gate predicates hold."""
+        for place, needed in self.input_places:
+            if marking[place] < needed:
+                return False
+        for gate in self.input_gates:
+            if not gate.predicate(marking):
+                return False
+        return True
+
+    def case_probabilities(self, marking: SANMarking) -> List[float]:
+        """Evaluate all case probabilities; verify they sum to 1.
+
+        Raises:
+            ValueError: If the probabilities do not sum to 1 (tolerance
+                1e-9).
+        """
+        probs = [case.probability_in(marking) for case in self.cases]
+        if abs(sum(probs) - 1.0) > 1e-9:
+            raise ValueError(
+                f"case probabilities of activity {self.name!r} sum to "
+                f"{sum(probs)}, expected 1"
+            )
+        return probs
+
+    def complete(self, marking: SANMarking, case_index: int) -> None:
+        """Apply the completion semantics in place.
+
+        Order (standard SAN semantics): input gate functions, input arc
+        token removal, then the selected case's output arcs and gates.
+        """
+        for gate in self.input_gates:
+            gate.function(marking)
+        for place, count in self.input_places:
+            marking.add(place, -count)
+        case = self.cases[case_index]
+        for place, count in case.output_places:
+            marking.add(place, count)
+        for gate in case.output_gates:
+            gate.function(marking)
+
+
+@dataclass
+class TimedActivity(_ActivityBase):
+    """An activity whose completion takes random time.
+
+    Attributes:
+        distribution: Completion-time distribution, possibly
+            marking-dependent.
+    """
+
+    distribution: DistributionLike = field(default_factory=lambda: Exponential(1.0))
+
+    def distribution_in(self, marking: SANMarking) -> Distribution:
+        """Resolve the (possibly marking-dependent) distribution."""
+        if callable(self.distribution) and not isinstance(
+            self.distribution, Distribution
+        ):
+            return self.distribution(marking)
+        return self.distribution  # type: ignore[return-value]
+
+
+@dataclass
+class InstantaneousActivity(_ActivityBase):
+    """An activity that completes in zero time.
+
+    Attributes:
+        weight: Relative selection weight among enabled instantaneous
+            activities of equal priority.
+        priority: Higher fires first.
+    """
+
+    weight: float = 1.0
+    priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+
+
+def simple_case(
+    output_places: Optional[Dict[str, int]] = None,
+    probability: ProbabilityLike = 1.0,
+    output_gates: Sequence[OutputGate] = (),
+    label: str = "",
+) -> Case:
+    """Convenience constructor for a :class:`Case`."""
+    return Case(
+        probability=probability,
+        output_places=_normalize_places(output_places),
+        output_gates=tuple(output_gates),
+        label=label,
+    )
+
+
+class SANModel:
+    """A complete stochastic activity network.
+
+    Places are implicit (any string used by an arc or gate); the model
+    tracks the initial marking and the activity list.
+    """
+
+    def __init__(self, name: str = "san") -> None:
+        self.name = name
+        self._initial: Dict[str, int] = {}
+        self._activities: Dict[str, Union[TimedActivity, InstantaneousActivity]] = {}
+
+    @property
+    def activities(self) -> List[Union[TimedActivity, InstantaneousActivity]]:
+        """All activities in insertion order."""
+        return list(self._activities.values())
+
+    @property
+    def timed_activities(self) -> List[TimedActivity]:
+        """Timed activities only."""
+        return [a for a in self._activities.values() if isinstance(a, TimedActivity)]
+
+    @property
+    def instantaneous_activities(self) -> List[InstantaneousActivity]:
+        """Instantaneous activities only."""
+        return [
+            a
+            for a in self._activities.values()
+            if isinstance(a, InstantaneousActivity)
+        ]
+
+    def set_initial(self, place: str, tokens: int) -> None:
+        """Set the initial token count of ``place``.
+
+        Raises:
+            ValueError: If ``tokens`` is negative.
+        """
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0, got {tokens}")
+        self._initial[place] = tokens
+
+    def initial_marking(self) -> SANMarking:
+        """A fresh mutable copy of the initial marking."""
+        return SANMarking(dict(self._initial))
+
+    def add_timed_activity(
+        self,
+        name: str,
+        distribution: DistributionLike,
+        input_places: Optional[Dict[str, int]] = None,
+        input_gates: Sequence[InputGate] = (),
+        cases: Sequence[Case] = (),
+        output_places: Optional[Dict[str, int]] = None,
+    ) -> TimedActivity:
+        """Add a timed activity.
+
+        Either pass explicit ``cases`` or a single implicit case via
+        ``output_places``.
+
+        Raises:
+            ValueError: On duplicate names or conflicting case arguments.
+        """
+        cases = self._resolve_cases(name, cases, output_places)
+        activity = TimedActivity(
+            name=name,
+            input_places=_normalize_places(input_places),
+            input_gates=tuple(input_gates),
+            cases=cases,
+            distribution=distribution,
+        )
+        self._register(activity)
+        return activity
+
+    def add_instantaneous_activity(
+        self,
+        name: str,
+        input_places: Optional[Dict[str, int]] = None,
+        input_gates: Sequence[InputGate] = (),
+        cases: Sequence[Case] = (),
+        output_places: Optional[Dict[str, int]] = None,
+        weight: float = 1.0,
+        priority: int = 1,
+    ) -> InstantaneousActivity:
+        """Add an instantaneous activity (see :meth:`add_timed_activity`)."""
+        cases = self._resolve_cases(name, cases, output_places)
+        activity = InstantaneousActivity(
+            name=name,
+            input_places=_normalize_places(input_places),
+            input_gates=tuple(input_gates),
+            cases=cases,
+            weight=weight,
+            priority=priority,
+        )
+        self._register(activity)
+        return activity
+
+    def _resolve_cases(
+        self,
+        name: str,
+        cases: Sequence[Case],
+        output_places: Optional[Dict[str, int]],
+    ) -> Tuple[Case, ...]:
+        if cases and output_places:
+            raise ValueError(
+                f"activity {name!r}: pass either cases or output_places, not both"
+            )
+        if cases:
+            return tuple(cases)
+        return (simple_case(output_places or {}),)
+
+    def _register(
+        self, activity: Union[TimedActivity, InstantaneousActivity]
+    ) -> None:
+        if activity.name in self._activities:
+            raise ValueError(f"duplicate activity {activity.name!r}")
+        self._activities[activity.name] = activity
+
+    def activity(self, name: str) -> Union[TimedActivity, InstantaneousActivity]:
+        """Look up an activity by name.
+
+        Raises:
+            KeyError: If absent.
+        """
+        return self._activities[name]
+
+    def places(self) -> List[str]:
+        """All place names referenced by the initial marking or arcs."""
+        names = set(self._initial)
+        for activity in self._activities.values():
+            names.update(p for p, _ in activity.input_places)
+            for case in activity.cases:
+                names.update(p for p, _ in case.output_places)
+        return sorted(names)

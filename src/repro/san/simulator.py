@@ -1,0 +1,185 @@
+"""Discrete-event execution of SAN models.
+
+Implements the standard SAN semantics:
+
+* An activity is **activated** when it becomes enabled; a timed activity
+  samples its completion time on activation.
+* If a marking change disables an activated activity before completion,
+  the activation is **aborted** (its sampled completion is discarded).
+* When the activity completes, the input gates fire, input arcs consume
+  tokens, a **case** is chosen according to the case distribution, and the
+  selected case's output arcs/gates apply.
+* Enabled **instantaneous activities** complete before any timed activity,
+  highest priority first, ties broken by weight.
+
+Activities that remain enabled across a completion keep their sampled
+completion times (no resampling), matching the behaviour of mainstream SAN
+tools for non-memoryless distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.san.model import (
+    InstantaneousActivity,
+    SANMarking,
+    SANModel,
+    TimedActivity,
+)
+
+CompletionHook = Callable[[float, str, str, SANMarking], None]
+
+
+@dataclass
+class SimulationRun:
+    """Outcome of a single SAN replication.
+
+    Attributes:
+        final_marking: Marking when the run ended.
+        end_time: Clock value at the end of the run.
+        stop_time: Time the stop predicate first held (nan if never).
+        completions: ``(time, activity, case_label)`` triples.
+    """
+
+    final_marking: SANMarking
+    end_time: float
+    stop_time: float
+    completions: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the stop predicate held during the run."""
+        return self.stop_time == self.stop_time  # not NaN
+
+
+class SANSimulator:
+    """Executes a :class:`~repro.san.model.SANModel`."""
+
+    def __init__(self, model: SANModel) -> None:
+        self.model = model
+
+    def simulate(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        stop: Optional[Callable[[SANMarking], bool]] = None,
+        initial: Optional[SANMarking] = None,
+        on_completion: Optional[CompletionHook] = None,
+        max_completions: int = 1_000_000,
+    ) -> SimulationRun:
+        """Run one replication up to ``horizon``.
+
+        Args:
+            horizon: Simulation end time.
+            rng: Random generator for this replication.
+            stop: Optional predicate; the run stops as soon as it holds.
+            initial: Override the model's initial marking.
+            on_completion: Hook invoked after every activity completion
+                with ``(time, activity, case_label, marking)``.
+            max_completions: Guard against instantaneous-activity loops.
+
+        Returns:
+            A :class:`SimulationRun`.
+
+        Raises:
+            RuntimeError: If ``max_completions`` is exceeded.
+        """
+        marking = (initial.copy() if initial is not None
+                   else self.model.initial_marking())
+        now = 0.0
+        completions: List[Tuple[float, str, str]] = []
+        stop_time = float("nan")
+
+        if stop is not None and stop(marking):
+            return SimulationRun(marking, 0.0, 0.0, completions)
+
+        # activity name -> sampled absolute completion time
+        pending: Dict[str, float] = {}
+
+        def fire(activity: Union[TimedActivity, InstantaneousActivity]) -> None:
+            nonlocal marking
+            probs = activity.case_probabilities(marking)
+            case_index = int(rng.choice(len(probs), p=probs))
+            label = activity.cases[case_index].label or str(case_index)
+            activity.complete(marking, case_index)
+            completions.append((now, activity.name, label))
+            if on_completion is not None:
+                on_completion(now, activity.name, label, marking)
+
+        count = 0
+        while True:
+            if count >= max_completions:
+                raise RuntimeError(
+                    f"exceeded {max_completions} completions; "
+                    "likely an instantaneous-activity loop"
+                )
+
+            # 1. Fire instantaneous activities to quiescence.
+            inst = [
+                a
+                for a in self.model.instantaneous_activities
+                if a.is_enabled(marking)
+            ]
+            if inst:
+                top = max(a.priority for a in inst)
+                candidates = [a for a in inst if a.priority == top]
+                weights = np.array([c.weight for c in candidates])
+                chosen = candidates[
+                    int(rng.choice(len(candidates), p=weights / weights.sum()))
+                ]
+                fire(chosen)
+                count += 1
+                if stop is not None and stop(marking):
+                    stop_time = now
+                    break
+                continue
+
+            # 2. Reconcile timed activations with the current marking.
+            for activity in self.model.timed_activities:
+                enabled = activity.is_enabled(marking)
+                if enabled and activity.name not in pending:
+                    dist = activity.distribution_in(marking)
+                    pending[activity.name] = now + dist.sample(rng)
+                elif not enabled and activity.name in pending:
+                    del pending[activity.name]  # aborted activation
+
+            if not pending:
+                break  # dead marking
+
+            # 3. Advance to the earliest completion.
+            next_name = min(pending, key=lambda n: (pending[n], n))
+            next_time = pending.pop(next_name)
+            if next_time > horizon:
+                now = horizon
+                break
+            now = next_time
+            fire(self.model.activity(next_name))  # type: ignore[arg-type]
+            count += 1
+            if stop is not None and stop(marking):
+                stop_time = now
+                break
+
+        end_time = min(now, horizon)
+        return SimulationRun(marking, end_time, stop_time, completions)
+
+    def batch(
+        self,
+        horizon: float,
+        replications: int,
+        rng: np.random.Generator,
+        stop: Optional[Callable[[SANMarking], bool]] = None,
+    ) -> List[SimulationRun]:
+        """Run ``replications`` independent replications.
+
+        Raises:
+            ValueError: If ``replications < 1``.
+        """
+        if replications < 1:
+            raise ValueError(f"replications must be >= 1, got {replications}")
+        return [
+            self.simulate(horizon, rng, stop=stop) for _ in range(replications)
+        ]

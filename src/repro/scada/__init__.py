@@ -1,0 +1,53 @@
+"""SCADA system substrate.
+
+Models the monitoring-and-control system the paper reasons about: hosts
+(HMIs, engineering workstations, historians, PLCs, field devices), a
+Purdue-style zoned network with firewall rules, a Modbus-like protocol
+with diversifiable dialects, PLCs running scan-cycle logic, a SCADA
+master with alarms and spoof detection, and the physical plant (the
+SCoPE-like data-center cooling loop) being controlled.
+
+Everything here is simulation substrate; no real network I/O occurs.
+"""
+
+from repro.scada.components import (
+    Component,
+    ComponentKind,
+    Host,
+    HostRole,
+)
+from repro.scada.monitoring import Alarm, SCADAMaster, SpoofDetector
+from repro.scada.network import FirewallRule, SCADANetwork, Zone
+from repro.scada.plc import LadderProgram, PLC, Rung
+from repro.scada.protocol import (
+    CRC_VARIANTS,
+    FunctionCode,
+    ModbusDialect,
+    ModbusFrame,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "Alarm",
+    "CRC_VARIANTS",
+    "Component",
+    "ComponentKind",
+    "FirewallRule",
+    "FunctionCode",
+    "Host",
+    "HostRole",
+    "LadderProgram",
+    "ModbusDialect",
+    "ModbusFrame",
+    "PLC",
+    "ProtocolError",
+    "Rung",
+    "SCADAMaster",
+    "SCADANetwork",
+    "SpoofDetector",
+    "Zone",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,158 @@
+"""Component taxonomy and hosts.
+
+The paper's diversity argument ranges over *"the variety of monitoring and
+control hardware/software components (e.g., sensors, actuators, OSs, PLCs
+management tools)"*.  A :class:`Host` is a node of the SCADA network; its
+:class:`Component` slots (operating system, PLC firmware, protocol stack,
+...) each carry the name of the concrete **variant** installed, which the
+diversity catalog (:mod:`repro.diversity.catalog`) maps to exploitability
+scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+
+class ComponentKind(Enum):
+    """Diversifiable component slots of a SCADA host."""
+
+    OPERATING_SYSTEM = "operating_system"
+    HMI_SOFTWARE = "hmi_software"
+    HISTORIAN_SOFTWARE = "historian_software"
+    ENGINEERING_TOOL = "engineering_tool"
+    PLC_FIRMWARE = "plc_firmware"
+    RTU_FIRMWARE = "rtu_firmware"
+    PROTOCOL_STACK = "protocol_stack"
+    FIREWALL_SOFTWARE = "firewall_software"
+    SENSOR_MODEL = "sensor_model"
+    ACTUATOR_MODEL = "actuator_model"
+    ANTIVIRUS = "antivirus"
+
+
+class HostRole(Enum):
+    """Functional role of a host in the monitoring/control architecture."""
+
+    CORPORATE_PC = "corporate_pc"
+    SCADA_SERVER = "scada_server"
+    HMI_STATION = "hmi_station"
+    ENGINEERING_WORKSTATION = "engineering_workstation"
+    HISTORIAN = "historian"
+    PLC = "plc"
+    RTU = "rtu"
+    SENSOR = "sensor"
+    ACTUATOR = "actuator"
+    FIREWALL = "firewall"
+
+
+@dataclass(frozen=True)
+class Component:
+    """A concrete component installed in a host slot.
+
+    Attributes:
+        kind: The slot this component fills.
+        variant: Name of the installed variant (key into the diversity
+            catalog).
+    """
+
+    kind: ComponentKind
+    variant: str
+
+    def __post_init__(self) -> None:
+        if not self.variant:
+            raise ValueError(f"component {self.kind} needs a variant name")
+
+
+# Default component slots per role: which kinds a host of that role has.
+ROLE_SLOTS: Dict[HostRole, List[ComponentKind]] = {
+    HostRole.CORPORATE_PC: [
+        ComponentKind.OPERATING_SYSTEM,
+        ComponentKind.ANTIVIRUS,
+    ],
+    HostRole.SCADA_SERVER: [
+        ComponentKind.OPERATING_SYSTEM,
+        ComponentKind.PROTOCOL_STACK,
+        ComponentKind.ANTIVIRUS,
+    ],
+    HostRole.HMI_STATION: [
+        ComponentKind.OPERATING_SYSTEM,
+        ComponentKind.HMI_SOFTWARE,
+        ComponentKind.PROTOCOL_STACK,
+    ],
+    HostRole.ENGINEERING_WORKSTATION: [
+        ComponentKind.OPERATING_SYSTEM,
+        ComponentKind.ENGINEERING_TOOL,
+        ComponentKind.PROTOCOL_STACK,
+    ],
+    HostRole.HISTORIAN: [
+        ComponentKind.OPERATING_SYSTEM,
+        ComponentKind.HISTORIAN_SOFTWARE,
+    ],
+    HostRole.PLC: [
+        ComponentKind.PLC_FIRMWARE,
+        ComponentKind.PROTOCOL_STACK,
+    ],
+    HostRole.RTU: [
+        ComponentKind.RTU_FIRMWARE,
+        ComponentKind.PROTOCOL_STACK,
+    ],
+    HostRole.SENSOR: [ComponentKind.SENSOR_MODEL],
+    HostRole.ACTUATOR: [ComponentKind.ACTUATOR_MODEL],
+    HostRole.FIREWALL: [ComponentKind.FIREWALL_SOFTWARE],
+}
+
+
+@dataclass
+class Host:
+    """A node of the SCADA system.
+
+    Attributes:
+        name: Unique host name.
+        role: Functional role.
+        components: Installed components, by slot kind.
+        usb_ports: Whether removable media can be plugged in (a Stuxnet
+            local-propagation vector).
+        shared_folders: Whether the host exposes network shares.
+        print_spooler: Whether the print-spooler service runs (the
+            Stuxnet remote vector).
+        resilient: Marks a hardened, highly attack-resilient component
+            placement (the paper's "small, strategically distributed,
+            number of highly attack-resilient components").
+    """
+
+    name: str
+    role: HostRole
+    components: Dict[ComponentKind, Component] = field(default_factory=dict)
+    usb_ports: bool = False
+    shared_folders: bool = False
+    print_spooler: bool = False
+    resilient: bool = False
+
+    def install(self, kind: ComponentKind, variant: str) -> None:
+        """Install (or replace) a component variant in a slot."""
+        self.components[kind] = Component(kind, variant)
+
+    def variant_of(self, kind: ComponentKind) -> Optional[str]:
+        """Variant installed in slot ``kind``, or None."""
+        component = self.components.get(kind)
+        return component.variant if component else None
+
+    def missing_slots(self) -> List[ComponentKind]:
+        """Role-default slots not yet filled."""
+        return [
+            kind
+            for kind in ROLE_SLOTS.get(self.role, [])
+            if kind not in self.components
+        ]
+
+    @property
+    def is_field_device(self) -> bool:
+        """Whether the host is a sensor/actuator-level device."""
+        return self.role in (HostRole.SENSOR, HostRole.ACTUATOR)
+
+    @property
+    def is_computer(self) -> bool:
+        """Whether the host runs a general-purpose OS (worm-infectable)."""
+        return ComponentKind.OPERATING_SYSTEM in ROLE_SLOTS.get(self.role, [])

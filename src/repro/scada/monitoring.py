@@ -1,0 +1,177 @@
+"""The SCADA master: polling, alarms and spoof detection.
+
+Stuxnet *"is able to fool the SCADA system by emulating regular
+monitoring signals"* — i.e. the master keeps reading benign values while
+the plant is being damaged.  The master here implements two defenses:
+
+* threshold **alarms** on polled process values, and
+* a **spoof detector** running plausibility checks on the reading stream:
+  a frozen (zero-variance) signal or a physically impossible rate of
+  change raises suspicion.
+
+Time-To-Security-Failure (TTSF) in the campaign simulator is the time
+until the master first *perceives* the attack — via an alarm or the spoof
+detector — matching the paper's definition ("time between the beginning
+of the attack and the perceived attack manifestation").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """A threshold alarm on a polled register.
+
+    Attributes:
+        name: Alarm label.
+        register: Register address to watch.
+        high: Trip when the (scaled) value exceeds this.
+        low: Trip when the value falls below this.
+        scale: Multiplier applied to the raw register value before
+            comparison (temperatures are stored ×10).
+    """
+
+    name: str
+    register: int
+    high: Optional[float] = None
+    low: Optional[float] = None
+    scale: float = 1.0
+
+    def tripped(self, raw_value: int) -> bool:
+        """Whether ``raw_value`` trips this alarm."""
+        value = raw_value * self.scale
+        if self.high is not None and value > self.high:
+            return True
+        if self.low is not None and value < self.low:
+            return True
+        return False
+
+
+class SpoofDetector:
+    """Plausibility checks on a polled signal.
+
+    Two checks over a sliding window:
+
+    * **frozen signal** — variance below ``frozen_variance`` while the
+      window is full (replayed constant readings);
+    * **impossible dynamics** — an inter-sample jump larger than
+      ``max_rate`` units per poll.
+
+    Attributes:
+        window: Number of recent samples examined.
+        frozen_variance: Variance threshold for the frozen check.
+        max_rate: Maximum plausible change between consecutive samples.
+    """
+
+    def __init__(
+        self,
+        window: int = 20,
+        frozen_variance: float = 1e-9,
+        max_rate: float = 50.0,
+    ) -> None:
+        if window < 3:
+            raise ValueError(f"window must be >= 3, got {window}")
+        self.window = window
+        self.frozen_variance = frozen_variance
+        self.max_rate = max_rate
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> Optional[str]:
+        """Feed one sample; returns a finding label or None.
+
+        Returns:
+            ``"frozen_signal"``, ``"impossible_rate"`` or ``None``.
+        """
+        if self._samples and abs(value - self._samples[-1]) > self.max_rate:
+            self._samples.append(value)
+            return "impossible_rate"
+        self._samples.append(value)
+        if len(self._samples) == self.window:
+            mean = sum(self._samples) / self.window
+            var = sum((s - mean) ** 2 for s in self._samples) / self.window
+            if var <= self.frozen_variance:
+                return "frozen_signal"
+        return None
+
+    def reset(self) -> None:
+        """Clear the sample window."""
+        self._samples.clear()
+
+
+@dataclass
+class PollRecord:
+    """One master poll observation."""
+
+    time: float
+    register: int
+    value: int
+
+
+class SCADAMaster:
+    """Polls registers, evaluates alarms, runs spoof detection.
+
+    Attributes:
+        name: Master name.
+        alarms: Threshold alarms.
+        detectors: Spoof detectors per watched register.
+    """
+
+    def __init__(
+        self,
+        name: str = "scada_master",
+        alarms: Optional[List[Alarm]] = None,
+        spoof_window: int = 20,
+        spoof_max_rate: float = 50.0,
+    ) -> None:
+        self.name = name
+        self.alarms = list(alarms or [])
+        self._spoof_window = spoof_window
+        self._spoof_max_rate = spoof_max_rate
+        self.detectors: Dict[int, SpoofDetector] = {}
+        self.poll_log: List[PollRecord] = []
+        self.findings: List[Tuple[float, str]] = []
+        self.first_detection_time: Optional[float] = None
+
+    def watch(self, register: int) -> None:
+        """Enable spoof detection on ``register``."""
+        if register not in self.detectors:
+            self.detectors[register] = SpoofDetector(
+                window=self._spoof_window, max_rate=self._spoof_max_rate
+            )
+
+    def poll(self, time: float, registers: Dict[int, int]) -> List[str]:
+        """One polling cycle over the shared register image.
+
+        Args:
+            time: Simulation time of the poll.
+            registers: Registers as reported by the PLC (possibly
+                spoofed).
+
+        Returns:
+            Labels of findings raised during this cycle.
+        """
+        raised: List[str] = []
+        for alarm in self.alarms:
+            raw = registers.get(alarm.register, 0)
+            self.poll_log.append(PollRecord(time, alarm.register, raw))
+            if alarm.tripped(raw):
+                raised.append(f"alarm:{alarm.name}")
+        for register, detector in self.detectors.items():
+            raw = registers.get(register, 0)
+            finding = detector.observe(float(raw))
+            if finding is not None:
+                raised.append(f"spoof:{finding}:r{register}")
+        for label in raised:
+            self.findings.append((time, label))
+            if self.first_detection_time is None:
+                self.first_detection_time = time
+        return raised
+
+    @property
+    def detected(self) -> bool:
+        """Whether any finding has been raised."""
+        return self.first_detection_time is not None

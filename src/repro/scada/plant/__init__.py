@@ -1,0 +1,25 @@
+"""Physical plant: a data-center cooling loop.
+
+The paper's case study targets *"the cooling system of the SCoPE data
+center"*.  We model it as a lumped-parameter thermal system: the server
+room accumulates heat from the IT load; CRAC units move heat to a chilled
+water loop; the chiller rejects it.  PLC registers drive setpoints and
+pump/CRAC enables, so a reprogrammed controller can physically overheat
+the room — the "device impairment" end state of a Stuxnet-like attack.
+"""
+
+from repro.scada.plant.cooling import CoolingPlant, CoolingPlantConfig
+from repro.scada.plant.damage import DamageModel
+from repro.scada.plant.feeder import PowerFeeder, PowerFeederConfig
+from repro.scada.plant.process import PhysicalProcess
+from repro.scada.plant.thermal import ThermalNode
+
+__all__ = [
+    "CoolingPlant",
+    "CoolingPlantConfig",
+    "DamageModel",
+    "PhysicalProcess",
+    "PowerFeeder",
+    "PowerFeederConfig",
+    "ThermalNode",
+]

@@ -1,0 +1,68 @@
+"""Overheat damage accumulation.
+
+Device impairment — the final stage of the paper's Stuxnet-like attack
+model — is reached when sustained over-temperature accumulates enough
+damage.  The model integrates an Arrhenius-flavoured damage rate above a
+safe threshold; equipment is *impaired* once the damage integral crosses
+1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class DamageModel:
+    """Cumulative thermal damage.
+
+    Attributes:
+        safe_temperature: Temperature (°C) below which no damage accrues.
+        critical_temperature: Temperature at which damage accrues at
+            ``critical_rate``.
+        critical_rate: Damage per second at the critical temperature
+            (e.g. 1/600 → impairment after 10 sustained minutes).
+        damage: Accumulated damage in [0, ∞); >= 1.0 means impaired.
+    """
+
+    safe_temperature: float = 35.0
+    critical_temperature: float = 45.0
+    critical_rate: float = 1.0 / 600.0
+    damage: float = 0.0
+    impairment_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.critical_temperature <= self.safe_temperature:
+            raise ValueError(
+                "critical_temperature must exceed safe_temperature"
+            )
+        if self.critical_rate <= 0:
+            raise ValueError("critical_rate must be > 0")
+
+    @property
+    def impaired(self) -> bool:
+        """Whether accumulated damage has crossed 1.0."""
+        return self.damage >= 1.0
+
+    def update(self, temperature: float, dt: float, now: float) -> None:
+        """Accumulate damage for ``dt`` seconds at ``temperature``.
+
+        The damage rate scales linearly from 0 at ``safe_temperature`` to
+        ``critical_rate`` at ``critical_temperature`` and keeps growing
+        linearly beyond it.
+
+        Args:
+            temperature: Current temperature (°C).
+            dt: Interval length (s).
+            now: Simulation time at the *end* of the interval, used to
+                timestamp impairment.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        if temperature > self.safe_temperature:
+            span = self.critical_temperature - self.safe_temperature
+            severity = (temperature - self.safe_temperature) / span
+            self.damage += severity * self.critical_rate * dt
+            if self.impaired and self.impairment_time is None:
+                self.impairment_time = now

@@ -1,0 +1,56 @@
+"""Lumped-parameter thermal nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ThermalNode:
+    """A thermal mass with a single temperature state.
+
+    ``C · dT/dt = Q_in - Q_out + k·(T_ambient - T)``
+
+    Attributes:
+        name: Node name.
+        heat_capacity: Thermal capacitance C in kJ/K.
+        temperature: Current temperature in °C.
+        ambient_coupling: Conductance k to ambient in kW/K.
+        ambient_temperature: Ambient temperature in °C.
+    """
+
+    name: str
+    heat_capacity: float
+    temperature: float
+    ambient_coupling: float = 0.0
+    ambient_temperature: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.heat_capacity <= 0:
+            raise ValueError(
+                f"node {self.name!r}: heat capacity must be > 0, "
+                f"got {self.heat_capacity}"
+            )
+
+    def step(self, heat_in_kw: float, heat_out_kw: float, dt: float) -> float:
+        """Advance the node by ``dt`` seconds with the given heat flows.
+
+        Args:
+            heat_in_kw: Heat added (kW).
+            heat_out_kw: Heat removed (kW).
+            dt: Time step (s).
+
+        Returns:
+            The new temperature (°C).
+
+        Raises:
+            ValueError: If ``dt <= 0``.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        ambient_flow = self.ambient_coupling * (
+            self.ambient_temperature - self.temperature
+        )
+        net_kw = heat_in_kw - heat_out_kw + ambient_flow
+        self.temperature += net_kw * dt / self.heat_capacity
+        return self.temperature

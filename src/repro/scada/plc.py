@@ -1,0 +1,263 @@
+"""Programmable logic controllers with scan-cycle execution.
+
+A :class:`PLC` holds registers and coils and executes a
+:class:`LadderProgram` — an ordered list of :class:`Rung` objects, each a
+condition over the register image plus actions applied when it holds.
+The PLC exposes a Modbus-style service interface (read/write registers)
+and a vendor ``REPROGRAM`` operation.  Reprogramming is how a
+Stuxnet-like payload replaces the control logic; whether the attempt
+succeeds depends on the firmware variant's exploitability and on protocol
+dialect compatibility, both enforced by the attack simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.scada.protocol import (
+    FunctionCode,
+    ModbusDialect,
+    ModbusFrame,
+    ProtocolError,
+    STANDARD_DIALECT,
+)
+
+RegisterImage = Dict[int, int]
+Condition = Callable[[RegisterImage], bool]
+Action = Callable[[RegisterImage], None]
+
+
+@dataclass
+class Rung:
+    """One ladder rung: when ``condition`` holds, apply ``action``.
+
+    Attributes:
+        name: Rung label.
+        condition: Predicate over the register image.
+        action: Mutation of the register image.
+    """
+
+    name: str
+    condition: Condition
+    action: Action
+
+
+@dataclass
+class LadderProgram:
+    """An ordered list of rungs executed each scan cycle.
+
+    Attributes:
+        name: Program label (e.g. ``"cooling_control_v1"``).
+        rungs: The rungs, evaluated top to bottom every scan.
+    """
+
+    name: str
+    rungs: List[Rung] = field(default_factory=list)
+
+    def scan(self, registers: RegisterImage) -> None:
+        """Execute one scan cycle over ``registers`` (in place)."""
+        for rung in self.rungs:
+            if rung.condition(registers):
+                rung.action(registers)
+
+
+class PLC:
+    """A programmable logic controller.
+
+    Attributes:
+        name: Controller name.
+        unit: Protocol unit identifier.
+        dialect: Protocol dialect the controller's stack speaks.
+        program: Currently loaded ladder program.
+        firmware_variant: Firmware variant name (diversity catalog key).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        unit: int,
+        program: LadderProgram,
+        dialect: ModbusDialect = STANDARD_DIALECT,
+        firmware_variant: str = "firmware_a",
+    ) -> None:
+        self.name = name
+        self.unit = unit
+        self.dialect = dialect
+        self.program = program
+        self.firmware_variant = firmware_variant
+        self.registers: RegisterImage = {}
+        self.original_program = program
+        self.reprogram_count = 0
+        self._io_log: List[Tuple[str, ModbusFrame]] = []
+
+    @property
+    def compromised(self) -> bool:
+        """Whether the running program differs from the original."""
+        return self.program is not self.original_program
+
+    def read_register(self, address: int) -> int:
+        """Direct register read (0 when never written)."""
+        return self.registers.get(address, 0)
+
+    def write_register(self, address: int, value: int) -> None:
+        """Direct register write.
+
+        Raises:
+            ValueError: On out-of-range values.
+        """
+        if not 0 <= value <= 0xFFFF:
+            raise ValueError(f"register value out of range: {value}")
+        self.registers[address] = value
+
+    def scan_cycle(self) -> None:
+        """Run one scan of the loaded program."""
+        self.program.scan(self.registers)
+
+    def handle_frame(self, raw: bytes, sender_dialect: ModbusDialect) -> ModbusFrame:
+        """Process an incoming wire frame.
+
+        The frame is decoded with the *PLC's own* dialect — a sender
+        speaking a different dialect gets a :class:`ProtocolError`, which
+        is precisely how protocol diversity stops a payload crafted for
+        another stack.
+
+        Args:
+            raw: Wire bytes.
+            sender_dialect: Unused for decoding (the PLC cannot know it);
+                kept for trace purposes.
+
+        Returns:
+            A response frame.
+
+        Raises:
+            ProtocolError: On undecodable frames or wrong unit id.
+        """
+        from repro.scada.protocol import decode_frame  # local to avoid cycle
+
+        frame = decode_frame(raw, self.dialect)
+        if frame.unit != self.unit:
+            raise ProtocolError(
+                f"frame for unit {frame.unit}, this PLC is unit {self.unit}"
+            )
+        self._io_log.append(("rx", frame))
+        return self._execute(frame)
+
+    def _execute(self, frame: ModbusFrame) -> ModbusFrame:
+        if frame.function in (
+            FunctionCode.READ_HOLDING_REGISTERS,
+            FunctionCode.READ_INPUT_REGISTERS,
+        ):
+            values = tuple(
+                self.read_register(frame.address + i) for i in range(frame.count)
+            )
+            return ModbusFrame(
+                unit=self.unit,
+                function=frame.function,
+                address=frame.address,
+                values=values,
+                count=frame.count,
+            )
+        if frame.function in (
+            FunctionCode.WRITE_SINGLE_REGISTER,
+            FunctionCode.WRITE_MULTIPLE_REGISTERS,
+        ):
+            for i, value in enumerate(frame.values):
+                self.write_register(frame.address + i, value)
+            return ModbusFrame(
+                unit=self.unit,
+                function=frame.function,
+                address=frame.address,
+                values=frame.values,
+                count=len(frame.values),
+            )
+        if frame.function == FunctionCode.REPROGRAM:
+            raise ProtocolError(
+                "REPROGRAM over the wire requires load_program() via an "
+                "engineering session"
+            )
+        raise ProtocolError(f"unsupported function {frame.function.value}")
+
+    def load_program(self, program: LadderProgram) -> None:
+        """Replace the control logic (engineering/reprogram operation)."""
+        self.program = program
+        self.reprogram_count += 1
+
+    def restore_program(self) -> None:
+        """Reload the original (legitimate) program."""
+        self.program = self.original_program
+
+
+def threshold_controller(
+    name: str,
+    sensor_register: int,
+    actuator_register: int,
+    on_threshold: int,
+    off_threshold: int,
+    on_value: int = 1,
+    off_value: int = 0,
+) -> LadderProgram:
+    """A hysteresis (bang-bang) controller program.
+
+    Turns the actuator on when the sensor reading rises above
+    ``on_threshold`` and off when it falls below ``off_threshold`` —
+    the canonical cooling-control loop shape.
+
+    Raises:
+        ValueError: If ``off_threshold > on_threshold``.
+    """
+    if off_threshold > on_threshold:
+        raise ValueError(
+            f"off_threshold ({off_threshold}) must be <= on_threshold "
+            f"({on_threshold})"
+        )
+    return LadderProgram(
+        name=name,
+        rungs=[
+            Rung(
+                "turn_on",
+                condition=lambda regs: regs.get(sensor_register, 0) > on_threshold,
+                action=lambda regs: regs.__setitem__(
+                    actuator_register, on_value
+                ),
+            ),
+            Rung(
+                "turn_off",
+                condition=lambda regs: regs.get(sensor_register, 0) < off_threshold,
+                action=lambda regs: regs.__setitem__(
+                    actuator_register, off_value
+                ),
+            ),
+        ],
+    )
+
+
+def sabotage_program(
+    name: str,
+    actuator_register: int,
+    forced_value: int,
+    spoof_register: Optional[int] = None,
+    spoof_value: Optional[int] = None,
+) -> LadderProgram:
+    """A malicious program in the Stuxnet style.
+
+    Forces the actuator to a damaging value every scan and optionally
+    overwrites the sensor-mirror register with a benign ``spoof_value``
+    so the SCADA master keeps seeing normal readings.
+    """
+    rungs = [
+        Rung(
+            "force_actuator",
+            condition=lambda regs: True,
+            action=lambda regs: regs.__setitem__(actuator_register, forced_value),
+        )
+    ]
+    if spoof_register is not None and spoof_value is not None:
+        rungs.append(
+            Rung(
+                "spoof_reading",
+                condition=lambda regs: True,
+                action=lambda regs: regs.__setitem__(spoof_register, spoof_value),
+            )
+        )
+    return LadderProgram(name=name, rungs=rungs)

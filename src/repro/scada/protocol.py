@@ -1,0 +1,282 @@
+"""Modbus-like protocol with diversifiable dialects.
+
+Implements an application-layer register protocol in the style of Modbus
+RTU: frames carry a unit identifier, a function code, an address/count or
+payload, and a checksum.  A :class:`ModbusDialect` parameterizes the
+*wire conventions* — function-code numbering, byte order, checksum
+algorithm and a unit-id offset.  Two endpoints interoperate only when
+they share a dialect; a crafted frame injected by malware that assumes
+dialect A is rejected by a stack speaking dialect B.  This is the
+protocol-level diversification mechanism the library exposes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class ProtocolError(Exception):
+    """Raised when a frame cannot be decoded under a dialect."""
+
+
+class FunctionCode(Enum):
+    """Abstract protocol operations (dialects map these to wire codes)."""
+
+    READ_COILS = "read_coils"
+    READ_HOLDING_REGISTERS = "read_holding_registers"
+    READ_INPUT_REGISTERS = "read_input_registers"
+    WRITE_SINGLE_COIL = "write_single_coil"
+    WRITE_SINGLE_REGISTER = "write_single_register"
+    WRITE_MULTIPLE_REGISTERS = "write_multiple_registers"
+    REPROGRAM = "reprogram"  # the vendor-specific code Stuxnet abused
+
+
+def crc16_modbus(data: bytes) -> int:
+    """Classic Modbus CRC-16 (polynomial 0xA001, init 0xFFFF)."""
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xA001
+            else:
+                crc >>= 1
+    return crc
+
+
+def lrc8(data: bytes) -> int:
+    """Longitudinal redundancy check (Modbus ASCII style), widened to 16 bits."""
+    total = sum(data) & 0xFF
+    value = ((-total) & 0xFF)
+    return value | (value << 8)
+
+
+def fletcher16(data: bytes) -> int:
+    """Fletcher-16 checksum."""
+    lo = hi = 0
+    for byte in data:
+        lo = (lo + byte) % 255
+        hi = (hi + lo) % 255
+    return (hi << 8) | lo
+
+
+CRC_VARIANTS: Dict[str, Callable[[bytes], int]] = {
+    "crc16": crc16_modbus,
+    "lrc8": lrc8,
+    "fletcher16": fletcher16,
+}
+
+# The canonical Modbus function numbering.
+_STANDARD_CODES: Dict[FunctionCode, int] = {
+    FunctionCode.READ_COILS: 0x01,
+    FunctionCode.READ_HOLDING_REGISTERS: 0x03,
+    FunctionCode.READ_INPUT_REGISTERS: 0x04,
+    FunctionCode.WRITE_SINGLE_COIL: 0x05,
+    FunctionCode.WRITE_SINGLE_REGISTER: 0x06,
+    FunctionCode.WRITE_MULTIPLE_REGISTERS: 0x10,
+    FunctionCode.REPROGRAM: 0x5A,
+}
+
+
+@dataclass(frozen=True)
+class ModbusDialect:
+    """Wire conventions of a protocol-stack variant.
+
+    Attributes:
+        name: Dialect name (the protocol-stack variant name).
+        function_codes: Mapping from abstract operation to wire code.
+        big_endian: Byte order of 16-bit fields.
+        checksum: Key into :data:`CRC_VARIANTS`.
+        unit_offset: Constant added to unit ids on the wire.
+    """
+
+    name: str
+    function_codes: Dict[FunctionCode, int] = field(
+        default_factory=lambda: dict(_STANDARD_CODES)
+    )
+    big_endian: bool = True
+    checksum: str = "crc16"
+    unit_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.checksum not in CRC_VARIANTS:
+            raise ValueError(
+                f"unknown checksum {self.checksum!r}; "
+                f"choose from {sorted(CRC_VARIANTS)}"
+            )
+        codes = list(self.function_codes.values())
+        if len(set(codes)) != len(codes):
+            raise ValueError(f"dialect {self.name!r} has duplicate wire codes")
+
+    def wire_code(self, function: FunctionCode) -> int:
+        """Wire code of ``function``.
+
+        Raises:
+            ProtocolError: If the dialect does not support the operation.
+        """
+        try:
+            return self.function_codes[function]
+        except KeyError as exc:
+            raise ProtocolError(
+                f"dialect {self.name!r} does not support {function.value}"
+            ) from exc
+
+    def function_of(self, code: int) -> FunctionCode:
+        """Inverse of :meth:`wire_code`.
+
+        Raises:
+            ProtocolError: On unknown wire codes.
+        """
+        for function, wire in self.function_codes.items():
+            if wire == code:
+                return function
+        raise ProtocolError(
+            f"dialect {self.name!r}: unknown wire function code 0x{code:02X}"
+        )
+
+
+STANDARD_DIALECT = ModbusDialect(name="modbus-standard")
+
+
+def remapped_dialect(
+    name: str,
+    code_shift: int = 0x20,
+    big_endian: bool = False,
+    checksum: str = "fletcher16",
+    unit_offset: int = 0x40,
+) -> ModbusDialect:
+    """A systematically diversified dialect.
+
+    Shifts every wire code by ``code_shift`` (mod 256, avoiding
+    collisions), flips byte order and switches the checksum — a cheap
+    "protocol randomization" recipe.
+    """
+    codes = {
+        fn: (wire + code_shift) % 0xFF or 0xFF
+        for fn, wire in _STANDARD_CODES.items()
+    }
+    return ModbusDialect(
+        name=name,
+        function_codes=codes,
+        big_endian=big_endian,
+        checksum=checksum,
+        unit_offset=unit_offset,
+    )
+
+
+@dataclass(frozen=True)
+class ModbusFrame:
+    """An application frame.
+
+    Attributes:
+        unit: Target unit identifier (0-207).
+        function: Abstract operation.
+        address: Starting register/coil address.
+        values: Payload values (written registers or read results);
+            empty for pure read *requests* whose ``count`` matters.
+        count: Number of registers/coils addressed (reads).
+    """
+
+    unit: int
+    function: FunctionCode
+    address: int
+    values: Tuple[int, ...] = ()
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.unit <= 207:
+            raise ValueError(f"unit must be in [0, 207], got {self.unit}")
+        if not 0 <= self.address <= 0xFFFF:
+            raise ValueError(f"address out of range: {self.address}")
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+        for v in self.values:
+            if not 0 <= v <= 0xFFFF:
+                raise ValueError(f"register value out of range: {v}")
+
+
+def _pack16(value: int, big_endian: bool) -> bytes:
+    return struct.pack(">H" if big_endian else "<H", value)
+
+
+def _unpack16(data: bytes, big_endian: bool) -> int:
+    return struct.unpack(">H" if big_endian else "<H", data)[0]
+
+
+def encode_frame(frame: ModbusFrame, dialect: ModbusDialect) -> bytes:
+    """Serialize ``frame`` under ``dialect``.
+
+    Layout: unit(1) code(1) address(2) count(2) n_values(1) values(2·n)
+    checksum(2).
+    """
+    body = bytearray()
+    body.append((frame.unit + dialect.unit_offset) & 0xFF)
+    body.append(dialect.wire_code(frame.function))
+    body += _pack16(frame.address, dialect.big_endian)
+    body += _pack16(frame.count, dialect.big_endian)
+    body.append(len(frame.values))
+    for value in frame.values:
+        body += _pack16(value, dialect.big_endian)
+    checksum = CRC_VARIANTS[dialect.checksum](bytes(body))
+    body += _pack16(checksum, dialect.big_endian)
+    return bytes(body)
+
+
+def decode_frame(data: bytes, dialect: ModbusDialect) -> ModbusFrame:
+    """Parse ``data`` under ``dialect``.
+
+    Raises:
+        ProtocolError: On truncation, checksum mismatch, unknown wire
+            codes or unit-id range violations — i.e. whenever the sender
+            spoke a different dialect.
+    """
+    if len(data) < 9:
+        raise ProtocolError(f"frame too short: {len(data)} bytes")
+    body, checksum_bytes = data[:-2], data[-2:]
+    expected = CRC_VARIANTS[dialect.checksum](body)
+    received = _unpack16(checksum_bytes, dialect.big_endian)
+    if expected != received:
+        raise ProtocolError(
+            f"checksum mismatch: expected 0x{expected:04X}, "
+            f"got 0x{received:04X}"
+        )
+    unit_raw = body[0]
+    unit = (unit_raw - dialect.unit_offset) & 0xFF
+    if unit > 207:
+        raise ProtocolError(f"unit id {unit} out of range after offset")
+    function = dialect.function_of(body[1])
+    address = _unpack16(body[2:4], dialect.big_endian)
+    count = _unpack16(body[4:6], dialect.big_endian)
+    n_values = body[6]
+    expected_len = 7 + 2 * n_values
+    if len(body) != expected_len:
+        raise ProtocolError(
+            f"length mismatch: header says {n_values} values, "
+            f"frame body is {len(body)} bytes"
+        )
+    values = tuple(
+        _unpack16(body[7 + 2 * i : 9 + 2 * i], dialect.big_endian)
+        for i in range(n_values)
+    )
+    return ModbusFrame(
+        unit=unit, function=function, address=address, values=values, count=count
+    )
+
+
+def frames_compatible(
+    sender: ModbusDialect, receiver: ModbusDialect, frame: ModbusFrame
+) -> bool:
+    """Whether a frame encoded by ``sender`` decodes cleanly at ``receiver``.
+
+    This is the operational definition of protocol compatibility used by
+    the attack simulator: malware carrying a payload for one dialect
+    cannot drive a PLC speaking another.
+    """
+    try:
+        decoded = decode_frame(encode_frame(frame, sender), receiver)
+    except ProtocolError:
+        return False
+    return decoded == frame

@@ -1,0 +1,301 @@
+"""Reference SCADA topologies.
+
+:func:`scope_cooling_topology` builds the system of the paper's case
+study: the monitoring-and-control network of a university data-center
+cooling plant (SCoPE-like), laid out along the Purdue model:
+
+* **enterprise** — office PCs with internet exposure,
+* **DMZ** — historian replica reachable from both sides,
+* **supervisory** — SCADA server, HMI stations, engineering workstation,
+* **control** — PLCs driving the cooling loop,
+* **field** — temperature sensors and actuators.
+
+Default variants are deliberately homogeneous and soft (the
+"undiversified baseline"); studies then install alternative variants via
+:class:`~repro.diversity.config.SystemConfiguration`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.scada.components import ComponentKind, Host, HostRole
+from repro.scada.network import SCADANetwork, Zone
+
+K = ComponentKind
+
+
+def scope_cooling_topology(
+    n_office_pcs: int = 3,
+    n_hmi: int = 2,
+    n_plcs: int = 2,
+    n_sensors: int = 2,
+    n_actuators: int = 2,
+    default_os: str = "win_legacy",
+    default_firmware: str = "firmware_common",
+    default_stack: str = "modbus_standard",
+) -> SCADANetwork:
+    """The reference cooling-SCADA network.
+
+    Args:
+        n_office_pcs: Enterprise-zone PCs.
+        n_hmi: HMI stations in the supervisory zone.
+        n_plcs: Cooling-loop PLCs in the control zone.
+        n_sensors / n_actuators: Field devices.
+        default_os / default_firmware / default_stack: The homogeneous
+            baseline variants installed everywhere.
+
+    Returns:
+        A fully linked :class:`SCADANetwork`.
+    """
+    net = SCADANetwork("scope-cooling")
+
+    # --- enterprise --------------------------------------------------------
+    for i in range(n_office_pcs):
+        host = Host(
+            f"office_{i}",
+            HostRole.CORPORATE_PC,
+            usb_ports=True,
+            shared_folders=True,
+            print_spooler=True,
+        )
+        host.install(K.OPERATING_SYSTEM, default_os)
+        host.install(K.ANTIVIRUS, "av_signature")
+        net.add_host(host, Zone.ENTERPRISE)
+
+    # --- DMZ ----------------------------------------------------------------
+    historian = Host(
+        "historian", HostRole.HISTORIAN, shared_folders=True
+    )
+    historian.install(K.OPERATING_SYSTEM, default_os)
+    historian.install(K.HISTORIAN_SOFTWARE, "historian_common")
+    net.add_host(historian, Zone.DMZ)
+
+    fw_outer = Host("fw_outer", HostRole.FIREWALL)
+    fw_outer.install(K.FIREWALL_SOFTWARE, "fw_basic")
+    net.add_host(fw_outer, Zone.DMZ)
+
+    # --- supervisory --------------------------------------------------------
+    scada_server = Host(
+        "scada_server",
+        HostRole.SCADA_SERVER,
+        shared_folders=True,
+        print_spooler=True,
+    )
+    scada_server.install(K.OPERATING_SYSTEM, default_os)
+    scada_server.install(K.PROTOCOL_STACK, default_stack)
+    scada_server.install(K.ANTIVIRUS, "av_signature")
+    net.add_host(scada_server, Zone.SUPERVISORY)
+
+    for i in range(n_hmi):
+        hmi = Host(
+            f"hmi_{i}",
+            HostRole.HMI_STATION,
+            usb_ports=True,
+            shared_folders=True,
+        )
+        hmi.install(K.OPERATING_SYSTEM, default_os)
+        hmi.install(K.HMI_SOFTWARE, "hmi_common")
+        hmi.install(K.PROTOCOL_STACK, default_stack)
+        net.add_host(hmi, Zone.SUPERVISORY)
+
+    eng = Host(
+        "eng_ws",
+        HostRole.ENGINEERING_WORKSTATION,
+        usb_ports=True,
+        shared_folders=True,
+        print_spooler=True,
+    )
+    eng.install(K.OPERATING_SYSTEM, default_os)
+    eng.install(K.ENGINEERING_TOOL, "engtool_common")
+    eng.install(K.PROTOCOL_STACK, default_stack)
+    net.add_host(eng, Zone.SUPERVISORY)
+
+    fw_inner = Host("fw_inner", HostRole.FIREWALL)
+    fw_inner.install(K.FIREWALL_SOFTWARE, "fw_basic")
+    net.add_host(fw_inner, Zone.SUPERVISORY)
+
+    # --- control ------------------------------------------------------------
+    for i in range(n_plcs):
+        plc = Host(f"plc_{i}", HostRole.PLC)
+        plc.install(K.PLC_FIRMWARE, default_firmware)
+        plc.install(K.PROTOCOL_STACK, default_stack)
+        net.add_host(plc, Zone.CONTROL)
+
+    # --- field ----------------------------------------------------------------
+    for i in range(n_sensors):
+        sensor = Host(f"temp_sensor_{i}", HostRole.SENSOR)
+        sensor.install(K.SENSOR_MODEL, "sensor_basic")
+        net.add_host(sensor, Zone.FIELD)
+    for i in range(n_actuators):
+        actuator = Host(f"actuator_{i}", HostRole.ACTUATOR)
+        actuator.install(K.ACTUATOR_MODEL, "actuator_basic")
+        net.add_host(actuator, Zone.FIELD)
+
+    # --- links --------------------------------------------------------------
+    for i in range(n_office_pcs):
+        net.connect(f"office_{i}", "historian", ["smb", "historian"])
+        for j in range(i + 1, n_office_pcs):
+            net.connect(f"office_{i}", f"office_{j}", ["smb", "spooler"])
+    net.connect("historian", "scada_server", ["historian", "smb"])
+    for i in range(n_hmi):
+        net.connect(f"hmi_{i}", "scada_server", ["scada", "smb"])
+        net.connect(f"hmi_{i}", "eng_ws", ["smb", "spooler"])
+    net.connect("eng_ws", "scada_server", ["scada", "smb", "spooler"])
+    for i in range(n_plcs):
+        net.connect("scada_server", f"plc_{i}", ["modbus"])
+        net.connect("eng_ws", f"plc_{i}", ["modbus"])
+    for i in range(n_sensors):
+        net.connect(f"plc_{i % n_plcs}", f"temp_sensor_{i}", ["fieldbus"])
+    for i in range(n_actuators):
+        net.connect(f"plc_{i % n_plcs}", f"actuator_{i}", ["fieldbus"])
+
+    # Firewall appliances sit on the zone boundaries they police.
+    net.connect("fw_outer", "historian", ["mgmt"])
+    net.connect("fw_inner", "scada_server", ["mgmt"])
+
+    # --- firewall rules -------------------------------------------------------
+    net.allow(Zone.ENTERPRISE, Zone.DMZ, "historian")
+    net.allow(Zone.ENTERPRISE, Zone.DMZ, "smb")
+    net.allow(Zone.DMZ, Zone.SUPERVISORY, "historian")
+    net.allow(Zone.DMZ, Zone.SUPERVISORY, "smb")
+    net.allow(Zone.SUPERVISORY, Zone.CONTROL, "modbus")
+    net.allow(Zone.CONTROL, Zone.FIELD, "fieldbus")
+    return net
+
+
+def smart_grid_feeder(
+    n_office_pcs: int = 2,
+    n_operator_consoles: int = 2,
+    n_feeder_controllers: int = 2,
+    n_rtus: int = 3,
+    n_pmus: int = 3,
+    n_breakers: int = 4,
+    default_os: str = "win_legacy",
+    default_firmware: str = "firmware_common",
+    default_stack: str = "modbus_standard",
+) -> SCADANetwork:
+    """A distribution-utility feeder SCADA (the paper's smart-grid motivation).
+
+    Control-center zone (EMS server, operator consoles, engineering
+    workstation) supervises substation RTUs and feeder controllers
+    (modeled with the PLC role, since they expose the same reprogramming
+    surface) driving breakers; PMUs provide the loading measurements.
+    Pair with :class:`repro.scada.plant.feeder.PowerFeeder` via
+    ``CampaignConfig(plant_factory=PowerFeeder)``.
+
+    Args:
+        n_office_pcs: Utility-enterprise PCs.
+        n_operator_consoles: Control-room consoles.
+        n_feeder_controllers: Feeder controllers (PLC role).
+        n_rtus: Substation RTUs.
+        n_pmus: Phasor/loading measurement units (sensor role).
+        n_breakers: Sectionalizing breakers (actuator role).
+        default_os / default_firmware / default_stack: Homogeneous
+            baseline variants.
+    """
+    net = SCADANetwork("smart-grid-feeder")
+
+    for i in range(n_office_pcs):
+        pc = Host(
+            f"utility_pc_{i}",
+            HostRole.CORPORATE_PC,
+            usb_ports=True,
+            shared_folders=True,
+            print_spooler=True,
+        )
+        pc.install(K.OPERATING_SYSTEM, default_os)
+        pc.install(K.ANTIVIRUS, "av_signature")
+        net.add_host(pc, Zone.ENTERPRISE)
+
+    historian = Host("ems_historian", HostRole.HISTORIAN, shared_folders=True)
+    historian.install(K.OPERATING_SYSTEM, default_os)
+    historian.install(K.HISTORIAN_SOFTWARE, "historian_common")
+    net.add_host(historian, Zone.DMZ)
+
+    fw = Host("fw_perimeter", HostRole.FIREWALL)
+    fw.install(K.FIREWALL_SOFTWARE, "fw_basic")
+    net.add_host(fw, Zone.DMZ)
+
+    ems = Host(
+        "ems_server", HostRole.SCADA_SERVER,
+        shared_folders=True, print_spooler=True,
+    )
+    ems.install(K.OPERATING_SYSTEM, default_os)
+    ems.install(K.PROTOCOL_STACK, default_stack)
+    ems.install(K.ANTIVIRUS, "av_signature")
+    net.add_host(ems, Zone.SUPERVISORY)
+
+    for i in range(n_operator_consoles):
+        console = Host(
+            f"operator_{i}", HostRole.HMI_STATION,
+            usb_ports=True, shared_folders=True,
+        )
+        console.install(K.OPERATING_SYSTEM, default_os)
+        console.install(K.HMI_SOFTWARE, "hmi_common")
+        console.install(K.PROTOCOL_STACK, default_stack)
+        net.add_host(console, Zone.SUPERVISORY)
+
+    eng = Host(
+        "feeder_eng_ws", HostRole.ENGINEERING_WORKSTATION,
+        usb_ports=True, shared_folders=True, print_spooler=True,
+    )
+    eng.install(K.OPERATING_SYSTEM, default_os)
+    eng.install(K.ENGINEERING_TOOL, "engtool_common")
+    eng.install(K.PROTOCOL_STACK, default_stack)
+    net.add_host(eng, Zone.SUPERVISORY)
+
+    for i in range(n_feeder_controllers):
+        controller = Host(f"feeder_ctrl_{i}", HostRole.PLC)
+        controller.install(K.PLC_FIRMWARE, default_firmware)
+        controller.install(K.PROTOCOL_STACK, default_stack)
+        net.add_host(controller, Zone.CONTROL)
+    for i in range(n_rtus):
+        rtu = Host(f"substation_rtu_{i}", HostRole.RTU)
+        rtu.install(K.RTU_FIRMWARE, "rtu_common")
+        rtu.install(K.PROTOCOL_STACK, default_stack)
+        net.add_host(rtu, Zone.CONTROL)
+
+    for i in range(n_pmus):
+        pmu = Host(f"pmu_{i}", HostRole.SENSOR)
+        pmu.install(K.SENSOR_MODEL, "sensor_basic")
+        net.add_host(pmu, Zone.FIELD)
+    for i in range(n_breakers):
+        breaker = Host(f"breaker_{i}", HostRole.ACTUATOR)
+        breaker.install(K.ACTUATOR_MODEL, "actuator_basic")
+        net.add_host(breaker, Zone.FIELD)
+
+    # Links.
+    for i in range(n_office_pcs):
+        net.connect(f"utility_pc_{i}", "ems_historian", ["smb", "historian"])
+        for j in range(i + 1, n_office_pcs):
+            net.connect(f"utility_pc_{i}", f"utility_pc_{j}",
+                        ["smb", "spooler"])
+    net.connect("ems_historian", "ems_server", ["historian", "smb"])
+    net.connect("fw_perimeter", "ems_historian", ["mgmt"])
+    for i in range(n_operator_consoles):
+        net.connect(f"operator_{i}", "ems_server", ["scada", "smb"])
+        net.connect(f"operator_{i}", "feeder_eng_ws", ["smb", "spooler"])
+    net.connect("feeder_eng_ws", "ems_server", ["scada", "smb", "spooler"])
+    for i in range(n_feeder_controllers):
+        net.connect("ems_server", f"feeder_ctrl_{i}", ["modbus"])
+        net.connect("feeder_eng_ws", f"feeder_ctrl_{i}", ["modbus"])
+    for i in range(n_rtus):
+        net.connect("ems_server", f"substation_rtu_{i}", ["modbus"])
+    for i in range(n_pmus):
+        net.connect(
+            f"feeder_ctrl_{i % n_feeder_controllers}", f"pmu_{i}", ["fieldbus"]
+        )
+    for i in range(n_breakers):
+        net.connect(
+            f"feeder_ctrl_{i % n_feeder_controllers}", f"breaker_{i}",
+            ["fieldbus"],
+        )
+
+    net.allow(Zone.ENTERPRISE, Zone.DMZ, "historian")
+    net.allow(Zone.ENTERPRISE, Zone.DMZ, "smb")
+    net.allow(Zone.DMZ, Zone.SUPERVISORY, "historian")
+    net.allow(Zone.DMZ, Zone.SUPERVISORY, "smb")
+    net.allow(Zone.SUPERVISORY, Zone.CONTROL, "modbus")
+    net.allow(Zone.CONTROL, Zone.FIELD, "fieldbus")
+    return net

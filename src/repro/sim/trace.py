@@ -1,0 +1,101 @@
+"""Simulation traces: timestamped observations for post-hoc analysis.
+
+Security indicators (Time-To-Attack, Time-To-Security-Failure, compromised
+ratio — see :mod:`repro.core.indicators`) are computed from traces recorded
+during attack-campaign simulations, mirroring how the paper's "Measurements"
+step consumes the output of the attack model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped observation.
+
+    Attributes:
+        time: Simulation time of the observation.
+        kind: Category tag, e.g. ``"stage"``, ``"compromise"``, ``"alarm"``.
+        subject: Identifier of the entity observed (host name, stage name).
+        data: Free-form details.
+    """
+
+    time: float
+    kind: str
+    subject: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """An append-only, time-ordered list of :class:`TraceRecord` objects."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        subject: str,
+        **data: Any,
+    ) -> TraceRecord:
+        """Append an observation; times must be non-decreasing."""
+        if self._records and time < self._records[-1].time - 1e-12:
+            raise ValueError(
+                f"trace times must be non-decreasing: got {time} after "
+                f"{self._records[-1].time}"
+            )
+        rec = TraceRecord(time=time, kind=kind, subject=subject, data=dict(data))
+        self._records.append(rec)
+        return rec
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """Return all records with the given ``kind``, in time order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def first(self, kind: str, subject: Optional[str] = None) -> Optional[TraceRecord]:
+        """Return the earliest record matching ``kind`` (and ``subject``)."""
+        for rec in self._records:
+            if rec.kind == kind and (subject is None or rec.subject == subject):
+                return rec
+        return None
+
+    def last(self, kind: str, subject: Optional[str] = None) -> Optional[TraceRecord]:
+        """Return the latest record matching ``kind`` (and ``subject``)."""
+        result: Optional[TraceRecord] = None
+        for rec in self._records:
+            if rec.kind == kind and (subject is None or rec.subject == subject):
+                result = rec
+        return result
+
+    def subjects(self, kind: str) -> List[str]:
+        """Distinct subjects seen for ``kind``, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for rec in self._records:
+            if rec.kind == kind and rec.subject not in seen:
+                seen[rec.subject] = None
+        return list(seen)
+
+    def step_function(self, kind: str) -> List[tuple[float, int]]:
+        """Cumulative count of ``kind`` records over time.
+
+        Returns:
+            A list of ``(time, count)`` pairs — the right-continuous step
+            function of the number of matching records observed so far.
+        """
+        points: List[tuple[float, int]] = []
+        count = 0
+        for rec in self._records:
+            if rec.kind == kind:
+                count += 1
+                points.append((rec.time, count))
+        return points

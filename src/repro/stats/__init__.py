@@ -1,0 +1,72 @@
+"""Statistics substrate.
+
+Provides the quantitative machinery behind the paper's methodology:
+
+* :mod:`repro.stats.distributions` — parametric distributions used for
+  activity/stage durations in the stochastic models.
+* :mod:`repro.stats.descriptive` — summary statistics.
+* :mod:`repro.stats.ci` — confidence intervals (t-based, bootstrap, Wilson).
+* :mod:`repro.stats.anova` — n-way fixed-effects ANOVA with interactions
+  and variance-allocation tables (the paper's "Diversity Assessment" step).
+* :mod:`repro.stats.effects` — effect sizes (eta², omega²) and main-effect
+  estimation from designed experiments.
+"""
+
+from repro.stats.anova import AnovaResult, AnovaRow, anova
+from repro.stats.ci import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    mean_ci,
+    proportion_ci,
+)
+from repro.stats.descriptive import Summary, summarize
+from repro.stats.distributions import (
+    Bernoulli,
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Triangular,
+    Uniform,
+    Weibull,
+)
+from repro.stats.effects import eta_squared, main_effects, omega_squared
+from repro.stats.fitting import (
+    FitResult,
+    best_fit,
+    empirical_cdf,
+    fit_exponential,
+    fit_lognormal,
+    fit_weibull,
+)
+
+__all__ = [
+    "AnovaResult",
+    "AnovaRow",
+    "Bernoulli",
+    "ConfidenceInterval",
+    "Deterministic",
+    "Distribution",
+    "Erlang",
+    "Exponential",
+    "FitResult",
+    "LogNormal",
+    "Summary",
+    "Triangular",
+    "Uniform",
+    "Weibull",
+    "anova",
+    "best_fit",
+    "bootstrap_ci",
+    "empirical_cdf",
+    "eta_squared",
+    "fit_exponential",
+    "fit_lognormal",
+    "fit_weibull",
+    "main_effects",
+    "mean_ci",
+    "omega_squared",
+    "proportion_ci",
+    "summarize",
+]

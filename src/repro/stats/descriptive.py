@@ -1,0 +1,74 @@
+"""Descriptive statistics for measurement batches."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample.
+
+    Attributes:
+        n: Sample size.
+        mean: Arithmetic mean.
+        std: Sample standard deviation (ddof=1; 0 for n < 2).
+        minimum / maximum: Extremes.
+        median: 50th percentile.
+        q25 / q75: Quartiles.
+    """
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    q25: float
+    q75: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.n < 1:
+            return float("nan")
+        return self.std / math.sqrt(self.n) if self.n > 0 else float("nan")
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean); nan if mean is 0."""
+        if self.mean == 0:
+            return float("nan")
+        return self.std / abs(self.mean)
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``.
+
+    Raises:
+        ValueError: If ``values`` is empty.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        q25=float(np.percentile(arr, 25)),
+        q75=float(np.percentile(arr, 75)),
+    )

@@ -1,0 +1,247 @@
+"""Parametric distributions for stochastic model timing.
+
+Stage durations, activity firing times and plant noise are all expressed as
+:class:`Distribution` objects.  Each distribution knows how to sample itself
+from a :class:`numpy.random.Generator` and how to report its analytical
+mean/variance, which the CTMC validation path (:mod:`repro.san.ctmc`) uses.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Distribution(ABC):
+    """A one-dimensional random variable."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one realization."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytical expectation."""
+
+    @abstractmethod
+    def variance(self) -> float:
+        """Analytical variance."""
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` realizations (vectorized where possible)."""
+        return np.array([self.sample(rng) for _ in range(size)])
+
+    @property
+    def is_exponential(self) -> bool:
+        """Whether this is memoryless — enables exact CTMC conversion."""
+        return False
+
+
+@dataclass(frozen=True)
+class Deterministic(Distribution):
+    """A constant: always returns ``value``."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"deterministic delay must be >= 0, got {self.value}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def variance(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with ``rate`` (mean ``1/rate``)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(1.0 / self.rate, size=size)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def variance(self) -> float:
+        return 1.0 / (self.rate * self.rate)
+
+    @property
+    def is_exponential(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"need low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=size)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+
+@dataclass(frozen=True)
+class Weibull(Distribution):
+    """Weibull with ``shape`` k and ``scale`` λ.
+
+    ``shape < 1`` models decreasing hazard (early successes dominate, a
+    common model for exploit attempts against a vulnerable target);
+    ``shape > 1`` models wear-in / increasing hazard.
+    """
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0 or self.scale <= 0:
+            raise ValueError("shape and scale must be > 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self.scale * rng.weibull(self.shape, size=size)
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale**2 * (g2 - g1**2)
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal with parameters ``mu`` and ``sigma`` of the underlying normal."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {self.sigma}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=size)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def variance(self) -> float:
+        s2 = self.sigma**2
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu + s2)
+
+
+@dataclass(frozen=True)
+class Erlang(Distribution):
+    """Erlang (sum of ``k`` exponentials with the given ``rate``)."""
+
+    k: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self.k, 1.0 / self.rate))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.gamma(self.k, 1.0 / self.rate, size=size)
+
+    def mean(self) -> float:
+        return self.k / self.rate
+
+    def variance(self) -> float:
+        return self.k / (self.rate * self.rate)
+
+
+@dataclass(frozen=True)
+class Triangular(Distribution):
+    """Triangular on ``[low, high]`` with the given ``mode``."""
+
+    low: float
+    mode: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not (self.low <= self.mode <= self.high):
+            raise ValueError(
+                f"need low <= mode <= high, got ({self.low}, {self.mode}, {self.high})"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.triangular(self.low, self.mode, self.high))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.triangular(self.low, self.mode, self.high, size=size)
+
+    def mean(self) -> float:
+        return (self.low + self.mode + self.high) / 3.0
+
+    def variance(self) -> float:
+        a, c, b = self.low, self.mode, self.high
+        return (a * a + b * b + c * c - a * b - a * c - b * c) / 18.0
+
+
+@dataclass(frozen=True)
+class Bernoulli(Distribution):
+    """Bernoulli with success probability ``p`` (values 0.0 / 1.0)."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {self.p}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.random() < self.p)
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return (rng.random(size) < self.p).astype(float)
+
+    def mean(self) -> float:
+        return self.p
+
+    def variance(self) -> float:
+        return self.p * (1.0 - self.p)

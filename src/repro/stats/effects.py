@@ -1,0 +1,81 @@
+"""Effect sizes and main-effect estimation for designed experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.stats.anova import AnovaResult
+
+
+def eta_squared(result: AnovaResult, source: str) -> float:
+    """Classical eta² of ``source``: SS_source / SS_total."""
+    row = result.row(source)
+    if result.total_ss == 0:
+        return float("nan")
+    return row.ss / result.total_ss
+
+
+def omega_squared(result: AnovaResult, source: str) -> float:
+    """Less-biased omega² effect size of ``source``.
+
+    omega² = (SS - df·MSE) / (SS_total + MSE).  Clamped at 0 from below.
+    """
+    row = result.row(source)
+    mse = result.residual_ms
+    if mse != mse or result.total_ss + mse == 0:
+        return float("nan")
+    value = (row.ss - row.df * mse) / (result.total_ss + mse)
+    return max(value, 0.0)
+
+
+def main_effects(
+    data: Sequence[Mapping[str, object]],
+    response: str,
+    factors: Sequence[str],
+) -> Dict[str, Dict[Hashable, float]]:
+    """Per-level main effects: mean response at each level minus grand mean.
+
+    Args:
+        data: Long-format records.
+        response: Response key.
+        factors: Factors to estimate.
+
+    Returns:
+        ``{factor: {level: effect}}``.  For a two-level factor, the
+        difference of the two effects equals the classical "effect" of
+        moving the factor from low to high.
+
+    Raises:
+        ValueError: On empty data.
+    """
+    records = list(data)
+    if not records:
+        raise ValueError("main_effects requires at least one observation")
+    y = np.array([float(rec[response]) for rec in records])  # type: ignore[arg-type]
+    grand = float(y.mean())
+    effects: Dict[str, Dict[Hashable, float]] = {}
+    for f in factors:
+        levels: Dict[Hashable, List[float]] = {}
+        for rec, value in zip(records, y):
+            levels.setdefault(rec[f], []).append(float(value))
+        effects[f] = {
+            level: float(np.mean(vals)) - grand for level, vals in levels.items()
+        }
+    return effects
+
+
+def effect_magnitudes(
+    effects: Dict[str, Dict[Hashable, float]]
+) -> Dict[str, float]:
+    """Collapse per-level effects to one magnitude per factor.
+
+    The magnitude is the range (max - min) of the level effects — for a
+    two-level factor this is the classical effect estimate.  Useful for
+    tornado-style rankings.
+    """
+    return {
+        factor: (max(levels.values()) - min(levels.values())) if levels else 0.0
+        for factor, levels in effects.items()
+    }

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.profiles import stuxnet_like
+from repro.diversity.catalog import default_catalog
+from repro.scada.topologies import scope_cooling_topology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def catalog():
+    """The default variant catalog."""
+    return default_catalog()
+
+
+@pytest.fixture
+def network():
+    """A fresh reference cooling-SCADA topology."""
+    return scope_cooling_topology()
+
+
+@pytest.fixture
+def threat():
+    """A Stuxnet-like threat profile."""
+    return stuxnet_like()

@@ -1,0 +1,247 @@
+"""Tests for threat models: vectors, spoofers, C2, profiles."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.c2 import C2Channel
+from repro.attacks.profiles import (
+    ThreatProfile,
+    duqu_like,
+    flame_like,
+    stuxnet_like,
+)
+from repro.attacks.spoof import ConstantSpoofer, ReplaySpoofer
+from repro.attacks.stages import AttackStage, StageTracker
+from repro.attacks.vectors import (
+    NetworkExploitVector,
+    PrintSpoolerVector,
+    SharedFolderVector,
+    USBVector,
+)
+from repro.scada.components import ComponentKind, Host, HostRole
+from repro.scada.network import Zone
+
+
+class TestStageTracker:
+    def test_first_entry_recorded(self):
+        tracker = StageTracker()
+        assert tracker.reach(AttackStage.INITIAL, 1.0, "h")
+        assert not tracker.reach(AttackStage.INITIAL, 2.0, "other")
+        assert tracker.time_of(AttackStage.INITIAL) == 1.0
+
+    def test_unreached_stage_is_none(self):
+        assert StageTracker().time_of(AttackStage.ROOT_ACCESS) is None
+
+    def test_furthest_stage(self):
+        tracker = StageTracker()
+        tracker.reach(AttackStage.INITIAL, 1.0, "h")
+        tracker.reach(AttackStage.ROOT_ACCESS, 3.0, "h")
+        assert tracker.furthest() == AttackStage.ROOT_ACCESS
+
+    def test_records_ordered_by_stage(self):
+        tracker = StageTracker()
+        tracker.reach(AttackStage.ROOT_ACCESS, 3.0, "h")
+        tracker.reach(AttackStage.INITIAL, 1.0, "h")
+        stages = [r.stage for r in tracker.records()]
+        assert stages == sorted(stages)
+
+    def test_stage_ordering_matches_paper(self):
+        assert (
+            AttackStage.INITIAL
+            < AttackStage.ACTIVATED
+            < AttackStage.ROOT_ACCESS
+            < AttackStage.PROPAGATION
+            < AttackStage.DEVICE_IMPAIRMENT
+        )
+
+
+class TestVectors:
+    def make_host(self, **flags):
+        host = Host("target", HostRole.HMI_STATION, **flags)
+        host.install(ComponentKind.OPERATING_SYSTEM, "win_legacy")
+        return host
+
+    def test_usb_requires_usb_ports(self):
+        vector = USBVector()
+        assert vector.applicable(self.make_host(usb_ports=True))
+        assert not vector.applicable(self.make_host(usb_ports=False))
+
+    def test_shared_folder_requires_shares(self):
+        vector = SharedFolderVector()
+        assert vector.applicable(self.make_host(shared_folders=True))
+        assert not vector.applicable(self.make_host())
+
+    def test_spooler_requires_service(self):
+        vector = PrintSpoolerVector()
+        assert vector.applicable(self.make_host(print_spooler=True))
+        assert not vector.applicable(self.make_host())
+
+    def test_field_devices_not_infectable(self):
+        sensor = Host("s", HostRole.SENSOR, usb_ports=True)
+        assert not USBVector().applicable(sensor)
+        assert not NetworkExploitVector().applicable(sensor)
+
+    def test_success_probability_uses_catalog(self, catalog):
+        host = self.make_host(shared_folders=True)
+        p = SharedFolderVector().success_probability(host, catalog)
+        assert p == pytest.approx(0.8)  # win_legacy smb, no AV
+
+    def test_antivirus_multiplies_in(self, catalog):
+        host = self.make_host(shared_folders=True)
+        host.install(ComponentKind.ANTIVIRUS, "av_behavioral")
+        p = SharedFolderVector().success_probability(host, catalog)
+        assert p == pytest.approx(0.8 * 0.35)
+
+    def test_hardened_os_lowers_probability(self, catalog):
+        host = self.make_host(shared_folders=True)
+        host.install(ComponentKind.OPERATING_SYSTEM, "linux_hardened")
+        p = SharedFolderVector().success_probability(host, catalog)
+        assert p == pytest.approx(0.08)
+
+    def test_usb_targets_stay_in_zone(self, network):
+        vector = USBVector()
+        targets = vector.targets("office_0", network)
+        zones = {network.zone_of(t) for t in targets}
+        assert zones == {Zone.ENTERPRISE}
+
+    def test_network_vector_respects_firewalls(self, network):
+        vector = SharedFolderVector()
+        targets = vector.targets("office_0", network)
+        assert "plc_0" not in targets
+
+
+class TestSpoofers:
+    def test_constant_spoofer_repeats_last_value(self, rng):
+        spoofer = ConstantSpoofer()
+        spoofer.record(220.0)
+        spoofer.record(230.0)
+        assert spoofer.emit(rng) == 230.0
+        assert spoofer.emit(rng) == 230.0
+
+    def test_constant_spoofer_without_recording(self, rng):
+        assert ConstantSpoofer().emit(rng) == 0.0
+
+    def test_replay_spoofer_loops_recording(self):
+        spoofer = ReplaySpoofer(capacity=3, jitter=0.0)
+        for v in (1.0, 2.0, 3.0):
+            spoofer.record(v)
+        rng = np.random.default_rng(0)
+        emitted = [spoofer.emit(rng) for _ in range(6)]
+        assert emitted == [1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+
+    def test_replay_spoofer_rolls_window(self):
+        spoofer = ReplaySpoofer(capacity=2, jitter=0.0)
+        for v in (1.0, 2.0, 3.0):
+            spoofer.record(v)
+        assert spoofer.samples_recorded == 2
+        rng = np.random.default_rng(0)
+        assert spoofer.emit(rng) == 2.0
+
+    def test_replay_jitter_varies_output(self):
+        spoofer = ReplaySpoofer(capacity=2, jitter=0.5)
+        spoofer.record(10.0)
+        spoofer.record(10.0)
+        rng = np.random.default_rng(1)
+        values = {spoofer.emit(rng) for _ in range(10)}
+        assert len(values) > 1
+
+    def test_replay_defeats_frozen_check_constant_does_not(self):
+        from repro.scada.monitoring import SpoofDetector
+
+        rng = np.random.default_rng(2)
+        replay = ReplaySpoofer(capacity=30, jitter=0.3)
+        constant = ConstantSpoofer()
+        for i in range(30):
+            value = 220.0 + 5.0 * np.sin(i / 3.0)
+            replay.record(value)
+            constant.record(value)
+
+        det_replay = SpoofDetector(window=10)
+        det_const = SpoofDetector(window=10)
+        replay_findings = [
+            det_replay.observe(replay.emit(rng)) for _ in range(20)
+        ]
+        const_findings = [
+            det_const.observe(constant.emit(rng)) for _ in range(20)
+        ]
+        assert "frozen_signal" in const_findings
+        assert "frozen_signal" not in replay_findings
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplaySpoofer(capacity=1)
+        with pytest.raises(ValueError):
+            ReplaySpoofer(jitter=-1.0)
+
+
+class TestC2:
+    def test_detection_probability_lifted_by_dpi_firewall(
+        self, catalog
+    ):
+        from repro.scada.topologies import scope_cooling_topology
+
+        c2 = C2Channel(base_detection_probability=0.02)
+        basic = scope_cooling_topology()
+        p_basic = c2.detection_probability(basic, catalog)
+        dpi = scope_cooling_topology()
+        dpi.host("fw_outer").install(
+            ComponentKind.FIREWALL_SOFTWARE, "fw_dpi"
+        )
+        p_dpi = c2.detection_probability(dpi, catalog)
+        assert p_dpi > p_basic
+
+    def test_first_detection_time_respects_horizon(self, network, catalog):
+        c2 = C2Channel(beacon_interval=1.0, base_detection_probability=1.0)
+        rng = np.random.default_rng(0)
+        t = c2.first_detection_time(0.0, 100.0, network, catalog, rng)
+        assert t == pytest.approx(1.0)
+
+    def test_no_detection_when_probability_zero(self, network, catalog):
+        c2 = C2Channel(beacon_interval=1.0, base_detection_probability=0.0)
+        rng = np.random.default_rng(0)
+        assert c2.first_detection_time(0.0, 50.0, network, catalog, rng) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            C2Channel(beacon_interval=0.0)
+        with pytest.raises(ValueError):
+            C2Channel(base_detection_probability=1.5)
+
+
+class TestProfiles:
+    def test_stuxnet_profile_shape(self):
+        threat = stuxnet_like()
+        assert threat.goal == "impair"
+        assert threat.requires_engineering_host
+        names = {v.name for v in threat.vectors}
+        assert {"usb", "shared_folder", "print_spooler"} <= names
+
+    def test_duqu_profile_shape(self):
+        threat = duqu_like()
+        assert threat.goal == "exfiltrate"
+        assert threat.make_spoofer() is None
+
+    def test_flame_profile_shape(self):
+        threat = flame_like()
+        assert threat.goal == "recon"
+        assert 0.0 < threat.recon_fraction <= 1.0
+
+    def test_spoofer_kinds(self):
+        assert stuxnet_like().make_spoofer() is not None
+        replay = ThreatProfile(name="t", goal="impair", spoofer_kind="replay")
+        constant = ThreatProfile(name="t", goal="impair",
+                                 spoofer_kind="constant")
+        assert type(replay.make_spoofer()).__name__ == "ReplaySpoofer"
+        assert type(constant.make_spoofer()).__name__ == "ConstantSpoofer"
+
+    def test_invalid_goal_rejected(self):
+        with pytest.raises(ValueError):
+            ThreatProfile(name="bad", goal="world_peace")
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ThreatProfile(name="bad", goal="impair", entry_rate=0.0)
+
+    def test_invalid_spoofer_rejected(self):
+        with pytest.raises(ValueError):
+            ThreatProfile(name="bad", goal="impair", spoofer_kind="magic")

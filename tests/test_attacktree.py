@@ -1,0 +1,211 @@
+"""Tests for attack trees."""
+
+import numpy as np
+import pytest
+
+from repro.attacktree.analysis import evaluate, monte_carlo
+from repro.attacktree.cutsets import minimal_cut_sets
+from repro.attacktree.nodes import (
+    AndNode,
+    KofNNode,
+    LeafAttack,
+    OrNode,
+    SandNode,
+)
+from repro.attacktree.tree import AttackTree
+from repro.stats.distributions import Deterministic, Exponential
+
+
+def leaf(name, p, cost=1.0, t=0.0):
+    return LeafAttack(name, probability=p, cost=cost, time=Deterministic(t))
+
+
+class TestStructure:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            AttackTree(AndNode("root", [leaf("x", 0.5), leaf("x", 0.6)]))
+
+    def test_shared_subtree_allowed(self):
+        shared = leaf("shared", 0.5)
+        tree = AttackTree(OrNode("root", [shared, AndNode("mid", [shared])]))
+        assert len(tree.leaves()) == 1
+
+    def test_empty_gate_rejected(self):
+        with pytest.raises(ValueError):
+            AndNode("root", [])
+
+    def test_kofn_bounds_validated(self):
+        children = [leaf("a", 0.5), leaf("b", 0.5)]
+        with pytest.raises(ValueError):
+            KofNNode("root", children, k=3)
+        with pytest.raises(ValueError):
+            KofNNode("root", children, k=0)
+
+    def test_leaf_probability_validated(self):
+        with pytest.raises(ValueError):
+            LeafAttack("bad", probability=1.2)
+
+    def test_leaf_cost_validated(self):
+        with pytest.raises(ValueError):
+            LeafAttack("bad", probability=0.5, cost=-1.0)
+
+    def test_node_lookup(self):
+        tree = AttackTree(AndNode("root", [leaf("a", 0.5)]))
+        assert tree.node("a").name == "a"
+        with pytest.raises(KeyError):
+            tree.node("ghost")
+
+    def test_format_tree_renders_all_nodes(self):
+        tree = AttackTree(AndNode("root", [leaf("a", 0.5), leaf("b", 0.7)]))
+        text = tree.format_tree()
+        assert "root" in text and "a" in text and "b" in text
+
+
+class TestPropagation:
+    def test_and_multiplies_probabilities(self):
+        tree = AttackTree(AndNode("root", [leaf("a", 0.5), leaf("b", 0.4)]))
+        assert evaluate(tree).probability == pytest.approx(0.2)
+
+    def test_or_is_one_minus_product_of_complements(self):
+        tree = AttackTree(OrNode("root", [leaf("a", 0.5), leaf("b", 0.4)]))
+        assert evaluate(tree).probability == pytest.approx(0.7)
+
+    def test_sand_multiplies_probabilities_and_adds_times(self):
+        tree = AttackTree(
+            SandNode("root", [leaf("a", 0.5, t=2.0), leaf("b", 0.4, t=3.0)])
+        )
+        metrics = evaluate(tree)
+        assert metrics.probability == pytest.approx(0.2)
+        assert metrics.expected_time == pytest.approx(5.0)
+
+    def test_and_takes_max_time(self):
+        tree = AttackTree(
+            AndNode("root", [leaf("a", 1.0, t=2.0), leaf("b", 1.0, t=7.0)])
+        )
+        assert evaluate(tree).expected_time == pytest.approx(7.0)
+
+    def test_and_adds_costs(self):
+        tree = AttackTree(
+            AndNode("root", [leaf("a", 1.0, cost=3.0), leaf("b", 1.0, cost=4.0)])
+        )
+        assert evaluate(tree).cost == pytest.approx(7.0)
+
+    def test_or_picks_cheapest_viable_branch(self):
+        tree = AttackTree(
+            OrNode("root", [leaf("pricey", 0.9, cost=100.0),
+                            leaf("cheap", 0.2, cost=1.0)])
+        )
+        assert evaluate(tree).cost == pytest.approx(1.0)
+
+    def test_or_ignores_zero_probability_branch_for_cost(self):
+        tree = AttackTree(
+            OrNode("root", [leaf("dead", 0.0, cost=0.5),
+                            leaf("live", 0.5, cost=9.0)])
+        )
+        assert evaluate(tree).cost == pytest.approx(9.0)
+
+    def test_kofn_probability_matches_binomial(self):
+        children = [leaf(f"l{i}", 0.5) for i in range(4)]
+        tree = AttackTree(KofNNode("root", children, k=2))
+        # P(X>=2), X~Bin(4, 0.5) = 11/16
+        assert evaluate(tree).probability == pytest.approx(11 / 16)
+
+    def test_kofn_cost_is_k_cheapest(self):
+        children = [
+            leaf("a", 0.5, cost=1.0),
+            leaf("b", 0.5, cost=2.0),
+            leaf("c", 0.5, cost=9.0),
+        ]
+        tree = AttackTree(KofNNode("root", children, k=2))
+        assert evaluate(tree).cost == pytest.approx(3.0)
+
+    def test_diversity_intuition_and_beats_or(self):
+        # The paper's core claim in tree form: forcing the attacker
+        # through two diverse steps (AND) yields lower success than
+        # letting one of two identical exploits suffice (OR).
+        p = 0.5
+        and_tree = AttackTree(AndNode("root", [leaf("m1", p), leaf("m2", p)]))
+        or_tree = AttackTree(OrNode("root2", [leaf("n1", p), leaf("n2", p)]))
+        assert evaluate(and_tree).probability < evaluate(or_tree).probability
+
+
+class TestMonteCarlo:
+    def test_mc_agrees_with_closed_form(self):
+        tree = AttackTree(
+            OrNode(
+                "root",
+                [
+                    AndNode("left", [leaf("a", 0.6), leaf("b", 0.7)]),
+                    leaf("c", 0.2),
+                ],
+            )
+        )
+        analytic = evaluate(tree).probability
+        ci, __ = monte_carlo(tree, 4000, np.random.default_rng(4))
+        assert ci.low <= analytic <= ci.high
+
+    def test_sand_times_add_in_samples(self):
+        tree = AttackTree(
+            SandNode("root", [leaf("a", 1.0, t=1.0), leaf("b", 1.0, t=2.0)])
+        )
+        __, times = monte_carlo(tree, 50, np.random.default_rng(1))
+        assert all(t == pytest.approx(3.0) for t in times)
+
+    def test_zero_replications_rejected(self):
+        tree = AttackTree(leaf("a", 0.5))
+        with pytest.raises(ValueError):
+            monte_carlo(tree, 0, np.random.default_rng(1))
+
+    def test_kofn_sampling(self):
+        children = [leaf(f"l{i}", 0.5) for i in range(4)]
+        tree = AttackTree(KofNNode("root", children, k=2))
+        ci, __ = monte_carlo(tree, 4000, np.random.default_rng(9))
+        assert abs(ci.estimate - 11 / 16) < 0.05
+
+
+class TestCutSets:
+    def test_single_and(self):
+        tree = AttackTree(AndNode("root", [leaf("a", 0.5), leaf("b", 0.5)]))
+        assert minimal_cut_sets(tree) == [{"a", "b"}]
+
+    def test_single_or(self):
+        tree = AttackTree(OrNode("root", [leaf("a", 0.5), leaf("b", 0.5)]))
+        assert minimal_cut_sets(tree) == [{"a"}, {"b"}]
+
+    def test_nested_and_or(self):
+        tree = AttackTree(
+            SandNode(
+                "root",
+                [OrNode("entry", [leaf("usb", 0.3), leaf("smb", 0.5)]),
+                 leaf("payload", 0.8)],
+            )
+        )
+        cut_sets = minimal_cut_sets(tree)
+        assert {"usb", "payload"} in cut_sets
+        assert {"smb", "payload"} in cut_sets
+        assert len(cut_sets) == 2
+
+    def test_absorption_removes_supersets(self):
+        shared = leaf("a", 0.5)
+        tree = AttackTree(
+            OrNode("root", [shared, AndNode("redundant", [shared, leaf("b", 0.5)])])
+        )
+        assert minimal_cut_sets(tree) == [{"a"}]
+
+    def test_kofn_cut_sets(self):
+        children = [leaf("a", 0.5), leaf("b", 0.5), leaf("c", 0.5)]
+        tree = AttackTree(KofNNode("root", children, k=2))
+        cut_sets = minimal_cut_sets(tree)
+        assert len(cut_sets) == 3
+        assert all(len(cs) == 2 for cs in cut_sets)
+
+    def test_cut_sets_sorted_smallest_first(self):
+        tree = AttackTree(
+            OrNode(
+                "root",
+                [AndNode("pair", [leaf("x", 0.5), leaf("y", 0.5)]),
+                 leaf("solo", 0.5)],
+            )
+        )
+        cut_sets = minimal_cut_sets(tree)
+        assert cut_sets[0] == {"solo"}

@@ -1,0 +1,128 @@
+"""Tests for attack-tree defense annotations and portfolio selection."""
+
+import pytest
+
+from repro.attacktree.analysis import evaluate
+from repro.attacktree.defenses import (
+    Defense,
+    apply_defenses,
+    select_defenses,
+)
+from repro.attacktree.nodes import (
+    AndNode,
+    KofNNode,
+    LeafAttack,
+    OrNode,
+    SandNode,
+)
+from repro.attacktree.tree import AttackTree
+from repro.stats.distributions import Deterministic
+
+
+def leaf(name, p, cost=1.0, t=0.0):
+    return LeafAttack(name, probability=p, cost=cost, time=Deterministic(t))
+
+
+@pytest.fixture
+def tree():
+    entry = OrNode("entry", [leaf("usb", 0.8), leaf("smb", 0.6)])
+    return AttackTree(SandNode("root", [entry, leaf("reprogram", 0.9)]))
+
+
+class TestApplyDefenses:
+    def test_defense_scales_leaf_probability(self, tree):
+        defended = apply_defenses(
+            tree, [Defense("block_usb", {"usb": 0.1})]
+        )
+        assert defended.node("usb").probability == pytest.approx(0.08)
+
+    def test_original_tree_untouched(self, tree):
+        apply_defenses(tree, [Defense("block_usb", {"usb": 0.0})])
+        assert tree.node("usb").probability == 0.8
+
+    def test_multiple_defenses_multiply(self, tree):
+        defended = apply_defenses(
+            tree,
+            [Defense("a", {"usb": 0.5}), Defense("b", {"usb": 0.5})],
+        )
+        assert defended.node("usb").probability == pytest.approx(0.2)
+
+    def test_root_probability_drops(self, tree):
+        before = evaluate(tree).probability
+        defended = apply_defenses(
+            tree, [Defense("signed", {"reprogram": 0.1})]
+        )
+        assert evaluate(defended).probability < before
+
+    def test_unknown_leaf_rejected(self, tree):
+        with pytest.raises(ValueError):
+            apply_defenses(tree, [Defense("bad", {"ghost": 0.5})])
+
+    def test_structure_preserved(self, tree):
+        defended = apply_defenses(tree, [Defense("d", {"usb": 0.5})])
+        assert len(defended) == len(tree)
+        assert type(defended.root) is type(tree.root)
+
+    def test_kofn_structure_preserved(self):
+        children = [leaf(f"l{i}", 0.5) for i in range(3)]
+        source = AttackTree(KofNNode("root", children, k=2))
+        defended = apply_defenses(source, [Defense("d", {"l0": 0.0})])
+        assert defended.node("root").k == 2
+
+    def test_defense_validation(self):
+        with pytest.raises(ValueError):
+            Defense("empty", {})
+        with pytest.raises(ValueError):
+            Defense("bad_factor", {"x": 1.5})
+        with pytest.raises(ValueError):
+            Defense("bad_cost", {"x": 0.5}, cost=-1.0)
+
+
+class TestSelectDefenses:
+    def make_candidates(self):
+        return [
+            Defense("block_usb", {"usb": 0.05}, cost=2.0),
+            Defense("patch_smb", {"smb": 0.1}, cost=2.0),
+            Defense("signed_logic", {"reprogram": 0.05}, cost=3.0),
+            Defense("useless", {"usb": 1.0}, cost=0.5),
+        ]
+
+    def test_budget_respected(self, tree):
+        portfolio = select_defenses(tree, self.make_candidates(), budget=3.0)
+        assert portfolio.total_cost <= 3.0
+
+    def test_bottleneck_defense_preferred(self, tree):
+        # reprogram is a SAND conjunct: mitigating it caps the root
+        # probability; with budget for exactly one "real" defense the
+        # greedy pick should be signed_logic.
+        portfolio = select_defenses(tree, self.make_candidates(), budget=3.0)
+        names = {d.name for d in portfolio.chosen}
+        assert "signed_logic" in names
+
+    def test_useless_defense_never_chosen(self, tree):
+        portfolio = select_defenses(tree, self.make_candidates(), budget=10.0)
+        assert all(d.name != "useless" for d in portfolio.chosen)
+
+    def test_bigger_budget_never_worse(self, tree):
+        small = select_defenses(tree, self.make_candidates(), budget=2.0)
+        large = select_defenses(tree, self.make_candidates(), budget=7.0)
+        assert large.residual_probability <= small.residual_probability
+
+    def test_zero_budget_chooses_nothing(self, tree):
+        portfolio = select_defenses(tree, self.make_candidates(), budget=0.0)
+        assert portfolio.chosen == []
+        assert portfolio.residual_probability == pytest.approx(
+            evaluate(tree).probability
+        )
+
+    def test_negative_budget_rejected(self, tree):
+        with pytest.raises(ValueError):
+            select_defenses(tree, [], budget=-1.0)
+
+    def test_residual_matches_applied_tree(self, tree):
+        candidates = self.make_candidates()
+        portfolio = select_defenses(tree, candidates, budget=7.0)
+        rebuilt = apply_defenses(tree, portfolio.chosen)
+        assert portfolio.residual_probability == pytest.approx(
+            evaluate(rebuilt).probability
+        )

@@ -1,0 +1,292 @@
+"""Tests for Bayesian networks, inference and attack graphs."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.attackgraph import attack_graph_from_topology
+from repro.bayes.cpt import CPT
+from repro.bayes.inference import Factor, VariableElimination
+from repro.bayes.network import BayesianNetwork
+from repro.bayes.sampling import forward_sample, likelihood_weighting
+
+
+def sprinkler_network():
+    """The classic rain/sprinkler/wet-grass network."""
+    bn = BayesianNetwork("sprinkler")
+    bn.add_node(CPT.root("rain", ("false", "true"), (0.8, 0.2)))
+    bn.add_node(
+        CPT(
+            variable="sprinkler",
+            variable_states=("false", "true"),
+            parents=("rain",),
+            parent_states=(("false", "true"),),
+            table={
+                ("false",): (0.6, 0.4),
+                ("true",): (0.99, 0.01),
+            },
+        )
+    )
+    bn.add_node(
+        CPT(
+            variable="wet",
+            variable_states=("false", "true"),
+            parents=("sprinkler", "rain"),
+            parent_states=(("false", "true"), ("false", "true")),
+            table={
+                ("false", "false"): (1.0, 0.0),
+                ("false", "true"): (0.2, 0.8),
+                ("true", "false"): (0.1, 0.9),
+                ("true", "true"): (0.01, 0.99),
+            },
+        )
+    )
+    return bn
+
+
+class TestCPT:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            CPT.root("x", ("a", "b"), (0.5, 0.6))
+
+    def test_row_count_must_match_parent_states(self):
+        with pytest.raises(ValueError):
+            CPT(
+                variable="x",
+                variable_states=("a", "b"),
+                parents=("p",),
+                parent_states=(("u", "v"),),
+                table={("u",): (0.5, 0.5)},  # missing ("v",)
+            )
+
+    def test_probability_lookup(self):
+        cpt = CPT.root("x", ("a", "b"), (0.3, 0.7))
+        assert cpt.probability("b", {}) == 0.7
+
+    def test_noisy_or_no_active_parents_is_leak(self):
+        cpt = CPT.noisy_or("x", ["p", "q"], {"p": 0.5, "q": 0.5}, leak=0.1)
+        assert cpt.probability("true", {"p": "false", "q": "false"}) == (
+            pytest.approx(0.1)
+        )
+
+    def test_noisy_or_all_active(self):
+        cpt = CPT.noisy_or("x", ["p", "q"], {"p": 0.5, "q": 0.4})
+        expected = 1.0 - 0.5 * 0.6
+        assert cpt.probability("true", {"p": "true", "q": "true"}) == (
+            pytest.approx(expected)
+        )
+
+    def test_noisy_or_weight_validation(self):
+        with pytest.raises(ValueError):
+            CPT.noisy_or("x", ["p"], {"p": 1.5})
+
+
+class TestNetworkStructure:
+    def test_parents_must_exist_first(self):
+        bn = BayesianNetwork()
+        with pytest.raises(ValueError):
+            bn.add_node(
+                CPT(
+                    variable="child",
+                    variable_states=("a", "b"),
+                    parents=("ghost",),
+                    parent_states=(("a", "b"),),
+                    table={("a",): (1.0, 0.0), ("b",): (0.0, 1.0)},
+                )
+            )
+
+    def test_duplicate_variable_rejected(self):
+        bn = BayesianNetwork()
+        bn.add_node(CPT.root("x", ("a", "b"), (0.5, 0.5)))
+        with pytest.raises(ValueError):
+            bn.add_node(CPT.root("x", ("a", "b"), (0.5, 0.5)))
+
+    def test_joint_probability_chain_rule(self):
+        bn = sprinkler_network()
+        p = bn.joint_probability(
+            {"rain": "true", "sprinkler": "false", "wet": "true"}
+        )
+        assert p == pytest.approx(0.2 * 0.99 * 0.8)
+
+    def test_children_listing(self):
+        bn = sprinkler_network()
+        assert set(bn.children("rain")) == {"sprinkler", "wet"}
+
+    def test_validate_checks_parent_state_consistency(self):
+        bn = sprinkler_network()
+        bn.validate()  # must not raise
+
+
+class TestVariableElimination:
+    def test_prior_marginal(self):
+        engine = VariableElimination(sprinkler_network())
+        posterior = engine.query("rain")
+        assert posterior["true"] == pytest.approx(0.2)
+
+    def test_marginal_sums_to_one(self):
+        engine = VariableElimination(sprinkler_network())
+        posterior = engine.query("wet")
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_evidence_updates_belief(self):
+        engine = VariableElimination(sprinkler_network())
+        prior = engine.query("rain")["true"]
+        posterior = engine.query("rain", evidence={"wet": "true"})["true"]
+        assert posterior > prior  # wet grass raises belief in rain
+
+    def test_query_of_evidence_variable_is_degenerate(self):
+        engine = VariableElimination(sprinkler_network())
+        posterior = engine.query("rain", evidence={"rain": "true"})
+        assert posterior == {"false": 0.0, "true": 1.0}
+
+    def test_matches_exhaustive_enumeration(self):
+        bn = sprinkler_network()
+        engine = VariableElimination(bn)
+        # Enumerate P(wet=true) by brute force.
+        total = 0.0
+        for r in ("false", "true"):
+            for s in ("false", "true"):
+                for w in ("false", "true"):
+                    p = bn.joint_probability(
+                        {"rain": r, "sprinkler": s, "wet": w}
+                    )
+                    if w == "true":
+                        total += p
+        assert engine.query("wet")["true"] == pytest.approx(total)
+
+    def test_probability_of_evidence(self):
+        bn = sprinkler_network()
+        engine = VariableElimination(bn)
+        p_wet = engine.probability_of_evidence({"wet": "true"})
+        assert p_wet == pytest.approx(engine.query("wet")["true"])
+
+    def test_explicit_elimination_order(self):
+        engine = VariableElimination(sprinkler_network())
+        a = engine.query("wet", elimination_order=["rain", "sprinkler"])
+        b = engine.query("wet", elimination_order=["sprinkler", "rain"])
+        assert a["true"] == pytest.approx(b["true"])
+
+    def test_bad_elimination_order_rejected(self):
+        engine = VariableElimination(sprinkler_network())
+        with pytest.raises(ValueError):
+            engine.query("wet", elimination_order=["rain"])
+
+
+class TestSampling:
+    def test_forward_sample_has_all_variables(self, rng):
+        sample = forward_sample(sprinkler_network(), rng)
+        assert set(sample) == {"rain", "sprinkler", "wet"}
+
+    def test_forward_sampling_frequency(self):
+        bn = sprinkler_network()
+        rng = np.random.default_rng(8)
+        rains = sum(
+            forward_sample(bn, rng)["rain"] == "true" for _ in range(4000)
+        )
+        assert rains / 4000 == pytest.approx(0.2, abs=0.03)
+
+    def test_likelihood_weighting_approximates_exact(self):
+        bn = sprinkler_network()
+        engine = VariableElimination(bn)
+        exact = engine.query("rain", evidence={"wet": "true"})["true"]
+        approx = likelihood_weighting(
+            bn, "rain", {"wet": "true"}, 20000, np.random.default_rng(17)
+        )["true"]
+        assert approx == pytest.approx(exact, abs=0.03)
+
+    def test_zero_samples_rejected(self, rng):
+        with pytest.raises(ValueError):
+            likelihood_weighting(sprinkler_network(), "rain", {}, 0, rng)
+
+
+class TestFactorAlgebra:
+    def test_multiply_disjoint_factors(self):
+        f1 = Factor(("a",), (("x", "y"),), np.array([0.5, 0.5]))
+        f2 = Factor(("b",), (("u", "v"),), np.array([0.3, 0.7]))
+        product = f1.multiply(f2)
+        assert product.values.shape == (2, 2)
+        assert product.values[0, 1] == pytest.approx(0.35)
+
+    def test_marginalize_removes_axis(self):
+        f = Factor(
+            ("a", "b"),
+            (("x", "y"), ("u", "v")),
+            np.array([[0.1, 0.2], [0.3, 0.4]]),
+        )
+        marg = f.marginalize("a")
+        assert marg.variables == ("b",)
+        assert np.allclose(marg.values, [0.4, 0.6])
+
+    def test_reduce_conditions_on_value(self):
+        f = Factor(
+            ("a", "b"),
+            (("x", "y"), ("u", "v")),
+            np.array([[0.1, 0.2], [0.3, 0.4]]),
+        )
+        reduced = f.reduce("a", "y")
+        assert np.allclose(reduced.values, [0.3, 0.4])
+
+    def test_normalize_zero_factor_rejected(self):
+        f = Factor(("a",), (("x", "y"),), np.zeros(2))
+        with pytest.raises(ValueError):
+            f.normalize()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Factor(("a",), (("x", "y"),), np.zeros(3))
+
+
+class TestAttackGraph:
+    def test_two_path_noisy_or(self):
+        graph = attack_graph_from_topology(
+            [
+                ("hmi", "plc", 0.6),
+                ("eng", "plc", 0.7),
+                ("corp", "hmi", 0.5),
+                ("corp", "eng", 0.4),
+            ],
+            {"corp": 1.0},
+        )
+        # Hand computation: P = 1 - (1-0.6*0.5)(1-0.7*0.4) = 0.496
+        assert graph.compromise_probability("plc") == pytest.approx(0.496)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            attack_graph_from_topology(
+                [("a", "b", 0.5), ("b", "a", 0.5)], {"a": 1.0}
+            )
+
+    def test_missing_entry_prior_rejected(self):
+        with pytest.raises(ValueError):
+            attack_graph_from_topology([("a", "b", 0.5)], {})
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ValueError):
+            attack_graph_from_topology([("a", "b", 1.5)], {"a": 1.0})
+
+    def test_evidence_conditioning(self):
+        graph = attack_graph_from_topology(
+            [("corp", "hmi", 0.5), ("hmi", "plc", 0.6)], {"corp": 1.0}
+        )
+        unconditional = graph.compromise_probability("plc")
+        given_hmi = graph.compromise_probability("plc", evidence={"hmi": True})
+        assert given_hmi > unconditional
+        assert given_hmi == pytest.approx(0.6)
+
+    def test_diverse_path_lowers_compromise_probability(self):
+        # Same topology, one weak link hardened: probability must drop.
+        weak = attack_graph_from_topology(
+            [("corp", "hmi", 0.8), ("hmi", "plc", 0.8)], {"corp": 1.0}
+        )
+        strong = attack_graph_from_topology(
+            [("corp", "hmi", 0.8), ("hmi", "plc", 0.1)], {"corp": 1.0}
+        )
+        assert (
+            strong.compromise_probability("plc")
+            < weak.compromise_probability("plc")
+        )
+
+    def test_entry_points_listed(self):
+        graph = attack_graph_from_topology(
+            [("corp", "plc", 0.5)], {"corp": 0.9}
+        )
+        assert graph.entry_points == ["corp"]

@@ -1,0 +1,161 @@
+"""Tests for the security indicators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import AttackOutcome
+from repro.attacks.stages import AttackStage
+from repro.core.indicators import (
+    CompromisedRatio,
+    TimeToAttack,
+    TimeToSecurityFailure,
+    compute_indicators,
+)
+from repro.sim.trace import TraceRecorder
+
+
+def outcome(
+    success_time=float("nan"),
+    detection_time=float("nan"),
+    compromises=None,
+    horizon=100.0,
+    n_hosts=4,
+):
+    return AttackOutcome(
+        success=not math.isnan(success_time),
+        success_time=success_time,
+        detection_time=detection_time,
+        compromise_times=dict(compromises or {}),
+        root_times={},
+        sabotage_start=float("nan"),
+        stage_times={},
+        horizon=horizon,
+        n_hosts=n_hosts,
+        trace=TraceRecorder(),
+    )
+
+
+class TestTimeToAttack:
+    def test_observed_and_censored_split(self):
+        outcomes = [outcome(10.0), outcome(20.0), outcome()]
+        tta = TimeToAttack.from_outcomes(outcomes)
+        assert tta.observed == [10.0, 20.0]
+        assert tta.n_censored == 1
+        assert tta.n_total == 3
+
+    def test_event_probability(self):
+        outcomes = [outcome(10.0), outcome(), outcome(), outcome()]
+        tta = TimeToAttack.from_outcomes(outcomes)
+        assert tta.event_probability == pytest.approx(0.25)
+
+    def test_conditional_mean(self):
+        tta = TimeToAttack.from_outcomes([outcome(10.0), outcome(30.0)])
+        ci = tta.conditional_mean()
+        assert ci.estimate == pytest.approx(20.0)
+
+    def test_conditional_mean_none_when_all_censored(self):
+        tta = TimeToAttack.from_outcomes([outcome(), outcome()])
+        assert tta.conditional_mean() is None
+
+    def test_restricted_mean_counts_censored_at_horizon(self):
+        tta = TimeToAttack.from_outcomes([outcome(20.0), outcome()])
+        assert tta.restricted_mean() == pytest.approx((20.0 + 100.0) / 2)
+
+    def test_restricted_mean_upper_bounded_by_horizon(self):
+        tta = TimeToAttack.from_outcomes(
+            [outcome(), outcome(), outcome(50.0)]
+        )
+        assert tta.restricted_mean() <= 100.0
+
+    def test_median_with_majority_censored_is_inf(self):
+        tta = TimeToAttack.from_outcomes([outcome(5.0), outcome(), outcome()])
+        assert tta.median() == math.inf
+
+    def test_median_observed(self):
+        tta = TimeToAttack.from_outcomes(
+            [outcome(5.0), outcome(10.0), outcome(20.0)]
+        )
+        assert tta.median() == 10.0
+
+    def test_event_probability_ci_bounds(self):
+        tta = TimeToAttack.from_outcomes([outcome(5.0)] * 3 + [outcome()])
+        ci = tta.event_probability_ci()
+        assert 0.0 <= ci.low <= ci.estimate <= ci.high <= 1.0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            TimeToAttack.from_outcomes([])
+
+
+class TestTimeToSecurityFailure:
+    def test_detection_extraction(self):
+        outcomes = [outcome(detection_time=3.0), outcome()]
+        ttsf = TimeToSecurityFailure.from_outcomes(outcomes)
+        assert ttsf.observed == [3.0]
+        assert ttsf.n_censored == 1
+
+    def test_ttsf_independent_of_success(self):
+        # Detection without success and success without detection.
+        outcomes = [
+            outcome(detection_time=5.0),
+            outcome(success_time=10.0),
+        ]
+        ttsf = TimeToSecurityFailure.from_outcomes(outcomes)
+        assert ttsf.event_probability == pytest.approx(0.5)
+
+
+class TestCompromisedRatio:
+    def test_ratio_curve_monotone(self):
+        outcomes = [
+            outcome(compromises={"a": 10.0, "b": 30.0}),
+            outcome(compromises={"a": 20.0}),
+        ]
+        ratio = CompromisedRatio.from_outcomes(outcomes, n_points=11)
+        assert ratio.mean_ratio == sorted(ratio.mean_ratio)
+
+    def test_final_ratio(self):
+        outcomes = [outcome(compromises={"a": 10.0, "b": 20.0}, n_hosts=4)]
+        ratio = CompromisedRatio.from_outcomes(outcomes)
+        assert ratio.final() == pytest.approx(0.5)
+
+    def test_interpolation(self):
+        outcomes = [outcome(compromises={"a": 50.0}, n_hosts=2)]
+        ratio = CompromisedRatio.from_outcomes(outcomes, n_points=101)
+        assert ratio.at(25.0) == pytest.approx(0.0)
+        assert ratio.at(75.0) == pytest.approx(0.5)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            CompromisedRatio.from_outcomes([outcome()], n_points=1)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            CompromisedRatio.from_outcomes([])
+
+
+class TestIndicatorSet:
+    def test_summary_row_keys(self):
+        outcomes = [
+            outcome(success_time=10.0, detection_time=5.0,
+                    compromises={"a": 1.0}),
+            outcome(),
+        ]
+        indicators = compute_indicators(outcomes)
+        row = indicators.summary_row()
+        assert set(row) == {
+            "psa",
+            "tta_restricted_mean",
+            "tta_conditional_mean",
+            "ttsf_restricted_mean",
+            "detection_probability",
+            "final_compromised_ratio",
+        }
+        assert row["psa"] == pytest.approx(0.5)
+
+    def test_summary_nan_conditional_when_no_success(self):
+        indicators = compute_indicators([outcome(), outcome()])
+        row = indicators.summary_row()
+        assert math.isnan(row["tta_conditional_mean"])
+        assert row["psa"] == 0.0

@@ -1,0 +1,166 @@
+"""Tests for sensitivity analysis and placement optimization."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import CampaignConfig
+from repro.attacks.profiles import stuxnet_like
+from repro.core.placement import PlacementProblem
+from repro.core.sensitivity import morris, oat_sweep, tornado
+from repro.scada.topologies import scope_cooling_topology
+
+TINY = CampaignConfig(horizon=25.0, tick_interval=1.0)
+
+
+class TestOATSweep:
+    def evaluator(self, assignment):
+        # Synthetic response: factor "a" matters 10x more than "b".
+        return 10.0 * float(assignment["a"]) + 1.0 * float(assignment["b"])
+
+    def test_sweep_covers_all_levels(self):
+        points = oat_sweep(
+            self.evaluator,
+            baseline={"a": 0, "b": 0},
+            levels={"a": [0, 1], "b": [0, 1]},
+        )
+        assert len(points) == 4
+
+    def test_sweep_holds_other_factors_at_baseline(self):
+        points = oat_sweep(
+            self.evaluator,
+            baseline={"a": 0, "b": 0},
+            levels={"b": [0, 1]},
+        )
+        responses = {p.level: p.response for p in points}
+        assert responses[1] == pytest.approx(1.0)
+
+    def test_missing_baseline_factor_rejected(self):
+        with pytest.raises(ValueError):
+            oat_sweep(self.evaluator, baseline={"a": 0}, levels={"z": [1]})
+
+    def test_tornado_ranks_by_range(self):
+        points = oat_sweep(
+            self.evaluator,
+            baseline={"a": 0, "b": 0},
+            levels={"a": [0, 1], "b": [0, 1]},
+        )
+        ranked = tornado(points)
+        assert ranked[0][0] == "a"
+        assert ranked[0][3] == pytest.approx(10.0)
+        assert ranked[1][0] == "b"
+
+
+class TestMorris:
+    def test_influential_parameter_identified(self):
+        def f(x):
+            return 10.0 * x[0] + 0.1 * x[1]
+
+        results = morris(
+            f,
+            bounds=[(0, 1), (0, 1)],
+            names=["big", "small"],
+            n_trajectories=8,
+            rng=np.random.default_rng(2),
+        )
+        assert results[0].name == "big"
+        assert results[0].mu_star == pytest.approx(10.0, rel=0.01)
+
+    def test_nonlinear_parameter_has_sigma(self):
+        def f(x):
+            return x[0] ** 2 + x[1]
+
+        results = morris(
+            f,
+            bounds=[(0, 1), (0, 1)],
+            names=["quad", "lin"],
+            n_trajectories=12,
+            rng=np.random.default_rng(3),
+        )
+        by_name = {r.name: r for r in results}
+        assert by_name["quad"].sigma > by_name["lin"].sigma
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(ValueError):
+            morris(lambda x: 0.0, bounds=[(0, 1)], names=["a", "b"])
+
+
+class TestPlacement:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        from repro.diversity.catalog import default_catalog
+
+        return PlacementProblem(
+            scope_cooling_topology,
+            default_catalog(),
+            stuxnet_like(),
+            budget=2,
+            candidates=["eng_ws", "scada_server", "plc_0", "office_0"],
+            replications=12,
+            campaign_config=TINY,
+        )
+
+    def test_evaluation_cached(self, problem):
+        rng = np.random.default_rng(1)
+        before = problem.evaluations
+        problem.evaluate(["eng_ws", "plc_0"], rng)
+        problem.evaluate(["plc_0", "eng_ws"], rng)  # same subset
+        assert problem.evaluations == before + 1
+
+    def test_greedy_respects_budget(self, problem):
+        result = problem.greedy(np.random.default_rng(2))
+        assert len(result.subset) == 2
+        assert result.strategy == "greedy"
+        assert 0.0 <= result.objective <= 1.0
+
+    def test_exhaustive_finds_global_minimum(self, problem):
+        rng = np.random.default_rng(3)
+        result = problem.exhaustive(rng)
+        # Every evaluated subset must be >= the reported optimum.
+        for subset, value in problem._cache.items():
+            if len(subset) == 2:
+                assert result.objective <= value + 1e-12
+
+    def test_annealing_returns_valid_subset(self, problem):
+        result = problem.annealing(np.random.default_rng(4), iterations=10)
+        assert len(result.subset) == 2
+        assert set(result.subset) <= set(problem.candidates)
+
+    def test_random_placement_averages(self, problem):
+        result = problem.random_placement(np.random.default_rng(5), samples=4)
+        assert result.strategy == "random"
+        assert 0.0 <= result.objective <= 1.0
+
+    def test_budget_validation(self):
+        from repro.diversity.catalog import default_catalog
+
+        with pytest.raises(ValueError):
+            PlacementProblem(
+                scope_cooling_topology,
+                default_catalog(),
+                stuxnet_like(),
+                budget=99,
+                candidates=["eng_ws"],
+            )
+        with pytest.raises(ValueError):
+            PlacementProblem(
+                scope_cooling_topology,
+                default_catalog(),
+                stuxnet_like(),
+                budget=-1,
+            )
+
+    def test_exhaustive_size_guard(self):
+        from repro.diversity.catalog import default_catalog
+
+        problem = PlacementProblem(
+            scope_cooling_topology,
+            default_catalog(),
+            stuxnet_like(),
+            budget=5,
+            replications=2,
+            campaign_config=TINY,
+        )
+        # C(16ish, 5) > 5000 -> must refuse.
+        if len(problem.candidates) >= 12:
+            with pytest.raises(ValueError):
+                problem.exhaustive(np.random.default_rng(1))

@@ -1,0 +1,219 @@
+"""Tests for the diversity package: catalog, configs, metrics, PSA model."""
+
+import numpy as np
+import pytest
+
+from repro.diversity.catalog import Variant, VariantCatalog, default_catalog
+from repro.diversity.config import (
+    SystemConfiguration,
+    configuration_factors,
+    configuration_from_run,
+    random_configuration,
+)
+from repro.diversity.metrics import (
+    distinct_variants,
+    network_diversity_profile,
+    shannon_entropy,
+    simpson_index,
+    variant_counts,
+)
+from repro.diversity.psa import (
+    AttackerProfile,
+    chain_attack,
+    diverse_chain,
+    identical_chain,
+)
+from repro.scada.components import ComponentKind
+from repro.scada.topologies import scope_cooling_topology
+
+K = ComponentKind
+
+
+class TestCatalog:
+    def test_default_catalog_has_os_variants(self, catalog):
+        names = catalog.names_for(K.OPERATING_SYSTEM)
+        assert len(names) >= 3
+
+    def test_duplicate_variant_rejected(self):
+        cat = VariantCatalog()
+        cat.register(Variant("v", K.OPERATING_SYSTEM, {"usb_autorun": 0.5}))
+        with pytest.raises(ValueError):
+            cat.register(Variant("v", K.OPERATING_SYSTEM, {}))
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            Variant("v", K.OPERATING_SYSTEM, {"teleport": 0.5})
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Variant("v", K.OPERATING_SYSTEM, {"usb_autorun": 1.5})
+
+    def test_unlisted_action_reads_zero(self):
+        v = Variant("v", K.OPERATING_SYSTEM, {"usb_autorun": 0.5})
+        assert v.success_probability("print_spooler") == 0.0
+
+    def test_none_variant_reads_zero(self, catalog):
+        assert catalog.success_probability(
+            K.OPERATING_SYSTEM, None, "usb_autorun"
+        ) == 0.0
+
+    def test_hardened_variants_are_harder(self, catalog):
+        legacy = catalog.get(K.OPERATING_SYSTEM, "win_legacy")
+        hardened = catalog.get(K.OPERATING_SYSTEM, "linux_hardened")
+        assert hardened.mean_exploitability < legacy.mean_exploitability
+
+    def test_kind_listing(self, catalog):
+        assert K.PLC_FIRMWARE in catalog.kinds()
+
+    def test_lookup_missing_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get(K.OPERATING_SYSTEM, "beos")
+
+
+class TestConfiguration:
+    def test_apply_installs_variants(self, network):
+        config = SystemConfiguration()
+        config.assign("office_0", K.OPERATING_SYSTEM, "rtos_minimal")
+        config.apply(network)
+        assert network.host("office_0").variant_of(
+            K.OPERATING_SYSTEM
+        ) == "rtos_minimal"
+
+    def test_distinct_variants_counted(self):
+        config = SystemConfiguration()
+        config.assign("a", K.OPERATING_SYSTEM, "x")
+        config.assign("b", K.OPERATING_SYSTEM, "y")
+        config.assign("c", K.OPERATING_SYSTEM, "x")
+        assert set(config.distinct_variants(K.OPERATING_SYSTEM)) == {"x", "y"}
+
+    def test_diversity_degree(self):
+        config = SystemConfiguration()
+        config.assign("a", K.OPERATING_SYSTEM, "x")
+        config.assign("b", K.PLC_FIRMWARE, "f")
+        config.assign("c", K.OPERATING_SYSTEM, "x")
+        assert config.diversity_degree() == 2
+
+    def test_configuration_factors_cover_present_kinds(self, network, catalog):
+        factors = configuration_factors(network, catalog)
+        names = {f.name for f in factors}
+        assert "operating_system" in names
+        assert "plc_firmware" in names
+
+    def test_configuration_from_run_homogeneous_per_kind(self, network):
+        run = {"operating_system": "rtos_minimal"}
+        config = configuration_from_run(network, run)
+        config.apply(network)
+        for host in network.hosts:
+            if host.variant_of(K.OPERATING_SYSTEM) is not None:
+                assert host.variant_of(K.OPERATING_SYSTEM) == "rtos_minimal"
+
+    def test_random_configuration_with_bounded_diversity(
+        self, network, catalog, rng
+    ):
+        config = random_configuration(network, catalog, rng, max_distinct=1)
+        assert len(config.distinct_variants(K.OPERATING_SYSTEM)) == 1
+
+    def test_random_configuration_full_pool(self, network, catalog, rng):
+        config = random_configuration(network, catalog, rng)
+        config.apply(network)  # must not raise
+
+
+class TestMetrics:
+    def test_shannon_zero_for_homogeneous(self):
+        assert shannon_entropy({"a": 10}) == 0.0
+
+    def test_shannon_max_for_uniform(self):
+        e2 = shannon_entropy({"a": 5, "b": 5})
+        e4 = shannon_entropy({"a": 5, "b": 5, "c": 5, "d": 5})
+        assert e2 == pytest.approx(np.log(2))
+        assert e4 == pytest.approx(np.log(4))
+
+    def test_simpson_bounds(self):
+        assert simpson_index({"a": 10}) == 0.0
+        assert simpson_index({"a": 1, "b": 1}) == pytest.approx(0.5)
+
+    def test_distinct_ignores_zero_counts(self):
+        assert distinct_variants({"a": 2, "b": 0}) == 1
+
+    def test_empty_counts(self):
+        assert shannon_entropy({}) == 0.0
+        assert simpson_index({}) == 0.0
+
+    def test_variant_counts_over_network(self, network):
+        counts = variant_counts(network, K.OPERATING_SYSTEM)
+        assert counts == {"win_legacy": sum(counts.values())}
+
+    def test_network_profile_structure(self, network):
+        profile = network_diversity_profile(network)
+        assert "operating_system" in profile
+        assert profile["operating_system"]["distinct"] == 1.0
+
+
+class TestPSAModel:
+    def test_identical_psa_is_single_machine_probability(self):
+        psa, __ = identical_chain(0.4, 5)
+        assert psa == pytest.approx(0.4)
+
+    def test_diverse_psa_is_product(self):
+        psa, __ = diverse_chain([0.4, 0.5, 0.5])
+        assert psa == pytest.approx(0.1)
+
+    def test_paper_two_machine_claim(self):
+        pm = 0.5
+        psa_identical, t_identical = identical_chain(pm, 2)
+        psa_diverse, t_diverse = diverse_chain([pm, pm])
+        assert psa_identical == pytest.approx(pm)
+        assert psa_diverse == pytest.approx(pm * pm)
+        assert psa_diverse < psa_identical
+        assert t_diverse > t_identical  # "harder and time-consuming"
+
+    def test_gap_grows_with_chain_length(self):
+        pm = 0.5
+        gaps = []
+        for n in (2, 4, 6):
+            psa_i, __ = identical_chain(pm, n)
+            psa_d, __ = diverse_chain([pm] * n)
+            gaps.append(psa_i / psa_d)
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_multiple_attempts_raise_per_machine_probability(self):
+        one = identical_chain(0.3, 1, AttackerProfile(exploit_attempts=1))[0]
+        three = identical_chain(0.3, 1, AttackerProfile(exploit_attempts=3))[0]
+        assert three > one
+        assert three == pytest.approx(1 - 0.7**3)
+
+    def test_imperfect_reuse_decays_identical_psa(self):
+        profile = AttackerProfile(reuse_reliability=0.9)
+        psa2, __ = identical_chain(0.5, 2, profile)
+        psa5, __ = identical_chain(0.5, 5, profile)
+        assert psa5 < psa2
+
+    def test_simulation_matches_closed_form_identical(self):
+        rng = np.random.default_rng(6)
+        pm, n = 0.4, 3
+        hits = sum(
+            chain_attack([pm] * n, identical=True, rng=rng)[0]
+            for _ in range(4000)
+        )
+        psa, __ = identical_chain(pm, n)
+        assert hits / 4000 == pytest.approx(psa, abs=0.03)
+
+    def test_simulation_matches_closed_form_diverse(self):
+        rng = np.random.default_rng(6)
+        pms = [0.5, 0.6, 0.7]
+        hits = sum(
+            chain_attack(pms, identical=False, rng=rng)[0]
+            for _ in range(4000)
+        )
+        psa, __ = diverse_chain(pms)
+        assert hits / 4000 == pytest.approx(psa, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            identical_chain(1.5, 2)
+        with pytest.raises(ValueError):
+            identical_chain(0.5, 0)
+        with pytest.raises(ValueError):
+            AttackerProfile(exploit_attempts=0)
+        with pytest.raises(ValueError):
+            AttackerProfile(reuse_reliability=2.0)

@@ -1,0 +1,113 @@
+"""Tests for the DoE core data structures."""
+
+import numpy as np
+import pytest
+
+from repro.doe.design import Design, Factor, Run
+
+
+class TestFactor:
+    def test_levels_preserved_in_order(self):
+        f = Factor("os", ("win", "linux", "rtos"))
+        assert f.levels == ("win", "linux", "rtos")
+        assert f.n_levels == 3
+
+    def test_fewer_than_two_levels_rejected(self):
+        with pytest.raises(ValueError):
+            Factor("os", ("only",))
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(ValueError):
+            Factor("os", ("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Factor("", ("a", "b"))
+
+    def test_two_level_coding_roundtrip(self):
+        f = Factor("x", ("low", "high"))
+        assert f.coded_to_level(-1.0) == "low"
+        assert f.coded_to_level(1.0) == "high"
+        assert f.level_to_coded("low") == -1.0
+        assert f.level_to_coded("high") == 1.0
+
+    def test_multi_level_coding_roundtrip(self):
+        f = Factor("x", ("a", "b", "c"))
+        for i, level in enumerate(f.levels):
+            assert f.coded_to_level(f.level_to_coded(level)) == level
+
+    def test_multi_level_out_of_range_coded_rejected(self):
+        f = Factor("x", ("a", "b", "c"))
+        with pytest.raises(ValueError):
+            f.coded_to_level(5.0)
+
+
+class TestRun:
+    def test_getitem(self):
+        run = Run({"a": 1, "b": 2})
+        assert run["a"] == 1
+        assert run["b"] == 2
+
+    def test_missing_factor_raises(self):
+        with pytest.raises(KeyError):
+            Run({"a": 1})["z"]
+
+    def test_as_dict(self):
+        assert Run({"a": 1}).as_dict() == {"a": 1}
+
+    def test_runs_hashable_and_comparable(self):
+        assert Run({"a": 1, "b": 2}) == Run({"b": 2, "a": 1})
+
+
+class TestDesign:
+    @pytest.fixture
+    def design(self):
+        factors = [Factor("a", (-1, 1)), Factor("b", (-1, 1))]
+        runs = [
+            Run({"a": x, "b": y}) for x in (-1, 1) for y in (-1, 1)
+        ]
+        return Design(factors=factors, runs=runs, name="2^2")
+
+    def test_counts(self, design):
+        assert design.n_runs == 4
+        assert design.n_factors == 2
+
+    def test_coded_matrix_shape_and_values(self, design):
+        m = design.coded_matrix()
+        assert m.shape == (4, 2)
+        assert set(np.unique(m)) == {-1.0, 1.0}
+
+    def test_full_factorial_is_balanced_and_orthogonal(self, design):
+        assert design.is_balanced()
+        assert design.is_orthogonal()
+
+    def test_unbalanced_detected(self):
+        factors = [Factor("a", (-1, 1))]
+        runs = [Run({"a": -1}), Run({"a": -1}), Run({"a": 1})]
+        assert not Design(factors=factors, runs=runs).is_balanced()
+
+    def test_replicate_multiplies_runs(self, design):
+        assert design.replicate(3).n_runs == 12
+
+    def test_replicate_zero_rejected(self, design):
+        with pytest.raises(ValueError):
+            design.replicate(0)
+
+    def test_run_not_covering_factors_rejected(self):
+        factors = [Factor("a", (-1, 1)), Factor("b", (-1, 1))]
+        with pytest.raises(ValueError):
+            Design(factors=factors, runs=[Run({"a": -1})])
+
+    def test_duplicate_factor_names_rejected(self):
+        factors = [Factor("a", (-1, 1)), Factor("a", (0, 1))]
+        with pytest.raises(ValueError):
+            Design(factors=factors, runs=[])
+
+    def test_factor_lookup(self, design):
+        assert design.factor("a").name == "a"
+        with pytest.raises(KeyError):
+            design.factor("zzz")
+
+    def test_format_table_lists_all_runs(self, design):
+        text = design.format_table()
+        assert "4 runs" in text

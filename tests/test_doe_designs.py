@@ -1,0 +1,212 @@
+"""Tests for the concrete design generators."""
+
+import numpy as np
+import pytest
+
+from repro.doe.ccd import central_composite
+from repro.doe.design import Factor
+from repro.doe.factorial import full_factorial, two_level_full_factorial
+from repro.doe.fractional import fractional_factorial
+from repro.doe.lhs import latin_hypercube, latin_hypercube_matrix
+from repro.doe.plackett_burman import plackett_burman, smallest_pb_runs
+
+
+class TestFullFactorial:
+    def test_run_count_is_product_of_levels(self):
+        factors = [Factor("a", (0, 1)), Factor("b", ("x", "y", "z"))]
+        assert full_factorial(factors).n_runs == 6
+
+    def test_all_combinations_distinct(self):
+        design = two_level_full_factorial(["a", "b", "c"])
+        combos = {tuple(sorted(r.as_dict().items())) for r in design.runs}
+        assert len(combos) == 8
+
+    def test_balanced_and_orthogonal(self):
+        design = two_level_full_factorial(["a", "b", "c", "d"])
+        assert design.is_balanced()
+        assert design.is_orthogonal()
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(ValueError):
+            full_factorial([])
+
+
+class TestFractionalFactorial:
+    def test_half_fraction_run_count(self):
+        design, __ = fractional_factorial(
+            ["a", "b", "c", "d", "e"], ["E=ABCD"]
+        )
+        assert design.n_runs == 16
+
+    def test_resolution_v_for_single_four_letter_generator(self):
+        __, info = fractional_factorial(["a", "b", "c", "d", "e"], ["E=ABCD"])
+        assert info.resolution == 5
+
+    def test_resolution_iii_design(self):
+        __, info = fractional_factorial(["a", "b", "c"], ["C=AB"])
+        assert info.resolution == 3
+
+    def test_quarter_fraction(self):
+        design, info = fractional_factorial(
+            ["a", "b", "c", "d", "e", "f"], ["E=ABC", "F=BCD"]
+        )
+        assert design.n_runs == 16
+        assert len(info.defining_relation) == 3
+
+    def test_design_is_orthogonal_and_balanced(self):
+        design, __ = fractional_factorial(
+            ["a", "b", "c", "d"], ["D=ABC"]
+        )
+        assert design.is_orthogonal()
+        assert design.is_balanced()
+
+    def test_generator_column_equals_product(self):
+        design, __ = fractional_factorial(["a", "b", "c", "d"], ["D=ABC"])
+        m = design.coded_matrix()
+        assert np.allclose(m[:, 3], m[:, 0] * m[:, 1] * m[:, 2])
+
+    def test_aliases_include_generator_word(self):
+        __, info = fractional_factorial(["a", "b", "c"], ["C=AB"])
+        assert "AB" in info.aliases["C"]
+
+    def test_concrete_levels_applied(self):
+        design, __ = fractional_factorial(
+            ["os", "fw"], levels=("weak", "strong"), generators=[]
+        ) if False else (None, None)
+        # levels path exercised through the valid 3-factor call:
+        design3, __ = fractional_factorial(
+            ["os", "fw", "stack"], ["C=AB"], levels=("weak", "strong")
+        )
+        seen = {level for run in design3.runs for __, level in run}
+        assert seen == {"weak", "strong"}
+
+    def test_malformed_generator_rejected(self):
+        with pytest.raises(ValueError):
+            fractional_factorial(["a", "b", "c"], ["C:AB"])
+
+    def test_generator_with_unknown_letter_rejected(self):
+        with pytest.raises(ValueError):
+            fractional_factorial(["a", "b", "c"], ["C=AZ"])
+
+    def test_missing_generator_rejected(self):
+        with pytest.raises(ValueError):
+            fractional_factorial(["a", "b", "c", "d"], ["C=AB"])
+
+    def test_no_generators_rejected(self):
+        with pytest.raises(ValueError):
+            fractional_factorial(["a", "b"], [])
+
+
+class TestPlackettBurman:
+    def test_smallest_runs_selection(self):
+        assert smallest_pb_runs(7) == 8
+        assert smallest_pb_runs(8) == 12
+        assert smallest_pb_runs(11) == 12
+        assert smallest_pb_runs(19) == 20
+
+    @pytest.mark.parametrize("n_factors", [4, 7, 9, 11, 15, 19])
+    def test_pb_designs_orthogonal_and_balanced(self, n_factors):
+        factors = [Factor(f"f{i}", (0, 1)) for i in range(n_factors)]
+        design = plackett_burman(factors)
+        assert design.is_orthogonal()
+        assert design.is_balanced()
+
+    def test_run_count_at_most_factors_plus_pad(self):
+        factors = [Factor(f"f{i}", (0, 1)) for i in range(9)]
+        assert plackett_burman(factors).n_runs == 12
+
+    def test_non_two_level_factor_rejected(self):
+        with pytest.raises(ValueError):
+            plackett_burman([Factor("bad", (0, 1, 2))])
+
+    def test_too_many_factors_rejected(self):
+        factors = [Factor(f"f{i}", (0, 1)) for i in range(30)]
+        with pytest.raises(ValueError):
+            plackett_burman(factors)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plackett_burman([])
+
+
+class TestLatinHypercube:
+    def test_stratification_one_point_per_stratum(self, rng):
+        n = 16
+        m = latin_hypercube_matrix(n, 3, rng)
+        for d in range(3):
+            strata = np.floor(m[:, d] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    def test_values_in_unit_interval(self, rng):
+        m = latin_hypercube_matrix(20, 4, rng)
+        assert m.min() >= 0.0
+        assert m.max() < 1.0
+
+    def test_maximin_improves_or_matches_min_distance(self):
+        def min_dist(m):
+            diff = m[:, None, :] - m[None, :, :]
+            d2 = (diff**2).sum(axis=2)
+            np.fill_diagonal(d2, np.inf)
+            return np.sqrt(d2.min())
+
+        rng1 = np.random.default_rng(5)
+        plain = latin_hypercube_matrix(15, 2, rng1, maximin_restarts=0)
+        rng2 = np.random.default_rng(5)
+        optimized = latin_hypercube_matrix(15, 2, rng2, maximin_restarts=30)
+        assert min_dist(optimized) >= min_dist(plain) - 1e-12
+
+    def test_bounds_scaling(self, rng):
+        design, matrix = latin_hypercube(
+            ["p", "q"], [(0.1, 0.9), (10.0, 20.0)], 12, rng=rng
+        )
+        assert matrix.shape == (12, 2)
+        assert matrix[:, 0].min() >= 0.1 and matrix[:, 0].max() <= 0.9
+        assert matrix[:, 1].min() >= 10.0 and matrix[:, 1].max() <= 20.0
+
+    def test_mismatched_names_bounds_rejected(self, rng):
+        with pytest.raises(ValueError):
+            latin_hypercube(["a"], [(0, 1), (0, 1)], 5, rng=rng)
+
+    def test_empty_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            latin_hypercube(["a"], [(1.0, 1.0)], 5, rng=rng)
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            latin_hypercube_matrix(0, 2, rng)
+
+
+class TestCentralComposite:
+    def test_block_structure(self):
+        matrix, info = central_composite(3, center_points=4)
+        assert info["n_core"] == 8
+        assert info["n_axial"] == 6
+        assert info["n_center"] == 4
+        assert matrix.shape == (18, 3)
+
+    def test_rotatable_alpha(self):
+        __, info = central_composite(2, alpha="rotatable")
+        assert info["alpha"] == pytest.approx(2**0.5)
+        assert info["rotatable"]
+
+    def test_faced_alpha(self):
+        __, info = central_composite(3, alpha="faced")
+        assert info["alpha"] == 1.0
+
+    def test_numeric_alpha(self):
+        __, info = central_composite(2, alpha="1.5")
+        assert info["alpha"] == 1.5
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            central_composite(2, alpha="banana")
+
+    def test_single_factor_rejected(self):
+        with pytest.raises(ValueError):
+            central_composite(1)
+
+    def test_axial_points_on_axes(self):
+        matrix, info = central_composite(3, center_points=0)
+        axial = matrix[8:14]
+        for row in axial:
+            assert np.sum(row != 0) == 1

@@ -1,0 +1,42 @@
+"""Smoke tests: the example scripts stay importable and the fast ones run.
+
+Heavy examples (full studies) are exercised by the benchmark harness;
+here we make sure every example module parses/imports and the quick ones
+execute end to end.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ["plant_sabotage_physics.py"]
+
+
+def test_examples_directory_populated():
+    assert len(ALL_EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # import only; main() not called
+    assert hasattr(module, "main"), f"{name} must expose main()"
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

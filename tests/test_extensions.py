@@ -1,0 +1,163 @@
+"""Tests for the extension features: rotation (moving target) and
+cost-constrained diversification portfolios."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.profiles import stuxnet_like
+from repro.core.portfolio import PortfolioOptimizer
+from repro.diversity.catalog import default_catalog
+from repro.diversity.psa import (
+    AttackerProfile,
+    chain_attack,
+    rotating_chain,
+)
+from repro.scada.components import ComponentKind
+from repro.scada.topologies import scope_cooling_topology
+
+K = ComponentKind
+
+
+def psa_of(fn, n=2500):
+    return sum(fn()[0] for _ in range(n)) / n
+
+
+class TestRotation:
+    def test_single_variant_behaves_like_identical(self):
+        rng = np.random.default_rng(1)
+        profile = AttackerProfile()
+        rotating = psa_of(
+            lambda: rotating_chain(0.5, 3, 1, 1e9, rng, profile)
+        )
+        identical = psa_of(
+            lambda: chain_attack([0.5] * 3, True, rng, profile)
+        )
+        assert rotating == pytest.approx(identical, abs=0.05)
+
+    def test_rotation_sits_between_identical_and_diverse(self):
+        rng = np.random.default_rng(2)
+        profile = AttackerProfile()
+        identical = psa_of(lambda: chain_attack([0.5] * 4, True, rng, profile))
+        diverse = psa_of(lambda: chain_attack([0.5] * 4, False, rng, profile))
+        rotating = psa_of(
+            lambda: rotating_chain(0.5, 4, 3, 5.0, rng, profile)
+        )
+        assert diverse - 0.05 <= rotating <= identical + 0.05
+
+    def test_bigger_pool_lowers_psa(self):
+        rng = np.random.default_rng(3)
+        profile = AttackerProfile()
+        small = psa_of(lambda: rotating_chain(0.5, 4, 2, 5.0, rng, profile))
+        large = psa_of(lambda: rotating_chain(0.5, 4, 6, 5.0, rng, profile))
+        assert large < small + 0.03
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            rotating_chain(0.5, 2, 0, 1.0, rng)
+        with pytest.raises(ValueError):
+            rotating_chain(0.5, 2, 2, 0.0, rng)
+        with pytest.raises(ValueError):
+            rotating_chain(1.5, 2, 2, 1.0, rng)
+
+
+class TestPortfolio:
+    @pytest.fixture(scope="class")
+    def optimizer(self):
+        return PortfolioOptimizer(
+            scope_cooling_topology,
+            default_catalog(),
+            stuxnet_like(),
+            kinds=[K.OPERATING_SYSTEM, K.PLC_FIRMWARE, K.PROTOCOL_STACK],
+        )
+
+    def test_cheapest_assignment_feasible(self, optimizer):
+        choice = optimizer.evaluate(optimizer.cheapest_assignment())
+        assert choice.cost > 0
+        assert 0.0 <= choice.success_probability <= 1.0
+
+    def test_exhaustive_beats_or_matches_greedy(self, optimizer):
+        base = optimizer.evaluate(optimizer.cheapest_assignment())
+        budget = base.cost * 1.4
+        exhaustive = optimizer.exhaustive(budget)
+        greedy = optimizer.greedy(budget)
+        assert exhaustive is not None and greedy is not None
+        assert exhaustive.success_probability <= (
+            greedy.success_probability + 1e-12
+        )
+
+    def test_budget_constraint_respected(self, optimizer):
+        base = optimizer.evaluate(optimizer.cheapest_assignment())
+        budget = base.cost * 1.25
+        choice = optimizer.exhaustive(budget)
+        assert choice is not None
+        assert choice.cost <= budget
+
+    def test_infeasible_budget_returns_none(self, optimizer):
+        assert optimizer.exhaustive(0.0) is None
+        assert optimizer.greedy(0.0) is None
+
+    def test_frontier_monotone(self, optimizer):
+        base = optimizer.evaluate(optimizer.cheapest_assignment())
+        budgets = [base.cost * m for m in (1.0, 1.3, 1.8)]
+        frontier = optimizer.efficient_frontier(budgets)
+        psas = [c.success_probability for __, c in frontier if c]
+        assert psas == sorted(psas, reverse=True)
+
+    def test_more_budget_buys_stronger_variants(self, optimizer):
+        base = optimizer.evaluate(optimizer.cheapest_assignment())
+        rich = optimizer.exhaustive(base.cost * 2.0)
+        assert rich is not None
+        assert rich.success_probability < base.success_probability / 10
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            PortfolioOptimizer(
+                scope_cooling_topology,
+                default_catalog(),
+                stuxnet_like(),
+                kinds=[],
+            )
+
+
+class TestGSPNvsSANCrossValidation:
+    """The same stochastic model in both engines must agree."""
+
+    def test_two_stage_chain_agreement(self):
+        from repro.petri.gspn import GSPN
+        from repro.petri.net import PetriNet
+        from repro.san.builder import SANBuilder
+        from repro.san.simulator import SANSimulator
+
+        # GSPN: s0 -t1-> s1 -t2-> s2 with rates 2.0, 0.5.
+        net = PetriNet()
+        net.add_place("s0", 1)
+        net.add_place("s1", 0)
+        net.add_place("s2", 0)
+        net.add_transition("t1", {"s0": 1}, {"s1": 1})
+        net.add_transition("t2", {"s1": 1}, {"s2": 1})
+        gspn = GSPN(net)
+        gspn.add_timed("t1", 2.0)
+        gspn.add_timed("t2", 0.5)
+
+        builder = SANBuilder()
+        builder.place("s0", 1).place("s1", 0).place("s2", 0)
+        builder.stage("t1", "s0", "s1", rate=2.0)
+        builder.stage("t2", "s1", "s2", rate=0.5)
+        san = SANSimulator(builder.build())
+
+        rng1 = np.random.default_rng(10)
+        rng2 = np.random.default_rng(11)
+        gspn_result = gspn.transient_analysis(
+            1000.0, 800, rng1, stop=lambda m: m["s2"] > 0
+        )
+        gspn_mean = gspn_result.mean_completion_time().estimate
+
+        san_runs = san.batch(1000.0, 800, rng2, stop=lambda m: m["s2"] > 0)
+        san_mean = float(
+            np.mean([r.stop_time for r in san_runs if r.stopped])
+        )
+        expected = 1 / 2.0 + 1 / 0.5
+        assert gspn_mean == pytest.approx(expected, rel=0.1)
+        assert san_mean == pytest.approx(expected, rel=0.1)
+        assert gspn_mean == pytest.approx(san_mean, rel=0.15)

@@ -1,0 +1,162 @@
+"""Tests for distribution fitting and attack-history calibration."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.history import (
+    HISTORY_STEPS,
+    IncidentRecord,
+    calibrate,
+    generate_incident_history,
+)
+from repro.stats.distributions import Exponential, LogNormal, Weibull
+from repro.stats.fitting import (
+    best_fit,
+    empirical_cdf,
+    fit_exponential,
+    fit_lognormal,
+    fit_weibull,
+)
+
+
+class TestFitting:
+    def test_exponential_recovers_rate(self, rng):
+        samples = Exponential(0.4).sample_many(rng, 5000)
+        fit = fit_exponential(samples)
+        assert fit.distribution.rate == pytest.approx(0.4, rel=0.1)
+
+    def test_lognormal_recovers_parameters(self, rng):
+        samples = LogNormal(1.2, 0.4).sample_many(rng, 5000)
+        fit = fit_lognormal(samples)
+        assert fit.distribution.mu == pytest.approx(1.2, abs=0.05)
+        assert fit.distribution.sigma == pytest.approx(0.4, abs=0.05)
+
+    def test_weibull_recovers_parameters(self, rng):
+        samples = Weibull(1.8, 3.0).sample_many(rng, 5000)
+        fit = fit_weibull(samples)
+        assert fit.distribution.shape == pytest.approx(1.8, rel=0.1)
+        assert fit.distribution.scale == pytest.approx(3.0, rel=0.1)
+
+    def test_ks_small_for_correct_family(self, rng):
+        samples = Exponential(1.0).sample_many(rng, 2000)
+        assert fit_exponential(samples).ks_statistic < 0.05
+
+    def test_ks_large_for_wrong_family(self, rng):
+        samples = LogNormal(0.0, 1.5).sample_many(rng, 2000)
+        exp_fit = fit_exponential(samples)
+        ln_fit = fit_lognormal(samples)
+        assert ln_fit.ks_statistic < exp_fit.ks_statistic
+
+    def test_best_fit_selects_true_family(self, rng):
+        samples = Weibull(2.5, 1.0).sample_many(rng, 4000)
+        fit = best_fit(samples)
+        assert isinstance(fit.distribution, Weibull)
+
+    def test_best_fit_exponential_data(self, rng):
+        samples = Exponential(2.0).sample_many(rng, 4000)
+        fit = best_fit(samples)
+        # Weibull with shape~1 is an acceptable tie; the AIC penalty
+        # should usually prefer the 1-parameter exponential.
+        name = type(fit.distribution).__name__
+        assert name in ("Exponential", "Weibull")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1.0])
+        with pytest.raises(ValueError):
+            fit_exponential([1.0, -2.0])
+
+    def test_empirical_cdf_steps(self):
+        points = empirical_cdf([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)),
+                          (2.0, pytest.approx(2 / 3)),
+                          (3.0, pytest.approx(1.0))]
+
+    def test_empirical_cdf_empty(self):
+        assert empirical_cdf([]) == []
+
+    def test_aic_prefers_likelihood(self, rng):
+        samples = Exponential(1.0).sample_many(rng, 1000)
+        fit = fit_exponential(samples)
+        assert fit.aic == pytest.approx(2 - 2 * fit.log_likelihood)
+
+
+class TestIncidentHistory:
+    def test_generator_shape(self, rng):
+        history = generate_incident_history(50, rng)
+        assert len(history) == 50
+        for record in history:
+            # Durations exist exactly for the successful steps.
+            for step, ok in record.step_success.items():
+                assert (step in record.step_durations) == ok
+
+    def test_incident_stops_at_first_failure(self, rng):
+        history = generate_incident_history(200, rng)
+        for record in history:
+            steps = list(record.step_success)
+            assert steps == list(HISTORY_STEPS[: len(steps)])
+            for step in steps[:-1]:
+                assert record.step_success[step]
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            IncidentRecord("x", {"teleport": 1.0}, {"teleport": True})
+        with pytest.raises(ValueError):
+            IncidentRecord("x", {"entry": -1.0}, {"entry": True})
+
+    def test_generator_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_incident_history(0, rng)
+
+
+class TestCalibration:
+    def test_recovers_ground_truth(self):
+        rng = np.random.default_rng(9)
+        true_rates = {"entry": 0.25, "activation": 2.0, "escalation": 1.5,
+                      "propagation": 0.5, "reprogram": 0.8}
+        true_probs = {"entry": 0.9, "activation": 1.0, "escalation": 0.7,
+                      "propagation": 0.6, "reprogram": 0.5}
+        history = generate_incident_history(
+            3000, rng, true_rates=true_rates, true_probabilities=true_probs
+        )
+        calibrated = calibrate(history)
+        assert calibrated.success_probabilities["entry"] == pytest.approx(
+            0.9, abs=0.03
+        )
+        assert calibrated.success_probabilities["reprogram"] == pytest.approx(
+            0.5, abs=0.06
+        )
+        assert calibrated.rates["entry"] == pytest.approx(0.25, rel=0.15)
+        assert calibrated.rates["escalation"] == pytest.approx(1.5, rel=0.15)
+
+    def test_attempt_counts_decrease_along_chain(self, rng):
+        history = generate_incident_history(500, rng)
+        calibrated = calibrate(history)
+        counts = [calibrated.attempts[s] for s in HISTORY_STEPS]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate([])
+
+    def test_to_threat_profile(self, rng):
+        history = generate_incident_history(800, rng)
+        calibrated = calibrate(history)
+        threat = calibrated.to_threat_profile()
+        assert threat.goal == "impair"
+        assert threat.entry_rate == pytest.approx(
+            calibrated.rates["entry"]
+        )
+        assert threat.name.endswith("_calibrated")
+
+    def test_calibrated_threat_runs_in_campaign(self, catalog, rng):
+        from repro.attacks.campaign import AttackCampaign, CampaignConfig
+        from repro.scada.topologies import scope_cooling_topology
+
+        history = generate_incident_history(300, rng)
+        threat = calibrate(history).to_threat_profile()
+        outcomes = AttackCampaign(
+            scope_cooling_topology(), catalog, threat,
+            CampaignConfig(horizon=60.0, tick_interval=0.5),
+        ).run_batch(10, rng)
+        assert len(outcomes) == 10

@@ -1,0 +1,169 @@
+"""Cross-module integration tests: full workflows spanning the library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro.attacks.history import calibrate, generate_incident_history
+from repro.attacks.profiles import stuxnet_like
+from repro.core.assessment import assess
+from repro.core.measurement import MeasurementPlan
+from repro.core.modeling import bayesian_attack_graph_for, san_model_for
+from repro.core.portfolio import PortfolioOptimizer
+from repro.core.study import DiversityStudy
+from repro.doe.design import Factor
+from repro.doe.factorial import full_factorial
+from repro.san.ctmc import san_to_ctmc
+from repro.scada.components import ComponentKind
+from repro.scada.plant.feeder import PowerFeeder
+from repro.scada.topologies import scope_cooling_topology, smart_grid_feeder
+
+K = ComponentKind
+FAST = CampaignConfig(horizon=50.0, tick_interval=0.5)
+
+
+class TestPortfolioValidatedByCampaign:
+    def test_optimized_portfolio_beats_baseline_in_simulation(self, catalog):
+        """The analytic portfolio choice must hold up in the full simulator."""
+        threat = stuxnet_like()
+        optimizer = PortfolioOptimizer(
+            scope_cooling_topology, catalog, threat,
+            kinds=[K.OPERATING_SYSTEM, K.PLC_FIRMWARE],
+        )
+        base_choice = optimizer.evaluate(optimizer.cheapest_assignment())
+        best = optimizer.exhaustive(base_choice.cost * 2.0)
+        assert best is not None
+
+        def psa_of(assignment):
+            from repro.diversity.config import configuration_from_run
+
+            network = scope_cooling_topology()
+            run = dict(assignment)
+            configuration_from_run(network, run).apply(network)
+            outcomes = AttackCampaign(
+                network, catalog, threat, FAST
+            ).run_batch(30, np.random.default_rng(5))
+            return sum(o.success for o in outcomes) / len(outcomes)
+
+        psa_base = psa_of(dict(base_choice.assignment))
+        psa_best = psa_of(dict(best.assignment))
+        assert psa_best <= psa_base
+
+    def test_bag_and_campaign_agree_on_ordering(self, catalog):
+        """The Bayesian attack graph's ranking matches the simulator's."""
+        threat = stuxnet_like()
+        systems = {
+            "soft": scope_cooling_topology(),
+            "hard": scope_cooling_topology(
+                default_os="linux_hardened",
+                default_firmware="firmware_signed",
+            ),
+        }
+        bag_p = {}
+        campaign_p = {}
+        rng = np.random.default_rng(6)
+        for label, network in systems.items():
+            bag_p[label] = bayesian_attack_graph_for(
+                network, catalog, threat
+            ).compromise_probability("plc_0")
+            outcomes = AttackCampaign(
+                network, catalog, threat,
+                CampaignConfig(horizon=25.0, tick_interval=0.5),
+            ).run_batch(30, rng)
+            campaign_p[label] = sum(o.success for o in outcomes) / 30
+        assert (bag_p["hard"] < bag_p["soft"]) == (
+            campaign_p["hard"] <= campaign_p["soft"]
+        )
+
+
+class TestCalibratedEndToEnd:
+    def test_history_to_study(self, catalog):
+        """History calibration feeds a complete diversity study."""
+        rng = np.random.default_rng(7)
+        history = generate_incident_history(400, rng)
+        threat = calibrate(history).to_threat_profile()
+        study = DiversityStudy(
+            network_factory=scope_cooling_topology,
+            catalog=catalog,
+            threat=threat,
+            kinds=[K.OPERATING_SYSTEM, K.PLC_FIRMWARE],
+            design_kind="full",
+            two_level=True,
+            replications=4,
+            campaign_config=FAST,
+        )
+        result = study.execute(rng)
+        assert result.design.n_runs == 4
+        assert result.assessment.recommended_diversification("tta")
+
+    def test_calibrated_san_is_analyzable(self, catalog):
+        rng = np.random.default_rng(8)
+        history = generate_incident_history(300, rng)
+        threat = calibrate(history).to_threat_profile()
+        san = san_model_for(
+            scope_cooling_topology(), catalog, threat, give_up=True
+        )
+        ctmc = san_to_ctmc(san)
+        impair = [
+            i for i, s in enumerate(ctmc.states) if dict(s).get("impaired")
+        ]
+        p = ctmc.hitting_probability(impair)[int(np.argmax(ctmc.initial))]
+        assert 0.0 <= p <= 1.0
+
+
+class TestGridStudy:
+    def test_full_study_on_smart_grid(self, catalog):
+        """The three-step pipeline generalizes to the feeder scenario."""
+        study = DiversityStudy(
+            network_factory=smart_grid_feeder,
+            catalog=catalog,
+            threat=stuxnet_like(),
+            kinds=[K.OPERATING_SYSTEM, K.PLC_FIRMWARE],
+            design_kind="full",
+            two_level=True,
+            replications=4,
+            campaign_config=CampaignConfig(
+                horizon=50.0, tick_interval=0.5, plant_factory=PowerFeeder
+            ),
+        )
+        result = study.execute(np.random.default_rng(9))
+        assert len(result.measurement.records) == 16
+        table = result.assessment.anova_tables["tta"]
+        assert sum(table.allocation().values()) == pytest.approx(1.0)
+
+
+class TestSeedDiscipline:
+    def test_full_measurement_reproducible(self, catalog):
+        """Identical seeds produce byte-identical measurement records."""
+        design = full_factorial(
+            [Factor("operating_system", ("win_legacy", "linux_hardened"))]
+        )
+
+        def run(seed):
+            plan = MeasurementPlan(
+                scope_cooling_topology, catalog, stuxnet_like(), design,
+                replications=5, campaign_config=FAST,
+            )
+            return plan.execute(np.random.default_rng(seed)).records
+
+        a = run(13)
+        b = run(13)
+        c = run(14)
+        assert a == b
+        assert a != c
+
+    def test_assessment_deterministic(self, catalog):
+        design = full_factorial(
+            [Factor("operating_system", ("win_legacy", "linux_hardened")),
+             Factor("plc_firmware", ("firmware_common", "firmware_signed"))]
+        )
+        plan = MeasurementPlan(
+            scope_cooling_topology, catalog, stuxnet_like(), design,
+            replications=5, campaign_config=FAST,
+        )
+        measurement = plan.execute(np.random.default_rng(21))
+        a = assess(measurement).anova_tables["tta"].format_table()
+        b = assess(measurement).anova_tables["tta"].format_table()
+        assert a == b

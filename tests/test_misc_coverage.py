@@ -1,0 +1,142 @@
+"""Remaining-surface tests: study reports, LHS metadata, outcome curves,
+report helpers and catalog consistency."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import format_series, format_table
+from repro.diversity.catalog import EXPLOIT_ACTIONS, default_catalog
+from repro.doe.lhs import latin_hypercube
+from repro.scada.components import ROLE_SLOTS, ComponentKind, HostRole
+from tests.test_core_indicators import outcome
+
+K = ComponentKind
+
+
+class TestOutcomeCurves:
+    def test_ratio_curve_samples_grid(self):
+        o = outcome(compromises={"a": 10.0, "b": 20.0}, n_hosts=4)
+        curve = o.compromised_ratio_curve([0.0, 15.0, 25.0])
+        assert curve == [(0.0, 0.0), (15.0, 0.25), (25.0, 0.5)]
+
+    def test_ratio_zero_hosts(self):
+        o = outcome(n_hosts=0)
+        assert o.compromised_ratio_at(50.0) == 0.0
+
+
+class TestLHSDesignContainer:
+    def test_metadata_carries_matrix_and_bounds(self, rng):
+        design, matrix = latin_hypercube(
+            ["p_entry", "p_root"], [(0.0, 1.0), (0.2, 0.8)], 8, rng=rng
+        )
+        assert design.n_runs == 8
+        assert np.allclose(design.metadata["matrix"], matrix)
+        assert design.metadata["bounds"] == [(0.0, 1.0), (0.2, 0.8)]
+
+    def test_runs_indexable_by_sample(self, rng):
+        design, matrix = latin_hypercube(["x"], [(0.0, 1.0)], 5, rng=rng)
+        for i, run in enumerate(design.runs):
+            assert run["x"] == i
+
+
+class TestReportFormatting:
+    def test_format_table_column_alignment_width(self):
+        text = format_table(["col", "value"], [("aaa", 1), ("b", 22)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[1:]}) == 1  # equal widths
+
+    def test_format_table_mixed_types(self):
+        text = format_table(
+            ["name", "x"], [("a", 1.23456), ("b", "text"), ("c", 7)]
+        )
+        assert "1.235" in text
+        assert "text" in text
+
+    def test_format_series_title(self):
+        text = format_series("t", ["y"], [(0, 1.0)], title="Series")
+        assert text.startswith("Series")
+
+
+class TestCatalogConsistency:
+    def test_every_kind_has_cost_ordered_security(self, catalog):
+        """Within each kind, higher cost should not buy worse security."""
+        for kind in catalog.kinds():
+            variants = catalog.variants_for(kind)
+            by_cost = sorted(variants, key=lambda v: v.cost)
+            exploitabilities = [v.mean_exploitability for v in by_cost]
+            # Monotone non-increasing: you never pay more for less.
+            assert all(
+                b <= a + 1e-9
+                for a, b in zip(exploitabilities, exploitabilities[1:])
+            )
+
+    def test_all_actions_documented(self, catalog):
+        used = {
+            action
+            for kind in catalog.kinds()
+            for variant in catalog.variants_for(kind)
+            for action in variant.exploitability
+        }
+        assert used <= set(EXPLOIT_ACTIONS)
+
+    def test_role_slots_cover_catalog_kinds(self, catalog):
+        slot_kinds = {k for slots in ROLE_SLOTS.values() for k in slots}
+        for kind in catalog.kinds():
+            assert kind in slot_kinds, (
+                f"catalog kind {kind} is not installable in any role"
+            )
+
+    def test_default_catalog_deterministic(self):
+        a = default_catalog()
+        b = default_catalog()
+        for kind in a.kinds():
+            assert a.names_for(kind) == b.names_for(kind)
+
+
+class TestStudyReportContents:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.attacks.campaign import CampaignConfig
+        from repro.attacks.profiles import stuxnet_like
+        from repro.core.study import DiversityStudy
+        from repro.scada.topologies import scope_cooling_topology
+
+        study = DiversityStudy(
+            network_factory=scope_cooling_topology,
+            catalog=default_catalog(),
+            threat=stuxnet_like(),
+            kinds=[K.OPERATING_SYSTEM, K.ANTIVIRUS],
+            design_kind="full",
+            two_level=True,
+            replications=3,
+            campaign_config=CampaignConfig(horizon=40.0, tick_interval=0.5),
+        )
+        return study.execute(np.random.default_rng(77))
+
+    def test_report_has_all_steps(self, result):
+        report = result.report()
+        for token in ("Step 1", "Step 2", "Step 3",
+                      "Recommended diversification"):
+            assert token in report
+
+    def test_report_names_every_factor(self, result):
+        report = result.report()
+        for factor in result.factors:
+            assert factor.name in report
+
+    def test_report_mentions_design_size(self, result):
+        assert f"{result.design.n_runs} runs" in result.report()
+
+    def test_measurement_indicator_parity(self, result):
+        # Per-run PSA from indicators equals success-record mean.
+        for run_index, indicators in enumerate(
+            result.measurement.run_indicators
+        ):
+            records = [
+                r for r in result.measurement.records
+                if r["run"] == run_index
+            ]
+            mean_success = np.mean([float(r["success"]) for r in records])
+            assert indicators.tta.event_probability == pytest.approx(
+                mean_success
+            )

@@ -1,0 +1,127 @@
+"""Tests for P/T nets."""
+
+import pytest
+
+from repro.petri.net import Marking, PetriNet
+
+
+@pytest.fixture
+def producer_consumer():
+    net = PetriNet("pc")
+    net.add_place("free", 2)
+    net.add_place("full", 0)
+    net.add_transition("produce", {"free": 1}, {"full": 1})
+    net.add_transition("consume", {"full": 1}, {"free": 1})
+    return net
+
+
+class TestMarking:
+    def test_unknown_place_reads_zero(self):
+        assert Marking({})["anything"] == 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Marking({"p": -1})
+
+    def test_equality_ignores_zero_entries(self):
+        assert Marking({"p": 0, "q": 1}) == Marking({"q": 1})
+
+    def test_hashable(self):
+        assert len({Marking({"p": 1}), Marking({"p": 1})}) == 1
+
+    def test_with_delta(self):
+        m = Marking({"p": 2}).with_delta({"p": -1, "q": 3})
+        assert m["p"] == 1 and m["q"] == 3
+
+    def test_with_delta_cannot_go_negative(self):
+        with pytest.raises(ValueError):
+            Marking({"p": 1}).with_delta({"p": -2})
+
+    def test_total(self):
+        assert Marking({"a": 2, "b": 3}).total() == 5
+
+
+class TestStructure:
+    def test_duplicate_place_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(ValueError):
+            net.add_place("p")
+
+    def test_duplicate_transition_rejected(self, producer_consumer):
+        with pytest.raises(ValueError):
+            producer_consumer.add_transition("produce")
+
+    def test_unknown_place_in_transition_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(ValueError):
+            net.add_transition("t", {"ghost": 1})
+
+    def test_zero_weight_arc_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(ValueError):
+            net.add_transition("t", {"p": 0})
+
+    def test_negative_initial_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            PetriNet().add_place("p", tokens=-1)
+
+    def test_incidence_matrix(self, producer_consumer):
+        places, transitions, matrix = producer_consumer.incidence_matrix()
+        p_idx = {p: i for i, p in enumerate(places)}
+        t_idx = {t: j for j, t in enumerate(transitions)}
+        assert matrix[p_idx["free"]][t_idx["produce"]] == -1
+        assert matrix[p_idx["full"]][t_idx["produce"]] == 1
+
+
+class TestFiring:
+    def test_enabled_when_inputs_marked(self, producer_consumer):
+        m = producer_consumer.initial_marking()
+        t = producer_consumer.transition("produce")
+        assert producer_consumer.is_enabled(t, m)
+
+    def test_disabled_when_inputs_empty(self, producer_consumer):
+        m = producer_consumer.initial_marking()
+        t = producer_consumer.transition("consume")
+        assert not producer_consumer.is_enabled(t, m)
+
+    def test_fire_moves_tokens(self, producer_consumer):
+        m = producer_consumer.initial_marking()
+        t = producer_consumer.transition("produce")
+        m2 = producer_consumer.fire(t, m)
+        assert m2["free"] == 1 and m2["full"] == 1
+
+    def test_fire_disabled_raises(self, producer_consumer):
+        m = producer_consumer.initial_marking()
+        with pytest.raises(ValueError):
+            producer_consumer.fire(producer_consumer.transition("consume"), m)
+
+    def test_arc_weights_respected(self):
+        net = PetriNet()
+        net.add_place("p", 3)
+        net.add_place("q", 0)
+        net.add_transition("t", {"p": 2}, {"q": 5})
+        m = net.fire(net.transition("t"), net.initial_marking())
+        assert m["p"] == 1 and m["q"] == 5
+
+    def test_inhibitor_arc_disables(self):
+        net = PetriNet()
+        net.add_place("p", 1)
+        net.add_place("blocker", 1)
+        net.add_transition("t", {"p": 1}, inhibitors={"blocker": 1})
+        assert not net.is_enabled(net.transition("t"), net.initial_marking())
+
+    def test_inhibitor_threshold(self):
+        net = PetriNet()
+        net.add_place("p", 1)
+        net.add_place("blocker", 1)
+        net.add_transition("t", {"p": 1}, inhibitors={"blocker": 2})
+        assert net.is_enabled(net.transition("t"), net.initial_marking())
+
+    def test_enabled_transitions_listing(self, producer_consumer):
+        enabled = producer_consumer.enabled_transitions(
+            producer_consumer.initial_marking()
+        )
+        assert [t.name for t in enabled] == ["produce"]

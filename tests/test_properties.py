@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacktree.analysis import evaluate
+from repro.attacktree.nodes import AndNode, KofNNode, LeafAttack, OrNode
+from repro.attacktree.tree import AttackTree
+from repro.diversity.metrics import shannon_entropy, simpson_index
+from repro.diversity.psa import diverse_chain, identical_chain
+from repro.petri.net import Marking
+from repro.scada.protocol import (
+    FunctionCode,
+    ModbusDialect,
+    ModbusFrame,
+    STANDARD_DIALECT,
+    decode_frame,
+    encode_frame,
+    remapped_dialect,
+)
+from repro.sim.events import EventQueue
+from repro.stats.anova import anova
+from repro.stats.ci import proportion_ci
+
+
+# ---------------------------------------------------------------- sim kernel
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                max_size=50))
+def test_event_queue_pops_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.schedule(t)
+    popped = []
+    while q:
+        popped.append(q.pop().time)
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=20)
+)
+def test_event_queue_fifo_for_equal_times(payloads):
+    q = EventQueue()
+    for p in payloads:
+        q.schedule(1.0, payload=p)
+    assert [q.pop().payload for _ in payloads] == payloads
+
+
+# -------------------------------------------------------------------- petri
+@given(
+    st.dictionaries(
+        st.sampled_from(["p", "q", "r"]),
+        st.integers(min_value=0, max_value=100),
+    )
+)
+def test_marking_delta_roundtrip(counts):
+    m = Marking(counts)
+    delta = {p: 1 for p in counts}
+    m2 = m.with_delta(delta).with_delta({p: -1 for p in counts})
+    assert m2 == m
+
+
+# ----------------------------------------------------------------- protocol
+frames = st.builds(
+    ModbusFrame,
+    unit=st.integers(min_value=0, max_value=207),
+    function=st.sampled_from(list(FunctionCode)),
+    address=st.integers(min_value=0, max_value=0xFFFF),
+    values=st.lists(
+        st.integers(min_value=0, max_value=0xFFFF), max_size=10
+    ).map(tuple),
+    count=st.integers(min_value=0, max_value=125),
+)
+
+
+@given(frames)
+def test_protocol_roundtrip_standard(frame):
+    assert decode_frame(encode_frame(frame, STANDARD_DIALECT),
+                        STANDARD_DIALECT) == frame
+
+
+@given(frames)
+def test_protocol_roundtrip_remapped(frame):
+    dialect = remapped_dialect("property_variant")
+    assert decode_frame(encode_frame(frame, dialect), dialect) == frame
+
+
+@given(frames)
+@settings(max_examples=30)
+def test_protocol_cross_dialect_never_silently_misparses(frame):
+    # Decoding under a different dialect must either fail or at minimum
+    # not produce the same frame with a different meaning silently; the
+    # checksum families differ so failure is expected.
+    raw = encode_frame(frame, STANDARD_DIALECT)
+    other = remapped_dialect("property_variant")
+    try:
+        decoded = decode_frame(raw, other)
+    except Exception:
+        return
+    assert decoded != frame
+
+
+# -------------------------------------------------------------- attack tree
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+@given(st.lists(probabilities, min_size=1, max_size=6))
+def test_and_probability_never_exceeds_min(ps):
+    leaves = [LeafAttack(f"l{i}", probability=p) for i, p in enumerate(ps)]
+    tree = AttackTree(AndNode("root", leaves))
+    assert evaluate(tree).probability <= min(ps) + 1e-12
+
+
+@given(st.lists(probabilities, min_size=1, max_size=6))
+def test_or_probability_at_least_max(ps):
+    leaves = [LeafAttack(f"l{i}", probability=p) for i, p in enumerate(ps)]
+    tree = AttackTree(OrNode("root", leaves))
+    metrics = evaluate(tree)
+    assert metrics.probability >= max(ps) - 1e-12
+    assert metrics.probability <= 1.0 + 1e-12
+
+
+@given(st.lists(probabilities, min_size=2, max_size=6), st.data())
+def test_kofn_monotone_in_k(ps, data):
+    leaves = [LeafAttack(f"l{i}", probability=p) for i, p in enumerate(ps)]
+    k = data.draw(st.integers(min_value=1, max_value=len(ps) - 1))
+    p_k = evaluate(AttackTree(KofNNode("a", leaves, k=k))).probability
+    leaves2 = [LeafAttack(f"m{i}", probability=p) for i, p in enumerate(ps)]
+    p_k1 = evaluate(AttackTree(KofNNode("b", leaves2, k=k + 1))).probability
+    assert p_k1 <= p_k + 1e-9
+
+
+# ---------------------------------------------------------------- diversity
+@given(st.floats(min_value=0.01, max_value=0.99),
+       st.integers(min_value=2, max_value=8))
+def test_diverse_psa_never_exceeds_identical(pm, n):
+    psa_identical, t_identical = identical_chain(pm, n)
+    psa_diverse, t_diverse = diverse_chain([pm] * n)
+    assert psa_diverse <= psa_identical + 1e-12
+    assert t_diverse >= t_identical - 1e-12
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=5),
+        st.integers(min_value=0, max_value=50),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_diversity_indices_bounds(counts):
+    h = shannon_entropy(counts)
+    s = simpson_index(counts)
+    k = sum(1 for c in counts.values() if c > 0)
+    assert 0.0 <= s < 1.0 or math.isclose(s, 0.0)
+    assert -1e-12 <= h <= math.log(max(k, 1)) + 1e-9
+
+
+# -------------------------------------------------------------------- stats
+@given(
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=1, max_value=50),
+)
+def test_proportion_ci_always_valid(successes, extra):
+    trials = successes + extra
+    ci = proportion_ci(successes, trials)
+    assert 0.0 <= ci.low <= ci.estimate <= ci.high <= 1.0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),
+            st.integers(min_value=0, max_value=1),
+            st.floats(min_value=-100, max_value=100),
+        ),
+        min_size=8,
+        max_size=40,
+    )
+)
+@settings(max_examples=50)
+def test_anova_partition_property(rows):
+    data = [{"a": a, "b": b, "y": y} for a, b, y in rows]
+    levels_a = {r["a"] for r in data}
+    levels_b = {r["b"] for r in data}
+    if len(levels_a) < 2 or len(levels_b) < 2:
+        return
+    result = anova(data, "y", ["a", "b"])
+    parts = sum(r.ss for r in result.rows) + result.residual_ss
+    assert parts == pytest.approx(result.total_ss, rel=1e-6, abs=1e-6)
+    for row in result.rows:
+        assert row.ss >= -1e-9

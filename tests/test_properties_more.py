@@ -1,0 +1,123 @@
+"""Additional property-based tests: fractional designs, SAN markings,
+survival curves and cut-set structure."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacktree.cutsets import minimal_cut_sets
+from repro.attacktree.nodes import AndNode, LeafAttack, OrNode
+from repro.attacktree.tree import AttackTree
+from repro.core.indicators import TimeToAttack
+from repro.doe.fractional import fractional_factorial
+from repro.san.model import SANMarking
+from repro.stats.fitting import fit_exponential
+from tests.test_core_indicators import outcome
+
+
+# ---------------------------------------------------------- fractional DoE
+@given(st.integers(min_value=3, max_value=8))
+@settings(max_examples=15, deadline=None)
+def test_half_fraction_always_orthogonal_balanced(k):
+    names = [f"f{i}" for i in range(k)]
+    letters = "ABCDEFGHJKLMNPQRSTUVWXYZ"
+    generator = f"{letters[k - 1]}={letters[: k - 1]}"
+    design, info = fractional_factorial(names, [generator])
+    assert design.n_runs == 2 ** (k - 1)
+    assert design.is_orthogonal()
+    assert design.is_balanced()
+    assert info.resolution == k  # single full-word generator
+
+
+# ---------------------------------------------------------------- markings
+marking_dicts = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.integers(min_value=0, max_value=20),
+    max_size=4,
+)
+
+
+@given(marking_dicts)
+def test_san_marking_freeze_roundtrip(counts):
+    marking = SANMarking(counts)
+    rebuilt = SANMarking(dict(marking.freeze()))
+    assert rebuilt == marking
+
+
+@given(marking_dicts, st.sampled_from(["a", "b", "c", "d"]),
+       st.integers(min_value=0, max_value=5))
+def test_san_marking_add_then_subtract_is_identity(counts, place, delta):
+    marking = SANMarking(counts)
+    before = marking.freeze()
+    marking.add(place, delta)
+    marking.add(place, -delta)
+    assert marking.freeze() == before
+
+
+# ----------------------------------------------------------------- cutsets
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=0.9), min_size=2, max_size=5),
+    st.lists(st.floats(min_value=0.1, max_value=0.9), min_size=2, max_size=5),
+)
+@settings(max_examples=30)
+def test_cut_sets_are_antichains(ps_left, ps_right):
+    left = AndNode(
+        "left", [LeafAttack(f"l{i}", probability=p)
+                 for i, p in enumerate(ps_left)]
+    )
+    right = AndNode(
+        "right", [LeafAttack(f"r{i}", probability=p)
+                  for i, p in enumerate(ps_right)]
+    )
+    tree = AttackTree(OrNode("root", [left, right]))
+    cut_sets = [frozenset(cs) for cs in minimal_cut_sets(tree)]
+    # No cut set contains another (minimality), and all are nonempty.
+    for a in cut_sets:
+        assert a
+        for b in cut_sets:
+            if a is not b:
+                assert not a < b
+
+
+# ---------------------------------------------------------------- survival
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=99.0), min_size=1,
+             max_size=30),
+    st.integers(min_value=0, max_value=10),
+)
+def test_survival_curve_properties(times, n_censored):
+    outcomes = [outcome(float(t)) for t in times]
+    outcomes += [outcome()] * n_censored
+    sample = TimeToAttack.from_outcomes(outcomes)
+    curve = sample.survival_curve()
+    values = [s for __, s in curve]
+    xs = [t for t, __ in curve]
+    # Times strictly increasing, survival non-increasing within [0, 1].
+    assert xs == sorted(set(xs))
+    assert all(0.0 - 1e-12 <= v <= 1.0 + 1e-12 for v in values)
+    assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+    # Uncensored sample ends at survival 0.
+    if n_censored == 0:
+        assert values[-1] == pytest.approx(0.0, abs=1e-12)
+    # Under type-I censoring S(horizon) == censored fraction.
+    assert sample.survival_at(sample.horizon) == pytest.approx(
+        n_censored / sample.n_total
+    )
+
+
+# ----------------------------------------------------------------- fitting
+@given(
+    st.floats(min_value=0.05, max_value=20.0),
+    st.integers(min_value=50, max_value=400),
+)
+@settings(max_examples=20, deadline=None)
+def test_exponential_fit_is_consistent(rate, n):
+    rng = np.random.default_rng(1234)
+    samples = rng.exponential(1.0 / rate, size=n)
+    fit = fit_exponential(samples)
+    # MLE rate equals 1/sample-mean by construction.
+    assert fit.distribution.rate == pytest.approx(1.0 / samples.mean())
+    assert 0.0 <= fit.ks_statistic <= 1.0

@@ -1,0 +1,128 @@
+"""Tests for incident response (eviction) and the Kaplan-Meier estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro.attacks.profiles import stuxnet_like
+from repro.core.indicators import TimeToAttack
+from repro.scada.topologies import scope_cooling_topology
+from tests.test_core_indicators import outcome
+
+
+class TestIncidentResponse:
+    def test_instant_response_blocks_post_detection_success(self, catalog):
+        config = CampaignConfig(
+            horizon=100.0, tick_interval=0.5, response_enabled=True
+        )
+        outcomes = AttackCampaign(
+            scope_cooling_topology(), catalog, stuxnet_like(), config
+        ).run_batch(30, np.random.default_rng(1))
+        for o in outcomes:
+            if o.evicted:
+                # Success, if any, must precede the (instant) eviction.
+                if o.success:
+                    assert o.success_time <= o.detection_time
+            if not math.isnan(o.detection_time) and not o.success:
+                assert o.evicted or o.detection_time > o.horizon - 1e9
+
+    def test_slow_response_lets_more_attacks_through(self, catalog):
+        rng = np.random.default_rng(2)
+        fast = CampaignConfig(
+            horizon=60.0, tick_interval=0.5, response_enabled=True
+        )
+        slow = CampaignConfig(
+            horizon=60.0, tick_interval=0.5, response_enabled=True,
+            response_delay_rate=0.05,  # mean 20 h to evict
+        )
+        n = 40
+        fast_wins = sum(
+            o.success
+            for o in AttackCampaign(
+                scope_cooling_topology(), catalog, stuxnet_like(), fast
+            ).run_batch(n, rng)
+        )
+        slow_wins = sum(
+            o.success
+            for o in AttackCampaign(
+                scope_cooling_topology(), catalog, stuxnet_like(), slow
+            ).run_batch(n, rng)
+        )
+        assert slow_wins >= fast_wins
+
+    def test_eviction_recorded_in_trace(self, catalog):
+        config = CampaignConfig(
+            horizon=100.0, tick_interval=0.5, response_enabled=True
+        )
+        outcomes = AttackCampaign(
+            scope_cooling_topology(), catalog, stuxnet_like(), config
+        ).run_batch(20, np.random.default_rng(3))
+        evicted = [o for o in outcomes if o.evicted]
+        assert evicted
+        for o in evicted:
+            assert o.trace.first("eviction") is not None
+
+    def test_no_response_never_evicts(self, catalog):
+        config = CampaignConfig(horizon=60.0, tick_interval=0.5)
+        outcomes = AttackCampaign(
+            scope_cooling_topology(), catalog, stuxnet_like(), config
+        ).run_batch(10, np.random.default_rng(4))
+        assert all(not o.evicted for o in outcomes)
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_empirical(self):
+        sample = TimeToAttack.from_outcomes(
+            [outcome(10.0), outcome(20.0), outcome(30.0), outcome(40.0)]
+        )
+        curve = dict(sample.survival_curve())
+        assert curve[10.0] == pytest.approx(0.75)
+        assert curve[20.0] == pytest.approx(0.50)
+        assert curve[40.0] == pytest.approx(0.0)
+
+    def test_censoring_floors_survival(self):
+        sample = TimeToAttack.from_outcomes(
+            [outcome(10.0), outcome(), outcome()]
+        )
+        curve = dict(sample.survival_curve())
+        # One event among three at risk: S = 2/3 and stays there.
+        assert curve[10.0] == pytest.approx(2 / 3)
+
+    def test_survival_monotone_nonincreasing(self):
+        sample = TimeToAttack.from_outcomes(
+            [outcome(float(t)) for t in (5, 5, 8, 12, 30)] + [outcome()]
+        )
+        values = [s for __, s in sample.survival_curve()]
+        assert values == sorted(values, reverse=True)
+
+    def test_tied_event_times_handled(self):
+        sample = TimeToAttack.from_outcomes(
+            [outcome(10.0), outcome(10.0), outcome(20.0), outcome(20.0)]
+        )
+        curve = dict(sample.survival_curve())
+        assert curve[10.0] == pytest.approx(0.5)
+        assert curve[20.0] == pytest.approx(0.0)
+
+    def test_survival_at_interpolates_step(self):
+        sample = TimeToAttack.from_outcomes(
+            [outcome(10.0), outcome(30.0)]
+        )
+        assert sample.survival_at(5.0) == 1.0
+        assert sample.survival_at(15.0) == pytest.approx(0.5)
+        assert sample.survival_at(50.0) == pytest.approx(0.0)
+
+    def test_all_censored_curve_empty(self):
+        sample = TimeToAttack.from_outcomes([outcome(), outcome()])
+        assert sample.survival_curve() == []
+        assert sample.survival_at(1000.0) == 1.0
+
+    def test_consistent_with_event_probability(self):
+        outcomes = [outcome(float(t)) for t in (10, 20, 30)] + [outcome()] * 2
+        sample = TimeToAttack.from_outcomes(outcomes)
+        # Survival at the horizon equals 1 - event probability under
+        # type-I censoring.
+        assert sample.survival_at(sample.horizon) == pytest.approx(
+            1.0 - sample.event_probability
+        )

@@ -1,0 +1,116 @@
+"""Tests for the fluent SAN builder."""
+
+import numpy as np
+import pytest
+
+from repro.san.builder import SANBuilder
+from repro.san.model import simple_case
+from repro.san.simulator import SANSimulator
+from repro.stats.distributions import Deterministic, Exponential
+
+
+class TestBuilderStructure:
+    def test_places_become_initial_marking(self):
+        model = SANBuilder().place("a", 2).place("b", 0).build()
+        marking = model.initial_marking()
+        assert marking["a"] == 2
+        assert marking["b"] == 0
+
+    def test_stage_creates_success_and_failure_cases(self):
+        builder = SANBuilder()
+        builder.place("src", 1).place("dst", 0)
+        builder.stage("move", "src", "dst", rate=1.0,
+                      success_probability=0.6)
+        activity = builder.build().activity("move")
+        labels = {case.label for case in activity.cases}
+        assert labels == {"success", "failure"}
+
+    def test_certain_stage_has_single_case(self):
+        builder = SANBuilder()
+        builder.place("src", 1).place("dst", 0)
+        builder.stage("move", "src", "dst", rate=1.0,
+                      success_probability=1.0)
+        activity = builder.build().activity("move")
+        assert len(activity.cases) == 1
+
+    def test_impossible_stage_has_single_failure_case(self):
+        builder = SANBuilder()
+        builder.place("src", 1).place("dst", 0)
+        builder.stage("move", "src", "dst", rate=1.0,
+                      success_probability=0.0)
+        activity = builder.build().activity("move")
+        assert [case.label for case in activity.cases] == ["failure"]
+
+    def test_stage_probability_validated(self):
+        builder = SANBuilder()
+        builder.place("src", 1).place("dst", 0)
+        with pytest.raises(ValueError):
+            builder.stage("bad", "src", "dst", rate=1.0,
+                          success_probability=1.5)
+
+    def test_failure_place_routing(self, rng):
+        builder = SANBuilder()
+        builder.place("src", 1).place("dst", 0).place("abandoned", 0)
+        builder.stage("move", "src", "dst", rate=10.0,
+                      success_probability=0.0, failure_place="abandoned")
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(100.0, rng)
+        assert run.final_marking["abandoned"] == 1
+
+    def test_guard_blocks_activity(self, rng):
+        builder = SANBuilder()
+        builder.place("src", 1).place("dst", 0).place("key", 0)
+        builder.stage("move", "src", "dst", rate=100.0,
+                      guard=lambda m: m["key"] > 0)
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(10.0, rng)
+        assert run.final_marking["dst"] == 0
+
+    def test_custom_distribution_overrides_rate(self, rng):
+        builder = SANBuilder()
+        builder.place("src", 1).place("dst", 0)
+        builder.stage("move", "src", "dst", rate=999.0,
+                      distribution=Deterministic(4.0))
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(10.0, rng, stop=lambda m: m["dst"] > 0)
+        assert run.stop_time == pytest.approx(4.0)
+
+    def test_timed_with_cases(self, rng):
+        builder = SANBuilder()
+        builder.place("src", 1).place("x", 0).place("y", 0)
+        builder.timed(
+            "split",
+            Exponential(5.0),
+            inputs={"src": 1},
+            cases=[
+                simple_case({"x": 1}, probability=0.5),
+                simple_case({"y": 1}, probability=0.5),
+            ],
+        )
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(100.0, rng)
+        assert run.final_marking["x"] + run.final_marking["y"] == 1
+
+    def test_instantaneous_activity(self, rng):
+        builder = SANBuilder()
+        builder.place("a", 1).place("b", 0)
+        builder.instantaneous("jump", inputs={"a": 1}, outputs={"b": 1})
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(1.0, rng)
+        assert run.final_marking["b"] == 1
+        assert run.completions[0][0] == 0.0
+
+    def test_gate_names_unique(self):
+        builder = SANBuilder()
+        g1 = builder.predicate_gate(lambda m: True)
+        g2 = builder.predicate_gate(lambda m: True)
+        assert g1.name != g2.name
+
+    def test_output_gate_applies_function(self):
+        builder = SANBuilder()
+        gate = builder.output_gate(lambda m: m.add("counter", 5))
+        from repro.san.model import SANMarking
+
+        marking = SANMarking()
+        gate.function(marking)
+        assert marking["counter"] == 5

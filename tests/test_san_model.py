@@ -1,0 +1,184 @@
+"""Tests for SAN model elements."""
+
+import pytest
+
+from repro.san.model import (
+    Case,
+    InputGate,
+    SANMarking,
+    SANModel,
+    simple_case,
+)
+from repro.stats.distributions import Deterministic, Exponential
+
+
+class TestSANMarking:
+    def test_unknown_place_reads_zero(self):
+        assert SANMarking()["nowhere"] == 0
+
+    def test_set_and_get(self):
+        m = SANMarking()
+        m["p"] = 3
+        assert m["p"] == 3
+
+    def test_negative_set_rejected(self):
+        m = SANMarking()
+        with pytest.raises(ValueError):
+            m["p"] = -1
+
+    def test_add_delta(self):
+        m = SANMarking({"p": 2})
+        m.add("p", -1)
+        assert m["p"] == 1
+
+    def test_add_below_zero_rejected(self):
+        m = SANMarking({"p": 1})
+        with pytest.raises(ValueError):
+            m.add("p", -2)
+
+    def test_copy_is_independent(self):
+        m = SANMarking({"p": 1})
+        c = m.copy()
+        c["p"] = 5
+        assert m["p"] == 1
+
+    def test_freeze_ignores_zeros(self):
+        m = SANMarking({"p": 1, "q": 0})
+        assert m.freeze() == (("p", 1),)
+
+    def test_equality_via_freeze(self):
+        assert SANMarking({"p": 1}) == SANMarking({"p": 1, "q": 0})
+
+    def test_direct_hash_forbidden(self):
+        with pytest.raises(TypeError):
+            hash(SANMarking())
+
+
+class TestActivities:
+    def test_enabling_requires_input_tokens(self):
+        model = SANModel()
+        model.set_initial("src", 0)
+        act = model.add_timed_activity(
+            "a", Exponential(1.0), input_places={"src": 1},
+            output_places={"dst": 1},
+        )
+        assert not act.is_enabled(model.initial_marking())
+
+    def test_enabling_respects_gates(self):
+        model = SANModel()
+        model.set_initial("src", 1)
+        gate = InputGate("g", predicate=lambda m: m["flag"] > 0,
+                         function=lambda m: None)
+        act = model.add_timed_activity(
+            "a", Exponential(1.0), input_places={"src": 1},
+            input_gates=[gate], output_places={"dst": 1},
+        )
+        marking = model.initial_marking()
+        assert not act.is_enabled(marking)
+        marking["flag"] = 1
+        assert act.is_enabled(marking)
+
+    def test_completion_moves_tokens(self):
+        model = SANModel()
+        model.set_initial("src", 2)
+        act = model.add_timed_activity(
+            "a", Exponential(1.0), input_places={"src": 1},
+            output_places={"dst": 3},
+        )
+        marking = model.initial_marking()
+        act.complete(marking, 0)
+        assert marking["src"] == 1
+        assert marking["dst"] == 3
+
+    def test_case_probabilities_must_sum_to_one(self):
+        model = SANModel()
+        model.set_initial("src", 1)
+        act = model.add_timed_activity(
+            "a",
+            Exponential(1.0),
+            input_places={"src": 1},
+            cases=[
+                simple_case({"x": 1}, probability=0.5),
+                simple_case({"y": 1}, probability=0.3),
+            ],
+        )
+        with pytest.raises(ValueError):
+            act.case_probabilities(model.initial_marking())
+
+    def test_marking_dependent_case_probability(self):
+        model = SANModel()
+        model.set_initial("src", 1)
+        act = model.add_timed_activity(
+            "a",
+            Exponential(1.0),
+            input_places={"src": 1},
+            cases=[
+                simple_case({"x": 1},
+                            probability=lambda m: 0.2 + 0.1 * m["boost"]),
+                simple_case({"y": 1},
+                            probability=lambda m: 0.8 - 0.1 * m["boost"]),
+            ],
+        )
+        marking = model.initial_marking()
+        marking["boost"] = 3
+        assert act.case_probabilities(marking) == pytest.approx([0.5, 0.5])
+
+    def test_marking_dependent_distribution(self):
+        model = SANModel()
+        model.set_initial("src", 1)
+        act = model.add_timed_activity(
+            "a",
+            lambda m: Deterministic(float(m["src"])),
+            input_places={"src": 1},
+            output_places={"dst": 1},
+        )
+        dist = act.distribution_in(model.initial_marking())
+        assert dist.value == 1.0
+
+    def test_out_of_range_case_probability_rejected(self):
+        case = Case(probability=1.5)
+        with pytest.raises(ValueError):
+            case.probability_in(SANMarking())
+
+
+class TestModelStructure:
+    def test_duplicate_activity_rejected(self):
+        model = SANModel()
+        model.add_timed_activity("a", Exponential(1.0))
+        with pytest.raises(ValueError):
+            model.add_timed_activity("a", Exponential(1.0))
+
+    def test_cases_and_output_places_mutually_exclusive(self):
+        model = SANModel()
+        with pytest.raises(ValueError):
+            model.add_timed_activity(
+                "a",
+                Exponential(1.0),
+                cases=[simple_case({"x": 1})],
+                output_places={"y": 1},
+            )
+
+    def test_places_enumerated(self):
+        model = SANModel()
+        model.set_initial("start", 1)
+        model.add_timed_activity(
+            "a", Exponential(1.0), input_places={"start": 1},
+            output_places={"end": 1},
+        )
+        assert set(model.places()) == {"start", "end"}
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            SANModel().set_initial("p", -1)
+
+    def test_instantaneous_weight_validation(self):
+        model = SANModel()
+        with pytest.raises(ValueError):
+            model.add_instantaneous_activity("i", weight=-1.0)
+
+    def test_activity_lookup(self):
+        model = SANModel()
+        model.add_timed_activity("a", Exponential(1.0))
+        assert model.activity("a").name == "a"
+        with pytest.raises(KeyError):
+            model.activity("ghost")

@@ -1,0 +1,179 @@
+"""Tests for the SAN simulator."""
+
+import numpy as np
+import pytest
+
+from repro.san.builder import SANBuilder
+from repro.san.model import SANModel, simple_case
+from repro.san.simulator import SANSimulator
+from repro.stats.distributions import Deterministic, Exponential
+
+
+class TestBasicExecution:
+    def test_two_stage_chain_completes(self, rng):
+        builder = SANBuilder()
+        builder.place("s0", 1).place("s1", 0).place("s2", 0)
+        builder.stage("a1", "s0", "s1", rate=5.0)
+        builder.stage("a2", "s1", "s2", rate=5.0)
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(1000.0, rng, stop=lambda m: m["s2"] > 0)
+        assert run.stopped
+        assert run.final_marking["s2"] == 1
+
+    def test_deterministic_delays_accumulate(self, rng):
+        builder = SANBuilder()
+        builder.place("s0", 1).place("s1", 0).place("s2", 0)
+        builder.timed("a1", Deterministic(2.0), inputs={"s0": 1},
+                      outputs={"s1": 1})
+        builder.timed("a2", Deterministic(3.0), inputs={"s1": 1},
+                      outputs={"s2": 1})
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(100.0, rng, stop=lambda m: m["s2"] > 0)
+        assert run.stop_time == pytest.approx(5.0)
+
+    def test_horizon_truncates(self, rng):
+        builder = SANBuilder()
+        builder.place("s0", 1).place("s1", 0)
+        builder.timed("slow", Deterministic(50.0), inputs={"s0": 1},
+                      outputs={"s1": 1})
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(10.0, rng)
+        assert not run.stopped
+        assert run.final_marking["s1"] == 0
+        assert run.end_time == 10.0
+
+    def test_dead_marking_ends_run(self, rng):
+        builder = SANBuilder()
+        builder.place("s0", 1).place("s1", 0)
+        builder.timed("a", Deterministic(1.0), inputs={"s0": 1},
+                      outputs={"s1": 1})
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(100.0, rng)
+        assert run.end_time == pytest.approx(1.0)
+        assert len(run.completions) == 1
+
+    def test_stop_predicate_immediately_true(self, rng):
+        builder = SANBuilder()
+        builder.place("s0", 1)
+        builder.timed("a", Exponential(1.0), inputs={"s0": 1},
+                      outputs={"s0": 1})
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(10.0, rng, stop=lambda m: m["s0"] > 0)
+        assert run.stop_time == 0.0
+
+
+class TestCaseSelection:
+    def test_case_frequencies_follow_probabilities(self):
+        builder = SANBuilder()
+        builder.place("src", 1).place("win", 0).place("lose", 0)
+        builder.stage("try", "src", "win", rate=1.0,
+                      success_probability=0.3, failure_place="lose")
+        model = builder.build()
+        rng = np.random.default_rng(2)
+        wins = 0
+        sim = SANSimulator(model)
+        n = 3000
+        for _ in range(n):
+            run = sim.simulate(1000.0, rng)
+            wins += run.final_marking["win"]
+        assert wins / n == pytest.approx(0.3, abs=0.03)
+
+    def test_completion_labels_recorded(self, rng):
+        builder = SANBuilder()
+        builder.place("src", 1).place("dst", 0)
+        builder.stage("move", "src", "dst", rate=1.0,
+                      success_probability=0.5)
+        sim = SANSimulator(builder.build())
+        run = sim.simulate(1000.0, rng, stop=lambda m: m["dst"] > 0)
+        labels = {label for _, _, label in run.completions}
+        assert labels <= {"success", "failure"}
+
+
+class TestInstantaneousActivities:
+    def test_instantaneous_fires_in_zero_time(self, rng):
+        model = SANModel()
+        model.set_initial("a", 1)
+        model.add_instantaneous_activity(
+            "jump", input_places={"a": 1}, output_places={"b": 1}
+        )
+        sim = SANSimulator(model)
+        run = sim.simulate(10.0, rng)
+        assert run.final_marking["b"] == 1
+        assert run.completions[0][0] == 0.0
+
+    def test_priority_ordering(self, rng):
+        model = SANModel()
+        model.set_initial("p", 1)
+        model.add_instantaneous_activity(
+            "low", input_places={"p": 1}, output_places={"lo": 1},
+            priority=1,
+        )
+        model.add_instantaneous_activity(
+            "high", input_places={"p": 1}, output_places={"hi": 1},
+            priority=5,
+        )
+        sim = SANSimulator(model)
+        run = sim.simulate(1.0, rng)
+        assert run.final_marking["hi"] == 1
+
+    def test_instantaneous_loop_detected(self, rng):
+        model = SANModel()
+        model.set_initial("a", 1)
+        model.add_instantaneous_activity(
+            "ping", input_places={"a": 1}, output_places={"b": 1}
+        )
+        model.add_instantaneous_activity(
+            "pong", input_places={"b": 1}, output_places={"a": 1}
+        )
+        sim = SANSimulator(model)
+        with pytest.raises(RuntimeError):
+            sim.simulate(1.0, rng, max_completions=100)
+
+
+class TestAbortSemantics:
+    def test_disabled_activation_is_aborted(self, rng):
+        # Two activities race for the same token; after one completes the
+        # other must not fire.
+        model = SANModel()
+        model.set_initial("shared", 1)
+        model.add_timed_activity(
+            "fast", Exponential(100.0), input_places={"shared": 1},
+            output_places={"a": 1},
+        )
+        model.add_timed_activity(
+            "slow", Exponential(0.01), input_places={"shared": 1},
+            output_places={"b": 1},
+        )
+        sim = SANSimulator(model)
+        run = sim.simulate(10000.0, rng)
+        assert run.final_marking["a"] + run.final_marking["b"] == 1
+
+    def test_on_completion_hook_called(self, rng):
+        builder = SANBuilder()
+        builder.place("s0", 1).place("s1", 0)
+        builder.stage("a", "s0", "s1", rate=10.0)
+        sim = SANSimulator(builder.build())
+        seen = []
+        sim.simulate(
+            100.0, rng,
+            on_completion=lambda t, a, label, m: seen.append((a, label)),
+        )
+        assert ("a", "success") in seen
+
+
+class TestBatch:
+    def test_batch_size(self, rng):
+        builder = SANBuilder()
+        builder.place("s0", 1).place("s1", 0)
+        builder.stage("a", "s0", "s1", rate=1.0)
+        sim = SANSimulator(builder.build())
+        runs = sim.batch(10.0, 25, rng)
+        assert len(runs) == 25
+
+    def test_zero_replications_rejected(self, rng):
+        builder = SANBuilder()
+        builder.place("s0", 1)
+        builder.stage("a", "s0", "s0", rate=1.0)
+        sim = SANSimulator(builder.build())
+        with pytest.raises(ValueError):
+            sim.batch(10.0, 0, rng)

@@ -1,0 +1,168 @@
+"""Tests for the power feeder plant, the smart-grid topology and the
+pluggable physical-process interface."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro.attacks.profiles import stuxnet_like
+from repro.scada.components import ComponentKind, HostRole
+from repro.scada.plant.cooling import CoolingPlant
+from repro.scada.plant.feeder import (
+    PowerFeeder,
+    PowerFeederConfig,
+    REG_LOADING,
+    REG_SECTIONS_ON,
+    REG_SHED_ENABLE,
+    REG_TIE_CLOSED,
+)
+from repro.scada.plant.process import PhysicalProcess
+from repro.scada.topologies import smart_grid_feeder
+
+K = ComponentKind
+
+
+class TestPowerFeeder:
+    def test_healthy_feeder_stays_under_rating(self):
+        feeder = PowerFeeder()
+        registers = feeder.default_registers()
+        for _ in range(24 * 60):
+            feeder.step(registers, 60.0)
+        assert feeder.stress_level() < 100.0
+
+    def test_sabotage_overloads(self):
+        feeder = PowerFeeder()
+        registers = feeder.default_registers()
+        feeder.sabotage(registers)
+        for _ in range(60):
+            feeder.step(registers, 60.0)
+        assert feeder.stress_level() > 140.0
+
+    def test_tie_alone_raises_loading(self):
+        base = PowerFeeder()
+        tied = PowerFeeder()
+        r_base = base.default_registers()
+        r_tied = tied.default_registers()
+        r_tied[REG_TIE_CLOSED] = 1
+        r_tied[REG_SHED_ENABLE] = 0
+        for _ in range(30):
+            base.step(r_base, 60.0)
+            tied.step(r_tied, 60.0)
+        assert tied.loading > base.loading
+
+    def test_load_shedding_protects(self):
+        armed = PowerFeeder()
+        disarmed = PowerFeeder()
+        r_armed = armed.default_registers()
+        r_disarmed = disarmed.default_registers()
+        for regs in (r_armed, r_disarmed):
+            regs[REG_TIE_CLOSED] = 1
+        r_disarmed[REG_SHED_ENABLE] = 0
+        for _ in range(120):
+            armed.step(r_armed, 60.0)
+            disarmed.step(r_disarmed, 60.0)
+        assert armed.loading < disarmed.loading
+
+    def test_zero_sections_zero_loading(self):
+        feeder = PowerFeeder()
+        registers = feeder.default_registers()
+        registers[REG_SECTIONS_ON] = 0
+        feeder.step(registers, 60.0)
+        assert feeder.loading == 0.0
+
+    def test_measurement_registers_updated(self):
+        feeder = PowerFeeder()
+        registers = feeder.default_registers()
+        feeder.step(registers, 60.0)
+        assert registers[REG_LOADING] == int(feeder.loading * 1000)
+
+    def test_demand_cycles_with_time(self):
+        feeder = PowerFeeder(PowerFeederConfig(demand_period=3600.0))
+        registers = feeder.default_registers()
+        loadings = []
+        for _ in range(120):
+            feeder.step(registers, 60.0)
+            loadings.append(feeder.loading)
+        assert max(loadings) - min(loadings) > 0.05
+
+
+class TestProcessInterface:
+    @pytest.mark.parametrize("plant_cls", [CoolingPlant, PowerFeeder])
+    def test_contract(self, plant_cls):
+        plant = plant_cls()
+        assert isinstance(plant, PhysicalProcess)
+        registers = plant.default_registers()
+        assert plant.monitored_register in registers
+        plant.step(registers, 30.0)
+        assert plant.stress_level() >= 0.0
+        damage = plant.make_damage_model()
+        assert not damage.impaired
+        assert plant.alarm_scale > 0
+        assert plant.alarm_threshold > 0
+
+    @pytest.mark.parametrize("plant_cls", [CoolingPlant, PowerFeeder])
+    def test_sabotage_raises_stress(self, plant_cls):
+        sab = plant_cls()
+        healthy = plant_cls()
+        r_sab = sab.default_registers()
+        r_ok = healthy.default_registers()
+        sab.sabotage(r_sab)
+        for _ in range(120):
+            sab.step(r_sab, 60.0)
+            healthy.step(r_ok, 60.0)
+        assert sab.stress_level() > healthy.stress_level()
+
+
+class TestSmartGridTopology:
+    def test_no_validation_warnings(self):
+        assert smart_grid_feeder().validate() == []
+
+    def test_population(self):
+        net = smart_grid_feeder()
+        assert len(net.hosts_with_role(HostRole.PLC)) == 2
+        assert len(net.hosts_with_role(HostRole.RTU)) == 3
+        assert len(net.hosts_with_role(HostRole.SENSOR)) == 3
+        assert len(net.hosts_with_role(HostRole.ACTUATOR)) == 4
+
+    def test_engineering_reaches_controllers(self):
+        net = smart_grid_feeder()
+        assert net.flow_allowed("feeder_eng_ws", "feeder_ctrl_0", "modbus")
+
+    def test_office_isolated_from_control(self):
+        net = smart_grid_feeder()
+        assert not net.flow_allowed("utility_pc_0", "feeder_ctrl_0", "modbus")
+
+    def test_campaign_against_feeder(self, catalog):
+        config = CampaignConfig(
+            horizon=100.0, tick_interval=0.5, plant_factory=PowerFeeder
+        )
+        outcomes = AttackCampaign(
+            smart_grid_feeder(), catalog, stuxnet_like(), config
+        ).run_batch(15, np.random.default_rng(8))
+        assert any(o.success for o in outcomes)
+        for outcome in outcomes:
+            if outcome.success:
+                assert not math.isnan(outcome.sabotage_start)
+                assert outcome.sabotage_start <= outcome.success_time
+
+    def test_hardened_grid_slower(self, catalog):
+        config = CampaignConfig(
+            horizon=40.0, tick_interval=0.5, plant_factory=PowerFeeder
+        )
+        rng = np.random.default_rng(9)
+        soft = AttackCampaign(
+            smart_grid_feeder(), catalog, stuxnet_like(), config
+        ).run_batch(25, rng)
+        hard = AttackCampaign(
+            smart_grid_feeder(
+                default_os="linux_hardened",
+                default_firmware="firmware_signed",
+                default_stack="modbus_variant_b",
+            ),
+            catalog,
+            stuxnet_like(),
+            config,
+        ).run_batch(25, rng)
+        assert sum(o.success for o in hard) < sum(o.success for o in soft)

@@ -1,0 +1,166 @@
+"""Tests for the Modbus-like protocol and dialect diversity."""
+
+import pytest
+
+from repro.scada.protocol import (
+    CRC_VARIANTS,
+    FunctionCode,
+    ModbusDialect,
+    ModbusFrame,
+    ProtocolError,
+    STANDARD_DIALECT,
+    crc16_modbus,
+    decode_frame,
+    encode_frame,
+    frames_compatible,
+    remapped_dialect,
+)
+
+
+def sample_frame(**overrides):
+    params = dict(
+        unit=5,
+        function=FunctionCode.WRITE_MULTIPLE_REGISTERS,
+        address=100,
+        values=(10, 20, 30),
+        count=3,
+    )
+    params.update(overrides)
+    return ModbusFrame(**params)
+
+
+class TestChecksums:
+    def test_crc16_known_vector(self):
+        # Standard Modbus test vector: 01 03 00 00 00 01 -> CRC 0x0A84
+        # (low byte 0x84, high byte 0x0A on the wire).
+        data = bytes([0x01, 0x03, 0x00, 0x00, 0x00, 0x01])
+        assert crc16_modbus(data) == 0x0A84
+
+    def test_all_variants_deterministic(self):
+        data = b"hello scada"
+        for name, fn in CRC_VARIANTS.items():
+            assert fn(data) == fn(data)
+
+    def test_variants_disagree(self):
+        data = b"payload"
+        values = {fn(data) for fn in CRC_VARIANTS.values()}
+        assert len(values) == len(CRC_VARIANTS)
+
+
+class TestRoundTrip:
+    def test_standard_roundtrip(self):
+        frame = sample_frame()
+        assert decode_frame(encode_frame(frame, STANDARD_DIALECT),
+                            STANDARD_DIALECT) == frame
+
+    def test_roundtrip_under_remapped_dialect(self):
+        dialect = remapped_dialect("variant_b")
+        frame = sample_frame()
+        assert decode_frame(encode_frame(frame, dialect), dialect) == frame
+
+    def test_roundtrip_all_functions(self):
+        for function in FunctionCode:
+            frame = sample_frame(function=function, values=(), count=1)
+            assert decode_frame(
+                encode_frame(frame, STANDARD_DIALECT), STANDARD_DIALECT
+            ) == frame
+
+    def test_empty_values_roundtrip(self):
+        frame = sample_frame(values=(), count=2)
+        decoded = decode_frame(encode_frame(frame, STANDARD_DIALECT),
+                               STANDARD_DIALECT)
+        assert decoded.count == 2
+        assert decoded.values == ()
+
+    def test_little_endian_dialect_roundtrip(self):
+        dialect = ModbusDialect(name="le", big_endian=False)
+        frame = sample_frame(address=0xABCD & 0x7FFF)
+        assert decode_frame(encode_frame(frame, dialect), dialect) == frame
+
+
+class TestDialectMismatch:
+    def test_cross_dialect_decode_fails(self):
+        frame = sample_frame()
+        raw = encode_frame(frame, STANDARD_DIALECT)
+        with pytest.raises(ProtocolError):
+            decode_frame(raw, remapped_dialect("variant_b"))
+
+    def test_frames_compatible_same_dialect(self):
+        assert frames_compatible(
+            STANDARD_DIALECT, STANDARD_DIALECT, sample_frame()
+        )
+
+    def test_frames_incompatible_across_dialects(self):
+        assert not frames_compatible(
+            STANDARD_DIALECT, remapped_dialect("variant_b"), sample_frame()
+        )
+
+    def test_checksum_only_difference_detected(self):
+        a = ModbusDialect(name="a", checksum="crc16")
+        b = ModbusDialect(name="b", checksum="fletcher16")
+        assert not frames_compatible(a, b, sample_frame())
+
+    def test_unit_offset_only_difference_detected(self):
+        a = ModbusDialect(name="a", unit_offset=0)
+        b = ModbusDialect(name="b", unit_offset=50)
+        frame = sample_frame(unit=5)
+        # Checksums match (same algorithm), but the unit id shifts.
+        raw = encode_frame(frame, a)
+        try:
+            decoded = decode_frame(raw, b)
+            assert decoded.unit != frame.unit
+        except ProtocolError:
+            pass  # also acceptable: offset pushes unit out of range
+
+
+class TestValidation:
+    def test_truncated_frame_rejected(self):
+        raw = encode_frame(sample_frame(), STANDARD_DIALECT)
+        with pytest.raises(ProtocolError):
+            decode_frame(raw[:5], STANDARD_DIALECT)
+
+    def test_corrupted_byte_rejected(self):
+        raw = bytearray(encode_frame(sample_frame(), STANDARD_DIALECT))
+        raw[3] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(raw), STANDARD_DIALECT)
+
+    def test_unknown_wire_code_rejected(self):
+        dialect = STANDARD_DIALECT
+        raw = bytearray(encode_frame(sample_frame(), dialect))
+        raw[1] = 0x7E  # not a standard code
+        # Fix the checksum so only the function code is wrong.
+        body = bytes(raw[:-2])
+        crc = CRC_VARIANTS[dialect.checksum](body)
+        import struct
+
+        raw[-2:] = struct.pack(">H", crc)
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(raw), dialect)
+
+    def test_frame_field_validation(self):
+        with pytest.raises(ValueError):
+            ModbusFrame(unit=999, function=FunctionCode.READ_COILS, address=0)
+        with pytest.raises(ValueError):
+            ModbusFrame(unit=1, function=FunctionCode.READ_COILS,
+                        address=0x1_0000)
+        with pytest.raises(ValueError):
+            ModbusFrame(unit=1, function=FunctionCode.READ_COILS, address=0,
+                        values=(70000,))
+
+    def test_dialect_duplicate_codes_rejected(self):
+        codes = {fn: 1 for fn in FunctionCode}
+        with pytest.raises(ValueError):
+            ModbusDialect(name="bad", function_codes=codes)
+
+    def test_dialect_unknown_checksum_rejected(self):
+        with pytest.raises(ValueError):
+            ModbusDialect(name="bad", checksum="md5")
+
+    def test_unsupported_function_lookup_raises(self):
+        dialect = ModbusDialect(
+            name="partial",
+            function_codes={FunctionCode.READ_COILS: 1},
+        )
+        with pytest.raises(ProtocolError):
+            dialect.wire_code(FunctionCode.REPROGRAM)

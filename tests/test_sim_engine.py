@@ -1,0 +1,149 @@
+"""Tests for the simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_events_fire_in_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(2.0, lambda ev: fired.append(2.0))
+        engine.schedule(1.0, lambda ev: fired.append(1.0))
+        engine.run()
+        assert fired == [1.0, 2.0]
+
+    def test_clock_advances_to_event_times(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.5, lambda ev: seen.append(engine.now))
+        engine.run()
+        assert seen == [1.5]
+
+    def test_schedule_in_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda ev: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule(0.5)
+
+    def test_schedule_after_uses_relative_delay(self):
+        engine = SimulationEngine()
+        times = []
+
+        def chain(ev):
+            times.append(engine.now)
+            if len(times) < 3:
+                engine.schedule_after(1.0, chain)
+
+        engine.schedule(1.0, chain)
+        engine.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_after(-0.1)
+
+    def test_events_scheduled_during_run_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(
+            1.0,
+            lambda ev: engine.schedule(2.0, lambda e2: fired.append("child")),
+        )
+        engine.run()
+        assert fired == ["child"]
+
+
+class TestStopConditions:
+    def test_empty_reason_when_queue_drains(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0)
+        assert engine.run().reason == "empty"
+
+    def test_horizon_stops_before_late_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(5.0, lambda ev: fired.append(5.0))
+        stop = engine.run(horizon=2.0)
+        assert stop.reason == "horizon"
+        assert engine.now == 2.0
+        assert fired == []
+
+    def test_horizon_advances_clock_when_queue_empty(self):
+        engine = SimulationEngine()
+        stop = engine.run(horizon=7.5)
+        assert stop.reason == "empty"
+        assert engine.now == 7.5
+
+    def test_until_predicate_stops_run(self):
+        engine = SimulationEngine()
+        count = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda ev: count.append(ev.time))
+        stop = engine.run(until=lambda: len(count) >= 2)
+        assert stop.reason == "predicate"
+        assert count == [1.0, 2.0]
+
+    def test_max_events_caps_run(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t)
+        stop = engine.run(max_events=2)
+        assert stop.reason == "max_events"
+        assert engine.events_fired == 2
+
+    def test_request_stop_inside_handler(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda ev: (fired.append(1), engine.request_stop()))
+        engine.schedule(2.0, lambda ev: fired.append(2))
+        stop = engine.run()
+        assert stop.reason == "predicate"
+        assert fired == [1]
+
+
+class TestEngineState:
+    def test_cancel_pending_event(self):
+        engine = SimulationEngine()
+        fired = []
+        ev = engine.schedule(1.0, lambda e: fired.append(1))
+        engine.cancel(ev)
+        engine.run()
+        assert fired == []
+
+    def test_reset_clears_state(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.events_fired == 0
+        assert engine.pending == 0
+
+    def test_listener_sees_every_event(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.add_listener(lambda ev: seen.append(ev.time))
+        engine.schedule(1.0)
+        engine.schedule(2.0)
+        engine.run()
+        assert seen == [1.0, 2.0]
+
+    def test_pending_counts_live_events(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0)
+        engine.schedule(2.0)
+        assert engine.pending == 2
+
+    def test_resume_after_horizon(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(5.0, lambda ev: fired.append(5.0))
+        engine.run(horizon=2.0)
+        engine.run()
+        assert fired == [5.0]

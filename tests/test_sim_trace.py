@@ -1,0 +1,67 @@
+"""Tests for trace recording."""
+
+import pytest
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestRecording:
+    def test_records_accumulate_in_order(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "compromise", "host_a")
+        trace.record(2.0, "compromise", "host_b")
+        assert len(trace) == 2
+        assert [r.subject for r in trace] == ["host_a", "host_b"]
+
+    def test_decreasing_time_rejected(self):
+        trace = TraceRecorder()
+        trace.record(2.0, "x", "a")
+        with pytest.raises(ValueError):
+            trace.record(1.0, "x", "b")
+
+    def test_equal_times_allowed(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "x", "a")
+        trace.record(1.0, "x", "b")
+        assert len(trace) == 2
+
+    def test_data_kwargs_stored(self):
+        trace = TraceRecorder()
+        rec = trace.record(1.0, "compromise", "h", vector="usb")
+        assert rec.data == {"vector": "usb"}
+
+
+class TestQueries:
+    @pytest.fixture
+    def trace(self):
+        t = TraceRecorder()
+        t.record(1.0, "compromise", "a")
+        t.record(2.0, "alarm", "master")
+        t.record(3.0, "compromise", "b")
+        t.record(4.0, "compromise", "a")
+        return t
+
+    def test_of_kind_filters(self, trace):
+        assert len(trace.of_kind("compromise")) == 3
+
+    def test_first_by_kind(self, trace):
+        assert trace.first("compromise").subject == "a"
+
+    def test_first_by_kind_and_subject(self, trace):
+        assert trace.first("compromise", "b").time == 3.0
+
+    def test_first_missing_returns_none(self, trace):
+        assert trace.first("nonexistent") is None
+
+    def test_last_by_kind(self, trace):
+        assert trace.last("compromise").time == 4.0
+
+    def test_subjects_deduplicated_in_first_seen_order(self, trace):
+        assert trace.subjects("compromise") == ["a", "b"]
+
+    def test_step_function_is_cumulative(self, trace):
+        steps = trace.step_function("compromise")
+        assert steps == [(1.0, 1), (3.0, 2), (4.0, 3)]
+
+    def test_step_function_empty_kind(self, trace):
+        assert trace.step_function("nope") == []

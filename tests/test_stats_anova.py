@@ -1,0 +1,128 @@
+"""Tests for the ANOVA engine."""
+
+import numpy as np
+import pytest
+
+from repro.stats.anova import anova
+
+
+def balanced_data(rng, effect_a=3.0, effect_b=0.0, interaction=0.0, reps=6,
+                  noise=0.5):
+    data = []
+    for a in (0, 1):
+        for b in (0, 1):
+            for _ in range(reps):
+                y = (
+                    effect_a * a
+                    + effect_b * b
+                    + interaction * a * b
+                    + rng.normal(0, noise)
+                )
+                data.append({"a": a, "b": b, "y": y})
+    return data
+
+
+class TestDecomposition:
+    def test_sums_of_squares_partition_total(self, rng):
+        data = balanced_data(rng, effect_a=2.0, effect_b=1.0)
+        result = anova(data, "y", ["a", "b"], interactions=[("a", "b")])
+        parts = sum(r.ss for r in result.rows) + result.residual_ss
+        assert parts == pytest.approx(result.total_ss, rel=1e-9)
+
+    def test_allocations_sum_to_one(self, rng):
+        data = balanced_data(rng)
+        result = anova(data, "y", ["a", "b"])
+        assert sum(result.allocation().values()) == pytest.approx(1.0)
+
+    def test_degrees_of_freedom_add_up(self, rng):
+        data = balanced_data(rng)
+        result = anova(data, "y", ["a", "b"], interactions=[("a", "b")])
+        model_df = sum(r.df for r in result.rows)
+        assert model_df + result.residual_df == result.total_df
+
+    def test_dominant_factor_gets_most_allocation(self, rng):
+        data = balanced_data(rng, effect_a=5.0, effect_b=0.2)
+        result = anova(data, "y", ["a", "b"])
+        assert result.row("a").allocation > result.row("b").allocation
+        assert result.ranked_sources()[0] == "a"
+
+    def test_large_effect_is_significant(self, rng):
+        data = balanced_data(rng, effect_a=5.0)
+        result = anova(data, "y", ["a", "b"])
+        assert "a" in result.significant()
+
+    def test_null_factor_not_significant(self, rng):
+        data = balanced_data(rng, effect_a=5.0, effect_b=0.0)
+        result = anova(data, "y", ["a", "b"])
+        # b has no true effect: p should usually be large
+        assert result.row("b").p > 0.001
+
+    def test_interaction_detected(self, rng):
+        data = balanced_data(rng, effect_a=1.0, effect_b=1.0, interaction=4.0,
+                             reps=10)
+        result = anova(data, "y", ["a", "b"], interactions=[("a", "b")])
+        assert result.row("a:b").p < 0.01
+
+    def test_r_squared_reflects_noise(self, rng):
+        clean = balanced_data(rng, effect_a=5.0, noise=0.01)
+        noisy = balanced_data(rng, effect_a=0.1, noise=5.0)
+        r_clean = anova(clean, "y", ["a", "b"]).r_squared
+        r_noisy = anova(noisy, "y", ["a", "b"]).r_squared
+        assert r_clean > 0.95
+        assert r_noisy < 0.5
+
+
+class TestMultiLevelFactors:
+    def test_three_level_factor_has_two_df(self, rng):
+        data = []
+        for level in ("x", "y", "z"):
+            for _ in range(5):
+                data.append({"f": level, "resp": rng.normal()})
+        result = anova(data, "resp", ["f"])
+        assert result.row("f").df == 2
+
+    def test_known_means_recovered_in_ss(self):
+        # Deterministic three-group data: SS must match hand computation.
+        data = (
+            [{"g": "a", "y": 1.0}] * 4
+            + [{"g": "b", "y": 2.0}] * 4
+            + [{"g": "c", "y": 3.0}] * 4
+        )
+        result = anova(data, "y", ["g"])
+        # Grand mean 2.0; SS_between = 4*((1-2)^2 + 0 + (3-2)^2) = 8.
+        assert result.row("g").ss == pytest.approx(8.0)
+        assert result.residual_ss == pytest.approx(0.0, abs=1e-9)
+
+
+class TestValidation:
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            anova([], "y", ["a"])
+
+    def test_no_factors_rejected(self):
+        with pytest.raises(ValueError):
+            anova([{"y": 1.0}], "y", [])
+
+    def test_single_level_factor_rejected(self):
+        data = [{"a": 0, "y": 1.0}, {"a": 0, "y": 2.0}]
+        with pytest.raises(ValueError):
+            anova(data, "y", ["a"])
+
+    def test_interaction_with_unknown_factor_rejected(self, rng):
+        data = balanced_data(rng)
+        with pytest.raises(ValueError):
+            anova(data, "y", ["a"], interactions=[("a", "c")])
+
+    def test_unknown_row_lookup_raises(self, rng):
+        result = anova(balanced_data(rng), "y", ["a", "b"])
+        with pytest.raises(KeyError):
+            result.row("nonexistent")
+
+
+class TestFormatting:
+    def test_table_contains_all_sources(self, rng):
+        result = anova(balanced_data(rng), "y", ["a", "b"],
+                       interactions=[("a", "b")])
+        text = result.format_table()
+        for token in ("a", "b", "a:b", "residual", "total"):
+            assert token in text

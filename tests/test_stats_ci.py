@@ -1,0 +1,98 @@
+"""Tests for confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats.ci import bootstrap_ci, mean_ci, proportion_ci
+
+
+class TestMeanCI:
+    def test_interval_contains_estimate(self, rng):
+        data = rng.normal(5.0, 1.0, 50)
+        ci = mean_ci(data)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_single_sample_degenerates(self):
+        ci = mean_ci([3.0])
+        assert ci.low == ci.estimate == ci.high == 3.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], level=1.5)
+
+    def test_wider_level_gives_wider_interval(self, rng):
+        data = rng.normal(0, 1, 30)
+        assert mean_ci(data, 0.99).half_width > mean_ci(data, 0.9).half_width
+
+    def test_coverage_is_approximately_nominal(self):
+        rng = np.random.default_rng(77)
+        covered = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(10.0, 2.0, 20)
+            if mean_ci(sample, 0.95).contains(10.0):
+                covered += 1
+        assert 0.90 <= covered / trials <= 0.99
+
+    def test_str_mentions_level(self):
+        assert "95%" in str(mean_ci([1.0, 2.0, 3.0]))
+
+
+class TestProportionCI:
+    def test_estimate_is_ratio(self):
+        ci = proportion_ci(3, 10)
+        assert ci.estimate == pytest.approx(0.3)
+
+    def test_bounds_stay_in_unit_interval(self):
+        assert proportion_ci(0, 10).low >= 0.0
+        assert proportion_ci(10, 10).high <= 1.0
+
+    def test_zero_successes_interval_excludes_large_p(self):
+        ci = proportion_ci(0, 100)
+        assert ci.high < 0.1
+
+    def test_impossible_counts_rejected(self):
+        with pytest.raises(ValueError):
+            proportion_ci(11, 10)
+        with pytest.raises(ValueError):
+            proportion_ci(-1, 10)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            proportion_ci(0, 0)
+
+    def test_more_trials_narrow_the_interval(self):
+        assert (
+            proportion_ci(50, 100).half_width
+            > proportion_ci(500, 1000).half_width
+        )
+
+
+class TestBootstrapCI:
+    def test_mean_bootstrap_contains_sample_mean(self, rng):
+        data = rng.exponential(2.0, 60)
+        ci = bootstrap_ci(data, rng=rng)
+        assert ci.low <= data.mean() <= ci.high
+
+    def test_median_statistic(self, rng):
+        data = rng.exponential(2.0, 80)
+        ci = bootstrap_ci(data, statistic=np.median, rng=rng)
+        assert ci.low <= np.median(data) <= ci.high
+
+    def test_empty_sample_rejected(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], rng=rng)
+
+    def test_single_sample_degenerates(self, rng):
+        ci = bootstrap_ci([4.2], rng=rng)
+        assert ci.low == ci.high == 4.2
+
+    def test_reproducible_with_seeded_rng(self):
+        data = list(range(20))
+        a = bootstrap_ci(data, rng=np.random.default_rng(1))
+        b = bootstrap_ci(data, rng=np.random.default_rng(1))
+        assert (a.low, a.high) == (b.low, b.high)

@@ -1,0 +1,96 @@
+"""Tests for descriptive statistics and effect sizes."""
+
+import numpy as np
+import pytest
+
+from repro.stats.anova import anova
+from repro.stats.descriptive import summarize
+from repro.stats.effects import (
+    effect_magnitudes,
+    eta_squared,
+    main_effects,
+    omega_squared,
+)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+
+    def test_std_is_sample_std(self):
+        s = summarize([2.0, 4.0])
+        assert s.std == pytest.approx(np.std([2.0, 4.0], ddof=1))
+
+    def test_single_value_zero_std(self):
+        assert summarize([7.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_sem_shrinks_with_n(self, rng):
+        small = summarize(rng.normal(0, 1, 10))
+        large = summarize(rng.normal(0, 1, 1000))
+        assert large.sem < small.sem
+
+    def test_cv_nan_for_zero_mean(self):
+        s = summarize([-1.0, 1.0])
+        assert s.cv != s.cv  # NaN
+
+    def test_quartiles_ordered(self, rng):
+        s = summarize(rng.normal(0, 1, 200))
+        assert s.q25 <= s.median <= s.q75
+
+    def test_str_mentions_n(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestEffects:
+    @pytest.fixture
+    def data(self, rng):
+        data = []
+        for a in (0, 1):
+            for b in (0, 1):
+                for _ in range(8):
+                    data.append(
+                        {"a": a, "b": b, "y": 4.0 * a + 1.0 * b + rng.normal(0, 0.2)}
+                    )
+        return data
+
+    def test_main_effects_sum_to_zero_per_factor(self, data):
+        effects = main_effects(data, "y", ["a", "b"])
+        for factor_effects in effects.values():
+            assert sum(factor_effects.values()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_effect_magnitude_recovers_true_effect(self, data):
+        effects = main_effects(data, "y", ["a", "b"])
+        magnitudes = effect_magnitudes(effects)
+        assert magnitudes["a"] == pytest.approx(4.0, abs=0.5)
+        assert magnitudes["b"] == pytest.approx(1.0, abs=0.5)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            main_effects([], "y", ["a"])
+
+    def test_eta_squared_matches_allocation(self, data):
+        result = anova(data, "y", ["a", "b"])
+        assert eta_squared(result, "a") == pytest.approx(
+            result.row("a").allocation
+        )
+
+    def test_omega_squared_less_than_eta_squared(self, data):
+        result = anova(data, "y", ["a", "b"])
+        assert omega_squared(result, "a") <= eta_squared(result, "a")
+
+    def test_omega_squared_clamped_at_zero(self, rng):
+        # Pure-noise factor: omega² would be negative, must clamp to 0.
+        data = [
+            {"a": a, "y": rng.normal()} for a in (0, 1) for _ in range(4)
+        ]
+        result = anova(data, "y", ["a"])
+        assert omega_squared(result, "a") >= 0.0

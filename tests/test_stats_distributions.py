@@ -1,0 +1,115 @@
+"""Tests for parametric distributions."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import (
+    Bernoulli,
+    Deterministic,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Triangular,
+    Uniform,
+    Weibull,
+)
+
+ALL_DISTRIBUTIONS = [
+    Deterministic(2.0),
+    Exponential(0.5),
+    Uniform(1.0, 3.0),
+    Weibull(1.5, 2.0),
+    LogNormal(0.0, 0.5),
+    Erlang(3, 2.0),
+    Triangular(0.0, 1.0, 4.0),
+    Bernoulli(0.3),
+]
+
+
+class TestSampleMeansMatchAnalytic:
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_sample_mean_close_to_analytic(self, dist, rng):
+        samples = dist.sample_many(rng, 20000)
+        tolerance = 4.0 * np.sqrt(dist.variance() / 20000) + 1e-12
+        assert abs(samples.mean() - dist.mean()) < max(tolerance, 0.03)
+
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_sample_variance_close_to_analytic(self, dist, rng):
+        samples = dist.sample_many(rng, 30000)
+        if dist.variance() == 0:
+            assert samples.var() == 0
+        else:
+            assert samples.var() == pytest.approx(dist.variance(), rel=0.15)
+
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_scalar_sample_matches_vector_semantics(self, dist, rng):
+        value = dist.sample(rng)
+        assert isinstance(value, float)
+
+
+class TestValidation:
+    def test_exponential_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 1.0)
+
+    def test_weibull_rejects_nonpositive_shape(self):
+        with pytest.raises(ValueError):
+            Weibull(0.0, 1.0)
+
+    def test_lognormal_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, 0.0)
+
+    def test_erlang_rejects_zero_k(self):
+        with pytest.raises(ValueError):
+            Erlang(0, 1.0)
+
+    def test_triangular_rejects_mode_outside_range(self):
+        with pytest.raises(ValueError):
+            Triangular(0.0, 5.0, 4.0)
+
+    def test_bernoulli_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+
+    def test_deterministic_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+
+class TestSpecifics:
+    def test_deterministic_always_same_value(self, rng):
+        d = Deterministic(3.5)
+        assert all(d.sample(rng) == 3.5 for _ in range(10))
+
+    def test_only_exponential_flags_memoryless(self):
+        assert Exponential(1.0).is_exponential
+        assert not Weibull(1.0, 1.0).is_exponential
+        assert not Deterministic(1.0).is_exponential
+
+    def test_exponential_mean_is_reciprocal_rate(self):
+        assert Exponential(4.0).mean() == 0.25
+
+    def test_weibull_shape_one_equals_exponential_mean(self):
+        assert Weibull(1.0, 2.0).mean() == pytest.approx(2.0)
+
+    def test_erlang_is_sum_of_exponentials(self):
+        assert Erlang(3, 2.0).mean() == pytest.approx(1.5)
+
+    def test_bernoulli_samples_are_binary(self, rng):
+        values = set(Bernoulli(0.5).sample_many(rng, 100))
+        assert values <= {0.0, 1.0}
+
+    def test_uniform_samples_within_bounds(self, rng):
+        samples = Uniform(2.0, 3.0).sample_many(rng, 1000)
+        assert samples.min() >= 2.0
+        assert samples.max() <= 3.0
+
+    def test_triangular_samples_within_bounds(self, rng):
+        samples = Triangular(1.0, 2.0, 3.0).sample_many(rng, 1000)
+        assert samples.min() >= 1.0
+        assert samples.max() <= 3.0
