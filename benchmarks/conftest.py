@@ -9,10 +9,28 @@ the simulated substrate and are recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 import pytest
 
 from repro.diversity.catalog import default_catalog
+
+_BENCHMARKS_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    pytest.ini deselects the marker by default, keeping the tier-1
+    run (`python -m pytest -x -q`) to the fast unit suite; run the
+    harness explicitly with ``-m bench``.
+    """
+    bench = pytest.mark.bench
+    for item in items:
+        path = pathlib.Path(str(item.fspath)).resolve()
+        if _BENCHMARKS_DIR in path.parents:
+            item.add_marker(bench)
 
 
 @pytest.fixture(scope="session")

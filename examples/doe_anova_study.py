@@ -7,14 +7,17 @@ conclusion at a fraction of the simulation cost.
 
 Run:
     python examples/doe_anova_study.py
+    python examples/doe_anova_study.py --backend process --workers 4
 """
 
+import argparse
 import time
 
 import numpy as np
 
 from repro import default_catalog, scope_cooling_topology, stuxnet_like
 from repro.attacks.campaign import CampaignConfig
+from repro.exec import ExperimentRunner
 from repro.core.assessment import assess
 from repro.core.measurement import MeasurementPlan
 from repro.core.report import format_table
@@ -51,8 +54,10 @@ def build_designs():
     return designs
 
 
-def main() -> None:
-    rng = np.random.default_rng(11)
+def main(backend: str = "serial", n_workers: int = None) -> None:
+    # Any explicit runner uses spawn-per-replication seeding, so the
+    # numbers below are identical for every backend/worker choice.
+    runner = ExperimentRunner(backend, n_workers)
     catalog = default_catalog()
     threat = stuxnet_like()
     config = CampaignConfig(horizon=80.0, tick_interval=0.5)
@@ -64,7 +69,7 @@ def main() -> None:
             scope_cooling_topology, catalog, threat, design,
             replications=8, campaign_config=config,
         )
-        measurement = plan.execute(rng)
+        measurement = plan.execute(rng=11, runner=runner)
         assessment = assess(measurement, responses=["tta"])
         elapsed = time.perf_counter() - started
         table = assessment.anova_tables["tta"]
@@ -90,4 +95,14 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="serial", help="measurement execution backend",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool width for parallel backends",
+    )
+    args = parser.parse_args()
+    main(backend=args.backend, n_workers=args.workers)

@@ -6,7 +6,10 @@ system against a Stuxnet-like threat, and prints the study report.
 
 Run:
     python examples/quickstart.py
+    python examples/quickstart.py --backend process --workers 4
 """
+
+import argparse
 
 import numpy as np
 
@@ -20,7 +23,7 @@ from repro import (
 from repro.scada.components import ComponentKind
 
 
-def main() -> None:
+def main(backend: str = None, n_workers: int = None) -> None:
     study = DiversityStudy(
         network_factory=scope_cooling_topology,
         catalog=default_catalog(),
@@ -34,6 +37,8 @@ def main() -> None:
         two_level=True,  # weakest vs strongest variant per component
         replications=10,
         campaign_config=CampaignConfig(horizon=80.0, tick_interval=0.5),
+        backend=backend,  # e.g. "process" parallelises the DoE runs
+        n_workers=n_workers,
     )
     result = study.execute(np.random.default_rng(42))
     print(result.report())
@@ -45,4 +50,14 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default=None, help="measurement execution backend",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool width for parallel backends",
+    )
+    args = parser.parse_args()
+    main(backend=args.backend, n_workers=args.workers)

@@ -57,6 +57,7 @@ from repro.diversity import (
     VariantCatalog,
     default_catalog,
 )
+from repro.exec import ExperimentRunner
 from repro.scada.network import SCADANetwork, Zone
 from repro.scada.topologies import scope_cooling_topology
 
@@ -68,6 +69,7 @@ __all__ = [
     "AttackStage",
     "CampaignConfig",
     "DiversityStudy",
+    "ExperimentRunner",
     "IndicatorSet",
     "MeasurementPlan",
     "PlacementProblem",

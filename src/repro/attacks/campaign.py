@@ -31,9 +31,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # avoid import cost on the hot serial path
+    from repro.exec.runner import ExperimentRunner
+    from repro.exec.seeding import SeedLike
 
 from repro.attacks.profiles import ThreatProfile
 from repro.attacks.stages import AttackStage, StageTracker
@@ -566,13 +570,35 @@ class AttackCampaign:
         )
 
     def run_batch(
-        self, replications: int, rng: np.random.Generator
+        self,
+        replications: int,
+        rng: "SeedLike" = None,
+        runner: Optional["ExperimentRunner"] = None,
     ) -> List[AttackOutcome]:
         """Independent replications.
+
+        Two execution modes:
+
+        * **Shared-generator (legacy)** — when ``rng`` is a
+          :class:`numpy.random.Generator` and no ``runner`` is given,
+          replications draw sequentially from that one generator,
+          preserving the library's historical streams.
+        * **Runner** — when a ``runner`` is given (or ``rng`` is a seed
+          / ``SeedSequence`` / ``None``), each replication gets its own
+          generator spawned centrally from the root seed, so results
+          are identical across the ``serial``, ``thread`` and
+          ``process`` backends and any worker count.  A ``Generator``
+          passed together with a runner contributes one draw to derive
+          the root seed.
 
         Raises:
             ValueError: If ``replications < 1``.
         """
         if replications < 1:
             raise ValueError(f"replications must be >= 1, got {replications}")
-        return [self.run(rng) for _ in range(replications)]
+        if runner is None and isinstance(rng, np.random.Generator):
+            return [self.run(rng) for _ in range(replications)]
+        from repro.exec import ExperimentRunner
+
+        active = runner or ExperimentRunner()
+        return active.run_replications(self.run, replications, seed=rng)

@@ -11,16 +11,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Mapping, Optional
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro.attacks.campaign import AttackCampaign, AttackOutcome, CampaignConfig
 from repro.attacks.profiles import ThreatProfile
 from repro.core.indicators import IndicatorSet, compute_indicators
 from repro.diversity.catalog import VariantCatalog
 from repro.diversity.config import configuration_from_run
-from repro.doe.design import Design
+from repro.doe.design import Design, Run
+from repro.exec.runner import ExperimentRunner
+from repro.exec.seeding import SeedLike, as_seed_sequence, spawn_sequences
 from repro.scada.network import SCADANetwork
 
 
@@ -82,37 +84,101 @@ class MeasurementPlan:
         self.replications = replications
         self.campaign_config = campaign_config or CampaignConfig()
 
-    def execute(self, rng: np.random.Generator) -> MeasurementResult:
-        """Run every design run and collect responses."""
-        records: List[Dict[str, object]] = []
-        run_indicators: List[IndicatorSet] = []
+    def campaign_for_run(self, run_index: int) -> AttackCampaign:
+        """Build the configured campaign for one design run."""
+        run = self.design.runs[run_index]
+        network = self.network_factory()
+        config = configuration_from_run(
+            network, run.as_dict(), label=f"run_{run_index}"
+        )
+        config.apply(network)
+        return AttackCampaign(
+            network, self.catalog, self.threat, self.campaign_config
+        )
+
+    def _records_for_run(
+        self, run: Run, run_index: int, outcomes: List[AttackOutcome]
+    ) -> List[Dict[str, object]]:
+        """Long-format response records for one run's outcome batch."""
         horizon = self.campaign_config.horizon
-        for run_index, run in enumerate(self.design.runs):
-            network = self.network_factory()
-            config = configuration_from_run(
-                network, run.as_dict(), label=f"run_{run_index}"
+        records: List[Dict[str, object]] = []
+        for outcome in outcomes:
+            record: Dict[str, object] = dict(run.as_dict())
+            record["run"] = run_index
+            record["success"] = 1.0 if outcome.success else 0.0
+            record["tta"] = (
+                outcome.success_time if outcome.success else horizon
             )
-            config.apply(network)
-            campaign = AttackCampaign(
-                network, self.catalog, self.threat, self.campaign_config
+            record["ttsf"] = (
+                outcome.detection_time
+                if not math.isnan(outcome.detection_time)
+                else horizon
             )
-            outcomes = campaign.run_batch(self.replications, rng)
-            indicators = compute_indicators(outcomes)
-            run_indicators.append(indicators)
-            for outcome in outcomes:
-                record: Dict[str, object] = dict(run.as_dict())
-                record["run"] = run_index
-                record["success"] = 1.0 if outcome.success else 0.0
-                record["tta"] = (
-                    outcome.success_time if outcome.success else horizon
+            record["final_ratio"] = outcome.compromised_ratio_at(horizon)
+            records.append(record)
+        return records
+
+    def execute_run(
+        self, run_index: int, seq: np.random.SeedSequence
+    ) -> Tuple[List[Dict[str, object]], IndicatorSet]:
+        """Execute one design run with spawn-per-replication seeding.
+
+        This is the parallel work unit: every replication draws from its
+        own generator (the ``i``-th spawn of ``seq``), so the run's
+        records depend only on ``(seq, run_index)`` — not on which
+        worker, backend or chunk executed it.
+        """
+        campaign = self.campaign_for_run(run_index)
+        outcomes = [
+            campaign.run(np.random.default_rng(child))
+            for child in seq.spawn(self.replications)
+        ]
+        records = self._records_for_run(
+            self.design.runs[run_index], run_index, outcomes
+        )
+        return records, compute_indicators(outcomes)
+
+    def execute(
+        self,
+        rng: SeedLike = None,
+        runner: Optional[ExperimentRunner] = None,
+    ) -> MeasurementResult:
+        """Run every design run and collect responses.
+
+        Execution modes mirror
+        :meth:`repro.attacks.campaign.AttackCampaign.run_batch`:
+
+        * **Shared-generator (legacy)** — ``rng`` is a
+          :class:`numpy.random.Generator` and ``runner`` is ``None``:
+          runs and replications execute serially against the one
+          generator (historical bit-exact streams).
+        * **Runner** — a ``runner`` is given (or ``rng`` is a plain
+          seed): each design run becomes one work unit with its own
+          spawned :class:`~numpy.random.SeedSequence`, and records are
+          bit-identical across backends, worker counts and chunkings.
+        """
+        if runner is None and isinstance(rng, np.random.Generator):
+            records: List[Dict[str, object]] = []
+            run_indicators: List[IndicatorSet] = []
+            for run_index, run in enumerate(self.design.runs):
+                campaign = self.campaign_for_run(run_index)
+                outcomes = campaign.run_batch(self.replications, rng)
+                run_indicators.append(compute_indicators(outcomes))
+                records.extend(
+                    self._records_for_run(run, run_index, outcomes)
                 )
-                record["ttsf"] = (
-                    outcome.detection_time
-                    if not math.isnan(outcome.detection_time)
-                    else horizon
-                )
-                record["final_ratio"] = outcome.compromised_ratio_at(horizon)
-                records.append(record)
+        elif not self.design.runs:
+            records, run_indicators = [], []
+        else:
+            active = runner or ExperimentRunner()
+            root = as_seed_sequence(rng)
+            sequences = spawn_sequences(root, len(self.design.runs))
+            results = active.map(
+                self.execute_run,
+                [(i, seq) for i, seq in enumerate(sequences)],
+            )
+            records = [rec for run_records, _ in results for rec in run_records]
+            run_indicators = [indicators for _, indicators in results]
         return MeasurementResult(
             records=records,
             run_indicators=run_indicators,

@@ -26,6 +26,7 @@ from repro.doe.design import Design, Factor
 from repro.doe.factorial import full_factorial
 from repro.doe.fractional import fractional_factorial
 from repro.doe.plackett_burman import plackett_burman
+from repro.exec.runner import ExperimentRunner
 from repro.san.model import SANModel
 from repro.scada.components import ComponentKind
 from repro.scada.network import SCADANetwork
@@ -101,6 +102,13 @@ class DiversityStudy:
             designs.
         replications: Campaign replications per configuration.
         campaign_config: Campaign parameters.
+        backend: Measurement execution backend (``"serial"``,
+            ``"thread"`` or ``"process"`` — see :mod:`repro.exec`).
+            ``None`` (default) keeps the historical sequential
+            shared-generator path; any explicit backend switches step 2
+            to spawn-per-replication seeding, whose records are
+            identical across backends and worker counts.
+        n_workers: Worker-pool width for parallel backends.
     """
 
     def __init__(
@@ -113,6 +121,8 @@ class DiversityStudy:
         two_level: bool = False,
         replications: int = 20,
         campaign_config: Optional[CampaignConfig] = None,
+        backend: Optional[str] = None,
+        n_workers: Optional[int] = None,
     ) -> None:
         if design_kind not in ("full", "fractional", "pb"):
             raise ValueError(f"unknown design_kind {design_kind!r}")
@@ -124,6 +134,8 @@ class DiversityStudy:
         self.two_level = two_level or design_kind in ("fractional", "pb")
         self.replications = replications
         self.campaign_config = campaign_config or CampaignConfig()
+        self.backend = backend
+        self.n_workers = n_workers
 
     def build_factors(self) -> List[Factor]:
         """Step-2 preamble: derive the diversification factors."""
@@ -197,7 +209,12 @@ class DiversityStudy:
             replications=self.replications,
             campaign_config=self.campaign_config,
         )
-        measurement = plan.execute(rng)
+        runner = (
+            ExperimentRunner(self.backend, self.n_workers)
+            if self.backend is not None
+            else None
+        )
+        measurement = plan.execute(rng, runner=runner)
         assessment = assess(measurement)
         return StudyResult(
             design=design,

@@ -1,0 +1,48 @@
+"""repro.exec — deterministic parallel execution of experiment batches.
+
+The subsystem has three layers:
+
+* :mod:`repro.exec.seeding` — central ``SeedSequence.spawn`` discipline
+  that makes randomness a pure function of ``(root seed, unit index)``;
+* :mod:`repro.exec.backends` — ``serial`` / ``thread`` / ``process``
+  execution strategies with order-preserving result collection;
+* :mod:`repro.exec.runner` — :class:`ExperimentRunner`, the façade the
+  measurement, campaign and SAN batch entry points build on.
+
+See the "Parallel execution" section of the README for guidance on
+choosing a backend and worker count.
+"""
+
+from repro.exec.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkUnit,
+    available_backends,
+    get_backend,
+)
+from repro.exec.runner import ExperimentRunner
+from repro.exec.seeding import (
+    SeedLike,
+    as_seed_sequence,
+    replication_generators,
+    sequence_state,
+    spawn_sequences,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "ExperimentRunner",
+    "ProcessBackend",
+    "SeedLike",
+    "SerialBackend",
+    "ThreadBackend",
+    "WorkUnit",
+    "as_seed_sequence",
+    "available_backends",
+    "get_backend",
+    "replication_generators",
+    "sequence_state",
+    "spawn_sequences",
+]

@@ -19,10 +19,15 @@ tools for non-memoryless distributions.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.exec.runner import ExperimentRunner
+    from repro.exec.seeding import SeedLike
 
 from repro.san.model import (
     InstantaneousActivity,
@@ -53,7 +58,7 @@ class SimulationRun:
     @property
     def stopped(self) -> bool:
         """Whether the stop predicate held during the run."""
-        return self.stop_time == self.stop_time  # not NaN
+        return not math.isnan(self.stop_time)
 
 
 class SANSimulator:
@@ -166,20 +171,47 @@ class SANSimulator:
         end_time = min(now, horizon)
         return SimulationRun(marking, end_time, stop_time, completions)
 
+    def _replicate(
+        self,
+        horizon: float,
+        stop: Optional[Callable[[SANMarking], bool]],
+        rng: np.random.Generator,
+    ) -> SimulationRun:
+        """Runner work unit: one replication on its own generator."""
+        return self.simulate(horizon, rng, stop=stop)
+
     def batch(
         self,
         horizon: float,
         replications: int,
-        rng: np.random.Generator,
+        rng: "SeedLike" = None,
         stop: Optional[Callable[[SANMarking], bool]] = None,
+        runner: Optional["ExperimentRunner"] = None,
     ) -> List[SimulationRun]:
         """Run ``replications`` independent replications.
+
+        Execution modes mirror
+        :meth:`repro.attacks.campaign.AttackCampaign.run_batch`: passing
+        a :class:`numpy.random.Generator` without a ``runner`` keeps the
+        historical sequential shared-generator streams; passing a
+        ``runner`` (or a plain seed) spawns one independent stream per
+        replication so every backend returns identical runs.  The
+        ``process`` backend additionally requires the model and ``stop``
+        predicate to be picklable (no lambdas).
 
         Raises:
             ValueError: If ``replications < 1``.
         """
         if replications < 1:
             raise ValueError(f"replications must be >= 1, got {replications}")
-        return [
-            self.simulate(horizon, rng, stop=stop) for _ in range(replications)
-        ]
+        if runner is None and isinstance(rng, np.random.Generator):
+            return [
+                self.simulate(horizon, rng, stop=stop)
+                for _ in range(replications)
+            ]
+        from repro.exec import ExperimentRunner
+
+        active = runner or ExperimentRunner()
+        return active.run_replications(
+            self._replicate, replications, seed=rng, common_args=(horizon, stop)
+        )

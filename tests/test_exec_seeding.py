@@ -1,0 +1,144 @@
+"""Property-style tests for the runner's SeedSequence spawning discipline.
+
+The guarantees under test (see repro/exec/seeding.py):
+
+* no two replication streams ever share a seed;
+* the stream of replication ``i`` is a pure function of the root seed
+  and ``i`` — chunking or distributing the work differently never
+  changes per-replication draws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ExperimentRunner,
+    as_seed_sequence,
+    replication_generators,
+    sequence_state,
+    spawn_sequences,
+)
+
+
+def _first_draw(rng):
+    return float(rng.random())
+
+
+class TestAsSeedSequence:
+    def test_int_seed_roundtrip(self):
+        assert as_seed_sequence(42).entropy == 42
+
+    def test_seed_sequence_preserves_identity(self):
+        seq = np.random.SeedSequence(7, spawn_key=(3,))
+        rebuilt = as_seed_sequence(seq)
+        assert sequence_state(rebuilt) == sequence_state(seq)
+        assert rebuilt.spawn_key == seq.spawn_key
+
+    def test_seed_sequence_reuse_is_deterministic(self):
+        # spawn() advances a SeedSequence's child counter, so a naive
+        # pass-through would make the second run differ from the first.
+        seq = np.random.SeedSequence(7)
+        first = ExperimentRunner().run_replications(_first_draw, 3, seed=seq)
+        second = ExperimentRunner().run_replications(_first_draw, 3, seed=seq)
+        assert first == second
+
+    def test_partially_spawned_seed_sequence_is_reset(self):
+        fresh = np.random.SeedSequence(7)
+        used = np.random.SeedSequence(7)
+        used.spawn(5)  # advance the child counter
+        assert [sequence_state(s) for s in as_seed_sequence(used).spawn(3)] == [
+            sequence_state(s) for s in as_seed_sequence(fresh).spawn(3)
+        ]
+
+    def test_none_uses_fresh_entropy(self):
+        a, b = as_seed_sequence(None), as_seed_sequence(None)
+        assert a.entropy != b.entropy
+
+    def test_generator_derivation_is_deterministic(self):
+        roots = [
+            as_seed_sequence(np.random.default_rng(99)) for _ in range(2)
+        ]
+        assert sequence_state(roots[0]) == sequence_state(roots[1])
+
+    def test_generator_derivation_advances_the_generator(self):
+        rng = np.random.default_rng(99)
+        first = as_seed_sequence(rng)
+        second = as_seed_sequence(rng)
+        assert sequence_state(first) != sequence_state(second)
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(TypeError):
+            as_seed_sequence("42")
+
+
+class TestSpawnIndependence:
+    @pytest.mark.parametrize("count", [1, 2, 7, 64, 257])
+    def test_no_two_replication_streams_share_a_seed(self, count):
+        states = {
+            sequence_state(seq) for seq in spawn_sequences(1234, count)
+        }
+        assert len(states) == count
+
+    @pytest.mark.parametrize("count", [2, 16, 128])
+    def test_first_draws_are_pairwise_distinct(self, count):
+        draws = [
+            rng.random() for rng in replication_generators(77, count)
+        ]
+        assert len(set(draws)) == count
+
+    def test_streams_are_independent_of_sibling_count(self):
+        # Child i is the same whether 10 or 1000 siblings are spawned.
+        few = spawn_sequences(5, 10)
+        many = spawn_sequences(5, 1000)
+        for a, b in zip(few, many):
+            assert sequence_state(a) == sequence_state(b)
+
+    def test_spawn_is_reproducible(self):
+        a = [sequence_state(s) for s in spawn_sequences(2026, 20)]
+        b = [sequence_state(s) for s in spawn_sequences(2026, 20)]
+        assert a == b
+
+    def test_distinct_roots_give_distinct_children(self):
+        a = {sequence_state(s) for s in spawn_sequences(1, 50)}
+        b = {sequence_state(s) for s in spawn_sequences(2, 50)}
+        assert not a & b
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_sequences(1, 0)
+
+
+class TestChunkingInvariance:
+    """Chunking the work differently never changes per-replication draws."""
+
+    REFERENCE = ExperimentRunner("serial").run_replications(
+        _first_draw, 24, seed=31337
+    )
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 5, 24, 100])
+    def test_chunk_size_never_changes_draws(self, chunk_size):
+        runner = ExperimentRunner(
+            "thread", n_workers=3, chunk_size=chunk_size
+        )
+        assert runner.run_replications(_first_draw, 24, seed=31337) == (
+            self.REFERENCE
+        )
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 5, 8])
+    def test_worker_count_never_changes_draws(self, n_workers):
+        runner = ExperimentRunner("thread", n_workers=n_workers)
+        assert runner.run_replications(_first_draw, 24, seed=31337) == (
+            self.REFERENCE
+        )
+
+    def test_splitting_a_batch_matches_one_big_batch(self):
+        # Running [0..n) as one batch equals running the same spawned
+        # sequences in two manually split halves.
+        seqs = spawn_sequences(8, 10)
+        whole = [
+            _first_draw(np.random.default_rng(s)) for s in seqs
+        ]
+        halves = [
+            _first_draw(np.random.default_rng(s)) for s in seqs[:5]
+        ] + [_first_draw(np.random.default_rng(s)) for s in seqs[5:]]
+        assert whole == halves

@@ -5,7 +5,7 @@ import pytest
 
 from repro.san.builder import SANBuilder
 from repro.san.model import SANModel, simple_case
-from repro.san.simulator import SANSimulator
+from repro.san.simulator import SANSimulator, SimulationRun
 from repro.stats.distributions import Deterministic, Exponential
 
 
@@ -177,3 +177,41 @@ class TestBatch:
         sim = SANSimulator(builder.build())
         with pytest.raises(ValueError):
             sim.batch(10.0, 0, rng)
+
+
+class TestStoppedProperty:
+    """SimulationRun.stopped is the NaN-ness of stop_time (math.isnan)."""
+
+    def _sim(self):
+        builder = SANBuilder()
+        builder.place("s0", 1).place("s1", 0)
+        builder.timed("a", Deterministic(2.0), inputs={"s0": 1},
+                      outputs={"s1": 1})
+        return SANSimulator(builder.build())
+
+    def test_stopped_true_when_predicate_fires(self, rng):
+        run = self._sim().simulate(10.0, rng, stop=lambda m: m["s1"] > 0)
+        assert run.stopped
+        assert run.stop_time == pytest.approx(2.0)
+
+    def test_stopped_false_when_predicate_never_fires(self, rng):
+        run = self._sim().simulate(10.0, rng, stop=lambda m: m["s1"] > 5)
+        assert not run.stopped
+        assert np.isnan(run.stop_time)
+
+    def test_stopped_false_without_predicate(self, rng):
+        run = self._sim().simulate(10.0, rng)
+        assert not run.stopped
+
+    def test_stopped_true_on_immediately_satisfied_predicate(self, rng):
+        run = self._sim().simulate(10.0, rng, stop=lambda m: m["s0"] > 0)
+        assert run.stopped
+        assert run.stop_time == 0.0
+
+    def test_direct_construction_with_nan(self):
+        from repro.san.model import SANMarking
+
+        run = SimulationRun(SANMarking({}), 1.0, float("nan"))
+        assert not run.stopped
+        run = SimulationRun(SANMarking({}), 1.0, 0.5)
+        assert run.stopped

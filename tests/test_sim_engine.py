@@ -147,3 +147,67 @@ class TestEngineState:
         engine.run(horizon=2.0)
         engine.run()
         assert fired == [5.0]
+
+
+class TestRunEdgeCases:
+    def test_listener_invoked_for_request_stop_event(self):
+        # The event whose handler requests the stop is still a fired
+        # event: listeners must observe it before the loop exits.
+        engine = SimulationEngine()
+        seen = []
+        engine.add_listener(lambda ev: seen.append(ev.time))
+        engine.schedule(1.0, lambda ev: engine.request_stop())
+        engine.schedule(2.0)
+        stop = engine.run()
+        assert stop.reason == "predicate"
+        assert seen == [1.0]
+
+    def test_until_firing_on_last_event_reports_predicate(self):
+        # The predicate and queue exhaustion coincide on the final
+        # event; the predicate wins (it is checked first).
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda ev: fired.append(ev.time))
+        engine.schedule(2.0, lambda ev: fired.append(ev.time))
+        stop = engine.run(until=lambda: len(fired) == 2)
+        assert stop.reason == "predicate"
+        assert stop.time == 2.0
+        assert engine.pending == 0
+
+    def test_max_events_wins_when_hit_before_horizon(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.schedule(t)
+        stop = engine.run(horizon=10.0, max_events=2)
+        assert stop.reason == "max_events"
+        assert engine.now == 2.0
+        assert engine.pending == 2
+
+    def test_horizon_wins_when_hit_before_max_events(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 30.0):
+            engine.schedule(t)
+        stop = engine.run(horizon=10.0, max_events=100)
+        assert stop.reason == "horizon"
+        assert engine.now == 10.0
+        assert engine.pending == 1  # the post-horizon event survives
+
+    def test_max_events_is_per_run_not_cumulative(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.schedule(t)
+        assert engine.run(max_events=2).reason == "max_events"
+        # A fresh run gets a fresh per-run budget of 2.
+        stop = engine.run(max_events=2)
+        assert stop.reason == "max_events"
+        assert engine.events_fired == 4
+        assert engine.run().reason == "empty"
+
+    def test_request_stop_cleared_between_runs(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda ev: engine.request_stop())
+        engine.schedule(2.0)
+        assert engine.run().reason == "predicate"
+        # The stale stop request must not abort the next run.
+        assert engine.run().reason == "empty"
+        assert engine.events_fired == 2
