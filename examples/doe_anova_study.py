@@ -2,8 +2,9 @@
 
 Compares design choices (full factorial, half fraction, Plackett-Burman)
 for the same diversity question — *which components drive the security
-indicators?* — and shows the fractional designs reach the same ANOVA
-conclusion at a fraction of the simulation cost.
+indicators?* — by running the three ``doe-sweep`` scenarios of the
+catalog, and shows the screening designs reach the same ANOVA conclusion
+at a fraction of the simulation cost.
 
 Run:
     python examples/doe_anova_study.py
@@ -15,76 +16,35 @@ import time
 
 import numpy as np
 
-from repro import default_catalog, scope_cooling_topology, stuxnet_like
-from repro.attacks.campaign import CampaignConfig
-from repro.exec import ExperimentRunner
-from repro.core.assessment import assess
-from repro.core.measurement import MeasurementPlan
+from repro import SCENARIOS, DiversityStudy
 from repro.core.report import format_table
-from repro.doe.design import Factor
-from repro.doe.factorial import full_factorial
-from repro.doe.fractional import fractional_factorial
-from repro.doe.plackett_burman import plackett_burman
-
-FACTORS = [
-    Factor("operating_system", ("win_legacy", "linux_hardened")),
-    Factor("plc_firmware", ("firmware_common", "firmware_signed")),
-    Factor("protocol_stack", ("modbus_standard", "modbus_variant_b")),
-    Factor("antivirus", ("av_signature", "av_behavioral")),
-]
 
 
-def build_designs():
-    designs = {"full 2^4": full_factorial(FACTORS)}
-    names = [f.name for f in FACTORS]
-    frac, info = fractional_factorial(names, ["D=ABC"])
-    # Relabel coded levels with the concrete variants.
-    from repro.doe.design import Design, Run
-
-    runs = []
-    for run in frac.runs:
-        settings = {
-            f.name: f.levels[0 if run[f.name] == -1 else 1] for f in FACTORS
-        }
-        runs.append(Run(settings))
-    designs[f"2^(4-1) res {info.resolution}"] = Design(
-        factors=list(FACTORS), runs=runs, name=frac.name
-    )
-    designs["Plackett-Burman N=8"] = plackett_burman(FACTORS)
-    return designs
-
-
-def main(backend: str = "serial", n_workers: int = None) -> None:
-    # Any explicit runner uses spawn-per-replication seeding, so the
+def main(backend: str = None, n_workers: int = None) -> None:
+    # Any explicit backend uses spawn-per-replication seeding, so the
     # numbers below are identical for every backend/worker choice.
-    runner = ExperimentRunner(backend, n_workers)
-    catalog = default_catalog()
-    threat = stuxnet_like()
-    config = CampaignConfig(horizon=80.0, tick_interval=0.5)
-
     summary = []
-    for label, design in build_designs().items():
+    for scenario in SCENARIOS.by_tag("doe-sweep"):
+        study = DiversityStudy.from_scenario(
+            scenario, backend=backend or "serial", n_workers=n_workers
+        )
         started = time.perf_counter()
-        plan = MeasurementPlan(
-            scope_cooling_topology, catalog, threat, design,
-            replications=8, campaign_config=config,
-        )
-        measurement = plan.execute(rng=11, runner=runner)
-        assessment = assess(measurement, responses=["tta"])
+        result = study.execute(np.random.default_rng(11))
         elapsed = time.perf_counter() - started
-        table = assessment.anova_tables["tta"]
-        top = assessment.ranking("tta")[0]
+        table = result.assessment.anova_tables["tta"]
+        top = result.assessment.ranking("tta")[0]
         summary.append(
-            (label, design.n_runs, len(measurement.records),
-             f"{elapsed:.1f}s", top.component, f"{100 * top.allocation:.1f}%")
+            (scenario.name, result.design.n_runs,
+             len(result.measurement.records), f"{elapsed:.1f}s",
+             top.component, f"{100 * top.allocation:.1f}%")
         )
-        print(f"\n===== {label} ({design.n_runs} runs) =====")
+        print(f"\n===== {scenario.title} ({result.design.n_runs} runs) =====")
         print(table.format_table())
 
     print("\n===== summary =====")
     print(
         format_table(
-            ["design", "runs", "campaign sims", "wall time",
+            ["scenario", "runs", "campaign sims", "wall time",
              "top component", "allocation"],
             summary,
         )
@@ -98,7 +58,7 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--backend", choices=("serial", "thread", "process"),
-        default="serial", help="measurement execution backend",
+        default=None, help="measurement execution backend",
     )
     parser.add_argument(
         "--workers", type=int, default=None,

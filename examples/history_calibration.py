@@ -16,10 +16,12 @@ Run:
     python examples/history_calibration.py
 """
 
+import dataclasses
+
 import numpy as np
 
-from repro import default_catalog, san_model_for, scope_cooling_topology
-from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro import get_scenario, san_model_for
+from repro.attacks.campaign import AttackCampaign
 from repro.attacks.history import (
     HISTORY_STEPS,
     calibrate,
@@ -87,8 +89,11 @@ def main() -> None:
     print(f"  escalation_rate = {threat.escalation_rate:.3f} /h")
     print(f"  reprogram_rate  = {threat.reprogram_rate:.3f} /h")
 
-    catalog = default_catalog()
-    network = scope_cooling_topology()
+    # System wiring from the catalog scenario; only the threat is
+    # replaced by its history-calibrated counterpart.
+    scenario = get_scenario("cooling_stuxnet")
+    catalog = scenario.build_catalog()
+    network = scenario.build_network()
     san = san_model_for(network, catalog, threat, give_up=True)
     ctmc = san_to_ctmc(san)
     impair = [i for i, s in enumerate(ctmc.states) if dict(s).get("impaired")]
@@ -97,7 +102,7 @@ def main() -> None:
 
     outcomes = AttackCampaign(
         network, catalog, threat,
-        CampaignConfig(horizon=100.0, tick_interval=0.5),
+        dataclasses.replace(scenario.build_campaign_config(), horizon=100.0),
     ).run_batch(40, rng)
     row = compute_indicators(outcomes).summary_row()
     print(f"campaign (persistent attacker, 100 h): PSA = {row['psa']:.2f}, "

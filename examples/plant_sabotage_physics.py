@@ -6,6 +6,10 @@ the cooling off while spoofing the temperature mirror register, the
 thermal trajectory of the room, and the damage model declaring device
 impairment — the final stage of the paper's attack chain.
 
+(The study-level counterpart — which diversification best defends this
+signal path — is the ``cooling_sabotage_physics`` catalog scenario:
+``python -m repro.scenarios run cooling_sabotage_physics``.)
+
 Run:
     python examples/plant_sabotage_physics.py
 """

@@ -1,8 +1,9 @@
-"""Quickstart: the three-step diversity study in ~20 lines.
+"""Quickstart: the three-step diversity study from a named scenario.
 
 Runs the paper's Figure-1 pipeline — attack modeling, DoE & measurement,
-ANOVA diversity assessment — on the reference data-center cooling SCADA
-system against a Stuxnet-like threat, and prints the study report.
+ANOVA diversity assessment — by looking the reference case study up in
+the scenario catalog (``repro.scenarios``) and printing the study
+report.  Browse the catalog with ``python -m repro.scenarios list``.
 
 Run:
     python examples/quickstart.py
@@ -13,30 +14,15 @@ import argparse
 
 import numpy as np
 
-from repro import (
-    CampaignConfig,
-    DiversityStudy,
-    default_catalog,
-    scope_cooling_topology,
-    stuxnet_like,
-)
-from repro.scada.components import ComponentKind
+from repro import DiversityStudy, get_scenario
 
 
 def main(backend: str = None, n_workers: int = None) -> None:
-    study = DiversityStudy(
-        network_factory=scope_cooling_topology,
-        catalog=default_catalog(),
-        threat=stuxnet_like(),
-        kinds=[
-            ComponentKind.OPERATING_SYSTEM,
-            ComponentKind.PLC_FIRMWARE,
-            ComponentKind.PROTOCOL_STACK,
-        ],
-        design_kind="full",
-        two_level=True,  # weakest vs strongest variant per component
-        replications=10,
-        campaign_config=CampaignConfig(horizon=80.0, tick_interval=0.5),
+    scenario = get_scenario("cooling_stuxnet")
+    print(scenario.describe())
+    print()
+    study = DiversityStudy.from_scenario(
+        scenario,
         backend=backend,  # e.g. "process" parallelises the DoE runs
         n_workers=n_workers,
     )

@@ -1,6 +1,8 @@
 """The SCoPE data-center cooling case study (paper §II, last paragraph).
 
-Reproduces the paper's in-progress case study end to end:
+Reproduces the paper's in-progress case study end to end, with all the
+system/threat wiring drawn from the ``cooling_stuxnet`` catalog
+scenario:
 
 1. Build the cooling-SCADA system model (control/monitoring nodes + PLCs).
 2. Express the Stuxnet-like attack as a stochastic activity network and
@@ -14,10 +16,12 @@ Run:
     python examples/scope_cooling_study.py
 """
 
+import dataclasses
+
 import numpy as np
 
-from repro import default_catalog, san_model_for, scope_cooling_topology, stuxnet_like
-from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro import get_scenario, san_model_for
+from repro.attacks.campaign import AttackCampaign
 from repro.core.indicators import compute_indicators
 from repro.core.placement import PlacementProblem
 from repro.core.report import format_table
@@ -27,9 +31,13 @@ from repro.san.simulator import SANSimulator
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    catalog = default_catalog()
-    threat = stuxnet_like()
-    network = scope_cooling_topology()
+    scenario = get_scenario("cooling_stuxnet")
+    catalog = scenario.build_catalog()
+    threat = scenario.build_threat()
+    network = scenario.build_network()
+    config = dataclasses.replace(
+        scenario.build_campaign_config(), horizon=100.0
+    )
 
     print("SCoPE cooling SCADA:", len(network.hosts), "hosts")
     for warning in network.validate():
@@ -50,13 +58,13 @@ def main() -> None:
     print(f"SAN/Monte-Carlo (2000 replications):          = {p_mc:.3f}")
 
     # ---- Full campaign indicators --------------------------------------
-    config = CampaignConfig(horizon=100.0, tick_interval=0.5)
     outcomes = AttackCampaign(network, catalog, threat, config).run_batch(
         60, rng
     )
     indicators = compute_indicators(outcomes)
     row = indicators.summary_row()
-    print("\nCampaign indicators (60 replications, 100 h horizon):")
+    print(f"\nCampaign indicators (60 replications, "
+          f"{config.horizon:.0f} h horizon):")
     print(f"  PSA                = {row['psa']:.2f}")
     print(f"  TTA (restricted)   = {row['tta_restricted_mean']:.1f} h")
     print(f"  TTSF (restricted)  = {row['ttsf_restricted_mean']:.1f} h")
@@ -64,10 +72,11 @@ def main() -> None:
 
     # ---- Sensitivity: resilient-component count and placement ----------
     print("\nResilient-component sweep (strategic vs random placement):")
+    sweep_config = dataclasses.replace(config, horizon=30.0)
     rows = []
     for k in (0, 1, 2, 3):
         problem = PlacementProblem(
-            scope_cooling_topology,
+            scenario.build_network_factory(),
             catalog,
             threat,
             budget=k,
@@ -76,7 +85,7 @@ def main() -> None:
                 "scada_server", "hmi_0", "hmi_1", "eng_ws", "plc_0", "plc_1",
             ],
             replications=30,
-            campaign_config=CampaignConfig(horizon=30.0, tick_interval=0.5),
+            campaign_config=sweep_config,
         )
         if k == 0:
             base = problem.evaluate([], rng)

@@ -4,7 +4,8 @@ The paper's introduction motivates the framework with power grids:
 *"what if an attacker overloads a power distribution system by breaking
 into a power grid?"*.  This example runs the Stuxnet-like threat against
 the distribution-feeder SCADA topology driving the
-:class:`~repro.scada.plant.feeder.PowerFeeder` physical model, and then
+:class:`~repro.scada.plant.feeder.PowerFeeder` physical model — all
+drawn from the ``smart_grid_stuxnet`` catalog scenario — and then
 applies the cost-constrained portfolio optimizer to decide which
 components to diversify under a budget.
 
@@ -12,33 +13,28 @@ Run:
     python examples/smart_grid_attack.py
 """
 
-import math
-
 import numpy as np
 
-from repro import default_catalog, stuxnet_like
-from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro import get_scenario
+from repro.attacks.campaign import AttackCampaign
 from repro.core.indicators import compute_indicators
 from repro.core.portfolio import PortfolioOptimizer
 from repro.core.report import format_table
 from repro.scada.components import ComponentKind
-from repro.scada.plant.feeder import PowerFeeder
-from repro.scada.topologies import smart_grid_feeder
 
 K = ComponentKind
 
 
 def main() -> None:
     rng = np.random.default_rng(3)
-    catalog = default_catalog()
-    threat = stuxnet_like()
-    config = CampaignConfig(
-        horizon=120.0, tick_interval=0.5, plant_factory=PowerFeeder
-    )
+    scenario = get_scenario("smart_grid_stuxnet")
+    catalog = scenario.build_catalog()
+    threat = scenario.build_threat()
+    config = scenario.build_campaign_config()  # PowerFeeder plant
 
     print("=== feeder-overload campaign (baseline utility) ===")
     outcomes = AttackCampaign(
-        smart_grid_feeder(), catalog, threat, config
+        scenario.build_network(), catalog, threat, config
     ).run_batch(40, rng)
     row = compute_indicators(outcomes).summary_row()
     print(f"PSA within 120 h:      {row['psa']:.2f}")
@@ -55,7 +51,7 @@ def main() -> None:
 
     print("\n=== cost-constrained diversification portfolio ===")
     optimizer = PortfolioOptimizer(
-        smart_grid_feeder,
+        scenario.build_network_factory(),
         catalog,
         threat,
         kinds=[K.OPERATING_SYSTEM, K.PLC_FIRMWARE, K.PROTOCOL_STACK,

@@ -10,12 +10,13 @@ Run:
     python examples/stuxnet_campaign.py
 """
 
+import dataclasses
 import math
 
 import numpy as np
 
-from repro import default_catalog, scope_cooling_topology, stuxnet_like
-from repro.attacks.campaign import AttackCampaign, CampaignConfig
+from repro import get_scenario
+from repro.attacks.campaign import AttackCampaign
 from repro.scada.protocol import (
     FunctionCode,
     ModbusFrame,
@@ -54,10 +55,16 @@ def protocol_demo() -> None:
 def campaign_walkthrough() -> None:
     print("--- single campaign walkthrough (baseline system) ---")
     rng = np.random.default_rng(2013)
-    catalog = default_catalog()
-    network = scope_cooling_topology()
-    config = CampaignConfig(horizon=120.0, tick_interval=0.25)
-    campaign = AttackCampaign(network, catalog, stuxnet_like(), config)
+    scenario = get_scenario("cooling_stuxnet")
+    config = dataclasses.replace(
+        scenario.build_campaign_config(), horizon=120.0, tick_interval=0.25
+    )
+    campaign = AttackCampaign(
+        scenario.build_network(),
+        scenario.build_catalog(),
+        scenario.build_threat(),
+        config,
+    )
 
     # Find a replication where the attack succeeds.
     outcome = campaign.run(rng)

@@ -1,9 +1,10 @@
 """Comparing threat models: Stuxnet-, Duqu- and Flame-like campaigns.
 
 The paper's future work names Duqu and Flame as the wider threat models
-to incorporate.  This example runs all three profiles against the same
-system in baseline and diversified configurations and prints the full
-indicator comparison, showing how the *kind* of threat changes which
+to incorporate.  The catalog's ``threat-sweep`` scenarios pit all three
+against the same cooling system; this example runs each in baseline and
+hand-diversified configurations and prints the full indicator
+comparison, showing how the *kind* of threat changes which
 diversification helps.
 
 Run:
@@ -12,9 +13,8 @@ Run:
 
 import numpy as np
 
-from repro import default_catalog, scope_cooling_topology
-from repro.attacks.campaign import AttackCampaign, CampaignConfig
-from repro.attacks.profiles import duqu_like, flame_like, stuxnet_like
+from repro import SCENARIOS
+from repro.attacks.campaign import AttackCampaign
 from repro.core.indicators import compute_indicators
 from repro.core.report import format_table
 from repro.scada.components import ComponentKind
@@ -22,9 +22,8 @@ from repro.scada.components import ComponentKind
 K = ComponentKind
 
 
-def diversified_topology():
+def diversify(net):
     """OS + firmware + protocol + sensor diversity applied together."""
-    net = scope_cooling_topology()
     hardened_os = {
         "scada_server": "linux_hardened",
         "eng_ws": "linux_hardened",
@@ -48,27 +47,22 @@ def diversified_topology():
 
 def main() -> None:
     rng = np.random.default_rng(31)
-    catalog = default_catalog()
-    config = CampaignConfig(horizon=100.0, tick_interval=0.5)
-
-    threats = {
-        "stuxnet-like (sabotage)": stuxnet_like(),
-        "duqu-like (exfiltration)": duqu_like(),
-        "flame-like (recon)": flame_like(),
-    }
     rows = []
-    for label, threat in threats.items():
-        for system_label, factory in (
-            ("baseline", scope_cooling_topology),
-            ("diversified", diversified_topology),
+    for scenario in SCENARIOS.by_tag("threat-sweep"):
+        catalog = scenario.build_catalog()
+        threat = scenario.build_threat()
+        config = scenario.build_campaign_config()
+        for system_label, network in (
+            ("baseline", scenario.build_network()),
+            ("diversified", diversify(scenario.build_network())),
         ):
             outcomes = AttackCampaign(
-                factory(), catalog, threat, config
+                network, catalog, threat, config
             ).run_batch(40, rng)
             row = compute_indicators(outcomes).summary_row()
             rows.append(
                 (
-                    label,
+                    f"{threat.name} ({threat.goal})",
                     system_label,
                     f"{row['psa']:.2f}",
                     f"{row['tta_restricted_mean']:.1f}",
@@ -80,7 +74,7 @@ def main() -> None:
         format_table(
             ["threat", "system", "PSA", "TTA(h)", "P(detect)", "TTSF(h)"],
             rows,
-            title="Threat-model comparison, 40 replications each, 100 h horizon",
+            title="Threat-model comparison, 40 replications each",
         )
     )
     print(

@@ -59,7 +59,16 @@ from repro.diversity import (
 )
 from repro.exec import ExperimentRunner
 from repro.scada.network import SCADANetwork, Zone
-from repro.scada.topologies import scope_cooling_topology
+from repro.scada.topologies import scope_cooling_topology, smart_grid_feeder
+from repro.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioRegistry,
+    ScenarioSuite,
+    SuiteResult,
+    get_scenario,
+    register_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -74,7 +83,12 @@ __all__ = [
     "MeasurementPlan",
     "PlacementProblem",
     "SCADANetwork",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRegistry",
+    "ScenarioSuite",
     "StudyResult",
+    "SuiteResult",
     "SystemConfiguration",
     "ThreatProfile",
     "VariantCatalog",
@@ -86,8 +100,11 @@ __all__ = [
     "default_catalog",
     "duqu_like",
     "flame_like",
+    "get_scenario",
+    "register_scenario",
     "san_model_for",
     "scope_cooling_topology",
+    "smart_grid_feeder",
     "stuxnet_like",
     "__version__",
 ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 
 def format_table(
@@ -45,6 +45,44 @@ def format_table(
             "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
         )
     return "\n".join(lines)
+
+
+def comparison_table(
+    index_label: str,
+    summaries: Mapping[str, Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a cross-study comparison (one row per study/scenario).
+
+    Args:
+        index_label: Header of the row-label column.
+        summaries: ``{row label: {metric: value}}``; insertion order of
+            the outer mapping is the row order.
+        columns: Metric columns, in order.  Default: every metric seen,
+            in first-appearance order.  Metrics a row lacks render
+            as ``--``.
+        title: Optional title line.
+        float_format: Format spec applied to float cells.
+
+    Returns:
+        The aligned table as a string.
+    """
+    if columns is None:
+        seen: List[str] = []
+        for metrics in summaries.values():
+            for key in metrics:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    rows = [
+        [label, *(metrics.get(col, float("nan")) for col in columns)]
+        for label, metrics in summaries.items()
+    ]
+    return format_table(
+        [index_label, *columns], rows, title=title, float_format=float_format
+    )
 
 
 def format_series(

@@ -8,7 +8,18 @@ with every intermediate artifact and a plain-text report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # imported lazily to avoid a package cycle
+    from repro.scenarios.spec import Scenario
 
 import numpy as np
 
@@ -26,7 +37,9 @@ from repro.doe.design import Design, Factor
 from repro.doe.factorial import full_factorial
 from repro.doe.fractional import fractional_factorial
 from repro.doe.plackett_burman import plackett_burman
+from repro.exec.backends import get_backend
 from repro.exec.runner import ExperimentRunner
+from repro.exec.seeding import SeedLike
 from repro.san.model import SANModel
 from repro.scada.components import ComponentKind
 from repro.scada.network import SCADANetwork
@@ -126,6 +139,12 @@ class DiversityStudy:
     ) -> None:
         if design_kind not in ("full", "fractional", "pb"):
             raise ValueError(f"unknown design_kind {design_kind!r}")
+        if backend is not None:
+            # Fail fast: a typo'd backend name must not surface as a
+            # late failure deep inside execute().
+            get_backend(backend)
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.network_factory = network_factory
         self.catalog = catalog
         self.threat = threat
@@ -136,6 +155,34 @@ class DiversityStudy:
         self.campaign_config = campaign_config or CampaignConfig()
         self.backend = backend
         self.n_workers = n_workers
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "Scenario",
+        backend: Optional[str] = None,
+        n_workers: Optional[int] = None,
+    ) -> "DiversityStudy":
+        """Build the study a declarative scenario spec describes.
+
+        Args:
+            scenario: A :class:`repro.scenarios.spec.Scenario` (or any
+                object exposing its builder interface).
+            backend / n_workers: Execution overrides — deliberately not
+                part of the spec, so the same scenario runs anywhere.
+        """
+        return cls(
+            network_factory=scenario.build_network_factory(),
+            catalog=scenario.build_catalog(),
+            threat=scenario.build_threat(),
+            kinds=scenario.component_kinds(),
+            design_kind=scenario.design_kind,
+            two_level=scenario.two_level,
+            replications=scenario.replications,
+            campaign_config=scenario.build_campaign_config(),
+            backend=backend,
+            n_workers=n_workers,
+        )
 
     def build_factors(self) -> List[Factor]:
         """Step-2 preamble: derive the diversification factors."""
@@ -188,8 +235,16 @@ class DiversityStudy:
             metadata=design.metadata,
         )
 
-    def execute(self, rng: np.random.Generator) -> StudyResult:
-        """Run all three steps."""
+    def execute(self, rng: "SeedLike" = None) -> StudyResult:
+        """Run all three steps.
+
+        Args:
+            rng: Seed or generator for step 2 — a
+                :class:`numpy.random.Generator` keeps the historical
+                shared-generator stream when no backend is set; a plain
+                seed (or any backend) uses the backend-invariant
+                spawn-per-replication path of :mod:`repro.exec`.
+        """
         baseline = self.network_factory()
         san_model = san_model_for(baseline, self.catalog, self.threat)
         attack_tree = attack_tree_for(baseline, self.catalog, self.threat)

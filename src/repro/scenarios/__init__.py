@@ -1,0 +1,71 @@
+"""repro.scenarios — the declarative scenario catalog and suite runner.
+
+The paper evaluates one fixed scenario; the roadmap asks for "as many
+scenarios as you can imagine".  This subsystem makes a scenario *data*
+instead of a hand-wired script:
+
+* :mod:`repro.scenarios.spec` — :class:`Scenario`, a JSON-round-trippable
+  spec naming topology, threat, catalog, physical plant, component
+  kinds, DoE design and campaign knobs;
+* :mod:`repro.scenarios.components` — the name → factory registries
+  those specs reference (extensible with your own topologies/threats);
+* :mod:`repro.scenarios.registry` — :class:`ScenarioRegistry`, the
+  :func:`register` decorator and the library-wide ``SCENARIOS`` catalog;
+* :mod:`repro.scenarios.builtin` — the built-in named scenarios
+  (cooling plant x Stuxnet/Duqu/Flame, DoE screening sweeps, sabotage
+  physics, smart-grid feeder, a smoke scenario);
+* :mod:`repro.scenarios.suite` — :class:`ScenarioSuite`, fanning
+  scenarios out on :mod:`repro.exec` with bit-identical records across
+  backends and a cross-scenario comparison report;
+* :mod:`repro.scenarios.cli` — ``python -m repro.scenarios``
+  (``list`` / ``show`` / ``run``).
+"""
+
+from repro.scenarios.components import (
+    available_catalogs,
+    available_plants,
+    available_threats,
+    available_topologies,
+    register_catalog,
+    register_plant,
+    register_threat,
+    register_topology,
+)
+from repro.scenarios.registry import (
+    SCENARIOS,
+    ScenarioRegistry,
+    get_scenario,
+    register,
+)
+from repro.scenarios.spec import Scenario
+from repro.scenarios.suite import (
+    ScenarioRunResult,
+    ScenarioSuite,
+    SuiteResult,
+)
+
+# Importing the builtin module populates SCENARIOS as a side effect.
+from repro.scenarios import builtin as _builtin  # noqa: F401  isort: skip
+
+#: Top-level-friendly alias of :func:`register`.
+register_scenario = register
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRegistry",
+    "ScenarioRunResult",
+    "ScenarioSuite",
+    "SuiteResult",
+    "available_catalogs",
+    "available_plants",
+    "available_threats",
+    "available_topologies",
+    "get_scenario",
+    "register",
+    "register_catalog",
+    "register_plant",
+    "register_scenario",
+    "register_threat",
+    "register_topology",
+]

@@ -1,0 +1,266 @@
+"""The built-in scenario catalog.
+
+Every scenario here is plain data over the component registries of
+:mod:`repro.scenarios.components` — the same spec could be loaded from a
+JSON file.  Tags group them into suites:
+
+``threat-sweep``
+    The same cooling plant under Stuxnet-, Duqu- and Flame-like threats
+    (the paper's future-work threat models) — run together for a
+    cross-threat comparison.
+``doe-sweep``
+    The same diversity question answered with full, fractional and
+    Plackett-Burman designs — the paper's step-2 screening trade-off.
+``smart-grid``
+    The distribution-feeder system of the paper's introduction.
+``physics``
+    Sabotage-physics focus: diversify the signal path (sensors,
+    protocol, firewall, AV) that the spoofing payload must defeat.
+``smoke``
+    A minimal seconds-scale scenario for CI and CLI smoke tests.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import register
+from repro.scenarios.spec import Scenario
+
+CORE_KINDS = ("operating_system", "plc_firmware", "protocol_stack")
+SCREENING_KINDS = CORE_KINDS + ("antivirus",)
+SIGNAL_PATH_KINDS = (
+    "sensor_model", "protocol_stack", "firewall_software", "antivirus",
+)
+
+
+@register
+def smoke() -> Scenario:
+    """Minimal end-to-end scenario (seconds, not minutes)."""
+    return Scenario(
+        name="smoke",
+        title="Minimal smoke scenario",
+        description=(
+            "A deliberately tiny study — reduced cooling topology, two\n"
+            "factors, two replications, short horizon — that exercises\n"
+            "the full three-step pipeline in a few seconds.  Used by the\n"
+            "CLI smoke tests and as the quickest way to check an\n"
+            "installation."
+        ),
+        topology="scope_cooling",
+        threat="stuxnet_like",
+        kinds=("operating_system", "plc_firmware"),
+        design_kind="full",
+        two_level=True,
+        replications=2,
+        horizon=20.0,
+        tick_interval=0.5,
+        topology_params={"n_office_pcs": 2, "n_hmi": 1},
+        tags=("smoke",),
+    )
+
+
+@register
+def cooling_stuxnet() -> Scenario:
+    """The paper's principal case study as a registered scenario."""
+    return Scenario(
+        name="cooling_stuxnet",
+        title="SCoPE cooling plant vs Stuxnet-like sabotage",
+        description=(
+            "The paper's case study: the data-center cooling SCADA\n"
+            "system under a Stuxnet-like sabotage threat, diversifying\n"
+            "operating system, PLC firmware and protocol stack."
+        ),
+        topology="scope_cooling",
+        threat="stuxnet_like",
+        kinds=CORE_KINDS,
+        replications=10,
+        horizon=80.0,
+        tags=("cooling", "threat-sweep"),
+    )
+
+
+@register
+def cooling_duqu() -> Scenario:
+    """Espionage variant of the cooling case study."""
+    return Scenario(
+        name="cooling_duqu",
+        title="SCoPE cooling plant vs Duqu-like exfiltration",
+        description=(
+            "The same cooling system under a Duqu-like espionage\n"
+            "threat (process-data exfiltration, no physical payload) —\n"
+            "one of the wider threat models the paper's future work\n"
+            "names."
+        ),
+        topology="scope_cooling",
+        threat="duqu_like",
+        kinds=CORE_KINDS,
+        replications=10,
+        horizon=80.0,
+        tags=("cooling", "threat-sweep"),
+    )
+
+
+@register
+def cooling_flame() -> Scenario:
+    """Reconnaissance variant of the cooling case study."""
+    return Scenario(
+        name="cooling_flame",
+        title="SCoPE cooling plant vs Flame-like reconnaissance",
+        description=(
+            "The same cooling system under a Flame-like reconnaissance\n"
+            "threat (survey a large fraction of the hosts)."
+        ),
+        topology="scope_cooling",
+        threat="flame_like",
+        kinds=CORE_KINDS,
+        replications=10,
+        horizon=80.0,
+        tags=("cooling", "threat-sweep"),
+    )
+
+
+@register
+def cooling_stuxnet_aggressive() -> Scenario:
+    """Sensitivity variant: a faster, more determined attacker."""
+    return Scenario(
+        name="cooling_stuxnet_aggressive",
+        title="Cooling plant vs an aggressive Stuxnet-like attacker",
+        description=(
+            "The principal scenario with the threat's entry and\n"
+            "reprogramming rates doubled — a sensitivity point showing\n"
+            "how scenario specs parameterize threat factories."
+        ),
+        topology="scope_cooling",
+        threat="stuxnet_like",
+        threat_params={"entry_rate": 0.3, "reprogram_rate": 1.2},
+        kinds=CORE_KINDS,
+        replications=10,
+        horizon=80.0,
+        tags=("cooling", "sensitivity"),
+    )
+
+
+@register
+def cooling_screening_full() -> Scenario:
+    """Four-factor full factorial (the reference design)."""
+    return Scenario(
+        name="cooling_screening_full",
+        title="Screening study, full 2^4 factorial",
+        description=(
+            "Which of four component kinds drives the security\n"
+            "indicators?  Reference answer from the full factorial."
+        ),
+        topology="scope_cooling",
+        threat="stuxnet_like",
+        kinds=SCREENING_KINDS,
+        design_kind="full",
+        replications=8,
+        horizon=80.0,
+        tags=("cooling", "doe-sweep"),
+    )
+
+
+@register
+def cooling_screening_fractional() -> Scenario:
+    """Half-fraction screening design."""
+    return Scenario(
+        name="cooling_screening_fractional",
+        title="Screening study, 2^(4-1) half fraction",
+        description=(
+            "The same screening question at half the simulation cost\n"
+            "via a resolution-IV half fraction."
+        ),
+        topology="scope_cooling",
+        threat="stuxnet_like",
+        kinds=SCREENING_KINDS,
+        design_kind="fractional",
+        replications=8,
+        horizon=80.0,
+        tags=("cooling", "doe-sweep"),
+    )
+
+
+@register
+def cooling_screening_pb() -> Scenario:
+    """Plackett-Burman screening design."""
+    return Scenario(
+        name="cooling_screening_pb",
+        title="Screening study, Plackett-Burman N=8",
+        description=(
+            "The same screening question with a Plackett-Burman\n"
+            "main-effects design."
+        ),
+        topology="scope_cooling",
+        threat="stuxnet_like",
+        kinds=SCREENING_KINDS,
+        design_kind="pb",
+        replications=8,
+        horizon=80.0,
+        tags=("cooling", "doe-sweep"),
+    )
+
+
+@register
+def cooling_sabotage_physics() -> Scenario:
+    """Diversify the signal path the sabotage payload must defeat."""
+    return Scenario(
+        name="cooling_sabotage_physics",
+        title="Sabotage physics: diversifying the signal path",
+        description=(
+            "The sabotage payload wins by spoofing monitoring signals\n"
+            "while the plant overheats.  This scenario diversifies the\n"
+            "components on that path — sensors, protocol stack,\n"
+            "firewall, antivirus — asking which most improves perceived\n"
+            "manifestation (TTSF) rather than raw attack success."
+        ),
+        topology="scope_cooling",
+        threat="stuxnet_like",
+        kinds=SIGNAL_PATH_KINDS,
+        design_kind="fractional",
+        replications=8,
+        horizon=80.0,
+        tags=("cooling", "physics"),
+    )
+
+
+@register
+def smart_grid_stuxnet() -> Scenario:
+    """The paper's smart-grid motivation: feeder overload sabotage."""
+    return Scenario(
+        name="smart_grid_stuxnet",
+        title="Distribution feeder vs Stuxnet-like overload sabotage",
+        description=(
+            "The paper's introductory what-if: an attacker overloads a\n"
+            "power distribution feeder by reprogramming its\n"
+            "controllers.  Runs the Stuxnet-like threat against the\n"
+            "feeder SCADA topology driving the PowerFeeder physical\n"
+            "model."
+        ),
+        topology="smart_grid_feeder",
+        threat="stuxnet_like",
+        plant="feeder",
+        kinds=CORE_KINDS,
+        replications=10,
+        horizon=120.0,
+        tags=("smart-grid",),
+    )
+
+
+@register
+def smart_grid_duqu() -> Scenario:
+    """Espionage against the utility's EMS."""
+    return Scenario(
+        name="smart_grid_duqu",
+        title="Distribution feeder vs Duqu-like EMS espionage",
+        description=(
+            "Exfiltration of process data from the utility's EMS and\n"
+            "historian — no physical payload, so detection hinges on\n"
+            "C2 beaconing and failed-attempt noise."
+        ),
+        topology="smart_grid_feeder",
+        threat="duqu_like",
+        plant="feeder",
+        kinds=CORE_KINDS,
+        replications=10,
+        horizon=120.0,
+        tags=("smart-grid",),
+    )

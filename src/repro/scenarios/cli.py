@@ -1,0 +1,138 @@
+"""Command-line interface for the scenario catalog.
+
+::
+
+    python -m repro.scenarios list [--tag TAG]
+    python -m repro.scenarios show NAME [--json]
+    python -m repro.scenarios run NAME... [--tag TAG] [--backend B]
+                                 [--n-workers N] [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.core.report import format_table
+from repro.exec.backends import available_backends
+from repro.scenarios.registry import SCENARIOS
+from repro.scenarios.suite import ScenarioSuite
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    scenarios = (
+        SCENARIOS.by_tag(args.tag) if args.tag else SCENARIOS.all()
+    )
+    if not scenarios:
+        known = ", ".join(SCENARIOS.tags()) or "(none)"
+        print(f"no scenarios with tag {args.tag!r}; known tags: {known}")
+        return 1
+    print(
+        format_table(
+            ["name", "tags", "spec"],
+            [
+                (s.name, ",".join(s.tags) or "--", s.summary_line())
+                for s in scenarios
+            ],
+            title=f"{len(scenarios)} scenario(s)",
+        )
+    )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    scenario = SCENARIOS.get(args.name)
+    print(scenario.to_json() if args.json else scenario.describe())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names: List[str] = list(args.names)
+    if args.tag:
+        tagged = SCENARIOS.by_tag(args.tag)
+        if not tagged:
+            known = ", ".join(SCENARIOS.tags()) or "(none)"
+            print(
+                f"error: no scenarios with tag {args.tag!r}; "
+                f"known tags: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        names.extend(s.name for s in tagged if s.name not in names)
+    if not names:
+        print(
+            "nothing to run: give scenario names and/or --tag "
+            f"(try: {', '.join(SCENARIOS.names())})",
+            file=sys.stderr,
+        )
+        return 2
+    suite = ScenarioSuite(
+        names, backend=args.backend, n_workers=args.n_workers
+    )
+    plural = "s" if len(names) != 1 else ""
+    print(
+        f"running {len(names)} scenario{plural} on backend "
+        f"{args.backend!r} (seed {args.seed}) ..."
+    )
+    started = time.perf_counter()
+    result = suite.run(seed=args.seed)
+    elapsed = time.perf_counter() - started
+    print()
+    print(result.comparison_report())
+    print(f"\ncompleted in {elapsed:.1f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.scenarios`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Browse and run the declarative scenario catalog.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--tag", help="only scenarios carrying this tag")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_show = sub.add_parser("show", help="describe one scenario")
+    p_show.add_argument("name", help="scenario name")
+    p_show.add_argument(
+        "--json", action="store_true", help="print the JSON spec instead"
+    )
+    p_show.set_defaults(func=_cmd_show)
+
+    p_run = sub.add_parser(
+        "run", help="run scenarios and print the comparison report"
+    )
+    p_run.add_argument("names", nargs="*", help="scenario names")
+    p_run.add_argument("--tag", help="also run every scenario with this tag")
+    p_run.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="suite execution backend (default: serial)",
+    )
+    p_run.add_argument(
+        "--n-workers", type=int, default=None,
+        help="worker-pool width for parallel backends",
+    )
+    p_run.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; records are bit-identical across backends "
+        "for the same seed (default: 0)",
+    )
+    p_run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,131 @@
+"""Name registries for the building blocks a scenario composes.
+
+A :class:`~repro.scenarios.spec.Scenario` is pure data — it references
+topologies, threat profiles, variant catalogs and physical plants *by
+name* so the spec survives JSON round-trips and process-pool pickling.
+This module owns the four name → factory maps and their resolvers.
+
+Every registry is extensible: downstream code can register its own
+topology or threat under a new name and reference it from scenario
+specs, exactly like the built-ins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.attacks.campaign import _default_plant as _cooling_plant
+from repro.attacks.profiles import (
+    ThreatProfile,
+    duqu_like,
+    flame_like,
+    stuxnet_like,
+)
+from repro.diversity.catalog import VariantCatalog, default_catalog
+from repro.scada.network import SCADANetwork
+from repro.scada.plant.feeder import PowerFeeder
+from repro.scada.plant.process import PhysicalProcess
+from repro.scada.topologies import scope_cooling_topology, smart_grid_feeder
+
+TopologyFactory = Callable[..., SCADANetwork]
+ThreatFactory = Callable[..., ThreatProfile]
+CatalogFactory = Callable[[], VariantCatalog]
+PlantFactory = Callable[[], PhysicalProcess]
+
+_TOPOLOGIES: Dict[str, TopologyFactory] = {
+    "scope_cooling": scope_cooling_topology,
+    "smart_grid_feeder": smart_grid_feeder,
+}
+
+_THREATS: Dict[str, ThreatFactory] = {
+    "stuxnet_like": stuxnet_like,
+    "duqu_like": duqu_like,
+    "flame_like": flame_like,
+}
+
+_CATALOGS: Dict[str, CatalogFactory] = {
+    "default": default_catalog,
+}
+
+_PLANTS: Dict[str, PlantFactory] = {
+    "cooling": _cooling_plant,
+    "feeder": PowerFeeder,
+}
+
+
+def _resolve(registry: Dict[str, Callable], what: str, name: str) -> Callable:
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown {what} {name!r}; expected one of "
+            f"{', '.join(sorted(registry))}"
+        ) from None
+
+
+def resolve_topology(name: str) -> TopologyFactory:
+    """Look up a topology factory by registry name."""
+    return _resolve(_TOPOLOGIES, "topology", name)
+
+
+def resolve_threat(name: str) -> ThreatFactory:
+    """Look up a threat-profile factory by registry name."""
+    return _resolve(_THREATS, "threat", name)
+
+
+def resolve_catalog(name: str) -> CatalogFactory:
+    """Look up a variant-catalog factory by registry name."""
+    return _resolve(_CATALOGS, "catalog", name)
+
+
+def resolve_plant(name: str) -> PlantFactory:
+    """Look up a physical-plant factory by registry name."""
+    return _resolve(_PLANTS, "plant", name)
+
+
+def _register(
+    registry: Dict[str, Callable], what: str, name: str, factory: Callable
+) -> None:
+    if name in registry:
+        raise ValueError(f"{what} {name!r} is already registered")
+    registry[name] = factory
+
+
+def register_topology(name: str, factory: TopologyFactory) -> None:
+    """Register a topology factory under ``name`` (must be new)."""
+    _register(_TOPOLOGIES, "topology", name, factory)
+
+
+def register_threat(name: str, factory: ThreatFactory) -> None:
+    """Register a threat-profile factory under ``name`` (must be new)."""
+    _register(_THREATS, "threat", name, factory)
+
+
+def register_catalog(name: str, factory: CatalogFactory) -> None:
+    """Register a variant-catalog factory under ``name`` (must be new)."""
+    _register(_CATALOGS, "catalog", name, factory)
+
+
+def register_plant(name: str, factory: PlantFactory) -> None:
+    """Register a physical-plant factory under ``name`` (must be new)."""
+    _register(_PLANTS, "plant", name, factory)
+
+
+def available_topologies() -> List[str]:
+    """Registered topology names, sorted."""
+    return sorted(_TOPOLOGIES)
+
+
+def available_threats() -> List[str]:
+    """Registered threat names, sorted."""
+    return sorted(_THREATS)
+
+
+def available_catalogs() -> List[str]:
+    """Registered catalog names, sorted."""
+    return sorted(_CATALOGS)
+
+
+def available_plants() -> List[str]:
+    """Registered plant names, sorted."""
+    return sorted(_PLANTS)

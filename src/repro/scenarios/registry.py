@@ -1,0 +1,100 @@
+"""The named scenario catalog.
+
+:class:`ScenarioRegistry` maps scenario names to
+:class:`~repro.scenarios.spec.Scenario` specs.  The module-level
+``SCENARIOS`` instance holds the built-in catalog
+(:mod:`repro.scenarios.builtin`); the :func:`register` decorator adds a
+scenario-producing function's result to it:
+
+    @register
+    def my_scenario() -> Scenario:
+        return Scenario(name="my_scenario", ...)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.scenarios.spec import Scenario
+
+
+class ScenarioRegistry:
+    """A name → :class:`Scenario` catalog with tag-based selection."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def add(self, scenario: Scenario) -> Scenario:
+        """Add ``scenario`` under its own name.
+
+        Raises:
+            ValueError: If the name is already registered.
+        """
+        if scenario.name in self._scenarios:
+            raise ValueError(
+                f"scenario {scenario.name!r} is already registered"
+            )
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        """Look a scenario up by name.
+
+        Raises:
+            ValueError: For an unknown name (the message lists the
+                registered names).
+        """
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown scenario {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered names, sorted."""
+        return sorted(self._scenarios)
+
+    def all(self) -> List[Scenario]:
+        """Every registered scenario, sorted by name."""
+        return [self._scenarios[name] for name in self.names()]
+
+    def by_tag(self, tag: str) -> List[Scenario]:
+        """Scenarios carrying ``tag``, sorted by name."""
+        return [s for s in self.all() if tag in s.tags]
+
+    def tags(self) -> List[str]:
+        """Every tag in use, sorted."""
+        return sorted({tag for s in self.all() for tag in s.tags})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.all())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScenarioRegistry({self.names()})"
+
+
+#: The library-wide catalog; built-ins land here on package import.
+SCENARIOS = ScenarioRegistry()
+
+
+def register(
+    factory: Callable[[], Scenario]
+) -> Callable[[], Scenario]:
+    """Decorator: evaluate ``factory`` and add its scenario to
+    :data:`SCENARIOS`.  Returns the factory unchanged so modules keep a
+    callable handle to the spec."""
+    SCENARIOS.add(factory())
+    return factory
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look ``name`` up in the library-wide catalog."""
+    return SCENARIOS.get(name)

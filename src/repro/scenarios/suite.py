@@ -1,0 +1,249 @@
+"""Suite execution: fan scenarios out and compare them.
+
+:class:`ScenarioSuite` runs a set of scenarios on a
+:class:`~repro.exec.runner.ExperimentRunner`.  Each scenario becomes one
+work unit seeded with its own centrally spawned
+:class:`~numpy.random.SeedSequence` child, so a suite's per-scenario
+records are a pure function of ``(root seed, scenario position)`` —
+bit-identical across the ``serial``, ``thread`` and ``process`` backends
+and any worker count, exactly like the single-study guarantees of
+:mod:`repro.exec`.
+
+Work units ship scenario *specs* (plain dicts) to the workers and return
+:class:`ScenarioRunResult` — records plus summary scalars, all
+picklable — rather than full :class:`~repro.core.study.StudyResult`
+objects, whose SAN models hold non-picklable marking callables.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.assessment import assess
+from repro.core.measurement import MeasurementPlan
+from repro.core.report import comparison_table
+from repro.core.study import DiversityStudy
+from repro.exec.runner import ExperimentRunner
+from repro.exec.seeding import SeedLike, as_seed_sequence, spawn_sequences
+from repro.scenarios.registry import SCENARIOS, ScenarioRegistry
+from repro.scenarios.spec import Scenario
+
+#: Columns of the cross-scenario comparison, in report order.
+COMPARISON_METRICS = (
+    "psa", "tta_mean", "ttsf_mean", "final_ratio_mean",
+)
+
+
+@dataclass
+class ScenarioRunResult:
+    """One scenario's outcome inside a suite.
+
+    Attributes:
+        scenario: The executed spec.
+        records: Long-format per-replication measurement records
+            (factor levels + ``success``/``tta``/``ttsf``/
+            ``final_ratio`` responses).
+        summary: Scalar metrics over the records — ``psa`` (fraction of
+            successful campaigns), restricted means ``tta_mean`` /
+            ``ttsf_mean`` (censored values count the horizon) and
+            ``final_ratio_mean``.
+        top_targets: ``{response: component}`` — the first recommended
+            diversification target per response (``"--"`` when the
+            assessment is degenerate, e.g. zero-variance smoke runs).
+        design_name: Name of the executed DoE design.
+        n_runs: Design runs executed.
+        replications: Replications per run.
+    """
+
+    scenario: Scenario
+    records: List[Dict[str, object]]
+    summary: Dict[str, float]
+    top_targets: Dict[str, str]
+    design_name: str
+    n_runs: int
+    replications: int
+
+
+def _summarize(records: Sequence[Dict[str, object]]) -> Dict[str, float]:
+    """Scalar comparison metrics over long-format records."""
+    if not records:
+        return {metric: float("nan") for metric in COMPARISON_METRICS}
+    means = {
+        response: statistics.fmean(float(r[response]) for r in records)
+        for response in ("success", "tta", "ttsf", "final_ratio")
+    }
+    return {
+        "psa": means["success"],
+        "tta_mean": means["tta"],
+        "ttsf_mean": means["ttsf"],
+        "final_ratio_mean": means["final_ratio"],
+    }
+
+
+def _execute_scenario(
+    spec: Dict[str, object], seq: np.random.SeedSequence
+) -> ScenarioRunResult:
+    """Suite work unit: rebuild the scenario, run its study, summarize.
+
+    Module-level so the ``process`` backend can pickle it.  The study
+    itself runs with spawn-per-replication seeding (serial within the
+    unit), so the result depends only on ``(spec, seq)``.
+    """
+    scenario = Scenario.from_dict(spec)
+    study = DiversityStudy.from_scenario(scenario)
+    factors = study.build_factors()
+    design = study.build_design(factors)
+    plan = MeasurementPlan(
+        study.network_factory,
+        study.catalog,
+        study.threat,
+        design,
+        replications=study.replications,
+        campaign_config=study.campaign_config,
+    )
+    measurement = plan.execute(seq)
+    top_targets: Dict[str, str] = {}
+    try:
+        assessment = assess(measurement)
+        for response in measurement.response_names():
+            targets = assessment.recommended_diversification(response)
+            top_targets[response] = targets[0] if targets else "--"
+    except Exception:
+        # Degenerate measurements (e.g. zero-variance smoke runs) must
+        # not sink the whole suite; the comparison shows "--" instead.
+        top_targets = {
+            response: "--" for response in measurement.response_names()
+        }
+    return ScenarioRunResult(
+        scenario=scenario,
+        records=measurement.records,
+        summary=_summarize(measurement.records),
+        top_targets=top_targets,
+        design_name=design.name,
+        n_runs=design.n_runs,
+        replications=study.replications,
+    )
+
+
+@dataclass
+class SuiteResult:
+    """All scenario results of one suite run, in suite order."""
+
+    results: List[ScenarioRunResult]
+
+    def names(self) -> List[str]:
+        """Scenario names in execution order."""
+        return [r.scenario.name for r in self.results]
+
+    def by_name(self, name: str) -> ScenarioRunResult:
+        """The result for scenario ``name``.
+
+        Raises:
+            ValueError: If the suite did not run ``name``.
+        """
+        for result in self.results:
+            if result.scenario.name == name:
+                return result
+        raise ValueError(
+            f"scenario {name!r} not in suite; ran: {', '.join(self.names())}"
+        )
+
+    def records_by_scenario(self) -> Dict[str, List[Dict[str, object]]]:
+        """``{scenario name: records}`` for determinism checks."""
+        return {r.scenario.name: r.records for r in self.results}
+
+    def comparison_report(self) -> str:
+        """The cross-scenario comparison table plus per-scenario hints."""
+        summaries = {
+            result.scenario.name: dict(
+                result.summary,
+                runs=result.n_runs,
+                reps=result.replications,
+            )
+            for result in self.results
+        }
+        blocks = [
+            comparison_table(
+                "scenario",
+                summaries,
+                columns=("runs", "reps", *COMPARISON_METRICS),
+                title=(
+                    f"Cross-scenario comparison ({len(self.results)} "
+                    "scenarios; restricted means, censored at each "
+                    "scenario's horizon)"
+                ),
+            ),
+            "",
+            "First diversification target (TTA | detection):",
+        ]
+        for result in self.results:
+            blocks.append(
+                f"  {result.scenario.name}: "
+                f"{result.top_targets.get('tta', '--')} | "
+                f"{result.top_targets.get('ttsf', '--')}"
+            )
+        return "\n".join(blocks)
+
+
+class ScenarioSuite:
+    """Run several scenarios and compare them.
+
+    Args:
+        scenarios: Scenario specs, names (looked up in ``registry``),
+            or a mix.
+        backend: Execution backend for the scenario fan-out
+            (``"serial"`` / ``"thread"`` / ``"process"``), validated at
+            construction.
+        n_workers: Worker-pool width for parallel backends.
+        registry: Where names are resolved (default: the library-wide
+            catalog).
+
+    Example:
+        >>> suite = ScenarioSuite(["smoke"])
+        >>> result = suite.run(seed=7)
+        >>> result.names()
+        ['smoke']
+    """
+
+    def __init__(
+        self,
+        scenarios: Sequence[Union[str, Scenario]],
+        backend: str = "serial",
+        n_workers: Optional[int] = None,
+        registry: Optional[ScenarioRegistry] = None,
+    ) -> None:
+        registry = registry or SCENARIOS
+        if not scenarios:
+            raise ValueError("a suite needs at least one scenario")
+        resolved: List[Scenario] = []
+        for item in scenarios:
+            resolved.append(
+                registry.get(item) if isinstance(item, str) else item
+            )
+        names = [s.name for s in resolved]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate scenario(s) in suite: {', '.join(duplicates)}"
+            )
+        self.scenarios = resolved
+        self.runner = ExperimentRunner(backend, n_workers)
+
+    def run(self, seed: SeedLike = None) -> SuiteResult:
+        """Execute every scenario; records depend only on ``seed`` and
+        each scenario's position, never on backend or worker count."""
+        sequences = spawn_sequences(
+            as_seed_sequence(seed), len(self.scenarios)
+        )
+        results = self.runner.map(
+            _execute_scenario,
+            [
+                (scenario.to_dict(), seq)
+                for scenario, seq in zip(self.scenarios, sequences)
+            ],
+        )
+        return SuiteResult(results=results)

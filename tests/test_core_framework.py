@@ -14,7 +14,7 @@ from repro.core.modeling import (
     san_model_for,
     stage_probabilities,
 )
-from repro.core.report import format_series, format_table
+from repro.core.report import comparison_table, format_series, format_table
 from repro.core.study import DiversityStudy
 from repro.doe.design import Design, Factor, Run
 from repro.san.ctmc import san_to_ctmc
@@ -313,6 +313,27 @@ class TestStudyPipeline:
                 design_kind="magic",
             )
 
+    def test_unknown_backend_rejected_at_construction(self, catalog):
+        # A typo'd backend must fail when the study is built, not deep
+        # inside execute(); the message names the valid choices.
+        with pytest.raises(ValueError, match="serial.*thread.*process"):
+            DiversityStudy(
+                network_factory=scope_cooling_topology,
+                catalog=catalog,
+                threat=stuxnet_like(),
+                backend="proccess",
+            )
+
+    def test_bad_n_workers_rejected_at_construction(self, catalog):
+        with pytest.raises(ValueError, match="n_workers"):
+            DiversityStudy(
+                network_factory=scope_cooling_topology,
+                catalog=catalog,
+                threat=stuxnet_like(),
+                backend="thread",
+                n_workers=0,
+            )
+
 
 class TestReportHelpers:
     def test_format_table_alignment(self):
@@ -330,3 +351,34 @@ class TestReportHelpers:
     def test_format_series(self):
         text = format_series("k", ["psa"], [(1, 0.5), (2, 0.25)])
         assert "psa" in text
+
+    def test_comparison_table_column_order_and_rows(self):
+        text = comparison_table(
+            "study",
+            {
+                "a": {"psa": 0.5, "tta": 10.0},
+                "b": {"psa": 0.25, "tta": 20.0},
+            },
+            columns=("tta", "psa"),
+            title="cmp",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "cmp"
+        header = lines[1]
+        assert header.index("tta") < header.index("psa")
+        assert [line.split()[0] for line in lines[3:]] == ["a", "b"]
+
+    def test_comparison_table_default_columns_first_appearance(self):
+        text = comparison_table(
+            "s",
+            {"a": {"x": 1.0}, "b": {"y": 2.0, "x": 3.0}},
+        )
+        header = text.splitlines()[0]
+        assert header.index("x") < header.index("y")
+
+    def test_comparison_table_missing_metric_dashes(self):
+        text = comparison_table(
+            "s",
+            {"a": {"x": 1.0, "y": 2.0}, "b": {"x": 3.0}},
+        )
+        assert "--" in text

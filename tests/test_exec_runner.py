@@ -43,6 +43,19 @@ class TestBackendRegistry:
         with pytest.raises(ValueError, match="unknown backend"):
             ExperimentRunner("greenlet")
 
+    def test_unknown_backend_error_names_valid_choices(self):
+        # The rejection happens at construction (not first use) and the
+        # message lists every valid choice.
+        with pytest.raises(ValueError) as exc_info:
+            ExperimentRunner("greenlet")
+        message = str(exc_info.value)
+        for name in ("serial", "thread", "process"):
+            assert name in message
+
+    def test_non_string_backend_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ExperimentRunner(backend=42)
+
     def test_backend_instance_passthrough(self):
         backend = get_backend("thread")
         assert ExperimentRunner(backend).backend is backend

@@ -1,0 +1,94 @@
+"""CLI smoke tests: list / show / run, in process via cli.main()."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.scenarios import SCENARIOS
+from repro.scenarios.cli import main
+
+
+class TestList:
+    def test_lists_every_builtin(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS.names():
+            assert name in out
+
+    def test_tag_filter(self, capsys):
+        assert main(["list", "--tag", "threat-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "cooling_duqu" in out
+        assert "smart_grid_stuxnet" not in out
+
+    def test_unknown_tag_fails_and_names_known_tags(self, capsys):
+        assert main(["list", "--tag", "nope"]) == 1
+        out = capsys.readouterr().out
+        assert "threat-sweep" in out
+
+
+class TestShow:
+    def test_show_describes(self, capsys):
+        assert main(["show", "cooling_stuxnet"]) == 0
+        out = capsys.readouterr().out
+        assert "cooling_stuxnet" in out
+        assert "stuxnet_like" in out
+
+    def test_show_json_round_trips(self, capsys):
+        assert main(["show", "smoke", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "smoke"
+        assert data["design_kind"] == "full"
+
+    def test_show_unknown_is_error(self, capsys):
+        assert main(["show", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_smoke_serial(self, capsys):
+        assert main(["run", "smoke", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "psa" in out
+        assert "completed in" in out
+
+    def test_run_by_tag(self, capsys):
+        assert main(["run", "--tag", "smoke", "--seed", "7"]) == 0
+        assert "smoke" in capsys.readouterr().out
+
+    def test_run_nothing_is_usage_error(self, capsys):
+        assert main(["run"]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_run_unknown_scenario_is_error(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_unknown_tag_is_error_and_names_known_tags(self, capsys):
+        # A misspelled tag must not silently shrink the suite.
+        assert main(["run", "smoke", "--tag", "thret-sweep"]) == 2
+        err = capsys.readouterr().err
+        assert "thret-sweep" in err and "threat-sweep" in err
+
+
+@pytest.mark.scenario
+class TestModuleEntryPointAllBackends:
+    """`python -m repro.scenarios run smoke` on every backend."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_run_smoke(self, backend):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.scenarios",
+                "run", "smoke", "--backend", backend,
+                "--n-workers", "2", "--seed", "7",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "smoke" in result.stdout

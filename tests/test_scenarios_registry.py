@@ -1,0 +1,116 @@
+"""Scenario registry: built-in catalog, errors, tag selection."""
+
+import pytest
+
+from repro.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioRegistry,
+    get_scenario,
+    register,
+)
+from repro.scenarios.components import (
+    available_catalogs,
+    available_plants,
+    available_threats,
+    available_topologies,
+    register_topology,
+    resolve_topology,
+)
+
+
+class TestBuiltinCatalog:
+    def test_at_least_eight_builtins(self):
+        assert len(SCENARIOS) >= 8
+
+    def test_expected_names_present(self):
+        names = SCENARIOS.names()
+        for expected in (
+            "smoke",
+            "cooling_stuxnet",
+            "cooling_duqu",
+            "cooling_flame",
+            "cooling_sabotage_physics",
+            "smart_grid_stuxnet",
+        ):
+            assert expected in names
+
+    def test_threat_sweep_covers_all_three_threats(self):
+        threats = {s.threat for s in SCENARIOS.by_tag("threat-sweep")}
+        assert threats == {"stuxnet_like", "duqu_like", "flame_like"}
+
+    def test_doe_sweep_covers_all_design_kinds(self):
+        kinds = {s.design_kind for s in SCENARIOS.by_tag("doe-sweep")}
+        assert kinds == {"full", "fractional", "pb"}
+
+    def test_every_builtin_round_trips_and_builds(self):
+        for scenario in SCENARIOS:
+            assert Scenario.from_dict(scenario.to_dict()) == scenario
+            assert scenario.build_network().hosts
+            assert scenario.build_threat().name == scenario.threat
+            assert scenario.build_catalog().kinds()
+            assert scenario.build_campaign_config().horizon > 0
+
+    def test_registry_iteration_sorted(self):
+        assert [s.name for s in SCENARIOS] == SCENARIOS.names()
+        assert SCENARIOS.names() == sorted(SCENARIOS.names())
+
+
+class TestRegistryErrors:
+    def test_duplicate_name_rejected(self):
+        registry = ScenarioRegistry()
+        registry.add(Scenario(name="dup"))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add(Scenario(name="dup"))
+
+    def test_unknown_name_error_lists_registered(self):
+        registry = ScenarioRegistry()
+        registry.add(Scenario(name="only_one"))
+        with pytest.raises(ValueError, match="only_one"):
+            registry.get("missing")
+
+    def test_global_get_scenario_unknown(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("definitely_not_registered")
+
+    def test_register_decorator_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register
+            def smoke_clone():
+                return Scenario(name="smoke")
+
+    def test_contains_and_len(self):
+        registry = ScenarioRegistry()
+        assert len(registry) == 0
+        registry.add(Scenario(name="x"))
+        assert "x" in registry and "y" not in registry
+        assert len(registry) == 1
+
+    def test_by_tag_and_tags(self):
+        registry = ScenarioRegistry()
+        registry.add(Scenario(name="a", tags=("t1",)))
+        registry.add(Scenario(name="b", tags=("t1", "t2")))
+        assert [s.name for s in registry.by_tag("t1")] == ["a", "b"]
+        assert [s.name for s in registry.by_tag("t2")] == ["b"]
+        assert registry.by_tag("t3") == []
+        assert registry.tags() == ["t1", "t2"]
+
+
+class TestComponentRegistries:
+    def test_builtin_names(self):
+        assert "scope_cooling" in available_topologies()
+        assert "smart_grid_feeder" in available_topologies()
+        assert set(available_threats()) >= {
+            "stuxnet_like", "duqu_like", "flame_like",
+        }
+        assert "default" in available_catalogs()
+        assert set(available_plants()) >= {"cooling", "feeder"}
+
+    def test_resolver_error_names_choices(self):
+        with pytest.raises(ValueError, match="scope_cooling"):
+            resolve_topology("nope")
+
+    def test_duplicate_component_registration_rejected(self):
+        factory = resolve_topology("scope_cooling")
+        with pytest.raises(ValueError, match="already registered"):
+            register_topology("scope_cooling", factory)
