@@ -2,9 +2,16 @@
 
 These are classic pytest-benchmark timings (multiple rounds) rather than
 experiment regenerations: DES event throughput, SAN simulation, GSPN
-simulation, variable-elimination inference, DoE generation and protocol
-codec throughput.  They guard against performance regressions that would
-make the Monte-Carlo studies impractical.
+simulation, CTMC transient analysis, variable-elimination inference, DoE
+generation and protocol codec throughput.  They guard against
+performance regressions that would make the Monte-Carlo studies
+impractical.
+
+The ``*_legacy`` / ``*_dense_expm`` variants time the retained reference
+implementations (interpreter without the compiled fast path, dense
+``scipy.linalg.expm`` transient solver) so every run measures the
+compiled-path speedups in place; ``python -m repro.bench`` persists the
+ratios to a JSON baseline (see BENCH_PR3.json).
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from repro.doe.fractional import fractional_factorial
 from repro.petri.gspn import GSPN
 from repro.petri.net import PetriNet
 from repro.san.builder import SANBuilder
+from repro.san.ctmc import san_to_ctmc
 from repro.san.simulator import SANSimulator
 from repro.scada.protocol import (
     FunctionCode,
@@ -46,15 +54,18 @@ def test_perf_des_engine_100k_events(benchmark):
     assert benchmark(run) == 100_000
 
 
-def test_perf_san_simulation(benchmark):
+def _stage_chain_model():
     builder = SANBuilder()
     builder.place("s0", 1)
     for i in range(5):
         builder.place(f"s{i + 1}", 0)
         builder.stage(f"a{i}", f"s{i}", f"s{i + 1}", rate=1.0,
                       success_probability=0.7)
-    model = builder.build()
-    sim = SANSimulator(model)
+    return builder.build()
+
+
+def _san_simulation_case(benchmark, compiled: bool):
+    sim = SANSimulator(_stage_chain_model(), compiled=compiled)
     rng = np.random.default_rng(1)
 
     def run():
@@ -64,13 +75,23 @@ def test_perf_san_simulation(benchmark):
     assert len(runs) == 50
 
 
-def test_perf_gspn_simulation(benchmark):
+def test_perf_san_simulation(benchmark):
+    """Compiled fast path (the default interpreter)."""
+    _san_simulation_case(benchmark, compiled=True)
+
+
+def test_perf_san_simulation_legacy(benchmark):
+    """Legacy re-scanning interpreter — the pre-compilation baseline."""
+    _san_simulation_case(benchmark, compiled=False)
+
+
+def _gspn_case(benchmark, compiled: bool):
     net = PetriNet()
     net.add_place("idle", 5)
     net.add_place("busy", 0)
     net.add_transition("arrive", {"idle": 1}, {"busy": 1})
     net.add_transition("finish", {"busy": 1}, {"idle": 1})
-    gspn = GSPN(net)
+    gspn = GSPN(net, compiled=compiled)
     gspn.add_timed("arrive", lambda m: 1.0 * max(m["idle"], 1))
     gspn.add_timed("finish", lambda m: 2.0 * max(m["busy"], 1))
     rng = np.random.default_rng(2)
@@ -80,6 +101,61 @@ def test_perf_gspn_simulation(benchmark):
 
     result = benchmark(run)
     assert len(result.final_markings) == 20
+
+
+def test_perf_gspn_simulation(benchmark):
+    """Compiled fast path (the default interpreter)."""
+    _gspn_case(benchmark, compiled=True)
+
+
+def test_perf_gspn_simulation_legacy(benchmark):
+    """Legacy re-scanning interpreter — the pre-compilation baseline."""
+    _gspn_case(benchmark, compiled=False)
+
+
+def _ctmc_1k():
+    """A ~1k-state birth-death CTMC explored from a SAN."""
+    from repro.stats.distributions import Exponential
+
+    builder = SANBuilder("bd1k")
+    builder.place("free", 999).place("load", 0)
+    builder.timed("grow", Exponential(1.2), inputs={"free": 1},
+                  outputs={"load": 1})
+    builder.timed("shrink", Exponential(0.9), inputs={"load": 1},
+                  outputs={"free": 1})
+    return san_to_ctmc(builder.build())
+
+
+@pytest.fixture(scope="module", name="ctmc_1k")
+def ctmc_1k_fixture():
+    ctmc = _ctmc_1k()
+    assert ctmc.n_states == 1000
+    return ctmc
+
+
+def test_perf_ctmc_transient_1k_uniformized(benchmark, ctmc_1k):
+    """Sparse uniformization — the default for large chains."""
+    dist = benchmark(ctmc_1k.transient_distribution, 5.0)
+    assert dist.sum() == pytest.approx(1.0)
+
+
+def test_perf_ctmc_transient_1k_dense_expm(benchmark, ctmc_1k):
+    """Dense O(n³) expm — the pre-PR baseline, kept for validation."""
+    dist = benchmark(
+        ctmc_1k.transient_distribution, 5.0, method="expm"
+    )
+    assert dist.sum() == pytest.approx(1.0)
+
+
+def test_perf_ctmc_transient_grid_1k(benchmark, ctmc_1k):
+    """A 20-point time grid answered from one uniformization pass."""
+    times = [0.5 * (i + 1) for i in range(20)]
+
+    def run():
+        return ctmc_1k.transient_at(times)
+
+    grid = benchmark(run)
+    assert grid.shape == (20, 1000)
 
 
 def test_perf_variable_elimination(benchmark):

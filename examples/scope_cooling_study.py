@@ -20,7 +20,7 @@ import dataclasses
 
 import numpy as np
 
-from repro import get_scenario, san_model_for
+from repro import get_scenario
 from repro.attacks.campaign import AttackCampaign
 from repro.core.indicators import compute_indicators
 from repro.core.placement import PlacementProblem
@@ -44,7 +44,7 @@ def main() -> None:
         print("  warning:", warning)
 
     # ---- SAN model: exact and simulated attack progression -------------
-    san = san_model_for(network, catalog, threat, give_up=True)
+    san = scenario.build_san_model(give_up=True)
     ctmc = san_to_ctmc(san)
     impair = [i for i, s in enumerate(ctmc.states) if dict(s).get("impaired")]
     start = int(np.argmax(ctmc.initial))
@@ -52,7 +52,16 @@ def main() -> None:
     print(f"\nSAN/CTMC: {ctmc.n_states} states; "
           f"P(device impairment | single campaign) = {p_exact:.3f}")
 
-    sim = SANSimulator(san)
+    # Whole transient curve from one uniformization pass.
+    grid_times = [10.0, 25.0, 50.0, 100.0]
+    grid = ctmc.transient_at(grid_times)
+    curve = ", ".join(
+        f"t={t:.0f}h: {grid[j, impair].sum():.3f}"
+        for j, t in enumerate(grid_times)
+    )
+    print(f"  P(impaired by t)  {curve}")
+
+    sim = SANSimulator(san)  # compiled fast path by default
     runs = sim.batch(500.0, 2000, rng, stop=lambda m: m["impaired"] > 0)
     p_mc = sum(r.stopped for r in runs) / len(runs)
     print(f"SAN/Monte-Carlo (2000 replications):          = {p_mc:.3f}")

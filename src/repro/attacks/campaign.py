@@ -137,8 +137,45 @@ class AttackOutcome:
         return [(t, self.compromised_ratio_at(t)) for t in times]
 
 
+@dataclass
+class _CampaignTables:
+    """Static probability tables shared by every replication.
+
+    Attributes:
+        entry: ``(host, p_entry)`` per entry candidate, candidate order.
+        escalation: ``host → p_escalation`` for computer hosts.
+        detection_noise: ``host → p_detect`` for every host.
+        propagation: ``source host → [(vector, target, rate, p), ...]``
+            in the vector × target order the inline loop used.
+        reprogram: ``host → [(plc, p), ...]`` over flow-allowed PLCs,
+            with the host's engineering-tool factor folded in.
+        spoof: Probability the payload can tamper the monitored signal.
+    """
+
+    entry: List[Tuple[str, float]]
+    escalation: Dict[str, float]
+    detection_noise: Dict[str, float]
+    propagation: Dict[str, List[Tuple[str, str, float, float]]]
+    reprogram: Dict[str, List[Tuple[str, float]]]
+    spoof: float
+
+
 class AttackCampaign:
-    """Runs attack campaigns against a configured SCADA system."""
+    """Runs attack campaigns against a configured SCADA system.
+
+    The per-host success/detection probabilities are pure functions of
+    the (network, catalog, threat, config) quadruple, which is fixed for
+    the campaign's lifetime — they are compiled into lookup tables on
+    the first replication (:meth:`_compile_tables`) instead of being
+    recomputed from catalog lookups on every event.  Values and
+    iteration orders replicate the inline computations exactly, so
+    outcomes are bit-identical to the uncached path.
+
+    Mutating the network/catalog/threat *after* a replication has run
+    therefore requires :meth:`invalidate_tables` (in-repo callers build
+    a fresh campaign per configuration, which is the recommended
+    pattern).
+    """
 
     def __init__(
         self,
@@ -151,6 +188,7 @@ class AttackCampaign:
         self.catalog = catalog
         self.threat = threat
         self.config = config or CampaignConfig()
+        self._tables: Optional[_CampaignTables] = None
 
     # ------------------------------------------------------------------
     # probability helpers
@@ -252,12 +290,86 @@ class AttackCampaign:
             base += 0.25 * (1.0 - evasion)
         return min(1.0, base)
 
+    def _propagation_plans(
+        self, host: str
+    ) -> List[Tuple[str, str, float, float]]:
+        """``(vector, target, rate, p)`` lateral-movement plans from ``host``."""
+        return [
+            (
+                vector.name,
+                target,
+                vector.rate,
+                self._propagation_probability(vector, target),
+            )
+            for vector in self.threat.vectors
+            for target in vector.targets(host, self.network)
+        ]
+
+    def _reprogram_plans(
+        self, host: str, plcs: List[str]
+    ) -> List[Tuple[str, float]]:
+        """``(plc, p)`` over flow-allowed PLCs, engineering tool folded in.
+
+        Stuxnet drove the PLC through the engineering suite: a tool
+        variant on ``host`` scales the reprogram probability.
+        """
+        tool = self.network.host(host).variant_of(
+            ComponentKind.ENGINEERING_TOOL
+        )
+        tool_factor = (
+            self.catalog.success_probability(
+                ComponentKind.ENGINEERING_TOOL, tool, "reprogram"
+            )
+            if tool is not None
+            else None
+        )
+        plans: List[Tuple[str, float]] = []
+        for plc_name in plcs:
+            if not self.network.flow_allowed(host, plc_name, "modbus"):
+                continue
+            p = self._reprogram_probability(plc_name)
+            if tool_factor is not None:
+                p *= tool_factor
+            plans.append((plc_name, p))
+        return plans
+
+    def invalidate_tables(self) -> None:
+        """Drop the compiled probability tables.
+
+        Call after mutating the campaign's network, catalog or threat in
+        place; the next replication recompiles the tables against the
+        new configuration.
+        """
+        self._tables = None
+
+    def _compile_tables(self) -> _CampaignTables:
+        """Build (once) the static probability tables ``run`` reads."""
+        if self._tables is not None:
+            return self._tables
+        computers = [h.name for h in self.network.hosts if h.is_computer]
+        plcs = [h.name for h in self.network.hosts_with_role(HostRole.PLC)]
+        self._tables = _CampaignTables(
+            entry=[
+                (h, self._entry_probability(h))
+                for h in self._entry_candidates()
+            ],
+            escalation={h: self._escalation_probability(h) for h in computers},
+            detection_noise={
+                h: self._detection_noise(h) for h in self.network.host_names
+            },
+            propagation={h: self._propagation_plans(h) for h in computers},
+            reprogram={h: self._reprogram_plans(h, plcs) for h in computers},
+            spoof=self._spoof_probability(),
+        )
+        return self._tables
+
     # ------------------------------------------------------------------
     # simulation
     # ------------------------------------------------------------------
 
     def run(self, rng: np.random.Generator) -> AttackOutcome:
         """One campaign replication."""
+        tables = self._compile_tables()
         cfg = self.config
         engine = SimulationEngine()
         trace = TraceRecorder()
@@ -340,7 +452,9 @@ class AttackCampaign:
             now: float, rate: float, p_success: float, host: str
         ) -> None:
             """Failed attempts against ``host`` may be noticed."""
-            p_detect = self._detection_noise(host)
+            p_detect = tables.detection_noise.get(host)
+            if p_detect is None:
+                p_detect = self._detection_noise(host)
             noisy_rate = rate * (1.0 - p_success) * p_detect
             if noisy_rate <= 0:
                 return
@@ -411,7 +525,9 @@ class AttackCampaign:
                         t_detect, lambda ev: detect(ev.time, "c2_beacon")
                     )
             # Privilege escalation.
-            p_root = self._escalation_probability(host)
+            p_root = tables.escalation.get(host)
+            if p_root is None:
+                p_root = self._escalation_probability(host)
             schedule_detection_noise(
                 now, self.threat.escalation_rate, p_root, host
             )
@@ -423,12 +539,13 @@ class AttackCampaign:
                         t, lambda ev, h=host: on_root(ev.time, h)
                     )
             # Lateral movement.
-            for vector in self.threat.vectors:
-                for target in vector.targets(host, self.network):
-                    p = self._propagation_probability(vector, target)
-                    schedule_compromise(
-                        now, host, target, vector.name, vector.rate, p
-                    )
+            plans = tables.propagation.get(host)
+            if plans is None:  # non-computer host: not precompiled
+                plans = self._propagation_plans(host)
+            for vector_name, target, rate, p in plans:
+                schedule_compromise(
+                    now, host, target, vector_name, rate, p
+                )
 
         def on_root(now: float, host: str) -> None:
             if state["done"] or host in rooted:
@@ -448,20 +565,12 @@ class AttackCampaign:
                 and role != HostRole.ENGINEERING_WORKSTATION
             ):
                 return
-            for plc_name in plcs:
+            plc_probs = tables.reprogram.get(host)
+            if plc_probs is None:  # non-computer host: not precompiled
+                plc_probs = self._reprogram_plans(host, plcs)
+            for plc_name, p in plc_probs:
                 if plc_name in reprogram_scheduled:
                     continue
-                if not self.network.flow_allowed(host, plc_name, "modbus"):
-                    continue
-                p = self._reprogram_probability(plc_name)
-                # Stuxnet drove the PLC through the engineering suite.
-                tool = self.network.host(host).variant_of(
-                    ComponentKind.ENGINEERING_TOOL
-                )
-                if tool is not None:
-                    p *= self.catalog.success_probability(
-                        ComponentKind.ENGINEERING_TOOL, tool, "reprogram"
-                    )
                 schedule_detection_noise(
                     now, self.threat.reprogram_rate, p, plc_name
                 )
@@ -485,7 +594,7 @@ class AttackCampaign:
             trace.record(now, "sabotage", plc_name)
             plant.sabotage(registers)
             state["spoof_effective"] = (
-                spoofer is not None and rng.random() < self._spoof_probability()
+                spoofer is not None and rng.random() < tables.spoof
             )
 
         def on_tick(now: float) -> None:
@@ -537,8 +646,7 @@ class AttackCampaign:
 
         # --------------------------- kick-off ---------------------------
 
-        for entry in self._entry_candidates():
-            p = self._entry_probability(entry)
+        for entry, p in tables.entry:
             schedule_detection_noise(0.0, self.threat.entry_rate, p, entry)
             rate = self.threat.entry_rate * p
             if rate > 0:

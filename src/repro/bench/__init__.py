@@ -1,0 +1,185 @@
+"""Benchmark harness driver with persisted machine-readable baselines.
+
+``python -m repro.bench`` runs the pytest-benchmark suite (the ``bench``
+marker tier, defaulting to the substrate timings in
+``benchmarks/test_bench_perf_substrates.py``) and writes a JSON baseline
+file — per-benchmark mean/median/stddev seconds plus derived speedups —
+so successive PRs accumulate a perf trajectory that can be diffed
+mechanically instead of eyeballed from pytest output.
+
+Fast-path/baseline pairs are derived by naming convention: a benchmark
+``X_legacy`` (or ``X_dense_expm``) is treated as the reference
+implementation of ``X`` (``X_uniformized``), and the report includes
+``speedups[X] = mean(reference) / mean(fast)``.
+
+The output file is organized in named *sections* (default ``"current"``)
+so one file can carry, e.g., ``pre_pr`` and ``post_pr`` runs
+side-by-side: re-running with ``--section`` replaces only that section
+and recomputes nothing else.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Dict, List, Optional
+
+#: ``(fast suffix, reference suffix)`` naming conventions for speedups.
+_PAIR_SUFFIXES = (
+    ("", "_legacy"),
+    ("_uniformized", "_dense_expm"),
+)
+
+DEFAULT_TARGETS = ["benchmarks/test_bench_perf_substrates.py"]
+
+
+def _strip_test_prefix(name: str) -> str:
+    """``test_perf_san_simulation[x]`` → ``perf_san_simulation[x]``."""
+    return name[5:] if name.startswith("test_") else name
+
+
+def parse_benchmark_json(raw: Dict[str, object]) -> Dict[str, Dict[str, float]]:
+    """Flatten a pytest-benchmark JSON report to ``{name: stats}``."""
+    results: Dict[str, Dict[str, float]] = {}
+    for entry in raw.get("benchmarks", []):  # type: ignore[union-attr]
+        stats = entry["stats"]
+        results[_strip_test_prefix(entry["name"])] = {
+            "mean_s": stats["mean"],
+            "median_s": stats["median"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return results
+
+
+def derive_speedups(
+    results: Dict[str, Dict[str, float]]
+) -> Dict[str, float]:
+    """``{fast benchmark: reference_mean / fast_mean}`` over known pairs."""
+    speedups: Dict[str, float] = {}
+    for name, stats in results.items():
+        for fast_suffix, ref_suffix in _PAIR_SUFFIXES:
+            if fast_suffix and not name.endswith(fast_suffix):
+                continue
+            base = name[: len(name) - len(fast_suffix)] if fast_suffix else name
+            reference = results.get(base + ref_suffix)
+            if reference is None or reference is stats:
+                continue
+            mean = stats["mean_s"]
+            if mean > 0:
+                speedups[name] = reference["mean_s"] / mean
+    return speedups
+
+
+def run_bench(
+    targets: Optional[List[str]] = None,
+    keyword: Optional[str] = None,
+    output: str = "BENCH.json",
+    section: str = "current",
+    pytest_args: Optional[List[str]] = None,
+) -> Dict[str, object]:
+    """Run the benchmark tier and persist a baseline section.
+
+    Args:
+        targets: Test paths to run (default: the substrate timings).
+        keyword: Optional ``pytest -k`` filter.
+        output: Baseline JSON path; existing sections are preserved.
+        section: Section name to (re)write within the file.
+        pytest_args: Extra arguments appended to the pytest invocation.
+
+    Returns:
+        The section dict that was written.
+
+    Raises:
+        RuntimeError: If pytest fails or produces no benchmark report.
+    """
+    targets = targets or list(DEFAULT_TARGETS)
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = os.path.join(tmp, "benchmark.json")
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-m",
+            "bench",
+            "-q",
+            f"--benchmark-json={report_path}",
+            *targets,
+        ]
+        if keyword:
+            cmd += ["-k", keyword]
+        if pytest_args:
+            cmd += list(pytest_args)
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"benchmark run failed with exit code {proc.returncode}"
+            )
+        if not os.path.exists(report_path):
+            raise RuntimeError(
+                "pytest produced no benchmark report (is pytest-benchmark "
+                "installed and did any 'bench' test run?)"
+            )
+        with open(report_path) as handle:
+            raw = json.load(handle)
+
+    results = parse_benchmark_json(raw)
+    section_data: Dict[str, object] = {
+        "benchmarks": results,
+        "speedups": derive_speedups(results),
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw")
+        or raw.get("machine_info", {}).get("machine"),
+        "python": raw.get("machine_info", {}).get("python_version"),
+    }
+
+    document: Dict[str, object] = {}
+    if os.path.exists(output):
+        with open(output) as handle:
+            document = json.load(handle)
+    document[section] = section_data
+    with open(output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return section_data
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro.bench``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Run the benchmark tier and write a machine-readable "
+            "baseline (per-benchmark timings + derived speedups)."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=None,
+        help=f"test paths to run (default: {DEFAULT_TARGETS[0]})",
+    )
+    parser.add_argument("-k", "--keyword", help="pytest -k filter")
+    parser.add_argument(
+        "-o", "--output", default="BENCH.json",
+        help="baseline JSON file to update (default: BENCH.json)",
+    )
+    parser.add_argument(
+        "-s", "--section", default="current",
+        help="section name inside the baseline file (default: current)",
+    )
+    args = parser.parse_args(argv)
+    section = run_bench(
+        targets=args.targets or None,
+        keyword=args.keyword,
+        output=args.output,
+        section=args.section,
+    )
+    speedups = section["speedups"]
+    print(f"\nwrote section {args.section!r} to {args.output}")
+    for name, ratio in sorted(speedups.items()):  # type: ignore[union-attr]
+        print(f"  speedup {name}: {ratio:.1f}x")
+    return 0

@@ -1,0 +1,8 @@
+"""``python -m repro.bench`` — run benchmarks, persist a baseline."""
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,9 +14,12 @@ formalism from scratch:
   (state-space exploration, transient solution, absorption analysis);
   used to validate the simulator.
 * :mod:`repro.san.builder` — a fluent builder for terse model definitions.
+* :mod:`repro.san.compiled` — the compiled fast-path lowering
+  (``SANModel.compile()``) the simulator executes by default.
 """
 
-from repro.san.ctmc import CTMC, san_to_ctmc
+from repro.san.compiled import CompiledSAN
+from repro.san.ctmc import CTMC, poisson_weights, san_to_ctmc
 from repro.san.model import (
     Case,
     InputGate,
@@ -38,6 +41,7 @@ from repro.san.simulator import SANSimulator, SimulationRun
 __all__ = [
     "CTMC",
     "Case",
+    "CompiledSAN",
     "ImpulseReward",
     "InputGate",
     "InstantaneousActivity",
@@ -51,5 +55,6 @@ __all__ = [
     "SANSimulator",
     "SimulationRun",
     "TimedActivity",
+    "poisson_weights",
     "san_to_ctmc",
 ]

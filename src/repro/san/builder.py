@@ -44,22 +44,49 @@ class SANBuilder:
         return self
 
     def predicate_gate(
-        self, predicate: Callable[[SANMarking], bool], name: Optional[str] = None
+        self,
+        predicate: Callable[[SANMarking], bool],
+        name: Optional[str] = None,
+        reads: Optional[Sequence[str]] = None,
     ) -> InputGate:
-        """An input gate that only guards (identity input function)."""
+        """An input gate that only guards (identity input function).
+
+        Args:
+            predicate: Enabling condition on the marking.
+            name: Gate name (auto-generated when omitted).
+            reads: Places the predicate depends on, when known — lets
+                the compiled fast path skip re-checking the guarded
+                activity after unrelated completions.
+        """
         self._gate_counter += 1
         return InputGate(
             name or f"gate_{self._gate_counter}",
             predicate=predicate,
             function=lambda marking: None,
+            reads=tuple(reads) if reads is not None else None,
+            writes=(),  # the identity function touches nothing
         )
 
     def output_gate(
-        self, function: Callable[[SANMarking], None], name: Optional[str] = None
+        self,
+        function: Callable[[SANMarking], None],
+        name: Optional[str] = None,
+        writes: Optional[Sequence[str]] = None,
     ) -> OutputGate:
-        """An output gate applying ``function`` to the marking."""
+        """An output gate applying ``function`` to the marking.
+
+        Args:
+            function: Marking transformation.
+            name: Gate name (auto-generated when omitted).
+            writes: Places the function may modify, when known (see
+                :class:`~repro.san.model.OutputGate`).
+        """
         self._gate_counter += 1
-        return OutputGate(name or f"ogate_{self._gate_counter}", function)
+        return OutputGate(
+            name or f"ogate_{self._gate_counter}",
+            function,
+            writes=tuple(writes) if writes is not None else None,
+        )
 
     def stage(
         self,

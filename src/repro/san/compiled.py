@@ -1,0 +1,260 @@
+"""Compiled fast-path structures for SAN execution.
+
+:meth:`SANModel.compile` lowers a model into a :class:`CompiledSAN`:
+per-activity read/write place sets, an enabling-dependency index
+(place → activities whose enabling reads it), precomputed case-selection
+CDFs and resolved static distributions.
+:class:`~repro.san.simulator.SANSimulator` executes it with a
+pending-completion heap and incremental enabling reconciliation, so a
+completion only re-examines activities whose enabling could actually
+have changed.
+
+Stream parity with the legacy interpreter
+-----------------------------------------
+``numpy.random.Generator.choice(n, p=probs)`` is internally a
+single-uniform inverse-CDF draw: it normalizes ``cumsum(p)`` and runs a
+right-sided ``searchsorted`` on one ``rng.random()`` double.  The
+compiled path precomputes that CDF once per activity (or per candidate
+set, for instantaneous weight splits) and selects with
+:func:`bisect.bisect_right` on one ``rng.random()`` draw — the same
+float operations on the same generator state.  Every firing therefore
+consumes exactly the draws the legacy interpreter would, and the two
+paths produce **bit-identical** trajectories from the same seed; the
+equivalence suite in ``tests/test_san_compiled.py`` enforces this.
+
+Gates hold opaque callables, so their place footprints are unknown
+unless declared (:class:`~repro.san.model.InputGate` ``reads`` /
+``writes``).  Undeclared footprints degrade gracefully: an activity with
+an undeclared-read gate is re-checked after every completion, and a
+firing with an undeclared-write gate reconciles every activity — legacy
+behaviour, still correct, just less incremental.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.san.model import (
+    InstantaneousActivity,
+    SANMarking,
+    SANModel,
+    TimedActivity,
+)
+from repro.stats.choice import WeightCdfCache, choice_cdf
+from repro.stats.distributions import Distribution, Exponential
+
+Activity = Union[TimedActivity, InstantaneousActivity]
+
+#: Re-export: the case-selection CDF is exactly the ``Generator.choice``
+#: table (see :mod:`repro.stats.choice` for the parity rationale).
+case_cdf = choice_cdf
+
+
+def _static_case_cdf(activity: Activity) -> Optional[List[float]]:
+    """Precompute the case CDF when every probability is a constant.
+
+    Returns ``None`` for marking-dependent probabilities *and* for
+    statically invalid ones — the latter fall back to the dynamic path,
+    which raises the same errors at the same firing the legacy
+    interpreter would.
+    """
+    probs: List[float] = []
+    for case in activity.cases:
+        if callable(case.probability):
+            return None
+        p = float(case.probability)
+        if not 0.0 <= p <= 1.0:
+            return None
+        probs.append(p)
+    if not probs or abs(sum(probs) - 1.0) > 1e-9:
+        return None
+    return case_cdf(probs)
+
+
+class CompiledActivity:
+    """Precomputed execution data for one activity."""
+
+    __slots__ = (
+        "activity",
+        "name",
+        "order",
+        "arcs",
+        "gates",
+        "labels",
+        "static_cdf",
+        "single_case",
+        "static_dist",
+        "exp_scale",
+        "weight",
+        "priority",
+        "reads",
+        "reads_unknown",
+        "case_writes",
+        "case_deltas",
+    )
+
+    def __init__(self, activity: Activity, order: int) -> None:
+        self.activity = activity
+        self.name = activity.name
+        self.order = order
+        self.arcs: Tuple[Tuple[str, int], ...] = activity.input_places
+        self.gates = activity.input_gates
+        self.labels: Tuple[str, ...] = tuple(
+            case.label or str(i) for i, case in enumerate(activity.cases)
+        )
+        self.static_cdf = _static_case_cdf(activity)
+        self.single_case = len(activity.cases) == 1
+
+        if isinstance(activity, TimedActivity):
+            dist = activity.distribution
+            self.static_dist: Optional[Distribution] = (
+                dist if isinstance(dist, Distribution) else None
+            )
+            # Exponential sampling is the inner-loop common case; the
+            # precomputed scale lets the simulator call
+            # ``rng.exponential(scale)`` directly — the same draw
+            # ``Exponential.sample`` performs, minus two Python frames.
+            self.exp_scale: Optional[float] = (
+                1.0 / dist.rate if isinstance(dist, Exponential) else None
+            )
+            self.weight = 0.0
+            self.priority = 0
+        else:
+            self.static_dist = None
+            self.exp_scale = None
+            self.weight = activity.weight
+            self.priority = activity.priority
+
+        reads: Set[str] = {place for place, _ in activity.input_places}
+        self.reads_unknown = False
+        for gate in activity.input_gates:
+            if gate.reads is None:
+                self.reads_unknown = True
+            else:
+                reads.update(gate.reads)
+        self.reads: Tuple[str, ...] = tuple(sorted(reads))
+
+        writes_list: List[Optional[Tuple[str, ...]]] = []
+        base: Optional[Set[str]] = {place for place, _ in activity.input_places}
+        for gate in activity.input_gates:
+            if gate.writes is None:
+                base = None
+                break
+            base.update(gate.writes)
+        for case in activity.cases:
+            if base is None:
+                writes_list.append(None)
+                continue
+            case_places: Optional[Set[str]] = set(base)
+            case_places.update(place for place, _ in case.output_places)
+            for gate in case.output_gates:
+                if gate.writes is None:
+                    case_places = None
+                    break
+                case_places.update(gate.writes)
+            writes_list.append(
+                None if case_places is None else tuple(sorted(case_places))
+            )
+        self.case_writes: Tuple[Optional[Tuple[str, ...]], ...] = tuple(
+            writes_list
+        )
+
+        # Gateless completion collapses to a pure token delta (inputs
+        # consumed, case outputs produced); enabling guarantees the
+        # inputs are covered, so the simulator can apply it straight to
+        # the token-count dict without per-place bounds checks.
+        if activity.input_gates:
+            deltas: Tuple[Optional[Tuple[Tuple[str, int], ...]], ...] = tuple(
+                None for _ in activity.cases
+            )
+        else:
+            per_case: List[Optional[Tuple[Tuple[str, int], ...]]] = []
+            for case in activity.cases:
+                if case.output_gates:
+                    per_case.append(None)
+                    continue
+                net: Dict[str, int] = {}
+                for place, count in activity.input_places:
+                    net[place] = net.get(place, 0) - count
+                for place, count in case.output_places:
+                    net[place] = net.get(place, 0) + count
+                per_case.append(
+                    tuple((p, d) for p, d in net.items() if d != 0)
+                )
+            deltas = tuple(per_case)
+        self.case_deltas = deltas
+
+    def enabled(self, counts: Dict[str, int], marking: SANMarking) -> bool:
+        """SAN enabling rule against the fast token-count view."""
+        for place, needed in self.arcs:
+            if counts.get(place, 0) < needed:
+                return False
+        for gate in self.gates:
+            if not gate.predicate(marking):
+                return False
+        return True
+
+
+class CompiledSAN:
+    """A :class:`SANModel` lowered for fast interpretation.
+
+    Attributes:
+        timed: Compiled timed activities, registration order.
+        instantaneous: Compiled instantaneous activities, registration
+            order.
+        timed_readers / inst_readers: ``place → activity indices`` whose
+            enabling reads that place.
+        timed_always / inst_always: Indices with undeclared gate reads —
+            re-checked after every completion.
+    """
+
+    __slots__ = (
+        "timed",
+        "timed_by_name",
+        "instantaneous",
+        "timed_readers",
+        "inst_readers",
+        "timed_always",
+        "inst_always",
+        "_weight_cdfs",
+    )
+
+    def __init__(self, model: SANModel) -> None:
+        self.timed: List[CompiledActivity] = [
+            CompiledActivity(a, i)
+            for i, a in enumerate(model.timed_activities)
+        ]
+        self.timed_by_name: Dict[str, CompiledActivity] = {
+            ca.name: ca for ca in self.timed
+        }
+        self.instantaneous: List[CompiledActivity] = [
+            CompiledActivity(a, i)
+            for i, a in enumerate(model.instantaneous_activities)
+        ]
+        self.timed_readers = self._reader_index(self.timed)
+        self.inst_readers = self._reader_index(self.instantaneous)
+        self.timed_always: Tuple[int, ...] = tuple(
+            ca.order for ca in self.timed if ca.reads_unknown
+        )
+        self.inst_always: Tuple[int, ...] = tuple(
+            ca.order for ca in self.instantaneous if ca.reads_unknown
+        )
+        self._weight_cdfs = WeightCdfCache(
+            [ca.weight for ca in self.instantaneous]
+        )
+
+    @staticmethod
+    def _reader_index(
+        compiled: Sequence[CompiledActivity],
+    ) -> Dict[str, Tuple[int, ...]]:
+        readers: Dict[str, List[int]] = {}
+        for ca in compiled:
+            for place in ca.reads:
+                readers.setdefault(place, []).append(ca.order)
+        return {place: tuple(idx) for place, idx in readers.items()}
+
+    def weight_cdf(self, candidates: Tuple[int, ...]) -> List[float]:
+        """Weight-split CDF over instantaneous ``candidates`` (cached)."""
+        return self._weight_cdfs.cdf(candidates)

@@ -10,15 +10,29 @@ It serves two purposes:
   — the paper's reference for Time-To-Security-Failure), and
 * validation of the Monte-Carlo simulator (:mod:`repro.san.simulator`) —
   experiment E8 in DESIGN.md.
+
+Scaling
+-------
+The generator is assembled and stored as a ``scipy.sparse`` matrix, and
+transient analysis uses **uniformization** (a Fox–Glynn-style truncated
+Poisson sum over powers of the uniformized DTMC) instead of the dense
+O(n³) matrix exponential, so ~10³–10⁴-state models answer transient
+queries in milliseconds.  The dense ``expm`` path is kept for tiny chains
+(and as ``method="expm"`` for cross-validation); absorption analysis
+switches from dense ``numpy.linalg.solve`` to sparse direct solves above
+a few hundred states.  ``transient_at`` answers many time points from a
+single uniformization pass.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from scipy import sparse
 from scipy.linalg import expm
+from scipy.sparse.linalg import spsolve
 
 from repro.san.model import (
     InstantaneousActivity,
@@ -30,47 +44,233 @@ from repro.stats.distributions import Exponential
 
 FrozenMarking = Tuple[Tuple[str, int], ...]
 
+#: Below this state count the dense expm path is used by default — the
+#: O(n³) cost is negligible and it avoids the truncation bookkeeping.
+DENSE_STATE_CUTOFF = 64
 
-@dataclass
+#: Below this state count absorption analysis uses dense linear solves.
+DENSE_SOLVE_CUTOFF = 400
+
+#: Uniformization needs ~Λ·t matrix-vector products; past this many
+#: terms the truncated sum is slower than the dense matrix exponential,
+#: so ``method="auto"``-style dispatch falls back to ``expm``.
+UNIFORMIZATION_MAX_TERMS = 2_000_000
+
+
+def poisson_weights(q: float, tol: float = 1e-12) -> Tuple[int, List[float]]:
+    """Truncated Poisson(q) pmf covering at least ``1 - tol`` mass.
+
+    Fox–Glynn-style: start at the mode (evaluated stably in log space
+    via ``lgamma``) and extend left/right, always absorbing the larger
+    neighbouring weight, until the retained mass reaches ``1 - tol``.
+
+    Returns:
+        ``(left, weights)`` — ``weights[k]`` is the pmf at ``left + k``.
+
+    Raises:
+        ValueError: If ``q`` is negative.
+    """
+    if q < 0:
+        raise ValueError(f"Poisson rate must be >= 0, got {q}")
+    if q == 0.0:
+        return 0, [1.0]
+    mode = int(q)
+    log_q = math.log(q)
+
+    def pmf(k: int) -> float:
+        return math.exp(-q + k * log_q - math.lgamma(k + 1))
+
+    left = right = mode
+    lower: List[float] = []   # weights below the mode, outward order
+    upper: List[float] = [pmf(mode)]
+    total = upper[0]
+    w_down = pmf(mode - 1) if mode > 0 else 0.0
+    w_up = pmf(mode + 1)
+    target = 1.0 - tol
+    while total < target:
+        if w_down < total * 1e-17 and w_up < total * 1e-17:
+            # Both frontier weights are below one ulp of the retained
+            # mass: adding them cannot change ``total`` any more.  For
+            # very large q the lgamma-based pmf carries cancellation
+            # error above ``tol``, so the mass saturates short of the
+            # target — stop rather than grind through subnormal tails;
+            # the deficit is bounded by the pmf roundoff.
+            break
+        if w_down > w_up and left > 0:
+            lower.append(w_down)
+            total += w_down
+            left -= 1
+            w_down = w_down * left / q if left > 0 else 0.0
+        else:
+            upper.append(w_up)
+            total += w_up
+            right += 1
+            w_up = w_up * q / (right + 1)
+    return left, list(reversed(lower)) + upper
+
+
 class CTMC:
-    """An explicit-state CTMC.
+    """An explicit-state CTMC over a sparse generator.
+
+    Args:
+        states: Tangible markings (frozen), in exploration order.
+        generator: Generator matrix Q (rows sum to zero) — dense
+            ``numpy`` array or any ``scipy.sparse`` matrix.
+        initial: Initial probability vector over ``states``.
 
     Attributes:
-        states: Tangible markings (frozen); index 0 is the initial state
-            distribution's support start.
-        generator: Dense generator matrix Q (rows sum to zero).
-        initial: Initial probability vector over ``states``.
+        states: The tangible markings.
+        initial: The initial distribution.
     """
 
-    states: List[FrozenMarking]
-    generator: np.ndarray
-    initial: np.ndarray
+    def __init__(
+        self,
+        states: Sequence[FrozenMarking],
+        generator: Union[np.ndarray, sparse.spmatrix, sparse.sparray],
+        initial: np.ndarray,
+    ) -> None:
+        self.states: List[FrozenMarking] = list(states)
+        self.initial = np.asarray(initial, dtype=np.float64)
+        if sparse.issparse(generator):
+            self._sparse = sparse.csr_array(generator)
+            self._dense: Optional[np.ndarray] = None
+        else:
+            self._dense = np.asarray(generator, dtype=np.float64)
+            self._sparse = sparse.csr_array(self._dense)
+        self._index: Dict[FrozenMarking, int] = {
+            state: i for i, state in enumerate(self.states)
+        }
+        self._uniformized: Optional[Tuple[float, sparse.csr_array]] = None
 
     @property
     def n_states(self) -> int:
         """Number of tangible states."""
         return len(self.states)
 
+    @property
+    def generator(self) -> np.ndarray:
+        """Dense view of the generator (materialized on demand)."""
+        if self._dense is None:
+            self._dense = self._sparse.toarray()
+        return self._dense
+
+    @property
+    def sparse_generator(self) -> sparse.csr_array:
+        """The generator in CSR form (the authoritative storage)."""
+        return self._sparse
+
     def state_index(self, marking: FrozenMarking) -> int:
-        """Index of ``marking``.
+        """Index of ``marking`` (O(1) interned lookup).
 
         Raises:
             KeyError: If the marking is not a tangible state.
         """
         try:
-            return self.states.index(marking)
-        except ValueError as exc:
-            raise KeyError(f"unknown state {marking!r}") from exc
+            return self._index[marking]
+        except KeyError:
+            raise KeyError(f"unknown state {marking!r}") from None
 
-    def transient_distribution(self, t: float) -> np.ndarray:
+    # ------------------------------------------------------------------
+    # transient analysis
+    # ------------------------------------------------------------------
+
+    def _uniformize(self) -> Optional[Tuple[float, sparse.csr_array]]:
+        """``(Λ, P)`` with ``P = I + Q/Λ`` — cached; None if Q == 0."""
+        if self._uniformized is None:
+            diag = self._sparse.diagonal()
+            lam = float(-diag.min()) if diag.size else 0.0
+            if lam <= 0.0:
+                return None
+            p_matrix = sparse.csr_array(
+                sparse.eye_array(self.n_states, format="csr")
+                + self._sparse * (1.0 / lam)
+            )
+            self._uniformized = (lam, p_matrix)
+        return self._uniformized
+
+    def transient_distribution(
+        self, t: float, method: str = "auto", tol: float = 1e-12
+    ) -> np.ndarray:
         """State distribution at time ``t``: p(t) = p(0)·e^{Qt}.
 
+        Args:
+            t: Query time.
+            method: ``"auto"`` (uniformization above
+                :data:`DENSE_STATE_CUTOFF` states, dense ``expm``
+                below), ``"uniformization"`` or ``"expm"``.
+            tol: Truncation tolerance of the uniformized Poisson sum.
+
         Raises:
-            ValueError: If ``t < 0``.
+            ValueError: If ``t < 0`` or ``method`` is unknown.
         """
-        if t < 0:
-            raise ValueError(f"t must be >= 0, got {t}")
-        return self.initial @ expm(self.generator * t)
+        return self.transient_at([t], method=method, tol=tol)[0]
+
+    def transient_at(
+        self,
+        times: Sequence[float],
+        method: str = "auto",
+        tol: float = 1e-12,
+    ) -> np.ndarray:
+        """State distributions at several times from one analysis pass.
+
+        With uniformization, all queries share a single sweep over the
+        powers ``p(0)·Pᵏ`` up to the largest truncation point, so asking
+        for a whole time grid costs barely more than the farthest point.
+
+        Returns:
+            Array of shape ``(len(times), n_states)``.
+
+        Raises:
+            ValueError: If any time is negative or ``method`` is
+                unknown.
+        """
+        times = [float(t) for t in times]
+        for t in times:
+            if t < 0:
+                raise ValueError(f"t must be >= 0, got {t}")
+        if method not in ("auto", "uniformization", "expm"):
+            raise ValueError(f"unknown transient method {method!r}")
+        if not times:
+            return np.empty((0, self.n_states))
+        if method == "auto":
+            method = (
+                "expm" if self.n_states <= DENSE_STATE_CUTOFF
+                else "uniformization"
+            )
+        if method == "expm":
+            q_dense = self.generator
+            return np.array(
+                [self.initial @ expm(q_dense * t) for t in times]
+            )
+        return self._transient_uniformized(times, tol)
+
+    def _transient_uniformized(
+        self, times: List[float], tol: float
+    ) -> np.ndarray:
+        out = np.empty((len(times), self.n_states))
+        uniformized = self._uniformize()
+        if uniformized is None:  # all states absorbing: p(t) = p(0)
+            out[:] = self.initial
+            return out
+        lam, p_matrix = uniformized
+        windows = [poisson_weights(lam * t, tol) for t in times]
+        max_k = max(left + len(w) - 1 for left, w in windows)
+        if max_k > UNIFORMIZATION_MAX_TERMS:
+            # Λ·t so stiff that the truncated sum would need more
+            # matvecs than the dense exponential costs — fall back.
+            q_dense = self.generator
+            return np.array(
+                [self.initial @ expm(q_dense * t) for t in times]
+            )
+        vector = self.initial.copy()
+        out[:] = 0.0
+        for k in range(max_k + 1):
+            for j, (left, weights) in enumerate(windows):
+                if left <= k < left + len(weights):
+                    out[j] += weights[k - left] * vector
+            if k < max_k:
+                vector = vector @ p_matrix
+        return out
 
     def state_probability(
         self, t: float, predicate: Callable[[Dict[str, int]], bool]
@@ -83,10 +283,30 @@ class CTMC:
                 total += float(dist[i])
         return total
 
+    # ------------------------------------------------------------------
+    # absorption analysis
+    # ------------------------------------------------------------------
+
     def absorbing_states(self) -> List[int]:
-        """Indices of states with no outgoing rate."""
-        out = np.abs(self.generator).sum(axis=1)
-        return [i for i in range(self.n_states) if out[i] < 1e-14]
+        """Indices of states with no outgoing rate.
+
+        The cutoff is scale-aware: a state counts as absorbing when its
+        total exit rate is below ``1e-12`` × the largest exit rate in
+        the chain, so models with very fast clocks (rates ≫ 1) are not
+        misread by an absolute epsilon.
+        """
+        out = np.asarray(abs(self._sparse).sum(axis=1)).ravel()
+        scale = float(out.max()) if out.size else 0.0
+        tol = 1e-12 * scale if scale > 0.0 else 1e-14
+        return [i for i in range(self.n_states) if out[i] < tol]
+
+    def _submatrix(
+        self, rows: Sequence[int], cols: Sequence[int]
+    ) -> sparse.csr_array:
+        return sparse.csr_array(
+            self._sparse[np.asarray(rows, dtype=np.intp), :]
+            [:, np.asarray(cols, dtype=np.intp)]
+        )
 
     def hitting_probability(self, targets: Sequence[int]) -> np.ndarray:
         """P(eventually hit ``targets``) from every state.
@@ -109,9 +329,19 @@ class CTMC:
         for i in targets:
             x[i] = 1.0
         if transient:
-            q_tt = self.generator[np.ix_(transient, transient)]
-            rhs = -self.generator[np.ix_(transient, sorted(targets))].sum(axis=1)
-            x_t = np.linalg.solve(q_tt, rhs)
+            target_cols = sorted(targets)
+            if self.n_states <= DENSE_SOLVE_CUTOFF:
+                q_tt = self.generator[np.ix_(transient, transient)]
+                rhs = -self.generator[
+                    np.ix_(transient, target_cols)
+                ].sum(axis=1)
+                x_t = np.linalg.solve(q_tt, rhs)
+            else:
+                q_tt = self._submatrix(transient, transient)
+                rhs = -np.asarray(
+                    self._submatrix(transient, target_cols).sum(axis=1)
+                ).ravel()
+                x_t = spsolve(sparse.csc_matrix(q_tt), rhs)
             for idx, i in enumerate(transient):
                 x[i] = float(x_t[idx])
         return x
@@ -140,9 +370,13 @@ class CTMC:
             h[i] = 0.0
         certain = [i for i in transient if probs[i] > 1.0 - 1e-9]
         if certain:
-            q_tt = self.generator[np.ix_(certain, certain)]
             rhs = -np.ones(len(certain))
-            h_t = np.linalg.solve(q_tt, rhs)
+            if self.n_states <= DENSE_SOLVE_CUTOFF:
+                q_tt = self.generator[np.ix_(certain, certain)]
+                h_t = np.linalg.solve(q_tt, rhs)
+            else:
+                q_tt = sparse.csc_matrix(self._submatrix(certain, certain))
+                h_t = spsolve(q_tt, rhs)
             for idx, i in enumerate(certain):
                 h[i] = float(h_t[idx])
         return h
@@ -151,7 +385,6 @@ class CTMC:
 def _tangible_expansion(
     model: SANModel,
     marking: SANMarking,
-    rng_placeholder: None = None,
     max_depth: int = 1000,
 ) -> List[Tuple[float, FrozenMarking]]:
     """Expand a (possibly vanishing) marking into tangible outcomes.
@@ -197,7 +430,7 @@ def _tangible_expansion(
 
 
 def san_to_ctmc(model: SANModel, max_states: int = 20000) -> CTMC:
-    """Convert an all-exponential SAN to an explicit CTMC.
+    """Convert an all-exponential SAN to an explicit (sparse) CTMC.
 
     Args:
         model: The SAN; every timed activity must have a (possibly
@@ -225,12 +458,11 @@ def san_to_ctmc(model: SANModel, max_states: int = 20000) -> CTMC:
             states.append(frozen)
         return index[frozen]
 
-    transitions: List[Tuple[int, int, float]] = []
-    frontier: List[int] = []
+    rows: List[int] = []
+    cols: List[int] = []
+    rates: List[float] = []
     for prob, frozen in initial_expansion:
-        idx = intern(frozen)
-        if idx == len(states) - 1:
-            frontier.append(idx)
+        intern(frozen)
 
     explored = 0
     while explored < len(states):
@@ -255,15 +487,18 @@ def san_to_ctmc(model: SANModel, max_states: int = 20000) -> CTMC:
                 activity.complete(nxt, case_index)
                 for p_tang, tangible in _tangible_expansion(model, nxt):
                     dst = intern(tangible)
-                    transitions.append((src, dst, rate * p_case * p_tang))
+                    if src != dst:
+                        rows.append(src)
+                        cols.append(dst)
+                        rates.append(rate * p_case * p_tang)
 
     n = len(states)
-    generator = np.zeros((n, n))
-    for src, dst, rate in transitions:
-        if src != dst:
-            generator[src, dst] += rate
-    for i in range(n):
-        generator[i, i] = -generator[i].sum()
+    off_diag = sparse.csr_array(
+        sparse.coo_array((rates, (rows, cols)), shape=(n, n))
+    )
+    generator = off_diag + sparse.diags_array(
+        -np.asarray(off_diag.sum(axis=1)).ravel(), format="csr"
+    )
 
     initial = np.zeros(n)
     for prob, frozen in initial_expansion:

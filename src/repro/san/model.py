@@ -16,9 +16,21 @@ marking.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.stats.distributions import Distribution, Exponential
+
+if TYPE_CHECKING:
+    from repro.san.compiled import CompiledSAN
 
 
 class SANMarking:
@@ -92,19 +104,36 @@ class InputGate:
         name: Gate name.
         predicate: Enabling condition on the marking.
         function: Applied to the marking when the activity completes.
+        reads: Places the predicate depends on, when statically known
+            (``None`` = unknown; the compiled fast path then re-checks
+            the activity after every completion).
+        writes: Places the input function may modify, when statically
+            known (``()`` for a pure guard; ``None`` = unknown, which
+            forces the compiled fast path to reconcile every activity
+            after this gate fires).
     """
 
     name: str
     predicate: MarkingPredicate
     function: MarkingFunction
+    reads: Optional[Tuple[str, ...]] = None
+    writes: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)
 class OutputGate:
-    """A marking transformation applied on activity completion."""
+    """A marking transformation applied on activity completion.
+
+    Attributes:
+        name: Gate name.
+        function: Applied to the marking when the case is selected.
+        writes: Places the function may modify, when statically known
+            (``None`` = unknown; see :class:`InputGate`).
+    """
 
     name: str
     function: MarkingFunction
+    writes: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -259,6 +288,29 @@ class SANModel:
         self.name = name
         self._initial: Dict[str, int] = {}
         self._activities: Dict[str, Union[TimedActivity, InstantaneousActivity]] = {}
+        self._compiled: Optional["CompiledSAN"] = None
+
+    def compile(self) -> "CompiledSAN":
+        """The compiled fast-path representation of this model.
+
+        Precomputes per-activity read/write place sets, the
+        enabling-dependency index and case-selection CDFs (see
+        :mod:`repro.san.compiled`).  The result is cached; any model
+        mutation (new activity, changed initial marking) invalidates it.
+        """
+        if self._compiled is None:
+            from repro.san.compiled import CompiledSAN
+
+            self._compiled = CompiledSAN(self)
+        return self._compiled
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The compiled cache is derived data; rebuilding it on the far
+        # side of a pickle (process backend) is cheap and keeps payloads
+        # small.
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        return state
 
     @property
     def activities(self) -> List[Union[TimedActivity, InstantaneousActivity]]:
@@ -288,6 +340,7 @@ class SANModel:
         if tokens < 0:
             raise ValueError(f"tokens must be >= 0, got {tokens}")
         self._initial[place] = tokens
+        self._compiled = None
 
     def initial_marking(self) -> SANMarking:
         """A fresh mutable copy of the initial marking."""
@@ -364,6 +417,7 @@ class SANModel:
         if activity.name in self._activities:
             raise ValueError(f"duplicate activity {activity.name!r}")
         self._activities[activity.name] = activity
+        self._compiled = None
 
     def activity(self, name: str) -> Union[TimedActivity, InstantaneousActivity]:
         """Look up an activity by name.

@@ -15,12 +15,27 @@ Implements the standard SAN semantics:
 Activities that remain enabled across a completion keep their sampled
 completion times (no resampling), matching the behaviour of mainstream SAN
 tools for non-memoryless distributions.
+
+Two interpreters implement these semantics:
+
+* the **compiled fast path** (default) runs the
+  :class:`~repro.san.compiled.CompiledSAN` lowering — incremental
+  enabling reconciliation over a dependency index, a pending-completion
+  heap, and precomputed single-uniform case selection;
+* the **legacy interpreter** (``SANSimulator(model, compiled=False)``)
+  re-scans every activity per completion and draws cases via
+  ``rng.choice(p=...)``.
+
+Both consume the random stream identically, so they produce bit-equal
+trajectories from the same seed (see ``tests/test_san_compiled.py``).
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -62,10 +77,18 @@ class SimulationRun:
 
 
 class SANSimulator:
-    """Executes a :class:`~repro.san.model.SANModel`."""
+    """Executes a :class:`~repro.san.model.SANModel`.
 
-    def __init__(self, model: SANModel) -> None:
+    Args:
+        model: The model to execute.
+        compiled: Use the compiled fast path (default).  ``False``
+            selects the legacy re-scanning interpreter; both produce
+            bit-identical runs from the same generator state.
+    """
+
+    def __init__(self, model: SANModel, compiled: bool = True) -> None:
         self.model = model
+        self.compiled = compiled
 
     def simulate(
         self,
@@ -93,6 +116,209 @@ class SANSimulator:
         Raises:
             RuntimeError: If ``max_completions`` is exceeded.
         """
+        if self.compiled:
+            return self._simulate_compiled(
+                horizon, rng, stop, initial, on_completion, max_completions
+            )
+        return self._simulate_legacy(
+            horizon, rng, stop, initial, on_completion, max_completions
+        )
+
+    # ------------------------------------------------------------------
+    # compiled fast path
+    # ------------------------------------------------------------------
+
+    def _simulate_compiled(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        stop: Optional[Callable[[SANMarking], bool]],
+        initial: Optional[SANMarking],
+        on_completion: Optional[CompletionHook],
+        max_completions: int,
+    ) -> SimulationRun:
+        marking = (initial.copy() if initial is not None
+                   else self.model.initial_marking())
+        now = 0.0
+        completions: List[Tuple[float, str, str]] = []
+        stop_time = float("nan")
+
+        if stop is not None and stop(marking):
+            return SimulationRun(marking, 0.0, 0.0, completions)
+
+        compiled = self.model.compile()
+        timed = compiled.timed
+        timed_by_name = compiled.timed_by_name
+        inst = compiled.instantaneous
+        counts = marking._counts  # shared mutable dict; fast reads
+        rng_random = rng.random
+
+        # Timed activations: name -> (absolute time, epoch); the heap
+        # holds (time, name, epoch) with lazy invalidation, so the pop
+        # order matches the legacy min() over (time, name).
+        pending: Dict[str, Tuple[float, int]] = {}
+        heap: List[Tuple[float, str, int]] = []
+        epoch = 0
+
+        inst_enabled = {
+            ca.order for ca in inst if ca.enabled(counts, marking)
+        }
+        dirty_timed = set(range(len(timed)))
+
+        def fire(ca) -> int:
+            """Complete ``ca``: select a case (one uniform) and apply it."""
+            cdf = ca.static_cdf
+            if cdf is None:
+                # Marking-dependent (or statically invalid) probabilities:
+                # evaluate and validate exactly like the legacy path.
+                cdf = ca.activity.case_probabilities(marking)
+                cdf = np.asarray(cdf, dtype=np.float64).cumsum()
+                cdf /= cdf[-1]
+                cdf = cdf.tolist()
+            u = rng_random()
+            case_index = 0 if ca.single_case else bisect_right(cdf, u)
+            deltas = ca.case_deltas[case_index]
+            if deltas is None:
+                ca.activity.complete(marking, case_index)
+            else:
+                for place, delta in deltas:
+                    value = counts.get(place, 0) + delta
+                    if value:
+                        counts[place] = value
+                    else:
+                        counts.pop(place, None)
+            label = ca.labels[case_index]
+            completions.append((now, ca.name, label))
+            if on_completion is not None:
+                on_completion(now, ca.name, label, marking)
+            return case_index
+
+        timed_readers = compiled.timed_readers
+        inst_readers = compiled.inst_readers
+        timed_always = compiled.timed_always
+        inst_always = compiled.inst_always
+        all_timed = range(len(timed))
+        has_inst = bool(inst)
+
+        def mark_dirty(ca, case_index: int) -> None:
+            """Queue re-checks for activities the completion may affect."""
+            writes = ca.case_writes[case_index]
+            if writes is None:
+                dirty_timed.update(all_timed)
+                recheck = range(len(inst))
+            else:
+                for place in writes:
+                    hit = timed_readers.get(place)
+                    if hit:
+                        dirty_timed.update(hit)
+                if timed_always:
+                    dirty_timed.update(timed_always)
+                if not has_inst:
+                    return
+                touched_inst: set = set(inst_always)
+                for place in writes:
+                    hit = inst_readers.get(place)
+                    if hit:
+                        touched_inst.update(hit)
+                recheck = touched_inst
+            for i in recheck:
+                if inst[i].enabled(counts, marking):
+                    inst_enabled.add(i)
+                else:
+                    inst_enabled.discard(i)
+
+        count = 0
+        while True:
+            if count >= max_completions:
+                raise RuntimeError(
+                    f"exceeded {max_completions} completions; "
+                    "likely an instantaneous-activity loop"
+                )
+
+            # 1. Fire instantaneous activities to quiescence.
+            if inst_enabled:
+                candidates = sorted(inst_enabled)
+                if len(candidates) > 1:
+                    top = max(inst[i].priority for i in candidates)
+                    candidates = [
+                        i for i in candidates if inst[i].priority == top
+                    ]
+                if len(candidates) == 1:
+                    rng_random()  # the legacy rng.choice(1, ...) draw
+                    chosen = inst[candidates[0]]
+                else:
+                    cdf = compiled.weight_cdf(tuple(candidates))
+                    chosen = inst[candidates[bisect_right(cdf, rng_random())]]
+                case_index = fire(chosen)
+                mark_dirty(chosen, case_index)
+                count += 1
+                if stop is not None and stop(marking):
+                    stop_time = now
+                    break
+                continue
+
+            # 2. Reconcile touched timed activations with the marking.
+            if dirty_timed:
+                for i in sorted(dirty_timed):
+                    ca = timed[i]
+                    if ca.enabled(counts, marking):
+                        if ca.name not in pending:
+                            scale = ca.exp_scale
+                            if scale is not None:
+                                t = now + float(rng.exponential(scale))
+                            else:
+                                dist = ca.static_dist
+                                if dist is None:
+                                    dist = ca.activity.distribution_in(marking)
+                                t = now + dist.sample(rng)
+                            epoch += 1
+                            pending[ca.name] = (t, epoch)
+                            heappush(heap, (t, ca.name, epoch))
+                    elif ca.name in pending:
+                        del pending[ca.name]  # aborted activation
+                dirty_timed.clear()
+
+            if not pending:
+                break  # dead marking
+
+            # 3. Advance to the earliest valid completion.
+            while True:
+                next_time, next_name, ep = heap[0]
+                rec = pending.get(next_name)
+                if rec is not None and rec[1] == ep:
+                    break
+                heappop(heap)  # stale (aborted / superseded) entry
+            if next_time > horizon:
+                now = horizon
+                break
+            heappop(heap)
+            del pending[next_name]
+            now = next_time
+            ca = timed_by_name[next_name]
+            case_index = fire(ca)
+            dirty_timed.add(ca.order)  # fired: eligible for re-activation
+            mark_dirty(ca, case_index)
+            count += 1
+            if stop is not None and stop(marking):
+                stop_time = now
+                break
+
+        end_time = min(now, horizon)
+        return SimulationRun(marking, end_time, stop_time, completions)
+
+    # ------------------------------------------------------------------
+    # legacy interpreter
+    # ------------------------------------------------------------------
+
+    def _simulate_legacy(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        stop: Optional[Callable[[SANMarking], bool]],
+        initial: Optional[SANMarking],
+        on_completion: Optional[CompletionHook],
+        max_completions: int,
+    ) -> SimulationRun:
         marking = (initial.copy() if initial is not None
                    else self.model.initial_marking())
         now = 0.0

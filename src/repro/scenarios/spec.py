@@ -156,6 +156,30 @@ class Scenario:
             return None
         return [ComponentKind(kind) for kind in self.kinds]
 
+    def build_san_model(self, give_up: bool = False):
+        """The stage-chain SAN of this scenario's baseline system.
+
+        Bridges the declarative catalog to the SAN substrate: the model
+        runs on :class:`repro.san.simulator.SANSimulator`'s compiled
+        fast path by default and, being all-exponential, converts to an
+        exact CTMC via :func:`repro.san.ctmc.san_to_ctmc`.
+
+        Args:
+            give_up: Failed stage attempts abandon the campaign instead
+                of retrying (makes attack success probability < 1).
+
+        Returns:
+            A :class:`repro.san.model.SANModel`.
+        """
+        from repro.core.modeling import san_model_for
+
+        return san_model_for(
+            self.build_network(),
+            self.build_catalog(),
+            self.build_threat(),
+            give_up=give_up,
+        )
+
     # ---- serialization ---------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:

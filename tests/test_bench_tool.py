@@ -1,0 +1,80 @@
+"""Tests for the ``repro.bench`` baseline writer (pure parts only —
+the subprocess pytest run is exercised by the bench tier itself)."""
+
+import json
+
+from repro.bench import derive_speedups, parse_benchmark_json
+
+
+def _report(names_means):
+    return {
+        "benchmarks": [
+            {
+                "name": name,
+                "stats": {
+                    "mean": mean,
+                    "median": mean,
+                    "stddev": 0.1 * mean,
+                    "rounds": 10,
+                },
+            }
+            for name, mean in names_means.items()
+        ],
+        "machine_info": {"python_version": "3.x"},
+    }
+
+
+class TestParse:
+    def test_strips_test_prefix_and_flattens(self):
+        parsed = parse_benchmark_json(
+            _report({"test_perf_san_simulation": 0.002})
+        )
+        assert parsed == {
+            "perf_san_simulation": {
+                "mean_s": 0.002,
+                "median_s": 0.002,
+                "stddev_s": 0.0002,
+                "rounds": 10,
+            }
+        }
+
+    def test_empty_report(self):
+        assert parse_benchmark_json({}) == {}
+
+
+class TestSpeedups:
+    def test_legacy_pairing(self):
+        results = parse_benchmark_json(
+            _report(
+                {
+                    "test_perf_san_simulation": 0.001,
+                    "test_perf_san_simulation_legacy": 0.004,
+                }
+            )
+        )
+        assert derive_speedups(results) == {"perf_san_simulation": 4.0}
+
+    def test_dense_expm_pairing(self):
+        results = parse_benchmark_json(
+            _report(
+                {
+                    "test_perf_ctmc_transient_1k_uniformized": 0.001,
+                    "test_perf_ctmc_transient_1k_dense_expm": 0.75,
+                }
+            )
+        )
+        speedups = derive_speedups(results)
+        assert speedups["perf_ctmc_transient_1k_uniformized"] == 750.0
+
+    def test_unpaired_benchmarks_have_no_speedup(self):
+        results = parse_benchmark_json(
+            _report({"test_perf_doe_generation": 0.005})
+        )
+        assert derive_speedups(results) == {}
+
+    def test_round_trips_as_json(self):
+        results = parse_benchmark_json(
+            _report({"test_perf_x": 0.5, "test_perf_x_legacy": 1.0})
+        )
+        payload = {"benchmarks": results, "speedups": derive_speedups(results)}
+        assert json.loads(json.dumps(payload)) == payload

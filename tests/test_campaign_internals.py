@@ -129,3 +129,33 @@ class TestDegenerateSystems:
         assert all(not o.success for o in outcomes)
         # The entry host still gets compromised.
         assert any(o.compromise_times for o in outcomes)
+
+
+class TestCompiledTables:
+    def test_tables_match_inline_helpers(self, campaign):
+        tables = campaign._compile_tables()
+        assert campaign._compile_tables() is tables  # memoized
+        for host, p in tables.entry:
+            assert p == campaign._entry_probability(host)
+        for host, p in tables.escalation.items():
+            assert p == campaign._escalation_probability(host)
+        for host, plans in tables.propagation.items():
+            assert plans == campaign._propagation_plans(host)
+        assert tables.spoof == campaign._spoof_probability()
+
+    def test_invalidate_tables_recompiles(self, campaign):
+        first = campaign._compile_tables()
+        campaign.invalidate_tables()
+        second = campaign._compile_tables()
+        assert second is not first
+        assert second.entry == first.entry
+
+    def test_mutation_honoured_after_invalidation(self, campaign):
+        rng = np.random.default_rng(0)
+        campaign.run(rng)  # compiles the tables
+        entry_host = campaign._compile_tables().entry[0][0]
+        before = dict(campaign._compile_tables().entry)[entry_host]
+        campaign.network.host(entry_host).resilient = True
+        campaign.invalidate_tables()
+        after = dict(campaign._compile_tables().entry)[entry_host]
+        assert after == pytest.approx(before * 0.05)

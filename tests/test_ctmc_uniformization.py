@@ -1,0 +1,263 @@
+"""Tests for sparse CTMC analysis: uniformization, sparse solves,
+scale-aware absorption and the interned state index."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.san.builder import SANBuilder
+from repro.san.ctmc import (
+    CTMC,
+    DENSE_STATE_CUTOFF,
+    poisson_weights,
+    san_to_ctmc,
+)
+from repro.stats.distributions import Exponential
+
+
+def random_ctmc(rng, n):
+    """A dense random generator with ~40% connectivity."""
+    q = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+    np.fill_diagonal(q, 0.0)
+    q[np.diag_indices(n)] = -q.sum(axis=1)
+    initial = rng.random(n)
+    initial /= initial.sum()
+    states = [(("p", i),) for i in range(n)]
+    return CTMC(states=states, generator=q, initial=initial)
+
+
+def birth_death_ctmc(n, up=1.2, down=0.9):
+    builder = SANBuilder("bd")
+    builder.place("free", n - 1).place("load", 0)
+    builder.timed("grow", Exponential(up), inputs={"free": 1},
+                  outputs={"load": 1})
+    builder.timed("shrink", Exponential(down), inputs={"load": 1},
+                  outputs={"free": 1})
+    return san_to_ctmc(builder.build())
+
+
+class TestPoissonWeights:
+    def test_mass_near_one(self):
+        for q in (0.0, 0.3, 1.0, 7.5, 40.0, 900.0):
+            left, weights = poisson_weights(q, tol=1e-12)
+            assert sum(weights) == pytest.approx(1.0, abs=1e-11)
+            assert left >= 0
+            assert all(w >= 0 for w in weights)
+
+    def test_matches_scipy_pmf(self):
+        from scipy.stats import poisson
+
+        q = 12.5
+        left, weights = poisson_weights(q)
+        ks = np.arange(left, left + len(weights))
+        assert np.allclose(weights, poisson.pmf(ks, q), atol=1e-13)
+
+    def test_zero_rate_is_point_mass(self):
+        assert poisson_weights(0.0) == (0, [1.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_weights(-1.0)
+
+    def test_huge_rate_terminates(self):
+        """pmf cancellation error must not make the target unreachable.
+
+        At q = 3e8 the lgamma-based pmf saturates the retained mass a
+        few 1e-7 short of 1 - 1e-12; the loop must stop at the sub-ulp
+        frontier instead of grinding through subnormal tails forever.
+        """
+        left, weights = poisson_weights(3e8)
+        assert sum(weights) == pytest.approx(1.0, abs=1e-5)
+        # The window is centred near the mode, a few sigma wide.
+        assert abs(left + len(weights) / 2 - 3e8) < 1e6
+        assert len(weights) < 2_000_000
+
+
+class TestUniformizationAgreesWithExpm:
+    def test_property_random_small_ctmcs(self):
+        """Uniformization vs dense expm, atol 1e-10, random chains."""
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            n = int(rng.integers(2, 30))
+            ctmc = random_ctmc(rng, n)
+            for t in (0.0, 0.25, 2.0, 13.0):
+                dense = ctmc.transient_distribution(t, method="expm")
+                unif = ctmc.transient_distribution(
+                    t, method="uniformization"
+                )
+                assert np.allclose(dense, unif, atol=1e-10)
+
+    def test_auto_dispatch_by_size(self):
+        rng = np.random.default_rng(0)
+        small = random_ctmc(rng, 5)
+        big = birth_death_ctmc(DENSE_STATE_CUTOFF + 10)
+        # Both dispatch without error and produce distributions.
+        assert small.transient_distribution(1.0).sum() == pytest.approx(1.0)
+        assert big.transient_distribution(1.0).sum() == pytest.approx(1.0)
+        # The auto path on the big chain matches the dense reference.
+        assert np.allclose(
+            big.transient_distribution(1.5),
+            big.transient_distribution(1.5, method="expm"),
+            atol=1e-10,
+        )
+
+    def test_unknown_method_rejected(self):
+        ctmc = random_ctmc(np.random.default_rng(1), 4)
+        with pytest.raises(ValueError):
+            ctmc.transient_distribution(1.0, method="magic")
+
+    def test_negative_time_rejected(self):
+        ctmc = random_ctmc(np.random.default_rng(1), 4)
+        with pytest.raises(ValueError):
+            ctmc.transient_distribution(-0.5)
+        with pytest.raises(ValueError):
+            ctmc.transient_at([1.0, -2.0])
+
+    def test_all_absorbing_chain_is_constant(self):
+        ctmc = CTMC(
+            states=[(("p", 0),), (("p", 1),)],
+            generator=np.zeros((2, 2)),
+            initial=np.array([0.3, 0.7]),
+        )
+        for method in ("uniformization", "expm"):
+            assert np.allclose(
+                ctmc.transient_distribution(5.0, method=method),
+                ctmc.initial,
+            )
+
+
+class TestTransientAt:
+    def test_grid_matches_single_queries(self):
+        ctmc = birth_death_ctmc(80)
+        times = [0.0, 0.5, 1.5, 4.0, 9.0]
+        grid = ctmc.transient_at(times, method="uniformization")
+        assert grid.shape == (len(times), ctmc.n_states)
+        for row, t in zip(grid, times):
+            assert np.allclose(
+                row,
+                ctmc.transient_distribution(t, method="expm"),
+                atol=1e-10,
+            )
+
+    def test_empty_grid_returns_empty_matrix(self):
+        for ctmc in (birth_death_ctmc(10), birth_death_ctmc(100)):
+            grid = ctmc.transient_at([])
+            assert grid.shape == (0, ctmc.n_states)
+
+    def test_state_probability_uses_transient(self):
+        ctmc = birth_death_ctmc(30)
+        p = ctmc.state_probability(2.0, lambda m: m.get("load", 0) >= 1)
+        assert 0.0 < p < 1.0
+
+
+class TestSparseStorage:
+    def test_generator_dense_view_matches_sparse(self):
+        ctmc = birth_death_ctmc(50)
+        assert sparse.issparse(ctmc.sparse_generator)
+        assert np.allclose(
+            ctmc.generator, ctmc.sparse_generator.toarray()
+        )
+        assert np.allclose(ctmc.generator.sum(axis=1), 0.0, atol=1e-9)
+
+    def test_accepts_sparse_input(self):
+        q = sparse.csr_array(
+            np.array([[-1.0, 1.0], [2.0, -2.0]])
+        )
+        ctmc = CTMC(
+            states=[(("p", 0),), (("p", 1),)],
+            generator=q,
+            initial=np.array([1.0, 0.0]),
+        )
+        assert ctmc.generator[0, 1] == 1.0
+        assert ctmc.transient_distribution(3.0).sum() == pytest.approx(1.0)
+
+    def test_sparse_hitting_matches_dense(self):
+        """Above the dense cutoff the sparse solver path takes over."""
+        big = birth_death_ctmc(450, up=1.2, down=0.9)
+        n = big.n_states
+        target = [n - 1]
+        hp = big.hitting_probability(target)
+        mh = big.mean_hitting_time(target)
+        start = int(np.argmax(big.initial))
+        # Irreducible (upward-biased, well-conditioned) birth-death
+        # chain: the top state is hit almost surely, in finite time.
+        assert hp[start] == pytest.approx(1.0, abs=1e-8)
+        assert 0.0 < mh[start] < np.inf
+        # And the sparse solve reproduces the dense reference solve.
+        transient = [i for i in range(n) if i != n - 1]
+        q_tt = big.generator[np.ix_(transient, transient)]
+        rhs = -big.generator[np.ix_(transient, target)].sum(axis=1)
+        dense_hp = np.linalg.solve(q_tt, rhs)
+        assert np.allclose(hp[transient], dense_hp, atol=1e-8)
+
+
+class TestStateIndex:
+    def test_lookup_and_unknown(self):
+        ctmc = birth_death_ctmc(20)
+        for i, state in enumerate(ctmc.states):
+            assert ctmc.state_index(state) == i
+        with pytest.raises(KeyError):
+            ctmc.state_index((("nope", 1),))
+
+
+class TestAbsorbingStates:
+    def test_scale_aware_on_fast_rate_model(self):
+        """Residual exit rate tiny *relative* to 1e12-scale clocks."""
+        q = np.zeros((3, 3))
+        q[0, 1] = 1e12
+        q[0, 0] = -1e12
+        q[1, 2] = 1e12
+        q[1, 1] = -1e12
+        # State 2 keeps a 1e-3 numerical residue: huge vs the old
+        # absolute 1e-14 cutoff, noise (1e-15 relative) vs the rates.
+        q[2, 0] = 1e-3
+        q[2, 2] = -1e-3
+        ctmc = CTMC(
+            states=[(("p", i),) for i in range(3)],
+            generator=q,
+            initial=np.array([1.0, 0.0, 0.0]),
+        )
+        assert ctmc.absorbing_states() == [2]
+
+    def test_exact_zero_rows_still_absorbing_at_small_scale(self):
+        builder = SANBuilder()
+        builder.place("s0", 1).place("s1", 0)
+        builder.stage("go", "s0", "s1", rate=0.25)
+        ctmc = san_to_ctmc(builder.build())
+        absorbing = ctmc.absorbing_states()
+        assert len(absorbing) == 1
+        assert dict(ctmc.states[absorbing[0]]).get("s1") == 1
+
+    def test_genuinely_slow_state_not_swallowed(self):
+        """A real (if slow) exit rate at comparable scale stays active."""
+        q = np.array([[-0.01, 0.01], [0.0, 0.0]])
+        ctmc = CTMC(
+            states=[(("p", 0),), (("p", 1),)],
+            generator=q,
+            initial=np.array([1.0, 0.0]),
+        )
+        assert ctmc.absorbing_states() == [1]
+
+
+class TestSimulatorCrossValidation:
+    def test_compiled_simulator_matches_ctmc_mean_hitting_time(self):
+        """Statistical agreement of the compiled path with exact CTMC."""
+        builder = SANBuilder()
+        builder.place("s0", 1).place("s1", 0).place("s2", 0)
+        builder.stage("a1", "s0", "s1", rate=1.0, success_probability=0.8)
+        builder.stage("a2", "s1", "s2", rate=0.5, success_probability=0.6)
+        model = builder.build()
+        ctmc = san_to_ctmc(model)
+        targets = [
+            i for i, s in enumerate(ctmc.states) if dict(s).get("s2", 0) > 0
+        ]
+        analytic = ctmc.mean_hitting_time(targets)[
+            int(np.argmax(ctmc.initial))
+        ]
+        from repro.san.simulator import SANSimulator
+
+        sim = SANSimulator(model)  # compiled default
+        runs = sim.batch(10_000.0, 1500, rng=11,
+                         stop=lambda m: m["s2"] > 0)
+        sampled = np.mean([r.stop_time for r in runs if r.stopped])
+        assert sampled == pytest.approx(analytic, rel=0.1)
