@@ -29,7 +29,10 @@ Modeling notes
 
 from __future__ import annotations
 
+import bisect
+import copy
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
@@ -76,6 +79,15 @@ class CampaignConfig:
         plant_factory: Builds the physical process under control — the
             cooling plant by default; pass e.g.
             ``lambda: PowerFeeder()`` for the smart-grid scenario.
+        tick_elision: Run the campaign event loop on the tick-elision
+            fast path (default).  Pre-sabotage plant/master ticks are
+            rng-free and independent of the attack state, so they are
+            served from one lazily-extended healthy trajectory shared
+            by every replication of the campaign; the per-tick loop
+            resumes bit-exactly when a controller is reprogrammed.
+            ``False`` keeps the legacy per-tick loop — outcomes are
+            identical either way for the same seed (see
+            ``tests/test_campaign_tick_elision.py``).
     """
 
     horizon: float = 400.0
@@ -86,6 +98,7 @@ class CampaignConfig:
     plant_factory: Callable[[], PhysicalProcess] = field(
         default=_default_plant
     )
+    tick_elision: bool = True
 
 
 @dataclass
@@ -136,6 +149,37 @@ class AttackOutcome:
         """The compromised-ratio step function sampled at ``times``."""
         return [(t, self.compromised_ratio_at(t)) for t in times]
 
+    def response_row(
+        self, horizon: float
+    ) -> Tuple[float, float, float, float]:
+        """The long-format response tuple
+        ``(success, tta, ttsf, final_ratio)`` with the library's
+        horizon-censoring conventions (censored times count ``horizon``).
+        """
+        return (
+            1.0 if self.success else 0.0,
+            self.success_time if self.success else horizon,
+            (
+                self.detection_time
+                if not math.isnan(self.detection_time)
+                else horizon
+            ),
+            self.compromised_ratio_at(horizon),
+        )
+
+
+def _response_row_unit(
+    campaign: "AttackCampaign", rng: np.random.Generator
+) -> Tuple[float, float, float, float]:
+    """Run one replication, return only its compact response row.
+
+    Module-level so the ``process`` backend can pickle it; shipping four
+    floats back instead of a full :class:`AttackOutcome` (with its
+    trace) is what makes :meth:`AttackCampaign.run_batch_table` cheap
+    across process boundaries.
+    """
+    return campaign.run(rng).response_row(campaign.config.horizon)
+
 
 @dataclass
 class _CampaignTables:
@@ -158,6 +202,173 @@ class _CampaignTables:
     propagation: Dict[str, List[Tuple[str, str, float, float]]]
     reprogram: Dict[str, List[Tuple[str, float]]]
     spoof: float
+
+
+def _build_master(plant: PhysicalProcess) -> SCADAMaster:
+    """The master configuration every replication (and the healthy
+    trajectory probe) uses: one stress alarm plus spoof detection on the
+    plant's monitored register."""
+    monitored = plant.monitored_register
+    master = SCADAMaster(
+        alarms=[
+            Alarm(
+                "process_stress",
+                monitored,
+                high=plant.alarm_threshold,
+                scale=plant.alarm_scale,
+            )
+        ]
+    )
+    master.watch(monitored)
+    return master
+
+
+#: Ticks scanned per milestone-pump step on the elided path.  Small
+#: enough that replications ending early never pay for the full horizon,
+#: large enough that pump events are negligible next to real ticks.
+_MILESTONE_SCAN_CHUNK = 64
+
+
+class _HealthyTickTrajectory:
+    """The deterministic pre-sabotage tick trajectory of one campaign.
+
+    Until a controller is reprogrammed, the campaign's ``on_tick``
+    handler is a pure function of the (plant, config) pair: it draws no
+    randomness, reads no attack state, and the control registers never
+    change.  Every replication therefore ticks through the *same*
+    healthy trajectory — so one probe simulation, extended lazily and
+    shared by all replications of the campaign, replaces the per-tick
+    loop.  The probe records, per tick ``k`` (1-based, times built by
+    the same float accumulation the event loop uses):
+
+    * the master's first finding (alarm or spoof-detector label) and
+      the first tick at which accumulated damage crosses impairment —
+      the only two tick-loop effects visible to a replication that
+      never reaches sabotage;
+    * the monitored reading stream (for spoofer/detector state
+      restoration) and full ``(plant, registers, damage)`` snapshots,
+      so a replication whose sabotage starts after tick ``j`` can
+      resume the exact legacy per-tick loop from tick ``j + 1``.
+
+    Thread-safe: extension is serialized by a lock (the ``thread``
+    backend runs replications of one campaign concurrently); already
+    scanned ticks are immutable and read lock-free.
+    """
+
+    def __init__(
+        self, config: CampaignConfig, record_snapshots: bool = True
+    ) -> None:
+        self.config = config
+        self.record_snapshots = record_snapshots
+        self.plant = config.plant_factory()
+        self.registers = self.plant.default_registers()
+        self.damage = self.plant.make_damage_model()
+        self.monitored = self.plant.monitored_register
+        self.master = _build_master(self.plant)
+        # times[k] is tick k's firing time; built by repeated addition
+        # (t += interval) exactly like the legacy tick chain, so the
+        # elided path reproduces the same float values.
+        times = [0.0]
+        while True:
+            nxt = times[-1] + config.tick_interval
+            if nxt > config.horizon:
+                break
+            times.append(nxt)
+        self.times = times
+        self.n_ticks = len(times) - 1
+        self.scanned = 0
+        # Index k holds post-tick-k state; index 0 is the initial state.
+        self.snapshots: List[Tuple[PhysicalProcess, Dict[int, int], float]] = [
+            (copy.deepcopy(self.plant), dict(self.registers), 0.0)
+        ]
+        self.readings: List[float] = [float("nan")]  # index 0 unused
+        self.first_finding: Optional[Tuple[int, str]] = None
+        self.first_impairment: Optional[int] = None
+        self._lock = threading.Lock()
+
+    @property
+    def scan_exhausted(self) -> bool:
+        """Whether every tick up to the horizon has been scanned."""
+        return self.scanned >= self.n_ticks
+
+    def tick_time(self, k: int) -> Optional[float]:
+        """Tick ``k``'s firing time, or None past the horizon."""
+        if 1 <= k <= self.n_ticks:
+            return self.times[k]
+        return None
+
+    def ticks_at_or_before(self, time: float) -> int:
+        """How many ticks fire at or before ``time``."""
+        return min(bisect.bisect_right(self.times, time) - 1, self.n_ticks)
+
+    def scan_to(self, k: int) -> None:
+        """Extend the probe simulation through tick ``min(k, n_ticks)``."""
+        if self.scanned >= min(k, self.n_ticks):
+            return
+        with self._lock:
+            target = min(k, self.n_ticks)
+            while self.scanned < target:
+                self._step_once()
+
+    def _step_once(self) -> None:
+        """One healthy tick, mirroring ``on_tick``'s pre-sabotage body."""
+        k = self.scanned + 1
+        now = self.times[k]
+        dt_seconds = self.config.tick_interval * 3600.0
+        self.plant.step(self.registers, dt=dt_seconds)
+        self.damage.update(self.plant.stress_level(), dt_seconds, now)
+        reported = dict(self.registers)
+        actual = float(self.registers.get(self.monitored, 0))
+        findings = self.master.poll(now, reported)
+        self.readings.append(actual)
+        if self.record_snapshots:
+            self.snapshots.append(
+                (
+                    copy.deepcopy(self.plant),
+                    dict(self.registers),
+                    self.damage.damage,
+                )
+            )
+        if findings and self.first_finding is None:
+            self.first_finding = (k, findings[0])
+        if self.damage.impaired and self.first_impairment is None:
+            self.first_impairment = k
+        self.scanned = k
+
+    # -------------------- replication restore helpers --------------------
+
+    def _require_snapshots(self) -> None:
+        if not self.record_snapshots:
+            raise RuntimeError(
+                "trajectory was built without state snapshots "
+                "(record_snapshots=False); restore is only needed — and "
+                "snapshots only recorded — for sabotage-capable "
+                "(impair-goal) campaigns"
+            )
+
+    def plant_at(self, k: int) -> PhysicalProcess:
+        """A private copy of the plant state after tick ``k``."""
+        self._require_snapshots()
+        self.scan_to(k)
+        return copy.deepcopy(self.snapshots[k][0])
+
+    def registers_at(self, k: int) -> Dict[int, int]:
+        """The register image after tick ``k``."""
+        self._require_snapshots()
+        self.scan_to(k)
+        return dict(self.snapshots[k][1])
+
+    def damage_at(self, k: int) -> float:
+        """Accumulated damage after tick ``k``."""
+        self._require_snapshots()
+        self.scan_to(k)
+        return self.snapshots[k][2]
+
+    def readings_through(self, k: int) -> List[float]:
+        """Monitored readings of ticks ``1..k`` (the healthy record
+        stream seen by spoofers and the master's spoof detector)."""
+        self.scan_to(k)
+        return self.readings[1 : k + 1]
 
 
 class AttackCampaign:
@@ -189,6 +400,15 @@ class AttackCampaign:
         self.threat = threat
         self.config = config or CampaignConfig()
         self._tables: Optional[_CampaignTables] = None
+        self._trajectory: Optional[_HealthyTickTrajectory] = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the healthy trajectory (it holds a lock and is
+        cheap to rebuild worker-side, where one unpickled campaign is
+        shared by every replication of a chunk)."""
+        state = self.__dict__.copy()
+        state["_trajectory"] = None
+        return state
 
     # ------------------------------------------------------------------
     # probability helpers
@@ -334,13 +554,30 @@ class AttackCampaign:
         return plans
 
     def invalidate_tables(self) -> None:
-        """Drop the compiled probability tables.
+        """Drop the compiled probability tables and healthy trajectory.
 
-        Call after mutating the campaign's network, catalog or threat in
-        place; the next replication recompiles the tables against the
-        new configuration.
+        Call after mutating the campaign's network, catalog, threat or
+        config in place; the next replication recompiles both against
+        the new configuration.
         """
         self._tables = None
+        self._trajectory = None
+
+    def _healthy_trajectory(self) -> _HealthyTickTrajectory:
+        """The shared healthy tick trajectory (built on first use).
+
+        Per-tick state snapshots exist to resume the per-tick loop at
+        sabotage, which only ``"impair"``-goal threats can trigger —
+        other goals skip the deepcopy-per-tick cost entirely.
+        """
+        trajectory = self._trajectory
+        if trajectory is None:
+            trajectory = _HealthyTickTrajectory(
+                self.config,
+                record_snapshots=(self.threat.goal == "impair"),
+            )
+            self._trajectory = trajectory
+        return trajectory
 
     def _compile_tables(self) -> _CampaignTables:
         """Build (once) the static probability tables ``run`` reads."""
@@ -368,9 +605,20 @@ class AttackCampaign:
     # ------------------------------------------------------------------
 
     def run(self, rng: np.random.Generator) -> AttackOutcome:
-        """One campaign replication."""
+        """One campaign replication.
+
+        Runs the tick-elision fast path when
+        :attr:`CampaignConfig.tick_elision` is set (the default): the
+        rng-free healthy tick stream is served from the campaign's
+        shared :class:`_HealthyTickTrajectory` and the legacy per-tick
+        loop is resumed — from a bit-exact state restore — only once a
+        controller is reprogrammed.  Outcomes are identical to the
+        legacy loop for the same generator state.
+        """
         tables = self._compile_tables()
         cfg = self.config
+        elide = cfg.tick_elision
+        traj = self._healthy_trajectory() if elide else None
         engine = SimulationEngine()
         trace = TraceRecorder()
         stages = StageTracker()
@@ -402,18 +650,24 @@ class AttackCampaign:
         registers = plant.default_registers()
         damage = plant.make_damage_model()
         monitored = plant.monitored_register
-        master = SCADAMaster(
-            alarms=[
-                Alarm(
-                    "process_stress",
-                    monitored,
-                    high=plant.alarm_threshold,
-                    scale=plant.alarm_scale,
-                )
-            ]
-        )
-        master.watch(monitored)
+        master = _build_master(plant)
         spoofer = self.threat.make_spoofer()
+
+        # Tick-elision bookkeeping (one dict to keep the closures below
+        # free of nonlocal declarations).  ``suspended`` flips when the
+        # legacy per-tick loop takes over at sabotage; stale milestone
+        # events then no-op instead of being cancelled.
+        elided: Dict[str, object] = {
+            "suspended": False,
+            "detect_scheduled": False,
+            "impair_scheduled": False,
+            "effects_tick": 0,
+            "frontier": 0,
+            "exfil_idx": 0,
+            "exfil_amount": 0.0,
+            "exfil_n": 0,
+            "exfil_event": None,
+        }
 
         def evict(time: float) -> None:
             if state["done"]:
@@ -555,6 +809,8 @@ class AttackCampaign:
             trace.record(now, "root", host)
             stages.reach(AttackStage.ROOT_ACCESS, now, host)
             maybe_schedule_reprogram(now, host)
+            if elide and self.threat.goal == "exfiltrate":
+                _exfil_update(now)
 
         def maybe_schedule_reprogram(now: float, host: str) -> None:
             if self.threat.goal != "impair":
@@ -590,12 +846,28 @@ class AttackCampaign:
         def on_sabotage(now: float, plc_name: str) -> None:
             if state["done"] or not math.isnan(state["sabotage_start"]):
                 return
+            if elide:
+                _resume_ticking(now)
             state["sabotage_start"] = now
             trace.record(now, "sabotage", plc_name)
             plant.sabotage(registers)
             state["spoof_effective"] = (
                 spoofer is not None and rng.random() < tables.spoof
             )
+
+        def _reachable_data() -> List[str]:
+            """Rooted hosts with process-data access (exfiltration)."""
+            return [
+                h
+                for h in rooted
+                if self.network.host(h).role
+                in (HostRole.HISTORIAN, HostRole.SCADA_SERVER)
+                or any(
+                    self.network.flow_allowed(h, other, "historian")
+                    for other in self.network.host_names
+                    if self.network.host(other).role == HostRole.HISTORIAN
+                )
+            ]
 
         def on_tick(now: float) -> None:
             if state["done"]:
@@ -621,17 +893,7 @@ class AttackCampaign:
                 )
                 succeed(now, "device_impairment")
             if self.threat.goal == "exfiltrate":
-                reachable_data = [
-                    h
-                    for h in rooted
-                    if self.network.host(h).role
-                    in (HostRole.HISTORIAN, HostRole.SCADA_SERVER)
-                    or any(
-                        self.network.flow_allowed(h, other, "historian")
-                        for other in self.network.host_names
-                        if self.network.host(other).role == HostRole.HISTORIAN
-                    )
-                ]
+                reachable_data = _reachable_data()
                 if reachable_data:
                     state["exfiltrated"] += (
                         self.threat.exfiltration_rate
@@ -643,6 +905,167 @@ class AttackCampaign:
             next_tick = now + cfg.tick_interval
             if next_tick <= cfg.horizon:
                 engine.schedule(next_tick, lambda ev: on_tick(ev.time))
+
+        # ---------------------- tick-elision fast path ------------------
+        #
+        # Pre-sabotage, ``on_tick`` draws no randomness and depends only
+        # on the (plant, config) pair, so its three observable effects —
+        # the master's first finding, healthy impairment, and
+        # exfiltration accrual — are reproduced from the shared healthy
+        # trajectory (the first two) and tick arithmetic (the third).
+        # Once sabotage starts, ``_resume_ticking`` restores the exact
+        # legacy state at the last elided tick and hands control back to
+        # ``on_tick``.
+
+        def _healthy_tick_effects(ev) -> None:
+            """Replay every elided effect of the tick firing at ``ev.time``.
+
+            One idempotent dispatcher backs all scheduled milestone /
+            exfiltration-check events, because the legacy ``on_tick``
+            body does *not* stop mid-tick when detection evicts the
+            attacker: an eviction (which sets ``done``) is still
+            followed, within the same tick, by the impairment and
+            exfiltration success checks.  Processing the whole tick from
+            whichever coinciding event fires first — in the legacy
+            sub-order detect → impair → exfiltrate, with ``done``
+            guarding only the tick *entry* — reproduces that exactly.
+            """
+            if elided["suspended"] or state["done"]:
+                return
+            now = ev.time
+            k = traj.ticks_at_or_before(now)
+            if elided["effects_tick"] == k:
+                return  # a coinciding event already replayed this tick
+            elided["effects_tick"] = k
+            finding = traj.first_finding
+            if finding is not None and finding[0] == k:
+                detect(now, finding[1])
+            if (
+                self.threat.goal == "impair"
+                and traj.first_impairment == k
+            ):
+                stages.reach(
+                    AttackStage.DEVICE_IMPAIRMENT, now, "physical_process"
+                )
+                succeed(now, "device_impairment")
+            if self.threat.goal == "exfiltrate":
+                _exfil_catch_up(now)
+                if (
+                    float(elided["exfil_amount"])
+                    >= self.threat.exfiltration_target
+                ):
+                    succeed(now, "exfiltration_complete")
+
+        def _advance_milestones(ev=None) -> None:
+            """Scan the next trajectory chunk; schedule found milestones.
+
+            Re-scheduled at the scan frontier while a milestone is still
+            unresolved, so replications that end early never pay for a
+            full-horizon scan.
+            """
+            if state["done"] or elided["suspended"]:
+                return
+            need_impair = self.threat.goal == "impair"
+            traj.scan_to(int(elided["frontier"]) + _MILESTONE_SCAN_CHUNK)
+            elided["frontier"] = traj.scanned
+            if not elided["detect_scheduled"] and traj.first_finding:
+                elided["detect_scheduled"] = True
+                engine.schedule(
+                    traj.tick_time(traj.first_finding[0]),
+                    _healthy_tick_effects,
+                )
+            if (
+                need_impair
+                and not elided["impair_scheduled"]
+                and traj.first_impairment is not None
+            ):
+                elided["impair_scheduled"] = True
+                engine.schedule(
+                    traj.tick_time(traj.first_impairment),
+                    _healthy_tick_effects,
+                )
+            unresolved = (
+                not elided["detect_scheduled"]
+                or (need_impair and not elided["impair_scheduled"])
+            ) and not traj.scan_exhausted
+            if unresolved:
+                engine.schedule(
+                    traj.tick_time(int(elided["frontier"])),
+                    _advance_milestones,
+                )
+
+        def _exfil_catch_up(now: float) -> None:
+            """Accrue the elided ticks at or before ``now`` with the
+            current reachable-host count (exactly one addition per tick,
+            in tick order, matching the legacy loop's float stream)."""
+            idx = int(elided["exfil_idx"])
+            n = int(elided["exfil_n"])
+            while True:
+                t_next = traj.tick_time(idx + 1)
+                if t_next is None or t_next > now:
+                    break
+                idx += 1
+                if n > 0:
+                    elided["exfil_amount"] = float(elided["exfil_amount"]) + (
+                        self.threat.exfiltration_rate * cfg.tick_interval * n
+                    )
+            elided["exfil_idx"] = idx
+
+        def _exfil_update(now: float) -> None:
+            """Re-predict the exfiltration-complete tick after ``rooted``
+            changed; keeps exactly one pending check event at the tick
+            where the legacy loop would declare success."""
+            _exfil_catch_up(now)
+            elided["exfil_n"] = len(_reachable_data())
+            pending = elided["exfil_event"]
+            if pending is not None:
+                engine.cancel(pending)
+                elided["exfil_event"] = None
+            n = int(elided["exfil_n"])
+            if n <= 0:
+                return
+            amount = float(elided["exfil_amount"])
+            k = int(elided["exfil_idx"])
+            while True:
+                t_next = traj.tick_time(k + 1)
+                if t_next is None:
+                    return  # never crosses the target before the horizon
+                k += 1
+                amount += (
+                    self.threat.exfiltration_rate * cfg.tick_interval * n
+                )
+                if amount >= self.threat.exfiltration_target:
+                    elided["exfil_event"] = engine.schedule(
+                        t_next, _healthy_tick_effects
+                    )
+                    return
+
+        def _resume_ticking(now: float) -> None:
+            """Hand control back to the legacy per-tick loop at sabotage.
+
+            Restores plant, registers, damage, spoofer and the master's
+            spoof-detector window to their exact states after the last
+            elided tick ``j <= now``, then schedules tick ``j + 1`` —
+            from there on the resumed loop is byte-for-byte the legacy
+            one (including its per-tick spoofed-signal rng draws).
+            """
+            nonlocal plant
+            elided["suspended"] = True
+            j = traj.ticks_at_or_before(now)
+            plant = traj.plant_at(j)
+            registers.clear()
+            registers.update(traj.registers_at(j))
+            damage.damage = traj.damage_at(j)
+            healthy_readings = traj.readings_through(j)
+            if spoofer is not None:
+                for value in healthy_readings:
+                    spoofer.record(value)
+            detector = master.detectors.get(monitored)
+            if detector is not None:
+                detector.preload(healthy_readings[-detector.window:])
+            t_next = traj.tick_time(j + 1)
+            if t_next is not None:
+                engine.schedule(t_next, lambda ev: on_tick(ev.time))
 
         # --------------------------- kick-off ---------------------------
 
@@ -658,7 +1081,10 @@ class AttackCampaign:
                             ev.time, h, "entry"
                         ),
                     )
-        engine.schedule(cfg.tick_interval, lambda ev: on_tick(ev.time))
+        if elide:
+            _advance_milestones()
+        else:
+            engine.schedule(cfg.tick_interval, lambda ev: on_tick(ev.time))
         engine.run(horizon=cfg.horizon)
 
         return AttackOutcome(
@@ -710,3 +1136,54 @@ class AttackCampaign:
 
         active = runner or ExperimentRunner()
         return active.run_replications(self.run, replications, seed=rng)
+
+    def run_batch_table(
+        self,
+        replications: int,
+        rng: "SeedLike" = None,
+        runner: Optional["ExperimentRunner"] = None,
+    ):
+        """Independent replications as a columnar response table.
+
+        Same seeding/execution modes as :meth:`run_batch`, but each
+        replication reduces to its ``(success, tta, ttsf, final_ratio)``
+        response row worker-side — the ``process`` backend ships four
+        floats per replication instead of pickling full
+        :class:`AttackOutcome` objects (traces included) — and the batch
+        comes back as a :class:`repro.results.RecordTable`.
+
+        Returns:
+            A :class:`repro.results.RecordTable` with the library's
+            response columns, one row per replication in order.
+
+        Raises:
+            ValueError: If ``replications < 1``.
+        """
+        if replications < 1:
+            raise ValueError(f"replications must be >= 1, got {replications}")
+        from repro.results import RecordTable
+
+        if runner is None and isinstance(rng, np.random.Generator):
+            rows = [
+                self.run(rng).response_row(self.config.horizon)
+                for _ in range(replications)
+            ]
+        else:
+            from repro.exec import ExperimentRunner
+
+            active = runner or ExperimentRunner()
+            rows = active.run_replications(
+                _response_row_unit,
+                replications,
+                seed=rng,
+                common_args=(self,),
+            )
+        data = np.asarray(rows, dtype=np.float64).reshape(len(rows), 4)
+        return RecordTable(
+            {
+                "success": data[:, 0],
+                "tta": data[:, 1],
+                "ttsf": data[:, 2],
+                "final_ratio": data[:, 3],
+            }
+        )

@@ -16,6 +16,17 @@ The output file is organized in named *sections* (default ``"current"``)
 so one file can carry, e.g., ``pre_pr`` and ``post_pr`` runs
 side-by-side: re-running with ``--section`` replaces only that section
 and recomputes nothing else.
+
+Regression mode: ``python -m repro.bench --compare BENCH_PRn.json``
+diffs the fresh run against a previously persisted baseline and exits
+non-zero when any shared benchmark's **median** regresses beyond
+``--tolerance`` (a fraction; default 0.35) — medians, not means,
+because a handful of noisy rounds on a shared box can double a mean
+without any code change.  The baseline is read *before* the fresh run
+writes its output, so comparing against the file being updated (a
+rolling baseline) diffs against the previous contents.  Benchmarks
+present on only one side are reported but never fail the run, so new
+benchmarks can be introduced alongside an old baseline.
 """
 
 from __future__ import annotations
@@ -32,9 +43,17 @@ from typing import Dict, List, Optional
 _PAIR_SUFFIXES = (
     ("", "_legacy"),
     ("_uniformized", "_dense_expm"),
+    ("_warm_cache", ""),
 )
 
-DEFAULT_TARGETS = ["benchmarks/test_bench_perf_substrates.py"]
+DEFAULT_TARGETS = [
+    "benchmarks/test_bench_perf_substrates.py",
+    "benchmarks/test_bench_perf_campaign.py",
+]
+
+#: Median regression (as a fraction of the baseline median) tolerated
+#: by ``--compare`` before the run fails.
+DEFAULT_TOLERANCE = 0.35
 
 
 def _strip_test_prefix(name: str) -> str:
@@ -147,6 +166,76 @@ def run_bench(
     return section_data
 
 
+def load_baseline_benchmarks(
+    path: str, section: Optional[str] = None
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark stats from a persisted baseline file.
+
+    Args:
+        path: Baseline JSON written by :func:`run_bench`.
+        section: Section to read; default picks ``"current"``, then
+            ``"post_pr"``, then the first section carrying benchmarks.
+
+    Raises:
+        ValueError: If the file has no usable section.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    candidates = (
+        [section] if section else ["current", "post_pr", *document.keys()]
+    )
+    for name in candidates:
+        entry = document.get(name)
+        if isinstance(entry, dict) and isinstance(
+            entry.get("benchmarks"), dict
+        ):
+            return entry["benchmarks"]
+    raise ValueError(
+        f"no benchmark section found in {path!r} "
+        f"(looked for: {', '.join(str(c) for c in candidates)})"
+    )
+
+
+def compare_benchmarks(
+    current: Dict[str, Dict[str, float]],
+    baseline: Dict[str, Dict[str, float]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, object]:
+    """Diff two benchmark runs.
+
+    Ratios use the per-benchmark **median** (falling back to the mean
+    for baselines that lack one): medians are far more robust to the
+    scheduling noise of shared boxes, where a handful of slow rounds
+    can double a mean without any code change.
+
+    Returns:
+        ``{"ratios": {name: current_median / baseline_median},
+        "regressions": [names beyond tolerance],
+        "only_current": [...], "only_baseline": [...]}``
+    """
+
+    def midpoint(stats: Dict[str, float]) -> float:
+        return stats.get("median_s", stats.get("mean_s", 0.0))
+
+    ratios: Dict[str, float] = {}
+    regressions: List[str] = []
+    for name in sorted(set(current) & set(baseline)):
+        base = midpoint(baseline[name])
+        value = midpoint(current[name])
+        if base <= 0:
+            continue
+        ratio = value / base
+        ratios[name] = ratio
+        if ratio > 1.0 + tolerance:
+            regressions.append(name)
+    return {
+        "ratios": ratios,
+        "regressions": regressions,
+        "only_current": sorted(set(current) - set(baseline)),
+        "only_baseline": sorted(set(baseline) - set(current)),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (``python -m repro.bench``)."""
     parser = argparse.ArgumentParser(
@@ -171,7 +260,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         "-s", "--section", default="current",
         help="section name inside the baseline file (default: current)",
     )
+    parser.add_argument(
+        "-c", "--compare", metavar="BASELINE.json",
+        help=(
+            "regression mode: diff the fresh run against this persisted "
+            "baseline (read before the run writes --output) and exit "
+            "non-zero on any shared benchmark whose median regressed "
+            "beyond --tolerance"
+        ),
+    )
+    parser.add_argument(
+        "--compare-section", default=None,
+        help=(
+            "section of the --compare baseline to diff against "
+            "(default: 'current', then 'post_pr', then first usable)"
+        ),
+    )
+    parser.add_argument(
+        "-t", "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=(
+            "fractional median regression tolerated by --compare "
+            f"(default: {DEFAULT_TOLERANCE})"
+        ),
+    )
     args = parser.parse_args(argv)
+    # Read the baseline up front: it must reflect the *previous* state
+    # even when --compare names the same file --output is about to
+    # update (the rolling-baseline pattern), and a missing/unusable
+    # baseline should fail before minutes of benchmarking.
+    baseline = (
+        load_baseline_benchmarks(args.compare, args.compare_section)
+        if args.compare
+        else None
+    )
     section = run_bench(
         targets=args.targets or None,
         keyword=args.keyword,
@@ -182,4 +303,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"\nwrote section {args.section!r} to {args.output}")
     for name, ratio in sorted(speedups.items()):  # type: ignore[union-attr]
         print(f"  speedup {name}: {ratio:.1f}x")
+    if baseline is None:
+        return 0
+
+    diff = compare_benchmarks(
+        section["benchmarks"],  # type: ignore[arg-type]
+        baseline,
+        tolerance=args.tolerance,
+    )
+    print(f"\ncompared against {args.compare} (tolerance {args.tolerance:g}):")
+    for name, ratio in diff["ratios"].items():  # type: ignore[union-attr]
+        flag = "REGRESSED" if name in diff["regressions"] else "ok"
+        print(f"  {name}: {ratio:.2f}x baseline median [{flag}]")
+    for name in diff["only_current"]:  # type: ignore[union-attr]
+        print(f"  {name}: new benchmark (no baseline)")
+    for name in diff["only_baseline"]:  # type: ignore[union-attr]
+        print(f"  {name}: missing from this run")
+    if diff["regressions"]:
+        print(
+            f"FAIL: {len(diff['regressions'])} benchmark(s) regressed "
+            f"beyond {args.tolerance:g}"
+        )
+        return 1
+    print("no regressions beyond tolerance")
     return 0

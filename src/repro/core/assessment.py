@@ -122,7 +122,7 @@ def assess(
     Raises:
         ValueError: If the measurement has no records.
     """
-    if not measurement.records:
+    if not len(measurement.table):
         raise ValueError("measurement has no records")
     factors = [f.name for f in measurement.design.factors]
     responses = list(responses or measurement.response_names())
@@ -130,7 +130,7 @@ def assess(
     impacts: List[ComponentImpact] = []
     for response in responses:
         table = anova(
-            measurement.records,
+            measurement.table,
             response=response,
             factors=factors,
             interactions=interactions,

@@ -202,10 +202,23 @@ class CompromisedRatio:
         if n_points < 2:
             raise ValueError("n_points must be >= 2")
         horizon = outcomes[0].horizon
-        times = list(np.linspace(0.0, horizon, n_points))
-        curves = np.array(
-            [[o.compromised_ratio_at(t) for t in times] for o in outcomes]
-        )
+        grid = np.linspace(0.0, horizon, n_points)
+        times = list(grid)
+        # One searchsorted per outcome replaces the per-(outcome, time)
+        # counting loop; counts (and hence ratios) are value-identical.
+        curves = np.zeros((len(outcomes), n_points))
+        for i, outcome in enumerate(outcomes):
+            if outcome.n_hosts == 0:
+                continue
+            events = np.sort(
+                np.fromiter(
+                    outcome.compromise_times.values(), dtype=np.float64
+                )
+            )
+            curves[i] = (
+                np.searchsorted(events, grid, side="right")
+                / outcome.n_hosts
+            )
         return CompromisedRatio(
             times=times,
             mean_ratio=list(curves.mean(axis=0)),

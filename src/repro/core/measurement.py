@@ -9,9 +9,8 @@ indicator summaries.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -23,28 +22,86 @@ from repro.diversity.config import configuration_from_run
 from repro.doe.design import Design, Run
 from repro.exec.runner import ExperimentRunner
 from repro.exec.seeding import SeedLike, as_seed_sequence, spawn_sequences
+from repro.results import RecordTable, TableRecordsMixin
 from repro.scada.network import SCADANetwork
 
 
+def outcome_table(
+    outcomes: List[AttackOutcome],
+    horizon: float,
+    constants: Optional[Mapping[str, object]] = None,
+) -> RecordTable:
+    """Columnar response records for a batch of campaign outcomes.
+
+    Produces the library's long-format responses — ``success`` (0/1),
+    horizon-restricted ``tta``/``ttsf`` and ``final_ratio`` — as NumPy
+    columns, optionally prefixed with constant columns (factor levels,
+    run index) repeated for every row.
+
+    Args:
+        outcomes: Campaign replications.
+        horizon: Censoring horizon for ``tta``/``ttsf``.
+        constants: ``{column: value}`` replicated across all rows, in
+            order, ahead of the response columns.
+    """
+    n = len(outcomes)
+    columns: Dict[str, object] = {}
+    for name, value in (constants or {}).items():
+        if isinstance(value, int) and not isinstance(value, bool):
+            columns[name] = np.full(n, value, dtype=np.int64)
+        elif isinstance(value, float):
+            columns[name] = np.full(n, value, dtype=np.float64)
+        else:
+            column = np.empty(n, dtype=object)
+            column[:] = [value] * n
+            columns[name] = column
+    rows = np.asarray(
+        [o.response_row(horizon) for o in outcomes], dtype=np.float64
+    ).reshape(n, 4)
+    columns["success"] = rows[:, 0]
+    columns["tta"] = rows[:, 1]
+    columns["ttsf"] = rows[:, 2]
+    columns["final_ratio"] = rows[:, 3]
+    return RecordTable(columns)
+
+
 @dataclass
-class MeasurementResult:
+class MeasurementResult(TableRecordsMixin):
     """Output of a measurement plan.
 
     Attributes:
-        records: Long-format per-replication records; each has the
-            factor levels plus responses ``success`` (0/1), ``tta``
-            (restricted: horizon when censored), ``ttsf`` (restricted)
-            and ``final_ratio``.
+        table: Columnar long-format per-replication records
+            (:class:`repro.results.RecordTable`): the factor levels plus
+            responses ``success`` (0/1), ``tta`` (restricted: horizon
+            when censored), ``ttsf`` (restricted) and ``final_ratio``.
+            Aggregation (summaries, ANOVA inputs) reads the column
+            arrays directly; the dict-shaped ``records`` view is a
+            lazily materialized *view* of this table — assign ``table``
+            (or ``records``) to replace the data, do not mutate the
+            view's dicts in place.
         run_indicators: Per-design-run indicator sets, parallel to
             ``design.runs``.
         design: The executed design.
         replications: Replications per run.
     """
 
-    records: List[Dict[str, object]]
+    table: RecordTable
     run_indicators: List[IndicatorSet]
     design: Design
     replications: int
+
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        """The table as long-format dict records (computed lazily).
+
+        Kept for dict-oriented consumers; columnar code should read
+        :attr:`table`.  Assigning a record list replaces the table.
+        """
+        return TableRecordsMixin.records.fget(self)  # type: ignore[attr-defined]
+
+    @records.setter
+    def records(self, value: List[Dict[str, object]]) -> None:
+        self.table = RecordTable.from_dicts(value)
 
     def response_names(self) -> List[str]:
         """The response keys present in the records."""
@@ -96,47 +153,37 @@ class MeasurementPlan:
             network, self.catalog, self.threat, self.campaign_config
         )
 
-    def _records_for_run(
+    def _table_for_run(
         self, run: Run, run_index: int, outcomes: List[AttackOutcome]
-    ) -> List[Dict[str, object]]:
-        """Long-format response records for one run's outcome batch."""
-        horizon = self.campaign_config.horizon
-        records: List[Dict[str, object]] = []
-        for outcome in outcomes:
-            record: Dict[str, object] = dict(run.as_dict())
-            record["run"] = run_index
-            record["success"] = 1.0 if outcome.success else 0.0
-            record["tta"] = (
-                outcome.success_time if outcome.success else horizon
-            )
-            record["ttsf"] = (
-                outcome.detection_time
-                if not math.isnan(outcome.detection_time)
-                else horizon
-            )
-            record["final_ratio"] = outcome.compromised_ratio_at(horizon)
-            records.append(record)
-        return records
+    ) -> RecordTable:
+        """Columnar response records for one run's outcome batch."""
+        constants: Dict[str, object] = dict(run.as_dict())
+        constants["run"] = run_index
+        return outcome_table(
+            outcomes, self.campaign_config.horizon, constants
+        )
 
     def execute_run(
         self, run_index: int, seq: np.random.SeedSequence
-    ) -> Tuple[List[Dict[str, object]], IndicatorSet]:
+    ) -> Tuple[RecordTable, IndicatorSet]:
         """Execute one design run with spawn-per-replication seeding.
 
         This is the parallel work unit: every replication draws from its
         own generator (the ``i``-th spawn of ``seq``), so the run's
         records depend only on ``(seq, run_index)`` — not on which
-        worker, backend or chunk executed it.
+        worker, backend or chunk executed it.  The run's records come
+        back as one compact :class:`~repro.results.RecordTable` (column
+        buffers, not a pickled dict list) plus its indicator set.
         """
         campaign = self.campaign_for_run(run_index)
         outcomes = [
             campaign.run(np.random.default_rng(child))
             for child in seq.spawn(self.replications)
         ]
-        records = self._records_for_run(
+        table = self._table_for_run(
             self.design.runs[run_index], run_index, outcomes
         )
-        return records, compute_indicators(outcomes)
+        return table, compute_indicators(outcomes)
 
     def execute(
         self,
@@ -158,17 +205,17 @@ class MeasurementPlan:
           bit-identical across backends, worker counts and chunkings.
         """
         if runner is None and isinstance(rng, np.random.Generator):
-            records: List[Dict[str, object]] = []
+            tables: List[RecordTable] = []
             run_indicators: List[IndicatorSet] = []
             for run_index, run in enumerate(self.design.runs):
                 campaign = self.campaign_for_run(run_index)
                 outcomes = campaign.run_batch(self.replications, rng)
                 run_indicators.append(compute_indicators(outcomes))
-                records.extend(
-                    self._records_for_run(run, run_index, outcomes)
+                tables.append(
+                    self._table_for_run(run, run_index, outcomes)
                 )
         elif not self.design.runs:
-            records, run_indicators = [], []
+            tables, run_indicators = [], []
         else:
             active = runner or ExperimentRunner()
             root = as_seed_sequence(rng)
@@ -177,10 +224,10 @@ class MeasurementPlan:
                 self.execute_run,
                 [(i, seq) for i, seq in enumerate(sequences)],
             )
-            records = [rec for run_records, _ in results for rec in run_records]
+            tables = [table for table, _ in results]
             run_indicators = [indicators for _, indicators in results]
         return MeasurementResult(
-            records=records,
+            table=RecordTable.concat(tables),
             run_indicators=run_indicators,
             design=self.design,
             replications=self.replications,

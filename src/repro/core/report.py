@@ -59,7 +59,10 @@ def comparison_table(
     Args:
         index_label: Header of the row-label column.
         summaries: ``{row label: {metric: value}}``; insertion order of
-            the outer mapping is the row order.
+            the outer mapping is the row order.  A value may also be a
+            :class:`repro.results.RecordTable` of long-format records —
+            it is summarized columnarly (``psa`` / restricted means) via
+            :func:`repro.results.summarize_records`.
         columns: Metric columns, in order.  Default: every metric seen,
             in first-appearance order.  Metrics a row lacks render
             as ``--``.
@@ -69,6 +72,16 @@ def comparison_table(
     Returns:
         The aligned table as a string.
     """
+    from repro.results import RecordTable, summarize_records
+
+    summaries = {
+        label: (
+            summarize_records(metrics)
+            if isinstance(metrics, RecordTable)
+            else metrics
+        )
+        for label, metrics in summaries.items()
+    }
     if columns is None:
         seen: List[str] = []
         for metrics in summaries.values():

@@ -1,0 +1,35 @@
+"""Columnar Monte-Carlo results: tables, aggregation, caching.
+
+The results subsystem is the array-backed spine of the measurement
+pipeline (see :mod:`repro.results.table`):
+
+* :class:`RecordTable` — NumPy-columned long-format records with an
+  exact ``from_dicts``/``to_dicts`` round-trip, concat/filter/group-by,
+  and pickle-compact transport across the ``process`` backend.
+* :func:`summarize_records` — the shared scalar summary
+  (``psa`` / restricted means) computed on arrays.
+* :class:`ResultCache` / :func:`content_key` — content-addressed,
+  atomically-written on-disk caching of tables plus metadata, used by
+  :class:`repro.scenarios.suite.ScenarioSuite` for warm re-runs and
+  shard merging.
+"""
+
+from repro.results.cache import ResultCache, canonical_json, content_key
+from repro.results.table import (
+    RESPONSE_COLUMNS,
+    SUMMARY_METRICS,
+    RecordTable,
+    TableRecordsMixin,
+    summarize_records,
+)
+
+__all__ = [
+    "RESPONSE_COLUMNS",
+    "SUMMARY_METRICS",
+    "RecordTable",
+    "ResultCache",
+    "TableRecordsMixin",
+    "canonical_json",
+    "content_key",
+    "summarize_records",
+]

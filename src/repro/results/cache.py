@@ -1,0 +1,118 @@
+"""Content-addressed result caching.
+
+A cache entry is addressed by the SHA-256 digest of a canonical-JSON
+*key payload* — for scenario suites that payload is the full scenario
+spec plus the replication seed material, so **any** change to the
+scenario (a factor level, the horizon, the replication count, the seed)
+produces a different address and therefore a cold miss.  Entries store a
+:class:`~repro.results.table.RecordTable` as ``<digest>.npz`` next to a
+``<digest>.json`` metadata document; both are written atomically
+(temp-file + rename) so concurrent writers — e.g. two suite shards
+filling one cache directory — never expose torn entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.results.table import RecordTable
+
+
+def canonical_json(payload: Mapping[str, object]) -> str:
+    """Deterministic JSON used for content addressing.
+
+    Raises:
+        TypeError: If the payload contains non-JSON-serializable values
+            (content addresses must never depend on ``repr`` fallbacks).
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_key(payload: Mapping[str, object]) -> str:
+    """SHA-256 hex digest of the canonical payload."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed ``RecordTable`` + metadata entries.
+
+    Args:
+        root: Cache directory (created on first use).
+
+    Example:
+        >>> import tempfile
+        >>> cache = ResultCache(tempfile.mkdtemp())
+        >>> key = content_key({"spec": {"name": "smoke"}, "seed": 7})
+        >>> cache.load(key) is None
+        True
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+
+    def _paths(self, key: str) -> Tuple[str, str]:
+        return (
+            os.path.join(self.root, f"{key}.npz"),
+            os.path.join(self.root, f"{key}.json"),
+        )
+
+    def contains(self, key: str) -> bool:
+        """Whether a complete entry exists for ``key``."""
+        table_path, meta_path = self._paths(key)
+        return os.path.exists(table_path) and os.path.exists(meta_path)
+
+    def load(self, key: str) -> Optional[Tuple[RecordTable, Dict[str, object]]]:
+        """Return ``(table, metadata)`` for ``key``, or ``None`` on a miss.
+
+        Unreadable/corrupt entries are treated as misses rather than
+        failures — a damaged cache must never sink a suite run.
+        """
+        table_path, meta_path = self._paths(key)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            table = RecordTable.load_npz(table_path)
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            json.JSONDecodeError,
+            zipfile.BadZipFile,
+        ):
+            return None
+        return table, meta
+
+    def store(
+        self, key: str, table: RecordTable, meta: Mapping[str, object]
+    ) -> None:
+        """Atomically persist ``(table, meta)`` under ``key``."""
+        os.makedirs(self.root, exist_ok=True)
+        table_path, meta_path = self._paths(key)
+        self._write_atomic(table_path, lambda path: table.save_npz(path))
+        payload = json.dumps(dict(meta), indent=2, sort_keys=True)
+
+        def write_meta(path: str) -> None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+
+        self._write_atomic(meta_path, write_meta)
+
+    def _write_atomic(self, path, writer) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=os.path.basename(path)
+        )
+        os.close(fd)
+        try:
+            writer(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

@@ -1,0 +1,368 @@
+"""The columnar record table.
+
+Monte-Carlo experiments in this library historically flowed through
+"long-format records": one ``Dict[str, object]`` per campaign
+replication, aggregated with Python loops.  :class:`RecordTable` keeps
+the same logical shape — named columns over aligned rows — but stores
+each column as a NumPy array (``float64`` / ``int64`` for numeric
+responses, ``object`` for factor levels), so
+
+* aggregation (means, group-bys, ANOVA inputs) runs on arrays,
+* the ``process`` backend ships compact column buffers instead of
+  pickled dict lists, and
+* results serialize to ``.npz`` for content-addressed caching.
+
+``from_dicts`` / ``to_dicts`` round-trip exactly: a column whose values
+are all Python ``float`` comes back as ``float``, all-``int`` columns as
+``int``, and everything else (strings, mixed types) is kept in an
+``object`` column holding the original Python objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+
+def _infer_column(values: Sequence[object]) -> np.ndarray:
+    """Build the narrowest exactly-round-tripping array for ``values``."""
+    if values and all(
+        type(v) is int for v in values  # bool is *not* int here
+    ):
+        return np.asarray(values, dtype=np.int64)
+    if values and all(type(v) is float for v in values):
+        return np.asarray(values, dtype=np.float64)
+    column = np.empty(len(values), dtype=object)
+    column[:] = values
+    return column
+
+
+def _python_value(value: object) -> object:
+    """Convert a NumPy scalar back to the Python type it round-trips to."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.str_):
+        return str(value)
+    return value
+
+
+class RecordTable:
+    """An immutable-by-convention table of named, aligned columns.
+
+    Args:
+        columns: ``{name: 1-D array}`` — all arrays must share one
+            length.  Insertion order is the column order.
+
+    Raises:
+        ValueError: On ragged columns or non-1-D arrays.
+    """
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        prepared: Dict[str, np.ndarray] = {}
+        n: Optional[int] = None
+        for name, array in columns.items():
+            array = np.asarray(array)
+            if array.ndim != 1:
+                raise ValueError(
+                    f"column {name!r} must be 1-D, got shape {array.shape}"
+                )
+            if n is None:
+                n = array.shape[0]
+            elif array.shape[0] != n:
+                raise ValueError(
+                    f"column {name!r} has {array.shape[0]} rows; "
+                    f"expected {n}"
+                )
+            prepared[name] = array
+        self._columns = prepared
+        self._n = n or 0
+
+    # ---- construction ----------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls, records: Sequence[Mapping[str, object]]
+    ) -> "RecordTable":
+        """Build a table from long-format records.
+
+        Every record must carry the same keys (the first record fixes
+        the column order).
+
+        Raises:
+            ValueError: If records disagree on their key sets.
+        """
+        records = list(records)
+        if not records:
+            return cls({})
+        names = list(records[0].keys())
+        key_set = set(names)
+        for i, record in enumerate(records):
+            if set(record.keys()) != key_set:
+                raise ValueError(
+                    f"record {i} keys {sorted(record.keys())} != "
+                    f"{sorted(key_set)}"
+                )
+        return cls(
+            {
+                name: _infer_column([record[name] for record in records])
+                for name in names
+            }
+        )
+
+    @classmethod
+    def concat(cls, tables: Sequence["RecordTable"]) -> "RecordTable":
+        """Stack tables that share a column schema (order-sensitive).
+
+        Raises:
+            ValueError: If the tables' column names differ.
+        """
+        tables = [t for t in tables]
+        if not tables:
+            return cls({})
+        names = tables[0].columns
+        for table in tables[1:]:
+            if table.columns != names:
+                raise ValueError(
+                    f"cannot concat tables with columns {table.columns} "
+                    f"and {names}"
+                )
+        if len(tables) == 1:
+            return tables[0]
+        return cls(
+            {
+                name: np.concatenate([t.column(name) for t in tables])
+                for name in names
+            }
+        )
+
+    # ---- basic shape -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    @property
+    def columns(self) -> List[str]:
+        """Column names in order."""
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw array backing column ``name``.
+
+        Raises:
+            KeyError: On unknown columns.
+        """
+        return self._columns[name]
+
+    def values(self, name: str) -> List[object]:
+        """Column ``name`` as a list of Python scalars."""
+        return [_python_value(v) for v in self._columns[name].tolist()]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordTable):
+            return NotImplemented
+        if self.columns != other.columns or len(self) != len(other):
+            return False
+        return all(
+            np.array_equal(self._columns[c], other._columns[c])
+            for c in self.columns
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RecordTable({self._n} rows x {len(self._columns)} cols: "
+            f"{', '.join(self.columns)})"
+        )
+
+    # ---- row views -------------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Long-format records, with the original Python value types."""
+        names = self.columns
+        pylists = {name: self.values(name) for name in names}
+        return [
+            {name: pylists[name][i] for name in names}
+            for i in range(self._n)
+        ]
+
+    def row(self, index: int) -> Dict[str, object]:
+        """One record."""
+        return {
+            name: _python_value(self._columns[name][index])
+            for name in self.columns
+        }
+
+    # ---- relational operations ------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "RecordTable":
+        """Rows where the boolean ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._n,):
+            raise ValueError(
+                f"mask shape {mask.shape} != ({self._n},)"
+            )
+        return RecordTable(
+            {name: array[mask] for name, array in self._columns.items()}
+        )
+
+    def where(self, name: str, value: object) -> "RecordTable":
+        """Rows whose column ``name`` equals ``value``."""
+        return self.filter(self._columns[name] == value)
+
+    def groupby(
+        self, name: str
+    ) -> Iterator[Tuple[object, "RecordTable"]]:
+        """Yield ``(value, sub-table)`` groups in first-appearance order."""
+        column = self._columns[name]
+        seen: List[object] = []
+        for v in column.tolist():
+            v = _python_value(v)
+            if v not in seen:
+                seen.append(v)
+        for v in seen:
+            yield v, self.where(name, v)
+
+    # ---- aggregation -----------------------------------------------------
+
+    def mean(self, name: str) -> float:
+        """Mean of a numeric column (nan when the table is empty)."""
+        if self._n == 0:
+            return float("nan")
+        return float(np.mean(np.asarray(self._columns[name], dtype=float)))
+
+    def means(self, names: Sequence[str]) -> Dict[str, float]:
+        """Column means keyed by name."""
+        return {name: self.mean(name) for name in names}
+
+    # ---- serialization ---------------------------------------------------
+
+    def save_npz(self, path: str) -> None:
+        """Persist the table to ``path`` (NumPy ``.npz``, no pickling).
+
+        Object columns are stored as fixed-width unicode arrays; their
+        values must therefore be strings (which is what long-format
+        factor levels are).  Numeric columns round-trip exactly.
+
+        Raises:
+            TypeError: If an object column holds non-string values.
+        """
+        payload: Dict[str, np.ndarray] = {}
+        schema: List[Tuple[str, str]] = []
+        for i, (name, array) in enumerate(self._columns.items()):
+            key = f"col_{i}"
+            if array.dtype == object:
+                if not all(isinstance(v, str) for v in array.tolist()):
+                    raise TypeError(
+                        f"column {name!r} holds non-string objects; "
+                        "cannot serialize without pickling"
+                    )
+                payload[key] = np.asarray(array.tolist(), dtype=np.str_)
+                schema.append((name, "str"))
+            else:
+                payload[key] = array
+                schema.append((name, array.dtype.str))
+        payload["schema"] = np.frombuffer(
+            json.dumps(schema).encode("utf-8"), dtype=np.uint8
+        )
+        payload["n_rows"] = np.asarray([self._n], dtype=np.int64)
+        with open(path, "wb") as handle:
+            np.savez(handle, **payload)
+
+    @classmethod
+    def load_npz(cls, path: str) -> "RecordTable":
+        """Rebuild a table written by :meth:`save_npz`."""
+        with np.load(path, allow_pickle=False) as archive:
+            schema = json.loads(bytes(archive["schema"]).decode("utf-8"))
+            n_rows = int(archive["n_rows"][0])
+            columns: Dict[str, np.ndarray] = {}
+            for i, (name, dtype) in enumerate(schema):
+                raw = archive[f"col_{i}"]
+                if dtype == "str":
+                    column = np.empty(len(raw), dtype=object)
+                    column[:] = [str(v) for v in raw.tolist()]
+                    columns[name] = column
+                else:
+                    columns[name] = raw.astype(np.dtype(dtype), copy=False)
+        table = cls(columns)
+        if len(table) != n_rows:
+            raise ValueError(
+                f"corrupt table at {path}: header says {n_rows} rows, "
+                f"columns carry {len(table)}"
+            )
+        return table
+
+
+class TableRecordsMixin:
+    """Lazy dict-record view over a dataclass's ``table`` field.
+
+    Gives result objects holding a :class:`RecordTable` a ``records``
+    property that materializes ``table.to_dicts()`` on first access,
+    caches it, and drops the cache whenever ``table`` is reassigned —
+    so the two views can never silently disagree.  The returned list is
+    a **view**: replace it by assigning a new ``table`` (or, where a
+    setter is provided, a new record list); in-place mutation of the
+    dicts is not written back to the columns.
+    """
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name == "table":
+            self.__dict__.pop("_records", None)
+        object.__setattr__(self, name, value)
+
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        """The table as long-format dict records (computed lazily)."""
+        cached = self.__dict__.get("_records")
+        if cached is None:
+            cached = self.table.to_dicts()  # type: ignore[attr-defined]
+            self.__dict__["_records"] = cached
+        return cached
+
+
+#: Response columns of campaign measurement records, in record order.
+RESPONSE_COLUMNS = ("success", "tta", "ttsf", "final_ratio")
+
+#: Cross-scenario comparison metrics derived from the responses.
+SUMMARY_METRICS = ("psa", "tta_mean", "ttsf_mean", "final_ratio_mean")
+
+
+def summarize_records(
+    records: "RecordTable | Sequence[Mapping[str, object]]",
+) -> Dict[str, float]:
+    """Scalar comparison metrics over long-format measurement records.
+
+    Accepts a :class:`RecordTable` (array path) or a record sequence
+    (converted first).  Empty input yields all-NaN metrics.
+    """
+    table = (
+        records
+        if isinstance(records, RecordTable)
+        else RecordTable.from_dicts(list(records))
+    )
+    means = table.means(RESPONSE_COLUMNS) if len(table) else {
+        name: float("nan") for name in RESPONSE_COLUMNS
+    }
+    return {
+        "psa": means["success"],
+        "tta_mean": means["tta"],
+        "ttsf_mean": means["ttsf"],
+        "final_ratio_mean": means["final_ratio"],
+    }

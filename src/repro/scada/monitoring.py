@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -100,6 +100,18 @@ class SpoofDetector:
     def reset(self) -> None:
         """Clear the sample window."""
         self._samples.clear()
+
+    def preload(self, values: Sequence[float]) -> None:
+        """Replace the sample window with ``values`` (most recent last).
+
+        Restores the detector to the state it would hold after observing
+        a known sample stream — :meth:`observe` appends every sample
+        unconditionally, so the window content is exactly the stream's
+        tail.  Used by the campaign tick-elision fast path when the
+        per-tick loop resumes mid-simulation.
+        """
+        self._samples.clear()
+        self._samples.extend(values[-self.window:])
 
 
 @dataclass

@@ -198,12 +198,34 @@ class ModbusFrame:
                 raise ValueError(f"register value out of range: {v}")
 
 
+# Codecs precompiled at import: parsing a struct format string per
+# packed field dominated the per-message cost, so the 16-bit field
+# codecs, the fixed frame header (unit, code, address, count, n_values —
+# byte order only affects the 16-bit fields) and per-length value blocks
+# are struct.Struct objects compiled once and cached.
+_U16 = {True: struct.Struct(">H"), False: struct.Struct("<H")}
+_HEADER = {True: struct.Struct(">BBHHB"), False: struct.Struct("<BBHHB")}
+_VALUE_BLOCKS: Dict[Tuple[bool, int], struct.Struct] = {}
+
+
+def _value_block(big_endian: bool, n_values: int) -> struct.Struct:
+    """The (cached) codec for a block of ``n_values`` 16-bit registers."""
+    try:
+        return _VALUE_BLOCKS[(big_endian, n_values)]
+    except KeyError:
+        codec = struct.Struct(
+            f"{'>' if big_endian else '<'}{n_values}H"
+        )
+        _VALUE_BLOCKS[(big_endian, n_values)] = codec
+        return codec
+
+
 def _pack16(value: int, big_endian: bool) -> bytes:
-    return struct.pack(">H" if big_endian else "<H", value)
+    return _U16[big_endian].pack(value)
 
 
 def _unpack16(data: bytes, big_endian: bool) -> int:
-    return struct.unpack(">H" if big_endian else "<H", data)[0]
+    return _U16[big_endian].unpack(data)[0]
 
 
 def encode_frame(frame: ModbusFrame, dialect: ModbusDialect) -> bytes:
@@ -212,17 +234,20 @@ def encode_frame(frame: ModbusFrame, dialect: ModbusDialect) -> bytes:
     Layout: unit(1) code(1) address(2) count(2) n_values(1) values(2·n)
     checksum(2).
     """
-    body = bytearray()
-    body.append((frame.unit + dialect.unit_offset) & 0xFF)
-    body.append(dialect.wire_code(frame.function))
-    body += _pack16(frame.address, dialect.big_endian)
-    body += _pack16(frame.count, dialect.big_endian)
-    body.append(len(frame.values))
-    for value in frame.values:
-        body += _pack16(value, dialect.big_endian)
-    checksum = CRC_VARIANTS[dialect.checksum](bytes(body))
-    body += _pack16(checksum, dialect.big_endian)
-    return bytes(body)
+    big_endian = dialect.big_endian
+    body = _HEADER[big_endian].pack(
+        (frame.unit + dialect.unit_offset) & 0xFF,
+        dialect.wire_code(frame.function),
+        frame.address,
+        frame.count,
+        len(frame.values),
+    )
+    if frame.values:
+        body += _value_block(big_endian, len(frame.values)).pack(
+            *frame.values
+        )
+    checksum = CRC_VARIANTS[dialect.checksum](body)
+    return body + _U16[big_endian].pack(checksum)
 
 
 def decode_frame(data: bytes, dialect: ModbusDialect) -> ModbusFrame:
@@ -235,32 +260,31 @@ def decode_frame(data: bytes, dialect: ModbusDialect) -> ModbusFrame:
     """
     if len(data) < 9:
         raise ProtocolError(f"frame too short: {len(data)} bytes")
+    big_endian = dialect.big_endian
     body, checksum_bytes = data[:-2], data[-2:]
     expected = CRC_VARIANTS[dialect.checksum](body)
-    received = _unpack16(checksum_bytes, dialect.big_endian)
+    received = _U16[big_endian].unpack(checksum_bytes)[0]
     if expected != received:
         raise ProtocolError(
             f"checksum mismatch: expected 0x{expected:04X}, "
             f"got 0x{received:04X}"
         )
-    unit_raw = body[0]
+    unit_raw, code, address, count, n_values = _HEADER[big_endian].unpack_from(
+        body
+    )
     unit = (unit_raw - dialect.unit_offset) & 0xFF
     if unit > 207:
         raise ProtocolError(f"unit id {unit} out of range after offset")
-    function = dialect.function_of(body[1])
-    address = _unpack16(body[2:4], dialect.big_endian)
-    count = _unpack16(body[4:6], dialect.big_endian)
-    n_values = body[6]
+    function = dialect.function_of(code)
     expected_len = 7 + 2 * n_values
     if len(body) != expected_len:
         raise ProtocolError(
             f"length mismatch: header says {n_values} values, "
             f"frame body is {len(body)} bytes"
         )
-    values = tuple(
-        _unpack16(body[7 + 2 * i : 9 + 2 * i], dialect.big_endian)
-        for i in range(n_values)
-    )
+    values: Tuple[int, ...] = ()
+    if n_values:
+        values = _value_block(big_endian, n_values).unpack_from(body, 7)
     return ModbusFrame(
         unit=unit, function=function, address=address, values=values, count=count
     )

@@ -53,6 +53,10 @@ class Scenario:
         replications: Campaign replications per design run.
         horizon: Campaign horizon (hours).
         tick_interval: Plant/master polling period (hours).
+        tick_elision: Campaign event-loop fast path (default on); set
+            False to force the legacy per-tick loop (outcomes are
+            identical — see
+            :attr:`repro.attacks.campaign.CampaignConfig.tick_elision`).
         topology_params: Keyword overrides for the topology factory
             (e.g. ``{"n_plcs": 4}``).
         threat_params: Keyword overrides for the threat factory
@@ -73,6 +77,7 @@ class Scenario:
     replications: int = 10
     horizon: float = 80.0
     tick_interval: float = 0.5
+    tick_elision: bool = True
     topology_params: Dict[str, object] = field(default_factory=dict)
     threat_params: Dict[str, object] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
@@ -148,6 +153,7 @@ class Scenario:
             horizon=self.horizon,
             tick_interval=self.tick_interval,
             plant_factory=resolve_plant(self.plant),
+            tick_elision=self.tick_elision,
         )
 
     def component_kinds(self) -> Optional[List[ComponentKind]]:
@@ -245,7 +251,9 @@ class Scenario:
             + (" (two-level)" if self.two_level else ""),
             f"  replications: {self.replications}",
             f"  horizon:      {self.horizon:g} h "
-            f"(tick {self.tick_interval:g} h)",
+            f"(tick {self.tick_interval:g} h"
+            + ("" if self.tick_elision else ", per-tick loop")
+            + ")",
             f"  tags:         {', '.join(self.tags) or '--'}",
         ]
         if self.description:

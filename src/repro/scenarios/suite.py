@@ -1,4 +1,4 @@
-"""Suite execution: fan scenarios out and compare them.
+"""Suite execution: fan scenarios out, cache them, compare them.
 
 :class:`ScenarioSuite` runs a set of scenarios on a
 :class:`~repro.exec.runner.ExperimentRunner`.  Each scenario becomes one
@@ -10,16 +10,27 @@ and any worker count, exactly like the single-study guarantees of
 :mod:`repro.exec`.
 
 Work units ship scenario *specs* (plain dicts) to the workers and return
-:class:`ScenarioRunResult` — records plus summary scalars, all
+:class:`ScenarioRunResult` — a columnar
+:class:`~repro.results.RecordTable` plus summary scalars, all
 picklable — rather than full :class:`~repro.core.study.StudyResult`
 objects, whose SAN models hold non-picklable marking callables.
+
+Two scale features ride on the same seeding discipline:
+
+* **Content-addressed caching** (``cache_dir=``): each scenario's table
+  is stored under the SHA-256 digest of its spec plus seed material, so
+  a re-run with a warm cache loads results from disk (bit-identical to
+  a cold run) and *any* change to a spec field or the seed is a miss.
+* **Sharding** (``shard=(index, count)``): seeds are spawned for the
+  *full* scenario list before the shard is selected, so shards executed
+  anywhere — even on different machines sharing a cache directory —
+  merge (:meth:`SuiteResult.merge`) into exactly the single-run result.
 """
 
 from __future__ import annotations
 
-import statistics
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -29,22 +40,29 @@ from repro.core.report import comparison_table
 from repro.core.study import DiversityStudy
 from repro.exec.runner import ExperimentRunner
 from repro.exec.seeding import SeedLike, as_seed_sequence, spawn_sequences
+from repro.results import (
+    SUMMARY_METRICS,
+    RecordTable,
+    ResultCache,
+    TableRecordsMixin,
+    content_key,
+    summarize_records,
+)
 from repro.scenarios.registry import SCENARIOS, ScenarioRegistry
 from repro.scenarios.spec import Scenario
 
-#: Columns of the cross-scenario comparison, in report order.
-COMPARISON_METRICS = (
-    "psa", "tta_mean", "ttsf_mean", "final_ratio_mean",
-)
+#: Columns of the cross-scenario comparison, in report order — the
+#: summary keys produced by :func:`repro.results.summarize_records`.
+COMPARISON_METRICS = SUMMARY_METRICS
 
 
 @dataclass
-class ScenarioRunResult:
+class ScenarioRunResult(TableRecordsMixin):
     """One scenario's outcome inside a suite.
 
     Attributes:
         scenario: The executed spec.
-        records: Long-format per-replication measurement records
+        table: Columnar long-format per-replication measurement records
             (factor levels + ``success``/``tta``/``ttsf``/
             ``final_ratio`` responses).
         summary: Scalar metrics over the records — ``psa`` (fraction of
@@ -60,7 +78,7 @@ class ScenarioRunResult:
     """
 
     scenario: Scenario
-    records: List[Dict[str, object]]
+    table: RecordTable
     summary: Dict[str, float]
     top_targets: Dict[str, str]
     design_name: str
@@ -68,20 +86,15 @@ class ScenarioRunResult:
     replications: int
 
 
-def _summarize(records: Sequence[Dict[str, object]]) -> Dict[str, float]:
-    """Scalar comparison metrics over long-format records."""
-    if not records:
-        return {metric: float("nan") for metric in COMPARISON_METRICS}
-    means = {
-        response: statistics.fmean(float(r[response]) for r in records)
-        for response in ("success", "tta", "ttsf", "final_ratio")
-    }
-    return {
-        "psa": means["success"],
-        "tta_mean": means["tta"],
-        "ttsf_mean": means["ttsf"],
-        "final_ratio_mean": means["final_ratio"],
-    }
+def _summarize(
+    records: "RecordTable | Sequence[Mapping[str, object]]",
+) -> Dict[str, float]:
+    """Scalar comparison metrics over long-format records.
+
+    Thin alias of :func:`repro.results.summarize_records` (columnar);
+    kept under its historical name for suite-internal use and tests.
+    """
+    return summarize_records(records)
 
 
 def _execute_scenario(
@@ -120,8 +133,8 @@ def _execute_scenario(
         }
     return ScenarioRunResult(
         scenario=scenario,
-        records=measurement.records,
-        summary=_summarize(measurement.records),
+        table=measurement.table,
+        summary=_summarize(measurement.table),
         top_targets=top_targets,
         design_name=design.name,
         n_runs=design.n_runs,
@@ -152,9 +165,35 @@ class SuiteResult:
             f"scenario {name!r} not in suite; ran: {', '.join(self.names())}"
         )
 
+    def tables_by_scenario(self) -> Dict[str, RecordTable]:
+        """``{scenario name: columnar record table}``."""
+        return {r.scenario.name: r.table for r in self.results}
+
     def records_by_scenario(self) -> Dict[str, List[Dict[str, object]]]:
-        """``{scenario name: records}`` for determinism checks."""
+        """``{scenario name: dict records}`` for determinism checks
+        (materialized from the columnar tables)."""
         return {r.scenario.name: r.records for r in self.results}
+
+    @classmethod
+    def merge(cls, parts: Sequence["SuiteResult"]) -> "SuiteResult":
+        """Combine shard results into one suite result.
+
+        Because shard seeds are spawned from the full scenario list,
+        merging every shard of a suite reproduces the unsharded result
+        (up to scenario order, which follows the parts given).
+
+        Raises:
+            ValueError: If two parts ran the same scenario.
+        """
+        results = [r for part in parts for r in part.results]
+        names = [r.scenario.name for r in results]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate scenario(s) across shards: "
+                f"{', '.join(duplicates)}"
+            )
+        return cls(results=results)
 
     def comparison_report(self) -> str:
         """The cross-scenario comparison table plus per-scenario hints."""
@@ -201,6 +240,16 @@ class ScenarioSuite:
         n_workers: Worker-pool width for parallel backends.
         registry: Where names are resolved (default: the library-wide
             catalog).
+        cache_dir: Enable content-addressed result caching in this
+            directory: a scenario whose ``(spec, seed material)`` digest
+            is already cached loads from disk instead of executing, and
+            fresh executions are stored.  Effective with explicit seeds
+            (``seed=None`` draws fresh entropy, so every digest is
+            new).  Cached and executed results are bit-identical.
+        shard: ``(index, count)`` — execute only the scenarios at
+            positions ``index, index + count, ...`` of the suite while
+            seeding as if the whole suite ran; combine shard results
+            with :meth:`SuiteResult.merge`.
 
     Example:
         >>> suite = ScenarioSuite(["smoke"])
@@ -215,6 +264,8 @@ class ScenarioSuite:
         backend: str = "serial",
         n_workers: Optional[int] = None,
         registry: Optional[ScenarioRegistry] = None,
+        cache_dir: Optional[str] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> None:
         registry = registry or SCENARIOS
         if not scenarios:
@@ -230,20 +281,110 @@ class ScenarioSuite:
             raise ValueError(
                 f"duplicate scenario(s) in suite: {', '.join(duplicates)}"
             )
+        if shard is not None:
+            index, count = shard
+            if count < 1 or not 0 <= index < count:
+                raise ValueError(
+                    f"shard must be (index, count) with "
+                    f"0 <= index < count, got {shard!r}"
+                )
         self.scenarios = resolved
         self.runner = ExperimentRunner(backend, n_workers)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.shard = shard
+
+    @staticmethod
+    def _cache_key(scenario: Scenario, seq: np.random.SeedSequence) -> str:
+        """Content address of one scenario execution.
+
+        Covers the full spec dict, the spawned child's seed material and
+        the library version, so any spec-field or seed change — or an
+        upgrade that may have changed simulation semantics — invalidates
+        the entry instead of serving stale pre-upgrade results.
+        """
+        import repro
+
+        return content_key(
+            {
+                "format": 1,
+                "library": repro.__version__,
+                "scenario": scenario.to_dict(),
+                "entropy": str(seq.entropy),
+                "spawn_key": [int(k) for k in seq.spawn_key],
+                "pool_size": int(seq.pool_size),
+            }
+        )
+
+    @staticmethod
+    def _result_meta(result: ScenarioRunResult) -> Dict[str, object]:
+        return {
+            "scenario": result.scenario.to_dict(),
+            "summary": result.summary,
+            "top_targets": result.top_targets,
+            "design_name": result.design_name,
+            "n_runs": result.n_runs,
+            "replications": result.replications,
+        }
+
+    @staticmethod
+    def _result_from_cache(
+        table: RecordTable, meta: Mapping[str, object]
+    ) -> ScenarioRunResult:
+        return ScenarioRunResult(
+            scenario=Scenario.from_dict(dict(meta["scenario"])),
+            table=table,
+            summary=dict(meta["summary"]),
+            top_targets=dict(meta["top_targets"]),
+            design_name=str(meta["design_name"]),
+            n_runs=int(meta["n_runs"]),
+            replications=int(meta["replications"]),
+        )
 
     def run(self, seed: SeedLike = None) -> SuiteResult:
-        """Execute every scenario; records depend only on ``seed`` and
-        each scenario's position, never on backend or worker count."""
+        """Execute every (selected) scenario; records depend only on
+        ``seed`` and each scenario's position in the full suite, never
+        on backend, worker count, sharding or cache state."""
         sequences = spawn_sequences(
             as_seed_sequence(seed), len(self.scenarios)
         )
-        results = self.runner.map(
-            _execute_scenario,
-            [
-                (scenario.to_dict(), seq)
-                for scenario, seq in zip(self.scenarios, sequences)
-            ],
-        )
-        return SuiteResult(results=results)
+        pairs = list(zip(self.scenarios, sequences))
+        if self.shard is not None:
+            index, count = self.shard
+            pairs = pairs[index::count]
+        results: List[Optional[ScenarioRunResult]] = [None] * len(pairs)
+        pending: List[Tuple[int, Scenario, np.random.SeedSequence, str]] = []
+        for position, (scenario, seq) in enumerate(pairs):
+            key = ""
+            if self.cache is not None:
+                key = self._cache_key(scenario, seq)
+                hit = self.cache.load(key)
+                if hit is not None:
+                    results[position] = self._result_from_cache(*hit)
+                    continue
+            pending.append((position, scenario, seq, key))
+        if pending:
+            executed = self.runner.map(
+                _execute_scenario,
+                [
+                    (scenario.to_dict(), seq)
+                    for _, scenario, seq, _ in pending
+                ],
+            )
+            for (position, _, _, key), result in zip(pending, executed):
+                results[position] = result
+                if self.cache is not None:
+                    self._store_in_cache(key, result)
+        return SuiteResult(results=list(results))
+
+    def _store_in_cache(self, key: str, result: ScenarioRunResult) -> None:
+        """Cache one executed result; never let caching sink the run.
+
+        Tables whose factor levels are not ``.npz``-serializable
+        (non-string object columns, e.g. tuple levels) and filesystem
+        failures (full/read-only cache directory) simply skip the
+        cache — the executed result is still returned.
+        """
+        try:
+            self.cache.store(key, result.table, self._result_meta(result))
+        except (TypeError, OSError):
+            pass

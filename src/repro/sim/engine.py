@@ -134,26 +134,31 @@ class SimulationEngine:
         """
         fired_this_run = 0
         self._stop_requested = False
+        queue = self._queue
+        listeners = self._listeners
         while True:
             if self._stop_requested:
                 return StopCondition("predicate", self._now, self._events_fired)
             if max_events is not None and fired_this_run >= max_events:
                 return StopCondition("max_events", self._now, self._events_fired)
-            event = self._queue.peek()
+            event = queue.peek()
             if event is None:
                 if horizon is not None and horizon > self._now:
                     self._now = horizon
                 return StopCondition("empty", self._now, self._events_fired)
             if horizon is not None and event.time > horizon:
+                # The event stays queued for a later run() call.
                 self._now = horizon
                 return StopCondition("horizon", self._now, self._events_fired)
-            popped = self._queue.pop()
-            assert popped is event
+            queue.pop()
             self._now = event.time
-            event.fire()
+            action = event.action
+            if action is not None:
+                action(event)
             self._events_fired += 1
             fired_this_run += 1
-            for listener in self._listeners:
-                listener(event)
+            if listeners:  # fast path: no listener dispatch when unused
+                for listener in listeners:
+                    listener(event)
             if until is not None and until():
                 return StopCondition("predicate", self._now, self._events_fired)

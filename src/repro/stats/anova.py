@@ -181,7 +181,7 @@ def _interaction_columns(blocks: Sequence[np.ndarray]) -> np.ndarray:
 
 
 def anova(
-    data: Sequence[Mapping[str, object]],
+    data: "Sequence[Mapping[str, object]] | object",
     response: str,
     factors: Sequence[str],
     interactions: Optional[Sequence[Tuple[str, ...]]] = None,
@@ -190,9 +190,11 @@ def anova(
     """Fixed-effects ANOVA on long-format data.
 
     Args:
-        data: A sequence of records (dicts); each record holds one
-            observation of the response plus the factor levels under which
-            it was measured.
+        data: Either a sequence of records (dicts) — each holding one
+            observation of the response plus the factor levels under
+            which it was measured — or a columnar
+            :class:`repro.results.RecordTable`, whose response column is
+            consumed as an array without materializing dicts.
         response: Key of the response variable in each record.
         factors: Factor names (record keys) to include as main effects.
         interactions: Optional interaction terms, each a tuple of factor
@@ -208,9 +210,8 @@ def anova(
     Raises:
         ValueError: On empty data, missing keys, or single-level factors.
     """
-    records = list(data)
-    if not records:
-        raise ValueError("anova requires at least one observation")
+    from repro.results import RecordTable  # local: avoid import cycles
+
     if not factors:
         raise ValueError("anova requires at least one factor")
     interactions = list(interactions or [])
@@ -221,7 +222,19 @@ def anova(
                     f"interaction {term} references unknown factor {f!r}"
                 )
 
-    y = np.array([float(rec[response]) for rec in records])  # type: ignore[arg-type]
+    if isinstance(data, RecordTable):
+        if not len(data):
+            raise ValueError("anova requires at least one observation")
+        y = np.asarray(data.column(response), dtype=float)
+        observed_by_factor = {f: data.values(f) for f in factors}
+    else:
+        records = list(data)
+        if not records:
+            raise ValueError("anova requires at least one observation")
+        y = np.array([float(rec[response]) for rec in records])  # type: ignore[arg-type]
+        observed_by_factor = {
+            f: [rec[f] for rec in records] for f in factors
+        }
     n = y.size
     grand_mean = float(y.mean())
     total_ss = float(((y - grand_mean) ** 2).sum())
@@ -231,7 +244,7 @@ def anova(
     factor_levels: Dict[str, List[Hashable]] = {}
     factor_blocks: Dict[str, np.ndarray] = {}
     for f in factors:
-        observed = [rec[f] for rec in records]
+        observed = observed_by_factor[f]
         levels = sorted(set(observed), key=repr)
         if len(levels) < 2:
             raise ValueError(

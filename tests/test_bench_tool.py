@@ -3,7 +3,14 @@ the subprocess pytest run is exercised by the bench tier itself)."""
 
 import json
 
-from repro.bench import derive_speedups, parse_benchmark_json
+import pytest
+
+from repro.bench import (
+    compare_benchmarks,
+    derive_speedups,
+    load_baseline_benchmarks,
+    parse_benchmark_json,
+)
 
 
 def _report(names_means):
@@ -78,3 +85,168 @@ class TestSpeedups:
         )
         payload = {"benchmarks": results, "speedups": derive_speedups(results)}
         assert json.loads(json.dumps(payload)) == payload
+
+    def test_warm_cache_pairing(self):
+        results = parse_benchmark_json(
+            _report(
+                {
+                    "test_perf_suite_run": 1.0,
+                    "test_perf_suite_run_warm_cache": 0.01,
+                }
+            )
+        )
+        speedups = derive_speedups(results)
+        assert speedups["perf_suite_run_warm_cache"] == pytest.approx(100.0)
+        assert "perf_suite_run" not in speedups
+
+
+def _stats(names_medians):
+    return parse_benchmark_json(_report(names_medians))
+
+
+class TestCompare:
+    def test_no_regressions_within_tolerance(self):
+        diff = compare_benchmarks(
+            _stats({"test_perf_a": 0.0012}),
+            _stats({"test_perf_a": 0.001}),
+            tolerance=0.35,
+        )
+        assert diff["regressions"] == []
+        assert diff["ratios"]["perf_a"] == pytest.approx(1.2)
+
+    def test_regression_beyond_tolerance_flagged(self):
+        diff = compare_benchmarks(
+            _stats({"test_perf_a": 0.002, "test_perf_b": 0.001}),
+            _stats({"test_perf_a": 0.001, "test_perf_b": 0.001}),
+            tolerance=0.35,
+        )
+        assert diff["regressions"] == ["perf_a"]
+
+    def test_uses_median_not_mean(self):
+        current = _stats({"test_perf_a": 0.001})
+        current["perf_a"]["mean_s"] = 1e9  # outlier-inflated mean
+        diff = compare_benchmarks(
+            current, _stats({"test_perf_a": 0.001}), tolerance=0.35
+        )
+        assert diff["regressions"] == []
+
+    def test_one_sided_benchmarks_never_fail(self):
+        diff = compare_benchmarks(
+            _stats({"test_perf_new": 5.0}),
+            _stats({"test_perf_gone": 0.001}),
+            tolerance=0.0,
+        )
+        assert diff["regressions"] == []
+        assert diff["only_current"] == ["perf_new"]
+        assert diff["only_baseline"] == ["perf_gone"]
+
+
+class TestLoadBaseline:
+    def _write(self, tmp_path, document):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_prefers_current_then_post_pr(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {
+                "post_pr": {"benchmarks": {"perf_a": {"mean_s": 1.0}}},
+                "current": {"benchmarks": {"perf_a": {"mean_s": 2.0}}},
+            },
+        )
+        assert load_baseline_benchmarks(path)["perf_a"]["mean_s"] == 2.0
+
+    def test_explicit_section(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {"post_pr": {"benchmarks": {"perf_a": {"mean_s": 1.0}}}},
+        )
+        section = load_baseline_benchmarks(path, "post_pr")
+        assert section["perf_a"]["mean_s"] == 1.0
+
+    def test_missing_section_raises(self, tmp_path):
+        path = self._write(tmp_path, {"notes": "nothing here"})
+        with pytest.raises(ValueError, match="no benchmark section"):
+            load_baseline_benchmarks(path)
+
+
+class TestMainCompare:
+    """CLI wiring of the regression gate (run_bench stubbed out)."""
+
+    def _run_main(self, tmp_path, monkeypatch, baseline_doc, fresh, argv):
+        import repro.bench as bench
+
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline_doc))
+
+        def fake_run_bench(targets=None, keyword=None, output="BENCH.json",
+                           section="current", pytest_args=None):
+            document = {}
+            try:
+                document = json.loads(open(output).read())
+            except OSError:
+                pass
+            document[section] = {
+                "benchmarks": fresh,
+                "speedups": {},
+            }
+            with open(output, "w") as handle:
+                json.dump(document, handle)
+            return document[section]
+
+        monkeypatch.setattr(bench, "run_bench", fake_run_bench)
+        return bench.main(argv + ["--compare", str(baseline_path)])
+
+    def test_regression_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        rc = self._run_main(
+            tmp_path,
+            monkeypatch,
+            {"current": {"benchmarks": _stats({"test_perf_a": 0.001})}},
+            _stats({"test_perf_a": 0.002}),
+            ["-o", str(tmp_path / "out.json")],
+        )
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_clean_run_exits_zero(self, tmp_path, monkeypatch, capsys):
+        rc = self._run_main(
+            tmp_path,
+            monkeypatch,
+            {"current": {"benchmarks": _stats({"test_perf_a": 0.001})}},
+            _stats({"test_perf_a": 0.001}),
+            ["-o", str(tmp_path / "out.json")],
+        )
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_rolling_baseline_compares_previous_contents(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # --compare file == --output file: the gate must diff against
+        # the baseline as it was BEFORE this run rewrote it.
+        import repro.bench as bench
+
+        rolling = tmp_path / "rolling.json"
+        rolling.write_text(
+            json.dumps(
+                {"current": {"benchmarks": _stats({"test_perf_a": 0.001})}}
+            )
+        )
+
+        def fake_run_bench(targets=None, keyword=None, output="BENCH.json",
+                           section="current", pytest_args=None):
+            document = json.loads(open(output).read())
+            document[section] = {
+                "benchmarks": _stats({"test_perf_a": 0.002}),
+                "speedups": {},
+            }
+            with open(output, "w") as handle:
+                json.dump(document, handle)
+            return document[section]
+
+        monkeypatch.setattr(bench, "run_bench", fake_run_bench)
+        rc = bench.main(
+            ["-o", str(rolling), "--compare", str(rolling)]
+        )
+        assert rc == 1  # 2x regression vs the pre-run contents

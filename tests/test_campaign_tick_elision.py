@@ -1,0 +1,350 @@
+"""Equivalence suite for the campaign tick-elision fast path.
+
+The acceptance guarantee of the elided event loop: for every built-in
+scenario and the same seed, ``tick_elision=True`` (the default) and the
+retained legacy per-tick loop (``tick_elision=False``) produce
+*identical* :class:`~repro.attacks.campaign.AttackOutcome` fields — TTA,
+TTSF, the compromised set, stage/alarm times — and identical event
+traces.
+"""
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import (
+    AttackCampaign,
+    CampaignConfig,
+    _HealthyTickTrajectory,
+)
+from repro.scada.monitoring import SpoofDetector
+from repro.scenarios.registry import SCENARIOS
+
+
+def outcome_signature(outcome):
+    """Every outcome field (NaN-safe) plus the full event trace."""
+    return (
+        outcome.success,
+        repr(outcome.success_time),
+        repr(outcome.detection_time),
+        sorted(outcome.compromise_times.items()),
+        sorted(outcome.root_times.items()),
+        repr(outcome.sabotage_start),
+        sorted((s.value, t) for s, t in outcome.stage_times.items()),
+        outcome.horizon,
+        outcome.n_hosts,
+        outcome.evicted,
+        [
+            (r.time, r.kind, r.subject, tuple(sorted(r.data.items())))
+            for r in outcome.trace
+        ],
+    )
+
+
+def signatures(scenario, config, seeds):
+    campaign = AttackCampaign(
+        scenario.build_network(),
+        scenario.build_catalog(),
+        scenario.build_threat(),
+        config,
+    )
+    return [
+        outcome_signature(campaign.run(np.random.default_rng(seed)))
+        for seed in seeds
+    ]
+
+
+def assert_modes_equivalent(scenario, seeds, **config_overrides):
+    base = scenario.build_campaign_config()
+    legacy = signatures(
+        scenario,
+        replace(base, tick_elision=False, **config_overrides),
+        seeds,
+    )
+    elided = signatures(
+        scenario,
+        replace(base, tick_elision=True, **config_overrides),
+        seeds,
+    )
+    assert legacy == elided
+
+
+class TestAllBuiltinScenariosEquivalent:
+    """The headline guarantee, across the full scenario catalog."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS.names()))
+    def test_identical_outcomes(self, name):
+        assert_modes_equivalent(SCENARIOS.get(name), seeds=range(3))
+
+
+class TestEdgeCaseEquivalence:
+    def test_incident_response_immediate_eviction(self):
+        assert_modes_equivalent(
+            SCENARIOS.get("cooling_stuxnet"),
+            seeds=range(4),
+            response_enabled=True,
+        )
+
+    def test_incident_response_delayed_eviction(self):
+        # The eviction delay is an rng draw made at detection time —
+        # it must land at the same point of the stream in both modes.
+        assert_modes_equivalent(
+            SCENARIOS.get("cooling_stuxnet"),
+            seeds=range(4),
+            response_enabled=True,
+            response_delay_rate=0.5,
+        )
+
+    def test_exfiltration_accrual_long_horizon(self):
+        # Exfiltration success happens at a tick boundary computed
+        # arithmetically on the elided path.
+        assert_modes_equivalent(
+            SCENARIOS.get("cooling_duqu"),
+            seeds=range(3),
+            horizon=200.0,
+            tick_interval=0.25,
+        )
+
+    def test_feeder_plant_healthy_stream(self):
+        # The feeder's diurnal demand keeps the healthy signal moving;
+        # no frozen-signal finding, different trajectory shape.
+        assert_modes_equivalent(
+            SCENARIOS.get("smart_grid_duqu"), seeds=range(3)
+        )
+
+    def test_tick_interval_longer_than_horizon(self):
+        # Zero ticks ever fire; both modes must agree trivially.
+        assert_modes_equivalent(
+            SCENARIOS.get("smoke"), seeds=range(2), tick_interval=50.0
+        )
+
+
+class _RampPlant:
+    """A plant whose healthy reading ramps deterministically.
+
+    Tuned so the master's threshold alarm and damage impairment land on
+    the *same* tick: the legacy tick body then runs detect → evict →
+    succeed inside one tick, which the elided dispatcher must replay in
+    that exact sub-order (an eviction does not stop the rest of the
+    tick).
+    """
+
+    MONITORED = 7
+
+    def default_registers(self):
+        return {self.MONITORED: 0}
+
+    def __init__(self):
+        self._level = 0.0
+
+    def step(self, registers, dt):
+        self._level += 10.0
+        registers[self.MONITORED] = int(self._level)
+
+    def stress_level(self):
+        return self._level
+
+    def sabotage(self, registers):
+        registers[self.MONITORED] = 999
+
+    @property
+    def monitored_register(self):
+        return self.MONITORED
+
+    @property
+    def alarm_scale(self):
+        return 1.0
+
+    @property
+    def alarm_threshold(self):
+        return 25.0  # trips at the tick where the ramp reaches 30
+
+    def make_damage_model(self):
+        from repro.scada.plant.damage import DamageModel
+
+        # Damage explodes the instant stress exceeds 25 → impairment on
+        # the same tick the alarm first trips.
+        return DamageModel(
+            safe_temperature=25.0,
+            critical_temperature=26.0,
+            critical_rate=1.0,
+        )
+
+
+class TestSameTickEvictionAndSuccess:
+    def test_detect_evict_then_succeed_in_one_tick(self):
+        # Immediate incident response: detection evicts (sets done) in
+        # the same tick that damage impairment completes the goal; the
+        # legacy loop records BOTH eviction and success.
+        scenario = SCENARIOS.get("cooling_stuxnet")
+        catalog, threat = scenario.build_catalog(), scenario.build_threat()
+        results = {}
+        for elide in (False, True):
+            config = CampaignConfig(
+                horizon=10.0,
+                tick_interval=1.0,
+                response_enabled=True,
+                plant_factory=_RampPlant,
+                tick_elision=elide,
+            )
+            campaign = AttackCampaign(
+                scenario.build_network(), catalog, threat, config
+            )
+            results[elide] = [
+                outcome_signature(campaign.run(np.random.default_rng(s)))
+                for s in range(5)
+            ]
+        assert results[False] == results[True]
+        # The scenario really exercises the same-tick corner.
+        some = [
+            sig for sig in results[False] if sig[0] and sig[9]
+        ]  # success AND evicted
+        assert some, "expected at least one evicted-yet-successful run"
+
+
+class TestHealthyTrajectory:
+    def test_shared_across_replications(self):
+        scenario = SCENARIOS.get("cooling_stuxnet")
+        campaign = AttackCampaign(
+            scenario.build_network(),
+            scenario.build_catalog(),
+            scenario.build_threat(),
+            scenario.build_campaign_config(),
+        )
+        campaign.run(np.random.default_rng(0))
+        trajectory = campaign._trajectory
+        assert trajectory is not None
+        campaign.run(np.random.default_rng(1))
+        assert campaign._trajectory is trajectory
+
+    def test_invalidate_tables_resets_trajectory(self):
+        scenario = SCENARIOS.get("smoke")
+        campaign = AttackCampaign(
+            scenario.build_network(),
+            scenario.build_catalog(),
+            scenario.build_threat(),
+            scenario.build_campaign_config(),
+        )
+        campaign.run(np.random.default_rng(0))
+        assert campaign._trajectory is not None
+        campaign.invalidate_tables()
+        assert campaign._trajectory is None
+        assert campaign._tables is None
+
+    def test_pickling_drops_trajectory(self):
+        import pickle
+
+        scenario = SCENARIOS.get("smoke")
+        campaign = AttackCampaign(
+            scenario.build_network(),
+            scenario.build_catalog(),
+            scenario.build_threat(),
+            scenario.build_campaign_config(),
+        )
+        campaign.run(np.random.default_rng(0))
+        clone = pickle.loads(pickle.dumps(campaign))
+        assert clone._trajectory is None
+        # The clone still reproduces outcomes bit-exactly.
+        a = outcome_signature(campaign.run(np.random.default_rng(5)))
+        b = outcome_signature(clone.run(np.random.default_rng(5)))
+        assert a == b
+
+    def test_tick_times_match_float_accumulation(self):
+        config = CampaignConfig(horizon=1.0, tick_interval=0.1)
+        trajectory = _HealthyTickTrajectory(config)
+        expected = []
+        t = 0.0
+        while True:
+            t = t + 0.1
+            if t > 1.0:
+                break
+            expected.append(t)
+        assert trajectory.times[1:] == expected
+        assert trajectory.n_ticks == len(expected)
+        assert trajectory.ticks_at_or_before(0.0) == 0
+        assert trajectory.ticks_at_or_before(expected[2]) == 3
+        assert trajectory.ticks_at_or_before(1e9) == trajectory.n_ticks
+
+    def test_lazy_scan_extends_on_demand(self):
+        scenario = SCENARIOS.get("cooling_stuxnet")
+        trajectory = _HealthyTickTrajectory(
+            scenario.build_campaign_config()
+        )
+        assert trajectory.scanned == 0
+        trajectory.scan_to(10)
+        assert trajectory.scanned == 10
+        trajectory.scan_to(5)  # never shrinks
+        assert trajectory.scanned == 10
+        trajectory.scan_to(10 ** 9)  # clamped to the horizon
+        assert trajectory.scanned == trajectory.n_ticks
+        assert trajectory.scan_exhausted
+        # The cooling plant's steady healthy signal trips the master's
+        # frozen-signal check once the detector window fills.
+        k, label = trajectory.first_finding
+        assert label.startswith("spoof:frozen_signal")
+        assert k == 20  # detector window
+        assert trajectory.first_impairment is None
+
+
+class TestRunBatchTable:
+    @pytest.fixture(scope="class", name="campaign")
+    def campaign_fixture(self):
+        scenario = SCENARIOS.get("cooling_stuxnet")
+        return AttackCampaign(
+            scenario.build_network(),
+            scenario.build_catalog(),
+            scenario.build_threat(),
+            scenario.build_campaign_config(),
+        )
+
+    def test_matches_run_batch_rows(self, campaign):
+        table = campaign.run_batch_table(8, rng=7)
+        outcomes = campaign.run_batch(8, rng=7)
+        horizon = campaign.config.horizon
+        assert table.columns == ["success", "tta", "ttsf", "final_ratio"]
+        rows = [
+            tuple(table.row(i)[c] for c in table.columns)
+            for i in range(len(table))
+        ]
+        assert rows == [o.response_row(horizon) for o in outcomes]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_identical_across_backends(self, campaign, backend):
+        from repro.exec import ExperimentRunner
+
+        serial = campaign.run_batch_table(6, rng=11)
+        parallel = campaign.run_batch_table(
+            6, rng=11, runner=ExperimentRunner(backend, n_workers=2)
+        )
+        assert serial == parallel
+
+    def test_shared_generator_mode(self, campaign):
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        table = campaign.run_batch_table(4, rng=rng_a)
+        outcomes = campaign.run_batch(4, rng=rng_b)
+        assert table.values("tta") == [
+            o.response_row(campaign.config.horizon)[1] for o in outcomes
+        ]
+
+    def test_rejects_bad_replications(self, campaign):
+        with pytest.raises(ValueError, match="replications"):
+            campaign.run_batch_table(0)
+
+
+class TestSpoofDetectorPreload:
+    def test_preload_matches_observed_stream(self):
+        stream = [float(v) for v in range(40)]
+        observed = SpoofDetector(window=5)
+        for value in stream:
+            observed.observe(value)
+        preloaded = SpoofDetector(window=5)
+        preloaded.preload(stream)
+        assert list(observed._samples) == list(preloaded._samples)
+
+    def test_preload_short_stream(self):
+        detector = SpoofDetector(window=5)
+        detector.preload([1.0, 2.0])
+        assert list(detector._samples) == [1.0, 2.0]

@@ -1,0 +1,326 @@
+"""Unit and property tests for the columnar results subsystem."""
+
+import json
+import math
+import os
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.results import (
+    RESPONSE_COLUMNS,
+    RecordTable,
+    ResultCache,
+    canonical_json,
+    content_key,
+    summarize_records,
+)
+
+
+def sample_records():
+    return [
+        {
+            "operating_system": "win_modern",
+            "run": 0,
+            "success": 1.0,
+            "tta": 4.0,
+            "ttsf": 2.0,
+            "final_ratio": 0.5,
+        },
+        {
+            "operating_system": "linux_hardened",
+            "run": 1,
+            "success": 0.0,
+            "tta": 8.0,
+            "ttsf": 6.0,
+            "final_ratio": 0.25,
+        },
+    ]
+
+
+class TestRecordTableBasics:
+    def test_round_trip_preserves_values_and_types(self):
+        records = sample_records()
+        table = RecordTable.from_dicts(records)
+        back = table.to_dicts()
+        assert back == records
+        assert type(back[0]["run"]) is int
+        assert type(back[0]["success"]) is float
+        assert type(back[0]["operating_system"]) is str
+
+    def test_column_dtypes(self):
+        table = RecordTable.from_dicts(sample_records())
+        assert table.column("run").dtype == np.int64
+        assert table.column("tta").dtype == np.float64
+        assert table.column("operating_system").dtype == object
+
+    def test_mixed_type_column_round_trips_via_object(self):
+        records = [{"x": 1}, {"x": 2.5}]
+        back = RecordTable.from_dicts(records).to_dicts()
+        assert back == records
+        assert type(back[0]["x"]) is int and type(back[1]["x"]) is float
+
+    def test_empty(self):
+        table = RecordTable.from_dicts([])
+        assert len(table) == 0 and not table
+        assert table.to_dicts() == []
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError, match="keys"):
+            RecordTable.from_dicts([{"a": 1}, {"b": 2}])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            RecordTable({"a": np.zeros(2), "b": np.zeros(3)})
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            RecordTable({"a": np.zeros((2, 2))})
+
+    def test_equality(self):
+        a = RecordTable.from_dicts(sample_records())
+        b = RecordTable.from_dicts(sample_records())
+        assert a == b
+        assert a != b.filter(np.array([True, False]))
+
+
+class TestRelationalOps:
+    def test_concat(self):
+        table = RecordTable.from_dicts(sample_records())
+        doubled = RecordTable.concat([table, table])
+        assert len(doubled) == 4
+        assert doubled.to_dicts() == sample_records() + sample_records()
+
+    def test_concat_schema_mismatch(self):
+        a = RecordTable.from_dicts([{"x": 1.0}])
+        b = RecordTable.from_dicts([{"y": 1.0}])
+        with pytest.raises(ValueError, match="columns"):
+            RecordTable.concat([a, b])
+
+    def test_filter_and_where(self):
+        table = RecordTable.from_dicts(sample_records())
+        wins = table.where("operating_system", "win_modern")
+        assert len(wins) == 1
+        assert wins.row(0)["run"] == 0
+
+    def test_groupby_first_appearance_order(self):
+        records = [
+            {"scenario": "b", "v": 1.0},
+            {"scenario": "a", "v": 2.0},
+            {"scenario": "b", "v": 3.0},
+        ]
+        groups = list(RecordTable.from_dicts(records).groupby("scenario"))
+        assert [name for name, _ in groups] == ["b", "a"]
+        assert len(groups[0][1]) == 2
+
+    def test_means(self):
+        table = RecordTable.from_dicts(sample_records())
+        means = table.means(("success", "tta"))
+        assert means == {"success": 0.5, "tta": 6.0}
+
+
+class TestSummarize:
+    def test_known_values(self):
+        summary = summarize_records(
+            RecordTable.from_dicts(sample_records())
+        )
+        assert summary == {
+            "psa": 0.5,
+            "tta_mean": 6.0,
+            "ttsf_mean": 4.0,
+            "final_ratio_mean": 0.375,
+        }
+
+    def test_accepts_dict_records(self):
+        assert summarize_records(sample_records())["psa"] == 0.5
+
+    def test_empty_all_nan(self):
+        summary = summarize_records([])
+        assert all(math.isnan(v) for v in summary.values())
+
+
+# Exact-value strategies: finite floats, bounded ints, and identifier-ish
+# strings — the value space of long-format measurement records.
+_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_ints = st.integers(min_value=-(2 ** 53), max_value=2 ** 53)
+_strings = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    max_size=12,
+)
+
+
+@st.composite
+def record_lists(draw):
+    n_cols = draw(st.integers(min_value=1, max_value=5))
+    names = [f"c{i}" for i in range(n_cols)]
+    kinds = [
+        draw(st.sampled_from(["float", "int", "str", "mixed"]))
+        for _ in names
+    ]
+    n_rows = draw(st.integers(min_value=0, max_value=8))
+    records = []
+    for _ in range(n_rows):
+        record = {}
+        for name, kind in zip(names, kinds):
+            if kind == "float":
+                record[name] = draw(_floats)
+            elif kind == "int":
+                record[name] = draw(_ints)
+            elif kind == "str":
+                record[name] = draw(_strings)
+            else:
+                record[name] = draw(
+                    st.one_of(_floats, _ints, _strings)
+                )
+        records.append(record)
+    return records
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(record_lists())
+    def test_dict_round_trip_is_exact(self, records):
+        table = RecordTable.from_dicts(records)
+        assert table.to_dicts() == records
+        assert [type(v) for r in records for v in r.values()] == [
+            type(v) for r in table.to_dicts() for v in r.values()
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(record_lists())
+    def test_pickle_round_trip(self, records):
+        table = RecordTable.from_dicts(records)
+        assert pickle.loads(pickle.dumps(table)) == table
+
+    @settings(max_examples=30, deadline=None)
+    @given(record_lists())
+    def test_concat_of_splits_is_identity(self, records):
+        table = RecordTable.from_dicts(records)
+        n = len(table)
+        head = table.filter(np.arange(n) < n // 2)
+        tail = table.filter(np.arange(n) >= n // 2)
+        assert RecordTable.concat([head, tail]) == table
+
+
+class TestNpzSerialization:
+    def test_round_trip(self, tmp_path):
+        table = RecordTable.from_dicts(sample_records())
+        path = str(tmp_path / "table.npz")
+        table.save_npz(path)
+        loaded = RecordTable.load_npz(path)
+        assert loaded == table
+        assert loaded.to_dicts() == sample_records()
+
+    def test_non_string_object_column_rejected(self, tmp_path):
+        table = RecordTable.from_dicts([{"x": (1, 2)}])
+        with pytest.raises(TypeError, match="non-string"):
+            table.save_npz(str(tmp_path / "bad.npz"))
+
+    def test_empty_round_trip(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        RecordTable.from_dicts([]).save_npz(path)
+        assert len(RecordTable.load_npz(path)) == 0
+
+
+class TestResultCache:
+    def test_content_key_is_canonical(self):
+        a = content_key({"b": 1, "a": [1, 2]})
+        b = content_key({"a": [1, 2], "b": 1})
+        assert a == b
+        assert a != content_key({"a": [1, 2], "b": 2})
+
+    def test_canonical_json_rejects_non_json(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        table = RecordTable.from_dicts(sample_records())
+        key = content_key({"spec": "s", "seed": 1})
+        assert cache.load(key) is None
+        assert not cache.contains(key)
+        cache.store(key, table, {"summary": {"psa": 0.5}})
+        assert cache.contains(key)
+        loaded, meta = cache.load(key)
+        assert loaded == table
+        assert meta == {"summary": {"psa": 0.5}}
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not an npz",
+            b"PK\x03\x04truncated-zip-header",
+        ],
+        ids=["random-bytes", "truncated-zip"],
+    )
+    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+        cache = ResultCache(str(tmp_path))
+        table = RecordTable.from_dicts(sample_records())
+        key = content_key({"k": 1})
+        cache.store(key, table, {"m": 1})
+        npz_path = os.path.join(str(tmp_path), f"{key}.npz")
+        with open(npz_path, "wb") as handle:
+            handle.write(garbage)
+        assert cache.load(key) is None
+
+    def test_no_stray_temp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.store(
+            content_key({"k": 2}),
+            RecordTable.from_dicts(sample_records()),
+            {},
+        )
+        assert not [
+            name
+            for name in os.listdir(str(tmp_path))
+            if name.startswith(".tmp-")
+        ]
+
+
+class TestResponseColumnConstants:
+    def test_response_columns_cover_summary_inputs(self):
+        assert RESPONSE_COLUMNS == ("success", "tta", "ttsf", "final_ratio")
+
+
+class TestOutcomeTableConstants:
+    def _outcome(self):
+        from repro.attacks.campaign import AttackOutcome
+        from repro.sim.trace import TraceRecorder
+
+        return AttackOutcome(
+            success=True,
+            success_time=3.0,
+            detection_time=float("nan"),
+            compromise_times={"h": 1.0},
+            root_times={},
+            sabotage_start=float("nan"),
+            stage_times={},
+            horizon=10.0,
+            n_hosts=2,
+            trace=TraceRecorder(),
+        )
+
+    def test_numeric_constants_take_numeric_dtypes(self):
+        from repro.core.measurement import outcome_table
+
+        table = outcome_table(
+            [self._outcome()],
+            10.0,
+            {"run": 3, "weight": 0.5, "level": "a"},
+        )
+        assert table.column("run").dtype == np.int64
+        assert table.column("weight").dtype == np.float64
+        assert table.column("level").dtype == object
+        assert table.row(0)["weight"] == 0.5
+        assert table.row(0)["ttsf"] == 10.0  # censored at the horizon
+
+    def test_float_level_table_serializes(self, tmp_path):
+        from repro.core.measurement import outcome_table
+
+        table = outcome_table([self._outcome()], 10.0, {"gain": 1.5})
+        path = str(tmp_path / "t.npz")
+        table.save_npz(path)  # float levels must not land in object cols
+        assert RecordTable.load_npz(path) == table
