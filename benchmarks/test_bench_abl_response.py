@@ -14,13 +14,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from dataclasses import replace
+
 from benchmarks.conftest import print_banner
-from repro.attacks.campaign import AttackCampaign, CampaignConfig
-from repro.attacks.profiles import stuxnet_like
+from repro.attacks.campaign import AttackCampaign
 from repro.core.indicators import compute_indicators
 from repro.core.report import format_table
-from repro.scada.topologies import scope_cooling_topology
+from repro.scenarios.registry import SCENARIOS
 
+#: Response speeds expressed as scenario-spec knobs (no hand-patched
+#: CampaignConfig — the same fields ride in JSON catalogs and power the
+#: ``cooling_stuxnet_response`` built-in).
 RESPONSE_LADDER = [
     ("no response", dict(response_enabled=False)),
     ("slow (mean 20 h)", dict(response_enabled=True,
@@ -32,12 +36,18 @@ RESPONSE_LADDER = [
 
 
 def run_experiment(catalog, rng: np.random.Generator):
-    threat = stuxnet_like()
+    base = replace(
+        SCENARIOS.get("cooling_stuxnet"), horizon=80.0, tick_interval=0.5
+    )
+    threat = base.build_threat()
     rows = []
-    for label, kwargs in RESPONSE_LADDER:
-        config = CampaignConfig(horizon=80.0, tick_interval=0.5, **kwargs)
+    for label, knobs in RESPONSE_LADDER:
+        scenario = replace(base, **knobs)
         outcomes = AttackCampaign(
-            scope_cooling_topology(), catalog, threat, config
+            scenario.build_network(),
+            catalog,
+            threat,
+            scenario.build_campaign_config(),
         ).run_batch(50, rng)
         ind = compute_indicators(outcomes).summary_row()
         evictions = sum(o.evicted for o in outcomes)

@@ -114,6 +114,29 @@ def test_perf_suite_run_legacy(benchmark):
     assert result.names() == list(_SUITE_NAMES)
 
 
+def test_perf_suite_run_session(benchmark):
+    """The same three-scenario suite through ``Session.submit``.
+
+    Paired against ``perf_suite_run`` by the ``_session`` suffix
+    convention of :mod:`repro.bench`: the reported ratio is the facade
+    overhead (JobHandle + progress hooks), expected ~1.0 — submitting
+    through ``repro.api`` must cost no wall-clock over the direct
+    ``ScenarioSuite.run`` call.
+    """
+    from repro.api import Session
+
+    session = Session()
+
+    def run_via_session():
+        return session.submit(
+            list(_SUITE_NAMES), seed=_SUITE_SEED
+        ).result()
+
+    result = benchmark(run_via_session)
+    session.close()
+    assert result.names() == list(_SUITE_NAMES)
+
+
 def test_perf_suite_run_warm_cache(benchmark, tmp_path_factory):
     """The same suite answered from a warm content-addressed cache."""
     cache_dir = str(tmp_path_factory.mktemp("suite-cache"))

@@ -3,8 +3,9 @@
 Compares design choices (full factorial, half fraction, Plackett-Burman)
 for the same diversity question — *which components drive the security
 indicators?* — by running the three ``doe-sweep`` scenarios of the
-catalog, and shows the screening designs reach the same ANOVA conclusion
-at a fraction of the simulation cost.
+catalog through one :class:`repro.api.Session`, and shows the screening
+designs reach the same ANOVA conclusion at a fraction of the simulation
+cost.
 
 Run:
     python examples/doe_anova_study.py
@@ -14,32 +15,31 @@ Run:
 import argparse
 import time
 
-import numpy as np
-
-from repro import SCENARIOS, DiversityStudy
+from repro.api import Session
 from repro.core.report import format_table
 
 
-def main(backend: str = None, n_workers: int = None) -> None:
-    # Any explicit backend uses spawn-per-replication seeding, so the
-    # numbers below are identical for every backend/worker choice.
+def main(backend: str = "serial", n_workers: int = None) -> None:
+    # The session owns the runner; for the same seed the numbers below
+    # are identical for every backend/worker choice.
     summary = []
-    for scenario in SCENARIOS.by_tag("doe-sweep"):
-        study = DiversityStudy.from_scenario(
-            scenario, backend=backend or "serial", n_workers=n_workers
-        )
-        started = time.perf_counter()
-        result = study.execute(np.random.default_rng(11))
-        elapsed = time.perf_counter() - started
-        table = result.assessment.anova_tables["tta"]
-        top = result.assessment.ranking("tta")[0]
-        summary.append(
-            (scenario.name, result.design.n_runs,
-             len(result.measurement.records), f"{elapsed:.1f}s",
-             top.component, f"{100 * top.allocation:.1f}%")
-        )
-        print(f"\n===== {scenario.title} ({result.design.n_runs} runs) =====")
-        print(table.format_table())
+    with Session(backend=backend, n_workers=n_workers) as session:
+        for scenario in session.scenarios(tag="doe-sweep"):
+            started = time.perf_counter()
+            result = session.full_study(scenario, seed=11)
+            elapsed = time.perf_counter() - started
+            table = result.assessment.anova_tables["tta"]
+            top = result.assessment.ranking("tta")[0]
+            summary.append(
+                (scenario.name, result.design.n_runs,
+                 len(result.table), f"{elapsed:.1f}s",
+                 top.component, f"{100 * top.allocation:.1f}%")
+            )
+            print(
+                f"\n===== {scenario.title} "
+                f"({result.design.n_runs} runs) ====="
+            )
+            print(table.format_table())
 
     print("\n===== summary =====")
     print(
@@ -58,7 +58,7 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--backend", choices=("serial", "thread", "process"),
-        default=None, help="measurement execution backend",
+        default="serial", help="measurement execution backend",
     )
     parser.add_argument(
         "--workers", type=int, default=None,

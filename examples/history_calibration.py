@@ -16,11 +16,11 @@ Run:
     python examples/history_calibration.py
 """
 
-import dataclasses
 
 import numpy as np
 
-from repro import get_scenario, san_model_for
+from repro import san_model_for
+from repro.api import Session
 from repro.attacks.campaign import AttackCampaign
 from repro.attacks.history import (
     HISTORY_STEPS,
@@ -89,9 +89,11 @@ def main() -> None:
     print(f"  escalation_rate = {threat.escalation_rate:.3f} /h")
     print(f"  reprogram_rate  = {threat.reprogram_rate:.3f} /h")
 
-    # System wiring from the catalog scenario; only the threat is
-    # replaced by its history-calibrated counterpart.
-    scenario = get_scenario("cooling_stuxnet")
+    # System wiring from the catalog scenario (via the session facade);
+    # only the threat is replaced by its history-calibrated counterpart.
+    scenario = (
+        Session().study("cooling_stuxnet").horizon(100.0).build()
+    )
     catalog = scenario.build_catalog()
     network = scenario.build_network()
     san = san_model_for(network, catalog, threat, give_up=True)
@@ -101,8 +103,7 @@ def main() -> None:
     print(f"\nanalytic single-campaign success probability (SAN/CTMC): {p:.3f}")
 
     outcomes = AttackCampaign(
-        network, catalog, threat,
-        dataclasses.replace(scenario.build_campaign_config(), horizon=100.0),
+        network, catalog, threat, scenario.build_campaign_config()
     ).run_batch(40, rng)
     row = compute_indicators(outcomes).summary_row()
     print(f"campaign (persistent attacker, 100 h): PSA = {row['psa']:.2f}, "

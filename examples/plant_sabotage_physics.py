@@ -7,8 +7,12 @@ thermal trajectory of the room, and the damage model declaring device
 impairment — the final stage of the paper's attack chain.
 
 (The study-level counterpart — which diversification best defends this
-signal path — is the ``cooling_sabotage_physics`` catalog scenario:
-``python -m repro.scenarios run cooling_sabotage_physics``.)
+signal path — is the ``cooling_sabotage_physics`` catalog scenario; run
+it through the facade with
+``Session().run("cooling_sabotage_physics")`` or from the shell with
+``python -m repro.scenarios run cooling_sabotage_physics``.  This
+script deliberately stays below the facade: it is the physical
+substrate every campaign drives.)
 
 Run:
     python examples/plant_sabotage_physics.py

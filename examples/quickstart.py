@@ -1,9 +1,11 @@
-"""Quickstart: the three-step diversity study from a named scenario.
+"""Quickstart: the three-step diversity study through ``repro.api``.
 
 Runs the paper's Figure-1 pipeline — attack modeling, DoE & measurement,
-ANOVA diversity assessment — by looking the reference case study up in
-the scenario catalog (``repro.scenarios``) and printing the study
-report.  Browse the catalog with ``python -m repro.scenarios list``.
+ANOVA diversity assessment — through the public facade: a
+:class:`repro.api.Session` owns the execution backend and the scenario
+catalog, and ``session.full_study`` returns the complete study result
+with its report and provenance.  Browse the catalog with
+``python -m repro.scenarios list``.
 
 Run:
     python examples/quickstart.py
@@ -12,34 +14,36 @@ Run:
 
 import argparse
 
-import numpy as np
-
-from repro import DiversityStudy, get_scenario
+from repro.api import Session
 
 
-def main(backend: str = None, n_workers: int = None) -> None:
-    scenario = get_scenario("cooling_stuxnet")
-    print(scenario.describe())
-    print()
-    study = DiversityStudy.from_scenario(
-        scenario,
-        backend=backend,  # e.g. "process" parallelises the DoE runs
-        n_workers=n_workers,
-    )
-    result = study.execute(np.random.default_rng(42))
+def main(backend: str = "serial", n_workers: int = None) -> None:
+    with Session(backend=backend, n_workers=n_workers) as session:
+        scenario = session.scenario("cooling_stuxnet")
+        print(scenario.describe())
+        print()
+        # full_study runs all three steps; seed 42 reproduces these
+        # numbers bit-for-bit on any backend/worker count.
+        result = session.full_study("cooling_stuxnet", seed=42)
     print(result.report())
 
     print("\n--- take-away ---")
     for response in ("tta", "success"):
         targets = result.assessment.recommended_diversification(response)
         print(f"diversify first for {response}: {targets[0]}")
+    print(
+        f"provenance: spec {result.provenance.spec_digest[:12]}..., "
+        f"seed entropy {result.provenance.entropy}, "
+        f"backend {result.provenance.backend}, "
+        f"repro {result.provenance.library_version}"
+    )
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--backend", choices=("serial", "thread", "process"),
-        default=None, help="measurement execution backend",
+        default="serial", help="measurement execution backend",
     )
     parser.add_argument(
         "--workers", type=int, default=None,

@@ -1,10 +1,12 @@
-"""Running a scenario suite and comparing scenarios side by side.
+"""Running a scenario suite as a queued job and comparing scenarios.
 
-Fans the ``threat-sweep`` scenarios (plus the smoke scenario) out on the
-parallel experiment runner and prints the cross-scenario comparison
-report.  For the same seed the per-scenario records are bit-identical
-across the ``serial``, ``thread`` and ``process`` backends and any
-worker count.
+Submits the ``threat-sweep`` scenarios (plus the smoke scenario)
+through :meth:`repro.api.Session.submit`, watches the
+:class:`~repro.api.JobHandle`'s partial progress while the suite fans
+out on the parallel experiment runner, and prints the cross-scenario
+comparison report.  For the same seed the per-scenario records are
+bit-identical across the ``serial``, ``thread`` and ``process``
+backends and any worker count.
 
 Equivalent CLI:
     python -m repro.scenarios run smoke --tag threat-sweep --backend process
@@ -15,17 +17,26 @@ Run:
 """
 
 import argparse
+import time
 
-from repro import SCENARIOS, ScenarioSuite
+from repro.api import Session
 
 
 def main(backend: str = "serial", n_workers: int = None) -> None:
-    scenarios = ["smoke"] + [
-        s.name for s in SCENARIOS.by_tag("threat-sweep")
-    ]
-    print(f"suite: {', '.join(scenarios)} (backend={backend})")
-    suite = ScenarioSuite(scenarios, backend=backend, n_workers=n_workers)
-    result = suite.run(seed=2013)
+    with Session(backend=backend, n_workers=n_workers) as session:
+        scenarios = ["smoke"] + [
+            s.name for s in session.scenarios(tag="threat-sweep")
+        ]
+        print(f"suite: {', '.join(scenarios)} (backend={backend})")
+        job = session.submit(scenarios, seed=2013)
+        while not job.done():
+            progress = job.progress
+            print(
+                f"  job {job.job_id} [{job.status.value}] "
+                f"{progress.completed}/{progress.total} scenarios"
+            )
+            time.sleep(0.5)
+        result = job.result()
     print()
     print(result.comparison_report())
 
@@ -37,6 +48,10 @@ def main(backend: str = "serial", n_workers: int = None) -> None:
         f"{100 * duqu.summary['psa']:.0f}% for espionage on the same "
         f"system, and the first diversification target shifts from "
         f"{stuxnet.top_targets['tta']} to {duqu.top_targets['tta']}."
+    )
+    print(
+        f"suite provenance: {result.provenance.spec_digest[:12]}... "
+        f"(seed entropy {result.provenance.entropy})"
     )
 
 

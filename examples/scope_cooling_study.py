@@ -20,7 +20,7 @@ import dataclasses
 
 import numpy as np
 
-from repro import get_scenario
+from repro.api import Session
 from repro.attacks.campaign import AttackCampaign
 from repro.core.indicators import compute_indicators
 from repro.core.placement import PlacementProblem
@@ -31,13 +31,15 @@ from repro.san.simulator import SANSimulator
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    scenario = get_scenario("cooling_stuxnet")
+    # The session resolves the catalog scenario; the builder carries
+    # the study-specific horizon override.
+    scenario = (
+        Session().study("cooling_stuxnet").horizon(100.0).build()
+    )
     catalog = scenario.build_catalog()
     threat = scenario.build_threat()
     network = scenario.build_network()
-    config = dataclasses.replace(
-        scenario.build_campaign_config(), horizon=100.0
-    )
+    config = scenario.build_campaign_config()
 
     print("SCoPE cooling SCADA:", len(network.hosts), "hosts")
     for warning in network.validate():

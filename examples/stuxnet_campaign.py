@@ -10,12 +10,11 @@ Run:
     python examples/stuxnet_campaign.py
 """
 
-import dataclasses
 import math
 
 import numpy as np
 
-from repro import get_scenario
+from repro.api import Session
 from repro.attacks.campaign import AttackCampaign
 from repro.scada.protocol import (
     FunctionCode,
@@ -55,15 +54,19 @@ def protocol_demo() -> None:
 def campaign_walkthrough() -> None:
     print("--- single campaign walkthrough (baseline system) ---")
     rng = np.random.default_rng(2013)
-    scenario = get_scenario("cooling_stuxnet")
-    config = dataclasses.replace(
-        scenario.build_campaign_config(), horizon=120.0, tick_interval=0.25
+    # The builder overrides the catalog scenario's campaign knobs —
+    # no hand-patched CampaignConfig needed.
+    scenario = (
+        Session()
+        .study("cooling_stuxnet")
+        .override(horizon=120.0, tick_interval=0.25)
+        .build()
     )
     campaign = AttackCampaign(
         scenario.build_network(),
         scenario.build_catalog(),
         scenario.build_threat(),
-        config,
+        scenario.build_campaign_config(),
     )
 
     # Find a replication where the attack succeeds.

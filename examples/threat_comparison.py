@@ -7,13 +7,17 @@ hand-diversified configurations and prints the full indicator
 comparison, showing how the *kind* of threat changes which
 diversification helps.
 
+Scenario resources (catalog, threat, campaign config) and the execution
+runner all come from one :class:`repro.api.Session`; the diversified
+variant shows the advanced escape hatch — mutating a network by hand
+and running :class:`~repro.attacks.campaign.AttackCampaign` on the
+session's runner directly.
+
 Run:
     python examples/threat_comparison.py
 """
 
-import numpy as np
-
-from repro import SCENARIOS
+from repro.api import Session
 from repro.attacks.campaign import AttackCampaign
 from repro.core.indicators import compute_indicators
 from repro.core.report import format_table
@@ -46,30 +50,30 @@ def diversify(net):
 
 
 def main() -> None:
-    rng = np.random.default_rng(31)
     rows = []
-    for scenario in SCENARIOS.by_tag("threat-sweep"):
-        catalog = scenario.build_catalog()
-        threat = scenario.build_threat()
-        config = scenario.build_campaign_config()
-        for system_label, network in (
-            ("baseline", scenario.build_network()),
-            ("diversified", diversify(scenario.build_network())),
-        ):
-            outcomes = AttackCampaign(
-                network, catalog, threat, config
-            ).run_batch(40, rng)
-            row = compute_indicators(outcomes).summary_row()
-            rows.append(
-                (
-                    f"{threat.name} ({threat.goal})",
-                    system_label,
-                    f"{row['psa']:.2f}",
-                    f"{row['tta_restricted_mean']:.1f}",
-                    f"{row['detection_probability']:.2f}",
-                    f"{row['ttsf_restricted_mean']:.1f}",
+    with Session() as session:
+        for scenario in session.scenarios(tag="threat-sweep"):
+            catalog = scenario.build_catalog()
+            threat = scenario.build_threat()
+            config = scenario.build_campaign_config()
+            for system_label, network in (
+                ("baseline", scenario.build_network()),
+                ("diversified", diversify(scenario.build_network())),
+            ):
+                outcomes = AttackCampaign(
+                    network, catalog, threat, config
+                ).run_batch(40, rng=31, runner=session.runner)
+                row = compute_indicators(outcomes).summary_row()
+                rows.append(
+                    (
+                        f"{threat.name} ({threat.goal})",
+                        system_label,
+                        f"{row['psa']:.2f}",
+                        f"{row['tta_restricted_mean']:.1f}",
+                        f"{row['detection_probability']:.2f}",
+                        f"{row['ttsf_restricted_mean']:.1f}",
+                    )
                 )
-            )
     print(
         format_table(
             ["threat", "system", "PSA", "TTA(h)", "P(detect)", "TTSF(h)"],

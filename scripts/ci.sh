@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Single CI gate: tier-1 unit suite, facade selftest, perf regression.
+#
+#   scripts/ci.sh                 # full gate (tier-1 + selftest + bench)
+#   SKIP_BENCH=1 scripts/ci.sh    # fast gate (no benchmark re-run)
+#
+# The benchmark stage re-times the perf suites and compares medians
+# against the persisted baseline (BENCH_PR5.json by default — the most
+# recent baseline, so every benchmark incl. perf_suite_run_session is
+# gated) via `python -m repro.bench --compare` — non-zero exit on any
+# regression beyond tolerance.  Override with BENCH_BASELINE=path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== repro.api selftest =="
+python -m repro.api --selftest
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+    echo
+    echo "== benchmark regression gate =="
+    baseline="${BENCH_BASELINE:-BENCH_PR5.json}"
+    python -m repro.bench -o /tmp/bench-ci.json --compare "$baseline"
+fi
+
+echo
+echo "ci.sh: all gates passed"

@@ -70,7 +70,19 @@ from repro.scenarios import (
     register_scenario,
 )
 
-__version__ = "1.0.0"
+# The stable public facade (imported last: it composes the subsystems
+# above).  See the README "Public API" section.
+from repro.api import (
+    JobCancelled,
+    JobHandle,
+    JobState,
+    Provenance,
+    RunResult,
+    Session,
+    StudyBuilder,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "AttackCampaign",
@@ -80,13 +92,20 @@ __all__ = [
     "DiversityStudy",
     "ExperimentRunner",
     "IndicatorSet",
+    "JobCancelled",
+    "JobHandle",
+    "JobState",
     "MeasurementPlan",
     "PlacementProblem",
+    "Provenance",
+    "RunResult",
     "SCADANetwork",
     "SCENARIOS",
     "Scenario",
     "ScenarioRegistry",
     "ScenarioSuite",
+    "Session",
+    "StudyBuilder",
     "StudyResult",
     "SuiteResult",
     "SystemConfiguration",

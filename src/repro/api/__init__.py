@@ -1,0 +1,58 @@
+"""repro.api — the stable public facade over every entry point.
+
+The paper's workflow is one pipeline — build a scenario, run a
+Monte-Carlo campaign/measurement, aggregate indicators — and this
+package is its single front door.  A :class:`Session` owns the shared
+resources (execution runner, scenario registry + file catalogs, result
+cache, default seed policy); a fluent :class:`StudyBuilder` configures
+one experiment; :meth:`Session.run` executes synchronously and
+:meth:`Session.submit` queues the same work as a :class:`JobHandle`
+(status / partial progress / ``result()`` / cooperative ``cancel()``).
+Every entry point returns a :class:`RunResult` — RecordTable + summary
++ :class:`~repro.results.Provenance` — and is bit-identical to the
+legacy entry point it lowers onto, for the same seed.
+
+Quickstart::
+
+    from repro.api import Session
+
+    with Session(backend="process", n_workers=4) as session:
+        # One scenario, synchronously.
+        result = session.study("cooling_stuxnet") \\
+            .override(threat_params={"entry_rate": 0.3}) \\
+            .replications(50) \\
+            .run(seed=42)
+        print(result.summary["psa"], result.provenance.spec_digest[:12])
+
+        # A suite, as a queueable job.
+        job = session.submit(["smoke", "cooling_duqu"], seed=7)
+        print(job.status, job.progress)
+        suite = job.result()
+
+Stability: this package (plus :class:`~repro.scenarios.spec.Scenario`
+and the result types listed in :mod:`repro.api.result`) is the stable
+surface future backends plug into; modules below it are internal —
+stable for now but reached through the facade.  See the README's
+"Public API" section for the full table and migration notes.
+
+``python -m repro.api --selftest`` smoke-checks an installation in a
+few seconds.
+"""
+
+from repro.api.builder import StudyBuilder
+from repro.api.jobs import JobCancelled, JobHandle, JobProgress, JobState
+from repro.api.result import CampaignRunResult, RunResult
+from repro.api.session import Session
+from repro.results import Provenance
+
+__all__ = [
+    "CampaignRunResult",
+    "JobCancelled",
+    "JobHandle",
+    "JobProgress",
+    "JobState",
+    "Provenance",
+    "RunResult",
+    "Session",
+    "StudyBuilder",
+]

@@ -1,0 +1,86 @@
+"""``python -m repro.api`` — facade utilities (``--selftest``).
+
+The selftest is the installation smoke check wired into
+``scripts/ci.sh``: it builds a :class:`~repro.api.Session`, runs the
+``smoke`` scenario end to end through ``Session.submit`` + the
+:class:`~repro.api.jobs.JobHandle` lifecycle, and verifies the result
+shape and provenance — in a few seconds, exit 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+
+def selftest(backend: str = "serial", seed: int = 0) -> int:
+    """Run the smoke scenario through Session/JobHandle; 0 on success."""
+    from repro.api import JobState, RunResult, Session
+
+    started = time.perf_counter()
+    with Session(backend=backend) as session:
+        job = session.submit("smoke", seed=seed)
+        result = job.result()
+        checks = [
+            ("job reached DONE", job.status is JobState.DONE),
+            (
+                "progress complete",
+                job.progress.completed == job.progress.total > 0,
+            ),
+            ("result satisfies RunResult", isinstance(result, RunResult)),
+            ("records present", len(result.table) > 0),
+            ("summary has psa", "psa" in result.summary),
+            (
+                "provenance recorded",
+                result.provenance is not None
+                and result.provenance.backend == backend,
+            ),
+        ]
+    elapsed = time.perf_counter() - started
+    failures = [label for label, ok in checks if not ok]
+    for label, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if failures:
+        print(f"selftest FAILED ({', '.join(failures)})", file=sys.stderr)
+        return 1
+    print(
+        f"selftest ok: smoke scenario via Session/JobHandle "
+        f"({len(result.table)} records, backend={backend}) "
+        f"in {elapsed:.1f}s"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api",
+        description="Public-facade utilities.",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the smoke scenario through Session/JobHandle and exit",
+    )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        help="selftest execution backend (default: serial)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="selftest seed (default: 0)"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.selftest:
+        return selftest(backend=args.backend, seed=args.seed)
+    build_parser().print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The unified result side of the public API.
+
+Every entry point of :class:`repro.api.Session` returns an object
+satisfying the :class:`RunResult` protocol — a columnar
+:class:`~repro.results.RecordTable` of long-format records, a scalar
+``summary`` dict, and a :class:`~repro.results.Provenance` reproduction
+record.  The concrete types are the subsystem results themselves:
+
+========================  =======================================
+entry point               result type (all satisfy ``RunResult``)
+========================  =======================================
+``Session.run(name)``     :class:`repro.scenarios.ScenarioRunResult`
+``Session.run([a, b])``   :class:`repro.scenarios.SuiteResult`
+``Session.full_study``    :class:`repro.core.study.StudyResult`
+``MeasurementPlan``       :class:`repro.core.measurement.MeasurementResult`
+``Session.campaign``      :class:`CampaignRunResult` (defined here)
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+from repro.results import Provenance, RecordTable
+
+
+@runtime_checkable
+class RunResult(Protocol):
+    """What every facade entry point returns.
+
+    Attributes:
+        table: Columnar long-format records
+            (:class:`~repro.results.RecordTable`) carrying at least the
+            library's response columns ``success`` / ``tta`` / ``ttsf``
+            / ``final_ratio``.
+        summary: Scalar metrics over the records (``psa`` and the
+            restricted means — see
+            :data:`repro.results.SUMMARY_METRICS`).
+        provenance: The reproduction record (spec digest, root seed
+            material, backend, library version); ``None`` only on
+            legacy shared-generator executions.
+    """
+
+    @property
+    def table(self) -> RecordTable: ...  # pragma: no cover - protocol
+
+    @property
+    def summary(self) -> Dict[str, float]: ...  # pragma: no cover
+
+    provenance: Optional[Provenance]
+
+
+@dataclass
+class CampaignRunResult:
+    """A Monte-Carlo attack-campaign batch as a :class:`RunResult`.
+
+    Attributes:
+        table: One response row per replication, in replication order
+            (``success`` / ``tta`` / ``ttsf`` / ``final_ratio``).
+        summary: Scalar metrics over the batch.
+        scenario_name: The scenario the campaign was built from.
+        replications: Batch size.
+        provenance: Reproduction record.
+    """
+
+    table: RecordTable
+    summary: Dict[str, float]
+    scenario_name: str
+    replications: int
+    provenance: Optional[Provenance] = None

@@ -1,0 +1,467 @@
+"""The session facade: one object owning every experiment resource.
+
+A :class:`Session` bundles what the pre-facade entry points each
+re-plumbed on their own — an
+:class:`~repro.exec.runner.ExperimentRunner`, a
+:class:`~repro.scenarios.registry.ScenarioRegistry` (built-ins plus any
+file-based catalogs), an optional content-addressed
+:class:`~repro.results.ResultCache` and a default seed policy — and
+exposes the whole pipeline through two verbs:
+
+* :meth:`Session.run` — synchronous execution of a scenario, a
+  :class:`~repro.api.builder.StudyBuilder`, or a list of either (a
+  suite), returning a :class:`~repro.api.result.RunResult`;
+* :meth:`Session.submit` — the same work as a queued
+  :class:`~repro.api.jobs.JobHandle` with status, partial progress,
+  ``result()`` and cooperative ``cancel()``.
+
+Results are bit-identical to the legacy entry points
+(``ScenarioSuite.run``, ``MeasurementPlan.execute``, ...) for the same
+seed — the facade lowers onto them, it does not fork them — which is
+pinned by ``tests/test_api_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from repro.api.builder import StudyBuilder
+from repro.api.jobs import JobHandle
+from repro.api.result import CampaignRunResult, RunResult
+from repro.attacks.campaign import AttackCampaign
+from repro.core.study import DiversityStudy, StudyResult
+from repro.exec.runner import ExperimentRunner
+from repro.exec.seeding import SeedLike, as_seed_sequence
+from repro.results import ResultCache, provenance_for, summarize_records
+from repro.scenarios.registry import SCENARIOS, ScenarioRegistry
+from repro.scenarios.spec import Scenario
+from repro.scenarios.suite import (
+    ScenarioRunResult,
+    ScenarioSuite,
+    SuiteResult,
+)
+
+#: What Session.run/submit accept as a single experiment target.
+StudyLike = Union[str, Scenario, StudyBuilder]
+#: A single target or a suite of them.
+TargetLike = Union[StudyLike, Sequence[StudyLike]]
+
+
+class Session:
+    """The public entry point of the library (see :mod:`repro.api`).
+
+    Args:
+        backend: Execution backend every run of this session uses
+            (``"serial"`` / ``"thread"`` / ``"process"``).  Results
+            never depend on it; wall-clock does.
+        n_workers: Worker-pool width for parallel backends.
+        seed: Default root seed for runs that do not pass one.  The
+            default (``0``) makes every session reproducible out of the
+            box; pass ``None`` to draw fresh OS entropy per run (the
+            drawn entropy is still recorded in each result's
+            provenance).
+        cache_dir: Enable content-addressed result caching for scenario
+            runs in this directory (see
+            :class:`~repro.scenarios.suite.ScenarioSuite`).
+        registry: Scenario catalog to resolve names in.  The default is
+            a *copy* of the library-wide built-ins, so session-local
+            additions never mutate the global catalog; an explicitly
+            passed registry is used as-is (caller-owned).
+        catalog_dirs: Directories of JSON scenario specs layered on top
+            of ``registry`` via
+            :meth:`~repro.scenarios.registry.ScenarioRegistry.load_dir`.
+            The session gets its own registry copy — the library-wide
+            catalog is never mutated.
+        max_parallel_jobs: How many submitted jobs may execute
+            concurrently (default 1: jobs queue in submission order,
+            which keeps one parallel runner saturated instead of
+            oversubscribing cores).
+        chunk_size: Work units per pool task (see
+            :class:`~repro.exec.runner.ExperimentRunner`); mostly for
+            tests that want fine-grained job progress.
+
+    Example:
+        >>> from repro.api import Session
+        >>> with Session() as session:
+        ...     result = session.run("smoke", seed=7)
+        ...     round(result.summary["psa"], 3) >= 0.0
+        True
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        n_workers: Optional[int] = None,
+        *,
+        seed: Optional[SeedLike] = 0,
+        cache_dir: Optional[str] = None,
+        registry: Optional[ScenarioRegistry] = None,
+        catalog_dirs: Optional[Sequence[str]] = None,
+        max_parallel_jobs: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if max_parallel_jobs < 1:
+            raise ValueError(
+                f"max_parallel_jobs must be >= 1, got {max_parallel_jobs}"
+            )
+        self.runner = ExperimentRunner(backend, n_workers, chunk_size)
+        if registry is not None:
+            # A caller-supplied registry is caller-owned: use it as-is
+            # (copy only if catalog dirs are layered on top).
+            self.registry = registry.copy() if catalog_dirs else registry
+        else:
+            # Always a copy of the built-ins, so session-local additions
+            # (registry.load_dir, registry.add) never leak into the
+            # library-wide catalog.
+            self.registry = SCENARIOS.copy()
+        for directory in catalog_dirs or ():
+            self.registry.load_dir(directory)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.default_seed = seed
+        self._max_parallel_jobs = max_parallel_jobs
+        self._executor: Optional[ThreadPoolExecutor] = None
+        # Weak references: a long-lived session must not pin every
+        # finished job's result tables for its whole lifetime — a
+        # handle (and its result) lives as long as the caller keeps it.
+        self._jobs: List["weakref.ref[JobHandle]"] = []
+        self._closed = False
+
+    # ---- resource accessors ---------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """The session runner's backend name."""
+        return self.runner.backend_name
+
+    def scenario(self, name_or_spec: Union[str, Scenario]) -> Scenario:
+        """Resolve a scenario name in this session's registry (specs
+        pass through unchanged).
+
+        Raises:
+            ValueError: For an unknown name.
+        """
+        if isinstance(name_or_spec, Scenario):
+            return name_or_spec
+        return self.registry.get(name_or_spec)
+
+    def scenarios(self, tag: Optional[str] = None) -> List[Scenario]:
+        """Registered scenarios, optionally filtered by tag."""
+        return (
+            self.registry.by_tag(tag) if tag else self.registry.all()
+        )
+
+    def study(self, target: StudyLike) -> StudyBuilder:
+        """A fluent :class:`~repro.api.builder.StudyBuilder` over one
+        scenario (name, spec, or an existing builder to extend)."""
+        if isinstance(target, StudyBuilder):
+            return target
+        return StudyBuilder(self, self.scenario(target))
+
+    # ---- target lowering -------------------------------------------------
+
+    def _resolve_one(self, target: StudyLike) -> Scenario:
+        if isinstance(target, StudyBuilder):
+            return target.build()
+        return self.scenario(target)
+
+    def _resolve_targets(
+        self, target: TargetLike
+    ) -> tuple[List[Scenario], bool]:
+        """``(scenarios, is_suite)`` for any accepted target shape."""
+        if isinstance(target, (str, Scenario, StudyBuilder)):
+            return [self._resolve_one(target)], False
+        items = list(target)  # tolerate one-shot iterables
+        for item in items:
+            if isinstance(item, StudyBuilder) and item._seed is not None:
+                raise ValueError(
+                    f"builder for {item._base.name!r} pins its own seed, "
+                    "which is ambiguous inside a suite (one root seed "
+                    "covers the whole run) — drop .seed(...) and pass "
+                    "seed= to run()/submit() instead"
+                )
+        scenarios = [self._resolve_one(item) for item in items]
+        if not scenarios:
+            raise ValueError("a suite needs at least one scenario")
+        return scenarios, True
+
+    def _suite(
+        self,
+        scenarios: Sequence[Scenario],
+        shard: Optional[tuple] = None,
+    ) -> ScenarioSuite:
+        return ScenarioSuite(
+            scenarios,
+            registry=self.registry,
+            runner=self.runner,
+            cache=self.cache,
+            shard=shard,
+        )
+
+    def _effective_seed(
+        self, seed: Optional[SeedLike], target: Optional[TargetLike] = None
+    ) -> SeedLike:
+        """Explicit seed > a single builder's pinned seed > session policy."""
+        if seed is not None:
+            return seed
+        if isinstance(target, StudyBuilder) and target._seed is not None:
+            return target._seed
+        return self.default_seed
+
+    # ---- synchronous execution ------------------------------------------
+
+    def run(
+        self,
+        target: TargetLike,
+        *,
+        seed: Optional[SeedLike] = None,
+        shard: Optional[tuple] = None,
+    ) -> RunResult:
+        """Execute synchronously.
+
+        Args:
+            target: A scenario name, a :class:`Scenario`, a
+                :class:`StudyBuilder`, or a sequence of those (a
+                suite).
+            seed: Root seed; defaults to the session's seed policy.
+                Records are bit-identical across backends for the same
+                seed.
+            shard: Optional ``(index, count)`` suite sharding — seeds
+                as if the whole suite ran; merge shard results with
+                :meth:`~repro.scenarios.suite.SuiteResult.merge`.
+
+        Returns:
+            A :class:`~repro.scenarios.ScenarioRunResult` for a single
+            target, a :class:`~repro.scenarios.SuiteResult` for a
+            sequence — both satisfy
+            :class:`~repro.api.result.RunResult` and carry provenance.
+        """
+        self._ensure_open()
+        scenarios, is_suite = self._resolve_targets(target)
+        if shard is not None and not is_suite:
+            raise ValueError(
+                "shard= requires a suite (a sequence of targets); a "
+                "single scenario cannot be sharded"
+            )
+        suite_result = self._suite(scenarios, shard=shard).run(
+            seed=self._effective_seed(seed, target)
+        )
+        if is_suite:
+            return suite_result
+        return suite_result.results[0]
+
+    def full_study(
+        self,
+        target: StudyLike,
+        *,
+        seed: Optional[SeedLike] = None,
+    ) -> StudyResult:
+        """Run the complete three-step pipeline for one scenario —
+        attack modeling (SAN + attack tree), DoE measurement, ANOVA
+        assessment — returning the full
+        :class:`~repro.core.study.StudyResult` (also a
+        :class:`~repro.api.result.RunResult`)."""
+        self._ensure_open()
+        scenario = self._resolve_one(target)
+        study = DiversityStudy.from_scenario(scenario, runner=self.runner)
+        return study.execute(self._effective_seed(seed, target))
+
+    def campaign(
+        self,
+        target: StudyLike,
+        replications: int,
+        *,
+        seed: Optional[SeedLike] = None,
+    ) -> CampaignRunResult:
+        """Run a Monte-Carlo campaign batch against the scenario's
+        baseline (undiversified) system.
+
+        Returns:
+            A :class:`~repro.api.result.CampaignRunResult` with one
+            response row per replication, bit-identical to
+            ``AttackCampaign.run_batch_table`` on the same seed and
+            runner.
+        """
+        self._ensure_open()
+        scenario = self._resolve_one(target)
+        root = as_seed_sequence(self._effective_seed(seed, target))
+        campaign = self._campaign_for(scenario)
+        table = campaign.run_batch_table(
+            replications, rng=root, runner=self.runner
+        )
+        return self._campaign_result(scenario, replications, root, table)
+
+    @staticmethod
+    def _campaign_for(scenario: Scenario) -> AttackCampaign:
+        return AttackCampaign(
+            scenario.build_network(),
+            scenario.build_catalog(),
+            scenario.build_threat(),
+            scenario.build_campaign_config(),
+        )
+
+    def _campaign_result(
+        self,
+        scenario: Scenario,
+        replications: int,
+        root: "Any",
+        table: "Any",
+    ) -> CampaignRunResult:
+        """The shared result/provenance assembly of campaign runs —
+        sync and job paths must digest the identical payload."""
+        return CampaignRunResult(
+            table=table,
+            summary=summarize_records(table),
+            scenario_name=scenario.name,
+            replications=replications,
+            provenance=provenance_for(
+                {
+                    "scenario": scenario.to_dict(),
+                    "replications": replications,
+                    "kind": "campaign",
+                },
+                root,
+                self.runner,
+                source="campaign",
+            ),
+        )
+
+    # ---- asynchronous execution -----------------------------------------
+
+    def submit(
+        self,
+        target: TargetLike,
+        *,
+        seed: Optional[SeedLike] = None,
+        shard: Optional[tuple] = None,
+        description: Optional[str] = None,
+    ) -> JobHandle:
+        """Queue the same work :meth:`run` does; returns a
+        :class:`~repro.api.jobs.JobHandle` immediately.
+
+        Progress counts completed scenarios.  The handle's ``result()``
+        is bit-identical to the synchronous :meth:`run` with the same
+        seed.  Jobs beyond ``max_parallel_jobs`` wait in submission
+        order.
+        """
+        self._ensure_open()
+        scenarios, is_suite = self._resolve_targets(target)
+        if shard is not None and not is_suite:
+            raise ValueError(
+                "shard= requires a suite (a sequence of targets); a "
+                "single scenario cannot be sharded"
+            )
+        suite = self._suite(scenarios, shard=shard)
+        run_seed = self._effective_seed(seed, target)
+        names = ", ".join(s.name for s in scenarios)
+
+        def body(job: JobHandle) -> RunResult:
+            result = suite.run(
+                seed=run_seed,
+                on_result=job._advance,
+                cancel=job._cancel_event,
+            )
+            return result if is_suite else result.results[0]
+
+        total = len(scenarios)
+        if shard is not None:
+            index, count = shard
+            total = len(range(index, len(scenarios), count))
+        return self._submit_job(
+            description or f"run: {names}", total, body
+        )
+
+    def submit_campaign(
+        self,
+        target: StudyLike,
+        replications: int,
+        *,
+        seed: Optional[SeedLike] = None,
+        description: Optional[str] = None,
+    ) -> JobHandle:
+        """Queue a campaign batch; progress counts replications."""
+        self._ensure_open()
+        scenario = self._resolve_one(target)
+        root = as_seed_sequence(self._effective_seed(seed, target))
+        campaign = self._campaign_for(scenario)
+
+        def body(job: JobHandle) -> CampaignRunResult:
+            table = campaign.run_batch_table(
+                replications,
+                rng=as_seed_sequence(root),
+                runner=self.runner,
+                on_result=job._advance,
+                cancel=job._cancel_event,
+            )
+            return self._campaign_result(scenario, replications, root, table)
+
+        return self._submit_job(
+            description
+            or f"campaign: {scenario.name} x{replications}",
+            replications,
+            body,
+        )
+
+    def _submit_job(
+        self,
+        description: str,
+        total_units: int,
+        body: Callable[[JobHandle], Any],
+    ) -> JobHandle:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_parallel_jobs,
+                thread_name_prefix="repro-api-job",
+            )
+        handle = JobHandle(description, total_units)
+        handle._bind(self._executor.submit(handle._run, body))
+        self._jobs = [ref for ref in self._jobs if ref() is not None]
+        self._jobs.append(weakref.ref(handle))
+        return handle
+
+    @property
+    def jobs(self) -> List[JobHandle]:
+        """Jobs submitted through this session, in order — handles are
+        held weakly, so jobs the caller has dropped (results and all)
+        disappear from this listing once collected."""
+        return [job for ref in self._jobs if (job := ref()) is not None]
+
+    # ---- lifecycle -------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    def close(self, cancel_jobs: bool = False) -> None:
+        """Shut the session's job executor down (idempotent).
+
+        Args:
+            cancel_jobs: Also cancel queued/running jobs instead of
+                waiting for them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if cancel_jobs:
+            for job in self.jobs:
+                if not job.done():
+                    job.cancel()
+        if self._executor is not None:
+            self._executor.shutdown(wait=not cancel_jobs)
+            self._executor = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(backend={self.backend_name!r}, "
+            f"n_workers={self.runner.n_workers}, "
+            f"scenarios={len(self.registry)}, "
+            f"cache={'on' if self.cache else 'off'}, "
+            f"jobs={len(self.jobs)})"
+        )

@@ -1108,6 +1108,8 @@ class AttackCampaign:
         replications: int,
         rng: "SeedLike" = None,
         runner: Optional["ExperimentRunner"] = None,
+        on_result: Optional[Callable[[int], None]] = None,
+        cancel: Optional[object] = None,
     ) -> List[AttackOutcome]:
         """Independent replications.
 
@@ -1125,23 +1127,67 @@ class AttackCampaign:
           passed together with a runner contributes one draw to derive
           the root seed.
 
+        ``on_result(replication_index)`` (optional) reports partial
+        progress; ``cancel`` (optional, ``is_set()`` protocol) aborts
+        the batch with
+        :class:`~repro.exec.backends.ExecutionCancelled`.  Neither
+        affects outcomes.
+
         Raises:
             ValueError: If ``replications < 1``.
         """
         if replications < 1:
             raise ValueError(f"replications must be >= 1, got {replications}")
         if runner is None and isinstance(rng, np.random.Generator):
-            return [self.run(rng) for _ in range(replications)]
+            return self._legacy_batch(
+                replications, rng, self.run, on_result, cancel
+            )
         from repro.exec import ExperimentRunner
 
         active = runner or ExperimentRunner()
-        return active.run_replications(self.run, replications, seed=rng)
+        unit_hook = None
+        if on_result is not None:
+            unit_hook = lambda index, _result: on_result(index)
+        return active.run_replications(
+            self.run,
+            replications,
+            seed=rng,
+            on_result=unit_hook,
+            cancel=cancel,
+        )
+
+    def _legacy_batch(
+        self,
+        replications: int,
+        rng: np.random.Generator,
+        body: Callable[[np.random.Generator], object],
+        on_result: Optional[Callable[[int], None]],
+        cancel: Optional[object],
+    ) -> List:
+        """Shared-generator loop with the optional progress hooks."""
+        if on_result is None and cancel is None:
+            return [body(rng) for _ in range(replications)]
+        from repro.exec.backends import ExecutionCancelled
+
+        results: List = []
+        for index in range(replications):
+            if cancel is not None and cancel.is_set():
+                raise ExecutionCancelled(
+                    f"batch cancelled after {index} of "
+                    f"{replications} replications"
+                )
+            results.append(body(rng))
+            if on_result is not None:
+                on_result(index)
+        return results
 
     def run_batch_table(
         self,
         replications: int,
         rng: "SeedLike" = None,
         runner: Optional["ExperimentRunner"] = None,
+        on_result: Optional[Callable[[int], None]] = None,
+        cancel: Optional[object] = None,
     ):
         """Independent replications as a columnar response table.
 
@@ -1164,19 +1210,27 @@ class AttackCampaign:
         from repro.results import RecordTable
 
         if runner is None and isinstance(rng, np.random.Generator):
-            rows = [
-                self.run(rng).response_row(self.config.horizon)
-                for _ in range(replications)
-            ]
+            rows = self._legacy_batch(
+                replications,
+                rng,
+                lambda gen: self.run(gen).response_row(self.config.horizon),
+                on_result,
+                cancel,
+            )
         else:
             from repro.exec import ExperimentRunner
 
             active = runner or ExperimentRunner()
+            unit_hook = None
+            if on_result is not None:
+                unit_hook = lambda index, _result: on_result(index)
             rows = active.run_replications(
                 _response_row_unit,
                 replications,
                 seed=rng,
                 common_args=(self,),
+                on_result=unit_hook,
+                cancel=cancel,
             )
         data = np.asarray(rows, dtype=np.float64).reshape(len(rows), 4)
         return RecordTable(

@@ -44,6 +44,10 @@ _PAIR_SUFFIXES = (
     ("", "_legacy"),
     ("_uniformized", "_dense_expm"),
     ("_warm_cache", ""),
+    # repro.api facade overhead check: X_session (Session.submit) is
+    # paired against X (the direct legacy call); the reported "speedup"
+    # should sit at ~1.0 — the facade adds no wall-clock.
+    ("_session", ""),
 )
 
 DEFAULT_TARGETS = [

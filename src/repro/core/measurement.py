@@ -10,7 +10,7 @@ indicator summaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -22,7 +22,13 @@ from repro.diversity.config import configuration_from_run
 from repro.doe.design import Design, Run
 from repro.exec.runner import ExperimentRunner
 from repro.exec.seeding import SeedLike, as_seed_sequence, spawn_sequences
-from repro.results import RecordTable, TableRecordsMixin
+from repro.results import (
+    Provenance,
+    RecordTable,
+    TableRecordsMixin,
+    provenance_for,
+    summarize_records,
+)
 from repro.scada.network import SCADANetwork
 
 
@@ -83,12 +89,23 @@ class MeasurementResult(TableRecordsMixin):
             ``design.runs``.
         design: The executed design.
         replications: Replications per run.
+        provenance: Reproduction record (plan digest, seed material,
+            backend, library version); set by spawn-seeded executions,
+            ``None`` on the legacy shared-generator path (whose
+            reproduction key is the caller's generator state).
     """
 
     table: RecordTable
     run_indicators: List[IndicatorSet]
     design: Design
     replications: int
+    provenance: Optional[Provenance] = None
+
+    @property
+    def summary(self) -> Dict[str, float]:
+        """Scalar comparison metrics over all records (``psa`` plus the
+        restricted means of :data:`repro.results.SUMMARY_METRICS`)."""
+        return summarize_records(self.table)
 
     @property
     def records(self) -> List[Dict[str, object]]:
@@ -185,10 +202,35 @@ class MeasurementPlan:
         )
         return table, compute_indicators(outcomes)
 
+    def spec_payload(self) -> Dict[str, object]:
+        """Best-effort canonical description of this plan (provenance).
+
+        Factories and catalogs are live objects, so the payload names
+        what is serializable — the design's runs, the replication count
+        and the campaign knobs — which pins the executed experiment
+        design even when the builders themselves are code.
+        """
+        return {
+            "design": {
+                "name": self.design.name,
+                "runs": [dict(run.as_dict()) for run in self.design.runs],
+            },
+            "replications": self.replications,
+            "campaign": {
+                "horizon": self.campaign_config.horizon,
+                "tick_interval": self.campaign_config.tick_interval,
+                "response_enabled": self.campaign_config.response_enabled,
+                "response_delay_rate": self.campaign_config.response_delay_rate,
+                "tick_elision": self.campaign_config.tick_elision,
+            },
+        }
+
     def execute(
         self,
         rng: SeedLike = None,
         runner: Optional[ExperimentRunner] = None,
+        on_result: Optional[Callable[[int], None]] = None,
+        cancel: Optional[Any] = None,
     ) -> MeasurementResult:
         """Run every design run and collect responses.
 
@@ -203,32 +245,68 @@ class MeasurementPlan:
           seed): each design run becomes one work unit with its own
           spawned :class:`~numpy.random.SeedSequence`, and records are
           bit-identical across backends, worker counts and chunkings.
+
+        Args:
+            rng: Seed or generator (see above).
+            runner: Optional :class:`~repro.exec.runner.ExperimentRunner`.
+            on_result: Optional progress hook ``on_result(run_index)``
+                called per completed design run (both modes).  Never
+                affects records.
+            cancel: Optional cancellation event (``is_set()``
+                protocol); once set the execution raises
+                :class:`~repro.exec.backends.ExecutionCancelled`.
         """
+        provenance: Optional[Provenance] = None
         if runner is None and isinstance(rng, np.random.Generator):
+            from repro.exec.backends import ExecutionCancelled
+
             tables: List[RecordTable] = []
             run_indicators: List[IndicatorSet] = []
             for run_index, run in enumerate(self.design.runs):
+                if cancel is not None and cancel.is_set():
+                    raise ExecutionCancelled(
+                        f"measurement cancelled after {run_index} of "
+                        f"{len(self.design.runs)} design runs"
+                    )
                 campaign = self.campaign_for_run(run_index)
                 outcomes = campaign.run_batch(self.replications, rng)
                 run_indicators.append(compute_indicators(outcomes))
                 tables.append(
                     self._table_for_run(run, run_index, outcomes)
                 )
-        elif not self.design.runs:
-            tables, run_indicators = [], []
+                if on_result is not None:
+                    on_result(run_index)
         else:
             active = runner or ExperimentRunner()
             root = as_seed_sequence(rng)
-            sequences = spawn_sequences(root, len(self.design.runs))
-            results = active.map(
-                self.execute_run,
-                [(i, seq) for i, seq in enumerate(sequences)],
+            if not self.design.runs:
+                if cancel is not None and cancel.is_set():
+                    from repro.exec.backends import ExecutionCancelled
+
+                    raise ExecutionCancelled("measurement cancelled")
+                tables, run_indicators = [], []
+            else:
+                sequences = spawn_sequences(root, len(self.design.runs))
+                unit_hook = None
+                if on_result is not None:
+                    unit_hook = lambda index, _result: on_result(index)
+                results = active.map(
+                    self.execute_run,
+                    [(i, seq) for i, seq in enumerate(sequences)],
+                    on_result=unit_hook,
+                    cancel=cancel,
+                )
+                tables = [table for table, _ in results]
+                run_indicators = [
+                    indicators for _, indicators in results
+                ]
+            provenance = provenance_for(
+                self.spec_payload(), root, active, source="measurement_plan"
             )
-            tables = [table for table, _ in results]
-            run_indicators = [indicators for _, indicators in results]
         return MeasurementResult(
             table=RecordTable.concat(tables),
             run_indicators=run_indicators,
             design=self.design,
             replications=self.replications,
+            provenance=provenance,
         )

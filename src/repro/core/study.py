@@ -7,9 +7,11 @@ with every intermediate artifact and a plain-text report.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Dict,
     List,
@@ -40,6 +42,7 @@ from repro.doe.plackett_burman import plackett_burman
 from repro.exec.backends import get_backend
 from repro.exec.runner import ExperimentRunner
 from repro.exec.seeding import SeedLike
+from repro.results import Provenance, RecordTable
 from repro.san.model import SANModel
 from repro.scada.components import ComponentKind
 from repro.scada.network import SCADANetwork
@@ -56,6 +59,9 @@ class StudyResult:
         san_model: Step-1 SAN model of the baseline system.
         attack_tree: Step-1 attack tree of the baseline system.
         factors: Diversification factors considered.
+        provenance: Reproduction record of the measurement execution
+            (mirrors ``measurement.provenance``; ``None`` on the legacy
+            shared-generator path).
     """
 
     design: Design
@@ -64,6 +70,17 @@ class StudyResult:
     san_model: SANModel
     attack_tree: AttackTree
     factors: List[Factor]
+    provenance: Optional[Provenance] = None
+
+    @property
+    def table(self) -> RecordTable:
+        """The measurement's columnar long-format record table."""
+        return self.measurement.table
+
+    @property
+    def summary(self) -> Dict[str, float]:
+        """Scalar comparison metrics over the measurement records."""
+        return self.measurement.summary
 
     def report(self) -> str:
         """Human-readable study report."""
@@ -122,6 +139,10 @@ class DiversityStudy:
             to spawn-per-replication seeding, whose records are
             identical across backends and worker counts.
         n_workers: Worker-pool width for parallel backends.
+        runner: The :class:`~repro.exec.runner.ExperimentRunner` to
+            execute step 2 on; takes precedence over
+            ``backend``/``n_workers`` (this is what
+            :class:`repro.api.Session` passes).
     """
 
     def __init__(
@@ -136,6 +157,7 @@ class DiversityStudy:
         campaign_config: Optional[CampaignConfig] = None,
         backend: Optional[str] = None,
         n_workers: Optional[int] = None,
+        runner: Optional[ExperimentRunner] = None,
     ) -> None:
         if design_kind not in ("full", "fractional", "pb"):
             raise ValueError(f"unknown design_kind {design_kind!r}")
@@ -155,6 +177,7 @@ class DiversityStudy:
         self.campaign_config = campaign_config or CampaignConfig()
         self.backend = backend
         self.n_workers = n_workers
+        self.runner = runner
 
     @classmethod
     def from_scenario(
@@ -162,6 +185,7 @@ class DiversityStudy:
         scenario: "Scenario",
         backend: Optional[str] = None,
         n_workers: Optional[int] = None,
+        runner: Optional[ExperimentRunner] = None,
     ) -> "DiversityStudy":
         """Build the study a declarative scenario spec describes.
 
@@ -170,7 +194,22 @@ class DiversityStudy:
                 object exposing its builder interface).
             backend / n_workers: Execution overrides — deliberately not
                 part of the spec, so the same scenario runs anywhere.
+                *Deprecated:* prefer ``runner=`` or
+                ``repro.api.Session.study(...)``, which own the
+                execution resources; the old arguments keep working
+                with bit-identical results.
+            runner: Step-2 runner; takes precedence over
+                ``backend``/``n_workers``.
         """
+        if runner is None and (backend is not None or n_workers is not None):
+            warnings.warn(
+                "DiversityStudy.from_scenario(backend=..., n_workers=...) "
+                "is deprecated; pass runner=ExperimentRunner(...) or use "
+                "repro.api.Session.study(...) (results are bit-identical "
+                "either way)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return cls(
             network_factory=scenario.build_network_factory(),
             catalog=scenario.build_catalog(),
@@ -182,6 +221,7 @@ class DiversityStudy:
             campaign_config=scenario.build_campaign_config(),
             backend=backend,
             n_workers=n_workers,
+            runner=runner,
         )
 
     def build_factors(self) -> List[Factor]:
@@ -235,15 +275,23 @@ class DiversityStudy:
             metadata=design.metadata,
         )
 
-    def execute(self, rng: "SeedLike" = None) -> StudyResult:
+    def execute(
+        self,
+        rng: "SeedLike" = None,
+        on_result: Optional[Callable[[int], None]] = None,
+        cancel: Optional[Any] = None,
+    ) -> StudyResult:
         """Run all three steps.
 
         Args:
             rng: Seed or generator for step 2 — a
                 :class:`numpy.random.Generator` keeps the historical
                 shared-generator stream when no backend is set; a plain
-                seed (or any backend) uses the backend-invariant
+                seed (or any backend/runner) uses the backend-invariant
                 spawn-per-replication path of :mod:`repro.exec`.
+            on_result: Optional step-2 progress hook (per design run).
+            cancel: Optional cancellation event — see
+                :meth:`repro.core.measurement.MeasurementPlan.execute`.
         """
         baseline = self.network_factory()
         san_model = san_model_for(baseline, self.catalog, self.threat)
@@ -264,12 +312,12 @@ class DiversityStudy:
             replications=self.replications,
             campaign_config=self.campaign_config,
         )
-        runner = (
-            ExperimentRunner(self.backend, self.n_workers)
-            if self.backend is not None
-            else None
+        runner = self.runner
+        if runner is None and self.backend is not None:
+            runner = ExperimentRunner(self.backend, self.n_workers)
+        measurement = plan.execute(
+            rng, runner=runner, on_result=on_result, cancel=cancel
         )
-        measurement = plan.execute(rng, runner=runner)
         assessment = assess(measurement)
         return StudyResult(
             design=design,
@@ -278,4 +326,5 @@ class DiversityStudy:
             san_model=san_model,
             attack_tree=attack_tree,
             factors=factors,
+            provenance=measurement.provenance,
         )

@@ -15,6 +15,7 @@ choosing a backend and worker count.
 
 from repro.exec.backends import (
     ExecutionBackend,
+    ExecutionCancelled,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
@@ -33,6 +34,7 @@ from repro.exec.seeding import (
 
 __all__ = [
     "ExecutionBackend",
+    "ExecutionCancelled",
     "ExperimentRunner",
     "ProcessBackend",
     "SeedLike",

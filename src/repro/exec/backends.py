@@ -28,8 +28,28 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+#: Seconds between cancellation checks while waiting on an in-flight
+#: chunk (pool backends only; the serial backend checks every unit).
+_CANCEL_POLL_S = 0.05
+
+#: ``on_result`` callback signature: ``(unit index, unit result)``.
+ResultCallback = Callable[[int, Any], None]
+
+
+class ExecutionCancelled(RuntimeError):
+    """A batch was interrupted by its cancellation event.
+
+    Raised by every backend when the ``cancel`` event passed to
+    :meth:`ExecutionBackend.run` is set mid-batch.  Cancellation is
+    cooperative: the serial backend stops before the next unit, the pool
+    backends stop collecting and drop chunks that have not started
+    (chunks already running finish in the background but their results
+    are discarded).
+    """
 
 
 @dataclass(frozen=True)
@@ -76,7 +96,17 @@ def default_chunk_size(n_units: int, n_workers: int) -> int:
 
 
 class ExecutionBackend:
-    """Interface: run work units, return results in submission order."""
+    """Interface: run work units, return results in submission order.
+
+    ``on_result`` (optional) is invoked in the coordinating thread as
+    ``on_result(index, result)`` once per completed unit — pool backends
+    call it as completed chunks are collected, so callers can track
+    partial progress of a long batch.  ``cancel`` (optional) is any
+    object with an ``is_set()`` method (e.g. :class:`threading.Event`);
+    once set, the backend raises :class:`ExecutionCancelled` instead of
+    finishing the batch.  Neither hook ever affects the results of units
+    that do complete.
+    """
 
     #: Registry key (``serial`` / ``thread`` / ``process``).
     name: str = "abstract"
@@ -88,6 +118,8 @@ class ExecutionBackend:
         units: Sequence[WorkUnit],
         n_workers: int,
         chunk_size: int,
+        on_result: Optional[ResultCallback] = None,
+        cancel: Optional[Any] = None,
     ) -> List[Any]:
         raise NotImplementedError
 
@@ -105,8 +137,23 @@ class SerialBackend(ExecutionBackend):
         units: Sequence[WorkUnit],
         n_workers: int,
         chunk_size: int,
+        on_result: Optional[ResultCallback] = None,
+        cancel: Optional[Any] = None,
     ) -> List[Any]:
-        return [unit.fn(*unit.args) for unit in units]
+        if on_result is None and cancel is None:
+            return [unit.fn(*unit.args) for unit in units]
+        results: List[Any] = []
+        for unit in units:
+            if cancel is not None and cancel.is_set():
+                raise ExecutionCancelled(
+                    f"batch cancelled after {len(results)} of "
+                    f"{len(units)} units"
+                )
+            result = unit.fn(*unit.args)
+            results.append(result)
+            if on_result is not None:
+                on_result(unit.index, result)
+        return results
 
 
 class _PoolBackend(ExecutionBackend):
@@ -120,24 +167,62 @@ class _PoolBackend(ExecutionBackend):
         units: Sequence[WorkUnit],
         n_workers: int,
         chunk_size: int,
+        on_result: Optional[ResultCallback] = None,
+        cancel: Optional[Any] = None,
     ) -> List[Any]:
         if not units:
             return []
         chunks = make_chunks(units, chunk_size)
         collected: Dict[int, Any] = {}
-        with self._make_executor(n_workers) as pool:
+        pool = self._make_executor(n_workers)
+        try:
             futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
             try:
                 for future in futures:
-                    for index, result in future.result():
+                    pairs = self._collect(future, cancel, collected, units)
+                    for index, result in pairs:
                         collected[index] = result
+                        if on_result is not None:
+                            on_result(index, result)
             except BaseException:
                 # Fail fast: drop chunks that have not started yet so a
-                # doomed batch does not run to completion first.
+                # doomed batch does not run to completion first, and do
+                # not block on chunks already in flight.
                 for future in futures:
                     future.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
                 raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
         return [collected[unit.index] for unit in units]
+
+    @staticmethod
+    def _collect(
+        future: Any,
+        cancel: Optional[Any],
+        collected: Dict[int, Any],
+        units: Sequence[WorkUnit],
+    ) -> List[Tuple[int, Any]]:
+        """One chunk's ``(index, result)`` pairs, polling for cancel.
+
+        Without a cancel event this is a plain blocking wait; with one,
+        the wait polls so a cancellation interrupts the batch within
+        ``_CANCEL_POLL_S`` even while a long chunk is still running.
+        """
+        if cancel is None:
+            return future.result()
+        while True:
+            if cancel.is_set():
+                raise ExecutionCancelled(
+                    f"batch cancelled after {len(collected)} of "
+                    f"{len(units)} units"
+                )
+            try:
+                return future.result(timeout=_CANCEL_POLL_S)
+            except FutureTimeoutError:
+                continue
 
 
 class ThreadBackend(_PoolBackend):

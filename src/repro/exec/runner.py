@@ -101,11 +101,25 @@ class ExperimentRunner:
         self,
         fn: Callable[..., Any],
         args_list: Sequence[Tuple[Any, ...]],
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        cancel: Optional[Any] = None,
     ) -> List[Any]:
         """Run ``fn(*args)`` for every argument tuple, results in order.
 
         With the ``process`` backend, ``fn``, the arguments and the
         results must all be picklable.
+
+        Args:
+            fn: The work function.
+            args_list: One positional-argument tuple per unit.
+            on_result: Optional progress hook, called in the
+                coordinating thread as ``on_result(index, result)`` for
+                every completed unit (pool backends call it as chunks
+                are collected).
+            cancel: Optional cancellation event (``is_set()`` protocol,
+                e.g. :class:`threading.Event`); once set, the batch
+                raises :class:`~repro.exec.backends.ExecutionCancelled`
+                instead of completing.  Neither hook affects results.
         """
         units = [
             WorkUnit(index=i, fn=fn, args=tuple(args))
@@ -114,7 +128,9 @@ class ExperimentRunner:
         chunk = self.chunk_size or default_chunk_size(
             len(units), self.n_workers
         )
-        return self.backend.run(units, self.n_workers, chunk)
+        return self.backend.run(
+            units, self.n_workers, chunk, on_result=on_result, cancel=cancel
+        )
 
     def run_replications(
         self,
@@ -122,6 +138,8 @@ class ExperimentRunner:
         replications: int,
         seed: SeedLike = None,
         common_args: Tuple[Any, ...] = (),
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        cancel: Optional[Any] = None,
     ) -> List[Any]:
         """Run ``replications`` independent calls of ``fn``.
 
@@ -138,6 +156,8 @@ class ExperimentRunner:
                 ``Generator`` to derive the root from).
             common_args: Leading arguments passed to every call (must be
                 picklable for the ``process`` backend).
+            on_result / cancel: Progress and cancellation hooks — see
+                :meth:`map`.
 
         Raises:
             ValueError: If ``replications < 1``.
@@ -146,6 +166,8 @@ class ExperimentRunner:
         return self.map(
             _call_with_generator,
             [(fn, seq, common_args) for seq in sequences],
+            on_result=on_result,
+            cancel=cancel,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

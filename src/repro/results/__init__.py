@@ -12,9 +12,13 @@ pipeline (see :mod:`repro.results.table`):
   atomically-written on-disk caching of tables plus metadata, used by
   :class:`repro.scenarios.suite.ScenarioSuite` for warm re-runs and
   shard merging.
+* :class:`Provenance` / :func:`provenance_for` — the reproduction
+  record (spec digest, seed material, backend, library version) every
+  facade-era result carries; see :mod:`repro.api`.
 """
 
 from repro.results.cache import ResultCache, canonical_json, content_key
+from repro.results.provenance import Provenance, provenance_for
 from repro.results.table import (
     RESPONSE_COLUMNS,
     SUMMARY_METRICS,
@@ -26,10 +30,12 @@ from repro.results.table import (
 __all__ = [
     "RESPONSE_COLUMNS",
     "SUMMARY_METRICS",
+    "Provenance",
     "RecordTable",
     "ResultCache",
     "TableRecordsMixin",
     "canonical_json",
     "content_key",
+    "provenance_for",
     "summarize_records",
 ]

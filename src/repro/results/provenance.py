@@ -1,0 +1,98 @@
+"""Run provenance: what produced a result, pinned for reproduction.
+
+Every facade-era result (:mod:`repro.api`) carries a
+:class:`Provenance` — the content digest of the executed specification,
+the root seed material, the execution backend and the library version —
+so a result saved to disk or shipped across a service boundary records
+everything needed to reproduce it bit-for-bit with
+``Session.run(spec, seed=...)``.
+
+The digest uses the same canonical-JSON SHA-256 as the content-addressed
+result cache (:func:`repro.results.cache.content_key`): two runs with
+equal ``spec_digest`` and equal seed material executed the same
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.results.cache import content_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Reproduction record of one experiment run.
+
+    Attributes:
+        spec_digest: SHA-256 content digest of the canonical-JSON
+            specification payload that was executed (scenario spec,
+            measurement-plan payload, campaign payload, ...).
+        entropy: Root :class:`~numpy.random.SeedSequence` entropy as a
+            string (may be a >64-bit integer; ``None`` seeds record the
+            fresh OS entropy that was drawn, so even "unseeded" runs
+            are reproducible afterwards).
+        spawn_key: Root sequence spawn key.
+        backend: Execution backend name (``serial`` / ``thread`` /
+            ``process``).
+        n_workers: Worker-pool width the run was configured with
+            (results never depend on it; recorded for performance
+            forensics).
+        library_version: ``repro.__version__`` at run time.
+        source: The entry point that produced the result
+            (``"scenario_suite"``, ``"measurement_plan"``,
+            ``"campaign"``, ``"diversity_study"``, ...).
+    """
+
+    spec_digest: str
+    entropy: str
+    spawn_key: Tuple[int, ...]
+    backend: str
+    n_workers: int
+    library_version: str
+    source: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-ready) form."""
+        data = asdict(self)
+        data["spawn_key"] = list(self.spawn_key)
+        return data
+
+    def seed_material(self) -> Dict[str, object]:
+        """The ``(entropy, spawn_key)`` pair as a dict."""
+        return {"entropy": self.entropy, "spawn_key": list(self.spawn_key)}
+
+
+def provenance_for(
+    payload: Mapping[str, object],
+    seq: np.random.SeedSequence,
+    runner: "Optional[ExperimentRunner]" = None,
+    source: str = "session",
+) -> Provenance:
+    """Build the :class:`Provenance` of a run about to execute.
+
+    Args:
+        payload: Canonical-JSON-serializable description of the
+            experiment (digested, not stored).
+        seq: The root seed sequence the run spawns its children from.
+        runner: The executing runner; ``None`` records the serial
+            reference semantics.
+        source: Entry-point label.
+    """
+    import repro
+
+    return Provenance(
+        spec_digest=content_key(dict(payload)),
+        entropy=str(seq.entropy),
+        spawn_key=tuple(int(k) for k in seq.spawn_key),
+        backend=runner.backend_name if runner is not None else "serial",
+        n_workers=runner.n_workers if runner is not None else 1,
+        library_version=repro.__version__,
+        source=source,
+    )

@@ -16,6 +16,9 @@ JSON file.  Tags group them into suites:
 ``physics``
     Sabotage-physics focus: diversify the signal path (sensors,
     protocol, firewall, AV) that the spoofing payload must defeat.
+``response``
+    Closed-loop incident response: detection triggers eviction, using
+    the spec-level ``response_enabled`` / ``response_delay_rate`` knobs.
 ``smoke``
     A minimal seconds-scale scenario for CI and CLI smoke tests.
 """
@@ -136,6 +139,31 @@ def cooling_stuxnet_aggressive() -> Scenario:
         replications=10,
         horizon=80.0,
         tags=("cooling", "sensitivity"),
+    )
+
+
+@register
+def cooling_stuxnet_response() -> Scenario:
+    """Closed-loop variant: incident response evicts on detection."""
+    return Scenario(
+        name="cooling_stuxnet_response",
+        title="Cooling plant vs Stuxnet with incident response",
+        description=(
+            "The principal scenario with the defender closing the loop:\n"
+            "the first perceived manifestation triggers incident\n"
+            "response, which evicts the attacker after an exponential\n"
+            "triage-and-containment delay (mean 2 h).  Shows the\n"
+            "response/recovery knobs carried by the scenario spec —\n"
+            "no hand-patched CampaignConfig required."
+        ),
+        topology="scope_cooling",
+        threat="stuxnet_like",
+        kinds=CORE_KINDS,
+        replications=10,
+        horizon=80.0,
+        response_enabled=True,
+        response_delay_rate=0.5,
+        tags=("cooling", "response"),
     )
 
 

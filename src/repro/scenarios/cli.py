@@ -2,10 +2,16 @@
 
 ::
 
-    python -m repro.scenarios list [--tag TAG]
-    python -m repro.scenarios show NAME [--json]
+    python -m repro.scenarios list [--tag TAG] [--catalog DIR]
+    python -m repro.scenarios show NAME [--json] [--catalog DIR]
     python -m repro.scenarios run NAME... [--tag TAG] [--backend B]
                                  [--n-workers N] [--seed S]
+                                 [--catalog DIR] [--cache-dir DIR]
+                                 [--shard I/N]
+
+The ``run`` subcommand lowers onto :class:`repro.api.Session` — the
+same facade the library API exposes — so catalogs, caching and
+sharding behave identically from the shell and from Python.
 """
 
 from __future__ import annotations
@@ -13,20 +19,44 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.report import format_table
 from repro.exec.backends import available_backends
-from repro.scenarios.registry import SCENARIOS
-from repro.scenarios.suite import ScenarioSuite
+from repro.scenarios.registry import SCENARIOS, ScenarioRegistry
+
+
+def _registry_for(args: argparse.Namespace) -> ScenarioRegistry:
+    """The built-in catalog plus any ``--catalog`` directories."""
+    dirs = getattr(args, "catalog", None) or []
+    if not dirs:
+        return SCENARIOS
+    registry = SCENARIOS.copy()
+    for directory in dirs:
+        registry.load_dir(directory)
+    return registry
+
+
+def _parse_shard(text: Optional[str]) -> Optional[Tuple[int, int]]:
+    """``"I/N"`` → ``(I, N)`` (validated downstream by the suite)."""
+    if text is None:
+        return None
+    try:
+        index_text, count_text = text.split("/", 1)
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"--shard must look like INDEX/COUNT (e.g. 0/4), got {text!r}"
+        ) from None
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    registry = _registry_for(args)
     scenarios = (
-        SCENARIOS.by_tag(args.tag) if args.tag else SCENARIOS.all()
+        registry.by_tag(args.tag) if args.tag else registry.all()
     )
     if not scenarios:
-        known = ", ".join(SCENARIOS.tags()) or "(none)"
+        known = ", ".join(registry.tags()) or "(none)"
         print(f"no scenarios with tag {args.tag!r}; known tags: {known}")
         return 1
     print(
@@ -43,17 +73,20 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    scenario = SCENARIOS.get(args.name)
+    scenario = _registry_for(args).get(args.name)
     print(scenario.to_json() if args.json else scenario.describe())
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import Session
+
+    registry = _registry_for(args)
     names: List[str] = list(args.names)
     if args.tag:
-        tagged = SCENARIOS.by_tag(args.tag)
+        tagged = registry.by_tag(args.tag)
         if not tagged:
-            known = ", ".join(SCENARIOS.tags()) or "(none)"
+            known = ", ".join(registry.tags()) or "(none)"
             print(
                 f"error: no scenarios with tag {args.tag!r}; "
                 f"known tags: {known}",
@@ -64,21 +97,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not names:
         print(
             "nothing to run: give scenario names and/or --tag "
-            f"(try: {', '.join(SCENARIOS.names())})",
+            f"(try: {', '.join(registry.names())})",
             file=sys.stderr,
         )
         return 2
-    suite = ScenarioSuite(
-        names, backend=args.backend, n_workers=args.n_workers
-    )
-    plural = "s" if len(names) != 1 else ""
-    print(
-        f"running {len(names)} scenario{plural} on backend "
-        f"{args.backend!r} (seed {args.seed}) ..."
-    )
-    started = time.perf_counter()
-    result = suite.run(seed=args.seed)
-    elapsed = time.perf_counter() - started
+    shard = _parse_shard(args.shard)
+    with Session(
+        backend=args.backend,
+        n_workers=args.n_workers,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        registry=registry,
+    ) as session:
+        plural = "s" if len(names) != 1 else ""
+        extras = ""
+        if args.cache_dir:
+            extras += f", cache {args.cache_dir}"
+        if shard:
+            extras += f", shard {shard[0]}/{shard[1]}"
+        print(
+            f"running {len(names)} scenario{plural} on backend "
+            f"{args.backend!r} (seed {args.seed}{extras}) ..."
+        )
+        started = time.perf_counter()
+        result = session.run(names, shard=shard)
+        elapsed = time.perf_counter() - started
     print()
     print(result.comparison_report())
     print(f"\ncompleted in {elapsed:.1f}s")
@@ -93,8 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_catalog(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--catalog",
+            action="append",
+            metavar="DIR",
+            help="also load a directory of JSON scenario specs "
+            "(repeatable; never mutates the built-in catalog)",
+        )
+
     p_list = sub.add_parser("list", help="list registered scenarios")
     p_list.add_argument("--tag", help="only scenarios carrying this tag")
+    add_catalog(p_list)
     p_list.set_defaults(func=_cmd_list)
 
     p_show = sub.add_parser("show", help="describe one scenario")
@@ -102,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_show.add_argument(
         "--json", action="store_true", help="print the JSON spec instead"
     )
+    add_catalog(p_show)
     p_show.set_defaults(func=_cmd_show)
 
     p_run = sub.add_parser(
@@ -123,6 +177,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="root seed; records are bit-identical across backends "
         "for the same seed (default: 0)",
+    )
+    add_catalog(p_run)
+    p_run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed result cache: warm re-runs load "
+        "bit-identical results from disk",
+    )
+    p_run.add_argument(
+        "--shard",
+        metavar="I/N",
+        help="run only shard I of N (seeded as if the whole suite ran; "
+        "merge shards with SuiteResult.merge)",
     )
     p_run.set_defaults(func=_cmd_run)
     return parser

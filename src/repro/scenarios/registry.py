@@ -13,6 +13,9 @@ scenario-producing function's result to it:
 
 from __future__ import annotations
 
+import glob
+import json
+import os
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.scenarios.spec import Scenario
@@ -67,6 +70,79 @@ class ScenarioRegistry:
     def tags(self) -> List[str]:
         """Every tag in use, sorted."""
         return sorted({tag for s in self.all() for tag in s.tags})
+
+    def copy(self) -> "ScenarioRegistry":
+        """An independent registry with the same scenarios.
+
+        Sessions use this to layer file-based catalogs on top of the
+        built-ins without mutating the library-wide registry.
+        """
+        duplicate = ScenarioRegistry()
+        duplicate._scenarios = dict(self._scenarios)
+        return duplicate
+
+    def load_file(self, path: str) -> Scenario:
+        """Load one JSON scenario spec file and register it.
+
+        Raises:
+            ValueError: If the file is not valid JSON, is not a JSON
+                object, is not a valid :class:`Scenario` spec, or names
+                an already-registered scenario.  The message always
+                includes the offending path.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise ValueError(f"cannot read scenario file {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON in scenario file {path}: {exc}")
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"scenario file {path} must contain a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        try:
+            scenario = Scenario.from_dict(data)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad scenario spec in {path}: {exc}")
+        try:
+            return self.add(scenario)
+        except ValueError:
+            raise ValueError(
+                f"scenario file {path} redefines already-registered "
+                f"scenario {scenario.name!r}"
+            ) from None
+
+    def load_dir(self, path: str, pattern: str = "*.json") -> List[Scenario]:
+        """Ingest a directory of JSON scenario specs (sorted by name).
+
+        Every ``pattern`` match must parse as a valid, not-yet-registered
+        scenario — a single bad or duplicate spec fails the whole load
+        so a typo'd catalog cannot be silently half-applied.
+
+        Args:
+            path: Catalog directory.
+            pattern: Glob for spec files within the directory.
+
+        Returns:
+            The scenarios added, in file order.
+
+        Raises:
+            ValueError: If ``path`` is not a directory, or any matched
+                file is unreadable, invalid or a duplicate.
+        """
+        if not os.path.isdir(path):
+            raise ValueError(f"catalog directory not found: {path}")
+        # Stage into a copy so a bad file midway leaves this registry
+        # untouched (all-or-nothing load).
+        staged = self.copy()
+        added = [
+            staged.load_file(spec_path)
+            for spec_path in sorted(glob.glob(os.path.join(path, pattern)))
+        ]
+        self._scenarios = staged._scenarios
+        return added
 
     def __contains__(self, name: str) -> bool:
         return name in self._scenarios

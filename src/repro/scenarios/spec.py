@@ -57,6 +57,14 @@ class Scenario:
             False to force the legacy per-tick loop (outcomes are
             identical — see
             :attr:`repro.attacks.campaign.CampaignConfig.tick_elision`).
+        response_enabled: Incident response reacts to the first
+            detection (see
+            :attr:`repro.attacks.campaign.CampaignConfig.response_enabled`);
+            off by default, matching the paper's open-loop TTSF
+            measurement.
+        response_delay_rate: With response enabled, eviction happens an
+            ``Exp(rate)``-distributed delay after detection; ``None``
+            means instantaneous eviction.
         topology_params: Keyword overrides for the topology factory
             (e.g. ``{"n_plcs": 4}``).
         threat_params: Keyword overrides for the threat factory
@@ -78,6 +86,8 @@ class Scenario:
     horizon: float = 80.0
     tick_interval: float = 0.5
     tick_elision: bool = True
+    response_enabled: bool = False
+    response_delay_rate: Optional[float] = None
     topology_params: Dict[str, object] = field(default_factory=dict)
     threat_params: Dict[str, object] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
@@ -100,6 +110,17 @@ class Scenario:
             raise ValueError(
                 f"tick_interval must be > 0, got {self.tick_interval}"
             )
+        if self.response_delay_rate is not None:
+            if not self.response_enabled:
+                raise ValueError(
+                    "response_delay_rate requires response_enabled=True "
+                    "(a delay without a response would be silently ignored)"
+                )
+            if self.response_delay_rate <= 0:
+                raise ValueError(
+                    "response_delay_rate must be > 0 (or None for "
+                    f"instantaneous eviction), got {self.response_delay_rate}"
+                )
         # Fail fast on unknown registry names and kind values: a bad
         # spec should not surface mid-suite as an obscure late error.
         resolve_topology(self.topology)
@@ -154,6 +175,8 @@ class Scenario:
             tick_interval=self.tick_interval,
             plant_factory=resolve_plant(self.plant),
             tick_elision=self.tick_elision,
+            response_enabled=self.response_enabled,
+            response_delay_rate=self.response_delay_rate,
         )
 
     def component_kinds(self) -> Optional[List[ComponentKind]]:
@@ -254,6 +277,19 @@ class Scenario:
             f"(tick {self.tick_interval:g} h"
             + ("" if self.tick_elision else ", per-tick loop")
             + ")",
+            f"  response:     "
+            + (
+                (
+                    "enabled"
+                    + (
+                        f" (eviction delay rate {self.response_delay_rate:g}/h)"
+                        if self.response_delay_rate is not None
+                        else " (instant eviction)"
+                    )
+                )
+                if self.response_enabled
+                else "disabled"
+            ),
             f"  tags:         {', '.join(self.tags) or '--'}",
         ]
         if self.description:

@@ -29,8 +29,19 @@ Two scale features ride on the same seeding discipline:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -42,14 +53,20 @@ from repro.exec.runner import ExperimentRunner
 from repro.exec.seeding import SeedLike, as_seed_sequence, spawn_sequences
 from repro.results import (
     SUMMARY_METRICS,
+    Provenance,
     RecordTable,
     ResultCache,
     TableRecordsMixin,
     content_key,
+    provenance_for,
     summarize_records,
 )
 from repro.scenarios.registry import SCENARIOS, ScenarioRegistry
 from repro.scenarios.spec import Scenario
+
+#: Sentinel distinguishing "argument omitted" from an explicit value in
+#: deprecated signatures.
+_UNSET = object()
 
 #: Columns of the cross-scenario comparison, in report order — the
 #: summary keys produced by :func:`repro.results.summarize_records`.
@@ -75,6 +92,10 @@ class ScenarioRunResult(TableRecordsMixin):
         design_name: Name of the executed DoE design.
         n_runs: Design runs executed.
         replications: Replications per run.
+        provenance: Reproduction record (spec digest, seed material,
+            backend, library version) — set by the executing suite or
+            session; ``None`` on results rebuilt from bare cache entries
+            outside a run.
     """
 
     scenario: Scenario
@@ -84,6 +105,7 @@ class ScenarioRunResult(TableRecordsMixin):
     design_name: str
     n_runs: int
     replications: int
+    provenance: Optional[Provenance] = None
 
 
 def _summarize(
@@ -144,9 +166,52 @@ def _execute_scenario(
 
 @dataclass
 class SuiteResult:
-    """All scenario results of one suite run, in suite order."""
+    """All scenario results of one suite run, in suite order.
+
+    Attributes:
+        results: Per-scenario results.
+        provenance: Reproduction record of the whole suite run (digest
+            over every executed spec, root seed material, backend);
+            ``None`` on merged shard results, whose parts each carry
+            their own provenance.
+    """
 
     results: List[ScenarioRunResult]
+    provenance: Optional[Provenance] = None
+
+    @property
+    def table(self) -> RecordTable:
+        """Response rows of every scenario as one columnar table.
+
+        Factor columns differ across scenarios, so the combined table
+        carries the shared response columns prefixed with a
+        ``scenario`` name column — the cross-scenario long format the
+        comparison metrics aggregate over.  Built once and cached on
+        the instance (treat ``results`` as immutable after the run;
+        :meth:`merge` always produces a fresh ``SuiteResult``).
+        """
+        cached = getattr(self, "_combined_table", None)
+        if cached is not None:
+            return cached
+        from repro.results import RESPONSE_COLUMNS
+
+        tables = []
+        for result in self.results:
+            n = len(result.table)
+            scenario_column = np.empty(n, dtype=object)
+            scenario_column[:] = [result.scenario.name] * n
+            columns: Dict[str, np.ndarray] = {"scenario": scenario_column}
+            for name in RESPONSE_COLUMNS:
+                columns[name] = result.table.column(name)
+            tables.append(RecordTable(columns))
+        combined = RecordTable.concat(tables)
+        self._combined_table = combined
+        return combined
+
+    @property
+    def summary(self) -> Dict[str, float]:
+        """Scalar comparison metrics pooled over every scenario's rows."""
+        return summarize_records(self.table)
 
     def names(self) -> List[str]:
         """Scenario names in execution order."""
@@ -236,10 +301,20 @@ class ScenarioSuite:
             or a mix.
         backend: Execution backend for the scenario fan-out
             (``"serial"`` / ``"thread"`` / ``"process"``), validated at
-            construction.
+            construction.  *Deprecated:* prefer passing a ``runner`` —
+            or using :class:`repro.api.Session`, which owns one — so
+            execution resources are configured in one place.  The old
+            signature keeps working with bit-identical results.
         n_workers: Worker-pool width for parallel backends.
+            *Deprecated* alongside ``backend``.
         registry: Where names are resolved (default: the library-wide
             catalog).
+        runner: The :class:`~repro.exec.runner.ExperimentRunner` to fan
+            scenarios out on; takes precedence over
+            ``backend``/``n_workers``.  Results never depend on the
+            runner, only wall-clock does.
+        cache: A ready :class:`~repro.results.ResultCache` instance;
+            takes precedence over ``cache_dir``.
         cache_dir: Enable content-addressed result caching in this
             directory: a scenario whose ``(spec, seed material)`` digest
             is already cached loads from disk instead of executing, and
@@ -261,12 +336,31 @@ class ScenarioSuite:
     def __init__(
         self,
         scenarios: Sequence[Union[str, Scenario]],
-        backend: str = "serial",
-        n_workers: Optional[int] = None,
+        backend: str = _UNSET,
+        n_workers: Optional[int] = _UNSET,
         registry: Optional[ScenarioRegistry] = None,
         cache_dir: Optional[str] = None,
         shard: Optional[Tuple[int, int]] = None,
+        *,
+        runner: Optional[ExperimentRunner] = None,
+        cache: Optional[ResultCache] = None,
     ) -> None:
+        # Warn only for explicit *non-default* plumbing values: passing
+        # backend="serial" / n_workers=None spells out the old defaults
+        # and deserves no deprecation noise.
+        explicit_backend = backend is not _UNSET and backend != "serial"
+        explicit_workers = n_workers is not _UNSET and n_workers is not None
+        backend = "serial" if backend is _UNSET else backend
+        n_workers = None if n_workers is _UNSET else n_workers
+        if runner is None and (explicit_backend or explicit_workers):
+            warnings.warn(
+                "ScenarioSuite(backend=..., n_workers=...) is deprecated; "
+                "pass runner=ExperimentRunner(...) or use "
+                "repro.api.Session, which owns the runner (results are "
+                "bit-identical either way)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         registry = registry or SCENARIOS
         if not scenarios:
             raise ValueError("a suite needs at least one scenario")
@@ -289,26 +383,35 @@ class ScenarioSuite:
                     f"0 <= index < count, got {shard!r}"
                 )
         self.scenarios = resolved
-        self.runner = ExperimentRunner(backend, n_workers)
-        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.runner = runner or ExperimentRunner(backend, n_workers)
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache_dir) if cache_dir else None
         self.shard = shard
 
     @staticmethod
-    def _cache_key(scenario: Scenario, seq: np.random.SeedSequence) -> str:
+    def _cache_key(
+        spec: "Scenario | Dict[str, object]", seq: np.random.SeedSequence
+    ) -> str:
         """Content address of one scenario execution.
 
         Covers the full spec dict, the spawned child's seed material and
         the library version, so any spec-field or seed change — or an
         upgrade that may have changed simulation semantics — invalidates
-        the entry instead of serving stale pre-upgrade results.
+        the entry instead of serving stale pre-upgrade results.  The hot
+        path hands the pre-computed spec dict in; a bare
+        :class:`Scenario` is accepted for convenience.
         """
         import repro
 
+        if isinstance(spec, Scenario):
+            spec = spec.to_dict()
         return content_key(
             {
                 "format": 1,
                 "library": repro.__version__,
-                "scenario": scenario.to_dict(),
+                "scenario": spec,
                 "entropy": str(seq.entropy),
                 "spawn_key": [int(k) for k in seq.spawn_key],
                 "pool_size": int(seq.pool_size),
@@ -340,41 +443,103 @@ class ScenarioSuite:
             replications=int(meta["replications"]),
         )
 
-    def run(self, seed: SeedLike = None) -> SuiteResult:
+    def run(
+        self,
+        seed: SeedLike = None,
+        on_result: Optional[Callable[[ScenarioRunResult], None]] = None,
+        cancel: Optional[Any] = None,
+    ) -> SuiteResult:
         """Execute every (selected) scenario; records depend only on
         ``seed`` and each scenario's position in the full suite, never
-        on backend, worker count, sharding or cache state."""
-        sequences = spawn_sequences(
-            as_seed_sequence(seed), len(self.scenarios)
-        )
+        on backend, worker count, sharding or cache state.
+
+        Args:
+            seed: Root seed (``None`` draws fresh entropy; the drawn
+                entropy is recorded in the result's provenance).
+            on_result: Optional progress hook, called once per finished
+                scenario (cache hits included) in the coordinating
+                thread.  Never affects results.
+            cancel: Optional cancellation event (``is_set()`` protocol);
+                once set, the run raises
+                :class:`~repro.exec.backends.ExecutionCancelled`.
+        """
+        root = as_seed_sequence(seed)
+        sequences = spawn_sequences(root, len(self.scenarios))
         pairs = list(zip(self.scenarios, sequences))
         if self.shard is not None:
             index, count = self.shard
             pairs = pairs[index::count]
+        # One spec dict per scenario, shared by the cache key, the
+        # worker dispatch and the provenance payloads (asdict() is the
+        # dominant cost of a fully warm cached run).
+        spec_dicts = [scenario.to_dict() for scenario, _ in pairs]
+        def stamp(position: int, result: ScenarioRunResult) -> None:
+            """Attach reproduction provenance (before any hook sees it)."""
+            result.provenance = provenance_for(
+                {"scenario": spec_dicts[position]},
+                pairs[position][1],
+                self.runner,
+                source="scenario_suite",
+            )
+
         results: List[Optional[ScenarioRunResult]] = [None] * len(pairs)
-        pending: List[Tuple[int, Scenario, np.random.SeedSequence, str]] = []
+        pending: List[Tuple[int, np.random.SeedSequence, str]] = []
         for position, (scenario, seq) in enumerate(pairs):
+            if cancel is not None and cancel.is_set():
+                # The cache loop must honor the cancel contract too —
+                # a fully warm suite otherwise completes uncancellably.
+                from repro.exec.backends import ExecutionCancelled
+
+                raise ExecutionCancelled(
+                    f"suite cancelled after {position} of "
+                    f"{len(pairs)} scenarios"
+                )
             key = ""
             if self.cache is not None:
-                key = self._cache_key(scenario, seq)
+                key = self._cache_key(spec_dicts[position], seq)
                 hit = self.cache.load(key)
                 if hit is not None:
                     results[position] = self._result_from_cache(*hit)
+                    stamp(position, results[position])
+                    if on_result is not None:
+                        on_result(results[position])
                     continue
-            pending.append((position, scenario, seq, key))
+            pending.append((position, seq, key))
         if pending:
+            unit_hook = None
+            if on_result is not None:
+
+                def unit_hook(index: int, result: ScenarioRunResult) -> None:
+                    stamp(pending[index][0], result)
+                    on_result(result)
+
             executed = self.runner.map(
                 _execute_scenario,
                 [
-                    (scenario.to_dict(), seq)
-                    for _, scenario, seq, _ in pending
+                    (spec_dicts[position], seq)
+                    for position, seq, _ in pending
                 ],
+                on_result=unit_hook,
+                cancel=cancel,
             )
-            for (position, _, _, key), result in zip(pending, executed):
+            for (position, _, key), result in zip(pending, executed):
                 results[position] = result
+                if result.provenance is None:  # no hook stamped it
+                    stamp(position, result)
                 if self.cache is not None:
                     self._store_in_cache(key, result)
-        return SuiteResult(results=list(results))
+        return SuiteResult(
+            results=list(results),
+            provenance=provenance_for(
+                {
+                    "scenarios": spec_dicts,
+                    "shard": list(self.shard) if self.shard else None,
+                },
+                root,
+                self.runner,
+                source="scenario_suite",
+            ),
+        )
 
     def _store_in_cache(self, key: str, result: ScenarioRunResult) -> None:
         """Cache one executed result; never let caching sink the run.

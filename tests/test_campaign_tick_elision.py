@@ -81,20 +81,26 @@ class TestAllBuiltinScenariosEquivalent:
 
 class TestEdgeCaseEquivalence:
     def test_incident_response_immediate_eviction(self):
+        # The response knobs ride on the scenario spec itself (no
+        # hand-patched CampaignConfig).
         assert_modes_equivalent(
-            SCENARIOS.get("cooling_stuxnet"),
+            replace(
+                SCENARIOS.get("cooling_stuxnet"), response_enabled=True
+            ),
             seeds=range(4),
-            response_enabled=True,
         )
 
     def test_incident_response_delayed_eviction(self):
         # The eviction delay is an rng draw made at detection time —
         # it must land at the same point of the stream in both modes.
+        # This is the spec behind the cooling_stuxnet_response built-in.
         assert_modes_equivalent(
-            SCENARIOS.get("cooling_stuxnet"),
+            replace(
+                SCENARIOS.get("cooling_stuxnet"),
+                response_enabled=True,
+                response_delay_rate=0.5,
+            ),
             seeds=range(4),
-            response_enabled=True,
-            response_delay_rate=0.5,
         )
 
     def test_exfiltration_accrual_long_horizon(self):

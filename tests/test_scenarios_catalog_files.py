@@ -1,0 +1,153 @@
+"""File-based scenario catalogs: load_dir/load_file and registry copy."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.scenarios import SCENARIOS, Scenario, ScenarioRegistry
+from repro.scenarios.registry import get_scenario
+
+
+def write_spec(path, **overrides):
+    spec = dataclasses.replace(SCENARIOS.get("smoke"), **overrides)
+    (path).write_text(spec.to_json())
+    return spec
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        original = ScenarioRegistry()
+        original.add(Scenario(name="a"))
+        duplicate = original.copy()
+        duplicate.add(Scenario(name="b"))
+        assert "b" in duplicate
+        assert "b" not in original
+        assert "a" in duplicate
+
+    def test_copy_of_builtins_preserves_contents(self):
+        assert SCENARIOS.copy().names() == SCENARIOS.names()
+
+
+class TestLoadFile:
+    def test_round_trips_a_spec(self, tmp_path):
+        spec = write_spec(tmp_path / "x.json", name="file_x")
+        registry = ScenarioRegistry()
+        loaded = registry.load_file(str(tmp_path / "x.json"))
+        assert loaded == spec
+        assert registry.get("file_x") == spec
+
+    def test_missing_file_is_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            ScenarioRegistry().load_file(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_names_the_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="bad.json"):
+            ScenarioRegistry().load_file(str(bad))
+
+    def test_non_object_json_rejected(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            ScenarioRegistry().load_file(str(bad))
+
+    def test_bad_spec_names_the_file(self, tmp_path):
+        bad = tmp_path / "spec.json"
+        bad.write_text(json.dumps({"name": "x", "design_kind": "magic"}))
+        with pytest.raises(ValueError, match="spec.json"):
+            ScenarioRegistry().load_file(str(bad))
+
+    def test_duplicate_name_names_the_file(self, tmp_path):
+        write_spec(tmp_path / "dup.json", name="dup")
+        registry = ScenarioRegistry()
+        registry.load_file(str(tmp_path / "dup.json"))
+        with pytest.raises(ValueError, match="redefines"):
+            registry.load_file(str(tmp_path / "dup.json"))
+
+
+class TestLoadDir:
+    def test_loads_sorted_and_returns_added(self, tmp_path):
+        write_spec(tmp_path / "b.json", name="bbb")
+        write_spec(tmp_path / "a.json", name="aaa")
+        registry = ScenarioRegistry()
+        added = registry.load_dir(str(tmp_path))
+        assert [s.name for s in added] == ["aaa", "bbb"]
+        assert registry.names() == ["aaa", "bbb"]
+
+    def test_missing_dir_is_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="catalog directory"):
+            ScenarioRegistry().load_dir(str(tmp_path / "nope"))
+
+    def test_non_json_files_ignored(self, tmp_path):
+        write_spec(tmp_path / "ok.json", name="ok")
+        (tmp_path / "notes.txt").write_text("not a spec")
+        registry = ScenarioRegistry()
+        assert len(registry.load_dir(str(tmp_path))) == 1
+
+    def test_bad_file_makes_whole_load_atomic(self, tmp_path):
+        write_spec(tmp_path / "a.json", name="good_a")
+        (tmp_path / "z.json").write_text("{broken")
+        registry = ScenarioRegistry()
+        with pytest.raises(ValueError, match="z.json"):
+            registry.load_dir(str(tmp_path))
+        # Nothing was half-applied.
+        assert len(registry) == 0
+
+    def test_duplicate_against_builtins_rejected(self, tmp_path):
+        write_spec(tmp_path / "smoke.json", name="smoke")
+        registry = SCENARIOS.copy()
+        with pytest.raises(ValueError, match="redefines"):
+            registry.load_dir(str(tmp_path))
+
+    def test_loaded_scenarios_execute(self, tmp_path):
+        from repro.api import Session
+
+        write_spec(
+            tmp_path / "tiny.json", name="tiny_file", replications=1
+        )
+        session = Session(catalog_dirs=[str(tmp_path)])
+        result = session.run("tiny_file", seed=3)
+        assert len(result.table) > 0
+
+
+class TestResponseKnobs:
+    """Scenario-level response/recovery knobs (spec + JSON round-trip)."""
+
+    def test_round_trip(self):
+        spec = dataclasses.replace(
+            SCENARIOS.get("smoke"),
+            name="resp",
+            response_enabled=True,
+            response_delay_rate=0.5,
+        )
+        again = Scenario.from_json(spec.to_json())
+        assert again.response_enabled is True
+        assert again.response_delay_rate == 0.5
+
+    def test_build_campaign_config_carries_knobs(self):
+        config = SCENARIOS.get("cooling_stuxnet_response")
+        campaign_config = config.build_campaign_config()
+        assert campaign_config.response_enabled is True
+        assert campaign_config.response_delay_rate == 0.5
+
+    def test_delay_without_response_rejected(self):
+        with pytest.raises(ValueError, match="response_delay_rate"):
+            Scenario(name="x", response_delay_rate=0.5)
+
+    def test_nonpositive_delay_rejected(self):
+        with pytest.raises(ValueError, match="response_delay_rate"):
+            Scenario(
+                name="x", response_enabled=True, response_delay_rate=0.0
+            )
+
+    def test_default_specs_keep_response_disabled(self):
+        config = get_scenario("cooling_stuxnet").build_campaign_config()
+        assert config.response_enabled is False
+        assert config.response_delay_rate is None
+
+    def test_describe_mentions_response(self):
+        text = SCENARIOS.get("cooling_stuxnet_response").describe()
+        assert "response" in text
+        assert "0.5" in text

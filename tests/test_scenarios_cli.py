@@ -74,6 +74,121 @@ class TestRun:
         assert "thret-sweep" in err and "threat-sweep" in err
 
 
+class TestRunCacheAndShards:
+    """`run --cache-dir` / `--shard` end to end through main(argv)."""
+
+    @staticmethod
+    def _comparison_block(output):
+        """The deterministic report part (strips the timing lines)."""
+        return "\n".join(
+            line
+            for line in output.splitlines()
+            if not line.startswith(("running ", "completed in"))
+        )
+
+    def test_cache_warm_run_repeats_cold_output(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["run", "smoke", "--seed", "7", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = self._comparison_block(capsys.readouterr().out)
+        entries = list((tmp_path / "cache").iterdir())
+        assert any(p.suffix == ".npz" for p in entries)
+        assert any(p.suffix == ".json" for p in entries)
+        # Warm re-run: served from disk, identical comparison report.
+        assert main(argv) == 0
+        warm = self._comparison_block(capsys.readouterr().out)
+        assert warm == cold
+        assert len(list((tmp_path / "cache").iterdir())) == len(entries)
+
+    def test_shards_partition_the_suite(self, capsys):
+        assert main(
+            ["run", "smoke", "cooling_stuxnet", "--seed", "3",
+             "--shard", "0/2"]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["run", "smoke", "cooling_stuxnet", "--seed", "3",
+             "--shard", "1/2"]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "smoke" in first and "cooling_stuxnet" not in first
+        assert "cooling_stuxnet" in second
+
+    def test_shard_output_matches_full_run_rows(self, capsys):
+        # The shard's comparison row equals the full run's row for the
+        # same scenario: sharding never changes seeding.
+        assert main(
+            ["run", "smoke", "cooling_stuxnet", "--seed", "3"]
+        ) == 0
+        full = capsys.readouterr().out
+        assert main(
+            ["run", "smoke", "cooling_stuxnet", "--seed", "3",
+             "--shard", "1/2"]
+        ) == 0
+        shard = capsys.readouterr().out
+        full_row = next(
+            line for line in full.splitlines()
+            if line.lstrip().startswith("cooling_stuxnet")
+        )
+        shard_row = next(
+            line for line in shard.splitlines()
+            if line.lstrip().startswith("cooling_stuxnet")
+        )
+        assert full_row == shard_row
+
+    def test_bad_shard_format_is_error(self, capsys):
+        assert main(["run", "smoke", "--shard", "nope"]) == 2
+        assert "INDEX/COUNT" in capsys.readouterr().err
+
+    def test_out_of_range_shard_is_error(self, capsys):
+        assert main(["run", "smoke", "--shard", "5/2"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_cache_dir_with_shards_shares_entries(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        for shard in ("0/2", "1/2"):
+            assert main(
+                ["run", "smoke", "cooling_stuxnet", "--seed", "5",
+                 "--shard", shard, "--cache-dir", cache_dir]
+            ) == 0
+        capsys.readouterr()
+        # The merged cache now answers the full unsharded run warm.
+        assert main(
+            ["run", "smoke", "cooling_stuxnet", "--seed", "5",
+             "--cache-dir", cache_dir]
+        ) == 0
+        assert "cooling_stuxnet" in capsys.readouterr().out
+
+
+class TestRunCatalogFlag:
+    def test_catalog_dir_scenarios_listed_shown_and_run(
+        self, capsys, tmp_path
+    ):
+        import dataclasses
+
+        spec = dataclasses.replace(
+            SCENARIOS.get("smoke"), name="cli_file_scenario"
+        )
+        (tmp_path / "cli_file_scenario.json").write_text(spec.to_json())
+        catalog = str(tmp_path)
+
+        assert main(["list", "--catalog", catalog]) == 0
+        assert "cli_file_scenario" in capsys.readouterr().out
+
+        assert main(["show", "cli_file_scenario", "--catalog", catalog]) == 0
+        assert "cli_file_scenario" in capsys.readouterr().out
+
+        assert main(["run", "cli_file_scenario", "--seed", "2",
+                     "--catalog", catalog]) == 0
+        assert "cli_file_scenario" in capsys.readouterr().out
+        # The built-in catalog was never mutated.
+        assert "cli_file_scenario" not in SCENARIOS
+
+    def test_bad_catalog_dir_is_error(self, capsys):
+        assert main(["list", "--catalog", "/nonexistent/dir"]) == 2
+        assert "catalog directory" in capsys.readouterr().err
+
+
 @pytest.mark.scenario
 class TestModuleEntryPointAllBackends:
     """`python -m repro.scenarios run smoke` on every backend."""
