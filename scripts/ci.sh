@@ -5,10 +5,10 @@
 #   SKIP_BENCH=1 scripts/ci.sh    # fast gate (no benchmark re-run)
 #
 # The benchmark stage re-times the perf suites and compares medians
-# against the persisted baseline (BENCH_PR5.json by default — the most
-# recent baseline, so every benchmark incl. perf_suite_run_session is
-# gated) via `python -m repro.bench --compare` — non-zero exit on any
-# regression beyond tolerance.  Override with BENCH_BASELINE=path.
+# against the persisted baseline (BENCH_PR6.json by default — the most
+# recent baseline, so every benchmark incl. the streaming out-of-core
+# sink is gated) via `python -m repro.bench --compare` — non-zero exit
+# on any regression beyond tolerance.  Override with BENCH_BASELINE=path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +24,7 @@ python -m repro.api --selftest
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo
     echo "== benchmark regression gate =="
-    baseline="${BENCH_BASELINE:-BENCH_PR5.json}"
+    baseline="${BENCH_BASELINE:-BENCH_PR6.json}"
     python -m repro.bench -o /tmp/bench-ci.json --compare "$baseline"
 fi
 

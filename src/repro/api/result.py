@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Protocol, runtime_checkable
 
-from repro.results import Provenance, RecordTable
+from repro.results import Provenance, RecordTable, StreamingSummary
 
 
 @runtime_checkable
@@ -62,6 +62,11 @@ class CampaignRunResult:
         scenario_name: The scenario the campaign was built from.
         replications: Batch size.
         provenance: Reproduction record.
+        aggregate: The running :class:`~repro.results.StreamingSummary`
+            that was folded in as replications completed — present on
+            streaming runs (``Session.campaign(..., stream=True)``),
+            carrying per-indicator running means, variances, CIs and
+            quantile sketches without touching the table.
     """
 
     table: RecordTable
@@ -69,3 +74,4 @@ class CampaignRunResult:
     scenario_name: str
     replications: int
     provenance: Optional[Provenance] = None
+    aggregate: Optional[StreamingSummary] = None

@@ -34,7 +34,12 @@ from repro.attacks.campaign import AttackCampaign
 from repro.core.study import DiversityStudy, StudyResult
 from repro.exec.runner import ExperimentRunner
 from repro.exec.seeding import SeedLike, as_seed_sequence
-from repro.results import ResultCache, provenance_for, summarize_records
+from repro.results import (
+    ResultCache,
+    StreamingSummary,
+    provenance_for,
+    summarize_records,
+)
 from repro.scenarios.registry import SCENARIOS, ScenarioRegistry
 from repro.scenarios.spec import Scenario
 from repro.scenarios.suite import (
@@ -273,9 +278,26 @@ class Session:
         replications: int,
         *,
         seed: Optional[SeedLike] = None,
+        stream: bool = False,
+        max_records_in_ram: Optional[int] = None,
     ) -> CampaignRunResult:
         """Run a Monte-Carlo campaign batch against the scenario's
         baseline (undiversified) system.
+
+        Args:
+            target: Scenario name, :class:`Scenario` or builder.
+            replications: Batch size.
+            seed: Root seed; defaults to the session's seed policy.
+            stream: Run out-of-core: response rows spill to disk shards
+                once ``max_records_in_ram`` rows are buffered, and the
+                scalar ``summary`` comes from a running
+                :class:`~repro.results.StreamingSummary` (attached as
+                the result's ``aggregate``) instead of a second pass
+                over the table.  Records are identical to the default
+                for the same seed; summaries agree to ~1e-9.
+            max_records_in_ram: In-RAM row bound for streaming runs;
+                implies ``stream=True``.  Defaults to
+                :data:`repro.results.DEFAULT_MAX_RECORDS_IN_RAM`.
 
         Returns:
             A :class:`~repro.api.result.CampaignRunResult` with one
@@ -287,10 +309,49 @@ class Session:
         scenario = self._resolve_one(target)
         root = as_seed_sequence(self._effective_seed(seed, target))
         campaign = self._campaign_for(scenario)
-        table = campaign.run_batch_table(
-            replications, rng=root, runner=self.runner
+        effective_max = self._effective_stream_bound(
+            stream, max_records_in_ram
         )
-        return self._campaign_result(scenario, replications, root, table)
+        if effective_max is None:
+            table = campaign.run_batch_table(
+                replications, rng=root, runner=self.runner
+            )
+            return self._campaign_result(
+                scenario, replications, root, table
+            )
+        aggregate = StreamingSummary()
+        table = campaign.run_batch_table(
+            replications,
+            rng=root,
+            runner=self.runner,
+            max_records_in_ram=effective_max,
+            aggregators=(aggregate,),
+        )
+        return self._campaign_result(
+            scenario,
+            replications,
+            root,
+            table,
+            aggregate=aggregate,
+            execution={
+                "stream": True,
+                "max_records_in_ram": effective_max,
+            },
+        )
+
+    @staticmethod
+    def _effective_stream_bound(
+        stream: bool, max_records_in_ram: Optional[int]
+    ) -> Optional[int]:
+        """Resolve the ``stream=`` / ``max_records_in_ram=`` pair to an
+        in-RAM row bound (``None`` = default in-RAM execution)."""
+        if max_records_in_ram is not None:
+            return max_records_in_ram
+        if stream:
+            from repro.results import DEFAULT_MAX_RECORDS_IN_RAM
+
+            return DEFAULT_MAX_RECORDS_IN_RAM
+        return None
 
     @staticmethod
     def _campaign_for(scenario: Scenario) -> AttackCampaign:
@@ -307,12 +368,22 @@ class Session:
         replications: int,
         root: "Any",
         table: "Any",
+        aggregate: Optional[StreamingSummary] = None,
+        execution: Optional[dict] = None,
     ) -> CampaignRunResult:
         """The shared result/provenance assembly of campaign runs —
-        sync and job paths must digest the identical payload."""
+        sync and job paths must digest the identical payload.  The
+        ``execution`` knobs are recorded on the provenance but excluded
+        from its digest, so streamed and in-RAM runs of the same spec
+        digest identically."""
+        summary = (
+            aggregate.summary()
+            if aggregate is not None
+            else summarize_records(table)
+        )
         return CampaignRunResult(
             table=table,
-            summary=summarize_records(table),
+            summary=summary,
             scenario_name=scenario.name,
             replications=replications,
             provenance=provenance_for(
@@ -324,7 +395,9 @@ class Session:
                 root,
                 self.runner,
                 source="campaign",
+                execution=execution,
             ),
+            aggregate=aggregate,
         )
 
     # ---- asynchronous execution -----------------------------------------
@@ -379,22 +452,55 @@ class Session:
         *,
         seed: Optional[SeedLike] = None,
         description: Optional[str] = None,
+        stream: bool = False,
+        max_records_in_ram: Optional[int] = None,
     ) -> JobHandle:
-        """Queue a campaign batch; progress counts replications."""
+        """Queue a campaign batch; progress counts replications.
+
+        ``stream=`` / ``max_records_in_ram=`` behave exactly as on the
+        synchronous :meth:`campaign`.
+        """
         self._ensure_open()
         scenario = self._resolve_one(target)
         root = as_seed_sequence(self._effective_seed(seed, target))
         campaign = self._campaign_for(scenario)
+        effective_max = self._effective_stream_bound(
+            stream, max_records_in_ram
+        )
 
         def body(job: JobHandle) -> CampaignRunResult:
+            if effective_max is None:
+                table = campaign.run_batch_table(
+                    replications,
+                    rng=as_seed_sequence(root),
+                    runner=self.runner,
+                    on_result=job._advance,
+                    cancel=job._cancel_event,
+                )
+                return self._campaign_result(
+                    scenario, replications, root, table
+                )
+            aggregate = StreamingSummary()
             table = campaign.run_batch_table(
                 replications,
                 rng=as_seed_sequence(root),
                 runner=self.runner,
                 on_result=job._advance,
                 cancel=job._cancel_event,
+                max_records_in_ram=effective_max,
+                aggregators=(aggregate,),
             )
-            return self._campaign_result(scenario, replications, root, table)
+            return self._campaign_result(
+                scenario,
+                replications,
+                root,
+                table,
+                aggregate=aggregate,
+                execution={
+                    "stream": True,
+                    "max_records_in_ram": effective_max,
+                },
+            )
 
         return self._submit_job(
             description

@@ -181,6 +181,27 @@ def _response_row_unit(
     return campaign.run(rng).response_row(campaign.config.horizon)
 
 
+def _feed_aggregators(
+    aggregators: Tuple[Callable[..., None], ...],
+    columns: Dict[str, np.ndarray],
+    rows: List[Tuple[float, float, float, float]],
+) -> None:
+    """Fold one chunk of response rows into every aggregator.
+
+    Aggregators with an ``observe_columns`` method (e.g.
+    :class:`~repro.results.streaming.StreamingSummary`) get the whole
+    chunk vectorized; plain callables are invoked once per row with the
+    ``(success, tta, ttsf, final_ratio)`` tuple.
+    """
+    for aggregator in aggregators:
+        observe = getattr(aggregator, "observe_columns", None)
+        if observe is not None:
+            observe(columns)
+        else:
+            for row in rows:
+                aggregator(tuple(row))
+
+
 @dataclass
 class _CampaignTables:
     """Static probability tables shared by every replication.
@@ -1188,6 +1209,8 @@ class AttackCampaign:
         runner: Optional["ExperimentRunner"] = None,
         on_result: Optional[Callable[[int], None]] = None,
         cancel: Optional[object] = None,
+        max_records_in_ram: Optional[int] = None,
+        aggregators: Tuple[Callable[..., None], ...] = (),
     ):
         """Independent replications as a columnar response table.
 
@@ -1198,9 +1221,27 @@ class AttackCampaign:
         :class:`AttackOutcome` objects (traces included) — and the batch
         comes back as a :class:`repro.results.RecordTable`.
 
+        ``max_records_in_ram`` switches the batch to **streaming** mode:
+        rows flow through a
+        :class:`~repro.results.streaming.StreamingTableBuilder` that
+        spills fixed-size chunks to ``.npz`` shards, the runner runs
+        with ``collect=False`` (no per-unit state at the coordinator),
+        and the result is a lazy
+        :class:`~repro.results.streaming.ShardedRecordTable`.  Rows are
+        identical to the default mode for the same seed — only where
+        they live differs.
+
+        ``aggregators`` are fed every response row as it completes, in
+        submission order — :class:`~repro.results.streaming
+        .StreamingSummary` instances stream whole chunks, any other
+        callable is invoked per row as ``agg((success, tta, ttsf,
+        final_ratio))`` — in both modes, so running summaries/CIs come
+        out of a campaign without touching the table at all.
+
         Returns:
             A :class:`repro.results.RecordTable` with the library's
-            response columns, one row per replication in order.
+            response columns, one row per replication in order (a
+            ``ShardedRecordTable`` in streaming mode).
 
         Raises:
             ValueError: If ``replications < 1``.
@@ -1209,6 +1250,16 @@ class AttackCampaign:
             raise ValueError(f"replications must be >= 1, got {replications}")
         from repro.results import RecordTable
 
+        if max_records_in_ram is not None:
+            return self._stream_batch_table(
+                replications,
+                rng,
+                runner,
+                on_result,
+                cancel,
+                max_records_in_ram,
+                aggregators,
+            )
         if runner is None and isinstance(rng, np.random.Generator):
             rows = self._legacy_batch(
                 replications,
@@ -1233,11 +1284,85 @@ class AttackCampaign:
                 cancel=cancel,
             )
         data = np.asarray(rows, dtype=np.float64).reshape(len(rows), 4)
-        return RecordTable(
-            {
+        columns = {
+            "success": data[:, 0],
+            "tta": data[:, 1],
+            "ttsf": data[:, 2],
+            "final_ratio": data[:, 3],
+        }
+        if aggregators:
+            _feed_aggregators(aggregators, columns, rows)
+        return RecordTable(columns)
+
+    def _stream_batch_table(
+        self,
+        replications: int,
+        rng: "SeedLike",
+        runner: Optional["ExperimentRunner"],
+        on_result: Optional[Callable[[int], None]],
+        cancel: Optional[object],
+        max_records_in_ram: int,
+        aggregators: Tuple[Callable[..., None], ...],
+    ):
+        """The bounded-memory body of :meth:`run_batch_table`."""
+        from repro.results.streaming import StreamingTableBuilder
+
+        builder = StreamingTableBuilder(
+            max_records_in_ram=max_records_in_ram
+        )
+        buffer: List[Tuple[float, float, float, float]] = []
+        flush_at = min(max_records_in_ram, 4096)
+
+        def flush() -> None:
+            if not buffer:
+                return
+            data = np.asarray(buffer, dtype=np.float64).reshape(
+                len(buffer), 4
+            )
+            columns = {
                 "success": data[:, 0],
                 "tta": data[:, 1],
                 "ttsf": data[:, 2],
                 "final_ratio": data[:, 3],
             }
-        )
+            if aggregators:
+                _feed_aggregators(aggregators, columns, buffer)
+            builder.append_rows(columns)
+            buffer.clear()
+
+        def take(index: int, row: Tuple[float, float, float, float]) -> None:
+            buffer.append(row)
+            if on_result is not None:
+                on_result(index)
+            if len(buffer) >= flush_at:
+                flush()
+
+        if runner is None and isinstance(rng, np.random.Generator):
+            # Legacy shared-generator mode, streamed: same draw order
+            # as the collected path, rows folded in as they complete.
+            from repro.exec.backends import ExecutionCancelled
+
+            for index in range(replications):
+                if cancel is not None and cancel.is_set():
+                    raise ExecutionCancelled(
+                        f"batch cancelled after {index} of "
+                        f"{replications} replications"
+                    )
+                take(
+                    index, self.run(rng).response_row(self.config.horizon)
+                )
+        else:
+            from repro.exec import ExperimentRunner
+
+            active = runner or ExperimentRunner()
+            active.run_replications(
+                _response_row_unit,
+                replications,
+                seed=rng,
+                common_args=(self,),
+                on_result=take,
+                cancel=cancel,
+                collect=False,
+            )
+        flush()
+        return builder.build()

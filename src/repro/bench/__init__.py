@@ -53,6 +53,7 @@ _PAIR_SUFFIXES = (
 DEFAULT_TARGETS = [
     "benchmarks/test_bench_perf_substrates.py",
     "benchmarks/test_bench_perf_campaign.py",
+    "benchmarks/test_bench_perf_streaming.py",
 ]
 
 #: Median regression (as a fraction of the baseline median) tolerated

@@ -231,6 +231,7 @@ class MeasurementPlan:
         runner: Optional[ExperimentRunner] = None,
         on_result: Optional[Callable[[int], None]] = None,
         cancel: Optional[Any] = None,
+        max_records_in_ram: Optional[int] = None,
     ) -> MeasurementResult:
         """Run every design run and collect responses.
 
@@ -255,7 +256,21 @@ class MeasurementPlan:
             cancel: Optional cancellation event (``is_set()``
                 protocol); once set the execution raises
                 :class:`~repro.exec.backends.ExecutionCancelled`.
+            max_records_in_ram: When set, per-run tables stream into a
+                spilling :class:`~repro.results.streaming
+                .StreamingTableBuilder` as each run completes (runner
+                mode runs ``collect=False``), and the result's table is
+                a lazy ``ShardedRecordTable`` holding at most this many
+                rows in RAM.  Records are identical to the default
+                in-RAM mode for the same seed.
         """
+        builder = None
+        if max_records_in_ram is not None:
+            from repro.results.streaming import StreamingTableBuilder
+
+            builder = StreamingTableBuilder(
+                max_records_in_ram=max_records_in_ram
+            )
         provenance: Optional[Provenance] = None
         if runner is None and isinstance(rng, np.random.Generator):
             from repro.exec.backends import ExecutionCancelled
@@ -271,9 +286,11 @@ class MeasurementPlan:
                 campaign = self.campaign_for_run(run_index)
                 outcomes = campaign.run_batch(self.replications, rng)
                 run_indicators.append(compute_indicators(outcomes))
-                tables.append(
-                    self._table_for_run(run, run_index, outcomes)
-                )
+                run_table = self._table_for_run(run, run_index, outcomes)
+                if builder is not None:
+                    builder.append_table(run_table)
+                else:
+                    tables.append(run_table)
                 if on_result is not None:
                     on_result(run_index)
         else:
@@ -285,6 +302,31 @@ class MeasurementPlan:
 
                     raise ExecutionCancelled("measurement cancelled")
                 tables, run_indicators = [], []
+            elif builder is not None:
+                # Streaming: fold each run's table into the builder as
+                # it completes (submission order) instead of collecting.
+                sequences = spawn_sequences(root, len(self.design.runs))
+                indicators_by_run: Dict[int, IndicatorSet] = {}
+
+                def take(index: int, result: Tuple) -> None:
+                    run_table, indicators = result
+                    builder.append_table(run_table)
+                    indicators_by_run[index] = indicators
+                    if on_result is not None:
+                        on_result(index)
+
+                active.map(
+                    self.execute_run,
+                    [(i, seq) for i, seq in enumerate(sequences)],
+                    on_result=take,
+                    cancel=cancel,
+                    collect=False,
+                )
+                tables = []
+                run_indicators = [
+                    indicators_by_run[i]
+                    for i in range(len(self.design.runs))
+                ]
             else:
                 sequences = spawn_sequences(root, len(self.design.runs))
                 unit_hook = None
@@ -304,7 +346,11 @@ class MeasurementPlan:
                 self.spec_payload(), root, active, source="measurement_plan"
             )
         return MeasurementResult(
-            table=RecordTable.concat(tables),
+            table=(
+                builder.build()
+                if builder is not None
+                else RecordTable.concat(tables)
+            ),
             run_indicators=run_indicators,
             design=self.design,
             replications=self.replications,

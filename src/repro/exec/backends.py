@@ -106,6 +106,12 @@ class ExecutionBackend:
     once set, the backend raises :class:`ExecutionCancelled` instead of
     finishing the batch.  Neither hook ever affects the results of units
     that do complete.
+
+    ``collect=False`` turns the batch into a pure stream: results are
+    delivered only through ``on_result`` (still in submission order) and
+    the return value is an empty list.  This is what bounds the
+    coordinator's memory on million-unit streaming campaigns — nothing
+    accumulates per unit.
     """
 
     #: Registry key (``serial`` / ``thread`` / ``process``).
@@ -120,6 +126,7 @@ class ExecutionBackend:
         chunk_size: int,
         on_result: Optional[ResultCallback] = None,
         cancel: Optional[Any] = None,
+        collect: bool = True,
     ) -> List[Any]:
         raise NotImplementedError
 
@@ -139,18 +146,22 @@ class SerialBackend(ExecutionBackend):
         chunk_size: int,
         on_result: Optional[ResultCallback] = None,
         cancel: Optional[Any] = None,
+        collect: bool = True,
     ) -> List[Any]:
-        if on_result is None and cancel is None:
+        if on_result is None and cancel is None and collect:
             return [unit.fn(*unit.args) for unit in units]
         results: List[Any] = []
+        done = 0
         for unit in units:
             if cancel is not None and cancel.is_set():
                 raise ExecutionCancelled(
-                    f"batch cancelled after {len(results)} of "
+                    f"batch cancelled after {done} of "
                     f"{len(units)} units"
                 )
             result = unit.fn(*unit.args)
-            results.append(result)
+            done += 1
+            if collect:
+                results.append(result)
             if on_result is not None:
                 on_result(unit.index, result)
         return results
@@ -169,19 +180,23 @@ class _PoolBackend(ExecutionBackend):
         chunk_size: int,
         on_result: Optional[ResultCallback] = None,
         cancel: Optional[Any] = None,
+        collect: bool = True,
     ) -> List[Any]:
         if not units:
             return []
         chunks = make_chunks(units, chunk_size)
         collected: Dict[int, Any] = {}
+        done = [0]
         pool = self._make_executor(n_workers)
         try:
             futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
             try:
                 for future in futures:
-                    pairs = self._collect(future, cancel, collected, units)
+                    pairs = self._collect(future, cancel, done, units)
                     for index, result in pairs:
-                        collected[index] = result
+                        done[0] += 1
+                        if collect:
+                            collected[index] = result
                         if on_result is not None:
                             on_result(index, result)
             except BaseException:
@@ -196,13 +211,15 @@ class _PoolBackend(ExecutionBackend):
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+        if not collect:
+            return []
         return [collected[unit.index] for unit in units]
 
     @staticmethod
     def _collect(
         future: Any,
         cancel: Optional[Any],
-        collected: Dict[int, Any],
+        done: List[int],
         units: Sequence[WorkUnit],
     ) -> List[Tuple[int, Any]]:
         """One chunk's ``(index, result)`` pairs, polling for cancel.
@@ -216,7 +233,7 @@ class _PoolBackend(ExecutionBackend):
         while True:
             if cancel.is_set():
                 raise ExecutionCancelled(
-                    f"batch cancelled after {len(collected)} of "
+                    f"batch cancelled after {done[0]} of "
                     f"{len(units)} units"
                 )
             try:

@@ -103,6 +103,7 @@ class ExperimentRunner:
         args_list: Sequence[Tuple[Any, ...]],
         on_result: Optional[Callable[[int, Any], None]] = None,
         cancel: Optional[Any] = None,
+        collect: bool = True,
     ) -> List[Any]:
         """Run ``fn(*args)`` for every argument tuple, results in order.
 
@@ -120,6 +121,11 @@ class ExperimentRunner:
                 e.g. :class:`threading.Event`); once set, the batch
                 raises :class:`~repro.exec.backends.ExecutionCancelled`
                 instead of completing.  Neither hook affects results.
+            collect: With ``collect=False`` results flow only through
+                ``on_result`` (still in submission order) and an empty
+                list is returned — the coordinator holds no per-unit
+                state, which is what keeps million-unit streaming
+                batches on bounded memory.
         """
         units = [
             WorkUnit(index=i, fn=fn, args=tuple(args))
@@ -129,7 +135,12 @@ class ExperimentRunner:
             len(units), self.n_workers
         )
         return self.backend.run(
-            units, self.n_workers, chunk, on_result=on_result, cancel=cancel
+            units,
+            self.n_workers,
+            chunk,
+            on_result=on_result,
+            cancel=cancel,
+            collect=collect,
         )
 
     def run_replications(
@@ -140,6 +151,7 @@ class ExperimentRunner:
         common_args: Tuple[Any, ...] = (),
         on_result: Optional[Callable[[int, Any], None]] = None,
         cancel: Optional[Any] = None,
+        collect: bool = True,
     ) -> List[Any]:
         """Run ``replications`` independent calls of ``fn``.
 
@@ -156,8 +168,8 @@ class ExperimentRunner:
                 ``Generator`` to derive the root from).
             common_args: Leading arguments passed to every call (must be
                 picklable for the ``process`` backend).
-            on_result / cancel: Progress and cancellation hooks — see
-                :meth:`map`.
+            on_result / cancel / collect: Progress, cancellation and
+                streaming knobs — see :meth:`map`.
 
         Raises:
             ValueError: If ``replications < 1``.
@@ -168,6 +180,7 @@ class ExperimentRunner:
             [(fn, seq, common_args) for seq in sequences],
             on_result=on_result,
             cancel=cancel,
+            collect=collect,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -15,27 +15,54 @@ pipeline (see :mod:`repro.results.table`):
 * :class:`Provenance` / :func:`provenance_for` — the reproduction
   record (spec digest, seed material, backend, library version) every
   facade-era result carries; see :mod:`repro.api`.
+* :mod:`repro.results.streaming` — the out-of-core layer:
+  :class:`ShardedRecordTable` / :class:`StreamingTableBuilder` spill
+  fixed-size row chunks to per-shard ``.npz`` files behind the
+  ``RecordTable`` surface, and :class:`RunningStats` /
+  :class:`QuantileSketch` / :class:`StreamingSummary` fold
+  replications into ``summarize_records``-shaped summaries on the
+  ``on_result`` hooks without materializing records.
 """
 
 from repro.results.cache import ResultCache, canonical_json, content_key
 from repro.results.provenance import Provenance, provenance_for
+from repro.results.streaming import (
+    DEFAULT_MAX_RECORDS_IN_RAM,
+    QuantileSketch,
+    RunningStats,
+    ShardedRecordTable,
+    StreamingSummary,
+    StreamingTableBuilder,
+    SuiteStreamingAggregator,
+    TableShard,
+)
 from repro.results.table import (
     RESPONSE_COLUMNS,
     SUMMARY_METRICS,
     RecordTable,
     TableRecordsMixin,
     summarize_records,
+    summary_from_means,
 )
 
 __all__ = [
+    "DEFAULT_MAX_RECORDS_IN_RAM",
     "RESPONSE_COLUMNS",
     "SUMMARY_METRICS",
     "Provenance",
+    "QuantileSketch",
     "RecordTable",
     "ResultCache",
+    "RunningStats",
+    "ShardedRecordTable",
+    "StreamingSummary",
+    "StreamingTableBuilder",
+    "SuiteStreamingAggregator",
     "TableRecordsMixin",
+    "TableShard",
     "canonical_json",
     "content_key",
     "provenance_for",
     "summarize_records",
+    "summary_from_means",
 ]

@@ -9,6 +9,16 @@ produces a different address and therefore a cold miss.  Entries store a
 ``<digest>.json`` metadata document; both are written atomically
 (temp-file + rename) so concurrent writers — e.g. two suite shards
 filling one cache directory — never expose torn entries.
+
+Streaming tables (:class:`~repro.results.streaming.ShardedRecordTable`)
+are stored as a *shard manifest* instead of one monolithic ``.npz``:
+each chunk goes to ``<digest>.shard<i>.npz`` and the metadata document
+gains a reserved ``__shards__`` key listing the shard files, row counts
+and schema.  The metadata is written last, so an entry only becomes
+visible once every shard it names is in place; a manifest naming a
+missing shard is a miss.  Loading a manifest entry rebuilds a lazy
+``ShardedRecordTable`` over the cached shard files — no rows are read
+until an operation streams them.
 """
 
 from __future__ import annotations
@@ -18,9 +28,12 @@ import json
 import os
 import tempfile
 import zipfile
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.results.table import RecordTable
+
+#: Reserved metadata key naming the shard files of a manifest entry.
+SHARD_MANIFEST_KEY = "__shards__"
 
 
 def canonical_json(payload: Mapping[str, object]) -> str:
@@ -63,40 +76,111 @@ class ResultCache:
             os.path.join(self.root, f"{key}.json"),
         )
 
+    def _shard_path(self, key: str, index: int) -> str:
+        return os.path.join(self.root, f"{key}.shard{index:06d}.npz")
+
+    def _read_meta(self, meta_path: str) -> Optional[Dict[str, object]]:
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
     def contains(self, key: str) -> bool:
-        """Whether a complete entry exists for ``key``."""
+        """Whether a complete entry exists for ``key`` (every shard a
+        manifest names must be present)."""
         table_path, meta_path = self._paths(key)
-        return os.path.exists(table_path) and os.path.exists(meta_path)
+        meta = self._read_meta(meta_path)
+        if meta is None:
+            return False
+        manifest = meta.get(SHARD_MANIFEST_KEY)
+        if manifest is None:
+            return os.path.exists(table_path)
+        try:
+            files = [entry["file"] for entry in manifest["shards"]]
+        except (TypeError, KeyError):
+            return False
+        return all(
+            os.path.exists(os.path.join(self.root, name)) for name in files
+        )
 
     def load(self, key: str) -> Optional[Tuple[RecordTable, Dict[str, object]]]:
         """Return ``(table, metadata)`` for ``key``, or ``None`` on a miss.
 
         Unreadable/corrupt entries are treated as misses rather than
         failures — a damaged cache must never sink a suite run.
+        Manifest entries come back as a lazy
+        :class:`~repro.results.streaming.ShardedRecordTable` over the
+        cached shard files (the cache keeps owning the files).
         """
         table_path, meta_path = self._paths(key)
-        try:
-            with open(meta_path, "r", encoding="utf-8") as handle:
-                meta = json.load(handle)
-            table = RecordTable.load_npz(table_path)
-        except (
-            OSError,
-            ValueError,
-            KeyError,
-            json.JSONDecodeError,
-            zipfile.BadZipFile,
-        ):
+        meta = self._read_meta(meta_path)
+        if meta is None:
             return None
-        return table, meta
+        manifest = meta.pop(SHARD_MANIFEST_KEY, None)
+        if manifest is None:
+            try:
+                table = RecordTable.load_npz(table_path)
+            except (
+                OSError,
+                ValueError,
+                KeyError,
+                zipfile.BadZipFile,
+            ):
+                return None
+            return table, meta
+        from repro.results.streaming import ShardedRecordTable, TableShard
+
+        try:
+            columns = list(manifest["columns"])
+            parts: List[TableShard] = []
+            for entry in manifest["shards"]:
+                path = os.path.join(self.root, entry["file"])
+                if not os.path.exists(path):
+                    return None  # torn manifest
+                parts.append(TableShard(path, int(entry["rows"]), columns))
+        except (TypeError, KeyError, ValueError):
+            return None
+        return ShardedRecordTable(parts), meta
 
     def store(
         self, key: str, table: RecordTable, meta: Mapping[str, object]
     ) -> None:
-        """Atomically persist ``(table, meta)`` under ``key``."""
+        """Atomically persist ``(table, meta)`` under ``key``.
+
+        A :class:`~repro.results.streaming.ShardedRecordTable` is
+        persisted chunk-by-chunk as a shard manifest; anything else as
+        one monolithic ``.npz``.  The metadata document lands last, so
+        readers never see a partially written entry.
+
+        Raises:
+            ValueError: If ``meta`` uses the reserved ``__shards__`` key.
+        """
+        if SHARD_MANIFEST_KEY in meta:
+            raise ValueError(
+                f"metadata key {SHARD_MANIFEST_KEY!r} is reserved for "
+                "shard manifests"
+            )
+        from repro.results.streaming import ShardedRecordTable
+
         os.makedirs(self.root, exist_ok=True)
         table_path, meta_path = self._paths(key)
-        self._write_atomic(table_path, lambda path: table.save_npz(path))
-        payload = json.dumps(dict(meta), indent=2, sort_keys=True)
+        meta_out: Dict[str, object] = dict(meta)
+        if isinstance(table, ShardedRecordTable):
+            shards = []
+            for index, chunk in enumerate(table.iter_chunks()):
+                path = self._shard_path(key, index)
+                self._write_atomic(path, chunk.save_npz)
+                shards.append(
+                    {"file": os.path.basename(path), "rows": len(chunk)}
+                )
+            meta_out[SHARD_MANIFEST_KEY] = {
+                "columns": table.columns,
+                "shards": shards,
+            }
+        else:
+            self._write_atomic(table_path, table.save_npz)
+        payload = json.dumps(meta_out, indent=2, sort_keys=True)
 
         def write_meta(path: str) -> None:
             with open(path, "w", encoding="utf-8") as handle:

@@ -48,6 +48,11 @@ class Provenance:
         source: The entry point that produced the result
             (``"scenario_suite"``, ``"measurement_plan"``,
             ``"campaign"``, ``"diversity_study"``, ...).
+        execution: Execution-mode knobs that never affect records but
+            matter for performance forensics — e.g. ``{"stream": True,
+            "max_records_in_ram": 65536}`` on streaming runs.  Kept out
+            of ``spec_digest`` deliberately: a streamed run and an
+            in-RAM run of the same spec digest identically.
     """
 
     spec_digest: str
@@ -57,6 +62,7 @@ class Provenance:
     n_workers: int
     library_version: str
     source: str
+    execution: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-data (JSON-ready) form."""
@@ -74,6 +80,7 @@ def provenance_for(
     seq: np.random.SeedSequence,
     runner: "Optional[ExperimentRunner]" = None,
     source: str = "session",
+    execution: Optional[Mapping[str, object]] = None,
 ) -> Provenance:
     """Build the :class:`Provenance` of a run about to execute.
 
@@ -84,6 +91,8 @@ def provenance_for(
         runner: The executing runner; ``None`` records the serial
             reference semantics.
         source: Entry-point label.
+        execution: Optional execution-mode knobs to record (streaming
+            settings etc.); excluded from the digest by design.
     """
     import repro
 
@@ -95,4 +104,5 @@ def provenance_for(
         n_workers=runner.n_workers if runner is not None else 1,
         library_version=repro.__version__,
         source=source,
+        execution=dict(execution) if execution is not None else None,
     )

@@ -21,6 +21,7 @@ are all Python ``float`` comes back as ``float``, all-``int`` columns as
 from __future__ import annotations
 
 import json
+import math
 from typing import (
     Callable,
     Dict,
@@ -127,10 +128,16 @@ class RecordTable:
     def concat(cls, tables: Sequence["RecordTable"]) -> "RecordTable":
         """Stack tables that share a column schema (order-sensitive).
 
+        Schema-less empty tables (zero rows *and* zero columns, e.g.
+        ``from_dicts([])``, an empty suite shard, an empty DoE design)
+        are identity elements: they are skipped, and the first table
+        that *does* carry a schema fixes the column set.  Zero-row
+        tables that have columns still participate in the schema check.
+
         Raises:
             ValueError: If the tables' column names differ.
         """
-        tables = [t for t in tables]
+        tables = [t for t in tables if t.columns or len(t)]
         if not tables:
             return cls({})
         names = tables[0].columns
@@ -223,18 +230,57 @@ class RecordTable:
             {name: array[mask] for name, array in self._columns.items()}
         )
 
+    def match_mask(self, name: str, value: object) -> np.ndarray:
+        """Boolean mask of rows whose column ``name`` equals ``value``.
+
+        NaN-aware: a float NaN ``value`` matches the NaN rows of the
+        column (``nan != nan`` under ``==``, which would otherwise make
+        NaN rows unreachable through :meth:`where`/:meth:`groupby`).
+        """
+        column = self._columns[name]
+        if isinstance(value, float) and math.isnan(value):
+            if column.dtype == object:
+                return np.fromiter(
+                    (
+                        isinstance(v, float) and math.isnan(v)
+                        for v in column.tolist()
+                    ),
+                    dtype=bool,
+                    count=column.shape[0],
+                )
+            if np.issubdtype(column.dtype, np.floating):
+                return np.isnan(column)
+            return np.zeros(column.shape[0], dtype=bool)
+        mask = column == value
+        if not isinstance(mask, np.ndarray):
+            # Incomparable types collapse to a scalar bool.
+            return np.full(column.shape[0], bool(mask))
+        return np.asarray(mask, dtype=bool)
+
     def where(self, name: str, value: object) -> "RecordTable":
-        """Rows whose column ``name`` equals ``value``."""
-        return self.filter(self._columns[name] == value)
+        """Rows whose column ``name`` equals ``value`` (NaN matches NaN)."""
+        return self.filter(self.match_mask(name, value))
 
     def groupby(
         self, name: str
     ) -> Iterator[Tuple[object, "RecordTable"]]:
-        """Yield ``(value, sub-table)`` groups in first-appearance order."""
+        """Yield ``(value, sub-table)`` groups in first-appearance order.
+
+        All NaN rows (e.g. detection latencies of undetected runs)
+        coalesce into a single NaN group at the first NaN's position —
+        ``nan != nan`` would otherwise open one empty group per NaN row
+        and drop those rows from every group.
+        """
         column = self._columns[name]
         seen: List[object] = []
+        seen_nan = False
         for v in column.tolist():
             v = _python_value(v)
+            if isinstance(v, float) and math.isnan(v):
+                if not seen_nan:
+                    seen_nan = True
+                    seen.append(v)
+                continue
             if v not in seen:
                 seen.append(v)
         for v in seen:
@@ -243,10 +289,23 @@ class RecordTable:
     # ---- aggregation -----------------------------------------------------
 
     def mean(self, name: str) -> float:
-        """Mean of a numeric column (nan when the table is empty)."""
+        """Mean of a numeric column (nan when the table is empty).
+
+        Object columns are accepted as long as every value is numeric
+        (mixed int/float factor levels).
+
+        Raises:
+            TypeError: If the column holds non-numeric values.
+        """
         if self._n == 0:
             return float("nan")
-        return float(np.mean(np.asarray(self._columns[name], dtype=float)))
+        try:
+            values = np.asarray(self._columns[name], dtype=float)
+        except (TypeError, ValueError):
+            raise TypeError(
+                f"column {name!r} is not numeric; cannot take its mean"
+            ) from None
+        return float(np.mean(values))
 
     def means(self, names: Sequence[str]) -> Dict[str, float]:
         """Column means keyed by name."""
@@ -344,6 +403,21 @@ RESPONSE_COLUMNS = ("success", "tta", "ttsf", "final_ratio")
 SUMMARY_METRICS = ("psa", "tta_mean", "ttsf_mean", "final_ratio_mean")
 
 
+def summary_from_means(means: Mapping[str, float]) -> Dict[str, float]:
+    """The :data:`SUMMARY_METRICS` dict from per-response-column means.
+
+    Shared by the exact array path (:func:`summarize_records`) and the
+    streaming aggregators (:mod:`repro.results.streaming`), so both
+    produce identically shaped summaries.
+    """
+    return {
+        "psa": means["success"],
+        "tta_mean": means["tta"],
+        "ttsf_mean": means["ttsf"],
+        "final_ratio_mean": means["final_ratio"],
+    }
+
+
 def summarize_records(
     records: "RecordTable | Sequence[Mapping[str, object]]",
 ) -> Dict[str, float]:
@@ -360,9 +434,4 @@ def summarize_records(
     means = table.means(RESPONSE_COLUMNS) if len(table) else {
         name: float("nan") for name in RESPONSE_COLUMNS
     }
-    return {
-        "psa": means["success"],
-        "tta_mean": means["tta"],
-        "ttsf_mean": means["ttsf"],
-        "final_ratio_mean": means["final_ratio"],
-    }
+    return summary_from_means(means)

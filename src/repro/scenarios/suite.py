@@ -52,15 +52,18 @@ from repro.core.study import DiversityStudy
 from repro.exec.runner import ExperimentRunner
 from repro.exec.seeding import SeedLike, as_seed_sequence, spawn_sequences
 from repro.results import (
+    RESPONSE_COLUMNS,
     SUMMARY_METRICS,
     Provenance,
     RecordTable,
     ResultCache,
+    SuiteStreamingAggregator,
     TableRecordsMixin,
     content_key,
     provenance_for,
     summarize_records,
 )
+from repro.results.streaming import LazyPart, ShardedRecordTable
 from repro.scenarios.registry import SCENARIOS, ScenarioRegistry
 from repro.scenarios.spec import Scenario
 
@@ -120,13 +123,17 @@ def _summarize(
 
 
 def _execute_scenario(
-    spec: Dict[str, object], seq: np.random.SeedSequence
+    spec: Dict[str, object],
+    seq: np.random.SeedSequence,
+    max_records_in_ram: Optional[int] = None,
 ) -> ScenarioRunResult:
     """Suite work unit: rebuild the scenario, run its study, summarize.
 
     Module-level so the ``process`` backend can pickle it.  The study
     itself runs with spawn-per-replication seeding (serial within the
-    unit), so the result depends only on ``(spec, seq)``.
+    unit), so the result depends only on ``(spec, seq)`` —
+    ``max_records_in_ram`` only decides whether the measurement's table
+    spills to shards, never what it contains.
     """
     scenario = Scenario.from_dict(spec)
     study = DiversityStudy.from_scenario(scenario)
@@ -140,7 +147,7 @@ def _execute_scenario(
         replications=study.replications,
         campaign_config=study.campaign_config,
     )
-    measurement = plan.execute(seq)
+    measurement = plan.execute(seq, max_records_in_ram=max_records_in_ram)
     top_targets: Dict[str, str] = {}
     try:
         assessment = assess(measurement)
@@ -164,6 +171,17 @@ def _execute_scenario(
     )
 
 
+def _scenario_response_view(chunk: RecordTable, name: str) -> RecordTable:
+    """One chunk's response columns prefixed with a scenario column."""
+    n = len(chunk)
+    scenario_column = np.empty(n, dtype=object)
+    scenario_column[:] = [name] * n
+    columns: Dict[str, np.ndarray] = {"scenario": scenario_column}
+    for column in RESPONSE_COLUMNS:
+        columns[column] = chunk.column(column)
+    return RecordTable(columns)
+
+
 @dataclass
 class SuiteResult:
     """All scenario results of one suite run, in suite order.
@@ -174,10 +192,15 @@ class SuiteResult:
             over every executed spec, root seed material, backend);
             ``None`` on merged shard results, whose parts each carry
             their own provenance.
+        aggregate: Streaming per-scenario/pooled summaries, present
+            when the run was given streaming aggregators (see
+            :meth:`ScenarioSuite.run`); :meth:`merge` combines them in
+            O(summary).
     """
 
     results: List[ScenarioRunResult]
     provenance: Optional[Provenance] = None
+    aggregate: Optional[SuiteStreamingAggregator] = None
 
     @property
     def table(self) -> RecordTable:
@@ -189,22 +212,63 @@ class SuiteResult:
         comparison metrics aggregate over.  Built once and cached on
         the instance (treat ``results`` as immutable after the run;
         :meth:`merge` always produces a fresh ``SuiteResult``).
+
+        When any per-scenario table is sharded (a streaming run), the
+        combined table is a lazily chained
+        :class:`~repro.results.streaming.ShardedRecordTable` whose
+        per-scenario views load one chunk at a time — the in-RAM
+        default stays a plain eager :class:`RecordTable`.
         """
         cached = getattr(self, "_combined_table", None)
         if cached is not None:
             return cached
-        from repro.results import RESPONSE_COLUMNS
-
-        tables = []
-        for result in self.results:
-            n = len(result.table)
-            scenario_column = np.empty(n, dtype=object)
-            scenario_column[:] = [result.scenario.name] * n
-            columns: Dict[str, np.ndarray] = {"scenario": scenario_column}
-            for name in RESPONSE_COLUMNS:
-                columns[name] = result.table.column(name)
-            tables.append(RecordTable(columns))
-        combined = RecordTable.concat(tables)
+        streaming = any(
+            isinstance(r.table, ShardedRecordTable) for r in self.results
+        )
+        if streaming:
+            parts: List[LazyPart] = []
+            schema = ["scenario", *RESPONSE_COLUMNS]
+            sources: List[RecordTable] = []
+            for result in self.results:
+                name = result.scenario.name
+                table = result.table
+                sources.append(table)
+                raw_parts = (
+                    table.parts
+                    if isinstance(table, ShardedRecordTable)
+                    else None
+                )
+                if raw_parts is None:
+                    parts.append(
+                        LazyPart(
+                            lambda t=table, nm=name: (
+                                _scenario_response_view(t, nm)
+                            ),
+                            len(table),
+                            schema,
+                        )
+                    )
+                    continue
+                for part in raw_parts:
+                    parts.append(
+                        LazyPart(
+                            lambda p=part, nm=name: (
+                                _scenario_response_view(p.load(), nm)
+                            ),
+                            part.n_rows,
+                            schema,
+                        )
+                    )
+            combined: RecordTable = ShardedRecordTable(
+                parts, keepalive=sources
+            )
+        else:
+            combined = RecordTable.concat(
+                [
+                    _scenario_response_view(result.table, result.scenario.name)
+                    for result in self.results
+                ]
+            )
         self._combined_table = combined
         return combined
 
@@ -247,6 +311,12 @@ class SuiteResult:
         merging every shard of a suite reproduces the unsharded result
         (up to scenario order, which follows the parts given).
 
+        The merge itself is O(summary): result lists concatenate,
+        streaming aggregator states (when every part carries one) fold
+        together state-wise, and the combined ``table`` of a streaming
+        run chains shard views lazily — no records are copied or read
+        here.
+
         Raises:
             ValueError: If two parts ran the same scenario.
         """
@@ -258,7 +328,14 @@ class SuiteResult:
                 f"duplicate scenario(s) across shards: "
                 f"{', '.join(duplicates)}"
             )
-        return cls(results=results)
+        aggregate = None
+        if parts and all(part.aggregate is not None for part in parts):
+            aggregate = SuiteStreamingAggregator(
+                quantiles=parts[0].aggregate.quantiles
+            )
+            for part in parts:
+                aggregate.merge(part.aggregate)
+        return cls(results=results, aggregate=aggregate)
 
     def comparison_report(self) -> str:
         """The cross-scenario comparison table plus per-scenario hints."""
@@ -448,6 +525,8 @@ class ScenarioSuite:
         seed: SeedLike = None,
         on_result: Optional[Callable[[ScenarioRunResult], None]] = None,
         cancel: Optional[Any] = None,
+        aggregators: Sequence[Callable[[ScenarioRunResult], None]] = (),
+        max_records_in_ram: Optional[int] = None,
     ) -> SuiteResult:
         """Execute every (selected) scenario; records depend only on
         ``seed`` and each scenario's position in the full suite, never
@@ -462,6 +541,20 @@ class ScenarioSuite:
             cancel: Optional cancellation event (``is_set()`` protocol);
                 once set, the run raises
                 :class:`~repro.exec.backends.ExecutionCancelled`.
+            aggregators: Callables fed every finished
+                :class:`ScenarioRunResult` (cache hits included) in the
+                coordinating thread — e.g.
+                :class:`~repro.results.SuiteStreamingAggregator`, whose
+                running summaries then land on the result's
+                ``aggregate`` field.  Never affect records.
+            max_records_in_ram: When set, each scenario's measurement
+                table spills to ``.npz`` shards beyond this many rows
+                (see :meth:`MeasurementPlan.execute
+                <repro.core.measurement.MeasurementPlan.execute>`) and
+                cache entries are stored as shard manifests.  Records
+                are identical either way; the ``process`` backend
+                materializes tables at the pickling boundary, so use
+                ``serial``/``thread`` for out-of-core suites.
         """
         root = as_seed_sequence(seed)
         sequences = spawn_sequences(root, len(self.scenarios))
@@ -482,6 +575,14 @@ class ScenarioSuite:
                 source="scenario_suite",
             )
 
+        def deliver(position: int, result: ScenarioRunResult) -> None:
+            """Stamp and stream one finished result to every hook."""
+            stamp(position, result)
+            for aggregator in aggregators:
+                aggregator(result)
+            if on_result is not None:
+                on_result(result)
+
         results: List[Optional[ScenarioRunResult]] = [None] * len(pairs)
         pending: List[Tuple[int, np.random.SeedSequence, str]] = []
         for position, (scenario, seq) in enumerate(pairs):
@@ -500,23 +601,20 @@ class ScenarioSuite:
                 hit = self.cache.load(key)
                 if hit is not None:
                     results[position] = self._result_from_cache(*hit)
-                    stamp(position, results[position])
-                    if on_result is not None:
-                        on_result(results[position])
+                    deliver(position, results[position])
                     continue
             pending.append((position, seq, key))
         if pending:
             unit_hook = None
-            if on_result is not None:
+            if on_result is not None or aggregators:
 
                 def unit_hook(index: int, result: ScenarioRunResult) -> None:
-                    stamp(pending[index][0], result)
-                    on_result(result)
+                    deliver(pending[index][0], result)
 
             executed = self.runner.map(
                 _execute_scenario,
                 [
-                    (spec_dicts[position], seq)
+                    (spec_dicts[position], seq, max_records_in_ram)
                     for position, seq, _ in pending
                 ],
                 on_result=unit_hook,
@@ -528,6 +626,14 @@ class ScenarioSuite:
                     stamp(position, result)
                 if self.cache is not None:
                     self._store_in_cache(key, result)
+        suite_aggregate = next(
+            (
+                a
+                for a in aggregators
+                if isinstance(a, SuiteStreamingAggregator)
+            ),
+            None,
+        )
         return SuiteResult(
             results=list(results),
             provenance=provenance_for(
@@ -539,6 +645,7 @@ class ScenarioSuite:
                 self.runner,
                 source="scenario_suite",
             ),
+            aggregate=suite_aggregate,
         )
 
     def _store_in_cache(self, key: str, result: ScenarioRunResult) -> None:

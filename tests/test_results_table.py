@@ -324,3 +324,129 @@ class TestOutcomeTableConstants:
         path = str(tmp_path / "t.npz")
         table.save_npz(path)  # float levels must not land in object cols
         assert RecordTable.load_npz(path) == table
+
+
+class TestConcatEmptyIdentity:
+    """Schema-less empty tables are identity elements of concat."""
+
+    def test_concat_nothing_is_schema_less_empty(self):
+        empty = RecordTable.concat([])
+        assert len(empty) == 0
+        assert empty.columns == []
+
+    def test_schema_less_empties_are_skipped(self):
+        table = RecordTable.from_dicts(sample_records())
+        empty = RecordTable.from_dicts([])
+        assert RecordTable.concat([empty, table]) == table
+        assert RecordTable.concat([table, empty]) == table
+        assert RecordTable.concat([empty, table, empty, table]) == (
+            RecordTable.concat([table, table])
+        )
+
+    def test_all_empty_concat_is_empty(self):
+        empty = RecordTable.from_dicts([])
+        combined = RecordTable.concat([empty, empty])
+        assert len(combined) == 0
+        assert combined.columns == []
+
+    def test_zero_row_table_with_schema_still_checked(self):
+        table = RecordTable.from_dicts(sample_records())
+        wrong = RecordTable({"other": np.array([], dtype=np.float64)})
+        with pytest.raises(ValueError, match="cannot concat"):
+            RecordTable.concat([wrong, table])
+
+    def test_zero_row_table_with_matching_schema_participates(self):
+        table = RecordTable.from_dicts(sample_records())
+        zero = table.filter(np.zeros(len(table), dtype=bool))
+        assert RecordTable.concat([zero, table]) == table
+
+
+class TestNaNGrouping:
+    """NaN factor levels: where/groupby must reach NaN rows."""
+
+    def _table(self):
+        return RecordTable(
+            {
+                "latency": np.array(
+                    [1.0, np.nan, 2.0, np.nan, 1.0], dtype=np.float64
+                ),
+                "v": np.arange(5, dtype=np.int64),
+            }
+        )
+
+    def test_where_nan_matches_nan_rows(self):
+        sub = self._table().where("latency", float("nan"))
+        assert sub.column("v").tolist() == [1, 3]
+
+    def test_groupby_coalesces_nan_into_one_group(self):
+        groups = list(self._table().groupby("latency"))
+        keys = [k for k, _ in groups]
+        assert len(keys) == 3
+        assert keys[0] == 1.0
+        assert math.isnan(keys[1])
+        assert keys[2] == 2.0
+        nan_group = groups[1][1]
+        assert nan_group.column("v").tolist() == [1, 3]
+
+    def test_groupby_covers_every_row_exactly_once(self):
+        table = self._table()
+        total = sum(len(g) for _, g in table.groupby("latency"))
+        assert total == len(table)
+
+    def test_nan_in_object_column(self):
+        table = RecordTable.from_dicts(
+            [{"k": "a"}, {"k": float("nan")}, {"k": float("nan")}]
+        )
+        assert len(table.where("k", float("nan"))) == 2
+        assert len(list(table.groupby("k"))) == 2
+
+    def test_nan_against_int_column_matches_nothing(self):
+        table = RecordTable({"k": np.array([1, 2], dtype=np.int64)})
+        assert len(table.where("k", float("nan"))) == 0
+
+
+class TestAggregationEdgeCases:
+    """The PR's bugfix sweep: mean/filter/npz corner cases, pinned."""
+
+    def test_mean_on_string_column_raises_type_error(self):
+        table = RecordTable.from_dicts(sample_records())
+        with pytest.raises(TypeError, match="not numeric"):
+            table.mean("operating_system")
+
+    def test_mean_on_numeric_object_column(self):
+        table = RecordTable.from_dicts(
+            [{"level": 1}, {"level": 2.5}, {"level": 2}]
+        )
+        # Mixed int/float factor levels land in an object column but
+        # are still perfectly good numbers.
+        if table.column("level").dtype == object:
+            assert table.mean("level") == pytest.approx(5.5 / 3)
+
+    def test_filter_zero_length_mask_on_empty_table(self):
+        empty = RecordTable(
+            {"x": np.array([], dtype=np.float64)}
+        )
+        out = empty.filter(np.array([], dtype=bool))
+        assert len(out) == 0
+        assert out.columns == ["x"]
+
+    def test_filter_wrong_shape_mask_rejected(self):
+        table = RecordTable.from_dicts(sample_records())
+        with pytest.raises(ValueError, match="mask shape"):
+            table.filter(np.array([], dtype=bool))
+        with pytest.raises(ValueError, match="mask shape"):
+            table.filter(np.ones((len(table), 1), dtype=bool))
+
+    def test_npz_round_trip_zero_row_object_column(self, tmp_path):
+        table = RecordTable(
+            {
+                "name": np.empty(0, dtype=object),
+                "x": np.array([], dtype=np.float64),
+            }
+        )
+        path = str(tmp_path / "zero.npz")
+        table.save_npz(path)
+        loaded = RecordTable.load_npz(path)
+        assert loaded == table
+        assert loaded.column("name").dtype == object
+        assert loaded.column("x").dtype == np.float64
