@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Single CI gate: tier-1 unit suite, facade selftest, perf regression.
+# Single CI gate: tier-1 unit suite, facade selftest, perf regression,
+# telemetry overhead.
 #
 #   scripts/ci.sh                 # full gate (tier-1 + selftest + bench)
 #   SKIP_BENCH=1 scripts/ci.sh    # fast gate (no benchmark re-run)
 #
 # The benchmark stage re-times the perf suites and compares medians
-# against the persisted baseline (BENCH_PR6.json by default — the most
-# recent baseline, so every benchmark incl. the streaming out-of-core
-# sink is gated) via `python -m repro.bench --compare` — non-zero exit
+# against the persisted baseline (BENCH_PR7.json by default — the most
+# recent baseline, so every benchmark incl. the telemetry-enabled suite
+# run is gated) via `python -m repro.bench --compare` — non-zero exit
 # on any regression beyond tolerance.  Override with BENCH_BASELINE=path.
+#
+# The telemetry overhead gate (`python -m repro.bench.overhead`) times
+# the perf_suite_run workload with telemetry off vs on as interleaved
+# pairs and fails when the median on/off ratio exceeds the 2% budget —
+# paired rounds, because separately-timed medians cannot resolve 2% on
+# a noisy shared box.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,8 +31,12 @@ python -m repro.api --selftest
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo
     echo "== benchmark regression gate =="
-    baseline="${BENCH_BASELINE:-BENCH_PR6.json}"
+    baseline="${BENCH_BASELINE:-BENCH_PR7.json}"
     python -m repro.bench -o /tmp/bench-ci.json --compare "$baseline"
+
+    echo
+    echo "== telemetry overhead gate (<= 2%) =="
+    python -m repro.bench.overhead
 fi
 
 echo

@@ -30,6 +30,13 @@ Quickstart::
     print(result.report())
 """
 
+import logging as _logging
+
+# Library convention: silent unless the application configures logging
+# (or asks for it via Session(verbose=True) / repro.telemetry
+# .configure_logging).  Every module logger lives under "repro".
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from repro.attacks import (
     AttackCampaign,
     AttackOutcome,
@@ -81,8 +88,13 @@ from repro.api import (
     Session,
     StudyBuilder,
 )
+from repro.telemetry import (
+    Telemetry,
+    TelemetrySnapshot,
+    configure_logging,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AttackCampaign",
@@ -109,6 +121,8 @@ __all__ = [
     "StudyResult",
     "SuiteResult",
     "SystemConfiguration",
+    "Telemetry",
+    "TelemetrySnapshot",
     "ThreatProfile",
     "VariantCatalog",
     "Zone",
@@ -116,6 +130,7 @@ __all__ = [
     "attack_tree_for",
     "bayesian_attack_graph_for",
     "compute_indicators",
+    "configure_logging",
     "default_catalog",
     "duqu_like",
     "flame_like",

@@ -40,7 +40,13 @@ few seconds.
 """
 
 from repro.api.builder import StudyBuilder
-from repro.api.jobs import JobCancelled, JobHandle, JobProgress, JobState
+from repro.api.jobs import (
+    JobCancelled,
+    JobEvent,
+    JobHandle,
+    JobProgress,
+    JobState,
+)
 from repro.api.result import CampaignRunResult, RunResult
 from repro.api.session import Session
 from repro.results import Provenance
@@ -48,6 +54,7 @@ from repro.results import Provenance
 __all__ = [
     "CampaignRunResult",
     "JobCancelled",
+    "JobEvent",
     "JobHandle",
     "JobProgress",
     "JobState",

@@ -1,28 +1,32 @@
 """``python -m repro.api`` — facade utilities (``--selftest``).
 
 The selftest is the installation smoke check wired into
-``scripts/ci.sh``: it builds a :class:`~repro.api.Session`, runs the
-``smoke`` scenario end to end through ``Session.submit`` + the
-:class:`~repro.api.jobs.JobHandle` lifecycle, and verifies the result
-shape and provenance — in a few seconds, exit 0 on success.
+``scripts/ci.sh``: it builds a :class:`~repro.api.Session` with
+telemetry enabled, runs the ``smoke`` scenario end to end through
+``Session.submit`` + the :class:`~repro.api.jobs.JobHandle` lifecycle,
+and verifies the result shape, provenance and observability snapshot —
+in a few seconds, exit 0 on success.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Optional, Sequence
 
 
-def selftest(backend: str = "serial", seed: int = 0) -> int:
+def selftest(
+    backend: str = "serial", seed: int = 0, verbose: bool = False
+) -> int:
     """Run the smoke scenario through Session/JobHandle; 0 on success."""
     from repro.api import JobState, RunResult, Session
+    from repro.api.jobs import JobEvent
 
-    started = time.perf_counter()
-    with Session(backend=backend) as session:
+    with Session(backend=backend, telemetry=True, verbose=verbose) as session:
         job = session.submit("smoke", seed=seed)
         result = job.result()
+        snapshot = result.telemetry
+        event_states = [e.state for e in job.events]
         checks = [
             ("job reached DONE", job.status is JobState.DONE),
             (
@@ -37,8 +41,28 @@ def selftest(backend: str = "serial", seed: int = 0) -> int:
                 result.provenance is not None
                 and result.provenance.backend == backend,
             ),
+            ("telemetry snapshot attached", snapshot is not None),
+            (
+                "telemetry spans recorded",
+                snapshot is not None
+                and snapshot.total_seconds("suite.run") > 0.0,
+            ),
+            (
+                "telemetry report renders",
+                snapshot is not None
+                and "TELEMETRY REPORT" in snapshot.render(),
+            ),
+            (
+                "job lifecycle events in order",
+                event_states[:2]
+                == [JobState.PENDING, JobState.RUNNING]
+                and event_states[-1] is JobState.DONE
+                and all(isinstance(e, JobEvent) for e in job.events),
+            ),
         ]
-    elapsed = time.perf_counter() - started
+    # The user-facing wall clock is the recorded span itself — the
+    # selftest exercises exactly what it reports.
+    elapsed = snapshot.total_seconds("session.run") if snapshot else 0.0
     failures = [label for label, ok in checks if not ok]
     for label, ok in checks:
         print(f"  [{'ok' if ok else 'FAIL'}] {label}")
@@ -71,13 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="selftest seed (default: 0)"
     )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="DEBUG logging to stderr during the selftest",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.selftest:
-        return selftest(backend=args.backend, seed=args.seed)
+        return selftest(
+            backend=args.backend, seed=args.seed, verbose=args.verbose
+        )
     build_parser().print_help()
     return 2
 

@@ -17,13 +17,22 @@ from __future__ import annotations
 
 import enum
 import itertools
+import logging
 import threading
+import time
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Set
 
 from repro.exec.backends import ExecutionCancelled
+from repro.telemetry.core import Telemetry
+
+_LOG = logging.getLogger(__name__)
+
+#: Minimum seconds between progress-heartbeat telemetry events (the
+#: first and last unit of a job always heartbeat).
+_HEARTBEAT_MIN_INTERVAL_S = 1.0
 
 
 class JobCancelled(RuntimeError):
@@ -60,6 +69,28 @@ class JobProgress:
         return self.completed / self.total if self.total else 0.0
 
 
+@dataclass(frozen=True)
+class JobEvent:
+    """One lifecycle transition of a job.
+
+    Attributes:
+        job_id: The job's id.
+        state: The state entered.
+        time_unix: Wall-clock time of the transition.
+        detail: Free-form context (e.g. the failure message).
+    """
+
+    job_id: int
+    state: JobState
+    time_unix: float
+    detail: str = ""
+
+
+#: States a job can end in; exactly one terminal event is ever emitted.
+_TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
 _JOB_IDS = itertools.count(1)
 
 
@@ -88,28 +119,118 @@ class JobHandle:
         self._cancelled = False
         self._lock = threading.Lock()
         self._future: Optional[Future] = None
+        self._events: List[JobEvent] = []
+        self._emitted: Set[JobState] = set()
+        self._telemetry: Optional[Telemetry] = None
+        self._last_heartbeat = 0.0
+        self._emit(JobState.PENDING)
 
     # ---- wiring (Session-side) ------------------------------------------
 
     def _bind(self, future: Future) -> None:
         self._future = future
 
+    def _attach_telemetry(self, telemetry: Optional[Telemetry]) -> None:
+        """Forward lifecycle events/heartbeats to this telemetry.
+
+        Transitions recorded before attachment (PENDING, emitted by the
+        constructor) are replayed so the telemetry stream carries the
+        full lifecycle.
+        """
+        if telemetry is None:
+            return
+        with self._lock:
+            self._telemetry = telemetry
+            replay = list(self._events)
+        for event in replay:
+            telemetry.emit_event(
+                "job.state",
+                job_id=event.job_id,
+                state=event.state.value,
+                detail=event.detail,
+            )
+
+    def _emit(self, state: JobState, detail: str = "") -> None:
+        """Record one lifecycle transition, exactly once per state.
+
+        Thread-safe and idempotent: the submitter's ``cancel()`` and the
+        executor's ``_run`` may race to the terminal state, but only the
+        first transition wins and only one terminal event is emitted.
+        """
+        with self._lock:
+            if state in self._emitted:
+                return
+            if state in _TERMINAL_STATES and (
+                self._emitted & _TERMINAL_STATES
+            ):
+                return
+            self._emitted.add(state)
+            event = JobEvent(self.job_id, state, time.time(), detail)
+            self._events.append(event)
+            telemetry = self._telemetry
+        _LOG.debug(
+            "job %d -> %s%s",
+            self.job_id, state.value, f" ({detail})" if detail else "",
+        )
+        if telemetry is not None:
+            telemetry.emit_event(
+                "job.state",
+                job_id=self.job_id, state=state.value, detail=detail,
+            )
+
     def _run(self, body: Callable[["JobHandle"], Any]) -> Any:
         """Execute ``body`` inside the job executor (Session plumbing)."""
         self._started.set()
         if self._cancel.is_set():
+            self._emit(JobState.CANCELLED, "cancelled before start")
             raise JobCancelled(f"job {self.job_id} cancelled before start")
+        self._emit(JobState.RUNNING)
         try:
-            return body(self)
+            result = body(self)
+        except JobCancelled:
+            self._emit(JobState.CANCELLED)
+            raise
         except ExecutionCancelled as exc:
+            self._emit(JobState.CANCELLED, str(exc))
             raise JobCancelled(
                 f"job {self.job_id} cancelled: {exc}"
             ) from exc
+        except BaseException as exc:
+            self._emit(JobState.FAILED, repr(exc))
+            raise
+        self._emit(JobState.DONE)
+        return result
 
     def _advance(self, *_ignored: Any) -> None:
-        """Per-unit progress callback handed to the exec layer."""
+        """Per-unit progress callback handed to the exec layer.
+
+        Progress is monotonic (a lock-guarded increment); telemetry
+        heartbeats are rate-limited to one per
+        ``_HEARTBEAT_MIN_INTERVAL_S`` except the first and final unit.
+        """
         with self._lock:
             self._completed += 1
+            completed = self._completed
+            telemetry = self._telemetry
+            if telemetry is None:
+                return
+            now = time.monotonic()
+            if (
+                now - self._last_heartbeat < _HEARTBEAT_MIN_INTERVAL_S
+                and completed != self._total
+            ):
+                return
+            self._last_heartbeat = now
+        telemetry.emit_event(
+            "job.heartbeat",
+            job_id=self.job_id, completed=completed, total=self._total,
+        )
+
+    @property
+    def events(self) -> List[JobEvent]:
+        """Lifecycle transitions so far (copy; exactly one per state)."""
+        with self._lock:
+            return list(self._events)
 
     @property
     def _cancel_event(self) -> threading.Event:
@@ -159,6 +280,7 @@ class JobHandle:
         future = self._future
         if future is not None and future.cancel():
             self._cancelled = True
+            self._emit(JobState.CANCELLED, "cancelled before start")
             return True
         if future is not None and future.done():
             return self.status is JobState.CANCELLED

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Protocol, runtime_checkable
 
 from repro.results import Provenance, RecordTable, StreamingSummary
+from repro.telemetry.core import TelemetrySnapshot
 
 
 @runtime_checkable
@@ -67,6 +68,10 @@ class CampaignRunResult:
             streaming runs (``Session.campaign(..., stream=True)``),
             carrying per-indicator running means, variances, CIs and
             quantile sketches without touching the table.
+        telemetry: Observability snapshot of the run (spans, metrics,
+            events), present when the session enables telemetry.
+            Recorded alongside ``Provenance.execution`` and, like it,
+            deliberately outside the spec digest.
     """
 
     table: RecordTable
@@ -75,3 +80,4 @@ class CampaignRunResult:
     replications: int
     provenance: Optional[Provenance] = None
     aggregate: Optional[StreamingSummary] = None
+    telemetry: Optional[TelemetrySnapshot] = None

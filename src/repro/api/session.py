@@ -29,6 +29,8 @@ from typing import Any, Callable, List, Optional, Sequence, Union
 
 from repro.api.builder import StudyBuilder
 from repro.api.jobs import JobHandle
+from repro.telemetry import Telemetry, configure_logging
+from repro.telemetry.profiling import PROFILE_MODES
 from repro.api.result import CampaignRunResult, RunResult
 from repro.attacks.campaign import AttackCampaign
 from repro.core.study import DiversityStudy, StudyResult
@@ -86,6 +88,18 @@ class Session:
         chunk_size: Work units per pool task (see
             :class:`~repro.exec.runner.ExperimentRunner`); mostly for
             tests that want fine-grained job progress.
+        telemetry: Observability for this session's runs.  ``False``
+            (default) is a no-op fast path; ``True`` records a fresh
+            span/metric/event snapshot per run and attaches it to the
+            result (``result.telemetry``); ``"cprofile"`` /
+            ``"tracemalloc"`` additionally profile each work unit; a
+            :class:`~repro.telemetry.Telemetry` instance accumulates
+            every run into that one caller-owned object.  Telemetry
+            never affects records — snapshots live outside the spec
+            digest, like ``Provenance.execution``.
+        verbose: Attach a DEBUG stderr handler to the ``repro`` logger
+            hierarchy (see :func:`repro.telemetry.configure_logging`);
+            the library is silent by default (``NullHandler``).
 
     Example:
         >>> from repro.api import Session
@@ -106,11 +120,22 @@ class Session:
         catalog_dirs: Optional[Sequence[str]] = None,
         max_parallel_jobs: int = 1,
         chunk_size: Optional[int] = None,
+        telemetry: Union[bool, str, Telemetry] = False,
+        verbose: bool = False,
     ) -> None:
         if max_parallel_jobs < 1:
             raise ValueError(
                 f"max_parallel_jobs must be >= 1, got {max_parallel_jobs}"
             )
+        if isinstance(telemetry, str) and telemetry not in PROFILE_MODES:
+            raise ValueError(
+                f"unknown telemetry profile {telemetry!r}; expected "
+                f"True/False, a Telemetry instance, or one of "
+                f"{[m for m in PROFILE_MODES if m]}"
+            )
+        self._telemetry_mode = telemetry
+        if verbose:
+            configure_logging()
         self.runner = ExperimentRunner(backend, n_workers, chunk_size)
         if registry is not None:
             # A caller-supplied registry is caller-owned: use it as-is
@@ -214,6 +239,32 @@ class Session:
             return target._seed
         return self.default_seed
 
+    # ---- telemetry plumbing ---------------------------------------------
+
+    def _telemetry_for_run(self, source: str) -> Optional[Telemetry]:
+        """The telemetry object one run records into, per session config.
+
+        ``True``/profile modes get a fresh instance per run (so
+        concurrent jobs never share mutable state); a caller-supplied
+        instance is reused as-is and accumulates across runs.
+        """
+        mode = self._telemetry_mode
+        if mode is False or mode is None:
+            return None
+        if isinstance(mode, Telemetry):
+            mode.meta.setdefault("source", source)
+            mode.meta.setdefault("backend", self.backend_name)
+            return mode
+        profile = mode if isinstance(mode, str) else None
+        return Telemetry(
+            profile=profile,
+            meta={
+                "source": source,
+                "backend": self.backend_name,
+                "n_workers": self.runner.n_workers,
+            },
+        )
+
     # ---- synchronous execution ------------------------------------------
 
     def run(
@@ -249,9 +300,18 @@ class Session:
                 "shard= requires a suite (a sequence of targets); a "
                 "single scenario cannot be sharded"
             )
-        suite_result = self._suite(scenarios, shard=shard).run(
-            seed=self._effective_seed(seed, target)
-        )
+        suite = self._suite(scenarios, shard=shard)
+        run_seed = self._effective_seed(seed, target)
+        telemetry = self._telemetry_for_run("session.run")
+        if telemetry is None:
+            suite_result = suite.run(seed=run_seed)
+        else:
+            with telemetry.activate(), telemetry.span("session.run"):
+                suite_result = suite.run(seed=run_seed)
+            snapshot = telemetry.snapshot()
+            suite_result.telemetry = snapshot
+            for scenario_result in suite_result.results:
+                scenario_result.telemetry = snapshot
         if is_suite:
             return suite_result
         return suite_result.results[0]
@@ -270,7 +330,14 @@ class Session:
         self._ensure_open()
         scenario = self._resolve_one(target)
         study = DiversityStudy.from_scenario(scenario, runner=self.runner)
-        return study.execute(self._effective_seed(seed, target))
+        run_seed = self._effective_seed(seed, target)
+        telemetry = self._telemetry_for_run("session.full_study")
+        if telemetry is None:
+            return study.execute(run_seed)
+        with telemetry.activate(), telemetry.span("session.full_study"):
+            result = study.execute(run_seed)
+        result.telemetry = telemetry.snapshot()
+        return result
 
     def campaign(
         self,
@@ -312,32 +379,42 @@ class Session:
         effective_max = self._effective_stream_bound(
             stream, max_records_in_ram
         )
-        if effective_max is None:
+
+        def produce() -> CampaignRunResult:
+            if effective_max is None:
+                table = campaign.run_batch_table(
+                    replications, rng=root, runner=self.runner
+                )
+                return self._campaign_result(
+                    scenario, replications, root, table
+                )
+            aggregate = StreamingSummary()
             table = campaign.run_batch_table(
-                replications, rng=root, runner=self.runner
+                replications,
+                rng=root,
+                runner=self.runner,
+                max_records_in_ram=effective_max,
+                aggregators=(aggregate,),
             )
             return self._campaign_result(
-                scenario, replications, root, table
+                scenario,
+                replications,
+                root,
+                table,
+                aggregate=aggregate,
+                execution={
+                    "stream": True,
+                    "max_records_in_ram": effective_max,
+                },
             )
-        aggregate = StreamingSummary()
-        table = campaign.run_batch_table(
-            replications,
-            rng=root,
-            runner=self.runner,
-            max_records_in_ram=effective_max,
-            aggregators=(aggregate,),
-        )
-        return self._campaign_result(
-            scenario,
-            replications,
-            root,
-            table,
-            aggregate=aggregate,
-            execution={
-                "stream": True,
-                "max_records_in_ram": effective_max,
-            },
-        )
+
+        telemetry = self._telemetry_for_run("session.campaign")
+        if telemetry is None:
+            return produce()
+        with telemetry.activate(), telemetry.span("session.campaign"):
+            result = produce()
+        result.telemetry = telemetry.snapshot()
+        return result
 
     @staticmethod
     def _effective_stream_bound(
@@ -430,11 +507,24 @@ class Session:
         names = ", ".join(s.name for s in scenarios)
 
         def body(job: JobHandle) -> RunResult:
-            result = suite.run(
-                seed=run_seed,
-                on_result=job._advance,
-                cancel=job._cancel_event,
-            )
+            telemetry = job._telemetry
+            if telemetry is None:
+                result = suite.run(
+                    seed=run_seed,
+                    on_result=job._advance,
+                    cancel=job._cancel_event,
+                )
+                return result if is_suite else result.results[0]
+            with telemetry.activate(), telemetry.span("session.run"):
+                result = suite.run(
+                    seed=run_seed,
+                    on_result=job._advance,
+                    cancel=job._cancel_event,
+                )
+            snapshot = telemetry.snapshot()
+            result.telemetry = snapshot
+            for scenario_result in result.results:
+                scenario_result.telemetry = snapshot
             return result if is_suite else result.results[0]
 
         total = len(scenarios)
@@ -442,7 +532,8 @@ class Session:
             index, count = shard
             total = len(range(index, len(scenarios), count))
         return self._submit_job(
-            description or f"run: {names}", total, body
+            description or f"run: {names}", total, body,
+            telemetry=self._telemetry_for_run("session.submit"),
         )
 
     def submit_campaign(
@@ -468,7 +559,7 @@ class Session:
             stream, max_records_in_ram
         )
 
-        def body(job: JobHandle) -> CampaignRunResult:
+        def produce(job: JobHandle) -> CampaignRunResult:
             if effective_max is None:
                 table = campaign.run_batch_table(
                     replications,
@@ -502,11 +593,21 @@ class Session:
                 },
             )
 
+        def body(job: JobHandle) -> CampaignRunResult:
+            telemetry = job._telemetry
+            if telemetry is None:
+                return produce(job)
+            with telemetry.activate(), telemetry.span("session.campaign"):
+                result = produce(job)
+            result.telemetry = telemetry.snapshot()
+            return result
+
         return self._submit_job(
             description
             or f"campaign: {scenario.name} x{replications}",
             replications,
             body,
+            telemetry=self._telemetry_for_run("session.submit_campaign"),
         )
 
     def _submit_job(
@@ -514,6 +615,7 @@ class Session:
         description: str,
         total_units: int,
         body: Callable[[JobHandle], Any],
+        telemetry: Optional[Telemetry] = None,
     ) -> JobHandle:
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
@@ -521,6 +623,9 @@ class Session:
                 thread_name_prefix="repro-api-job",
             )
         handle = JobHandle(description, total_units)
+        # Attach before binding so every transition after PENDING (which
+        # _attach_telemetry replays) is forwarded as a telemetry event.
+        handle._attach_telemetry(telemetry)
         handle._bind(self._executor.submit(handle._run, body))
         self._jobs = [ref for ref in self._jobs if ref() is not None]
         self._jobs.append(weakref.ref(handle))

@@ -38,6 +38,9 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.telemetry.core import current as _current_telemetry
+from repro.telemetry.core import trace as _span
+
 if TYPE_CHECKING:  # avoid import cost on the hot serial path
     from repro.exec.runner import ExperimentRunner
     from repro.exec.seeding import SeedLike
@@ -893,6 +896,7 @@ class AttackCampaign:
         def on_tick(now: float) -> None:
             if state["done"]:
                 return
+            state["ticks"] = state.get("ticks", 0) + 1
             dt_seconds = cfg.tick_interval * 3600.0
             plant.step(registers, dt=dt_seconds)
             damage.update(plant.stress_level(), dt_seconds, now)
@@ -1073,6 +1077,7 @@ class AttackCampaign:
             nonlocal plant
             elided["suspended"] = True
             j = traj.ticks_at_or_before(now)
+            elided["resume_tick"] = j
             plant = traj.plant_at(j)
             registers.clear()
             registers.update(traj.registers_at(j))
@@ -1106,7 +1111,30 @@ class AttackCampaign:
             _advance_milestones()
         else:
             engine.schedule(cfg.tick_interval, lambda ev: on_tick(ev.time))
-        engine.run(horizon=cfg.horizon)
+        with _span("campaign.replication"):
+            engine.run(horizon=cfg.horizon)
+
+        # Telemetry accounting happens after the event loop has fully
+        # settled and touches no RNG or simulation state, so enabling it
+        # can never perturb the outcome.
+        telemetry = _current_telemetry()
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            metrics.inc("campaign.replications")
+            metrics.inc("campaign.ticks_executed", state.get("ticks", 0))
+            if elide:
+                if elided["suspended"]:
+                    metrics.inc("campaign.sabotage_resumes")
+                    metrics.inc(
+                        "campaign.ticks_elided", int(elided["resume_tick"])
+                    )
+                else:
+                    metrics.inc(
+                        "campaign.ticks_elided",
+                        traj.ticks_at_or_before(
+                            min(engine.now, cfg.horizon)
+                        ),
+                    )
 
         return AttackOutcome(
             success=not math.isnan(state["success_time"]),

@@ -50,10 +50,20 @@ _PAIR_SUFFIXES = (
     ("_session", ""),
 )
 
+#: ``{fast benchmark: reference benchmark}`` pairs the suffix
+#: conventions cannot express.  perf_telemetry_overhead reruns exactly
+#: the perf_suite_run workload with telemetry recording enabled; its
+#: "speedup" is the overhead ratio (expected ~1.0, gated by
+#: scripts/ci.sh).
+_PAIR_EXPLICIT = {
+    "perf_telemetry_overhead": "perf_suite_run",
+}
+
 DEFAULT_TARGETS = [
     "benchmarks/test_bench_perf_substrates.py",
     "benchmarks/test_bench_perf_campaign.py",
     "benchmarks/test_bench_perf_streaming.py",
+    "benchmarks/test_bench_perf_telemetry.py",
 ]
 
 #: Median regression (as a fraction of the baseline median) tolerated
@@ -86,6 +96,12 @@ def derive_speedups(
     """``{fast benchmark: reference_mean / fast_mean}`` over known pairs."""
     speedups: Dict[str, float] = {}
     for name, stats in results.items():
+        reference_name = _PAIR_EXPLICIT.get(name)
+        if reference_name is not None:
+            reference = results.get(reference_name)
+            if reference is not None and stats["mean_s"] > 0:
+                speedups[name] = reference["mean_s"] / stats["mean_s"]
+            continue
         for fast_suffix, ref_suffix in _PAIR_SUFFIXES:
             if fast_suffix and not name.endswith(fast_suffix):
                 continue

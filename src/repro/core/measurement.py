@@ -30,6 +30,7 @@ from repro.results import (
     summarize_records,
 )
 from repro.scada.network import SCADANetwork
+from repro.telemetry.core import trace
 
 
 def outcome_table(
@@ -192,15 +193,16 @@ class MeasurementPlan:
         back as one compact :class:`~repro.results.RecordTable` (column
         buffers, not a pickled dict list) plus its indicator set.
         """
-        campaign = self.campaign_for_run(run_index)
-        outcomes = [
-            campaign.run(np.random.default_rng(child))
-            for child in seq.spawn(self.replications)
-        ]
-        table = self._table_for_run(
-            self.design.runs[run_index], run_index, outcomes
-        )
-        return table, compute_indicators(outcomes)
+        with trace("measurement.run"):
+            campaign = self.campaign_for_run(run_index)
+            outcomes = [
+                campaign.run(np.random.default_rng(child))
+                for child in seq.spawn(self.replications)
+            ]
+            table = self._table_for_run(
+                self.design.runs[run_index], run_index, outcomes
+            )
+            return table, compute_indicators(outcomes)
 
     def spec_payload(self) -> Dict[str, object]:
         """Best-effort canonical description of this plan (provenance).

@@ -46,6 +46,7 @@ from repro.results import Provenance, RecordTable
 from repro.san.model import SANModel
 from repro.scada.components import ComponentKind
 from repro.scada.network import SCADANetwork
+from repro.telemetry.core import TelemetrySnapshot
 
 
 @dataclass
@@ -62,6 +63,9 @@ class StudyResult:
         provenance: Reproduction record of the measurement execution
             (mirrors ``measurement.provenance``; ``None`` on the legacy
             shared-generator path).
+        telemetry: Observability snapshot of the run (set by
+            :class:`~repro.api.Session` when telemetry is enabled);
+            outside the spec digest.
     """
 
     design: Design
@@ -71,6 +75,7 @@ class StudyResult:
     attack_tree: AttackTree
     factors: List[Factor]
     provenance: Optional[Provenance] = None
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def table(self) -> RecordTable:

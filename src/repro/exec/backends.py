@@ -23,6 +23,7 @@ for the same work list.
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import (
     Executor,
     ProcessPoolExecutor,
@@ -31,6 +32,8 @@ from concurrent.futures import (
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.core import Telemetry
 
 #: Seconds between cancellation checks while waiting on an in-flight
 #: chunk (pool backends only; the serial backend checks every unit).
@@ -75,6 +78,27 @@ def run_chunk(chunk: Sequence[WorkUnit]) -> List[Tuple[int, Any]]:
     return [(unit.index, unit.fn(*unit.args)) for unit in chunk]
 
 
+def run_chunk_captured(
+    chunk: Sequence[WorkUnit], spec: Dict[str, Any]
+) -> Tuple[List[Tuple[int, Any]], Dict[str, Any]]:
+    """Execute a chunk under a fresh worker-side telemetry capture.
+
+    Used by the pool backends when the coordinator has telemetry
+    active: the chunk runs with its own :class:`Telemetry` installed
+    (spans/metrics recorded by the work functions land there) and the
+    serialized delta travels back with the results for the coordinator
+    to merge in submission order.  Telemetry never touches RNG state,
+    so the results are bit-identical to the uncaptured path.
+
+    Module-level so :class:`ProcessBackend` can pickle it.
+    """
+    telemetry = Telemetry(profile=spec.get("profile"))
+    with telemetry.activate(), telemetry.profile_scope():
+        with telemetry.tracer.span("exec.chunk"):
+            pairs = [(unit.index, unit.fn(*unit.args)) for unit in chunk]
+    return pairs, telemetry.delta()
+
+
 def make_chunks(
     units: Sequence[WorkUnit], chunk_size: int
 ) -> List[List[WorkUnit]]:
@@ -112,6 +136,13 @@ class ExecutionBackend:
     the return value is an empty list.  This is what bounds the
     coordinator's memory on million-unit streaming campaigns — nothing
     accumulates per unit.
+
+    ``telemetry`` (optional) is the coordinator's active
+    :class:`~repro.telemetry.Telemetry`.  Pool backends then dispatch
+    chunks through :func:`run_chunk_captured`, record per-chunk wait
+    times (``exec.chunk_wait_ms``) and fold each worker delta back in
+    submission order; the serial backend applies the opt-in profiler
+    in-process.  ``None`` (the default) is the untouched fast path.
     """
 
     #: Registry key (``serial`` / ``thread`` / ``process``).
@@ -127,6 +158,7 @@ class ExecutionBackend:
         on_result: Optional[ResultCallback] = None,
         cancel: Optional[Any] = None,
         collect: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> List[Any]:
         raise NotImplementedError
 
@@ -147,6 +179,21 @@ class SerialBackend(ExecutionBackend):
         on_result: Optional[ResultCallback] = None,
         cancel: Optional[Any] = None,
         collect: bool = True,
+        telemetry: Optional[Telemetry] = None,
+    ) -> List[Any]:
+        # Serial units record spans/metrics inline on the already-active
+        # telemetry; only the opt-in profiler needs wrapping here.
+        if telemetry is not None and telemetry.profile is not None:
+            with telemetry.profile_scope():
+                return self._run_units(units, on_result, cancel, collect)
+        return self._run_units(units, on_result, cancel, collect)
+
+    @staticmethod
+    def _run_units(
+        units: Sequence[WorkUnit],
+        on_result: Optional[ResultCallback],
+        cancel: Optional[Any],
+        collect: bool,
     ) -> List[Any]:
         if on_result is None and cancel is None and collect:
             return [unit.fn(*unit.args) for unit in units]
@@ -181,18 +228,39 @@ class _PoolBackend(ExecutionBackend):
         on_result: Optional[ResultCallback] = None,
         cancel: Optional[Any] = None,
         collect: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> List[Any]:
         if not units:
             return []
         chunks = make_chunks(units, chunk_size)
+        spec = telemetry.worker_spec() if telemetry is not None else None
         collected: Dict[int, Any] = {}
         done = [0]
         pool = self._make_executor(n_workers)
         try:
-            futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+            if spec is None:
+                futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+            else:
+                futures = [
+                    pool.submit(run_chunk_captured, chunk, spec)
+                    for chunk in chunks
+                ]
             try:
                 for future in futures:
-                    pairs = self._collect(future, cancel, done, units)
+                    if telemetry is None:
+                        pairs = self._collect(future, cancel, done, units)
+                    else:
+                        wait_t0 = time.perf_counter()
+                        pairs, delta = self._collect(
+                            future, cancel, done, units
+                        )
+                        telemetry.metrics.observe(
+                            "exec.chunk_wait_ms",
+                            (time.perf_counter() - wait_t0) * 1000.0,
+                        )
+                        # Submission-order merge keeps the span tree and
+                        # event order deterministic for a fixed chunking.
+                        telemetry.merge_delta(delta)
                     for index, result in pairs:
                         done[0] += 1
                         if collect:

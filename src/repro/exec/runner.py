@@ -9,6 +9,8 @@ produces bit-identical results for the same root seed.
 
 from __future__ import annotations
 
+import logging
+import math
 import os
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
@@ -21,6 +23,9 @@ from repro.exec.backends import (
     get_backend,
 )
 from repro.exec.seeding import SeedLike, as_seed_sequence, spawn_sequences
+from repro.telemetry.core import current as _current_telemetry
+
+_LOG = logging.getLogger(__name__)
 
 
 def _call_with_generator(
@@ -134,14 +139,36 @@ class ExperimentRunner:
         chunk = self.chunk_size or default_chunk_size(
             len(units), self.n_workers
         )
-        return self.backend.run(
-            units,
-            self.n_workers,
-            chunk,
-            on_result=on_result,
-            cancel=cancel,
-            collect=collect,
+        n_chunks = math.ceil(len(units) / chunk) if units else 0
+        _LOG.debug(
+            "dispatching %d units in %d chunks on %s (%d workers)",
+            len(units), n_chunks, self.backend.name, self.n_workers,
         )
+        telemetry = _current_telemetry()
+        if telemetry is None:
+            return self.backend.run(
+                units,
+                self.n_workers,
+                chunk,
+                on_result=on_result,
+                cancel=cancel,
+                collect=collect,
+            )
+        with telemetry.span("exec.map"):
+            metrics = telemetry.metrics
+            metrics.inc("exec.dispatches")
+            metrics.inc("exec.units", len(units))
+            metrics.inc("exec.chunks", n_chunks)
+            metrics.gauge("exec.n_workers", self.n_workers)
+            return self.backend.run(
+                units,
+                self.n_workers,
+                chunk,
+                on_result=on_result,
+                cancel=cancel,
+                collect=collect,
+                telemetry=telemetry,
+            )
 
     def run_replications(
         self,

@@ -25,15 +25,26 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 import zipfile
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.results.table import RecordTable
+from repro.telemetry.core import metric_inc
+
+_LOG = logging.getLogger(__name__)
 
 #: Reserved metadata key naming the shard files of a manifest entry.
 SHARD_MANIFEST_KEY = "__shards__"
+
+
+def _size_of(path: str) -> int:
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0
 
 
 def canonical_json(payload: Mapping[str, object]) -> str:
@@ -127,20 +138,36 @@ class ResultCache:
                 KeyError,
                 zipfile.BadZipFile,
             ):
+                _LOG.debug("cache entry %s unreadable, treating as miss", key)
+                metric_inc("cache.miss.corrupt")
                 return None
+            metric_inc(
+                "cache.bytes_read", _size_of(table_path) + _size_of(meta_path)
+            )
             return table, meta
         from repro.results.streaming import ShardedRecordTable, TableShard
 
         try:
             columns = list(manifest["columns"])
             parts: List[TableShard] = []
+            total_bytes = _size_of(meta_path)
             for entry in manifest["shards"]:
                 path = os.path.join(self.root, entry["file"])
                 if not os.path.exists(path):
+                    _LOG.debug(
+                        "cache entry %s names missing shard %s "
+                        "(torn manifest), treating as miss",
+                        key, entry.get("file"),
+                    )
+                    metric_inc("cache.miss.torn_manifest")
                     return None  # torn manifest
+                total_bytes += _size_of(path)
                 parts.append(TableShard(path, int(entry["rows"]), columns))
         except (TypeError, KeyError, ValueError):
+            _LOG.debug("cache entry %s has a bad manifest, treating as miss", key)
+            metric_inc("cache.miss.corrupt")
             return None
+        metric_inc("cache.bytes_read", total_bytes)
         return ShardedRecordTable(parts), meta
 
     def store(
@@ -166,11 +193,13 @@ class ResultCache:
         os.makedirs(self.root, exist_ok=True)
         table_path, meta_path = self._paths(key)
         meta_out: Dict[str, object] = dict(meta)
+        written = 0
         if isinstance(table, ShardedRecordTable):
             shards = []
             for index, chunk in enumerate(table.iter_chunks()):
                 path = self._shard_path(key, index)
                 self._write_atomic(path, chunk.save_npz)
+                written += _size_of(path)
                 shards.append(
                     {"file": os.path.basename(path), "rows": len(chunk)}
                 )
@@ -180,6 +209,7 @@ class ResultCache:
             }
         else:
             self._write_atomic(table_path, table.save_npz)
+            written += _size_of(table_path)
         payload = json.dumps(meta_out, indent=2, sort_keys=True)
 
         def write_meta(path: str) -> None:
@@ -187,6 +217,9 @@ class ResultCache:
                 handle.write(payload)
 
         self._write_atomic(meta_path, write_meta)
+        metric_inc("cache.stores")
+        metric_inc("cache.bytes_written", written + _size_of(meta_path))
+        _LOG.debug("cache stored %s (%d bytes)", key, written)
 
     def _write_atomic(self, path, writer) -> None:
         fd, tmp = tempfile.mkstemp(

@@ -33,6 +33,7 @@ in-RAM ``summarize_records`` within ~1e-9 regardless of chunking.
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import shutil
@@ -58,6 +59,9 @@ from repro.results.table import (
     RecordTable,
     summary_from_means,
 )
+from repro.telemetry.core import metric_gauge, metric_inc
+
+_LOG = logging.getLogger(__name__)
 
 #: Default in-RAM row budget of streaming tables (rows, not bytes —
 #: a 4-column float table at the default is ~2 MiB resident).
@@ -123,6 +127,7 @@ class TableShard:
         return 0
 
     def load(self) -> RecordTable:
+        metric_inc("streaming.shard_loads")
         return RecordTable.load_npz(self.path)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -579,6 +584,7 @@ class StreamingTableBuilder:
             self._buffered_rows += take
             self._rows_total += take
             offset += take
+            metric_gauge("streaming.peak_resident_rows", self._buffered_rows)
             if self._buffered_rows >= limit:
                 self._spill()
 
@@ -599,6 +605,15 @@ class StreamingTableBuilder:
         combined.save_npz(path)
         self._parts.append(
             TableShard(path, len(combined), combined.columns)
+        )
+        metric_inc("streaming.spills")
+        try:
+            metric_inc("streaming.bytes_spilled", os.path.getsize(path))
+        except OSError:  # pragma: no cover - fs race
+            pass
+        _LOG.debug(
+            "spilled shard %d (%d rows) to %s",
+            self._shard_index, len(combined), path,
         )
         self._shard_index += 1
         self._buffer = []

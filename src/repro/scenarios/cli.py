@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.report import format_table
 from repro.exec.backends import available_backends
 from repro.scenarios.registry import SCENARIOS, ScenarioRegistry
+from repro.telemetry import Telemetry
 
 
 def _registry_for(args: argparse.Namespace) -> ScenarioRegistry:
@@ -102,12 +102,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
     shard = _parse_shard(args.shard)
+    # The CLI owns one Telemetry for the whole invocation: the wall
+    # clock the user sees IS the recorded session.run span, and
+    # --telemetry exports the same numbers for offline inspection
+    # (python -m repro.telemetry report FILE).
+    telemetry = Telemetry(meta={"source": "scenarios.cli"})
     with Session(
         backend=args.backend,
         n_workers=args.n_workers,
         seed=args.seed,
         cache_dir=args.cache_dir,
         registry=registry,
+        telemetry=telemetry,
+        verbose=args.verbose,
     ) as session:
         plural = "s" if len(names) != 1 else ""
         extras = ""
@@ -119,12 +126,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"running {len(names)} scenario{plural} on backend "
             f"{args.backend!r} (seed {args.seed}{extras}) ..."
         )
-        started = time.perf_counter()
         result = session.run(names, shard=shard)
-        elapsed = time.perf_counter() - started
+    snapshot = result.telemetry
+    elapsed = snapshot.total_seconds("session.run")
     print()
     print(result.comparison_report())
     print(f"\ncompleted in {elapsed:.1f}s")
+    if args.telemetry:
+        snapshot.save(args.telemetry)
+        print(f"telemetry snapshot written to {args.telemetry}")
     return 0
 
 
@@ -190,6 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="I/N",
         help="run only shard I of N (seeded as if the whole suite ran; "
         "merge shards with SuiteResult.merge)",
+    )
+    p_run.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="DEBUG logging to stderr (cache hits/misses, dispatch, "
+        "job transitions)",
+    )
+    p_run.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        help="write the run's telemetry snapshot as JSON; inspect with "
+        "python -m repro.telemetry report FILE",
     )
     p_run.set_defaults(func=_cmd_run)
     return parser

@@ -29,6 +29,7 @@ Two scale features ride on the same seeding discipline:
 
 from __future__ import annotations
 
+import logging
 import warnings
 from dataclasses import dataclass
 from typing import (
@@ -66,6 +67,9 @@ from repro.results import (
 from repro.results.streaming import LazyPart, ShardedRecordTable
 from repro.scenarios.registry import SCENARIOS, ScenarioRegistry
 from repro.scenarios.spec import Scenario
+from repro.telemetry.core import TelemetrySnapshot, metric_inc, trace
+
+_LOG = logging.getLogger(__name__)
 
 #: Sentinel distinguishing "argument omitted" from an explicit value in
 #: deprecated signatures.
@@ -99,6 +103,10 @@ class ScenarioRunResult(TableRecordsMixin):
             backend, library version) — set by the executing suite or
             session; ``None`` on results rebuilt from bare cache entries
             outside a run.
+        telemetry: Observability snapshot of the run that produced this
+            result (set by :class:`~repro.api.Session` when telemetry
+            is enabled).  Like ``Provenance.execution``, deliberately
+            outside the spec digest — never part of cache keys.
     """
 
     scenario: Scenario
@@ -109,6 +117,7 @@ class ScenarioRunResult(TableRecordsMixin):
     n_runs: int
     replications: int
     provenance: Optional[Provenance] = None
+    telemetry: Optional[TelemetrySnapshot] = None
 
 
 def _summarize(
@@ -147,7 +156,8 @@ def _execute_scenario(
         replications=study.replications,
         campaign_config=study.campaign_config,
     )
-    measurement = plan.execute(seq, max_records_in_ram=max_records_in_ram)
+    with trace("scenario.execute"):
+        measurement = plan.execute(seq, max_records_in_ram=max_records_in_ram)
     top_targets: Dict[str, str] = {}
     try:
         assessment = assess(measurement)
@@ -196,11 +206,15 @@ class SuiteResult:
             when the run was given streaming aggregators (see
             :meth:`ScenarioSuite.run`); :meth:`merge` combines them in
             O(summary).
+        telemetry: Observability snapshot of the run (set by
+            :class:`~repro.api.Session` when telemetry is enabled);
+            outside the spec digest, ``None`` on merged results.
     """
 
     results: List[ScenarioRunResult]
     provenance: Optional[Provenance] = None
     aggregate: Optional[SuiteStreamingAggregator] = None
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def table(self) -> RecordTable:
@@ -556,6 +570,19 @@ class ScenarioSuite:
                 materializes tables at the pickling boundary, so use
                 ``serial``/``thread`` for out-of-core suites.
         """
+        with trace("suite.run"):
+            return self._run_impl(
+                seed, on_result, cancel, aggregators, max_records_in_ram
+            )
+
+    def _run_impl(
+        self,
+        seed: SeedLike,
+        on_result: Optional[Callable[[ScenarioRunResult], None]],
+        cancel: Optional[Any],
+        aggregators: Sequence[Callable[[ScenarioRunResult], None]],
+        max_records_in_ram: Optional[int],
+    ) -> SuiteResult:
         root = as_seed_sequence(seed)
         sequences = spawn_sequences(root, len(self.scenarios))
         pairs = list(zip(self.scenarios, sequences))
@@ -600,9 +627,19 @@ class ScenarioSuite:
                 key = self._cache_key(spec_dicts[position], seq)
                 hit = self.cache.load(key)
                 if hit is not None:
+                    metric_inc("cache.hit")
+                    _LOG.debug(
+                        "cache hit: scenario %s (key %.12s...)",
+                        scenario.name, key,
+                    )
                     results[position] = self._result_from_cache(*hit)
                     deliver(position, results[position])
                     continue
+                metric_inc("cache.miss")
+                _LOG.debug(
+                    "cache miss: scenario %s (key %.12s...)",
+                    scenario.name, key,
+                )
             pending.append((position, seq, key))
         if pending:
             unit_hook = None
@@ -658,5 +695,9 @@ class ScenarioSuite:
         """
         try:
             self.cache.store(key, result.table, self._result_meta(result))
-        except (TypeError, OSError):
-            pass
+        except (TypeError, OSError) as exc:
+            metric_inc("cache.store_failures")
+            _LOG.debug(
+                "cache store failed for scenario %s: %s",
+                result.scenario.name, exc,
+            )

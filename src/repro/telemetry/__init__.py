@@ -1,0 +1,62 @@
+"""``repro.telemetry`` — tracing, metrics and profiling for experiments.
+
+The observability substrate for the whole stack (api → scenarios →
+exec → attacks/core → results):
+
+* **Spans** — ``with trace("suite.run"): ...`` context managers feed an
+  *aggregated* timing tree (one node per span path with
+  count/total/min/max), cheap enough for million-replication campaigns.
+* **Metrics** — a registry of counters (``cache.hit``,
+  ``streaming.spills``, ``campaign.ticks_elided``, ...), gauges with
+  peak tracking, and scalar-summary histograms
+  (``exec.chunk_wait_ms``).
+* **Profiling** — opt-in cProfile hot-spot tables or tracemalloc peaks
+  wrapped around work units.
+* **Events** — discrete job-lifecycle records (state transitions,
+  progress heartbeats).
+
+Activation is contextual: create a :class:`Telemetry`, enter
+``telemetry.activate()``, and every instrumented seam below records
+into it; with nothing active all hooks are single-lookup no-ops.
+Worker processes capture their own deltas per chunk and the
+coordinator merges them in submission order, so results stay
+bit-identical with telemetry on or off.
+
+Snapshots ride on results (``RunResult.telemetry``), serialize to JSON
+or JSON-lines, and render via ``python -m repro.telemetry report``.
+"""
+
+from repro.telemetry.core import (
+    MetricsRegistry,
+    SpanNode,
+    Telemetry,
+    TelemetrySnapshot,
+    Tracer,
+    current,
+    emit_event,
+    metric_gauge,
+    metric_inc,
+    metric_observe,
+    trace,
+)
+from repro.telemetry.log import configure_logging
+from repro.telemetry.profiling import HotspotTable
+from repro.telemetry.report import load_telemetry, render_snapshot
+
+__all__ = [
+    "HotspotTable",
+    "MetricsRegistry",
+    "SpanNode",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "Tracer",
+    "configure_logging",
+    "current",
+    "emit_event",
+    "load_telemetry",
+    "metric_gauge",
+    "metric_inc",
+    "metric_observe",
+    "render_snapshot",
+    "trace",
+]

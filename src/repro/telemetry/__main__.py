@@ -1,0 +1,60 @@
+"""``python -m repro.telemetry`` — inspect saved telemetry snapshots.
+
+Subcommands:
+
+* ``report FILE`` — render the phase-timing tree, cache stats and
+  throughput of a snapshot saved by ``TelemetrySnapshot.save`` (JSON)
+  or ``export_jsonl`` (JSON lines).
+* ``export FILE -o OUT.jsonl`` — re-export a snapshot as JSON lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.telemetry.report import load_telemetry
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect saved repro telemetry snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render a snapshot as a human-readable report"
+    )
+    report.add_argument("file", help="snapshot path (.json or .jsonl)")
+    report.add_argument(
+        "--top", type=int, default=10,
+        help="hot-spot rows to show (default: 10)",
+    )
+
+    export = sub.add_parser(
+        "export", help="re-export a snapshot as JSON lines"
+    )
+    export.add_argument("file", help="snapshot path (.json or .jsonl)")
+    export.add_argument(
+        "-o", "--output", required=True, help="JSONL output path"
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        snapshot = load_telemetry(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.command == "report":
+        print(snapshot.render(top=args.top))
+        return 0
+    snapshot.export_jsonl(args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

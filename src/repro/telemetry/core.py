@@ -1,0 +1,547 @@
+"""Span tracer, metrics registry and the active-telemetry context.
+
+Design constraints (see ``repro.telemetry`` package docstring):
+
+* **Disabled is free.** Every instrumentation helper (:func:`trace`,
+  :func:`metric_inc`, ...) resolves the active :class:`Telemetry`
+  through a single :class:`contextvars.ContextVar` read and returns
+  immediately when none is active.  Hot loops never pay more than that
+  one lookup, and the shared :data:`_NULL_SPAN` makes ``with trace(...)``
+  allocation-free when telemetry is off.
+
+* **Aggregated spans, not event logs.** A Monte-Carlo campaign enters
+  the same spans millions of times; recording one object per entry
+  would perturb the memory profile it is meant to observe.  The tracer
+  therefore keeps an *aggregated* tree: one node per distinct span
+  path, carrying ``count/total_s/min_s/max_s``.  Child order is
+  first-seen, which makes merging deterministic when worker deltas are
+  folded in submission order.
+
+* **Process-safe by value.** Worker-side capture serializes a plain
+  ``dict`` delta (:meth:`Telemetry.delta`) back with the chunk results;
+  the coordinator folds it under its current cursor with
+  :meth:`Telemetry.merge_delta`.  Nothing here touches RNG state, so
+  telemetry can never perturb bit-identity.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.telemetry.profiling import HotspotTable, profile_scope
+
+__all__ = [
+    "MetricsRegistry",
+    "SpanNode",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "Tracer",
+    "current",
+    "emit_event",
+    "metric_gauge",
+    "metric_inc",
+    "metric_observe",
+    "trace",
+]
+
+_ACTIVE: "contextvars.ContextVar[Optional[Telemetry]]" = contextvars.ContextVar(
+    "repro_telemetry_active", default=None
+)
+
+
+def current() -> Optional["Telemetry"]:
+    """The :class:`Telemetry` active in this thread/context, if any."""
+    return _ACTIVE.get()
+
+
+class SpanNode:
+    """One node of the aggregated span tree.
+
+    Attributes:
+        name: Span name (one path segment, e.g. ``"suite.run"``).
+        count: Number of times the span was entered.
+        total_s: Summed wall-clock seconds across entries.
+        min_s / max_s: Fastest / slowest single entry.
+        children: Child nodes keyed by name, in first-seen order.
+    """
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+        self.children: Dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        """The child node for ``name``, created on first use."""
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def record(self, elapsed_s: float) -> None:
+        """Fold one completed entry into the aggregate."""
+        self.count += 1
+        self.total_s += elapsed_s
+        if elapsed_s < self.min_s:
+            self.min_s = elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
+    def merge(self, other: Mapping[str, Any]) -> None:
+        """Fold a serialized node (:meth:`to_dict` shape) into this one.
+
+        Children unknown on this side are appended, preserving the
+        incoming order after the existing one — deterministic as long
+        as deltas are merged in a deterministic order.
+        """
+        self.count += int(other.get("count", 0))
+        self.total_s += float(other.get("total_s", 0.0))
+        other_min = float(other.get("min_s", float("inf")))
+        other_max = float(other.get("max_s", 0.0))
+        if other_min < self.min_s:
+            self.min_s = other_min
+        if other_max > self.max_s:
+            self.max_s = other_max
+        for name, child in other.get("children", {}).items():
+            self.child(name).merge(child)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON- and pickle-safe)."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+            "children": {
+                name: child.to_dict() for name, child in self.children.items()
+            },
+        }
+
+    def walk(self, path: str = "") -> Iterator[tuple]:
+        """Yield ``(path, node)`` depth-first in first-seen order."""
+        here = f"{path}/{self.name}" if path else self.name
+        yield here, self
+        for child in self.children.values():
+            yield from child.walk(here)
+
+
+class _Span:
+    """Live ``with`` handle for one span entry (enabled path)."""
+
+    __slots__ = ("_tracer", "_node", "_parent", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._parent = tracer._cursor
+        self._node = self._parent.child(name)
+
+    def __enter__(self) -> "_Span":
+        self._tracer._cursor = self._node
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._node.record(time.perf_counter() - self._t0)
+        self._tracer._cursor = self._parent
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span used when no telemetry is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Aggregated span-tree recorder.
+
+    The tracer keeps a cursor into the tree; ``with tracer.span(name)``
+    descends for the duration of the block.  One tracer belongs to one
+    :class:`Telemetry` and is only ever touched from the context it is
+    active in (worker captures get their own instance), so no locking
+    is needed on the hot path.
+    """
+
+    __slots__ = ("root", "_cursor")
+
+    def __init__(self) -> None:
+        self.root = SpanNode("run")
+        self._cursor = self.root
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing one entry of span ``name``."""
+        return _Span(self, name)
+
+
+class MetricsRegistry:
+    """Counters, gauges and scalar-summary histograms.
+
+    * ``inc``: monotonically accumulated counters (merge = sum).
+    * ``gauge``: last-written value, with the maximum ever written
+      tracked alongside (for peaks such as resident row counts).
+    * ``observe``: histogram-style scalar summaries storing
+      ``count/total/min/max`` per series (e.g. per-chunk wait times) —
+      deliberately not full reservoirs, so size is O(#series).
+    """
+
+    __slots__ = ("counters", "gauges", "gauge_maxima", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.gauge_maxima: Dict[str, float] = {}
+        self.histograms: Dict[str, Dict[str, float]] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``; its running maximum is kept as well."""
+        self.gauges[name] = value
+        if value > self.gauge_maxima.get(name, float("-inf")):
+            self.gauge_maxima[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the scalar summary for series ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            self.histograms[name] = {
+                "count": 1.0, "total": value, "min": value, "max": value,
+            }
+            return
+        hist["count"] += 1.0
+        hist["total"] += value
+        if value < hist["min"]:
+            hist["min"] = value
+        if value > hist["max"]:
+            hist["max"] = value
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        """Current value of counter ``name``."""
+        return self.counters.get(name, default)
+
+    def merge(self, other: Mapping[str, Any]) -> None:
+        """Fold a serialized registry (:meth:`to_dict` shape) in."""
+        for name, value in other.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in other.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, value in other.get("gauge_maxima", {}).items():
+            if value > self.gauge_maxima.get(name, float("-inf")):
+                self.gauge_maxima[name] = value
+        for name, hist in other.get("histograms", {}).items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = dict(hist)
+                continue
+            mine["count"] += hist["count"]
+            mine["total"] += hist["total"]
+            if hist["min"] < mine["min"]:
+                mine["min"] = hist["min"]
+            if hist["max"] > mine["max"]:
+                mine["max"] = hist["max"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON- and pickle-safe)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "gauge_maxima": dict(self.gauge_maxima),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+
+class Telemetry:
+    """One recording session: tracer + metrics + events + hot spots.
+
+    Create one per run (or per worker chunk), activate it with
+    :meth:`activate`, and read the result out as a
+    :class:`TelemetrySnapshot` (coordinator side) or a plain delta dict
+    (worker side, via :meth:`delta`).
+
+    Args:
+        profile: Opt-in profiling mode — ``None`` (off), ``"cprofile"``
+            (deterministic profiler feeding the hot-spot table) or
+            ``"tracemalloc"`` (allocation peaks as metrics).
+        meta: Free-form annotations carried on snapshots (source,
+            backend, ...).
+    """
+
+    def __init__(
+        self,
+        profile: Optional[str] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.hotspots = HotspotTable()
+        self.events: List[Dict[str, Any]] = []
+        self.profile = profile
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self._event_lock = threading.Lock()
+
+    # -- context management -------------------------------------------
+
+    def activate(self) -> "_Activation":
+        """Context manager installing this telemetry as :func:`current`."""
+        return _Activation(self)
+
+    def span(self, name: str) -> _Span:
+        """Shorthand for ``self.tracer.span(name)``."""
+        return self.tracer.span(name)
+
+    def profile_scope(self):
+        """Context manager applying the opt-in profiler, if configured."""
+        return profile_scope(self.profile, self.hotspots, self.metrics.observe)
+
+    # -- events --------------------------------------------------------
+
+    def emit_event(self, kind: str, **payload: Any) -> None:
+        """Append a discrete event record (job transitions, heartbeats).
+
+        Thread-safe: job bodies and their submitters may share one
+        telemetry instance.
+        """
+        event = {"kind": kind, **payload}
+        with self._event_lock:
+            event["seq"] = len(self.events)
+            self.events.append(event)
+
+    # -- worker-delta plumbing ----------------------------------------
+
+    def worker_spec(self) -> Dict[str, Any]:
+        """Picklable config a worker needs to open its own capture."""
+        return {"profile": self.profile}
+
+    def delta(self) -> Dict[str, Any]:
+        """Serialize everything recorded here as a plain-dict delta."""
+        return {
+            "spans": self.tracer.root.to_dict(),
+            "metrics": self.metrics.to_dict(),
+            "hotspots": self.hotspots.to_dict(),
+            "events": list(self.events),
+        }
+
+    def merge_delta(self, delta: Mapping[str, Any]) -> None:
+        """Fold a worker delta in under the tracer's current cursor.
+
+        Call in submission order: first-seen child ordering makes the
+        resulting tree identical run-to-run for a fixed chunking.
+        """
+        spans = delta.get("spans")
+        if spans:
+            for name, child in spans.get("children", {}).items():
+                self.tracer._cursor.child(name).merge(child)
+        metrics = delta.get("metrics")
+        if metrics:
+            self.metrics.merge(metrics)
+        hotspots = delta.get("hotspots")
+        if hotspots:
+            self.hotspots.merge(hotspots)
+        for event in delta.get("events", ()):
+            payload = {k: v for k, v in event.items() if k not in ("kind", "seq")}
+            self.emit_event(event.get("kind", "event"), **payload)
+
+    # -- output --------------------------------------------------------
+
+    def snapshot(self) -> "TelemetrySnapshot":
+        """Freeze the current state into a plain-data snapshot."""
+        return TelemetrySnapshot(
+            spans=self.tracer.root.to_dict(),
+            metrics=self.metrics.to_dict(),
+            hotspots=self.hotspots.to_dict(),
+            events=list(self.events),
+            meta=dict(self.meta),
+        )
+
+
+class _Activation:
+    """``with telemetry.activate():`` — sets/restores :data:`_ACTIVE`."""
+
+    __slots__ = ("_telemetry", "_token")
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self._telemetry = telemetry
+
+    def __enter__(self) -> Telemetry:
+        self._token = _ACTIVE.set(self._telemetry)
+        return self._telemetry
+
+    def __exit__(self, *exc_info: object) -> bool:
+        _ACTIVE.reset(self._token)
+        return False
+
+
+class TelemetrySnapshot:
+    """Immutable plain-data view of one telemetry session.
+
+    This is what rides on ``RunResult.telemetry`` — recorded alongside
+    ``Provenance.execution`` and, like it, deliberately **outside** the
+    spec digest: observability must never change what a run *is*.
+    """
+
+    __slots__ = ("spans", "metrics", "hotspots", "events", "meta")
+
+    def __init__(
+        self,
+        spans: Dict[str, Any],
+        metrics: Dict[str, Any],
+        hotspots: Optional[Dict[str, Any]] = None,
+        events: Optional[List[Dict[str, Any]]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.spans = spans
+        self.metrics = metrics
+        self.hotspots = hotspots or {}
+        self.events = events or []
+        self.meta = meta or {}
+
+    # -- convenience accessors ----------------------------------------
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        """Counter value by name (0.0 when never incremented)."""
+        return self.metrics.get("counters", {}).get(name, default)
+
+    def span_paths(self) -> Dict[str, Dict[str, Any]]:
+        """Flat ``{"suite.run/exec.map": node_dict}`` view of the tree."""
+
+        def visit(prefix: str, node: Mapping[str, Any], out: Dict) -> None:
+            for name, child in node.get("children", {}).items():
+                path = f"{prefix}/{name}" if prefix else name
+                out[path] = {k: v for k, v in child.items() if k != "children"}
+                visit(path, child, out)
+
+        out: Dict[str, Dict[str, Any]] = {}
+        visit("", self.spans, out)
+        return out
+
+    def total_seconds(self, span: str) -> float:
+        """``total_s`` of the first span path ending in ``span``."""
+        for path, node in self.span_paths().items():
+            if path == span or path.endswith("/" + span):
+                return float(node["total_s"])
+        return 0.0
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro.telemetry/1",
+            "spans": self.spans,
+            "metrics": self.metrics,
+            "hotspots": self.hotspots,
+            "events": self.events,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetrySnapshot":
+        return cls(
+            spans=dict(data.get("spans", {})),
+            metrics=dict(data.get("metrics", {})),
+            hotspots=dict(data.get("hotspots", {})),
+            events=list(data.get("events", [])),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the snapshot as one JSON document."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def export_jsonl(self, path: str) -> None:
+        """Write the snapshot as JSON lines (one record per line).
+
+        Line kinds: ``meta``, ``span`` (flattened path), ``counter``,
+        ``gauge``, ``histogram``, ``hotspot``, ``event`` — friendly to
+        ``grep``/``jq`` and to append-merge across runs.
+        """
+        with open(path, "w") as handle:
+            def emit(record: Dict[str, Any]) -> None:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+            emit({"kind": "meta", **self.meta, "format": "repro.telemetry/1"})
+            for span_path, node in self.span_paths().items():
+                emit({"kind": "span", "path": span_path, **node})
+            for name, value in self.metrics.get("counters", {}).items():
+                emit({"kind": "counter", "name": name, "value": value})
+            for name, value in self.metrics.get("gauges", {}).items():
+                emit({
+                    "kind": "gauge", "name": name, "value": value,
+                    "max": self.metrics.get("gauge_maxima", {}).get(name, value),
+                })
+            for name, hist in self.metrics.get("histograms", {}).items():
+                emit({"kind": "histogram", "name": name, **hist})
+            for key, row in self.hotspots.get("rows", {}).items():
+                emit({"kind": "hotspot", "site": key, **row})
+            for event in self.events:
+                # Nested: the event's own "kind" (job.state, ...) must
+                # not clobber the JSONL line kind.
+                emit({"kind": "event", "event": event})
+
+    def render(self, top: int = 10) -> str:
+        """Human-readable report (span tree, metrics, throughput)."""
+        from repro.telemetry.report import render_snapshot
+
+        return render_snapshot(self, top=top)
+
+
+# -- module-level fast-path helpers -----------------------------------
+
+
+def trace(name: str):
+    """``with trace("suite.run"):`` — span on the active telemetry.
+
+    No-op (shared null span, no allocation) when telemetry is off.
+    """
+    telemetry = _ACTIVE.get()
+    if telemetry is None:
+        return _NULL_SPAN
+    return telemetry.tracer.span(name)
+
+
+def metric_inc(name: str, value: float = 1.0) -> None:
+    """Increment a counter on the active telemetry, if any."""
+    telemetry = _ACTIVE.get()
+    if telemetry is not None:
+        telemetry.metrics.inc(name, value)
+
+
+def metric_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active telemetry, if any."""
+    telemetry = _ACTIVE.get()
+    if telemetry is not None:
+        telemetry.metrics.gauge(name, value)
+
+
+def metric_observe(name: str, value: float) -> None:
+    """Record a histogram observation on the active telemetry, if any."""
+    telemetry = _ACTIVE.get()
+    if telemetry is not None:
+        telemetry.metrics.observe(name, value)
+
+
+def emit_event(kind: str, **payload: Any) -> None:
+    """Emit a discrete event on the active telemetry, if any."""
+    telemetry = _ACTIVE.get()
+    if telemetry is not None:
+        telemetry.emit_event(kind, **payload)

@@ -1,0 +1,51 @@
+"""Library-standard logging setup for the ``repro`` hierarchy.
+
+``repro`` follows stdlib library convention: every module logs to
+``logging.getLogger(__name__)`` under the ``repro.*`` hierarchy, the
+package root carries a :class:`logging.NullHandler` (installed in
+``repro/__init__``), and nothing is printed unless an application —
+or :func:`configure_logging`, wired to ``Session(verbose=True)`` and
+the CLIs' ``-v`` — attaches a handler.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["configure_logging"]
+
+_HANDLER_FLAG = "_repro_verbose_handler"
+
+
+def configure_logging(
+    level: int = logging.DEBUG, stream: Optional[object] = None
+) -> logging.Handler:
+    """Attach a sane stderr handler to the ``repro`` logger.
+
+    Idempotent: calling twice replaces the previously attached verbose
+    handler instead of stacking duplicates.
+
+    Args:
+        level: Threshold for the ``repro`` logger and handler.
+        stream: Output stream (default ``sys.stderr``).
+
+    Returns:
+        The attached handler (callers may detach it later).
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)  # type: ignore[arg-type]
+    handler.setFormatter(
+        logging.Formatter(
+            "%(asctime)s %(levelname)-5s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+    )
+    handler.setLevel(level)
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

@@ -1,0 +1,122 @@
+"""Opt-in profiling hooks: cProfile hot-spot tables and tracemalloc.
+
+Profiling wraps whole work units (a worker chunk, or a serial batch) —
+never individual simulator ticks — so the overhead stays bounded and
+the resulting hot-spot table aggregates naturally across workers.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import tracemalloc
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+__all__ = ["HotspotTable", "profile_scope"]
+
+#: Recognized values for the ``profile`` knob.
+PROFILE_MODES = (None, "cprofile", "tracemalloc")
+
+
+class HotspotTable:
+    """Aggregated per-call-site profile rows.
+
+    Rows are keyed by ``"file:line(function)"`` and carry
+    ``ncalls/tottime/cumtime`` sums, so tables from many worker chunks
+    merge into one coherent view.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows: Dict[str, Dict[str, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def add(
+        self, site: str, ncalls: float, tottime: float, cumtime: float
+    ) -> None:
+        """Fold one call-site measurement into the table."""
+        row = self.rows.get(site)
+        if row is None:
+            self.rows[site] = {
+                "ncalls": ncalls, "tottime": tottime, "cumtime": cumtime,
+            }
+            return
+        row["ncalls"] += ncalls
+        row["tottime"] += tottime
+        row["cumtime"] += cumtime
+
+    def add_profile(self, profile: cProfile.Profile) -> None:
+        """Fold a finished :class:`cProfile.Profile` into the table."""
+        stats = pstats.Stats(profile)
+        for (filename, lineno, func), row in stats.stats.items():  # type: ignore[attr-defined]
+            cc, ncalls, tottime, cumtime, _callers = row
+            self.add(f"{filename}:{lineno}({func})", ncalls, tottime, cumtime)
+
+    def merge(self, other: Mapping[str, Any]) -> None:
+        """Fold a serialized table (:meth:`to_dict` shape) into this."""
+        for site, row in other.get("rows", {}).items():
+            self.add(site, row["ncalls"], row["tottime"], row["cumtime"])
+
+    def top(self, n: int = 10) -> List[Dict[str, Any]]:
+        """The ``n`` hottest rows by ``tottime``, descending."""
+        ranked = sorted(
+            self.rows.items(), key=lambda item: -item[1]["tottime"]
+        )
+        return [{"site": site, **row} for site, row in ranked[:n]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON- and pickle-safe)."""
+        return {"rows": {site: dict(row) for site, row in self.rows.items()}}
+
+
+@contextmanager
+def profile_scope(
+    mode: Optional[str],
+    hotspots: HotspotTable,
+    observe: Callable[[str, float], None],
+):
+    """Apply the configured profiler around one work unit.
+
+    Args:
+        mode: ``None`` (no-op), ``"cprofile"`` (call-site hot spots
+            folded into ``hotspots``) or ``"tracemalloc"`` (current and
+            peak allocation observed as ``profile.peak_kib``).
+        hotspots: Table receiving cProfile rows.
+        observe: Histogram sink (``MetricsRegistry.observe``).
+
+    Raises:
+        ValueError: On an unrecognized mode.
+    """
+    if mode is None:
+        yield
+        return
+    if mode == "cprofile":
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+            hotspots.add_profile(profile)
+        return
+    if mode == "tracemalloc":
+        # Nested tracemalloc sessions are not supported by the stdlib;
+        # if a caller already traces allocations, just pass through.
+        if tracemalloc.is_tracing():
+            yield
+            return
+        tracemalloc.start()
+        try:
+            yield
+        finally:
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            observe("profile.peak_kib", peak / 1024.0)
+        return
+    raise ValueError(
+        f"unknown profile mode {mode!r} (expected one of {PROFILE_MODES})"
+    )

@@ -1,0 +1,183 @@
+"""JobHandle observability: lifecycle events, heartbeats, logging.
+
+The event contract: every job emits exactly one :class:`JobEvent` per
+state it enters, in transition order, ending in exactly one terminal
+state (DONE / FAILED / CANCELLED) no matter how submitter-side
+``cancel()`` races the executor-side ``_run``.  Progress is monotonic
+under concurrent ``_advance`` calls, and heartbeat telemetry is
+rate-limited but always fires for the first and final unit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import threading
+
+import pytest
+
+from repro.api import JobCancelled, JobEvent, JobState, Session
+from repro.api.jobs import JobHandle, _TERMINAL_STATES
+from repro.scenarios import SCENARIOS
+from repro.telemetry import Telemetry
+
+FAILING = dataclasses.replace(
+    SCENARIOS.get("smoke"), name="failing", topology_params={"bogus_kw": 1}
+)
+
+
+def states_of(job: JobHandle):
+    return [event.state for event in job.events]
+
+
+class TestEventSequences:
+    def test_done_path_emits_pending_running_done(self):
+        with Session() as session:
+            job = session.submit("smoke", seed=7)
+            job.result()
+        assert states_of(job) == [
+            JobState.PENDING, JobState.RUNNING, JobState.DONE,
+        ]
+        times = [event.time_unix for event in job.events]
+        assert times == sorted(times)
+        assert all(isinstance(event, JobEvent) for event in job.events)
+        assert all(event.job_id == job.job_id for event in job.events)
+
+    def test_failed_path_carries_the_error_detail(self):
+        with Session() as session:
+            job = session.submit(FAILING)
+            with pytest.raises(TypeError):
+                job.result()
+        assert states_of(job) == [
+            JobState.PENDING, JobState.RUNNING, JobState.FAILED,
+        ]
+        assert "bogus_kw" in job.events[-1].detail
+
+    def test_cancelled_before_start_emits_terminal_cancelled(self):
+        blocker = threading.Event()
+        release = threading.Event()
+
+        def body(job):
+            blocker.set()
+            release.wait(timeout=30)
+            return None
+
+        with Session() as session:
+            first = session._submit_job("blocker", 1, body)
+            blocker.wait(timeout=30)
+            queued = session.submit("smoke", seed=1)
+            assert queued.cancel()
+            release.set()
+            first.wait()
+        assert states_of(queued) == [JobState.PENDING, JobState.CANCELLED]
+        assert queued.events[-1].detail == "cancelled before start"
+        with pytest.raises(JobCancelled):
+            queued.result()
+
+    def test_cooperative_cancel_ends_in_single_cancelled_event(self):
+        with Session(chunk_size=1) as session:
+            job = session.submit_campaign("smoke", 200, seed=3)
+            # Let it start, then cancel mid-flight.
+            assert job.wait(timeout=0) in (JobState.PENDING, JobState.RUNNING)
+            job.cancel()
+            with pytest.raises(JobCancelled):
+                job.result()
+        terminal = [
+            event for event in job.events if event.state in _TERMINAL_STATES
+        ]
+        assert len(terminal) == 1
+        assert terminal[0].state is JobState.CANCELLED
+
+    def test_events_exactly_once_under_racing_emits(self):
+        job = JobHandle("race", 1)
+        threads = [
+            threading.Thread(target=job._emit, args=(state,))
+            for state in (
+                [JobState.RUNNING] * 4
+                + [JobState.DONE] * 4
+                + [JobState.CANCELLED] * 4
+            )
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        states = states_of(job)
+        assert states[0] is JobState.PENDING
+        assert states.count(JobState.RUNNING) == 1
+        assert len([s for s in states if s in _TERMINAL_STATES]) == 1
+
+    def test_events_property_returns_a_copy(self):
+        job = JobHandle("copy", 1)
+        events = job.events
+        events.append("garbage")
+        assert all(isinstance(event, JobEvent) for event in job.events)
+
+
+class TestProgressAndHeartbeats:
+    def test_concurrent_advance_is_monotonic_and_complete(self):
+        total = 64
+        job = JobHandle("progress", total)
+        seen = []
+
+        def advance_many(count):
+            for _ in range(count):
+                job._advance()
+                seen.append(job.progress.completed)
+
+        threads = [
+            threading.Thread(target=advance_many, args=(total // 4,))
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert job.progress.completed == total
+        assert job.progress.fraction == 1.0
+        # Each sampled value is a plausible running count — never above
+        # the final total, never below 1.
+        assert all(1 <= value <= total for value in seen)
+
+    def test_heartbeats_fire_first_and_final_unit(self):
+        telemetry = Telemetry()
+        job = JobHandle("beat", 5)
+        job._attach_telemetry(telemetry)
+        for _ in range(5):
+            job._advance()
+        beats = [
+            event for event in telemetry.events
+            if event["kind"] == "job.heartbeat"
+        ]
+        # Rate limiting collapses the middle beats (interval 1s), but
+        # the first and the final unit always report.
+        completed = [beat["completed"] for beat in beats]
+        assert completed[0] == 1
+        assert completed[-1] == 5
+        assert all(beat["total"] == 5 for beat in beats)
+
+    def test_pending_event_replayed_into_attached_telemetry(self):
+        telemetry = Telemetry()
+        job = JobHandle("replay", 1)
+        job._attach_telemetry(telemetry)
+        job._emit(JobState.RUNNING)
+        states = [
+            event["state"] for event in telemetry.events
+            if event["kind"] == "job.state"
+        ]
+        assert states == ["pending", "running"]
+
+
+class TestLogging:
+    def test_job_transitions_logged_at_debug(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.api.jobs"):
+            with Session() as session:
+                session.submit("smoke", seed=1).result()
+        transitions = [
+            record.message
+            for record in caplog.records
+            if record.message.startswith("job ")
+        ]
+        assert any("pending" in message for message in transitions)
+        assert any("running" in message for message in transitions)
+        assert any("done" in message for message in transitions)

@@ -1,0 +1,350 @@
+"""Unit tests of the repro.telemetry substrate.
+
+Covers the aggregated span tree, the metrics registry, worker-delta
+merging, snapshot serialization (JSON + JSON lines), the report
+renderer and CLI, the profiling hooks, and the no-op guarantees of the
+disabled path.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+import pytest
+
+from repro.telemetry import (
+    HotspotTable,
+    MetricsRegistry,
+    Telemetry,
+    TelemetrySnapshot,
+    configure_logging,
+    current,
+    load_telemetry,
+    metric_gauge,
+    metric_inc,
+    metric_observe,
+    trace,
+)
+from repro.telemetry.core import _NULL_SPAN, SpanNode, emit_event
+from repro.telemetry.profiling import PROFILE_MODES, profile_scope
+
+
+class TestSpanTree:
+    def test_record_aggregates_count_total_min_max(self):
+        node = SpanNode("work")
+        for elapsed in (0.2, 0.1, 0.3):
+            node.record(elapsed)
+        assert node.count == 3
+        assert node.total_s == pytest.approx(0.6)
+        assert node.min_s == pytest.approx(0.1)
+        assert node.max_s == pytest.approx(0.3)
+
+    def test_children_keep_first_seen_order(self):
+        root = SpanNode("run")
+        for name in ("b", "a", "c", "a"):
+            root.child(name)
+        assert list(root.children) == ["b", "a", "c"]
+
+    def test_merge_sums_and_appends_unknown_children(self):
+        left = SpanNode("run")
+        left.child("x").record(1.0)
+        right = SpanNode("run")
+        right.child("x").record(2.0)
+        right.child("y").record(0.5)
+        left.merge(right.to_dict())
+        assert list(left.children) == ["x", "y"]
+        assert left.children["x"].count == 2
+        assert left.children["x"].total_s == pytest.approx(3.0)
+        assert left.children["x"].max_s == pytest.approx(2.0)
+
+    def test_nested_spans_build_a_path_tree(self):
+        telemetry = Telemetry()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+            with telemetry.span("inner"):
+                pass
+        snapshot = telemetry.snapshot()
+        paths = snapshot.span_paths()
+        assert set(paths) == {"outer", "outer/inner"}
+        assert paths["outer"]["count"] == 1
+        assert paths["outer/inner"]["count"] == 2
+
+    def test_cursor_restores_after_exception(self):
+        telemetry = Telemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry.span("outer"):
+                raise RuntimeError("boom")
+        with telemetry.span("sibling"):
+            pass
+        assert set(telemetry.snapshot().span_paths()) == {"outer", "sibling"}
+
+
+class TestDisabledFastPath:
+    def test_trace_returns_shared_null_span_when_inactive(self):
+        assert current() is None
+        assert trace("anything") is _NULL_SPAN
+        with trace("anything"):
+            pass  # must be a no-op
+
+    def test_metric_helpers_are_noops_when_inactive(self):
+        metric_inc("x")
+        metric_gauge("y", 1.0)
+        metric_observe("z", 2.0)
+        emit_event("e", data=1)
+        # Nothing to assert beyond "did not raise": there is no global
+        # registry to leak into.
+        assert current() is None
+
+    def test_activation_installs_and_restores(self):
+        telemetry = Telemetry()
+        assert current() is None
+        with telemetry.activate():
+            assert current() is telemetry
+            with trace("seen"):
+                pass
+        assert current() is None
+        assert "seen" in telemetry.snapshot().span_paths()
+
+
+class TestMetricsRegistry:
+    def test_counters_sum(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 2.0)
+        assert registry.counter("hits") == 3.0
+        assert registry.counter("absent") == 0.0
+
+    def test_gauges_track_running_maximum(self):
+        registry = MetricsRegistry()
+        registry.gauge("rows", 10.0)
+        registry.gauge("rows", 50.0)
+        registry.gauge("rows", 20.0)
+        assert registry.gauges["rows"] == 20.0
+        assert registry.gauge_maxima["rows"] == 50.0
+
+    def test_observe_keeps_scalar_summaries(self):
+        registry = MetricsRegistry()
+        for value in (5.0, 1.0, 3.0):
+            registry.observe("wait_ms", value)
+        hist = registry.histograms["wait_ms"]
+        assert hist == {"count": 3.0, "total": 9.0, "min": 1.0, "max": 5.0}
+
+    def test_merge_combines_all_kinds(self):
+        left = MetricsRegistry()
+        left.inc("n", 1.0)
+        left.gauge("g", 2.0)
+        left.observe("h", 1.0)
+        right = MetricsRegistry()
+        right.inc("n", 4.0)
+        right.gauge("g", 9.0)
+        right.observe("h", 7.0)
+        left.merge(right.to_dict())
+        assert left.counter("n") == 5.0
+        assert left.gauge_maxima["g"] == 9.0
+        assert left.histograms["h"]["count"] == 2.0
+        assert left.histograms["h"]["max"] == 7.0
+
+
+class TestWorkerDelta:
+    def test_merge_delta_folds_under_current_cursor(self):
+        worker = Telemetry()
+        with worker.span("exec.chunk"):
+            with worker.span("unit.work"):
+                pass
+        worker.metrics.inc("unit.calls", 4.0)
+
+        coordinator = Telemetry()
+        with coordinator.span("exec.map"):
+            coordinator.merge_delta(worker.delta())
+        paths = coordinator.snapshot().span_paths()
+        assert "exec.map/exec.chunk/unit.work" in paths
+        assert coordinator.metrics.counter("unit.calls") == 4.0
+
+    def test_merge_order_determines_child_order(self):
+        def delta_with(name):
+            worker = Telemetry()
+            with worker.span(name):
+                pass
+            return worker.delta()
+
+        coordinator = Telemetry()
+        with coordinator.span("exec.map"):
+            coordinator.merge_delta(delta_with("b"))
+            coordinator.merge_delta(delta_with("a"))
+        paths = list(coordinator.snapshot().span_paths())
+        assert paths == ["exec.map", "exec.map/b", "exec.map/a"]
+
+    def test_delta_is_json_serializable(self):
+        telemetry = Telemetry()
+        with telemetry.span("s"):
+            pass
+        telemetry.emit_event("job.state", state="running")
+        round_tripped = json.loads(json.dumps(telemetry.delta()))
+        other = Telemetry()
+        other.merge_delta(round_tripped)
+        assert other.events[0]["kind"] == "job.state"
+
+    def test_events_get_monotonic_sequence_numbers(self):
+        telemetry = Telemetry()
+        telemetry.emit_event("a")
+        telemetry.emit_event("b")
+        assert [e["seq"] for e in telemetry.events] == [0, 1]
+
+
+class TestSnapshot:
+    def _sample(self):
+        telemetry = Telemetry(meta={"source": "test"})
+        with telemetry.span("suite.run"):
+            with telemetry.span("exec.map"):
+                time.sleep(0.001)
+        telemetry.metrics.inc("cache.hit", 2.0)
+        telemetry.metrics.gauge("exec.n_workers", 4.0)
+        telemetry.metrics.observe("exec.chunk_wait_ms", 1.5)
+        telemetry.emit_event("job.state", state="done")
+        return telemetry.snapshot()
+
+    def test_counter_and_total_seconds(self):
+        snapshot = self._sample()
+        assert snapshot.counter("cache.hit") == 2.0
+        assert snapshot.total_seconds("exec.map") > 0.0
+        assert snapshot.total_seconds("absent") == 0.0
+
+    def test_dict_round_trip(self):
+        snapshot = self._sample()
+        clone = TelemetrySnapshot.from_dict(snapshot.to_dict())
+        assert clone.to_dict() == snapshot.to_dict()
+        assert clone.to_dict()["format"] == "repro.telemetry/1"
+
+    def test_save_and_load(self, tmp_path):
+        snapshot = self._sample()
+        path = str(tmp_path / "telemetry.json")
+        snapshot.save(path)
+        loaded = load_telemetry(path)
+        assert loaded.counter("cache.hit") == 2.0
+        assert "suite.run/exec.map" in loaded.span_paths()
+
+    def test_jsonl_export_and_load(self, tmp_path):
+        snapshot = self._sample()
+        path = str(tmp_path / "telemetry.jsonl")
+        snapshot.export_jsonl(path)
+        kinds = [
+            json.loads(line)["kind"]
+            for line in open(path).read().splitlines()
+        ]
+        assert kinds[0] == "meta"
+        assert {"span", "counter", "gauge", "histogram", "event"} <= set(kinds)
+        loaded = load_telemetry(path)
+        assert loaded.counter("cache.hit") == 2.0
+        assert loaded.total_seconds("suite.run") > 0.0
+
+    def test_load_rejects_non_telemetry_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"unrelated": true}\n')
+        with pytest.raises(ValueError):
+            load_telemetry(str(path))
+
+    def test_render_contains_report_sections(self):
+        text = self._sample().render()
+        assert "TELEMETRY REPORT" in text
+        assert "Phase timings" in text
+        assert "suite.run" in text
+        assert "cache.hit" in text
+
+
+class TestProfiling:
+    def test_profile_modes_constant(self):
+        assert PROFILE_MODES == (None, "cprofile", "tracemalloc")
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            with profile_scope("perf", HotspotTable(), lambda *_: None):
+                pass
+
+    def test_cprofile_populates_hotspots(self):
+        telemetry = Telemetry(profile="cprofile")
+        with telemetry.profile_scope():
+            sum(i * i for i in range(2000))
+        assert len(telemetry.hotspots) > 0
+        top = telemetry.hotspots.top(3)
+        assert all("site" in row for row in top)
+
+    def test_tracemalloc_records_peak(self):
+        telemetry = Telemetry(profile="tracemalloc")
+        with telemetry.profile_scope():
+            _ = [0] * 50_000
+        assert "profile.peak_kib" in telemetry.metrics.histograms
+
+    def test_hotspot_merge_and_top(self):
+        left = HotspotTable()
+        left.add("a.py:1(f)", ncalls=2, tottime=0.2, cumtime=0.4)
+        right = HotspotTable()
+        right.add("a.py:1(f)", ncalls=1, tottime=0.1, cumtime=0.1)
+        right.add("b.py:2(g)", ncalls=5, tottime=0.9, cumtime=0.9)
+        left.merge(right.to_dict())
+        top = left.top(2)
+        assert top[0]["site"] == "b.py:2(g)"
+        assert left.rows["a.py:1(f)"]["ncalls"] == 3
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.telemetry.__main__ import main
+
+        telemetry = Telemetry()
+        with telemetry.span("suite.run"):
+            pass
+        path = str(tmp_path / "snap.json")
+        telemetry.snapshot().save(path)
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "TELEMETRY REPORT" in out
+        assert "suite.run" in out
+
+    def test_export_command(self, tmp_path):
+        from repro.telemetry.__main__ import main
+
+        telemetry = Telemetry()
+        telemetry.metrics.inc("n", 3.0)
+        src = str(tmp_path / "snap.json")
+        dst = str(tmp_path / "snap.jsonl")
+        telemetry.snapshot().save(src)
+        assert main(["export", src, "-o", dst]) == 0
+        assert load_telemetry(dst).counter("n") == 3.0
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        from repro.telemetry.__main__ import main
+
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+
+
+class TestLogging:
+    def test_root_package_has_null_handler(self):
+        import repro  # noqa: F401  (import installs the handler)
+
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+    def test_configure_logging_is_idempotent(self):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        try:
+            first = configure_logging()
+            second = configure_logging()
+            flagged = [
+                h for h in logger.handlers
+                if getattr(h, "_repro_verbose_handler", False)
+            ]
+            assert flagged == [second]
+            assert first is not second
+        finally:
+            for handler in list(logger.handlers):
+                if getattr(handler, "_repro_verbose_handler", False):
+                    logger.removeHandler(handler)
+            assert [
+                h for h in logger.handlers if not getattr(
+                    h, "_repro_verbose_handler", False
+                )
+            ] == before

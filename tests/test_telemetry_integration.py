@@ -1,0 +1,235 @@
+"""Telemetry across the experiment stack: instrumentation + invariants.
+
+Two families of guarantees:
+
+* **Coverage** — cache hits/misses, streaming spills, campaign tick
+  elision, dispatch metrics and worker-side spans all surface in the
+  snapshot, including across process-pool workers.
+* **Non-perturbation** — records and provenance seed material are
+  bit-identical with telemetry on vs off on every backend, and the
+  merged span/metric structure is deterministic run-to-run.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.telemetry import Telemetry
+
+BACKENDS = ["serial", "thread", "process"]
+
+
+def _tables_equal(left, right) -> bool:
+    if left.columns != right.columns:
+        return False
+    return all(
+        np.array_equal(
+            np.asarray(left.column(name)), np.asarray(right.column(name))
+        )
+        for name in left.columns
+    )
+
+
+class TestInstrumentationCoverage:
+    def test_process_backend_suite_records_worker_spans(self):
+        with Session(
+            backend="process", n_workers=2, telemetry=True
+        ) as session:
+            result = session.run(["smoke", "cooling_stuxnet"], seed=7)
+        snapshot = result.telemetry
+        paths = snapshot.span_paths()
+        assert "session.run/suite.run" in paths
+        # Worker-side spans came back as deltas and nested under the
+        # coordinator's exec.map cursor.
+        assert any("exec.map/exec.chunk" in path for path in paths)
+        assert any("scenario.execute" in path for path in paths)
+        assert snapshot.counter("exec.dispatches") >= 1
+        assert snapshot.counter("campaign.replications") > 0
+        assert "exec.chunk_wait_ms" in snapshot.metrics["histograms"]
+
+    def test_report_renders_for_process_backend_run(self):
+        with Session(
+            backend="process", n_workers=2, telemetry=True
+        ) as session:
+            result = session.run(["smoke", "cooling_stuxnet"], seed=7)
+        text = result.telemetry.render()
+        assert "TELEMETRY REPORT" in text
+        assert "Phase timings" in text
+        assert "exec.chunk" in text
+        assert "Metrics" in text
+
+    def test_cache_miss_then_hit_counters(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with Session(cache_dir=cache_dir, telemetry=True) as session:
+            cold = session.run("smoke", seed=3)
+        assert cold.telemetry.counter("cache.miss") == 1.0
+        assert cold.telemetry.counter("cache.hit") == 0.0
+        assert cold.telemetry.counter("cache.stores") == 1.0
+        assert cold.telemetry.counter("cache.bytes_written") > 0.0
+        with Session(cache_dir=cache_dir, telemetry=True) as session:
+            warm = session.run("smoke", seed=3)
+        assert warm.telemetry.counter("cache.hit") == 1.0
+        assert warm.telemetry.counter("cache.miss") == 0.0
+        assert warm.telemetry.counter("cache.bytes_read") > 0.0
+        assert _tables_equal(cold.table, warm.table)
+
+    def test_streaming_spill_metrics(self):
+        with Session(telemetry=True) as session:
+            result = session.campaign(
+                "smoke", 12, seed=5, max_records_in_ram=4
+            )
+        snapshot = result.telemetry
+        assert snapshot.counter("streaming.spills") >= 1.0
+        assert snapshot.counter("streaming.bytes_spilled") > 0.0
+        maxima = snapshot.metrics["gauge_maxima"]
+        assert maxima.get("streaming.peak_resident_rows", 0.0) <= 4.0
+
+    def test_campaign_elision_counters(self):
+        with Session(telemetry=True) as session:
+            result = session.campaign("cooling_stuxnet", 5, seed=9)
+        snapshot = result.telemetry
+        assert snapshot.counter("campaign.replications") == 5.0
+        # Tick elision is the default: elided ticks dominate executed.
+        assert snapshot.counter("campaign.ticks_elided") > 0.0
+
+    def test_profile_mode_produces_hotspots(self):
+        with Session(telemetry="cprofile") as session:
+            result = session.run("smoke", seed=1)
+        hotspots = result.telemetry.hotspots
+        assert hotspots.get("rows")
+
+    def test_dispatch_debug_log_fires_without_telemetry(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.exec.runner"):
+            with Session() as session:
+                session.run("smoke", seed=1)
+        assert any(
+            "dispatching" in record.message for record in caplog.records
+        )
+
+    def test_cache_logs_hit_and_miss(self, tmp_path, caplog):
+        cache_dir = str(tmp_path / "cache")
+        with caplog.at_level(logging.DEBUG, logger="repro.scenarios.suite"):
+            with Session(cache_dir=cache_dir) as session:
+                session.run("smoke", seed=2)
+                session.run("smoke", seed=2)
+        messages = [record.message for record in caplog.records]
+        assert any("cache miss" in message for message in messages)
+        assert any("cache hit" in message for message in messages)
+
+
+class TestNonPerturbation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_records_and_seed_material_identical_on_off(self, backend):
+        n_workers = None if backend == "serial" else 2
+        with Session(backend=backend, n_workers=n_workers) as session:
+            plain = session.run("smoke", seed=13)
+        with Session(
+            backend=backend, n_workers=n_workers, telemetry=True
+        ) as session:
+            instrumented = session.run("smoke", seed=13)
+        assert instrumented.telemetry is not None
+        assert plain.telemetry is None
+        assert _tables_equal(plain.table, instrumented.table)
+        assert (
+            plain.provenance.spec_digest
+            == instrumented.provenance.spec_digest
+        )
+        assert plain.provenance.entropy == instrumented.provenance.entropy
+        assert (
+            plain.provenance.spawn_key == instrumented.provenance.spawn_key
+        )
+
+    def test_records_identical_across_backends_with_telemetry(self):
+        tables = {}
+        for backend in BACKENDS:
+            n_workers = None if backend == "serial" else 2
+            with Session(
+                backend=backend, n_workers=n_workers, telemetry=True
+            ) as session:
+                tables[backend] = session.run("smoke", seed=21).table
+        assert _tables_equal(tables["serial"], tables["thread"])
+        assert _tables_equal(tables["serial"], tables["process"])
+
+    def test_campaign_records_identical_on_off(self):
+        with Session(backend="thread", n_workers=2) as session:
+            plain = session.campaign("smoke", 6, seed=11)
+        with Session(
+            backend="thread", n_workers=2, telemetry=True
+        ) as session:
+            instrumented = session.campaign("smoke", 6, seed=11)
+        assert _tables_equal(plain.table, instrumented.table)
+        assert plain.summary == instrumented.summary
+
+    def test_merged_structure_is_deterministic(self):
+        def structure():
+            with Session(
+                backend="process", n_workers=2, chunk_size=1, telemetry=True
+            ) as session:
+                snapshot = session.run(
+                    ["smoke", "cooling_stuxnet"], seed=7
+                ).telemetry
+            paths = snapshot.span_paths()
+            return (
+                [(path, node["count"]) for path, node in paths.items()],
+                snapshot.metrics["counters"],
+            )
+
+        first_spans, first_counters = structure()
+        second_spans, second_counters = structure()
+        # Wall-clock totals differ run to run; the tree shape, span
+        # order, entry counts and every counter must not.
+        assert first_spans == second_spans
+        assert first_counters == second_counters
+
+    def test_snapshot_not_attached_without_telemetry(self):
+        with Session() as session:
+            result = session.run("smoke", seed=1)
+        assert result.telemetry is None
+
+
+class TestSessionModes:
+    def test_caller_owned_telemetry_accumulates(self):
+        own = Telemetry()
+        with Session(telemetry=own) as session:
+            session.run("smoke", seed=1)
+            session.run("smoke", seed=2)
+        snapshot = own.snapshot()
+        assert snapshot.span_paths()["session.run"]["count"] == 2
+
+    def test_fresh_instance_per_run_for_bool_mode(self):
+        with Session(telemetry=True) as session:
+            first = session.run("smoke", seed=1)
+            second = session.run("smoke", seed=2)
+        assert first.telemetry is not second.telemetry
+        assert first.telemetry.span_paths()["session.run"]["count"] == 1
+
+    def test_unknown_profile_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Session(telemetry="bogus")
+
+    def test_suite_and_scenario_results_share_snapshot(self):
+        with Session(telemetry=True) as session:
+            result = session.run(["smoke", "cooling_stuxnet"], seed=7)
+        assert result.telemetry is not None
+        for scenario_result in result.results:
+            assert scenario_result.telemetry is result.telemetry
+
+    def test_submitted_job_attaches_snapshot_and_events(self):
+        with Session(telemetry=True) as session:
+            job = session.submit("smoke", seed=7)
+            result = job.result()
+        snapshot = result.telemetry
+        assert snapshot is not None
+        states = [
+            event["state"]
+            for event in snapshot.events
+            if event["kind"] == "job.state"
+        ]
+        # The snapshot freezes inside the job body: it sees the replayed
+        # PENDING and the RUNNING transition; the terminal state lands
+        # on the handle's own event list afterwards.
+        assert states[:2] == ["pending", "running"]
