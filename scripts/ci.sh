@@ -6,10 +6,11 @@
 #   SKIP_BENCH=1 scripts/ci.sh    # fast gate (no benchmark re-run)
 #
 # The benchmark stage re-times the perf suites and compares medians
-# against the persisted baseline (BENCH_PR7.json by default — the most
+# against the persisted baseline (BENCH_PR8.json by default — the most
 # recent baseline, so every benchmark incl. the telemetry-enabled suite
-# run is gated) via `python -m repro.bench --compare` — non-zero exit
-# on any regression beyond tolerance.  Override with BENCH_BASELINE=path.
+# run and the mega-batch pairs is gated) via `python -m repro.bench
+# --compare` — non-zero exit on any regression beyond tolerance.
+# Override with BENCH_BASELINE=path.
 #
 # The telemetry overhead gate (`python -m repro.bench.overhead`) times
 # the perf_suite_run workload with telemetry off vs on as interleaved
@@ -31,7 +32,7 @@ python -m repro.api --selftest
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo
     echo "== benchmark regression gate =="
-    baseline="${BENCH_BASELINE:-BENCH_PR7.json}"
+    baseline="${BENCH_BASELINE:-BENCH_PR8.json}"
     python -m repro.bench -o /tmp/bench-ci.json --compare "$baseline"
 
     echo

@@ -44,11 +44,13 @@ class StudyBuilder:
         scenario: Scenario,
         overrides: Optional[Dict[str, object]] = None,
         seed: Optional[SeedLike] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         self._session = session
         self._base = scenario
         self._overrides: Dict[str, object] = dict(overrides or {})
         self._seed = seed
+        self._batch_size = batch_size
 
     # ---- fluent configuration -------------------------------------------
 
@@ -63,7 +65,9 @@ class StudyBuilder:
         """
         merged = dict(self._overrides)
         merged.update(fields)
-        return StudyBuilder(self._session, self._base, merged, self._seed)
+        return StudyBuilder(
+            self._session, self._base, merged, self._seed, self._batch_size
+        )
 
     def replications(self, count: int) -> "StudyBuilder":
         """Shorthand for ``override(replications=count)``."""
@@ -82,7 +86,29 @@ class StudyBuilder:
         """A new builder with a pinned root seed (overrides the
         session's default seed policy for this study only)."""
         return StudyBuilder(
-            self._session, self._base, self._overrides, seed
+            self._session, self._base, self._overrides, seed,
+            self._batch_size,
+        )
+
+    def batch_size(self, lanes: int) -> "StudyBuilder":
+        """A new builder pinning the mega-batch lane count.
+
+        Campaign replications of :meth:`run`, :meth:`submit` and
+        :meth:`campaign` then advance ``lanes`` at a time through the
+        vectorized batch lowering (``1`` = bit-identical to the scalar
+        path; larger vectorized batches are distribution-identical).
+        An explicit ``batch_size=`` on the session verb wins over the
+        pinned value.
+
+        Raises:
+            TypeError: If ``lanes`` is not an integer.
+            ValueError: If ``lanes < 1``.
+        """
+        from repro.exec import validate_batch_args
+
+        validate_batch_args(1, lanes)
+        return StudyBuilder(
+            self._session, self._base, self._overrides, self._seed, lanes
         )
 
     # ---- lowering --------------------------------------------------------

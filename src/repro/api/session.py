@@ -239,6 +239,17 @@ class Session:
             return target._seed
         return self.default_seed
 
+    @staticmethod
+    def _effective_batch_size(
+        batch_size: Optional[int], target: Optional[TargetLike] = None
+    ) -> Optional[int]:
+        """Explicit batch size > a single builder's pinned batch size."""
+        if batch_size is not None:
+            return batch_size
+        if isinstance(target, StudyBuilder):
+            return target._batch_size
+        return None
+
     # ---- telemetry plumbing ---------------------------------------------
 
     def _telemetry_for_run(self, source: str) -> Optional[Telemetry]:
@@ -273,6 +284,7 @@ class Session:
         *,
         seed: Optional[SeedLike] = None,
         shard: Optional[tuple] = None,
+        batch_size: Optional[int] = None,
     ) -> RunResult:
         """Execute synchronously.
 
@@ -286,6 +298,12 @@ class Session:
             shard: Optional ``(index, count)`` suite sharding — seeds
                 as if the whole suite ran; merge shard results with
                 :meth:`~repro.scenarios.suite.SuiteResult.merge`.
+            batch_size: Mega-batch lane count for campaign replications
+                (see :meth:`ScenarioSuite.run
+                <repro.scenarios.suite.ScenarioSuite.run>`); defaults
+                to a single builder's pinned
+                :meth:`~repro.api.builder.StudyBuilder.batch_size`.
+                Recorded on ``provenance.execution``.
 
         Returns:
             A :class:`~repro.scenarios.ScenarioRunResult` for a single
@@ -302,12 +320,15 @@ class Session:
             )
         suite = self._suite(scenarios, shard=shard)
         run_seed = self._effective_seed(seed, target)
+        run_batch = self._effective_batch_size(batch_size, target)
         telemetry = self._telemetry_for_run("session.run")
         if telemetry is None:
-            suite_result = suite.run(seed=run_seed)
+            suite_result = suite.run(seed=run_seed, batch_size=run_batch)
         else:
             with telemetry.activate(), telemetry.span("session.run"):
-                suite_result = suite.run(seed=run_seed)
+                suite_result = suite.run(
+                    seed=run_seed, batch_size=run_batch
+                )
             snapshot = telemetry.snapshot()
             suite_result.telemetry = snapshot
             for scenario_result in suite_result.results:
@@ -347,6 +368,7 @@ class Session:
         seed: Optional[SeedLike] = None,
         stream: bool = False,
         max_records_in_ram: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> CampaignRunResult:
         """Run a Monte-Carlo campaign batch against the scenario's
         baseline (undiversified) system.
@@ -365,6 +387,15 @@ class Session:
             max_records_in_ram: In-RAM row bound for streaming runs;
                 implies ``stream=True``.  Defaults to
                 :data:`repro.results.DEFAULT_MAX_RECORDS_IN_RAM`.
+            batch_size: Mega-batch lane count (see
+                :meth:`AttackCampaign.run_batch_table
+                <repro.attacks.campaign.AttackCampaign
+                .run_batch_table>`); defaults to a builder's pinned
+                :meth:`~repro.api.builder.StudyBuilder.batch_size`.
+                ``1`` is bit-identical to the scalar path; larger
+                vectorized batches are distribution-identical.
+                Composes with ``stream=``; recorded on
+                ``provenance.execution`` outside the spec digest.
 
         Returns:
             A :class:`~repro.api.result.CampaignRunResult` with one
@@ -379,14 +410,27 @@ class Session:
         effective_max = self._effective_stream_bound(
             stream, max_records_in_ram
         )
+        effective_batch = self._effective_batch_size(batch_size, target)
+        batch_execution = (
+            {"batch_size": effective_batch}
+            if effective_batch is not None
+            else None
+        )
 
         def produce() -> CampaignRunResult:
             if effective_max is None:
                 table = campaign.run_batch_table(
-                    replications, rng=root, runner=self.runner
+                    replications,
+                    rng=root,
+                    runner=self.runner,
+                    batch_size=effective_batch,
                 )
                 return self._campaign_result(
-                    scenario, replications, root, table
+                    scenario,
+                    replications,
+                    root,
+                    table,
+                    execution=batch_execution,
                 )
             aggregate = StreamingSummary()
             table = campaign.run_batch_table(
@@ -395,6 +439,7 @@ class Session:
                 runner=self.runner,
                 max_records_in_ram=effective_max,
                 aggregators=(aggregate,),
+                batch_size=effective_batch,
             )
             return self._campaign_result(
                 scenario,
@@ -405,6 +450,7 @@ class Session:
                 execution={
                     "stream": True,
                     "max_records_in_ram": effective_max,
+                    **(batch_execution or {}),
                 },
             )
 
@@ -486,14 +532,15 @@ class Session:
         seed: Optional[SeedLike] = None,
         shard: Optional[tuple] = None,
         description: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ) -> JobHandle:
         """Queue the same work :meth:`run` does; returns a
         :class:`~repro.api.jobs.JobHandle` immediately.
 
         Progress counts completed scenarios.  The handle's ``result()``
         is bit-identical to the synchronous :meth:`run` with the same
-        seed.  Jobs beyond ``max_parallel_jobs`` wait in submission
-        order.
+        seed (and ``batch_size``).  Jobs beyond ``max_parallel_jobs``
+        wait in submission order.
         """
         self._ensure_open()
         scenarios, is_suite = self._resolve_targets(target)
@@ -504,6 +551,7 @@ class Session:
             )
         suite = self._suite(scenarios, shard=shard)
         run_seed = self._effective_seed(seed, target)
+        run_batch = self._effective_batch_size(batch_size, target)
         names = ", ".join(s.name for s in scenarios)
 
         def body(job: JobHandle) -> RunResult:
@@ -513,6 +561,7 @@ class Session:
                     seed=run_seed,
                     on_result=job._advance,
                     cancel=job._cancel_event,
+                    batch_size=run_batch,
                 )
                 return result if is_suite else result.results[0]
             with telemetry.activate(), telemetry.span("session.run"):
@@ -520,6 +569,7 @@ class Session:
                     seed=run_seed,
                     on_result=job._advance,
                     cancel=job._cancel_event,
+                    batch_size=run_batch,
                 )
             snapshot = telemetry.snapshot()
             result.telemetry = snapshot
@@ -545,11 +595,13 @@ class Session:
         description: Optional[str] = None,
         stream: bool = False,
         max_records_in_ram: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> JobHandle:
-        """Queue a campaign batch; progress counts replications.
+        """Queue a campaign batch; progress counts replications
+        (one advance per mega-batch unit when ``batch_size`` is set).
 
-        ``stream=`` / ``max_records_in_ram=`` behave exactly as on the
-        synchronous :meth:`campaign`.
+        ``stream=`` / ``max_records_in_ram=`` / ``batch_size=`` behave
+        exactly as on the synchronous :meth:`campaign`.
         """
         self._ensure_open()
         scenario = self._resolve_one(target)
@@ -557,6 +609,12 @@ class Session:
         campaign = self._campaign_for(scenario)
         effective_max = self._effective_stream_bound(
             stream, max_records_in_ram
+        )
+        effective_batch = self._effective_batch_size(batch_size, target)
+        batch_execution = (
+            {"batch_size": effective_batch}
+            if effective_batch is not None
+            else None
         )
 
         def produce(job: JobHandle) -> CampaignRunResult:
@@ -567,9 +625,14 @@ class Session:
                     runner=self.runner,
                     on_result=job._advance,
                     cancel=job._cancel_event,
+                    batch_size=effective_batch,
                 )
                 return self._campaign_result(
-                    scenario, replications, root, table
+                    scenario,
+                    replications,
+                    root,
+                    table,
+                    execution=batch_execution,
                 )
             aggregate = StreamingSummary()
             table = campaign.run_batch_table(
@@ -580,6 +643,7 @@ class Session:
                 cancel=job._cancel_event,
                 max_records_in_ram=effective_max,
                 aggregators=(aggregate,),
+                batch_size=effective_batch,
             )
             return self._campaign_result(
                 scenario,
@@ -590,6 +654,7 @@ class Session:
                 execution={
                     "stream": True,
                     "max_records_in_ram": effective_max,
+                    **(batch_execution or {}),
                 },
             )
 

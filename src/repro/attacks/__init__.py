@@ -21,6 +21,7 @@ Implements the paper's attack side:
   security indicators are computed.
 """
 
+from repro.attacks.batched import CampaignBatchEngine
 from repro.attacks.c2 import C2Channel
 from repro.attacks.campaign import AttackCampaign, AttackOutcome, CampaignConfig
 from repro.attacks.history import (
@@ -51,6 +52,7 @@ __all__ = [
     "AttackStage",
     "C2Channel",
     "CalibratedStages",
+    "CampaignBatchEngine",
     "CampaignConfig",
     "IncidentRecord",
     "calibrate",

@@ -1239,6 +1239,7 @@ class AttackCampaign:
         cancel: Optional[object] = None,
         max_records_in_ram: Optional[int] = None,
         aggregators: Tuple[Callable[..., None], ...] = (),
+        batch_size: Optional[int] = None,
     ):
         """Independent replications as a columnar response table.
 
@@ -1266,16 +1267,31 @@ class AttackCampaign:
         final_ratio))`` — in both modes, so running summaries/CIs come
         out of a campaign without touching the table at all.
 
+        ``batch_size`` switches replications to the **mega-batch**
+        lowering: lanes advance ``batch_size`` at a time through
+        :class:`repro.attacks.batched.CampaignBatchEngine`, each batch
+        unit seeded exactly like :meth:`ExperimentRunner
+        .run_batched_replications` (``batch_size=1`` is therefore
+        bit-identical to the runner-mode scalar path; larger batches on
+        the vectorized path are distribution-identical).  Batching
+        always uses runner-mode seeding — a ``Generator`` passed as
+        ``rng`` contributes one draw to derive the root seed — and
+        composes with streaming and aggregators; progress hooks observe
+        one *unit* (one batch) per call.
+
         Returns:
             A :class:`repro.results.RecordTable` with the library's
             response columns, one row per replication in order (a
             ``ShardedRecordTable`` in streaming mode).
 
         Raises:
-            ValueError: If ``replications < 1``.
+            TypeError: If ``replications`` or ``batch_size`` is not an
+                integer.
+            ValueError: If either is ``< 1``.
         """
-        if replications < 1:
-            raise ValueError(f"replications must be >= 1, got {replications}")
+        from repro.exec import validate_batch_args
+
+        validate_batch_args(replications, batch_size)
         from repro.results import RecordTable
 
         if max_records_in_ram is not None:
@@ -1287,8 +1303,14 @@ class AttackCampaign:
                 cancel,
                 max_records_in_ram,
                 aggregators,
+                batch_size,
             )
-        if runner is None and isinstance(rng, np.random.Generator):
+        if batch_size is not None:
+            rows = None
+            data = self._batched_rows(
+                replications, rng, runner, on_result, cancel, batch_size
+            )
+        elif runner is None and isinstance(rng, np.random.Generator):
             rows = self._legacy_batch(
                 replications,
                 rng,
@@ -1311,7 +1333,8 @@ class AttackCampaign:
                 on_result=unit_hook,
                 cancel=cancel,
             )
-        data = np.asarray(rows, dtype=np.float64).reshape(len(rows), 4)
+        if rows is not None:
+            data = np.asarray(rows, dtype=np.float64).reshape(len(rows), 4)
         columns = {
             "success": data[:, 0],
             "tta": data[:, 1],
@@ -1319,8 +1342,50 @@ class AttackCampaign:
             "final_ratio": data[:, 3],
         }
         if aggregators:
-            _feed_aggregators(aggregators, columns, rows)
+            _feed_aggregators(
+                aggregators, columns, rows if rows is not None else list(data)
+            )
         return RecordTable(columns)
+
+    def _batched_rows(
+        self,
+        replications: int,
+        rng: "SeedLike",
+        runner: Optional["ExperimentRunner"],
+        on_result: Optional[Callable[[int], None]],
+        cancel: Optional[object],
+        batch_size: int,
+        take: Optional[Callable[[int, np.ndarray], None]] = None,
+    ) -> Optional[np.ndarray]:
+        """Run the mega-batch lowering; return stacked response rows.
+
+        With ``take`` the per-unit row blocks stream through it instead
+        (``collect=False``) and ``None`` is returned.
+        """
+        from repro.attacks.batched import (
+            CampaignBatchEngine,
+            simulate_batch_rows,
+        )
+        from repro.exec import ExperimentRunner
+
+        engine = CampaignBatchEngine(self)
+        active = runner or ExperimentRunner()
+        unit_hook = take
+        if unit_hook is None and on_result is not None:
+            unit_hook = lambda index, _result: on_result(index)
+        blocks = active.run_batched_replications(
+            simulate_batch_rows,
+            replications,
+            batch_size,
+            seed=rng,
+            common_args=(engine,),
+            on_result=unit_hook,
+            cancel=cancel,
+            collect=take is None,
+        )
+        if take is not None:
+            return None
+        return np.concatenate(blocks, axis=0)
 
     def _stream_batch_table(
         self,
@@ -1331,6 +1396,7 @@ class AttackCampaign:
         cancel: Optional[object],
         max_records_in_ram: int,
         aggregators: Tuple[Callable[..., None], ...],
+        batch_size: Optional[int] = None,
     ):
         """The bounded-memory body of :meth:`run_batch_table`."""
         from repro.results.streaming import StreamingTableBuilder
@@ -1365,7 +1431,25 @@ class AttackCampaign:
             if len(buffer) >= flush_at:
                 flush()
 
-        if runner is None and isinstance(rng, np.random.Generator):
+        if batch_size is not None:
+
+            def take_block(index: int, block: np.ndarray) -> None:
+                buffer.extend(tuple(row) for row in block)
+                if on_result is not None:
+                    on_result(index)
+                if len(buffer) >= flush_at:
+                    flush()
+
+            self._batched_rows(
+                replications,
+                rng,
+                runner,
+                on_result,
+                cancel,
+                batch_size,
+                take=take_block,
+            )
+        elif runner is None and isinstance(rng, np.random.Generator):
             # Legacy shared-generator mode, streamed: same draw order
             # as the collected path, rows folded in as they complete.
             from repro.exec.backends import ExecutionCancelled

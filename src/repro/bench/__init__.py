@@ -10,7 +10,7 @@ mechanically instead of eyeballed from pytest output.
 Fast-path/baseline pairs are derived by naming convention: a benchmark
 ``X_legacy`` (or ``X_dense_expm``) is treated as the reference
 implementation of ``X`` (``X_uniformized``), and the report includes
-``speedups[X] = mean(reference) / mean(fast)``.
+``speedups[X] = median(reference) / median(fast)``.
 
 The output file is organized in named *sections* (default ``"current"``)
 so one file can carry, e.g., ``pre_pr`` and ``post_pr`` runs
@@ -57,6 +57,10 @@ _PAIR_SUFFIXES = (
 #: scripts/ci.sh).
 _PAIR_EXPLICIT = {
     "perf_telemetry_overhead": "perf_suite_run",
+    # Mega-batch SoA lowerings vs their scalar counterparts; the
+    # reported speedups are the batch wins gated by scripts/ci.sh.
+    "perf_san_batch_vectorized": "perf_san_batch_scalar",
+    "perf_campaign_batch_vectorized": "perf_campaign_batch_scalar",
 }
 
 DEFAULT_TARGETS = [
@@ -64,6 +68,7 @@ DEFAULT_TARGETS = [
     "benchmarks/test_bench_perf_campaign.py",
     "benchmarks/test_bench_perf_streaming.py",
     "benchmarks/test_bench_perf_telemetry.py",
+    "benchmarks/test_bench_perf_batch.py",
 ]
 
 #: Median regression (as a fraction of the baseline median) tolerated
@@ -93,14 +98,18 @@ def parse_benchmark_json(raw: Dict[str, object]) -> Dict[str, Dict[str, float]]:
 def derive_speedups(
     results: Dict[str, Dict[str, float]]
 ) -> Dict[str, float]:
-    """``{fast benchmark: reference_mean / fast_mean}`` over known pairs."""
+    """``{fast benchmark: reference_median / fast_median}`` over known
+    pairs — medians for the same reason ``--compare`` uses them: a few
+    noisy rounds on a shared box can double a mean without any code
+    change, and the fast side of a pair (many short rounds) collects
+    proportionally more of them."""
     speedups: Dict[str, float] = {}
     for name, stats in results.items():
         reference_name = _PAIR_EXPLICIT.get(name)
         if reference_name is not None:
             reference = results.get(reference_name)
-            if reference is not None and stats["mean_s"] > 0:
-                speedups[name] = reference["mean_s"] / stats["mean_s"]
+            if reference is not None and stats["median_s"] > 0:
+                speedups[name] = reference["median_s"] / stats["median_s"]
             continue
         for fast_suffix, ref_suffix in _PAIR_SUFFIXES:
             if fast_suffix and not name.endswith(fast_suffix):
@@ -109,9 +118,9 @@ def derive_speedups(
             reference = results.get(base + ref_suffix)
             if reference is None or reference is stats:
                 continue
-            mean = stats["mean_s"]
-            if mean > 0:
-                speedups[name] = reference["mean_s"] / mean
+            median = stats["median_s"]
+            if median > 0:
+                speedups[name] = reference["median_s"] / median
     return speedups
 
 

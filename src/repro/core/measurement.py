@@ -139,6 +139,15 @@ class MeasurementPlan:
             levels variant names.
         replications: Campaign replications per design run.
         campaign_config: Campaign parameters.
+        batch_size: When set, each run's replications advance through
+            the mega-batch lowering
+            (:class:`repro.attacks.batched.CampaignBatchEngine`) in
+            lanes of this size.  ``batch_size=1`` units receive exactly
+            the per-replication spawned seeds of the scalar path, so
+            single-lane batches are bit-identical; larger batches on
+            the vectorized path are distribution-identical.  Recorded
+            on ``provenance.execution`` (outside the spec digest — an
+            execution knob, not part of the experiment's identity).
     """
 
     def __init__(
@@ -149,15 +158,18 @@ class MeasurementPlan:
         design: Design,
         replications: int = 30,
         campaign_config: Optional[CampaignConfig] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
-        if replications < 1:
-            raise ValueError(f"replications must be >= 1, got {replications}")
+        from repro.exec import validate_batch_args
+
+        validate_batch_args(replications, batch_size)
         self.network_factory = network_factory
         self.catalog = catalog
         self.threat = threat
         self.design = design
         self.replications = replications
         self.campaign_config = campaign_config or CampaignConfig()
+        self.batch_size = batch_size
 
     def campaign_for_run(self, run_index: int) -> AttackCampaign:
         """Build the configured campaign for one design run."""
@@ -195,14 +207,38 @@ class MeasurementPlan:
         """
         with trace("measurement.run"):
             campaign = self.campaign_for_run(run_index)
-            outcomes = [
-                campaign.run(np.random.default_rng(child))
-                for child in seq.spawn(self.replications)
-            ]
+            if self.batch_size is not None:
+                outcomes = self._batched_outcomes(campaign, seq)
+            else:
+                outcomes = [
+                    campaign.run(np.random.default_rng(child))
+                    for child in seq.spawn(self.replications)
+                ]
             table = self._table_for_run(
                 self.design.runs[run_index], run_index, outcomes
             )
             return table, compute_indicators(outcomes)
+
+    def _batched_outcomes(
+        self, campaign: AttackCampaign, seq: np.random.SeedSequence
+    ) -> List[AttackOutcome]:
+        """One run's replications through the mega-batch lowering.
+
+        Unit seeds spawn from ``seq`` exactly like the scalar path's
+        per-replication spawns, so ``batch_size=1`` reproduces the
+        scalar records bit-for-bit.
+        """
+        from repro.attacks.batched import CampaignBatchEngine
+        from repro.exec import batch_unit_sizes
+
+        engine = CampaignBatchEngine(campaign)
+        sizes = batch_unit_sizes(self.replications, self.batch_size)
+        outcomes: List[AttackOutcome] = []
+        for child, size in zip(seq.spawn(len(sizes)), sizes):
+            outcomes.extend(
+                engine.run_outcomes(size, np.random.default_rng(child))
+            )
+        return outcomes
 
     def spec_payload(self) -> Dict[str, object]:
         """Best-effort canonical description of this plan (provenance).
@@ -286,7 +322,18 @@ class MeasurementPlan:
                         f"{len(self.design.runs)} design runs"
                     )
                 campaign = self.campaign_for_run(run_index)
-                outcomes = campaign.run_batch(self.replications, rng)
+                if self.batch_size is not None:
+                    from repro.attacks.batched import CampaignBatchEngine
+                    from repro.exec import batch_unit_sizes
+
+                    engine = CampaignBatchEngine(campaign)
+                    outcomes = []
+                    for size in batch_unit_sizes(
+                        self.replications, self.batch_size
+                    ):
+                        outcomes.extend(engine.run_outcomes(size, rng))
+                else:
+                    outcomes = campaign.run_batch(self.replications, rng)
                 run_indicators.append(compute_indicators(outcomes))
                 run_table = self._table_for_run(run, run_index, outcomes)
                 if builder is not None:
@@ -344,8 +391,17 @@ class MeasurementPlan:
                 run_indicators = [
                     indicators for _, indicators in results
                 ]
+            execution = (
+                {"batch_size": self.batch_size}
+                if self.batch_size is not None
+                else None
+            )
             provenance = provenance_for(
-                self.spec_payload(), root, active, source="measurement_plan"
+                self.spec_payload(),
+                root,
+                active,
+                source="measurement_plan",
+                execution=execution,
             )
         return MeasurementResult(
             table=(

@@ -23,7 +23,11 @@ from repro.exec.backends import (
     available_backends,
     get_backend,
 )
-from repro.exec.runner import ExperimentRunner
+from repro.exec.runner import (
+    ExperimentRunner,
+    batch_unit_sizes,
+    validate_batch_args,
+)
 from repro.exec.seeding import (
     SeedLike,
     as_seed_sequence,
@@ -43,6 +47,8 @@ __all__ = [
     "WorkUnit",
     "as_seed_sequence",
     "available_backends",
+    "batch_unit_sizes",
+    "validate_batch_args",
     "get_backend",
     "replication_generators",
     "sequence_state",

@@ -38,6 +38,47 @@ def _call_with_generator(
     return fn(*args, np.random.default_rng(seq))
 
 
+def validate_batch_args(
+    replications: Any, batch_size: Optional[Any] = None
+) -> None:
+    """Shared argument validation for every batched entry point.
+
+    ``SANSimulator.batch``, ``AttackCampaign.run_batch*`` and
+    :meth:`ExperimentRunner.run_batched_replications` all funnel through
+    this so their error messages stay consistent.
+
+    Raises:
+        TypeError: If ``replications`` or ``batch_size`` is not an
+            integer (bools are rejected too).
+        ValueError: If ``replications < 1`` or ``batch_size < 1``.
+    """
+    if isinstance(replications, bool) or not isinstance(
+        replications, (int, np.integer)
+    ):
+        raise TypeError(
+            f"replications must be an integer, got {replications!r}"
+        )
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    if batch_size is None:
+        return
+    if isinstance(batch_size, bool) or not isinstance(
+        batch_size, (int, np.integer)
+    ):
+        raise TypeError(f"batch_size must be an integer, got {batch_size!r}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+
+def batch_unit_sizes(replications: int, batch_size: int) -> List[int]:
+    """Lane counts per batch unit: full batches plus a ragged tail."""
+    sizes = [batch_size] * (replications // batch_size)
+    remainder = replications % batch_size
+    if remainder:
+        sizes.append(remainder)
+    return sizes
+
+
 class ExperimentRunner:
     """Deterministic fan-out of independent experiment work units.
 
@@ -205,6 +246,53 @@ class ExperimentRunner:
         return self.map(
             _call_with_generator,
             [(fn, seq, common_args) for seq in sequences],
+            on_result=on_result,
+            cancel=cancel,
+            collect=collect,
+        )
+
+    def run_batched_replications(
+        self,
+        fn: Callable[..., Any],
+        replications: int,
+        batch_size: int,
+        seed: SeedLike = None,
+        common_args: Tuple[Any, ...] = (),
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        cancel: Optional[Any] = None,
+        collect: bool = True,
+    ) -> List[Any]:
+        """Run ``replications`` lanes as batch work units of ``batch_size``.
+
+        The replication count is split into ``ceil(R / batch_size)``
+        units — full batches plus a ragged tail — and each unit receives
+        its own centrally-spawned seed, exactly like
+        :meth:`run_replications` does per replication.  ``fn`` is
+        invoked as ``fn(*common_args, size, rng)`` and should advance
+        ``size`` lanes on the unit's generator, returning their results
+        as a sequence.  Batch units compose with every backend and with
+        the ``on_result``/``cancel``/``collect=False`` streaming knobs
+        (hooks observe one *unit* — i.e. one batch — per call).
+
+        With ``batch_size=1`` the spawned seed per unit is identical to
+        :meth:`run_replications`'s seed per replication, which is what
+        lets single-lane batch engines pin bit-exactness against the
+        scalar path.
+
+        Raises:
+            TypeError: If ``replications`` or ``batch_size`` is not an
+                integer.
+            ValueError: If either is ``< 1``.
+        """
+        validate_batch_args(replications, batch_size)
+        sizes = batch_unit_sizes(replications, batch_size)
+        sequences = spawn_sequences(as_seed_sequence(seed), len(sizes))
+        return self.map(
+            _call_with_generator,
+            [
+                (fn, seq, (*common_args, size))
+                for size, seq in zip(sizes, sequences)
+            ],
             on_result=on_result,
             cancel=cancel,
             collect=collect,

@@ -25,11 +25,14 @@ from repro.petri.analysis import (
     reachability_graph,
     t_invariants,
 )
+from repro.petri.batched import GSPNBatchEngine, GSPNBatchRun, simulate_batch
 from repro.petri.gspn import GSPN, GSPNResult, ImmediateTransition, TimedTransition
 from repro.petri.net import Marking, PetriNet, Place, Transition
 
 __all__ = [
     "GSPN",
+    "GSPNBatchEngine",
+    "GSPNBatchRun",
     "GSPNResult",
     "ImmediateTransition",
     "Marking",
@@ -42,5 +45,6 @@ __all__ = [
     "is_bounded",
     "p_invariants",
     "reachability_graph",
+    "simulate_batch",
     "t_invariants",
 ]

@@ -1,0 +1,367 @@
+"""Vectorized mega-batch lowering of the compiled GSPN interpreter.
+
+:class:`GSPNBatchEngine` advances *B* independent GSPN replications per
+vectorized step over the same compiled artifact the scalar fast path
+uses (:class:`~repro.petri.gspn._CompiledGSPN`): markings live in one
+``(B, n_places)`` structure-of-arrays matrix, transition enabling is a
+boolean column computation, lanes sharing an enabled set reuse the
+compiled ``rate_cdf`` caches, and race winners are selected with
+:func:`repro.stats.choice.choice_batch` over a pre-drawn uniform block.
+Lanes retire (horizon overflow, dead marking) via boolean masks; live
+lanes are compacted away so late steps only pay for unfinished lanes.
+
+Determinism contract (mirrors :mod:`repro.san.batched`):
+
+* ``size=1`` batches are **bit-identical** to ``GSPN.simulate`` on the
+  same generator: per step the engine draws one exponential via
+  ``standard_exponential() * (1/total)`` — the same floats as the
+  scalar ``rng.exponential(1.0/total)`` — and then one selection
+  uniform *only* if the step fired (the scalar path breaks on horizon
+  overflow before drawing its uniform; a single-candidate race still
+  consumes one uniform, like the legacy ``rng.choice(1, ...)``).
+* Larger batches draw block-wise in lane order and are
+  **distribution-identical**: same per-lane law, different stream
+  interleaving.
+* Nets the lowering cannot vectorize — immediate transitions,
+  marking-dependent rates, or a ``stop`` predicate — fall back to
+  per-lane scalar :meth:`GSPN.simulate` calls inside the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.petri.gspn import GSPN
+from repro.petri.net import Marking
+from repro.stats.choice import choice_batch
+from repro.telemetry.core import current as _current_telemetry
+
+__all__ = ["GSPNBatchEngine", "GSPNBatchRun", "simulate_batch"]
+
+
+@dataclass
+class GSPNBatchRun:
+    """One lane's result from a batched GSPN simulation.
+
+    Mirrors the scalar ``(final_marking, stop_time, log)`` triple with a
+    lighter firing log — ``(time, transition name)`` pairs, without the
+    per-firing marking snapshots (recorded only when the batch ran with
+    ``record_log=True``; empty otherwise).
+    """
+
+    final_marking: Marking
+    stop_time: float = float("nan")
+    log: List[Tuple[float, str]] = field(default_factory=list)
+
+
+class GSPNBatchEngine:
+    """SoA batch lowering of one :class:`~repro.petri.gspn.GSPN`.
+
+    Args:
+        gspn: The net to batch.  Every structural transition must carry
+            a stochastic declaration, exactly like the scalar
+            interpreter.
+        horizon: Simulation time horizon shared by every lane.
+
+    The engine vectorizes nets whose race is purely timed and static —
+    no immediate transitions and every rate a positive constant.  Other
+    nets (and batches with a ``stop`` predicate) transparently run
+    lane-by-lane on the scalar interpreter, so :meth:`run` is always
+    safe to call.
+
+    Raises:
+        ValueError: If some structural transition lacks a stochastic
+            declaration (same message as :meth:`GSPN.simulate`).
+    """
+
+    def __init__(self, gspn: GSPN, horizon: float) -> None:
+        missing = gspn._undeclared()
+        if missing:
+            raise ValueError(
+                f"transitions without timing declaration: {missing!r}"
+            )
+        self.gspn = gspn
+        self.horizon = horizon
+        self._compiled = gspn._compile()
+        self.fallback_reason: Optional[str] = None
+        if gspn._immediate:
+            self.fallback_reason = "net declares immediate transitions"
+        elif any(
+            ct.rate_static is None for ct in self._compiled.transitions
+        ):
+            self.fallback_reason = "net has marking-dependent rates"
+        else:
+            self._lower()
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether batches run the vectorized step loop (vs per-lane
+        scalar fallback)."""
+        return self.fallback_reason is None
+
+    def _lower(self) -> None:
+        """Flatten the compiled net into SoA arrays."""
+        compiled = self._compiled
+        initial = self.gspn.net.initial_marking().as_dict()
+        place_set = set(initial)
+        for ct in compiled.transitions:
+            place_set.update(p for p, _ in ct.inputs)
+            place_set.update(p for p, _ in ct.inhibitors)
+            place_set.update(p for p, _ in ct.delta)
+        self._places: List[str] = sorted(place_set)
+        index = {p: i for i, p in enumerate(self._places)}
+        self._initial = np.zeros(len(self._places), dtype=np.int64)
+        for place, count in initial.items():
+            self._initial[index[place]] = count
+        self._names = [ct.name for ct in compiled.transitions]
+        self._in_idx = [
+            np.asarray([index[p] for p, _ in ct.inputs], dtype=np.intp)
+            for ct in compiled.transitions
+        ]
+        self._in_need = [
+            np.asarray([w for _, w in ct.inputs], dtype=np.int64)
+            for ct in compiled.transitions
+        ]
+        self._inh_idx = [
+            np.asarray([index[p] for p, _ in ct.inhibitors], dtype=np.intp)
+            for ct in compiled.transitions
+        ]
+        self._inh_bound = [
+            np.asarray([t for _, t in ct.inhibitors], dtype=np.int64)
+            for ct in compiled.transitions
+        ]
+        self._delta_idx = [
+            np.asarray([index[p] for p, _ in ct.delta], dtype=np.intp)
+            for ct in compiled.transitions
+        ]
+        self._delta_val = [
+            np.asarray([d for _, d in ct.delta], dtype=np.int64)
+            for ct in compiled.transitions
+        ]
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        size: int,
+        rng: np.random.Generator,
+        stop: Optional[Callable[[Marking], bool]] = None,
+        max_firings: int = 1_000_000,
+        record_log: bool = False,
+    ) -> List[GSPNBatchRun]:
+        """Advance ``size`` independent lanes to the horizon.
+
+        Args:
+            size: Lane count (``>= 1``).
+            rng: The batch's generator — the whole batch is a pure
+                function of its state.
+            stop: Optional marking predicate; forces the per-lane
+                scalar fallback (predicates are arbitrary Python).
+            max_firings: Per-lane firing cap, as in the scalar
+                interpreter.
+            record_log: Record ``(time, name)`` firing pairs per lane
+                (costs a Python append per firing; off by default).
+
+        Raises:
+            ValueError: If ``size < 1``, or a lane exceeds
+                ``max_firings``.
+        """
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if self.fallback_reason is not None or stop is not None:
+            runs = []
+            for _ in range(size):
+                marking, stop_time, log = self.gspn.simulate(
+                    self.horizon, rng, stop=stop, max_firings=max_firings
+                )
+                runs.append(
+                    GSPNBatchRun(
+                        marking,
+                        stop_time,
+                        [(t, name) for t, name, _ in log]
+                        if record_log
+                        else [],
+                    )
+                )
+            self._record_telemetry(size, 0, 0)
+            return runs
+        return self._run_vectorized(size, rng, max_firings, record_log)
+
+    def _run_vectorized(
+        self,
+        size: int,
+        rng: np.random.Generator,
+        max_firings: int,
+        record_log: bool,
+    ) -> List[GSPNBatchRun]:
+        horizon = self.horizon
+        n_trans = len(self._names)
+        markings = np.tile(self._initial, (size, 1))
+        now = np.zeros(size)
+        lane_ids = np.arange(size)
+        results: List[Optional[GSPNBatchRun]] = [None] * size
+        logs: List[List[Tuple[float, str]]] = [[] for _ in range(size)]
+        rate_cdfs = self._compiled._rate_cdfs
+        rate_cdf = self._compiled.rate_cdf
+        statics = [ct.rate_static for ct in self._compiled.transitions]
+        steps = 0
+        lane_steps = 0
+
+        def retire(local: np.ndarray) -> None:
+            for j in local:
+                lane = int(lane_ids[j])
+                results[lane] = GSPNBatchRun(
+                    self._marking_of(markings[j]),
+                    float("nan"),
+                    logs[lane],
+                )
+
+        while lane_ids.size:
+            if steps >= max_firings:
+                raise ValueError(
+                    f"exceeded {max_firings} firings; immediate loop likely"
+                )
+            k = lane_ids.size
+            steps += 1
+            lane_steps += k
+            enabled = np.empty((k, n_trans), dtype=bool)
+            for t in range(n_trans):
+                col = (
+                    (markings[:, self._in_idx[t]] >= self._in_need[t])
+                    .all(axis=1)
+                    if self._in_idx[t].size
+                    else np.ones(k, dtype=bool)
+                )
+                if self._inh_idx[t].size:
+                    col &= (
+                        markings[:, self._inh_idx[t]] < self._inh_bound[t]
+                    ).all(axis=1)
+                enabled[:, t] = col
+            dead = ~enabled.any(axis=1)
+            if dead.any():
+                retire(np.nonzero(dead)[0])
+                live = ~dead
+                lane_ids = lane_ids[live]
+                markings = markings[live]
+                now = now[live]
+                enabled = enabled[live]
+                if not lane_ids.size:
+                    break
+                k = lane_ids.size
+
+            # Group lanes by enabled set so each group reuses the
+            # compiled (total, cdf) cache — including its float-exact
+            # sequential summation for small candidate sets.
+            totals = np.empty(k)
+            group_cdfs: Dict[bytes, Tuple[np.ndarray, np.ndarray]] = {}
+            group_rows: Dict[bytes, List[int]] = {}
+            for j in range(k):
+                key_bytes = enabled[j].tobytes()
+                group_rows.setdefault(key_bytes, []).append(j)
+            for key_bytes, rows in group_rows.items():
+                candidates = tuple(
+                    int(i) for i in np.nonzero(enabled[rows[0]])[0]
+                )
+                cached = rate_cdfs.get(candidates)
+                if cached is None:
+                    cached = rate_cdf(
+                        candidates, [statics[i] for i in candidates]
+                    )
+                    rate_cdfs[candidates] = cached
+                total, cdf = cached
+                totals[rows] = 1.0 / total
+                group_cdfs[key_bytes] = (
+                    np.asarray(candidates, dtype=np.intp),
+                    np.asarray(cdf),
+                )
+
+            # One exponential per live lane (scalar parity:
+            # std_exponential * (1/total)), retiring overflow lanes
+            # BEFORE any selection uniform is drawn.
+            delays = rng.standard_exponential(k) * totals
+            new_now = now + delays
+            over = new_now > horizon
+            if over.any():
+                retire(np.nonzero(over)[0])
+                survivors = ~over
+                lane_ids = lane_ids[survivors]
+                markings = markings[survivors]
+                new_now = new_now[survivors]
+                enabled = enabled[survivors]
+                if not lane_ids.size:
+                    break
+                k = lane_ids.size
+            now = new_now
+
+            # One selection uniform per firing lane — even when the
+            # race has a single candidate, like the scalar path.
+            # choice_batch is element-wise bisect_right parity, so each
+            # lane picks the same winner the scalar loop would.
+            uniforms = rng.random(k)
+            chosen = np.empty(k, dtype=np.intp)
+            survivor_rows: Dict[bytes, List[int]] = {}
+            for j in range(k):
+                survivor_rows.setdefault(enabled[j].tobytes(), []).append(j)
+            for key_bytes, rows in survivor_rows.items():
+                candidates, cdf = group_cdfs[key_bytes]
+                chosen[rows] = candidates[choice_batch(cdf, uniforms[rows])]
+            for t in np.unique(chosen):
+                rows = np.nonzero(chosen == t)[0]
+                if self._delta_idx[t].size:
+                    markings[
+                        rows[:, None], self._delta_idx[t][None, :]
+                    ] += self._delta_val[t]
+            if record_log:
+                for j in range(k):
+                    logs[int(lane_ids[j])].append(
+                        (float(now[j]), self._names[chosen[j]])
+                    )
+
+        self._record_telemetry(size, steps, lane_steps)
+        return [run for run in results]  # all lanes retired
+
+    def _marking_of(self, counts: np.ndarray) -> Marking:
+        return Marking._from_nonzero_sorted(
+            tuple(
+                (place, int(count))
+                for place, count in zip(self._places, counts)
+                if count
+            )
+        )
+
+    @staticmethod
+    def _record_telemetry(size: int, steps: int, lane_steps: int) -> None:
+        telemetry = _current_telemetry()
+        if telemetry is None:
+            return
+        metrics = telemetry.metrics
+        metrics.inc("batch.batches")
+        metrics.inc("batch.lanes", size)
+        metrics.inc("batch.lane_retirements", size)
+        if steps:
+            metrics.inc("batch.steps", steps)
+            metrics.inc("batch.lane_steps", lane_steps)
+
+
+def simulate_batch(
+    gspn: GSPN,
+    horizon: float,
+    size: int,
+    rng: np.random.Generator,
+    stop: Optional[Callable[[Marking], bool]] = None,
+    max_firings: int = 1_000_000,
+    record_log: bool = False,
+) -> List[GSPNBatchRun]:
+    """One-shot convenience over :class:`GSPNBatchEngine`.
+
+    Builds the engine and runs a single batch; reuse an engine directly
+    when running many batches of the same net.
+    """
+    return GSPNBatchEngine(gspn, horizon).run(
+        size, rng, stop=stop, max_firings=max_firings, record_log=record_log
+    )

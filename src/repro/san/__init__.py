@@ -18,6 +18,7 @@ formalism from scratch:
   (``SANModel.compile()``) the simulator executes by default.
 """
 
+from repro.san.batched import PlaceThreshold, SANBatchEngine
 from repro.san.compiled import CompiledSAN
 from repro.san.ctmc import CTMC, poisson_weights, san_to_ctmc
 from repro.san.model import (
@@ -47,7 +48,9 @@ __all__ = [
     "InstantaneousActivity",
     "MonteCarloEstimate",
     "OutputGate",
+    "PlaceThreshold",
     "RateReward",
+    "SANBatchEngine",
     "RewardEstimator",
     "SANBuilder",
     "SANMarking",

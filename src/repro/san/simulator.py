@@ -413,6 +413,7 @@ class SANSimulator:
         rng: "SeedLike" = None,
         stop: Optional[Callable[[SANMarking], bool]] = None,
         runner: Optional["ExperimentRunner"] = None,
+        batch_size: Optional[int] = None,
     ) -> List[SimulationRun]:
         """Run ``replications`` independent replications.
 
@@ -425,19 +426,55 @@ class SANSimulator:
         ``process`` backend additionally requires the model and ``stop``
         predicate to be picklable (no lambdas).
 
-        Raises:
-            ValueError: If ``replications < 1``.
-        """
-        if replications < 1:
-            raise ValueError(f"replications must be >= 1, got {replications}")
-        if runner is None and isinstance(rng, np.random.Generator):
-            return [
-                self.simulate(horizon, rng, stop=stop)
-                for _ in range(replications)
-            ]
-        from repro.exec import ExperimentRunner
+        With ``batch_size=k`` the replications run on the vectorized
+        structure-of-arrays engine (:mod:`repro.san.batched`) as
+        ``ceil(replications / k)`` batch work units of up to ``k`` lanes
+        each, one spawned seed per unit.  ``batch_size=1`` is
+        bit-identical to the scalar runner path from the same root seed;
+        larger batches are distribution-identical (the draws are
+        consumed in batched order).  Models the SoA lowering cannot
+        express fall back lane-by-lane to the scalar engine inside each
+        unit.
 
+        Raises:
+            TypeError: If ``replications`` or ``batch_size`` is not an
+                integer.
+            ValueError: If ``replications < 1`` or ``batch_size < 1``.
+        """
+        from repro.exec import ExperimentRunner, validate_batch_args
+
+        validate_batch_args(replications, batch_size)
+        if batch_size is None:
+            if runner is None and isinstance(rng, np.random.Generator):
+                return [
+                    self.simulate(horizon, rng, stop=stop)
+                    for _ in range(replications)
+                ]
+            active = runner or ExperimentRunner()
+            return active.run_replications(
+                self._replicate,
+                replications,
+                seed=rng,
+                common_args=(horizon, stop),
+            )
         active = runner or ExperimentRunner()
-        return active.run_replications(
-            self._replicate, replications, seed=rng, common_args=(horizon, stop)
+        batches = active.run_batched_replications(
+            self._batch_unit,
+            replications,
+            batch_size,
+            seed=rng,
+            common_args=(horizon, stop),
         )
+        return [run for unit in batches for run in unit]
+
+    def _batch_unit(
+        self,
+        horizon: float,
+        stop: Optional[Callable[[SANMarking], bool]],
+        size: int,
+        rng: np.random.Generator,
+    ) -> List[SimulationRun]:
+        """Runner work unit: one SoA batch of ``size`` lanes."""
+        from repro.san.batched import SANBatchEngine
+
+        return SANBatchEngine(self.model).run(horizon, size, rng, stop=stop)

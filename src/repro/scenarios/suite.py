@@ -135,14 +135,17 @@ def _execute_scenario(
     spec: Dict[str, object],
     seq: np.random.SeedSequence,
     max_records_in_ram: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> ScenarioRunResult:
     """Suite work unit: rebuild the scenario, run its study, summarize.
 
     Module-level so the ``process`` backend can pickle it.  The study
     itself runs with spawn-per-replication seeding (serial within the
-    unit), so the result depends only on ``(spec, seq)`` —
+    unit), so the result depends only on ``(spec, seq, batch_size)`` —
     ``max_records_in_ram`` only decides whether the measurement's table
-    spills to shards, never what it contains.
+    spills to shards, never what it contains.  ``batch_size`` selects
+    the mega-batch campaign lowering (``1`` is bit-identical to the
+    scalar path, larger vectorized batches are distribution-identical).
     """
     scenario = Scenario.from_dict(spec)
     study = DiversityStudy.from_scenario(scenario)
@@ -155,6 +158,7 @@ def _execute_scenario(
         design,
         replications=study.replications,
         campaign_config=study.campaign_config,
+        batch_size=batch_size,
     )
     with trace("scenario.execute"):
         measurement = plan.execute(seq, max_records_in_ram=max_records_in_ram)
@@ -483,7 +487,9 @@ class ScenarioSuite:
 
     @staticmethod
     def _cache_key(
-        spec: "Scenario | Dict[str, object]", seq: np.random.SeedSequence
+        spec: "Scenario | Dict[str, object]",
+        seq: np.random.SeedSequence,
+        batch_size: Optional[int] = None,
     ) -> str:
         """Content address of one scenario execution.
 
@@ -493,21 +499,28 @@ class ScenarioSuite:
         the entry instead of serving stale pre-upgrade results.  The hot
         path hands the pre-computed spec dict in; a bare
         :class:`Scenario` is accepted for convenience.
+
+        ``batch_size`` joins the key only when set: mega-batch records
+        are distribution-identical but not bit-identical to scalar
+        records, so the two must not share cache entries — while keys
+        for ordinary scalar runs stay byte-stable across library
+        versions that predate batching.
         """
         import repro
 
         if isinstance(spec, Scenario):
             spec = spec.to_dict()
-        return content_key(
-            {
-                "format": 1,
-                "library": repro.__version__,
-                "scenario": spec,
-                "entropy": str(seq.entropy),
-                "spawn_key": [int(k) for k in seq.spawn_key],
-                "pool_size": int(seq.pool_size),
-            }
-        )
+        payload: Dict[str, object] = {
+            "format": 1,
+            "library": repro.__version__,
+            "scenario": spec,
+            "entropy": str(seq.entropy),
+            "spawn_key": [int(k) for k in seq.spawn_key],
+            "pool_size": int(seq.pool_size),
+        }
+        if batch_size is not None:
+            payload["batch_size"] = int(batch_size)
+        return content_key(payload)
 
     @staticmethod
     def _result_meta(result: ScenarioRunResult) -> Dict[str, object]:
@@ -541,10 +554,12 @@ class ScenarioSuite:
         cancel: Optional[Any] = None,
         aggregators: Sequence[Callable[[ScenarioRunResult], None]] = (),
         max_records_in_ram: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> SuiteResult:
         """Execute every (selected) scenario; records depend only on
-        ``seed`` and each scenario's position in the full suite, never
-        on backend, worker count, sharding or cache state.
+        ``seed``, each scenario's position in the full suite and
+        ``batch_size``, never on backend, worker count, sharding or
+        cache state.
 
         Args:
             seed: Root seed (``None`` draws fresh entropy; the drawn
@@ -569,10 +584,27 @@ class ScenarioSuite:
                 are identical either way; the ``process`` backend
                 materializes tables at the pickling boundary, so use
                 ``serial``/``thread`` for out-of-core suites.
+            batch_size: When set, campaign replications advance through
+                the mega-batch lowering in lanes of this size (see
+                :class:`repro.attacks.batched.CampaignBatchEngine`).
+                ``batch_size=1`` records are bit-identical to the
+                scalar path; larger vectorized batches are
+                distribution-identical, so batched and scalar runs use
+                distinct cache entries.  Recorded on
+                ``provenance.execution``, outside the spec digest.
         """
+        from repro.exec import validate_batch_args
+
+        if batch_size is not None:
+            validate_batch_args(1, batch_size)
         with trace("suite.run"):
             return self._run_impl(
-                seed, on_result, cancel, aggregators, max_records_in_ram
+                seed,
+                on_result,
+                cancel,
+                aggregators,
+                max_records_in_ram,
+                batch_size,
             )
 
     def _run_impl(
@@ -582,6 +614,7 @@ class ScenarioSuite:
         cancel: Optional[Any],
         aggregators: Sequence[Callable[[ScenarioRunResult], None]],
         max_records_in_ram: Optional[int],
+        batch_size: Optional[int] = None,
     ) -> SuiteResult:
         root = as_seed_sequence(seed)
         sequences = spawn_sequences(root, len(self.scenarios))
@@ -593,6 +626,10 @@ class ScenarioSuite:
         # worker dispatch and the provenance payloads (asdict() is the
         # dominant cost of a fully warm cached run).
         spec_dicts = [scenario.to_dict() for scenario, _ in pairs]
+        execution = (
+            {"batch_size": batch_size} if batch_size is not None else None
+        )
+
         def stamp(position: int, result: ScenarioRunResult) -> None:
             """Attach reproduction provenance (before any hook sees it)."""
             result.provenance = provenance_for(
@@ -600,6 +637,7 @@ class ScenarioSuite:
                 pairs[position][1],
                 self.runner,
                 source="scenario_suite",
+                execution=execution,
             )
 
         def deliver(position: int, result: ScenarioRunResult) -> None:
@@ -624,7 +662,9 @@ class ScenarioSuite:
                 )
             key = ""
             if self.cache is not None:
-                key = self._cache_key(spec_dicts[position], seq)
+                key = self._cache_key(
+                    spec_dicts[position], seq, batch_size
+                )
                 hit = self.cache.load(key)
                 if hit is not None:
                     metric_inc("cache.hit")
@@ -651,7 +691,7 @@ class ScenarioSuite:
             executed = self.runner.map(
                 _execute_scenario,
                 [
-                    (spec_dicts[position], seq, max_records_in_ram)
+                    (spec_dicts[position], seq, max_records_in_ram, batch_size)
                     for position, seq, _ in pending
                 ],
                 on_result=unit_hook,
@@ -681,6 +721,7 @@ class ScenarioSuite:
                 root,
                 self.runner,
                 source="scenario_suite",
+                execution=execution,
             ),
             aggregate=suite_aggregate,
         )

@@ -26,6 +26,33 @@ def choice_cdf(probs: Union[Sequence[float], np.ndarray]) -> List[float]:
     return cdf.tolist()
 
 
+def choice_batch(
+    cdf: Union[Sequence[float], np.ndarray],
+    uniforms: Union[Sequence[float], np.ndarray],
+) -> np.ndarray:
+    """Vectorized inverse-CDF selection over a block of uniforms.
+
+    ``choice_batch(cdf, u)[i]`` equals ``bisect.bisect_right(cdf, u[i])``
+    — the scalar selection the compiled simulators perform — for every
+    element: ``numpy.searchsorted(..., side="right")`` and
+    ``bisect_right`` implement the same right-sided binary search on the
+    same float64 values.  Batch engines pre-draw one uniform block per
+    activity and resolve every lane's case in a single call.
+
+    Args:
+        cdf: A non-decreasing CDF table (e.g. from :func:`choice_cdf`).
+        uniforms: Pre-drawn uniforms, any shape.
+
+    Returns:
+        Case indices as an ``int64`` array shaped like ``uniforms``.
+    """
+    return np.searchsorted(
+        np.asarray(cdf, dtype=np.float64),
+        np.asarray(uniforms, dtype=np.float64),
+        side="right",
+    ).astype(np.int64, copy=False)
+
+
 def weighted_choice_cdf(weights: Sequence[float]) -> List[float]:
     """CDF for the legacy ``choice(n, p=weights / weights.sum())`` idiom.
 

@@ -180,6 +180,22 @@ def _render_headlines(snapshot: TelemetrySnapshot, lines: List[str]) -> None:
             f"({int(snapshot.counter('campaign.sabotage_resumes'))} sabotage "
             "resumes)"
         )
+    lanes = snapshot.counter("batch.lanes")
+    if lanes:
+        batches = snapshot.counter("batch.batches")
+        mean_lanes = lanes / batches if batches else 0.0
+        steps = snapshot.counter("batch.steps")
+        lane_steps = snapshot.counter("batch.lane_steps")
+        line = (
+            f"  batch: {int(lanes)} lanes in {int(batches)} batches "
+            f"(mean {mean_lanes:.1f} lanes/batch"
+        )
+        if steps and mean_lanes:
+            # Mean live lanes per vectorized step, relative to the
+            # batch width: 100% = every step advanced a full batch.
+            utilization = 100.0 * (lane_steps / steps) / mean_lanes
+            line += f", {min(utilization, 100.0):.0f}% lane utilization"
+        lines.append(line + ")")
     units = snapshot.counter("exec.units")
     wall = snapshot.total_seconds("exec.map")
     if units and wall > 0:

@@ -86,6 +86,37 @@ class TestSpeedups:
         payload = {"benchmarks": results, "speedups": derive_speedups(results)}
         assert json.loads(json.dumps(payload)) == payload
 
+    def test_mega_batch_explicit_pairing(self):
+        results = parse_benchmark_json(
+            _report(
+                {
+                    "test_perf_san_batch_scalar": 0.2,
+                    "test_perf_san_batch_vectorized": 0.02,
+                    "test_perf_campaign_batch_scalar": 1.0,
+                    "test_perf_campaign_batch_vectorized": 0.01,
+                }
+            )
+        )
+        speedups = derive_speedups(results)
+        assert speedups["perf_san_batch_vectorized"] == pytest.approx(10.0)
+        assert speedups["perf_campaign_batch_vectorized"] == pytest.approx(
+            100.0
+        )
+        assert "perf_san_batch_scalar" not in speedups
+
+    def test_speedups_use_medians_not_means(self):
+        """A noisy-round-inflated mean must not drag the ratio down."""
+        results = parse_benchmark_json(
+            _report(
+                {
+                    "test_perf_x": 0.001,
+                    "test_perf_x_legacy": 0.012,
+                }
+            )
+        )
+        results["perf_x"]["mean_s"] = 0.006  # outlier-inflated
+        assert derive_speedups(results)["perf_x"] == pytest.approx(12.0)
+
     def test_warm_cache_pairing(self):
         results = parse_benchmark_json(
             _report(

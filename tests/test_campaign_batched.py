@@ -1,0 +1,231 @@
+"""The campaign mega-batch lowering and its wiring.
+
+``CampaignBatchEngine`` vectorizes exfiltration and reconnaissance
+campaigns (duqu-like, flame-like goals) as flat array resolutions;
+impair-goal campaigns resume the scalar tick loop per lane.  Either
+way the public contract holds: ``batch_size=1`` is bit-identical to
+the scalar runner path, wider batches are distribution-identical, and
+``batch_size`` threads through ``run_batch_table``, the scenario
+suite, ``Session`` and ``StudyBuilder``, recorded on
+``Provenance.execution`` outside the spec digest.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.attacks.batched import CampaignBatchEngine
+from repro.attacks.campaign import AttackCampaign
+from repro.scenarios.registry import SCENARIOS, get_scenario
+from repro.scenarios.suite import ScenarioSuite
+
+VECTORIZED = {"cooling_duqu", "smart_grid_duqu", "cooling_flame"}
+
+
+def campaign_for(name: str) -> AttackCampaign:
+    scenario = get_scenario(name)
+    return AttackCampaign(
+        scenario.build_network(),
+        scenario.build_catalog(),
+        scenario.build_threat(),
+        scenario.build_campaign_config(),
+    )
+
+
+def columns(table):
+    return {c: np.asarray(table.column(c)) for c in table.columns}
+
+
+def assert_tables_identical(a, b):
+    ca, cb = columns(a), columns(b)
+    assert sorted(ca) == sorted(cb)
+    for name in ca:
+        np.testing.assert_array_equal(ca[name], cb[name], err_msg=name)
+
+
+class TestEngineLowering:
+    def test_exfiltration_and_recon_goals_vectorize(self):
+        for name in sorted(VECTORIZED):
+            engine = CampaignBatchEngine(campaign_for(name))
+            assert engine.vectorized, (name, engine.fallback_reason)
+
+    def test_impair_goal_falls_back(self):
+        engine = CampaignBatchEngine(campaign_for("cooling_stuxnet"))
+        assert not engine.vectorized
+        assert "impair" in engine.fallback_reason
+
+    def test_fallback_rows_match_sequential_scalar_runs(self):
+        campaign = campaign_for("smoke")
+        engine = CampaignBatchEngine(campaign)
+        rows = engine.run_rows(5, np.random.default_rng(3))
+        assert rows.shape == (5, 4)
+        reference_rng = np.random.default_rng(3)
+        for row in rows:
+            expected = campaign.run(reference_rng).response_row(
+                campaign.config.horizon
+            )
+            np.testing.assert_array_equal(row, np.asarray(expected))
+
+
+class TestBitExactness:
+    def test_batch_size_one_bit_identical_fallback_scenario(self):
+        campaign = campaign_for("smoke")
+        scalar = campaign.run_batch_table(6, rng=11)
+        batched = campaign.run_batch_table(6, rng=11, batch_size=1)
+        assert_tables_identical(scalar, batched)
+
+    def test_batch_size_one_bit_identical_vectorized_scenario(self):
+        campaign = campaign_for("cooling_duqu")
+        scalar = campaign.run_batch_table(6, rng=11)
+        batched = campaign.run_batch_table(6, rng=11, batch_size=1)
+        assert_tables_identical(scalar, batched)
+
+    def test_ragged_batch_deterministic(self):
+        campaign = campaign_for("cooling_duqu")
+        first = campaign.run_batch_table(10, rng=5, batch_size=4)
+        again = campaign.run_batch_table(10, rng=5, batch_size=4)
+        assert len(first) == 10
+        assert_tables_identical(first, again)
+
+    def test_streaming_rows_identical_to_collected(self):
+        campaign = campaign_for("cooling_duqu")
+        collected = campaign.run_batch_table(20, rng=7, batch_size=8)
+        streamed = campaign.run_batch_table(
+            20, rng=7, batch_size=8, max_records_in_ram=6
+        )
+        assert_tables_identical(collected, streamed)
+
+
+@pytest.mark.scenario
+class TestDistributionalIdentity:
+    """Every built-in scenario: batched statistics agree with scalar
+    within Monte-Carlo error at fixed seeds."""
+
+    REPS = 256
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS.names()))
+    def test_builtin_scenario(self, name):
+        campaign = campaign_for(name)
+        n = self.REPS
+        scalar = columns(campaign.run_batch_table(n, rng=2026))
+        batched = columns(
+            campaign.run_batch_table(n, rng=8080, batch_size=n)
+        )
+
+        p1 = float(scalar["success"].mean())
+        p2 = float(batched["success"].mean())
+        pooled = (p1 + p2) / 2.0
+        se = math.sqrt(max(pooled * (1 - pooled), 1e-4) * 2.0 / n)
+        assert abs(p1 - p2) < 4.0 * se + 1e-9, (name, p1, p2)
+
+        r1, r2 = scalar["final_ratio"], batched["final_ratio"]
+        spread = max(float(np.std(r1)), float(np.std(r2)), 1e-2)
+        assert abs(float(r1.mean()) - float(r2.mean())) < (
+            4.0 * spread * math.sqrt(2.0 / n)
+        ), (name, r1.mean(), r2.mean())
+
+        for column in ("tta", "ttsf"):
+            m1 = scalar[column][np.isfinite(scalar[column])]
+            m2 = batched[column][np.isfinite(batched[column])]
+            if len(m1) < 30 or len(m2) < 30:
+                continue
+            spread = max(float(np.std(m1)), float(np.std(m2)), 1e-2)
+            se = spread * math.sqrt(1.0 / len(m1) + 1.0 / len(m2))
+            assert abs(float(m1.mean()) - float(m2.mean())) < 4.5 * se, (
+                name,
+                column,
+            )
+
+
+class TestValidation:
+    def test_error_messages_match_san_batch(self):
+        campaign = campaign_for("smoke")
+        with pytest.raises(
+            TypeError, match=r"replications must be an integer, got 2\.5"
+        ):
+            campaign.run_batch_table(2.5)
+        with pytest.raises(
+            TypeError, match=r"replications must be an integer, got True"
+        ):
+            campaign.run_batch_table(True)
+        with pytest.raises(
+            ValueError, match=r"replications must be >= 1, got 0"
+        ):
+            campaign.run_batch_table(0)
+        with pytest.raises(
+            ValueError, match=r"batch_size must be >= 1, got 0"
+        ):
+            campaign.run_batch_table(4, batch_size=0)
+        with pytest.raises(
+            TypeError, match=r"batch_size must be an integer, got 2\.5"
+        ):
+            campaign.run_batch_table(4, batch_size=2.5)
+
+
+class TestSuiteWiring:
+    def test_suite_batch_size_one_bit_identical(self):
+        baseline = ScenarioSuite(["smoke"]).run(seed=42)
+        batched = ScenarioSuite(["smoke"]).run(seed=42, batch_size=1)
+        assert (
+            baseline.records_by_scenario() == batched.records_by_scenario()
+        )
+        assert (
+            baseline.provenance.spec_digest
+            == batched.provenance.spec_digest
+        )
+        assert baseline.provenance.execution is None
+        assert batched.provenance.execution == {"batch_size": 1}
+
+    def test_suite_rejects_bad_batch_size(self):
+        with pytest.raises(
+            ValueError, match=r"batch_size must be >= 1, got 0"
+        ):
+            ScenarioSuite(["smoke"]).run(seed=1, batch_size=0)
+
+
+class TestSessionWiring:
+    def test_campaign_batch_size_recorded_on_provenance(self):
+        with Session() as session:
+            result = session.campaign("smoke", 8, seed=3, batch_size=4)
+        assert result.provenance.execution == {"batch_size": 4}
+        assert len(result.table) == 8
+
+    def test_campaign_batch_size_one_bit_identical(self):
+        with Session() as session:
+            scalar = session.campaign("smoke", 8, seed=3)
+            batched = session.campaign("smoke", 8, seed=3, batch_size=1)
+        assert scalar.provenance.execution is None
+        assert (
+            scalar.provenance.spec_digest == batched.provenance.spec_digest
+        )
+        assert_tables_identical(scalar.table, batched.table)
+
+    def test_streaming_campaign_merges_batch_execution(self):
+        with Session() as session:
+            result = session.campaign(
+                "cooling_duqu",
+                16,
+                seed=5,
+                batch_size=8,
+                max_records_in_ram=6,
+            )
+        execution = result.provenance.execution
+        assert execution["stream"] is True
+        assert execution["batch_size"] == 8
+
+    def test_builder_pins_batch_size(self):
+        with Session() as session:
+            study = session.study("smoke").batch_size(4)
+            result = session.campaign(study, 8, seed=3)
+            explicit = session.campaign("smoke", 8, seed=3, batch_size=4)
+        assert result.provenance.execution == {"batch_size": 4}
+        assert_tables_identical(result.table, explicit.table)
+
+    def test_builder_rejects_bad_batch_size(self):
+        with Session() as session:
+            with pytest.raises(
+                ValueError, match=r"batch_size must be >= 1, got 0"
+            ):
+                session.study("smoke").batch_size(0)

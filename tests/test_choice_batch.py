@@ -1,0 +1,87 @@
+"""Property tests for the vectorized inverse-CDF selector.
+
+``choice_batch`` is the primitive every mega-batch engine uses to
+resolve case/transition selection for a whole block of lanes at once;
+these tests pin it element-wise to the scalar ``bisect_right`` the
+compiled simulators perform, so batched selections are bit-identical
+to scalar ones given the same uniforms.
+"""
+
+import bisect
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.choice import choice_batch, choice_cdf, weighted_choice_cdf
+
+probs = st.lists(
+    st.floats(min_value=1e-6, max_value=1.0), min_size=1, max_size=12
+)
+uniform_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=0, max_size=32
+)
+
+
+@given(probs, uniform_lists)
+def test_choice_batch_matches_scalar_bisect(p, uniforms):
+    cdf = choice_cdf(p)
+    got = choice_batch(cdf, uniforms)
+    expected = [bisect.bisect_right(cdf, u) for u in uniforms]
+    assert got.tolist() == expected
+    assert got.dtype == np.int64
+
+
+@given(probs, uniform_lists)
+def test_choice_batch_matches_weighted_cdf(p, uniforms):
+    cdf = weighted_choice_cdf(p)
+    got = choice_batch(cdf, uniforms)
+    expected = [bisect.bisect_right(cdf, u) for u in uniforms]
+    assert got.tolist() == expected
+
+
+@given(probs, st.data())
+def test_choice_batch_boundary_uniforms(p, data):
+    """Uniforms exactly equal to a CDF entry select the *next* case —
+    the right-sided search convention both implementations share."""
+    cdf = choice_cdf(p)
+    index = data.draw(st.integers(min_value=0, max_value=len(cdf) - 1))
+    u = cdf[index]
+    got = choice_batch(cdf, [u])
+    assert got[0] == bisect.bisect_right(cdf, u)
+
+
+def test_choice_batch_preserves_shape():
+    cdf = choice_cdf([0.25, 0.25, 0.5])
+    block = np.linspace(0.0, 0.999, 12).reshape(3, 4)
+    got = choice_batch(cdf, block)
+    assert got.shape == (3, 4)
+    flat = [bisect.bisect_right(cdf, u) for u in block.ravel()]
+    assert got.ravel().tolist() == flat
+
+
+def test_choice_batch_empty_block():
+    got = choice_batch(choice_cdf([1.0]), [])
+    assert got.shape == (0,)
+
+
+def test_choice_batch_matches_generator_choice():
+    """End to end: pre-drawn uniforms + choice_batch reproduce
+    Generator.choice selections from the same generator state."""
+    p = np.array([0.1, 0.2, 0.3, 0.4])
+    cdf = choice_cdf(p)
+    seed = 20260808
+    reference = [
+        np.random.default_rng(seed + i).choice(4, p=p) for i in range(64)
+    ]
+    uniforms = [
+        np.random.default_rng(seed + i).random() for i in range(64)
+    ]
+    assert choice_batch(cdf, uniforms).tolist() == reference
+
+
+def test_choice_cdf_ends_at_one():
+    cdf = choice_cdf([3.0, 1.0, 4.0])
+    assert cdf[-1] == pytest.approx(1.0)
+    assert all(a <= b for a, b in zip(cdf, cdf[1:]))

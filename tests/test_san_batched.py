@@ -1,0 +1,241 @@
+"""The SAN structure-of-arrays batch engine.
+
+Determinism contract under test:
+
+* ``batch_size=1`` (and single-lane engine batches) are **bit-exact**
+  against the scalar engine from the same seeds.
+* Wider batches are **distribution-identical** — the same draws are
+  consumed in batched order, so statistics agree but individual runs
+  need not.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.san.batched import PlaceThreshold, SANBatchEngine, simulate_batch
+from repro.san.model import SANModel, simple_case
+from repro.san.simulator import SANSimulator
+from repro.stats.distributions import Exponential
+from repro.telemetry import Telemetry
+from repro.telemetry.report import render_snapshot
+
+
+def pipeline_model(stages: int = 3) -> SANModel:
+    """A lockstep pipeline whose stages branch 60/40 between advancing
+    and dropping the token — the final marking is genuinely random."""
+    model = SANModel("pipe")
+    for i in range(stages):
+        model.add_timed_activity(
+            f"a{i}",
+            distribution=Exponential(1.0),
+            input_places={f"s{i}": 1},
+            cases=[
+                simple_case({f"s{i + 1}": 1}, probability=0.6, label="go"),
+                simple_case({"dropped": 1}, probability=0.4, label="drop"),
+            ],
+        )
+    model.set_initial("s0", 1)
+    return model
+
+
+def runs_equal(a, b) -> bool:
+    if a.final_marking.as_dict() != b.final_marking.as_dict():
+        return False
+    if a.end_time != b.end_time:
+        return False
+    if not (
+        a.stop_time == b.stop_time
+        or (math.isnan(a.stop_time) and math.isnan(b.stop_time))
+    ):
+        return False
+    return a.completions == b.completions
+
+
+class TestBitExactness:
+    def test_batch_size_one_matches_scalar_runner_path(self):
+        sim = SANSimulator(pipeline_model())
+        scalar = sim.batch(50.0, 7, rng=123)
+        batched = sim.batch(50.0, 7, rng=123, batch_size=1)
+        assert len(batched) == len(scalar) == 7
+        for a, b in zip(scalar, batched):
+            assert runs_equal(a, b)
+
+    def test_single_lane_engine_matches_simulate(self):
+        model = pipeline_model()
+        engine = SANBatchEngine(model)
+        assert engine.vectorizable, engine.fallback_reason
+        for seed in range(10):
+            lane = engine.run(50.0, 1, np.random.default_rng(seed))[0]
+            scalar = SANSimulator(model).simulate(
+                50.0, np.random.default_rng(seed)
+            )
+            assert runs_equal(lane, scalar)
+
+    def test_single_lane_stop_time_matches(self):
+        """nan/finite stop times agree lane-for-lane at B=1."""
+        model = pipeline_model()
+        stop = PlaceThreshold("s2", 1)
+        engine = SANBatchEngine(model)
+        saw_hit = saw_miss = False
+        for seed in range(20):
+            lane = engine.run(
+                50.0, 1, np.random.default_rng(seed), stop=stop
+            )[0]
+            scalar = SANSimulator(model).simulate(
+                50.0, np.random.default_rng(seed), stop=stop
+            )
+            assert runs_equal(lane, scalar)
+            if math.isnan(lane.stop_time):
+                saw_miss = True
+            else:
+                saw_hit = True
+        assert saw_hit and saw_miss
+
+
+class TestEdgeCases:
+    def test_all_lanes_stop_at_time_zero(self):
+        """A predicate already true at the initial marking retires every
+        lane before any draw — scalar semantics, batched."""
+        model = pipeline_model()
+        runs = SANBatchEngine(model).run(
+            50.0, 5, np.random.default_rng(0), stop=PlaceThreshold("s0", 1)
+        )
+        assert len(runs) == 5
+        for run in runs:
+            assert run.stop_time == 0.0
+            assert run.end_time == 0.0
+            assert run.completions == []
+            assert run.final_marking.as_dict() == {"s0": 1}
+
+    def test_ragged_final_batch(self):
+        """replications % batch_size != 0 — the tail unit is smaller but
+        every replication still runs, deterministically."""
+        sim = SANSimulator(pipeline_model())
+        first = sim.batch(50.0, 5, rng=7, batch_size=2)
+        again = sim.batch(50.0, 5, rng=7, batch_size=2)
+        assert len(first) == 5
+        for a, b in zip(first, again):
+            assert runs_equal(a, b)
+
+    def test_batch_size_larger_than_replications(self):
+        sim = SANSimulator(pipeline_model())
+        runs = sim.batch(50.0, 3, rng=7, batch_size=64)
+        assert len(runs) == 3
+
+    def test_module_level_helper(self):
+        runs = simulate_batch(
+            pipeline_model(), 50.0, 4, np.random.default_rng(3)
+        )
+        assert len(runs) == 4
+
+
+class TestDistributionalIdentity:
+    def test_terminal_place_distribution_matches_scalar(self):
+        """P(token reaches s3) is 0.6^3; batched and scalar estimates
+        agree within sampling error at a fixed seed."""
+        model = pipeline_model()
+        n = 800
+        sim = SANSimulator(model)
+        scalar = sim.batch(50.0, n, rng=99)
+        batched = sim.batch(50.0, n, rng=99, batch_size=n)
+        p_scalar = sum(
+            r.final_marking.as_dict().get("s3", 0) for r in scalar
+        ) / n
+        p_batched = sum(
+            r.final_marking.as_dict().get("s3", 0) for r in batched
+        ) / n
+        p = 0.6 ** 3
+        bound = 4.0 * math.sqrt(p * (1 - p) / n)
+        assert abs(p_scalar - p) < bound
+        assert abs(p_batched - p) < bound
+        assert abs(p_scalar - p_batched) < 2 * bound
+
+    def test_mean_end_time_matches_scalar(self):
+        model = pipeline_model()
+        n = 800
+        sim = SANSimulator(model)
+        scalar = np.mean([r.end_time for r in sim.batch(50.0, n, rng=5)])
+        batched = np.mean(
+            [r.end_time for r in sim.batch(50.0, n, rng=5, batch_size=n)]
+        )
+        assert abs(scalar - batched) < 0.25
+
+
+class TestValidation:
+    def test_replications_must_be_integer(self):
+        sim = SANSimulator(pipeline_model())
+        with pytest.raises(
+            TypeError, match=r"replications must be an integer, got 2\.5"
+        ):
+            sim.batch(50.0, 2.5)
+        with pytest.raises(
+            TypeError, match=r"replications must be an integer, got True"
+        ):
+            sim.batch(50.0, True)
+
+    def test_replications_must_be_positive(self):
+        sim = SANSimulator(pipeline_model())
+        with pytest.raises(
+            ValueError, match=r"replications must be >= 1, got 0"
+        ):
+            sim.batch(50.0, 0)
+
+    def test_batch_size_must_be_integer(self):
+        sim = SANSimulator(pipeline_model())
+        with pytest.raises(
+            TypeError, match=r"batch_size must be an integer, got 2\.5"
+        ):
+            sim.batch(50.0, 4, batch_size=2.5)
+        with pytest.raises(
+            TypeError, match=r"batch_size must be an integer, got True"
+        ):
+            sim.batch(50.0, 4, batch_size=True)
+
+    def test_batch_size_must_be_positive(self):
+        sim = SANSimulator(pipeline_model())
+        with pytest.raises(
+            ValueError, match=r"batch_size must be >= 1, got 0"
+        ):
+            sim.batch(50.0, 4, batch_size=0)
+
+    def test_engine_rejects_empty_batch(self):
+        with pytest.raises(ValueError, match=r"size must be >= 1, got 0"):
+            SANBatchEngine(pipeline_model()).run(
+                50.0, 0, np.random.default_rng(0)
+            )
+
+
+class TestPlaceThreshold:
+    def test_rejects_non_positive_threshold(self):
+        with pytest.raises(ValueError, match=r"min_tokens must be >= 1"):
+            PlaceThreshold("s0", 0)
+
+    def test_scalar_and_batch_agree(self):
+        stop = PlaceThreshold("s1", 2)
+        index = {"s0": 0, "s1": 1}
+        markings = np.array([[0, 2], [3, 1], [0, 5]])
+        mask = stop.batch_mask(markings, index)
+        assert mask.tolist() == [True, False, True]
+
+    def test_unknown_place_never_stops(self):
+        stop = PlaceThreshold("missing")
+        mask = stop.batch_mask(np.ones((4, 2), dtype=np.int64), {"s0": 0})
+        assert not mask.any()
+
+
+class TestTelemetry:
+    def test_batch_counters_and_headline(self):
+        sim = SANSimulator(pipeline_model())
+        telemetry = Telemetry()
+        with telemetry.activate():
+            sim.batch(50.0, 64, rng=1, batch_size=32)
+        snapshot = telemetry.snapshot()
+        assert snapshot.counter("batch.batches") == 2
+        assert snapshot.counter("batch.lanes") == 64
+        assert snapshot.counter("batch.lane_retirements") == 64
+        assert snapshot.counter("batch.steps") > 0
+        report = render_snapshot(snapshot)
+        assert "batch: 64 lanes in 2 batches" in report
+        assert "lane utilization" in report
