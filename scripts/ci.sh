@@ -1,22 +1,27 @@
 #!/usr/bin/env bash
-# Single CI gate: tier-1 unit suite, facade selftest, perf regression,
-# telemetry overhead.
+# Single CI gate: tier-1 unit suite, chaos tier, facade selftest, perf
+# regression, telemetry + retry overhead.
 #
-#   scripts/ci.sh                 # full gate (tier-1 + selftest + bench)
+#   scripts/ci.sh                 # full gate (tier-1 + chaos + selftest + bench)
 #   SKIP_BENCH=1 scripts/ci.sh    # fast gate (no benchmark re-run)
 #
-# The benchmark stage re-times the perf suites and compares medians
-# against the persisted baseline (BENCH_PR8.json by default — the most
-# recent baseline, so every benchmark incl. the telemetry-enabled suite
-# run and the mega-batch pairs is gated) via `python -m repro.bench
-# --compare` — non-zero exit on any regression beyond tolerance.
-# Override with BENCH_BASELINE=path.
+# The chaos stage runs the seeded fault-injection tier (worker crashes,
+# hangs, kills, corrupted chunk payloads) and pins that records with
+# injected faults are bit-identical to records without, on every
+# backend.
 #
-# The telemetry overhead gate (`python -m repro.bench.overhead`) times
-# the perf_suite_run workload with telemetry off vs on as interleaved
-# pairs and fails when the median on/off ratio exceeds the 2% budget —
-# paired rounds, because separately-timed medians cannot resolve 2% on
-# a noisy shared box.
+# The benchmark stage re-times the perf suites and compares medians
+# against the persisted baseline (BENCH_PR9.json by default — the most
+# recent baseline, so every benchmark incl. the telemetry-enabled suite
+# run, the retry-armed suite run and the mega-batch pairs is gated)
+# via `python -m repro.bench --compare` — non-zero exit on any
+# regression beyond tolerance.  Override with BENCH_BASELINE=path.
+#
+# The overhead gates (`python -m repro.bench.overhead`) time the
+# perf_suite_run workload with telemetry (then a retry policy) off vs
+# on as interleaved pairs and fail when the median on/off ratio
+# exceeds the 2% budget — paired rounds, because separately-timed
+# medians cannot resolve 2% on a noisy shared box.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,18 +31,26 @@ echo "== tier-1 test suite =="
 python -m pytest -x -q
 
 echo
+echo "== chaos tier (seeded fault injection) =="
+python -m pytest -m chaos -q
+
+echo
 echo "== repro.api selftest =="
 python -m repro.api --selftest
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo
     echo "== benchmark regression gate =="
-    baseline="${BENCH_BASELINE:-BENCH_PR8.json}"
+    baseline="${BENCH_BASELINE:-BENCH_PR9.json}"
     python -m repro.bench -o /tmp/bench-ci.json --compare "$baseline"
 
     echo
     echo "== telemetry overhead gate (<= 2%) =="
-    python -m repro.bench.overhead
+    python -m repro.bench.overhead --workload telemetry
+
+    echo
+    echo "== retry-policy overhead gate (<= 2%) =="
+    python -m repro.bench.overhead --workload retry
 fi
 
 echo

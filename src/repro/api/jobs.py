@@ -20,6 +20,7 @@ import itertools
 import logging
 import threading
 import time
+import traceback
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
@@ -123,6 +124,7 @@ class JobHandle:
         self._emitted: Set[JobState] = set()
         self._telemetry: Optional[Telemetry] = None
         self._last_heartbeat = 0.0
+        self._failure_traceback: Optional[str] = None
         self._emit(JobState.PENDING)
 
     # ---- wiring (Session-side) ------------------------------------------
@@ -196,6 +198,10 @@ class JobHandle:
                 f"job {self.job_id} cancelled: {exc}"
             ) from exc
         except BaseException as exc:
+            # Full formatted chain — including any worker-side
+            # RemoteTracebackError cause the exec layer attached — so
+            # callers can post-mortem a failed job without re-raising.
+            self._failure_traceback = traceback.format_exc()
             self._emit(JobState.FAILED, repr(exc))
             raise
         self._emit(JobState.DONE)
@@ -262,6 +268,13 @@ class JobHandle:
         """Work units completed so far vs the job's total."""
         with self._lock:
             return JobProgress(completed=self._completed, total=self._total)
+
+    @property
+    def failure_traceback(self) -> Optional[str]:
+        """The failed job's full formatted traceback (with the
+        worker-side remote traceback chained in when the failure
+        crossed a process boundary); ``None`` unless FAILED."""
+        return self._failure_traceback
 
     def done(self) -> bool:
         """Whether the job has reached a terminal state."""

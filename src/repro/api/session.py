@@ -34,8 +34,10 @@ from repro.telemetry.profiling import PROFILE_MODES
 from repro.api.result import CampaignRunResult, RunResult
 from repro.attacks.campaign import AttackCampaign
 from repro.core.study import DiversityStudy, StudyResult
+from repro.exec.resilience import RetryPolicy
 from repro.exec.runner import ExperimentRunner
 from repro.exec.seeding import SeedLike, as_seed_sequence
+from repro.faults import FaultPlan, plan_from_env
 from repro.results import (
     ResultCache,
     StreamingSummary,
@@ -100,6 +102,21 @@ class Session:
         verbose: Attach a DEBUG stderr handler to the ``repro`` logger
             hierarchy (see :func:`repro.telemetry.configure_logging`);
             the library is silent by default (``NullHandler``).
+        retry: Optional :class:`~repro.exec.resilience.RetryPolicy` for
+            every run of this session — transient worker failures are
+            retried with deterministic backoff, hung chunks are
+            re-dispatched after the watchdog timeout, and dead process
+            pools are respawned (then degraded to inline execution)
+            instead of failing the run.  Retried work re-runs with its
+            originally spawned seeds, so results never depend on the
+            policy.  ``None`` keeps legacy fail-fast worker-error
+            semantics (pool deaths are still survived).
+        fault_plan: Optional :class:`~repro.faults.FaultPlan` injecting
+            seeded crashes/hangs/kills/payload corruption into this
+            session's execution — chaos testing only.  Defaults to the
+            ``REPRO_FAULT_PLAN`` environment variable (unset = no
+            injection, always); recorded on ``Provenance.execution``
+            *outside* the spec digest.
 
     Example:
         >>> from repro.api import Session
@@ -122,6 +139,8 @@ class Session:
         chunk_size: Optional[int] = None,
         telemetry: Union[bool, str, Telemetry] = False,
         verbose: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if max_parallel_jobs < 1:
             raise ValueError(
@@ -136,7 +155,17 @@ class Session:
         self._telemetry_mode = telemetry
         if verbose:
             configure_logging()
-        self.runner = ExperimentRunner(backend, n_workers, chunk_size)
+        if fault_plan is None:
+            fault_plan = plan_from_env()
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.runner = ExperimentRunner(
+            backend,
+            n_workers,
+            chunk_size,
+            retry=retry,
+            fault_plan=fault_plan,
+        )
         if registry is not None:
             # A caller-supplied registry is caller-owned: use it as-is
             # (copy only if catalog dirs are layered on top).
@@ -285,6 +314,8 @@ class Session:
         seed: Optional[SeedLike] = None,
         shard: Optional[tuple] = None,
         batch_size: Optional[int] = None,
+        on_error: str = "raise",
+        journal: Optional[Any] = None,
     ) -> RunResult:
         """Execute synchronously.
 
@@ -304,6 +335,18 @@ class Session:
                 to a single builder's pinned
                 :meth:`~repro.api.builder.StudyBuilder.batch_size`.
                 Recorded on ``provenance.execution``.
+            on_error: ``"raise"`` (default) surfaces the first scenario
+                failure; ``"skip"`` isolates per-scenario failures into
+                ``SuiteResult.errors`` (full tracebacks included) so
+                sibling scenarios still complete.  A *single* failed
+                target under ``"skip"`` raises ``RuntimeError`` carrying
+                the captured traceback, since there is no suite result
+                to park the error on.
+            journal: Optional run-journal path (or
+                :class:`~repro.scenarios.RunJournal`): completed
+                scenarios are checkpointed so a crashed/cancelled run
+                re-invoked with the same journal (and a session cache)
+                resumes where it died.
 
         Returns:
             A :class:`~repro.scenarios.ScenarioRunResult` for a single
@@ -323,11 +366,19 @@ class Session:
         run_batch = self._effective_batch_size(batch_size, target)
         telemetry = self._telemetry_for_run("session.run")
         if telemetry is None:
-            suite_result = suite.run(seed=run_seed, batch_size=run_batch)
+            suite_result = suite.run(
+                seed=run_seed,
+                batch_size=run_batch,
+                on_error=on_error,
+                journal=journal,
+            )
         else:
             with telemetry.activate(), telemetry.span("session.run"):
                 suite_result = suite.run(
-                    seed=run_seed, batch_size=run_batch
+                    seed=run_seed,
+                    batch_size=run_batch,
+                    on_error=on_error,
+                    journal=journal,
                 )
             snapshot = telemetry.snapshot()
             suite_result.telemetry = snapshot
@@ -335,7 +386,19 @@ class Session:
                 scenario_result.telemetry = snapshot
         if is_suite:
             return suite_result
-        return suite_result.results[0]
+        return self._single_result(suite_result)
+
+    @staticmethod
+    def _single_result(suite_result: SuiteResult) -> ScenarioRunResult:
+        """The lone result of a single-target run — or, when
+        ``on_error="skip"`` swallowed it, the failure re-raised (a
+        single target has no suite result to park the error on)."""
+        if suite_result.results:
+            return suite_result.results[0]
+        failure = suite_result.errors[0]
+        raise RuntimeError(
+            f"{failure}\n\n--- captured traceback ---\n{failure.traceback}"
+        )
 
     def full_study(
         self,
@@ -533,6 +596,8 @@ class Session:
         shard: Optional[tuple] = None,
         description: Optional[str] = None,
         batch_size: Optional[int] = None,
+        on_error: str = "raise",
+        journal: Optional[Any] = None,
     ) -> JobHandle:
         """Queue the same work :meth:`run` does; returns a
         :class:`~repro.api.jobs.JobHandle` immediately.
@@ -540,7 +605,10 @@ class Session:
         Progress counts completed scenarios.  The handle's ``result()``
         is bit-identical to the synchronous :meth:`run` with the same
         seed (and ``batch_size``).  Jobs beyond ``max_parallel_jobs``
-        wait in submission order.
+        wait in submission order.  ``on_error=`` / ``journal=`` behave
+        exactly as on :meth:`run` — with a journal (plus the session
+        cache), a cancelled or crashed job resubmitted with the same
+        arguments resumes from its last completed scenario.
         """
         self._ensure_open()
         scenarios, is_suite = self._resolve_targets(target)
@@ -562,20 +630,24 @@ class Session:
                     on_result=job._advance,
                     cancel=job._cancel_event,
                     batch_size=run_batch,
+                    on_error=on_error,
+                    journal=journal,
                 )
-                return result if is_suite else result.results[0]
+                return result if is_suite else self._single_result(result)
             with telemetry.activate(), telemetry.span("session.run"):
                 result = suite.run(
                     seed=run_seed,
                     on_result=job._advance,
                     cancel=job._cancel_event,
                     batch_size=run_batch,
+                    on_error=on_error,
+                    journal=journal,
                 )
             snapshot = telemetry.snapshot()
             result.telemetry = snapshot
             for scenario_result in result.results:
                 scenario_result.telemetry = snapshot
-            return result if is_suite else result.results[0]
+            return result if is_suite else self._single_result(result)
 
         total = len(scenarios)
         if shard is not None:

@@ -57,6 +57,10 @@ _PAIR_SUFFIXES = (
 #: scripts/ci.sh).
 _PAIR_EXPLICIT = {
     "perf_telemetry_overhead": "perf_suite_run",
+    # Same workload again with a RetryPolicy armed (watchdog on, no
+    # faults injected); the "speedup" is the fault-free resilience
+    # overhead ratio (expected ~1.0, gated by scripts/ci.sh).
+    "perf_retry_overhead": "perf_suite_run",
     # Mega-batch SoA lowerings vs their scalar counterparts; the
     # reported speedups are the batch wins gated by scripts/ci.sh.
     "perf_san_batch_vectorized": "perf_san_batch_scalar",
@@ -69,6 +73,7 @@ DEFAULT_TARGETS = [
     "benchmarks/test_bench_perf_streaming.py",
     "benchmarks/test_bench_perf_telemetry.py",
     "benchmarks/test_bench_perf_batch.py",
+    "benchmarks/test_bench_perf_resilience.py",
 ]
 
 #: Median regression (as a fraction of the baseline median) tolerated

@@ -7,10 +7,15 @@ The subsystem has three layers:
 * :mod:`repro.exec.backends` — ``serial`` / ``thread`` / ``process``
   execution strategies with order-preserving result collection;
 * :mod:`repro.exec.runner` — :class:`ExperimentRunner`, the façade the
-  measurement, campaign and SAN batch entry points build on.
+  measurement, campaign and SAN batch entry points build on;
+* :mod:`repro.exec.resilience` — :class:`RetryPolicy`, the per-chunk
+  watchdog and the pool-respawn/degradation ladder layered under the
+  pool backends (retries re-use the originally spawned seeds, so fault
+  tolerance never changes results).
 
-See the "Parallel execution" section of the README for guidance on
-choosing a backend and worker count.
+See the "Parallel execution" and "Fault tolerance & chaos testing"
+sections of the README for guidance on choosing a backend, worker
+count and retry policy.
 """
 
 from repro.exec.backends import (
@@ -22,6 +27,14 @@ from repro.exec.backends import (
     WorkUnit,
     available_backends,
     get_backend,
+)
+from repro.exec.resilience import (
+    ChunkTimeoutError,
+    CorruptChunkError,
+    DegradedExecutionWarning,
+    RemoteTracebackError,
+    RetryPolicy,
+    TransientWorkerError,
 )
 from repro.exec.runner import (
     ExperimentRunner,
@@ -37,13 +50,19 @@ from repro.exec.seeding import (
 )
 
 __all__ = [
+    "ChunkTimeoutError",
+    "CorruptChunkError",
+    "DegradedExecutionWarning",
     "ExecutionBackend",
     "ExecutionCancelled",
     "ExperimentRunner",
     "ProcessBackend",
+    "RemoteTracebackError",
+    "RetryPolicy",
     "SeedLike",
     "SerialBackend",
     "ThreadBackend",
+    "TransientWorkerError",
     "WorkUnit",
     "as_seed_sequence",
     "available_backends",

@@ -22,6 +22,7 @@ for the same work list.
 
 from __future__ import annotations
 
+import logging
 import math
 import time
 from concurrent.futures import (
@@ -29,11 +30,20 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.telemetry.core import Telemetry
+from repro.exec.resilience import (
+    LEGACY_POLICY,
+    ChunkDispatcher,
+    CorruptChunkError,
+    CorruptChunkPayload,
+    RetryPolicy,
+    attach_remote_traceback,
+)
+from repro.telemetry.core import Telemetry, metric_inc, metric_observe
+
+_LOG = logging.getLogger(__name__)
 
 #: Seconds between cancellation checks while waiting on an in-flight
 #: chunk (pool backends only; the serial backend checks every unit).
@@ -70,17 +80,61 @@ class WorkUnit:
     args: Tuple[Any, ...] = ()
 
 
-def run_chunk(chunk: Sequence[WorkUnit]) -> List[Tuple[int, Any]]:
+def _execute_units(
+    chunk: Sequence[WorkUnit], fault_plan: Optional[Any], attempt: int
+) -> List[Tuple[int, Any]]:
+    """Run a chunk's units in order, firing any injected faults first.
+
+    Worker-side.  ``fault_plan`` is a duck-typed
+    :class:`~repro.faults.FaultPlan` (``None`` on every normal run);
+    ``attempt`` is the chunk's dispatch attempt, which ages out
+    attempt-gated faults so retries converge.
+    """
+    if fault_plan is None:
+        return [(unit.index, unit.fn(*unit.args)) for unit in chunk]
+    pairs: List[Tuple[int, Any]] = []
+    for unit in chunk:
+        fault_plan.apply_unit_faults(unit.index, attempt)
+        pairs.append((unit.index, unit.fn(*unit.args)))
+    return pairs
+
+
+def run_chunk(
+    chunk: Sequence[WorkUnit],
+    fault_plan: Optional[Any] = None,
+    attempt: int = 0,
+) -> Any:
     """Execute a chunk of units sequentially (worker-side entry point).
+
+    Any exception escaping a work function is stamped with its
+    formatted worker-side traceback (see
+    :func:`~repro.exec.resilience.attach_remote_traceback`) so the
+    coordinator can chain it after the real traceback is lost to
+    pickling.  An injected corruption fault replaces the whole payload
+    with a :class:`~repro.exec.resilience.CorruptChunkPayload`
+    sentinel, which the coordinator's validation rejects.
 
     Module-level so :class:`ProcessBackend` can pickle it.
     """
-    return [(unit.index, unit.fn(*unit.args)) for unit in chunk]
+    try:
+        pairs = _execute_units(chunk, fault_plan, attempt)
+    except BaseException as exc:
+        raise attach_remote_traceback(exc)
+    if fault_plan is not None:
+        corrupted = fault_plan.corrupt_chunk(
+            (unit.index for unit in chunk), attempt
+        )
+        if corrupted is not None:
+            return corrupted
+    return pairs
 
 
 def run_chunk_captured(
-    chunk: Sequence[WorkUnit], spec: Dict[str, Any]
-) -> Tuple[List[Tuple[int, Any]], Dict[str, Any]]:
+    chunk: Sequence[WorkUnit],
+    spec: Dict[str, Any],
+    fault_plan: Optional[Any] = None,
+    attempt: int = 0,
+) -> Tuple[Any, Dict[str, Any]]:
     """Execute a chunk under a fresh worker-side telemetry capture.
 
     Used by the pool backends when the coordinator has telemetry
@@ -95,7 +149,16 @@ def run_chunk_captured(
     telemetry = Telemetry(profile=spec.get("profile"))
     with telemetry.activate(), telemetry.profile_scope():
         with telemetry.tracer.span("exec.chunk"):
-            pairs = [(unit.index, unit.fn(*unit.args)) for unit in chunk]
+            try:
+                pairs = _execute_units(chunk, fault_plan, attempt)
+            except BaseException as exc:
+                raise attach_remote_traceback(exc)
+        if fault_plan is not None:
+            corrupted = fault_plan.corrupt_chunk(
+                (unit.index for unit in chunk), attempt
+            )
+            if corrupted is not None:
+                pairs = corrupted
     return pairs, telemetry.delta()
 
 
@@ -143,6 +206,19 @@ class ExecutionBackend:
     times (``exec.chunk_wait_ms``) and fold each worker delta back in
     submission order; the serial backend applies the opt-in profiler
     in-process.  ``None`` (the default) is the untouched fast path.
+
+    ``retry`` (optional) is a
+    :class:`~repro.exec.resilience.RetryPolicy` governing transient
+    failures, the per-chunk watchdog and the pool-death budget.
+    ``None`` keeps the legacy fail-fast semantics for worker errors
+    (no retries, no watchdog) while still surviving pool deaths —
+    see :data:`~repro.exec.resilience.LEGACY_POLICY`.  Because every
+    unit carries its centrally-spawned seed material in its arguments,
+    a retried/re-dispatched unit is bit-identical to a fault-free run.
+
+    ``fault_plan`` (optional) is a :class:`~repro.faults.FaultPlan`
+    injecting crashes/hangs/kills/corruption at seeded points — chaos
+    testing only, never on by default, never part of the spec digest.
     """
 
     #: Registry key (``serial`` / ``thread`` / ``process``).
@@ -159,6 +235,8 @@ class ExecutionBackend:
         cancel: Optional[Any] = None,
         collect: bool = True,
         telemetry: Optional[Telemetry] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[Any] = None,
     ) -> List[Any]:
         raise NotImplementedError
 
@@ -180,13 +258,24 @@ class SerialBackend(ExecutionBackend):
         cancel: Optional[Any] = None,
         collect: bool = True,
         telemetry: Optional[Telemetry] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[Any] = None,
     ) -> List[Any]:
         # Serial units record spans/metrics inline on the already-active
         # telemetry; only the opt-in profiler needs wrapping here.
+        if retry is None and fault_plan is None:
+            runner = lambda: self._run_units(  # noqa: E731
+                units, on_result, cancel, collect
+            )
+        else:
+            policy = retry if retry is not None else LEGACY_POLICY
+            runner = lambda: self._run_units_resilient(  # noqa: E731
+                units, on_result, cancel, collect, policy, fault_plan
+            )
         if telemetry is not None and telemetry.profile is not None:
             with telemetry.profile_scope():
-                return self._run_units(units, on_result, cancel, collect)
-        return self._run_units(units, on_result, cancel, collect)
+                return runner()
+        return runner()
 
     @staticmethod
     def _run_units(
@@ -213,9 +302,95 @@ class SerialBackend(ExecutionBackend):
                 on_result(unit.index, result)
         return results
 
+    @staticmethod
+    def _run_units_resilient(
+        units: Sequence[WorkUnit],
+        on_result: Optional[ResultCallback],
+        cancel: Optional[Any],
+        collect: bool,
+        policy: RetryPolicy,
+        fault_plan: Optional[Any],
+    ) -> List[Any]:
+        """Per-unit retry loop (the serial analogue of the pool
+        backends' :class:`~repro.exec.resilience.ChunkDispatcher`).
+
+        A retried unit re-runs ``unit.fn(*unit.args)`` verbatim — its
+        seed material lives in ``args`` — so results stay bit-identical
+        to a fault-free pass.  Corruption faults do not apply serially
+        (there is no transport to corrupt) and injected kills are
+        demoted to transient crashes by the plan itself.
+        """
+        jitter_rng = (
+            policy.jitter_generator() if policy.max_attempts > 1 else None
+        )
+        results: List[Any] = []
+        done = 0
+        for unit in units:
+            if cancel is not None and cancel.is_set():
+                raise ExecutionCancelled(
+                    f"batch cancelled after {done} of "
+                    f"{len(units)} units"
+                )
+            attempt = 0
+            retries = 0
+            while True:
+                try:
+                    if fault_plan is not None:
+                        fault_plan.apply_unit_faults(unit.index, attempt)
+                    result = unit.fn(*unit.args)
+                    break
+                except Exception as exc:
+                    if not (
+                        policy.is_transient(exc)
+                        and attempt + 1 < policy.max_attempts
+                    ):
+                        raise
+                    delay = policy.delay_s(retries, jitter_rng)
+                    retries += 1
+                    attempt += 1
+                    metric_inc("retry.attempts")
+                    metric_observe("retry.backoff_ms", delay * 1000.0)
+                    _LOG.warning(
+                        "transient failure in unit %d (%s); retrying "
+                        "in %.3gs (attempt %d of %d)",
+                        unit.index, exc, delay,
+                        attempt + 1, policy.max_attempts,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+            done += 1
+            if collect:
+                results.append(result)
+            if on_result is not None:
+                on_result(unit.index, result)
+        return results
+
 
 class _PoolBackend(ExecutionBackend):
-    """Shared chunk-submit/collect logic for executor-based backends."""
+    """Shared chunk-submit/collect logic for executor-based backends.
+
+    All submission and collection is delegated to a
+    :class:`~repro.exec.resilience.ChunkDispatcher`, which layers
+    retry/watchdog/pool-respawn semantics over the pool while
+    preserving the submission-order deterministic merge.
+
+    Args:
+        poll_interval: Seconds between cancellation and watchdog checks
+            while waiting on an in-flight chunk.  Without a cancel
+            event or watchdog the wait is a plain block and this knob
+            is idle.
+    """
+
+    #: Whether a dead pool can be replaced by a fresh one (process
+    #: pools; thread pools do not die this way).
+    can_respawn: bool = False
+
+    def __init__(self, poll_interval: float = _CANCEL_POLL_S) -> None:
+        if poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be positive, got {poll_interval}"
+            )
+        self.poll_interval = poll_interval
 
     def _make_executor(self, n_workers: int) -> Executor:
         raise NotImplementedError
@@ -229,39 +404,66 @@ class _PoolBackend(ExecutionBackend):
         cancel: Optional[Any] = None,
         collect: bool = True,
         telemetry: Optional[Telemetry] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[Any] = None,
     ) -> List[Any]:
         if not units:
             return []
+        policy = retry if retry is not None else LEGACY_POLICY
         chunks = make_chunks(units, chunk_size)
         spec = telemetry.worker_spec() if telemetry is not None else None
         collected: Dict[int, Any] = {}
         done = [0]
-        pool = self._make_executor(n_workers)
+
+        if spec is None:
+            def submit_chunk(pool, chunk, attempt):
+                return pool.submit(run_chunk, chunk, fault_plan, attempt)
+
+            def run_inline(chunk, attempt):
+                return run_chunk(chunk, fault_plan, attempt)
+        else:
+            def submit_chunk(pool, chunk, attempt):
+                return pool.submit(
+                    run_chunk_captured, chunk, spec, fault_plan, attempt
+                )
+
+            def run_inline(chunk, attempt):
+                return run_chunk_captured(chunk, spec, fault_plan, attempt)
+
+        def validate(payload):
+            if spec is not None:
+                payload, delta = payload
+                # Submission-order merge keeps the span tree and event
+                # order deterministic for a fixed chunking.  Corrupted
+                # attempts merge too: their work really ran.
+                telemetry.merge_delta(delta)
+            if isinstance(payload, CorruptChunkPayload):
+                raise CorruptChunkError(
+                    f"chunk payload failed transport validation "
+                    f"({payload.note}; units "
+                    f"{payload.unit_indices[0]}..."
+                    f"{payload.unit_indices[-1]})"
+                )
+            return payload
+
+        dispatcher = ChunkDispatcher(
+            make_executor=lambda: self._make_executor(n_workers),
+            chunks=chunks,
+            submit_chunk=submit_chunk,
+            run_inline=run_inline,
+            validate=validate,
+            policy=policy,
+            poll_interval=self.poll_interval,
+            cancel=cancel,
+            telemetry=telemetry,
+            can_respawn=self.can_respawn,
+            done=done,
+            total_units=len(units),
+        )
         try:
-            if spec is None:
-                futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
-            else:
-                futures = [
-                    pool.submit(run_chunk_captured, chunk, spec)
-                    for chunk in chunks
-                ]
             try:
-                for future in futures:
-                    if telemetry is None:
-                        pairs = self._collect(future, cancel, done, units)
-                    else:
-                        wait_t0 = time.perf_counter()
-                        pairs, delta = self._collect(
-                            future, cancel, done, units
-                        )
-                        telemetry.metrics.observe(
-                            "exec.chunk_wait_ms",
-                            (time.perf_counter() - wait_t0) * 1000.0,
-                        )
-                        # Submission-order merge keeps the span tree and
-                        # event order deterministic for a fixed chunking.
-                        telemetry.merge_delta(delta)
-                    for index, result in pairs:
+                for position in range(len(chunks)):
+                    for index, result in dispatcher.collect(position):
                         done[0] += 1
                         if collect:
                             collected[index] = result
@@ -271,43 +473,13 @@ class _PoolBackend(ExecutionBackend):
                 # Fail fast: drop chunks that have not started yet so a
                 # doomed batch does not run to completion first, and do
                 # not block on chunks already in flight.
-                for future in futures:
-                    future.cancel()
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = None
+                dispatcher.abort()
                 raise
         finally:
-            if pool is not None:
-                pool.shutdown(wait=True)
+            dispatcher.shutdown()
         if not collect:
             return []
         return [collected[unit.index] for unit in units]
-
-    @staticmethod
-    def _collect(
-        future: Any,
-        cancel: Optional[Any],
-        done: List[int],
-        units: Sequence[WorkUnit],
-    ) -> List[Tuple[int, Any]]:
-        """One chunk's ``(index, result)`` pairs, polling for cancel.
-
-        Without a cancel event this is a plain blocking wait; with one,
-        the wait polls so a cancellation interrupts the batch within
-        ``_CANCEL_POLL_S`` even while a long chunk is still running.
-        """
-        if cancel is None:
-            return future.result()
-        while True:
-            if cancel.is_set():
-                raise ExecutionCancelled(
-                    f"batch cancelled after {done[0]} of "
-                    f"{len(units)} units"
-                )
-            try:
-                return future.result(timeout=_CANCEL_POLL_S)
-            except FutureTimeoutError:
-                continue
 
 
 class ThreadBackend(_PoolBackend):
@@ -326,6 +498,7 @@ class ProcessBackend(_PoolBackend):
 
     name = "process"
     requires_pickling = True
+    can_respawn = True
 
     def _make_executor(self, n_workers: int) -> Executor:
         return ProcessPoolExecutor(max_workers=n_workers)

@@ -22,6 +22,7 @@ from repro.exec.backends import (
     default_chunk_size,
     get_backend,
 )
+from repro.exec.resilience import RetryPolicy
 from repro.exec.seeding import SeedLike, as_seed_sequence, spawn_sequences
 from repro.telemetry.core import current as _current_telemetry
 
@@ -91,6 +92,15 @@ class ExperimentRunner:
             ``ceil(n_units / (4 * n_workers))`` — big enough to amortise
             dispatch overhead, small enough to load-balance.  Chunking
             **never** affects results, only scheduling.
+        retry: Optional :class:`~repro.exec.resilience.RetryPolicy`
+            governing transient-failure retries, the per-chunk watchdog
+            and pool-death handling.  Retried units re-run with their
+            original spawned seeds, so resilience never affects
+            results.  ``None`` keeps legacy fail-fast worker-error
+            semantics (pool deaths are still survived).
+        fault_plan: Optional :class:`~repro.faults.FaultPlan` injecting
+            seeded faults at the execution gates — chaos testing only,
+            never part of the spec digest.
 
     Guarantees:
 
@@ -129,6 +139,8 @@ class ExperimentRunner:
         backend: Union[str, ExecutionBackend] = "serial",
         n_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -137,6 +149,8 @@ class ExperimentRunner:
         self.backend = get_backend(backend)
         self.n_workers = n_workers or (os.cpu_count() or 1)
         self.chunk_size = chunk_size
+        self.retry = retry
+        self.fault_plan = fault_plan
 
     @property
     def backend_name(self) -> str:
@@ -194,6 +208,8 @@ class ExperimentRunner:
                 on_result=on_result,
                 cancel=cancel,
                 collect=collect,
+                retry=self.retry,
+                fault_plan=self.fault_plan,
             )
         with telemetry.span("exec.map"):
             metrics = telemetry.metrics
@@ -209,6 +225,8 @@ class ExperimentRunner:
                 cancel=cancel,
                 collect=collect,
                 telemetry=telemetry,
+                retry=self.retry,
+                fault_plan=self.fault_plan,
             )
 
     def run_replications(

@@ -1,0 +1,281 @@
+"""repro.faults — seeded, reproducible fault injection for the harness.
+
+The source paper's methodology is software fault injection; this module
+turns that lens on the reproduction's own execution layer.  A
+:class:`FaultPlan` describes *where* (unit indices or seeded rates) and
+*what* (transient crash, hang, worker-process kill, corrupted chunk
+payload) to inject, and the exec backends consult it at well-defined
+gates.  Three properties make the plans usable in tests and chaos
+drills:
+
+* **Seeded and reproducible** — explicit unit indices fire exactly
+  where listed; rate-based selection hashes ``(kind, unit index)``
+  through a :class:`~numpy.random.SeedSequence` rooted at the plan's
+  own ``seed``, so the same plan fires at the same units every run, on
+  every backend, independent of scheduling.
+* **Attempt-gated** — a fault at unit ``i`` with count ``c`` fires on
+  attempts ``0 .. c-1`` and then stands down, so a retrying executor
+  converges instead of looping; the ``chaos`` test tier pins that the
+  records after convergence are bit-identical to a fault-free run.
+* **Out-of-band** — plans ride on :class:`~repro.api.Session` or the
+  ``REPRO_FAULT_PLAN`` environment variable, are never on by default,
+  and are recorded on :class:`~repro.results.Provenance` *outside* the
+  spec digest: injecting faults never changes what experiment was run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exec.resilience import CorruptChunkPayload, TransientWorkerError
+from repro.telemetry.core import metric_inc
+
+#: Environment variable holding a fault plan: inline JSON, or ``@path``
+#: pointing at a JSON file.  Parsed by :func:`plan_from_env`.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit status used by injected worker-process kills (distinctive in
+#: pool post-mortems).
+KILL_EXIT_CODE = 47
+
+#: Per-kind spawn keys for the seeded rate draws — distinct streams so
+#: e.g. crash and hang selections at the same unit are independent.
+_KIND_KEYS = {"crash": 1, "hang": 2, "kill": 3, "corrupt": 4}
+
+_UnitSpec = Union[None, Iterable[int], Mapping[int, int]]
+
+
+class FaultInjectionError(TransientWorkerError):
+    """An injected transient crash (retry-safe by construction)."""
+
+
+def _normalize_units(spec: _UnitSpec, kind: str) -> Dict[int, int]:
+    """``{unit index: fire count}`` from an index iterable or mapping."""
+    if spec is None:
+        return {}
+    if isinstance(spec, Mapping):
+        items = spec.items()
+    else:
+        items = ((index, 1) for index in spec)
+    out: Dict[int, int] = {}
+    for index, count in items:
+        index, count = int(index), int(count)
+        if index < 0:
+            raise ValueError(
+                f"{kind}_units indices must be >= 0, got {index}"
+            )
+        if count < 1:
+            raise ValueError(
+                f"{kind}_units counts must be >= 1, got {count} "
+                f"for unit {index}"
+            )
+        out[index] = count
+    return out
+
+
+def _check_rate(rate: float, name: str) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+def in_worker_process() -> bool:
+    """Whether this code runs in a spawned worker process (safe to
+    ``os._exit``) rather than the coordinating interpreter."""
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected execution faults.
+
+    Unit-targeted faults take an iterable of unit indices (fire once
+    each) or a ``{index: count}`` mapping (fire on the first ``count``
+    attempts).  Rate-based faults select units by a seeded hash and
+    fire on the first attempt only.
+
+    Args:
+        crash_units: Units whose work function raises an injected
+            :class:`FaultInjectionError` (transient) before running.
+        hang_units: Units that sleep ``hang_s`` before running —
+            watchdog-timeout fodder.
+        kill_units: Units whose *worker process* exits hard
+            (``os._exit``), modelling a segfaulting worker; in-process
+            backends fall back to a transient crash, since killing the
+            coordinator would be a different experiment entirely.
+        corrupt_units: Units whose chunk's result payload is replaced
+            by a :class:`~repro.exec.resilience.CorruptChunkPayload`
+            sentinel on the wire (the whole chunk re-executes).
+        crash_rate: Seeded probability of a transient crash per unit.
+        hang_rate: Seeded probability of a hang per unit.
+        hang_s: Sleep injected by hang faults.
+        seed: Entropy of the rate-selection streams (independent of
+            every experiment seed).
+    """
+
+    crash_units: Mapping[int, int] = field(default_factory=dict)
+    hang_units: Mapping[int, int] = field(default_factory=dict)
+    kill_units: Mapping[int, int] = field(default_factory=dict)
+    corrupt_units: Mapping[int, int] = field(default_factory=dict)
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_s: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for kind in ("crash", "hang", "kill", "corrupt"):
+            attr = f"{kind}_units"
+            object.__setattr__(
+                self, attr, _normalize_units(getattr(self, attr), kind)
+            )
+        _check_rate(self.crash_rate, "crash_rate")
+        _check_rate(self.hang_rate, "hang_rate")
+        if self.hang_s < 0:
+            raise ValueError(f"hang_s must be >= 0, got {self.hang_s}")
+
+    # ---- selection ---------------------------------------------------
+
+    def _rate_draw(self, kind: str, index: int) -> float:
+        """The seeded uniform deciding a rate fault at ``(kind, index)``.
+
+        A pure function of ``(seed, kind, index)`` — scheduling,
+        backend and chunking cannot move where rate faults land.
+        """
+        state = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(_KIND_KEYS[kind], index)
+        ).generate_state(1)[0]
+        return float(state) / float(2**32)
+
+    def fires(self, kind: str, index: int, attempt: int) -> bool:
+        """Whether fault ``kind`` hits unit ``index`` on ``attempt``.
+
+        Explicit units fire while ``attempt < count``; rate-selected
+        units fire on attempt 0 only.  Either way a retrying executor
+        eventually runs the unit clean.
+        """
+        count = getattr(self, f"{kind}_units").get(index, 0)
+        if attempt < count:
+            return True
+        rate = getattr(self, f"{kind}_rate", 0.0)
+        return bool(
+            rate and attempt == 0 and self._rate_draw(kind, index) < rate
+        )
+
+    # ---- injection gates (called by the exec backends) ---------------
+
+    def apply_unit_faults(self, index: int, attempt: int) -> None:
+        """Fire any pre-execution faults for unit ``index``.
+
+        Called by the worker entry points immediately before the unit's
+        work function; may sleep (hang), raise (crash) or exit the
+        worker process (kill).
+        """
+        if self.fires("kill", index, attempt):
+            metric_inc("fault.injected.kill")
+            if in_worker_process():
+                os._exit(KILL_EXIT_CODE)
+            raise FaultInjectionError(
+                f"injected worker kill at unit {index} "
+                f"(in-process backend: demoted to transient crash)"
+            )
+        if self.fires("hang", index, attempt):
+            metric_inc("fault.injected.hang")
+            time.sleep(self.hang_s)
+        if self.fires("crash", index, attempt):
+            metric_inc("fault.injected.crash")
+            raise FaultInjectionError(
+                f"injected transient crash at unit {index} "
+                f"(attempt {attempt})"
+            )
+
+    def corrupt_chunk(
+        self, unit_indices: Iterable[int], attempt: int
+    ) -> Optional[CorruptChunkPayload]:
+        """The corruption sentinel for a chunk, or ``None``.
+
+        A chunk's payload is corrupted while any member unit still has
+        corruption budget at this attempt.
+        """
+        indices = tuple(unit_indices)
+        if any(self.fires("corrupt", i, attempt) for i in indices):
+            metric_inc("fault.injected.corrupt")
+            return CorruptChunkPayload(unit_indices=indices)
+        return None
+
+    # ---- (de)serialization -------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready plain-data form (also the provenance record)."""
+        return {
+            "crash_units": {str(k): v for k, v in self.crash_units.items()},
+            "hang_units": {str(k): v for k, v in self.hang_units.items()},
+            "kill_units": {str(k): v for k, v in self.kill_units.items()},
+            "corrupt_units": {
+                str(k): v for k, v in self.corrupt_units.items()
+            },
+            "crash_rate": self.crash_rate,
+            "hang_rate": self.hang_rate,
+            "hang_s": self.hang_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (or hand-written
+        JSON with index lists instead of count mappings)."""
+        known = {
+            "crash_units", "hang_units", "kill_units", "corrupt_units",
+            "crash_rate", "hang_rate", "hang_s", "seed",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FaultPlan fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**{key: payload[key] for key in known & set(payload)})
+
+
+def plan_from_env(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[FaultPlan]:
+    """The :class:`FaultPlan` named by ``REPRO_FAULT_PLAN``, if any.
+
+    The variable holds inline JSON or ``@path`` to a JSON file; unset
+    or empty means no injection (the default, always).
+    """
+    raw = (environ if environ is not None else os.environ).get(
+        FAULT_PLAN_ENV, ""
+    ).strip()
+    if not raw:
+        return None
+    if raw.startswith("@"):
+        with open(raw[1:], "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{FAULT_PLAN_ENV} holds invalid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{FAULT_PLAN_ENV} must hold a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return FaultPlan.from_dict(payload)
+
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "KILL_EXIT_CODE",
+    "FaultInjectionError",
+    "FaultPlan",
+    "in_worker_process",
+    "plan_from_env",
+]

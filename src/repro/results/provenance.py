@@ -92,10 +92,21 @@ def provenance_for(
             reference semantics.
         source: Entry-point label.
         execution: Optional execution-mode knobs to record (streaming
-            settings etc.); excluded from the digest by design.
+            settings etc.); excluded from the digest by design.  A
+            runner carrying a retry policy or an injected fault plan
+            records them here too — resilience and chaos drills are
+            *visible* in provenance without ever touching the spec
+            digest (they cannot change results).
     """
     import repro
 
+    execution_record = dict(execution) if execution is not None else {}
+    retry = getattr(runner, "retry", None)
+    if retry is not None:
+        execution_record.setdefault("retry", retry.to_dict())
+    fault_plan = getattr(runner, "fault_plan", None)
+    if fault_plan is not None:
+        execution_record.setdefault("fault_plan", fault_plan.to_dict())
     return Provenance(
         spec_digest=content_key(dict(payload)),
         entropy=str(seq.entropy),
@@ -104,5 +115,5 @@ def provenance_for(
         n_workers=runner.n_workers if runner is not None else 1,
         library_version=repro.__version__,
         source=source,
-        execution=dict(execution) if execution is not None else None,
+        execution=execution_record or None,
     )

@@ -37,8 +37,10 @@ from repro.scenarios.registry import (
     get_scenario,
     register,
 )
+from repro.scenarios.journal import RunJournal
 from repro.scenarios.spec import Scenario
 from repro.scenarios.suite import (
+    ScenarioFailure,
     ScenarioRunResult,
     ScenarioSuite,
     SuiteResult,
@@ -52,7 +54,9 @@ register_scenario = register
 
 __all__ = [
     "SCENARIOS",
+    "RunJournal",
     "Scenario",
+    "ScenarioFailure",
     "ScenarioRegistry",
     "ScenarioRunResult",
     "ScenarioSuite",

@@ -7,7 +7,8 @@
     python -m repro.scenarios run NAME... [--tag TAG] [--backend B]
                                  [--n-workers N] [--seed S]
                                  [--catalog DIR] [--cache-dir DIR]
-                                 [--shard I/N]
+                                 [--shard I/N] [--on-error raise|skip]
+                                 [--journal FILE]
 
 The ``run`` subcommand lowers onto :class:`repro.api.Session` — the
 same facade the library API exposes — so catalogs, caching and
@@ -126,12 +127,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"running {len(names)} scenario{plural} on backend "
             f"{args.backend!r} (seed {args.seed}{extras}) ..."
         )
-        result = session.run(names, shard=shard)
+        result = session.run(
+            names,
+            shard=shard,
+            on_error=args.on_error,
+            journal=args.journal,
+        )
     snapshot = result.telemetry
     elapsed = snapshot.total_seconds("session.run")
     print()
     print(result.comparison_report())
+    errors = getattr(result, "errors", [])
+    for failure in errors:
+        print(f"\nFAILED {failure}", file=sys.stderr)
     print(f"\ncompleted in {elapsed:.1f}s")
+    if errors:
+        return 1
     if args.telemetry:
         snapshot.save(args.telemetry)
         print(f"telemetry snapshot written to {args.telemetry}")
@@ -200,6 +211,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="I/N",
         help="run only shard I of N (seeded as if the whole suite ran; "
         "merge shards with SuiteResult.merge)",
+    )
+    p_run.add_argument(
+        "--on-error",
+        choices=("raise", "skip"),
+        default="raise",
+        help="what to do when one scenario fails: 'raise' aborts the "
+        "run (default); 'skip' isolates the failure (full traceback "
+        "kept, exit code 1) and finishes the rest",
+    )
+    p_run.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="checkpoint completed scenarios to this JSON journal; "
+        "re-running the same command after a crash resumes where it "
+        "left off (pair with --cache-dir to skip re-execution)",
     )
     p_run.add_argument(
         "-v", "--verbose", action="store_true",

@@ -1,0 +1,172 @@
+"""Atomic run journal: crash-resumable progress for suite runs.
+
+A :class:`RunJournal` is a tiny JSON file recording which scenario
+positions of a suite run have completed, keyed by a content *identity*
+of the run (specs + root seed material + shard + batch size).  Combined
+with the content-addressed :class:`~repro.results.ResultCache` — which
+holds the actual results — it makes a crashed or cancelled run
+resumable: re-running the same suite with the same journal path skips
+straight through the completed scenarios via cache hits and picks up
+where the previous attempt died.
+
+The journal is deliberately *advisory*: correctness always comes from
+the cache keys (a marked position whose cache entry is missing simply
+re-executes, bit-identically).  Every update is an atomic
+write-temp-then-rename, so a crash mid-update leaves either the old or
+the new journal, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Set, Union
+
+_LOG = logging.getLogger(__name__)
+
+#: Journal file format version.
+JOURNAL_FORMAT = 1
+
+
+class RunJournal:
+    """Checkpoint file tracking one suite run's completed scenarios.
+
+    Args:
+        path: Where the journal lives.  A fresh run creates it; a rerun
+            of the *same* suite (same identity) resumes from it; a
+            different suite at the same path overwrites it.
+
+    Lifecycle: :meth:`begin` once per run (returns the positions a
+    previous attempt already completed), :meth:`mark` after every
+    finished scenario, :meth:`finish` when the run completes.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._identity: Optional[str] = None
+        self._state: Dict[str, Any] = {}
+
+    # ---- lifecycle ---------------------------------------------------
+
+    def begin(
+        self,
+        identity: str,
+        total: int,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> Set[int]:
+        """Open the journal for a run and return resumable positions.
+
+        If the file already records a run with the same ``identity``,
+        its completed positions are returned (the resume set) and
+        marking continues where it left off; anything else — no file,
+        a different identity, or an unreadable/torn file — starts a
+        fresh journal.
+        """
+        self._identity = identity
+        previous = self._load()
+        if (
+            previous is not None
+            and previous.get("identity") == identity
+            and isinstance(previous.get("completed"), dict)
+        ):
+            self._state = previous
+            self._state["status"] = "resumed"
+            completed = {
+                int(position) for position in self._state["completed"]
+            }
+            _LOG.info(
+                "journal %s: resuming run (%d of %d scenario(s) already "
+                "complete)",
+                self.path, len(completed), total,
+            )
+        else:
+            self._state = {
+                "format": JOURNAL_FORMAT,
+                "identity": identity,
+                "total": int(total),
+                "status": "running",
+                "meta": dict(meta) if meta else {},
+                "completed": {},
+            }
+            completed = set()
+        self._write()
+        return completed
+
+    def mark(self, position: int, cache_key: str = "") -> None:
+        """Record scenario ``position`` as complete (idempotent)."""
+        if self._identity is None:
+            raise RuntimeError("RunJournal.mark() before begin()")
+        key = str(int(position))
+        if key in self._state["completed"]:
+            return
+        self._state["completed"][key] = cache_key
+        self._write()
+
+    def finish(self) -> None:
+        """Mark the whole run complete."""
+        if self._identity is None:
+            raise RuntimeError("RunJournal.finish() before begin()")
+        self._state["status"] = "done"
+        self._write()
+
+    # ---- introspection -----------------------------------------------
+
+    @property
+    def completed(self) -> Set[int]:
+        """Positions currently recorded as complete."""
+        return {int(p) for p in self._state.get("completed", {})}
+
+    @property
+    def status(self) -> str:
+        """``running`` / ``resumed`` / ``done`` (``""`` before begin)."""
+        return str(self._state.get("status", ""))
+
+    def cache_keys(self) -> Dict[int, str]:
+        """``{position: cache key}`` for every completed scenario."""
+        return {
+            int(p): str(k)
+            for p, k in self._state.get("completed", {}).items()
+        }
+
+    # ---- persistence -------------------------------------------------
+
+    def _load(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError) as exc:
+            _LOG.warning(
+                "journal %s unreadable (%s); starting fresh",
+                self.path, exc,
+            )
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _write(self) -> None:
+        """Atomic temp-write + rename, crash-safe at every point."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=self.path.name, suffix=".tmp", dir=str(self.path.parent)
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(self._state, handle, indent=1, sort_keys=True)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunJournal(path={str(self.path)!r}, "
+            f"status={self.status!r}, "
+            f"completed={len(self._state.get('completed', {}))})"
+        )

@@ -30,8 +30,10 @@ Two scale features ride on the same seeding discipline:
 from __future__ import annotations
 
 import logging
+import traceback as _traceback
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -65,9 +67,15 @@ from repro.results import (
     summarize_records,
 )
 from repro.results.streaming import LazyPart, ShardedRecordTable
+from repro.scenarios.journal import RunJournal
 from repro.scenarios.registry import SCENARIOS, ScenarioRegistry
 from repro.scenarios.spec import Scenario
-from repro.telemetry.core import TelemetrySnapshot, metric_inc, trace
+from repro.telemetry.core import (
+    TelemetrySnapshot,
+    emit_event,
+    metric_inc,
+    trace,
+)
 
 _LOG = logging.getLogger(__name__)
 
@@ -185,6 +193,59 @@ def _execute_scenario(
     )
 
 
+@dataclass
+class ScenarioFailure:
+    """One scenario's failure inside an ``on_error="skip"`` suite run.
+
+    Attributes:
+        scenario: Name of the failed scenario.
+        error_type: Exception class name.
+        message: ``str(exception)``.
+        traceback: Full formatted traceback from where the scenario
+            actually ran (worker-side for pool backends).
+        position: The scenario's position in the executed suite order
+            (set by the coordinating suite).
+    """
+
+    scenario: str
+    error_type: str
+    message: str
+    traceback: str
+    position: int = -1
+
+    def __str__(self) -> str:
+        return (
+            f"scenario {self.scenario!r} failed: "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+def _execute_scenario_guarded(
+    spec: Dict[str, object],
+    seq: np.random.SeedSequence,
+    max_records_in_ram: Optional[int] = None,
+    batch_size: Optional[int] = None,
+) -> "ScenarioRunResult | ScenarioFailure":
+    """Failure-isolating suite work unit (``on_error="skip"``).
+
+    A scenario whose execution raises returns a picklable
+    :class:`ScenarioFailure` carrying the full formatted traceback
+    instead of sinking its sibling scenarios.  Module-level so the
+    ``process`` backend can pickle it.  Injected infrastructure faults
+    fire in the chunk gates *outside* this guard, so fault-tolerant
+    retry still sees them.
+    """
+    try:
+        return _execute_scenario(spec, seq, max_records_in_ram, batch_size)
+    except Exception as exc:
+        return ScenarioFailure(
+            scenario=str(spec.get("name", "<unnamed>")),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=_traceback.format_exc(),
+        )
+
+
 def _scenario_response_view(chunk: RecordTable, name: str) -> RecordTable:
     """One chunk's response columns prefixed with a scenario column."""
     n = len(chunk)
@@ -213,12 +274,18 @@ class SuiteResult:
         telemetry: Observability snapshot of the run (set by
             :class:`~repro.api.Session` when telemetry is enabled);
             outside the spec digest, ``None`` on merged results.
+        errors: Per-scenario failures of an ``on_error="skip"`` run, in
+            suite order, each carrying the full formatted traceback of
+            where the scenario actually failed.  Empty on fully
+            successful runs (and always under ``on_error="raise"``,
+            which surfaces the first failure as an exception instead).
     """
 
     results: List[ScenarioRunResult]
     provenance: Optional[Provenance] = None
     aggregate: Optional[SuiteStreamingAggregator] = None
     telemetry: Optional[TelemetrySnapshot] = None
+    errors: List[ScenarioFailure] = field(default_factory=list)
 
     @property
     def table(self) -> RecordTable:
@@ -353,7 +420,11 @@ class SuiteResult:
             )
             for part in parts:
                 aggregate.merge(part.aggregate)
-        return cls(results=results, aggregate=aggregate)
+        return cls(
+            results=results,
+            aggregate=aggregate,
+            errors=[e for part in parts for e in part.errors],
+        )
 
     def comparison_report(self) -> str:
         """The cross-scenario comparison table plus per-scenario hints."""
@@ -555,6 +626,8 @@ class ScenarioSuite:
         aggregators: Sequence[Callable[[ScenarioRunResult], None]] = (),
         max_records_in_ram: Optional[int] = None,
         batch_size: Optional[int] = None,
+        on_error: str = "raise",
+        journal: Optional[Union[str, Path, RunJournal]] = None,
     ) -> SuiteResult:
         """Execute every (selected) scenario; records depend only on
         ``seed``, each scenario's position in the full suite and
@@ -592,11 +665,29 @@ class ScenarioSuite:
                 distribution-identical, so batched and scalar runs use
                 distinct cache entries.  Recorded on
                 ``provenance.execution``, outside the spec digest.
+            on_error: ``"raise"`` (default) surfaces the first scenario
+                failure as an exception, as always.  ``"skip"``
+                isolates failures per scenario: failed scenarios are
+                recorded in :attr:`SuiteResult.errors` (with full
+                tracebacks) while their siblings run to completion.
+                Either way, the scenarios that do complete are
+                bit-identical.
+            journal: Optional run-journal path (or
+                :class:`~repro.scenarios.journal.RunJournal`): every
+                completed scenario is checkpointed to a small atomic
+                JSON file keyed by the run's content identity, so a
+                crashed or cancelled run re-invoked with the same
+                journal (and a cache) resumes from where it died.
+                Advisory only — results never depend on it.
         """
         from repro.exec import validate_batch_args
 
         if batch_size is not None:
             validate_batch_args(1, batch_size)
+        if on_error not in ("raise", "skip"):
+            raise ValueError(
+                f'on_error must be "raise" or "skip", got {on_error!r}'
+            )
         with trace("suite.run"):
             return self._run_impl(
                 seed,
@@ -605,7 +696,32 @@ class ScenarioSuite:
                 aggregators,
                 max_records_in_ram,
                 batch_size,
+                on_error,
+                journal,
             )
+
+    def _run_identity(
+        self,
+        spec_dicts: Sequence[Dict[str, object]],
+        root: np.random.SeedSequence,
+        batch_size: Optional[int],
+    ) -> str:
+        """Content identity of one suite run, for the run journal.
+
+        Everything that decides the records is covered — specs in
+        order, root seed material, shard selection, batch size — so a
+        journal can only ever be resumed by the run it belongs to.
+        """
+        return content_key(
+            {
+                "format": 1,
+                "scenarios": list(spec_dicts),
+                "entropy": str(root.entropy),
+                "spawn_key": [int(k) for k in root.spawn_key],
+                "shard": list(self.shard) if self.shard else None,
+                "batch_size": batch_size,
+            }
+        )
 
     def _run_impl(
         self,
@@ -615,6 +731,8 @@ class ScenarioSuite:
         aggregators: Sequence[Callable[[ScenarioRunResult], None]],
         max_records_in_ram: Optional[int],
         batch_size: Optional[int] = None,
+        on_error: str = "raise",
+        journal: Optional[Union[str, Path, RunJournal]] = None,
     ) -> SuiteResult:
         root = as_seed_sequence(seed)
         sequences = spawn_sequences(root, len(self.scenarios))
@@ -630,6 +748,26 @@ class ScenarioSuite:
             {"batch_size": batch_size} if batch_size is not None else None
         )
 
+        if journal is not None and not isinstance(journal, RunJournal):
+            journal = RunJournal(journal)
+        if journal is not None:
+            resumable = journal.begin(
+                self._run_identity(spec_dicts, root, batch_size),
+                len(pairs),
+                meta={"scenarios": [s.name for s, _ in pairs]},
+            )
+            if resumable:
+                # The journal itself holds no results; the completed
+                # positions resume through their cache entries below
+                # (a missing entry simply re-executes, bit-identically).
+                metric_inc("journal.resumed_scenarios", len(resumable))
+                emit_event(
+                    "journal.resume",
+                    path=str(journal.path),
+                    completed=len(resumable),
+                    total=len(pairs),
+                )
+
         def stamp(position: int, result: ScenarioRunResult) -> None:
             """Attach reproduction provenance (before any hook sees it)."""
             result.provenance = provenance_for(
@@ -640,13 +778,37 @@ class ScenarioSuite:
                 execution=execution,
             )
 
-        def deliver(position: int, result: ScenarioRunResult) -> None:
-            """Stamp and stream one finished result to every hook."""
-            stamp(position, result)
+        errors_by_position: Dict[int, ScenarioFailure] = {}
+
+        def deliver(
+            position: int,
+            outcome: "ScenarioRunResult | ScenarioFailure",
+            key: str,
+            executed: bool,
+        ) -> None:
+            """Stream one finished outcome: stamp it, checkpoint it
+            (cache + journal), feed every hook.  Failures are recorded
+            and isolated instead."""
+            if isinstance(outcome, ScenarioFailure):
+                outcome.position = position
+                errors_by_position[position] = outcome
+                metric_inc("suite.scenario_failures")
+                emit_event(
+                    "suite.scenario_failed",
+                    scenario=outcome.scenario,
+                    error=f"{outcome.error_type}: {outcome.message}",
+                )
+                _LOG.warning("%s (on_error=skip; continuing)", outcome)
+                return
+            stamp(position, outcome)
+            if executed and self.cache is not None:
+                self._store_in_cache(key, outcome)
+            if journal is not None:
+                journal.mark(position, key)
             for aggregator in aggregators:
-                aggregator(result)
+                aggregator(outcome)
             if on_result is not None:
-                on_result(result)
+                on_result(outcome)
 
         results: List[Optional[ScenarioRunResult]] = [None] * len(pairs)
         pending: List[Tuple[int, np.random.SeedSequence, str]] = []
@@ -673,7 +835,7 @@ class ScenarioSuite:
                         scenario.name, key,
                     )
                     results[position] = self._result_from_cache(*hit)
-                    deliver(position, results[position])
+                    deliver(position, results[position], key, executed=False)
                     continue
                 metric_inc("cache.miss")
                 _LOG.debug(
@@ -682,14 +844,36 @@ class ScenarioSuite:
                 )
             pending.append((position, seq, key))
         if pending:
+            worker = (
+                _execute_scenario
+                if on_error == "raise"
+                else _execute_scenario_guarded
+            )
             unit_hook = None
-            if on_result is not None or aggregators:
+            # Delivering as units complete (not after the whole map)
+            # is what makes cache + journal real checkpoints: a crash
+            # mid-suite keeps everything already finished.
+            if (
+                on_result is not None
+                or aggregators
+                or self.cache is not None
+                or journal is not None
+                or on_error == "skip"
+            ):
 
-                def unit_hook(index: int, result: ScenarioRunResult) -> None:
-                    deliver(pending[index][0], result)
+                def unit_hook(
+                    index: int,
+                    outcome: "ScenarioRunResult | ScenarioFailure",
+                ) -> None:
+                    deliver(
+                        pending[index][0],
+                        outcome,
+                        pending[index][2],
+                        executed=True,
+                    )
 
             executed = self.runner.map(
-                _execute_scenario,
+                worker,
                 [
                     (spec_dicts[position], seq, max_records_in_ram, batch_size)
                     for position, seq, _ in pending
@@ -697,12 +881,14 @@ class ScenarioSuite:
                 on_result=unit_hook,
                 cancel=cancel,
             )
-            for (position, _, key), result in zip(pending, executed):
-                results[position] = result
-                if result.provenance is None:  # no hook stamped it
-                    stamp(position, result)
-                if self.cache is not None:
-                    self._store_in_cache(key, result)
+            for (position, _, key), outcome in zip(pending, executed):
+                if isinstance(outcome, ScenarioFailure):
+                    continue  # recorded by the hook
+                results[position] = outcome
+                if outcome.provenance is None:  # no hook stamped it
+                    stamp(position, outcome)
+        if journal is not None:
+            journal.finish()
         suite_aggregate = next(
             (
                 a
@@ -712,7 +898,7 @@ class ScenarioSuite:
             None,
         )
         return SuiteResult(
-            results=list(results),
+            results=[r for r in results if r is not None],
             provenance=provenance_for(
                 {
                     "scenarios": spec_dicts,
@@ -724,6 +910,9 @@ class ScenarioSuite:
                 execution=execution,
             ),
             aggregate=suite_aggregate,
+            errors=[
+                errors_by_position[p] for p in sorted(errors_by_position)
+            ],
         )
 
     def _store_in_cache(self, key: str, result: ScenarioRunResult) -> None:

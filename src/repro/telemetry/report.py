@@ -196,6 +196,36 @@ def _render_headlines(snapshot: TelemetrySnapshot, lines: List[str]) -> None:
             utilization = 100.0 * (lane_steps / steps) / mean_lanes
             line += f", {min(utilization, 100.0):.0f}% lane utilization"
         lines.append(line + ")")
+    retries = snapshot.counter("retry.attempts")
+    timeouts = snapshot.counter("retry.chunk_timeouts")
+    respawns = snapshot.counter("retry.pool_respawns")
+    degraded = snapshot.counter("retry.degraded")
+    if retries or timeouts or respawns or degraded:
+        line = (
+            f"  resilience: {int(retries)} retries, "
+            f"{int(timeouts)} watchdog timeouts, "
+            f"{int(respawns)} pool respawns"
+        )
+        if degraded:
+            line += " — DEGRADED to inline execution"
+        lines.append(line)
+    injected = sum(
+        snapshot.counter(f"fault.injected.{kind}")
+        for kind in ("crash", "hang", "kill", "corrupt")
+    )
+    if injected:
+        detail = ", ".join(
+            f"{int(snapshot.counter(f'fault.injected.{kind}'))} {kind}"
+            for kind in ("crash", "hang", "kill", "corrupt")
+            if snapshot.counter(f"fault.injected.{kind}")
+        )
+        lines.append(f"  faults injected: {int(injected)} ({detail})")
+    failures = snapshot.counter("suite.scenario_failures")
+    if failures:
+        lines.append(
+            f"  scenario failures: {int(failures)} isolated "
+            "(on_error=skip)"
+        )
     units = snapshot.counter("exec.units")
     wall = snapshot.total_seconds("exec.map")
     if units and wall > 0:

@@ -166,3 +166,42 @@ class TestErrorPropagation:
             with pytest.raises(TypeError, match="bogus_kw"):
                 job.result(timeout=120)
             assert job.status is JobState.FAILED
+
+
+class TestRemoteTraceback:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_pool_failure_chains_worker_traceback(self, backend):
+        # The worker-side traceback does not survive pickling, so the
+        # exec layer re-chains it as a RemoteTracebackError cause; the
+        # original exception type is preserved for except/match logic.
+        from repro.exec import RemoteTracebackError
+
+        with Session(backend=backend, n_workers=1) as session:
+            job = session.submit(FAILING, seed=1)
+            with pytest.raises(TypeError, match="bogus_kw") as exc_info:
+                job.result(timeout=120)
+        cause = exc_info.value.__cause__
+        assert isinstance(cause, RemoteTracebackError)
+        assert "Traceback (most recent call last)" in cause.formatted
+        assert "bogus_kw" in cause.formatted
+
+    def test_failure_traceback_captures_full_chain(self):
+        with Session(backend="process", n_workers=1) as session:
+            job = session.submit(FAILING, seed=1)
+            with pytest.raises(TypeError):
+                job.result(timeout=120)
+            assert job.status is JobState.FAILED
+            assert "bogus_kw" in job.failure_traceback
+            # The worker-side frames show up in the coordinator-side
+            # post-mortem even though the failure crossed a process
+            # boundary.
+            assert "Traceback (most recent call last)" in (
+                job.failure_traceback
+            )
+
+    def test_failure_traceback_is_none_unless_failed(self):
+        with Session() as session:
+            job = session.submit("smoke", seed=7)
+            job.result()
+            assert job.status is JobState.DONE
+            assert job.failure_traceback is None

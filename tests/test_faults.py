@@ -1,0 +1,289 @@
+"""The seeded fault-injection harness: plans, gates, env wiring.
+
+Fast tests pin the :class:`FaultPlan` contract — normalization,
+validation, attempt gating, scheduling-independent rate draws,
+round-tripping, the ``REPRO_FAULT_PLAN`` environment hook and the
+guarantee that plans live *outside* the spec digest.  The
+``chaos``-marked tests push a plan through :class:`repro.api.Session`
+end to end, including worker kills and corrupted chunk payloads on the
+process backend, and pin bit-identity against a fault-free run.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.exec import ExperimentRunner, RetryPolicy, TransientWorkerError
+from repro.exec.resilience import CorruptChunkPayload
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    KILL_EXIT_CODE,
+    FaultInjectionError,
+    FaultPlan,
+    in_worker_process,
+    plan_from_env,
+)
+
+
+def _draw_digest(rng):
+    return (float(rng.random()), float(rng.standard_normal()))
+
+
+class TestPlanConstruction:
+    def test_iterables_normalize_to_count_one(self):
+        plan = FaultPlan(crash_units=[3, 7], hang_units=(1,))
+        assert plan.crash_units == {3: 1, 7: 1}
+        assert plan.hang_units == {1: 1}
+        assert plan.kill_units == {}
+
+    def test_mappings_keep_counts(self):
+        plan = FaultPlan(kill_units={2: 3, 9: 1})
+        assert plan.kill_units == {2: 3, 9: 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="crash_units"):
+            FaultPlan(crash_units=[-1])
+        with pytest.raises(ValueError, match="kill_units"):
+            FaultPlan(kill_units={2: 0})
+        with pytest.raises(ValueError, match="crash_rate"):
+            FaultPlan(crash_rate=1.5)
+        with pytest.raises(ValueError, match="hang_rate"):
+            FaultPlan(hang_rate=-0.1)
+        with pytest.raises(ValueError, match="hang_s"):
+            FaultPlan(hang_s=-1.0)
+
+    def test_default_plan_is_inert(self):
+        plan = FaultPlan()
+        assert not any(
+            plan.fires(kind, index, 0)
+            for kind in ("crash", "hang", "kill", "corrupt")
+            for index in range(50)
+        )
+
+
+class TestAttemptGating:
+    def test_explicit_units_fire_until_count_exhausted(self):
+        plan = FaultPlan(crash_units={4: 2})
+        assert plan.fires("crash", 4, 0)
+        assert plan.fires("crash", 4, 1)
+        assert not plan.fires("crash", 4, 2)
+        assert not plan.fires("crash", 5, 0)
+
+    def test_rate_faults_fire_on_first_attempt_only(self):
+        plan = FaultPlan(crash_rate=1.0)
+        assert plan.fires("crash", 0, 0)
+        assert not plan.fires("crash", 0, 1)
+
+    def test_rate_draw_is_seeded_and_unit_stable(self):
+        plan = FaultPlan(crash_rate=0.3, seed=11)
+        same = FaultPlan(crash_rate=0.3, seed=11)
+        other = FaultPlan(crash_rate=0.3, seed=12)
+        hits = [plan.fires("crash", i, 0) for i in range(200)]
+        assert hits == [same.fires("crash", i, 0) for i in range(200)]
+        assert hits != [other.fires("crash", i, 0) for i in range(200)]
+        # Roughly rate-proportional, exactly reproducible.
+        assert 0.15 < sum(hits) / 200 < 0.45
+
+    def test_kind_streams_are_independent(self):
+        plan = FaultPlan(crash_rate=0.5, hang_rate=0.5, seed=3)
+        crash = [plan.fires("crash", i, 0) for i in range(100)]
+        hang = [plan.fires("hang", i, 0) for i in range(100)]
+        assert crash != hang
+
+
+class TestInjectionGates:
+    def test_crash_raises_transient_error(self):
+        plan = FaultPlan(crash_units=[1])
+        with pytest.raises(FaultInjectionError):
+            plan.apply_unit_faults(1, attempt=0)
+        assert issubclass(FaultInjectionError, TransientWorkerError)
+        plan.apply_unit_faults(1, attempt=1)  # exhausted: no-op
+
+    def test_kill_demoted_to_transient_crash_in_process(self):
+        # In the coordinating interpreter a kill must never os._exit.
+        assert not in_worker_process()
+        plan = FaultPlan(kill_units=[0])
+        with pytest.raises(FaultInjectionError, match="kill"):
+            plan.apply_unit_faults(0, attempt=0)
+
+    def test_hang_sleeps_for_hang_s(self):
+        plan = FaultPlan(hang_units=[2], hang_s=0.05)
+        start = time.monotonic()
+        plan.apply_unit_faults(2, attempt=0)
+        assert time.monotonic() - start >= 0.05
+
+    def test_corrupt_chunk_returns_sentinel_while_budgeted(self):
+        plan = FaultPlan(corrupt_units={5: 1})
+        sentinel = plan.corrupt_chunk([4, 5, 6], attempt=0)
+        assert isinstance(sentinel, CorruptChunkPayload)
+        assert sentinel.unit_indices == (4, 5, 6)
+        assert plan.corrupt_chunk([4, 5, 6], attempt=1) is None
+        assert plan.corrupt_chunk([0, 1], attempt=0) is None
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_roundtrip(self):
+        plan = FaultPlan(
+            crash_units={1: 2}, hang_units=[3], kill_units={5: 1},
+            corrupt_units=[7], crash_rate=0.1, hang_rate=0.2,
+            hang_s=0.5, seed=42,
+        )
+        rebuilt = FaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict()))
+        )
+        assert rebuilt == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan"):
+            FaultPlan.from_dict({"crash_units": [1], "typo_field": 2})
+
+
+class TestEnvPlan:
+    def test_unset_or_empty_means_no_injection(self):
+        assert plan_from_env({}) is None
+        assert plan_from_env({FAULT_PLAN_ENV: "  "}) is None
+
+    def test_inline_json(self):
+        plan = plan_from_env(
+            {FAULT_PLAN_ENV: '{"crash_units": {"2": 1}, "seed": 9}'}
+        )
+        assert plan == FaultPlan(crash_units={2: 1}, seed=9)
+
+    def test_at_path_reads_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"hang_units": [4], "hang_s": 0.2}))
+        plan = plan_from_env({FAULT_PLAN_ENV: f"@{path}"})
+        assert plan == FaultPlan(hang_units=[4], hang_s=0.2)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValueError, match="invalid JSON"):
+            plan_from_env({FAULT_PLAN_ENV: "{not json"})
+        with pytest.raises(ValueError, match="JSON object"):
+            plan_from_env({FAULT_PLAN_ENV: "[1, 2]"})
+
+    def test_session_picks_up_env_plan(self, monkeypatch):
+        from repro.api import Session
+
+        monkeypatch.setenv(FAULT_PLAN_ENV, '{"crash_units": {"0": 1}}')
+        with Session() as session:
+            assert session.fault_plan == FaultPlan(crash_units={0: 1})
+
+    def test_explicit_plan_beats_env(self, monkeypatch):
+        from repro.api import Session
+
+        monkeypatch.setenv(FAULT_PLAN_ENV, '{"crash_units": {"0": 1}}')
+        explicit = FaultPlan(hang_units=[1], hang_s=0.01)
+        with Session(fault_plan=explicit) as session:
+            assert session.fault_plan == explicit
+
+
+class TestProvenanceVisibility:
+    def test_plan_recorded_outside_spec_digest(self):
+        import numpy as np
+
+        from repro.results.provenance import provenance_for
+
+        seq = np.random.SeedSequence(7)
+        payload = {"scenario": "smoke"}
+        plain = provenance_for(
+            payload, seq, ExperimentRunner("serial"), source="test"
+        )
+        chaotic_runner = ExperimentRunner(
+            "serial",
+            retry=RetryPolicy(max_attempts=2),
+            fault_plan=FaultPlan(crash_units=[0]),
+        )
+        chaotic = provenance_for(payload, seq, chaotic_runner, source="test")
+        # Same experiment identity ...
+        assert chaotic.spec_digest == plain.spec_digest
+        assert chaotic.seed_material() == plain.seed_material()
+        # ... but the drill is visible in the execution record.
+        assert chaotic.execution["fault_plan"] == (
+            FaultPlan(crash_units=[0]).to_dict()
+        )
+        assert chaotic.execution["retry"]["max_attempts"] == 2
+        assert plain.execution is None
+
+    def test_kill_exit_code_is_distinctive(self):
+        assert KILL_EXIT_CODE == 47
+
+
+@pytest.mark.chaos
+class TestChaosEndToEnd:
+    REFERENCE = ExperimentRunner("serial").run_replications(
+        _draw_digest, 24, seed=2013
+    )
+
+    def test_kill_and_corruption_bit_identical_on_process_pool(self):
+        plan = FaultPlan(kill_units={6: 1}, corrupt_units={0: 1})
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.01)
+        runner = ExperimentRunner(
+            "process", n_workers=2, chunk_size=2,
+            retry=policy, fault_plan=plan,
+        )
+        result = runner.run_replications(_draw_digest, 24, seed=2013)
+        assert result == self.REFERENCE
+
+    def test_session_run_with_fault_plan_matches_fault_free(self):
+        from repro.api import Session
+
+        with Session() as session:
+            reference = session.run("smoke", seed=5)
+        plan = FaultPlan(crash_units={0: 1})
+        with Session(
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.01),
+            fault_plan=plan,
+        ) as session:
+            chaotic = session.run("smoke", seed=5)
+        assert chaotic.table == reference.table
+        execution = chaotic.provenance.execution
+        assert execution["fault_plan"] == plan.to_dict()
+        assert (
+            chaotic.provenance.spec_digest
+            == reference.provenance.spec_digest
+        )
+
+    def test_suite_crash_and_hang_bit_identical_across_backends(self):
+        # The acceptance pin: with >= 1 transient crash + 1 hang per
+        # run, suite records, spec digests and seed material are all
+        # bit-identical to the fault-free run on every backend.
+        from repro.api import Session
+
+        names = ["smoke", "cooling_duqu"]
+        with Session() as session:
+            reference = session.run(names, seed=11)
+        plan = FaultPlan(crash_units={0: 1}, hang_units={1: 1}, hang_s=0.2)
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, timeout_s=60.0
+        )
+        for backend in ("serial", "thread", "process"):
+            with Session(
+                backend=backend, n_workers=2,
+                retry=policy, fault_plan=plan,
+            ) as session:
+                chaotic = session.run(names, seed=11)
+            assert chaotic.records_by_scenario() == (
+                reference.records_by_scenario()
+            ), backend
+            for plain, injected in zip(
+                reference.results, chaotic.results
+            ):
+                assert injected.provenance.spec_digest == (
+                    plain.provenance.spec_digest
+                )
+                assert injected.provenance.seed_material() == (
+                    plain.provenance.seed_material()
+                )
+
+    def test_rate_faults_converge_across_backends(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.01)
+        plan = FaultPlan(crash_rate=0.25, seed=8)
+        for backend in ("serial", "thread", "process"):
+            runner = ExperimentRunner(
+                backend, n_workers=3, chunk_size=2,
+                retry=policy, fault_plan=plan,
+            )
+            assert runner.run_replications(
+                _draw_digest, 24, seed=2013
+            ) == self.REFERENCE
