@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Single CI gate: tier-1 unit suite, chaos tier, facade selftest, perf
-# regression, telemetry + retry overhead.
+# Single CI gate: tier-1 unit suite, static-analysis lint, chaos tier,
+# facade selftest, perf regression, telemetry + retry overhead.
 #
 #   scripts/ci.sh                 # full gate (tier-1 + chaos + selftest + bench)
 #   SKIP_BENCH=1 scripts/ci.sh    # fast gate (no benchmark re-run)
@@ -29,6 +29,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 test suite =="
 python -m pytest -x -q
+
+echo
+echo "== static analysis lint gate =="
+# New findings fail; legacy shared-generator findings live in the
+# committed baseline (python -m repro.analysis --update-baseline).
+python -m repro.analysis --baseline analysis-baseline.json src examples
 
 echo
 echo "== chaos tier (seeded fault injection) =="

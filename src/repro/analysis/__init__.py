@@ -1,0 +1,51 @@
+"""Static determinism & concurrency analysis for the experiment stack.
+
+An AST-based lint pass enforcing the repository's determinism contract
+(all randomness flows through centrally spawned ``SeedSequence``
+children) plus concurrency-safety and serialisation rules, with a
+committed JSON baseline so pre-existing findings don't block CI while
+new ones fail it.
+
+Usage::
+
+    python -m repro.analysis [--format text|json] [--baseline FILE]
+                             [--update-baseline] [paths...]
+
+Rule packs: DET (unseeded randomness / wall-clock), SEED (seed plumbing
+in work units), RACE (shared mutable state across backends), PICKLE
+(unpicklable work for the process backend), SPEC (scenario catalog
+lint).  Suppress inline with ``# repro: allow[RULE-ID] reason`` —
+a reason is required for the allow to take effect.
+"""
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.engine import (
+    AnalysisReport,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.rules import Rule, RuleContext, all_rules, get_rule, rule
+from repro.analysis.suppressions import (
+    Suppression,
+    parse_suppressions,
+    split_suppressed,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "Rule",
+    "RuleContext",
+    "Suppression",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "parse_suppressions",
+    "rule",
+    "sort_findings",
+    "split_suppressed",
+]

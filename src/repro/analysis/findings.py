@@ -1,0 +1,107 @@
+"""Finding records produced by the static-analysis rules.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+``fingerprint`` identifies the finding *content-wise* — it hashes the
+rule id, the file path, the stripped text of the offending line and the
+occurrence index among identical lines — so baselined findings keep
+matching when unrelated edits shift line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Sequence
+
+#: Finding severities (all gate CI today; the field exists so future
+#: rules can downgrade to advisory without a format change).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Rule id (e.g. ``"DET001"``).
+        path: File path, posix-style, relative to the analysis root.
+        line: 1-based line of the violation.
+        col: 0-based column.
+        message: Human-readable description.
+        severity: ``"error"`` or ``"warning"``.
+        fingerprint: Content hash used for baseline matching (filled in
+            by the engine; empty for findings built in isolation).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    fingerprint: str = field(default="", compare=False)
+
+    def format(self) -> str:
+        """The classic ``path:line:col: RULE message`` lint line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready plain-data form."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data.get("col", 0)),  # type: ignore[arg-type]
+            message=str(data.get("message", "")),
+            severity=str(data.get("severity", "error")),
+            fingerprint=str(data.get("fingerprint", "")),
+        )
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic reporting order: path, line, column, rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding], lines: Sequence[str]
+) -> List[Finding]:
+    """Stamp content fingerprints onto same-file findings.
+
+    ``lines`` are the file's source lines.  The hash covers the rule
+    id, the path, the *stripped* offending line and the occurrence
+    index among findings of the same (rule, path, line-text) — line
+    numbers themselves stay out, so fingerprints survive edits
+    elsewhere in the file.
+    """
+    counts: Dict[tuple, int] = {}
+    stamped: List[Finding] = []
+    for finding in sort_findings(findings):
+        text = (
+            lines[finding.line - 1].strip()
+            if 1 <= finding.line <= len(lines)
+            else ""
+        )
+        key = (finding.rule, finding.path, text)
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        digest = hashlib.sha256(
+            "\x1f".join(
+                [finding.rule, finding.path, text, str(occurrence)]
+            ).encode("utf-8")
+        ).hexdigest()[:16]
+        stamped.append(replace(finding, fingerprint=digest))
+    return stamped

@@ -1,0 +1,271 @@
+"""Shared AST utilities for the python rule packs.
+
+Static analysis of dynamic Python is necessarily heuristic; these
+helpers centralise the approximations so every rule resolves names,
+scopes and lock contexts the same way:
+
+* :func:`import_map` / :func:`qualified_name` — resolve dotted call
+  targets through the module's imports (``np.random.default_rng`` →
+  ``numpy.random.default_rng``), so rules match fully-qualified names
+  regardless of aliasing.  Names whose root was never imported resolve
+  to ``None`` and are ignored — a local variable that happens to be
+  called ``random`` never trips a rule.
+* :func:`function_scopes` / :func:`scope_locals` — shallow per-scope
+  name binding, used to tell module globals from locals and closure
+  captures.
+* :func:`in_lock_context` — whether a node sits under a ``with`` whose
+  context expression mentions a lock, the exemption the RACE rules
+  grant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Scope-introducing nodes (module scope included on purpose).
+SCOPE_TYPES = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+FUNCTION_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def import_map(tree: ast.AST) -> Dict[str, str]:
+    """Local alias → dotted origin for every import in the module.
+
+    ``import numpy as np`` maps ``np`` → ``numpy``;
+    ``from time import time`` maps ``time`` → ``time.time``;
+    ``import numpy.random`` maps ``numpy`` → ``numpy`` (attribute
+    access spells the rest).  Relative imports keep their bare module
+    text — they never shadow the stdlib/numpy names the rules match.
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                local = alias.asname or alias.name
+                origin = f"{module}.{alias.name}" if module else alias.name
+                mapping[local] = origin
+    return mapping
+
+
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]`` (None if the
+    chain is not rooted in a plain name)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def qualified_name(
+    node: ast.AST, imports: Dict[str, str]
+) -> Optional[str]:
+    """The fully-qualified dotted name of an expression, resolved
+    through the module's imports.
+
+    Returns ``None`` when the expression is not a plain dotted chain or
+    when its root name was never imported (so locals never match).
+    """
+    parts = dotted_parts(node)
+    if not parts:
+        return None
+    origin = imports.get(parts[0])
+    if origin is None:
+        return None
+    return ".".join([origin] + parts[1:])
+
+
+def function_scopes(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """Yield ``(scope, enclosing_scopes)`` for the module and every
+    function/lambda, outermost first.  ``enclosing_scopes`` lists the
+    scope chain from the module inward (class bodies are not scopes)."""
+
+    def walk(node: ast.AST, chain: List[ast.AST]) -> Iterator:
+        if isinstance(node, SCOPE_TYPES):
+            yield node, list(chain)
+            chain = chain + [node]
+        for child in ast.iter_child_nodes(node):
+            yield from walk(child, chain)
+
+    yield from walk(tree, [])
+
+
+def scope_locals(scope: ast.AST) -> Set[str]:
+    """Names bound directly in ``scope``: parameters plus shallow
+    assignment/for/with/import/def targets.  Does not descend into
+    nested functions, lambdas or class bodies; ``global``-declared
+    names are excluded (they bind at module level)."""
+    names: Set[str] = set()
+    if isinstance(scope, FUNCTION_TYPES):
+        args = scope.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            names.add(arg.arg)
+    globals_declared: Set[str] = set()
+
+    def collect(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(child.name)
+                continue  # nested scope: do not descend
+            if isinstance(child, ast.Lambda):
+                continue
+            if isinstance(child, ast.ClassDef):
+                names.add(child.name)
+                continue
+            if isinstance(child, ast.Global):
+                globals_declared.update(child.names)
+            elif isinstance(child, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    # Only Store-context names bind: in CACHE[k] = v or
+                    # obj.attr = v the base name is a Load, not a local.
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name) and isinstance(
+                            name_node.ctx, ast.Store
+                        ):
+                            names.add(name_node.id)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                for name_node in ast.walk(child.target):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    if item.optional_vars is not None:
+                        for name_node in ast.walk(item.optional_vars):
+                            if isinstance(name_node, ast.Name):
+                                names.add(name_node.id)
+            elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                for alias in child.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            collect(child)
+
+    collect(scope)
+    return names - globals_declared
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s subtree without descending into nested function
+    scopes — each scope reports its own findings exactly once."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, FUNCTION_TYPES):
+            continue
+        yield child
+        yield from walk_shallow(child)
+
+
+def declared_globals(scope: ast.AST) -> Set[str]:
+    """Names declared ``global`` directly inside ``scope`` (shallow)."""
+    found: Set[str] = set()
+
+    def collect(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, SCOPE_TYPES[1:]):
+                continue
+            if isinstance(child, ast.Global):
+                found.update(child.names)
+            collect(child)
+
+    collect(scope)
+    return found
+
+
+def ancestors(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> Iterator[ast.AST]:
+    """Walk the parent chain of ``node`` up to the module."""
+    current = parents.get(node)
+    while current is not None:
+        yield current
+        current = parents.get(current)
+
+
+def in_lock_context(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> bool:
+    """Whether ``node`` sits inside ``with <something lock-ish>:``.
+
+    The RACE rules treat any ``with`` whose context expression mentions
+    ``lock`` (case-insensitive — ``self._lock``, ``state.write_lock``,
+    ``threading.Lock()``) as adequate synchronisation.
+    """
+    for ancestor in ancestors(node, parents):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                try:
+                    text = ast.unparse(item.context_expr)
+                except Exception:  # pragma: no cover - defensive
+                    text = ""
+                if "lock" in text.lower():
+                    return True
+    return False
+
+
+def module_mutable_globals(tree: ast.AST) -> Set[str]:
+    """Module-level names bound to mutable containers.
+
+    Covers list/dict/set displays and comprehensions plus bare
+    ``dict()``/``list()``/``set()``/``collections.*`` constructor
+    calls — the bindings whose in-function mutation the RACE rules
+    flag.
+    """
+    mutable: Set[str] = set()
+    assert isinstance(tree, ast.Module)
+    mutable_ctors = {
+        "dict", "list", "set", "defaultdict", "OrderedDict",
+        "Counter", "deque",
+    }
+    for node in tree.body:
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        is_mutable = isinstance(
+            value,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        )
+        if isinstance(value, ast.Call):
+            parts = dotted_parts(value.func)
+            if parts and parts[-1] in mutable_ctors:
+                is_mutable = True
+        if not is_mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutable.add(target.id)
+    return mutable
+
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+})

@@ -1,0 +1,165 @@
+"""The rule registry and the per-file context rules check against.
+
+A rule is a plain function ``check(ctx) -> List[Finding]`` registered
+under a stable id via the :func:`rule` decorator.  Python rules receive
+a parsed AST plus import/scope helpers; spec rules receive parsed JSON.
+The registry is what the engine iterates and what ``--list-rules``
+prints — adding a rule module is all it takes to extend the pack.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.findings import SEVERITIES, Finding
+
+#: What a rule analyzes: ``"python"`` (AST) or ``"spec"`` (catalog JSON).
+RULE_KINDS = ("python", "spec")
+
+
+@dataclass
+class RuleContext:
+    """Everything one rule invocation may look at for one file.
+
+    Attributes:
+        path: Posix-style path reported on findings.
+        text: Raw file text.
+        lines: ``text.splitlines()``.
+        tree: Parsed AST (python files; ``None`` for spec files).
+        data: Parsed JSON (spec files; ``None`` for python files).
+    """
+
+    path: str
+    text: str
+    lines: List[str]
+    tree: Optional[ast.AST] = None
+    data: Optional[object] = None
+    _parents: Optional[Dict[ast.AST, ast.AST]] = field(
+        default=None, repr=False
+    )
+    _imports: Optional[Dict[str, str]] = field(default=None, repr=False)
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child → parent map of :attr:`tree` (built lazily, shared by
+        every rule that needs ancestor walks)."""
+        if self._parents is None:
+            assert self.tree is not None
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        """Local alias → dotted module/attribute map (lazy, shared)."""
+        if self._imports is None:
+            from repro.analysis.pyast import import_map
+
+            assert self.tree is not None
+            self._imports = import_map(self.tree)
+        return self._imports
+
+    def finding(
+        self,
+        rule_id: str,
+        node_or_line: object,
+        message: str,
+        severity: str = "error",
+    ) -> Finding:
+        """Build a finding at an AST node (or explicit line number)."""
+        if isinstance(node_or_line, int):
+            line, col = node_or_line, 0
+        else:
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", 0)
+        return Finding(
+            rule=rule_id,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            severity=severity,
+        )
+
+
+CheckFn = Callable[[RuleContext], List[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: id, one-line summary, file kind, check."""
+
+    id: str
+    summary: str
+    kind: str
+    severity: str
+    check: CheckFn
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    summary: str,
+    kind: str = "python",
+    severity: str = "error",
+) -> Callable[[CheckFn], CheckFn]:
+    """Register ``check`` under ``rule_id`` (ids must be unique)."""
+    if kind not in RULE_KINDS:
+        raise ValueError(f"unknown rule kind {kind!r}")
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def decorate(check: CheckFn) -> CheckFn:
+        if rule_id in _RULES:
+            raise ValueError(f"rule {rule_id!r} is already registered")
+        # repro: allow[RACE001] registration happens at import time under the import lock
+        _RULES[rule_id] = Rule(rule_id, summary, kind, severity, check)
+        return check
+
+    return decorate
+
+
+def all_rules(kind: Optional[str] = None) -> List[Rule]:
+    """Registered rules sorted by id, optionally filtered by kind."""
+    _load_rule_packs()
+    rules = sorted(_RULES.values(), key=lambda r: r.id)
+    if kind is None:
+        return rules
+    return [r for r in rules if r.kind == kind]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id.
+
+    Raises:
+        KeyError: For an unknown id.
+    """
+    _load_rule_packs()
+    return _RULES[rule_id]
+
+
+def _load_rule_packs() -> None:
+    """Import the built-in rule modules (idempotent — registration
+    happens at import time, guarded by the duplicate-id check)."""
+    from repro.analysis import (  # noqa: F401  (imported for side effect)
+        rules_det,
+        rules_pickle,
+        rules_race,
+        rules_seed,
+        rules_spec,
+    )
+
+
+@rule("PARSE001", "file cannot be parsed")
+def _parse001(ctx: RuleContext) -> List[Finding]:
+    # Emitted directly by the engine when ast.parse fails (rules never
+    # run on an unparsable file); registered here so the id resolves in
+    # --list-rules and get_rule().
+    return []

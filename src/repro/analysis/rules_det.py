@@ -1,0 +1,187 @@
+"""DET rules: sources of non-determinism in experiment code.
+
+The determinism contract (see ``repro.exec.seeding``) requires every
+random draw to flow from a spawned ``SeedSequence`` and no experiment
+path to consult ambient state — wall clocks, OS entropy, process-global
+RNGs.  These rules flag the constructs that silently break it:
+
+* **DET001** — unseeded ``np.random.default_rng()`` / ``Generator``
+  construction: results change run to run with nothing recorded.
+  (Drawing a fresh ``SeedSequence()`` and *recording* its entropy is
+  the sanctioned alternative — that is what ``Session`` and the fixed
+  ``bootstrap_ci``/``morris``/``latin_hypercube`` do.)
+* **DET002** — stdlib ``random`` module functions: hidden process-global
+  state, shared across threads.
+* **DET003** — legacy ``numpy.random.*`` global-state API
+  (``np.random.seed``, ``np.random.rand``, ...): one mutable global
+  stream, unseedable per work unit.
+* **DET004** — wall-clock / ambient-entropy calls (``time.time``,
+  ``datetime.now``, ``uuid.uuid4``, ``os.urandom``, ``secrets.*``)
+  anywhere experiment code runs.  Monotonic clocks
+  (``time.monotonic``/``perf_counter``) are fine and are the
+  sanctioned replacement for ordering; a wall clock kept purely for
+  display belongs under an ``allow`` with that reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.pyast import qualified_name
+from repro.analysis.rules import RuleContext, rule
+
+#: numpy bit-generator constructors (an unseeded one inside Generator()
+#: is the same hazard as an unseeded default_rng()).
+_BIT_GENERATORS = {
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+}
+
+#: Legacy numpy global-state functions (non-exhaustive but covers the
+#: draws and state management that appear in real code).
+_NUMPY_LEGACY = {
+    "seed", "rand", "randn", "randint", "random", "ranf", "sample",
+    "random_sample", "random_integers", "choice", "shuffle",
+    "permutation", "uniform", "normal", "standard_normal", "beta",
+    "binomial", "poisson", "exponential", "gamma", "lognormal",
+    "get_state", "set_state", "bytes",
+}
+
+#: Wall-clock and ambient-entropy calls.
+_WALLCLOCK = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.datetime.today": "datetime.today()",
+    "datetime.date.today": "date.today()",
+    "uuid.uuid1": "uuid1()",
+    "uuid.uuid4": "uuid4()",
+    "os.urandom": "os.urandom()",
+    "secrets.token_bytes": "secrets.token_bytes()",
+    "secrets.token_hex": "secrets.token_hex()",
+    "secrets.token_urlsafe": "secrets.token_urlsafe()",
+    "secrets.randbits": "secrets.randbits()",
+    "secrets.choice": "secrets.choice()",
+}
+
+
+def _is_unseeded_call(call: ast.Call) -> bool:
+    """No arguments, or an explicit ``None`` seed."""
+    if call.keywords:
+        return any(
+            kw.arg in ("seed", "entropy")
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is None
+            for kw in call.keywords
+        ) and not call.args
+    if not call.args:
+        return True
+    first = call.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+@rule("DET001", "unseeded default_rng()/Generator construction")
+def det001(ctx: RuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = qualified_name(node.func, ctx.imports)
+        if name == "numpy.random.default_rng" and _is_unseeded_call(node):
+            findings.append(
+                ctx.finding(
+                    "DET001",
+                    node,
+                    "unseeded np.random.default_rng() — results are "
+                    "unreproducible; derive the generator from a spawned "
+                    "SeedSequence (or draw SeedSequence() fresh entropy "
+                    "and record it)",
+                )
+            )
+        elif name == "numpy.random.Generator" and node.args:
+            inner = node.args[0]
+            if (
+                isinstance(inner, ast.Call)
+                and qualified_name(inner.func, ctx.imports)
+                in _BIT_GENERATORS
+                and _is_unseeded_call(inner)
+            ):
+                findings.append(
+                    ctx.finding(
+                        "DET001",
+                        node,
+                        "np.random.Generator over an unseeded bit "
+                        "generator — seed it from a spawned SeedSequence",
+                    )
+                )
+    return findings
+
+
+@rule("DET002", "stdlib random module global functions")
+def det002(ctx: RuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = qualified_name(node.func, ctx.imports)
+        if name and name.startswith("random.") and name.count(".") == 1:
+            findings.append(
+                ctx.finding(
+                    "DET002",
+                    node,
+                    f"stdlib {name}() draws from the hidden process-global "
+                    "stream — use a numpy Generator derived from a spawned "
+                    "SeedSequence",
+                )
+            )
+    return findings
+
+
+@rule("DET003", "legacy numpy.random global-state API")
+def det003(ctx: RuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = qualified_name(node.func, ctx.imports)
+        if (
+            name
+            and name.startswith("numpy.random.")
+            and name.rsplit(".", 1)[1] in _NUMPY_LEGACY
+        ):
+            findings.append(
+                ctx.finding(
+                    "DET003",
+                    node,
+                    f"legacy {name}() mutates numpy's global RNG state — "
+                    "use a Generator derived from a spawned SeedSequence",
+                )
+            )
+    return findings
+
+
+@rule("DET004", "wall-clock / ambient-entropy call")
+def det004(ctx: RuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = qualified_name(node.func, ctx.imports)
+        if name in _WALLCLOCK:
+            findings.append(
+                ctx.finding(
+                    "DET004",
+                    node,
+                    f"{_WALLCLOCK[name]} reads ambient wall-clock/entropy "
+                    "state — use time.monotonic()/perf_counter() for "
+                    "ordering and durations, or an allow comment if the "
+                    "value is display-only",
+                )
+            )
+    return findings

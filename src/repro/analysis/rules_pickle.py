@@ -1,0 +1,105 @@
+"""PICKLE rule: work the process backend cannot serialise.
+
+The process backend pickles work functions and their arguments.
+Lambdas, functions defined inside another function, and local classes
+are not picklable — handing one to a dispatch call works on the serial
+and thread backends and then explodes the day the backend flips to
+``process``.
+
+* **PICKLE001** — a lambda / locally-defined function / local class
+  passed to an execution-dispatch method (``.map`` /
+  ``.run_replications`` / ``.run_batched_replications`` / ``.submit`` /
+  ``.run`` / ``.apply_async`` / ``.starmap``) of a receiver whose name
+  suggests a runner, backend, executor or pool.  Thread-only executors
+  that legitimately take closures carry an ``allow`` naming that fact.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.pyast import (
+    FUNCTION_TYPES,
+    function_scopes,
+    walk_shallow,
+)
+from repro.analysis.rules import RuleContext, rule
+
+#: Dispatch-looking method names.
+_DISPATCH_METHODS = {
+    "map", "run_replications", "run_batched_replications", "submit",
+    "run", "apply_async", "starmap",
+}
+
+#: Receiver-name fragments that suggest an execution backend.
+_RECEIVER_HINTS = ("runner", "backend", "executor", "pool")
+
+
+def _local_callables(scope: ast.AST) -> Set[str]:
+    """Names bound to nested defs / local classes directly in ``scope``
+    (only meaningful for function scopes — module-level defs pickle)."""
+    if not isinstance(scope, FUNCTION_TYPES):
+        return set()
+    names: Set[str] = set()
+    for child in ast.walk(scope):
+        if child is scope:
+            continue
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            names.add(child.name)
+        elif isinstance(child, ast.Assign) and isinstance(
+            child.value, ast.Lambda
+        ):
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@rule("PICKLE001", "unpicklable callable handed to an execution backend")
+def pickle001(ctx: RuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for scope, _chain in function_scopes(ctx.tree):
+        local_callables = _local_callables(scope)
+        for node in walk_shallow(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _DISPATCH_METHODS
+            ):
+                continue
+            try:
+                receiver = ast.unparse(func.value).lower()
+            except Exception:  # pragma: no cover - defensive
+                continue
+            if not any(hint in receiver for hint in _RECEIVER_HINTS):
+                continue
+            candidates = list(node.args) + [
+                kw.value for kw in node.keywords
+            ]
+            for arg in candidates:
+                what = None
+                if isinstance(arg, ast.Lambda):
+                    what = "a lambda"
+                elif (
+                    isinstance(arg, ast.Name)
+                    and arg.id in local_callables
+                ):
+                    what = f"locally-defined {arg.id!r}"
+                if what is None:
+                    continue
+                findings.append(
+                    ctx.finding(
+                        "PICKLE001",
+                        arg,
+                        f"{what} is handed to {ast.unparse(func)}() — "
+                        "not picklable, so this breaks on the process "
+                        "backend; use a module-level function (or "
+                        "functools.partial over one)",
+                    )
+                )
+    return findings

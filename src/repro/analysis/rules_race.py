@@ -1,0 +1,152 @@
+"""RACE rules: shared mutable state reachable from parallel backends.
+
+Work units ship to thread and process pools; coordinator callbacks
+(``on_result`` hooks, job progress) run on pool-collector threads.  Two
+shapes therefore race:
+
+* **RACE001** — a module-level mutable container mutated inside a
+  function.  On the thread backend every worker shares the module
+  object; on the process backend each worker silently mutates its own
+  copy and the "shared" state diverges.  Mutations under a
+  ``with ...lock...:`` block are exempt.
+* **RACE002** — a nested callback writing an attribute of an object
+  captured from the enclosing scope without holding a lock: the
+  classic unlocked coordinator-shared write from an ``on_result`` /
+  ``done_callback`` closure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.pyast import (
+    FUNCTION_TYPES,
+    MUTATOR_METHODS,
+    declared_globals,
+    function_scopes,
+    in_lock_context,
+    module_mutable_globals,
+    scope_locals,
+    walk_shallow,
+)
+from repro.analysis.rules import RuleContext, rule
+
+
+@rule("RACE001", "module-level mutable global mutated inside a function")
+def race001(ctx: RuleContext) -> List[Finding]:
+    mutable = module_mutable_globals(ctx.tree)
+    if not mutable:
+        return []
+    findings: List[Finding] = []
+    for scope, _chain in function_scopes(ctx.tree):
+        if not isinstance(scope, FUNCTION_TYPES):
+            continue
+        locals_here = scope_locals(scope)
+        globals_here = declared_globals(scope)
+
+        def shared(name: str) -> bool:
+            return name in mutable and (
+                name in globals_here or name not in locals_here
+            )
+
+        def report(node: ast.AST, name: str, how: str) -> None:
+            if in_lock_context(node, ctx.parents):
+                return
+            findings.append(
+                ctx.finding(
+                    "RACE001",
+                    node,
+                    f"module-level mutable global {name!r} {how} inside "
+                    f"{getattr(scope, 'name', '<lambda>')}() without a "
+                    "lock — unsafe once this code runs on thread workers "
+                    "(and silently diverges on process workers)",
+                )
+            )
+
+        for node in walk_shallow(scope):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and (
+                        target.id in globals_here
+                        and target.id in mutable
+                    ):
+                        report(node, target.id, "is rebound")
+                    elif isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ) and shared(target.value.id):
+                        report(
+                            node, target.value.id, "is written through []"
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ) and shared(target.value.id):
+                        report(node, target.value.id, "has entries deleted")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and shared(func.value.id)
+                ):
+                    report(
+                        node,
+                        func.value.id,
+                        f"is mutated via .{func.attr}()",
+                    )
+    return findings
+
+
+@rule("RACE002", "unlocked attribute write to a captured object in a callback")
+def race002(ctx: RuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for scope, chain in function_scopes(ctx.tree):
+        enclosing_functions = [
+            s for s in chain if isinstance(s, FUNCTION_TYPES)
+        ]
+        if not enclosing_functions or not isinstance(scope, FUNCTION_TYPES):
+            continue  # only nested functions/lambdas (callbacks)
+        own = scope_locals(scope)
+        captured: Set[str] = set()
+        for outer in enclosing_functions:
+            captured |= scope_locals(outer)
+        captured -= own
+        if not captured:
+            continue
+        for node in walk_shallow(scope):
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in captured
+                    and not in_lock_context(node, ctx.parents)
+                ):
+                    findings.append(
+                        ctx.finding(
+                            "RACE002",
+                            node,
+                            f"callback writes {target.value.id}."
+                            f"{target.attr} on an object captured from "
+                            "the enclosing scope without a lock — "
+                            "coordinator callbacks run on collector "
+                            "threads; guard the write or funnel it "
+                            "through the exec layer's ordered hooks",
+                        )
+                    )
+    return findings

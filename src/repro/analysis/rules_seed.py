@@ -1,0 +1,168 @@
+"""SEED rules: RNGs in work units must derive from spawned seeds.
+
+The runner's contract is that replication ``i`` draws from the ``i``-th
+child of the root ``SeedSequence``, spawned centrally before dispatch.
+Two code shapes quietly defeat it:
+
+* **SEED001** — a function that *receives* seed material (an ``rng`` /
+  ``seed`` / ``seed_seq`` parameter) but constructs its generator from
+  a hard-coded literal instead: every call sees the same stream and
+  the caller's seed plumbing is dead code.
+* **SEED002** — one generator reused across a replication loop
+  (``for _ in range(replications): body(rng)``): replications become
+  order-dependent, so results change with chunking and backends.  The
+  retained legacy shared-generator paths (sequential APIs where the
+  caller owns one generator, preserved bit-exact since PR1) are
+  recorded in the committed baseline — the documented exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.pyast import (
+    FUNCTION_TYPES,
+    function_scopes,
+    qualified_name,
+    walk_shallow,
+)
+from repro.analysis.rules import RuleContext, rule
+
+#: Parameter names that mark a function as seed-plumbed.
+_SEED_PARAMS = {"rng", "seed", "seed_seq", "seed_sequence", "root_seed"}
+
+#: Local names the reuse heuristic treats as generators.
+_RNG_NAMES = {"rng", "generator"}
+
+_RNG_CTORS = {"numpy.random.default_rng", "numpy.random.Generator"}
+
+
+def _param_names(func: ast.AST) -> Set[str]:
+    args = func.args
+    return {
+        arg.arg
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        )
+    }
+
+
+@rule("SEED001", "seed parameter ignored for a hard-coded literal seed")
+def seed001(ctx: RuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for scope, _chain in function_scopes(ctx.tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not (_param_names(scope) & _SEED_PARAMS):
+            continue
+        for node in walk_shallow(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            if qualified_name(node.func, ctx.imports) not in _RNG_CTORS:
+                continue
+            if node.args and isinstance(node.args[0], ast.Constant) and (
+                node.args[0].value is not None
+            ):
+                findings.append(
+                    ctx.finding(
+                        "SEED001",
+                        node,
+                        f"{scope.name}() takes seed material as a "
+                        "parameter but builds its generator from the "
+                        f"literal {node.args[0].value!r} — derive it from "
+                        "the parameter instead",
+                    )
+                )
+    return findings
+
+
+def _replication_range(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``range(...)`` whose argument text smells
+    like a replication count (mentions ``rep``)."""
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+    ):
+        return False
+    try:
+        text = " ".join(ast.unparse(arg) for arg in node.args)
+    except Exception:  # pragma: no cover - defensive
+        return False
+    return "rep" in text.lower()
+
+
+def _rng_like_names(scope: ast.AST, ctx: RuleContext) -> Set[str]:
+    """Generator-ish names visible in ``scope``: rng-named parameters
+    plus locals assigned from a Generator constructor."""
+    names: Set[str] = set()
+    if isinstance(scope, FUNCTION_TYPES):
+        names |= _param_names(scope) & _RNG_NAMES
+    for node in walk_shallow(scope):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if qualified_name(node.value.func, ctx.imports) in _RNG_CTORS:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _loop_bodies(scope: ast.AST) -> Iterable[ast.AST]:
+    """Replication loops in ``scope``: for-loops and comprehensions
+    over a replication-count ``range``. Yields the loop node itself."""
+    for node in walk_shallow(scope):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _replication_range(node.iter):
+                yield node
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            if any(_replication_range(gen.iter) for gen in node.generators):
+                yield node
+
+
+@rule("SEED002", "generator reuse across a replication loop")
+def seed002(ctx: RuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for scope, _chain in function_scopes(ctx.tree):
+        rng_names = _rng_like_names(scope, ctx)
+        if not rng_names:
+            continue
+        for loop in _loop_bodies(scope):
+            # A generator rebound inside the loop body is per-iteration.
+            rebound: Set[str] = set()
+            if isinstance(loop, (ast.For, ast.AsyncFor)):
+                for node in ast.walk(loop):
+                    if isinstance(node, ast.Assign):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                rebound.add(target.id)
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                passed = [
+                    arg
+                    for arg in list(node.args)
+                    + [kw.value for kw in node.keywords]
+                    if isinstance(arg, ast.Name)
+                    and arg.id in rng_names
+                    and arg.id not in rebound
+                ]
+                for arg in passed:
+                    findings.append(
+                        ctx.finding(
+                            "SEED002",
+                            node,
+                            f"generator {arg.id!r} is reused across a "
+                            "replication loop — spawn one SeedSequence "
+                            "child per replication (runner mode) so "
+                            "results are chunking- and backend-invariant",
+                        )
+                    )
+    return findings

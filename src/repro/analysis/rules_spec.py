@@ -1,0 +1,271 @@
+"""SPEC rules: static lint of scenario JSON catalogs.
+
+Catalog files (one :class:`~repro.scenarios.spec.Scenario` dict per
+file) are validated **without building anything** — no networks, no
+threats, no campaign state.  The checks mirror
+``Scenario.from_dict``/``__post_init__`` validation plus the component
+registries, so a broken catalog fails the lint gate with a file/line
+instead of failing mid-suite at run time:
+
+* **SPEC001** — the file is not valid JSON.
+* **SPEC002** — unknown scenario field.
+* **SPEC003** — unregistered topology/threat/catalog/plant/kind name.
+* **SPEC004** — field type or range violation (including cross-field
+  constraints like ``response_delay_rate`` without
+  ``response_enabled``).
+
+Findings carry the line of the offending key when it can be located in
+the raw text (JSON parsing discards positions; a simple text search
+recovers them well enough for error messages).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields as dataclass_fields
+from typing import Dict, List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RuleContext, rule
+
+#: Keys whose presence (next to a string ``name``) marks a JSON object
+#: as a scenario spec when sniffing arbitrary ``.json`` files.
+SCENARIO_MARKER_KEYS = (
+    "topology", "threat", "plant", "catalog", "design_kind",
+    "replications", "horizon",
+)
+
+
+def looks_like_scenario(data: object) -> bool:
+    """Whether parsed JSON sniffs as a single scenario spec."""
+    return (
+        isinstance(data, dict)
+        and isinstance(data.get("name"), str)
+        and any(key in data for key in SCENARIO_MARKER_KEYS)
+    )
+
+
+def _key_line(ctx: RuleContext, key: str) -> int:
+    """Best-effort line of ``"key"`` in the raw text (1 if unknown)."""
+    needle = f'"{key}"'
+    for number, text in enumerate(ctx.lines, start=1):
+        if needle in text:
+            return number
+    return 1
+
+
+def _spec_finding(
+    ctx: RuleContext, rule_id: str, key: Optional[str], message: str
+) -> Finding:
+    line = _key_line(ctx, key) if key else 1
+    return ctx.finding(rule_id, line, message)
+
+
+@rule("SPEC001", "catalog file is not valid JSON", kind="spec")
+def spec001(ctx: RuleContext) -> List[Finding]:
+    if ctx.data is not None:
+        return []
+    try:
+        json.loads(ctx.text)
+        return []  # pragma: no cover - engine parses first
+    except json.JSONDecodeError as exc:
+        return [
+            ctx.finding(
+                "SPEC001", exc.lineno, f"invalid JSON: {exc.msg}"
+            )
+        ]
+
+
+@rule("SPEC002", "unknown scenario field", kind="spec")
+def spec002(ctx: RuleContext) -> List[Finding]:
+    from repro.scenarios.spec import Scenario
+
+    if not isinstance(ctx.data, dict):
+        return []
+    known = {f.name for f in dataclass_fields(Scenario)}
+    findings = []
+    for key in sorted(set(ctx.data) - known):
+        findings.append(
+            _spec_finding(
+                ctx,
+                "SPEC002",
+                key,
+                f"unknown scenario field {key!r} (known fields: "
+                f"{', '.join(sorted(known))})",
+            )
+        )
+    return findings
+
+
+@rule("SPEC003", "unregistered component/threat/plant name", kind="spec")
+def spec003(ctx: RuleContext) -> List[Finding]:
+    from repro.scada.components import ComponentKind
+    from repro.scenarios.components import (
+        available_catalogs,
+        available_plants,
+        available_threats,
+        available_topologies,
+    )
+
+    if not isinstance(ctx.data, dict):
+        return []
+    registries = {
+        "topology": available_topologies(),
+        "threat": available_threats(),
+        "catalog": available_catalogs(),
+        "plant": available_plants(),
+    }
+    findings = []
+    for key, names in registries.items():
+        value = ctx.data.get(key)
+        if isinstance(value, str) and value not in names:
+            findings.append(
+                _spec_finding(
+                    ctx,
+                    "SPEC003",
+                    key,
+                    f"unregistered {key} {value!r}; expected one of "
+                    f"{', '.join(names)}",
+                )
+            )
+    kinds = ctx.data.get("kinds")
+    if isinstance(kinds, list):
+        valid = [k.value for k in ComponentKind]
+        for value in kinds:
+            if isinstance(value, str) and value not in valid:
+                findings.append(
+                    _spec_finding(
+                        ctx,
+                        "SPEC003",
+                        "kinds",
+                        f"unknown component kind {value!r}; expected one "
+                        f"of {', '.join(valid)}",
+                    )
+                )
+    return findings
+
+
+def _type_error(
+    ctx: RuleContext, key: str, expected: str, value: object
+) -> Finding:
+    return _spec_finding(
+        ctx,
+        "SPEC004",
+        key,
+        f"field {key!r} must be {expected}, got {value!r}",
+    )
+
+
+@rule("SPEC004", "scenario field type/range violation", kind="spec")
+def spec004(ctx: RuleContext) -> List[Finding]:
+    from repro.scenarios.spec import DESIGN_KINDS
+
+    data = ctx.data
+    if data is None:
+        return []
+    if not isinstance(data, dict):
+        return [
+            ctx.finding(
+                "SPEC004",
+                1,
+                "catalog file must contain one JSON object (a single "
+                f"scenario spec), got {type(data).__name__}",
+            )
+        ]
+    findings: List[Finding] = []
+
+    def check(key: str, ok: bool, expected: str) -> None:
+        if key in data and not ok:
+            findings.append(_type_error(ctx, key, expected, data[key]))
+
+    def is_number(value: object) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        )
+
+    if "name" not in data:
+        findings.append(
+            ctx.finding(
+                "SPEC004", 1,
+                "missing required field 'name' (the registry key)",
+            )
+        )
+    name = data.get("name")
+    check("name", isinstance(name, str) and bool(name), "a non-empty string")
+    for key in ("title", "description", "topology", "threat", "catalog",
+                "plant"):
+        check(key, isinstance(data.get(key, ""), str), "a string")
+    check(
+        "design_kind",
+        data.get("design_kind", "full") in DESIGN_KINDS,
+        f"one of {', '.join(DESIGN_KINDS)}",
+    )
+    for key in ("two_level", "tick_elision", "response_enabled"):
+        check(key, isinstance(data.get(key, False), bool), "a boolean")
+    reps = data.get("replications", 1)
+    check(
+        "replications",
+        isinstance(reps, int) and not isinstance(reps, bool) and reps >= 1,
+        "an integer >= 1",
+    )
+    for key in ("horizon", "tick_interval"):
+        value = data.get(key, 1.0)
+        check(key, is_number(value) and value > 0, "a number > 0")
+    delay = data.get("response_delay_rate")
+    if delay is not None and "response_delay_rate" in data:
+        if not (is_number(delay) and delay > 0):
+            findings.append(
+                _type_error(
+                    ctx, "response_delay_rate", "a number > 0 or null",
+                    delay,
+                )
+            )
+        elif not data.get("response_enabled", False):
+            findings.append(
+                _spec_finding(
+                    ctx,
+                    "SPEC004",
+                    "response_delay_rate",
+                    "response_delay_rate requires response_enabled=true "
+                    "(a delay without a response would be silently "
+                    "ignored)",
+                )
+            )
+    kinds = data.get("kinds")
+    if kinds is not None and "kinds" in data:
+        if not (
+            isinstance(kinds, list)
+            and all(isinstance(k, str) for k in kinds)
+        ):
+            findings.append(
+                _type_error(
+                    ctx, "kinds", "null or a list of strings", kinds
+                )
+            )
+    tags = data.get("tags", [])
+    check(
+        "tags",
+        isinstance(tags, list) and all(isinstance(t, str) for t in tags),
+        "a list of strings",
+    )
+    for key in ("topology_params", "threat_params"):
+        check(key, isinstance(data.get(key, {}), dict), "an object")
+    return findings
+
+
+# ---- catalog entry points (shared by engine and scenarios CLI) ---------
+
+
+def lint_catalog_text(
+    text: str, path: str
+) -> List[Finding]:
+    """Lint one catalog file's raw text with every SPEC rule."""
+    from repro.analysis.engine import run_rules_on_spec
+
+    return run_rules_on_spec(text, path)
+
+
+def lint_catalog_file(path: str) -> List[Finding]:
+    """Lint one catalog file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_catalog_text(handle.read(), path)

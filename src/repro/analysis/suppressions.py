@@ -1,0 +1,95 @@
+"""Inline ``# repro: allow[RULE-ID] reason`` suppressions.
+
+A finding is suppressed when the offending line — or the line directly
+above it — carries an allow comment naming its rule id **and a
+non-empty reason**.  Reasonless allows are deliberately inert: the
+comment documents *why* the hazard is acceptable, and an allow that
+cannot say why should not silence the checker.
+
+::
+
+    event = JobEvent(..., time.time(), ...)  # repro: allow[DET004] display only
+    # repro: allow[SEED002] legacy shared-generator contract
+    results = [body(rng) for _ in range(replications)]
+
+Multiple ids are comma-separated: ``# repro: allow[DET004,SEED002] ...``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s-]+)\]\s*(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed allow comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+
+    @property
+    def effective(self) -> bool:
+        """Reasonless allows do not suppress (documented contract)."""
+        return bool(self.reason)
+
+
+def parse_suppressions(lines: Sequence[str]) -> List[Suppression]:
+    """All allow comments in a file's source lines."""
+    found: List[Suppression] = []
+    for number, text in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if not match:
+            continue
+        ids = tuple(
+            part.strip()
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        found.append(
+            Suppression(
+                line=number, rule_ids=ids, reason=match.group(2).strip()
+            )
+        )
+    return found
+
+
+def suppression_for(
+    finding: Finding, by_line: Dict[int, List[Suppression]]
+) -> Optional[Suppression]:
+    """The suppression covering ``finding``, if any.
+
+    An allow covers findings on its own line and on the line below it
+    (comment-above style).
+    """
+    for line in (finding.line, finding.line - 1):
+        for suppression in by_line.get(line, ()):
+            if finding.rule in suppression.rule_ids and suppression.effective:
+                return suppression
+    return None
+
+
+def split_suppressed(
+    findings: Sequence[Finding], lines: Sequence[str]
+) -> Tuple[List[Finding], List[Tuple[Finding, str]]]:
+    """Partition ``findings`` into (kept, suppressed-with-reason)."""
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in parse_suppressions(lines):
+        by_line.setdefault(suppression.line, []).append(suppression)
+    kept: List[Finding] = []
+    suppressed: List[Tuple[Finding, str]] = []
+    for finding in findings:
+        match = suppression_for(finding, by_line)
+        if match is None:
+            kept.append(finding)
+        else:
+            suppressed.append((finding, match.reason))
+    return kept, suppressed

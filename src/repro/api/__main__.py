@@ -15,6 +15,24 @@ import sys
 from typing import Optional, Sequence
 
 
+def _analysis_smoke() -> bool:
+    """The static analyzer catches a seeded defect and a bad catalog."""
+    from repro.analysis import analyze_source
+
+    det = analyze_source(
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        path="snippet.py",
+    )
+    spec = analyze_source(
+        '{"name": "x", "topology": "not-a-topology"}',
+        path="snippet.json",
+        kind="spec",
+    )
+    return any(f.rule == "DET001" for f in det.findings) and any(
+        f.rule == "SPEC003" for f in spec.findings
+    )
+
+
 def selftest(
     backend: str = "serial", seed: int = 0, verbose: bool = False
 ) -> int:
@@ -59,6 +77,14 @@ def selftest(
                 and event_states[-1] is JobState.DONE
                 and all(isinstance(e, JobEvent) for e in job.events),
             ),
+            (
+                "event timestamps monotonic",
+                all(
+                    a.time_monotonic <= b.time_monotonic
+                    for a, b in zip(job.events, job.events[1:])
+                ),
+            ),
+            ("static analysis flags unseeded RNG", _analysis_smoke()),
         ]
     # The user-facing wall clock is the recorded span itself — the
     # selftest exercises exactly what it reports.

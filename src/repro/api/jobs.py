@@ -77,14 +77,19 @@ class JobEvent:
     Attributes:
         job_id: The job's id.
         state: The state entered.
-        time_unix: Wall-clock time of the transition.
+        time_unix: Wall-clock time of the transition — for display and
+            cross-process correlation only; the system clock can step
+            backwards (NTP), so never order events by it.
         detail: Free-form context (e.g. the failure message).
+        time_monotonic: ``time.monotonic()`` at the transition — the
+            ordering/duration clock; non-decreasing within a process.
     """
 
     job_id: int
     state: JobState
     time_unix: float
     detail: str = ""
+    time_monotonic: float = 0.0
 
 
 #: States a job can end in; exactly one terminal event is ever emitted.
@@ -167,7 +172,13 @@ class JobHandle:
             ):
                 return
             self._emitted.add(state)
-            event = JobEvent(self.job_id, state, time.time(), detail)
+            event = JobEvent(
+                self.job_id,
+                state,
+                time.time(),  # repro: allow[DET004] display-only wall-clock; ordering uses time_monotonic
+                detail,
+                time_monotonic=time.monotonic(),
+            )
             self._events.append(event)
             telemetry = self._telemetry
         _LOG.debug(

@@ -1081,6 +1081,7 @@ class AttackCampaign:
             plant = traj.plant_at(j)
             registers.clear()
             registers.update(traj.registers_at(j))
+            # repro: allow[RACE002] engine callbacks run single-threaded inside one work unit's event loop
             damage.damage = traj.damage_at(j)
             healthy_readings = traj.readings_through(j)
             if spoofer is not None:

@@ -83,11 +83,17 @@ class MorrisResult:
         mu_star: Mean absolute elementary effect (overall influence).
         sigma: Standard deviation of effects (non-linearity /
             interaction involvement).
+        entropy: When :func:`morris` drew fresh OS entropy for an
+            omitted ``rng``, the ``SeedSequence`` entropy it drew —
+            recorded so the screening can be reproduced exactly with
+            ``default_rng(SeedSequence(entropy))``; ``None`` when the
+            caller supplied the generator.
     """
 
     name: str
     mu_star: float
     sigma: float
+    entropy: int | None = None
 
 
 def morris(
@@ -106,7 +112,10 @@ def morris(
         names: Parameter names (parallel to ``bounds``).
         n_trajectories: Number of random trajectories r.
         n_levels: Grid levels p (delta = p / (2(p-1))).
-        rng: Random generator.
+        rng: Random generator.  When omitted, fresh OS entropy is drawn
+            via ``SeedSequence()`` and recorded on every returned
+            result's ``entropy`` field (same policy as ``Session`` run
+            seeds), keeping ad-hoc screenings replayable.
 
     Returns:
         One :class:`MorrisResult` per parameter, sorted by descending
@@ -117,8 +126,11 @@ def morris(
     """
     if len(bounds) != len(names):
         raise ValueError("bounds and names must have equal length")
+    entropy: int | None = None
     if rng is None:
-        rng = np.random.default_rng()
+        seed_seq = np.random.SeedSequence()
+        entropy = int(seed_seq.entropy)
+        rng = np.random.default_rng(seed_seq)
     k = len(bounds)
     delta = n_levels / (2.0 * (n_levels - 1))
     grid = np.linspace(0.0, 1.0 - delta, n_levels // 2)
@@ -145,6 +157,7 @@ def morris(
                 name=name,
                 mu_star=float(np.abs(arr).mean()),
                 sigma=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+                entropy=entropy,
             )
         )
     return sorted(results, key=lambda r: -r.mu_star)

@@ -84,7 +84,11 @@ def latin_hypercube(
         names: Factor names.
         bounds: ``(low, high)`` per factor.
         n_samples: Number of runs.
-        rng: Random generator (fresh default_rng if omitted).
+        rng: Random generator.  When omitted, fresh OS entropy is drawn
+            via ``SeedSequence()`` and recorded under
+            ``design.metadata["entropy"]`` (same policy as ``Session``
+            run seeds), so the sampled design can be regenerated exactly
+            with ``default_rng(SeedSequence(entropy))``.
         maximin_restarts: Restarts for the maximin criterion.
 
     Returns:
@@ -99,8 +103,11 @@ def latin_hypercube(
     for name, (low, high) in zip(names, bounds):
         if high <= low:
             raise ValueError(f"factor {name!r} has empty range [{low}, {high}]")
+    entropy: Optional[int] = None
     if rng is None:
-        rng = np.random.default_rng()
+        seed_seq = np.random.SeedSequence()
+        entropy = int(seed_seq.entropy)
+        rng = np.random.default_rng(seed_seq)
     unit = latin_hypercube_matrix(
         n_samples, len(names), rng, maximin_restarts=maximin_restarts
     )
@@ -116,6 +123,6 @@ def latin_hypercube(
         factors=factors,
         runs=runs,
         name=f"LHS n={n_samples}",
-        metadata={"bounds": list(bounds), "matrix": matrix},
+        metadata={"bounds": list(bounds), "matrix": matrix, "entropy": entropy},
     )
     return design, matrix

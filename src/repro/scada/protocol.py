@@ -216,6 +216,7 @@ def _value_block(big_endian: bool, n_values: int) -> struct.Struct:
         codec = struct.Struct(
             f"{'>' if big_endian else '<'}{n_values}H"
         )
+        # repro: allow[RACE001] idempotent memo of a deterministic codec; dict assignment is atomic under the GIL
         _VALUE_BLOCKS[(big_endian, n_values)] = codec
         return codec
 

@@ -9,6 +9,7 @@
                                  [--catalog DIR] [--cache-dir DIR]
                                  [--shard I/N] [--on-error raise|skip]
                                  [--journal FILE]
+    python -m repro.scenarios lint [--catalog DIR] [FILE...]
 
 The ``run`` subcommand lowers onto :class:`repro.api.Session` — the
 same facade the library API exposes — so catalogs, caching and
@@ -149,6 +150,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Statically validate catalog files with the SPEC analysis rules
+    — no networks, threats or campaigns are built."""
+    import glob
+    import os
+
+    from repro.analysis.rules_spec import lint_catalog_file
+
+    files: List[str] = list(args.files)
+    for directory in getattr(args, "catalog", None) or []:
+        files.extend(sorted(glob.glob(os.path.join(directory, "*.json"))))
+    if not files:
+        print(
+            "nothing to lint: give catalog JSON files and/or --catalog DIR",
+            file=sys.stderr,
+        )
+        return 2
+    findings = []
+    for path in files:
+        try:
+            findings.extend(lint_catalog_file(path))
+        except OSError as exc:
+            print(f"error: cannot read {path!r}: {exc}", file=sys.stderr)
+            return 2
+    for finding in findings:
+        print(finding.format())
+    print(f"{len(findings)} finding(s) in {len(files)} catalog file(s)")
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro.scenarios`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -239,6 +270,16 @@ def build_parser() -> argparse.ArgumentParser:
         "python -m repro.telemetry report FILE",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically validate catalog JSON files (SPEC rules)",
+    )
+    p_lint.add_argument(
+        "files", nargs="*", metavar="FILE", help="catalog JSON files"
+    )
+    add_catalog(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

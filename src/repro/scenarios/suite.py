@@ -878,6 +878,7 @@ class ScenarioSuite:
                     (spec_dicts[position], seq, max_records_in_ram, batch_size)
                     for position, seq, _ in pending
                 ],
+                # repro: allow[PICKLE001] on_result runs in the coordinator process and is never pickled to workers
                 on_result=unit_hook,
                 cancel=cancel,
             )

@@ -26,6 +26,11 @@ class ConfidenceInterval:
         low / high: Interval bounds.
         level: Confidence level, e.g. ``0.95``.
         n: Sample size behind the estimate.
+        entropy: When the producing routine drew fresh OS entropy for an
+            omitted ``rng`` (bootstrap), the ``SeedSequence`` entropy it
+            drew — recorded so the exact interval can be reproduced with
+            ``default_rng(SeedSequence(entropy))``. ``None`` for
+            deterministic intervals or caller-provided generators.
     """
 
     estimate: float
@@ -33,6 +38,7 @@ class ConfidenceInterval:
     high: float
     level: float
     n: int
+    entropy: Optional[int] = None
 
     @property
     def half_width(self) -> float:
@@ -120,7 +126,11 @@ def bootstrap_ci(
         statistic: Function of a 1-D array returning a scalar.
         level: Confidence level.
         n_resamples: Number of bootstrap resamples.
-        rng: Generator for reproducibility (fresh default_rng if omitted).
+        rng: Generator for reproducibility.  When omitted, fresh OS
+            entropy is drawn via ``SeedSequence()`` and recorded on the
+            returned interval's ``entropy`` field (same policy as
+            ``Session`` run seeds), so even ad-hoc bootstraps stay
+            replayable.
 
     Raises:
         ValueError: If the sample is empty.
@@ -128,15 +138,22 @@ def bootstrap_ci(
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         raise ValueError("cannot bootstrap an empty sample")
+    entropy: Optional[int] = None
     if rng is None:
-        rng = np.random.default_rng()
+        seed_seq = np.random.SeedSequence()
+        entropy = int(seed_seq.entropy)
+        rng = np.random.default_rng(seed_seq)
     estimate = float(statistic(arr))
     if arr.size == 1:
-        return ConfidenceInterval(estimate, estimate, estimate, level, 1)
+        return ConfidenceInterval(
+            estimate, estimate, estimate, level, 1, entropy
+        )
     idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
     resampled = arr[idx]
     boot_stats = np.apply_along_axis(statistic, 1, resampled)
     alpha = (1.0 - level) / 2.0
     low = float(np.quantile(boot_stats, alpha))
     high = float(np.quantile(boot_stats, 1.0 - alpha))
-    return ConfidenceInterval(estimate, low, high, level, int(arr.size))
+    return ConfidenceInterval(
+        estimate, low, high, level, int(arr.size), entropy
+    )

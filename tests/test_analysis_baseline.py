@@ -1,0 +1,130 @@
+"""Baseline mechanics: fingerprints, round-trips, age-out.
+
+The baseline contract is what lets the lint gate ship on a codebase
+with legacy findings: matching is by content fingerprint (rule id +
+path + offending line text + occurrence), so line-number drift from
+unrelated edits never invalidates it, while fixing a finding makes the
+entry stale and ``--update-baseline`` ages it out.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import Baseline, analyze_source
+
+DEFECT = """
+import numpy as np
+rng = np.random.default_rng()
+"""
+
+
+def findings_for(source: str):
+    return analyze_source(textwrap.dedent(source), path="mod.py").findings
+
+
+class TestFingerprints:
+    def test_fingerprints_are_stamped_and_stable(self):
+        first = findings_for(DEFECT)
+        second = findings_for(DEFECT)
+        assert first[0].fingerprint
+        assert first[0].fingerprint == second[0].fingerprint
+
+    def test_fingerprint_survives_line_shift(self):
+        shifted = "x = 1\ny = 2\n# a comment\n" + textwrap.dedent(DEFECT)
+        original = findings_for(DEFECT)
+        moved = analyze_source(shifted, path="mod.py").findings
+        assert original[0].line != moved[0].line
+        assert original[0].fingerprint == moved[0].fingerprint
+
+    def test_fingerprint_depends_on_rule_path_and_text(self):
+        base = findings_for(DEFECT)[0]
+        other_path = analyze_source(
+            textwrap.dedent(DEFECT), path="other.py"
+        ).findings[0]
+        other_text = findings_for(
+            DEFECT.replace("rng =", "generator =")
+        )[0]
+        assert base.fingerprint != other_path.fingerprint
+        assert base.fingerprint != other_text.fingerprint
+
+    def test_identical_lines_get_distinct_occurrences(self):
+        twice = findings_for(
+            """
+            import numpy as np
+            def build():
+                rng = np.random.default_rng()
+                rng = np.random.default_rng()
+                return rng
+            """
+        )
+        assert len(twice) == 2
+        assert twice[0].fingerprint != twice[1].fingerprint
+
+
+class TestBaselineRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        findings = findings_for(DEFECT)
+        path = str(tmp_path / "baseline.json")
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert findings[0].fingerprint in loaded.entries
+
+    def test_saved_file_is_stable_json(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        Baseline.from_findings(findings_for(DEFECT)).save(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["tool"] == "repro.analysis"
+        assert payload["version"] == 1
+        assert len(payload["findings"]) == 1
+
+    def test_malformed_baseline_raises_value_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("not json at all")
+        with pytest.raises(ValueError, match="cannot read baseline"):
+            Baseline.load(str(path))
+        missing = tmp_path / "wrong.json"
+        missing.write_text('{"some": "other format"}')
+        with pytest.raises(ValueError, match="missing 'findings'"):
+            Baseline.load(str(missing))
+
+
+class TestApply:
+    def test_partition_new_baselined_stale(self):
+        old = findings_for(DEFECT)
+        baseline = Baseline.from_findings(old)
+
+        # Same defect (baselined) plus a fresh one (new).
+        current = findings_for(DEFECT + "import time\nt = time.time()\n")
+        new, baselined, stale = baseline.apply(current)
+        assert [f.rule for f in new] == ["DET004"]
+        assert [f.rule for f in baselined] == ["DET001"]
+        assert stale == []
+
+    def test_fixed_finding_becomes_stale(self):
+        baseline = Baseline.from_findings(findings_for(DEFECT))
+        new, baselined, stale = baseline.apply([])
+        assert new == [] and baselined == []
+        assert [f.rule for f in stale] == ["DET001"]
+
+    def test_update_ages_out_stale_entries(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        Baseline.from_findings(findings_for(DEFECT)).save(path)
+        # The defect is fixed: a rewrite from current findings drops it.
+        Baseline.from_findings([]).save(path)
+        assert len(Baseline.load(path)) == 0
+
+    def test_line_shift_keeps_finding_baselined(self):
+        baseline = Baseline.from_findings(findings_for(DEFECT))
+        shifted = analyze_source(
+            "# new header comment\n" + textwrap.dedent(DEFECT),
+            path="mod.py",
+        ).findings
+        new, baselined, stale = baseline.apply(shifted)
+        assert new == [] and stale == []
+        assert len(baselined) == 1

@@ -1,0 +1,463 @@
+"""Per-rule unit tests for the static-analysis pass.
+
+Each rule gets a positive fixture (the defect fires), a negative
+fixture (the compliant idiom stays clean) and — for the python rules —
+a suppressed fixture showing the inline ``# repro: allow[...]``
+contract, all on small inline sources through
+:func:`repro.analysis.analyze_source`.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import all_rules, analyze_source, get_rule
+
+
+def rules_of(report):
+    return [finding.rule for finding in report.findings]
+
+
+def analyze(source: str, **kwargs):
+    return analyze_source(textwrap.dedent(source), **kwargs)
+
+
+class TestRegistry:
+    def test_all_rule_packs_registered(self):
+        ids = {rule.id for rule in all_rules()}
+        assert {
+            "DET001", "DET002", "DET003", "DET004",
+            "SEED001", "SEED002", "RACE001", "RACE002",
+            "PICKLE001", "SPEC001", "SPEC002", "SPEC003", "SPEC004",
+            "PARSE001",
+        } <= ids
+
+    def test_rule_lookup_and_kinds(self):
+        assert get_rule("DET001").kind == "python"
+        assert get_rule("SPEC003").kind == "spec"
+        with pytest.raises(KeyError):
+            get_rule("NOPE999")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.analysis import rule
+
+        with pytest.raises(ValueError, match="already registered"):
+            rule("DET001", "dup")(lambda ctx: [])
+
+
+class TestDetRules:
+    def test_det001_unseeded_default_rng(self):
+        report = analyze(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+        assert rules_of(report) == ["DET001"]
+
+    def test_det001_explicit_none_seed(self):
+        report = analyze(
+            """
+            import numpy as np
+            rng = np.random.default_rng(None)
+            other = np.random.default_rng(seed=None)
+            """
+        )
+        assert rules_of(report) == ["DET001", "DET001"]
+
+    def test_det001_unseeded_bit_generator(self):
+        report = analyze(
+            """
+            from numpy.random import Generator, PCG64
+            rng = Generator(PCG64())
+            """
+        )
+        assert rules_of(report) == ["DET001"]
+
+    def test_det001_seeded_is_clean(self):
+        report = analyze(
+            """
+            import numpy as np
+            a = np.random.default_rng(7)
+            b = np.random.default_rng(seed_seq)
+            c = np.random.Generator(np.random.PCG64(123))
+            """
+        )
+        assert report.findings == []
+
+    def test_det001_unimported_local_name_is_clean(self):
+        # A local helper that happens to be called default_rng must not
+        # trip the rule — name resolution goes through the import map.
+        report = analyze(
+            """
+            def default_rng():
+                return 42
+            value = default_rng()
+            """
+        )
+        assert report.findings == []
+
+    def test_det002_stdlib_random(self):
+        report = analyze(
+            """
+            import random
+            x = random.random()
+            y = random.choice([1, 2])
+            """
+        )
+        assert rules_of(report) == ["DET002", "DET002"]
+
+    def test_det003_numpy_legacy_global_state(self):
+        report = analyze(
+            """
+            import numpy as np
+            np.random.seed(0)
+            x = np.random.rand(3)
+            """
+        )
+        assert rules_of(report) == ["DET003", "DET003"]
+
+    def test_det004_wall_clock_and_entropy(self):
+        report = analyze(
+            """
+            import os
+            import time
+            import uuid
+            from datetime import datetime
+            a = time.time()
+            b = datetime.now()
+            c = uuid.uuid4()
+            d = os.urandom(8)
+            """
+        )
+        assert rules_of(report) == ["DET004"] * 4
+
+    def test_det004_monotonic_is_clean(self):
+        report = analyze(
+            """
+            import time
+            start = time.monotonic()
+            lap = time.perf_counter()
+            """
+        )
+        assert report.findings == []
+
+    def test_det004_suppressed_with_reason(self):
+        report = analyze(
+            """
+            import time
+            stamp = time.time()  # repro: allow[DET004] display only
+            """
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        finding, reason = report.suppressed[0]
+        assert finding.rule == "DET004"
+        assert reason == "display only"
+
+    def test_reasonless_allow_is_inert(self):
+        report = analyze(
+            """
+            import time
+            stamp = time.time()  # repro: allow[DET004]
+            """
+        )
+        assert rules_of(report) == ["DET004"]
+
+    def test_allow_on_line_above(self):
+        report = analyze(
+            """
+            import time
+            # repro: allow[DET004] wall-clock for the report header
+            stamp = time.time()
+            """
+        )
+        assert report.findings == []
+
+    def test_allow_only_silences_named_rule(self):
+        report = analyze(
+            """
+            import time
+            import numpy as np
+            rng = np.random.default_rng()  # repro: allow[DET004] wrong id
+            """
+        )
+        assert rules_of(report) == ["DET001"]
+
+
+class TestSeedRules:
+    def test_seed001_literal_seed_despite_parameter(self):
+        report = analyze(
+            """
+            import numpy as np
+            def simulate(horizon, rng):
+                local = np.random.default_rng(1234)
+                return local.random()
+            """
+        )
+        assert rules_of(report) == ["SEED001"]
+
+    def test_seed001_derived_from_parameter_is_clean(self):
+        report = analyze(
+            """
+            import numpy as np
+            def simulate(horizon, seed):
+                rng = np.random.default_rng(seed)
+                return rng.random()
+            """
+        )
+        assert report.findings == []
+
+    def test_seed002_generator_reuse_across_replications(self):
+        report = analyze(
+            """
+            def run(body, replications, rng):
+                return [body(rng) for _ in range(replications)]
+            """
+        )
+        assert rules_of(report) == ["SEED002"]
+
+    def test_seed002_for_loop_variant(self):
+        report = analyze(
+            """
+            def run(body, n_reps, rng):
+                out = []
+                for _ in range(n_reps):
+                    out.append(body(rng))
+                return out
+            """
+        )
+        assert rules_of(report) == ["SEED002"]
+
+    def test_seed002_per_replication_spawn_is_clean(self):
+        report = analyze(
+            """
+            import numpy as np
+            def run(body, replications, seed_seq):
+                out = []
+                for child in seed_seq.spawn(replications):
+                    rng = np.random.default_rng(child)
+                    out.append(body(rng))
+                return out
+            """
+        )
+        assert report.findings == []
+
+    def test_seed002_non_replication_loop_is_clean(self):
+        report = analyze(
+            """
+            def run(body, n_points, rng):
+                return [body(rng) for _ in range(n_points)]
+            """
+        )
+        assert report.findings == []
+
+
+class TestRaceRules:
+    def test_race001_subscript_write_to_module_global(self):
+        report = analyze(
+            """
+            CACHE = {}
+            def remember(key, value):
+                CACHE[key] = value
+            """
+        )
+        assert rules_of(report) == ["RACE001"]
+
+    def test_race001_mutator_method_and_rebind(self):
+        report = analyze(
+            """
+            RESULTS = []
+            def collect(item):
+                RESULTS.append(item)
+            def reset():
+                global RESULTS
+                RESULTS = []
+            """
+        )
+        assert rules_of(report) == ["RACE001", "RACE001"]
+
+    def test_race001_lock_guarded_is_clean(self):
+        report = analyze(
+            """
+            import threading
+            CACHE = {}
+            _lock = threading.Lock()
+            def remember(key, value):
+                with _lock:
+                    CACHE[key] = value
+            """
+        )
+        assert report.findings == []
+
+    def test_race001_local_shadow_is_clean(self):
+        report = analyze(
+            """
+            CACHE = {}
+            def isolated():
+                CACHE = {}
+                CACHE["x"] = 1
+                return CACHE
+            """
+        )
+        assert report.findings == []
+
+    def test_race002_callback_attribute_write(self):
+        report = analyze(
+            """
+            def submit(handle):
+                def on_done(index, outcome):
+                    handle.last = outcome
+                return on_done
+            """
+        )
+        assert rules_of(report) == ["RACE002"]
+
+    def test_race002_locked_callback_is_clean(self):
+        report = analyze(
+            """
+            def submit(handle, lock):
+                def on_done(index, outcome):
+                    with lock:
+                        handle.last = outcome
+                return on_done
+            """
+        )
+        assert report.findings == []
+
+    def test_race002_write_to_own_local_is_clean(self):
+        report = analyze(
+            """
+            def submit(handle):
+                def on_done(index, outcome):
+                    box = make_box()
+                    box.value = outcome
+                return on_done
+            """
+        )
+        assert report.findings == []
+
+
+class TestPickleRule:
+    def test_pickle001_lambda_to_backend(self):
+        report = analyze(
+            """
+            def launch(runner, items):
+                return runner.map(lambda x: x + 1, items)
+            """
+        )
+        assert rules_of(report) == ["PICKLE001"]
+
+    def test_pickle001_local_def_to_backend(self):
+        report = analyze(
+            """
+            def launch(pool, items):
+                def work(x):
+                    return x + 1
+                return pool.submit(work, items)
+            """
+        )
+        assert rules_of(report) == ["PICKLE001"]
+
+    def test_pickle001_module_level_function_is_clean(self):
+        report = analyze(
+            """
+            def work(x):
+                return x + 1
+            def launch(runner, items):
+                return runner.map(work, items)
+            """
+        )
+        assert report.findings == []
+
+    def test_pickle001_non_backend_receiver_is_clean(self):
+        report = analyze(
+            """
+            def transform(values):
+                return list(map(lambda x: x + 1, values))
+            """
+        )
+        assert report.findings == []
+
+
+class TestParseRule:
+    def test_syntax_error_yields_parse001(self):
+        report = analyze("def broken(:\n    pass\n")
+        assert rules_of(report) == ["PARSE001"]
+        assert report.findings[0].line == 1
+
+
+class TestSpecRules:
+    def test_spec001_invalid_json(self):
+        report = analyze_source(
+            '{"name": "x", "topology": ', path="bad.json", kind="spec"
+        )
+        assert rules_of(report) == ["SPEC001"]
+
+    def test_spec002_unknown_field(self):
+        report = analyze_source(
+            '{"name": "x", "topology": "scope_cooling", "bogus": 1}',
+            path="c.json",
+            kind="spec",
+        )
+        assert "SPEC002" in rules_of(report)
+        assert any("bogus" in f.message for f in report.findings)
+
+    def test_spec003_unregistered_names(self):
+        report = analyze_source(
+            '{"name": "x", "topology": "nope", "threat": "also-nope",'
+            ' "kinds": ["not_a_kind"]}',
+            path="c.json",
+            kind="spec",
+        )
+        assert rules_of(report).count("SPEC003") == 3
+
+    def test_spec004_type_and_range(self):
+        report = analyze_source(
+            '{"name": "x", "replications": 0, "horizon": -1,'
+            ' "design_kind": "weird", "two_level": "yes"}',
+            path="c.json",
+            kind="spec",
+        )
+        assert rules_of(report).count("SPEC004") == 4
+
+    def test_spec004_missing_name(self):
+        report = analyze_source(
+            '{"topology": "scope_cooling"}', path="c.json", kind="spec"
+        )
+        assert any(
+            f.rule == "SPEC004" and "name" in f.message
+            for f in report.findings
+        )
+
+    def test_spec004_response_delay_requires_response(self):
+        report = analyze_source(
+            '{"name": "x", "response_delay_rate": 0.1}',
+            path="c.json",
+            kind="spec",
+        )
+        assert any(
+            "response_enabled" in f.message for f in report.findings
+        )
+
+    def test_valid_scenario_is_clean(self):
+        report = analyze_source(
+            '{"name": "ok", "topology": "scope_cooling",'
+            ' "threat": "stuxnet_like", "catalog": "default",'
+            ' "plant": "cooling", "kinds": ["operating_system"],'
+            ' "design_kind": "full", "replications": 2, "horizon": 20.0,'
+            ' "response_enabled": true, "response_delay_rate": 0.2}',
+            path="c.json",
+            kind="spec",
+        )
+        assert report.findings == []
+
+    def test_key_line_recovery(self):
+        text = (
+            '{\n  "name": "x",\n  "topology": "nope"\n}\n'
+        )
+        report = analyze_source(text, path="c.json", kind="spec")
+        spec3 = [f for f in report.findings if f.rule == "SPEC003"]
+        assert spec3 and spec3[0].line == 3

@@ -113,6 +113,20 @@ class TestEventSequences:
         events.append("garbage")
         assert all(isinstance(event, JobEvent) for event in job.events)
 
+    def test_event_ordering_clock_is_monotonic_and_nonzero(self):
+        # Ordering runs on time.monotonic (immune to system-clock
+        # steps); time_unix stays on the event for display only.
+        with Session() as session:
+            job = session.submit("smoke", seed=7)
+            job.result()
+        monotonics = [event.time_monotonic for event in job.events]
+        assert all(value > 0.0 for value in monotonics)
+        assert monotonics == sorted(monotonics)
+        assert all(
+            a.time_monotonic <= b.time_monotonic
+            for a, b in zip(job.events, job.events[1:])
+        )
+
 
 class TestProgressAndHeartbeats:
     def test_concurrent_advance_is_monotonic_and_complete(self):

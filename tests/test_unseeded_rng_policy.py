@@ -1,0 +1,127 @@
+"""The fresh-entropy policy for rng=None entry points.
+
+Mirrors the ``Session`` seed policy: a routine that accepts ``rng=None``
+must not silently call ``default_rng()`` — it draws a fresh
+``SeedSequence()``, *records* the entropy on the returned object and
+builds its generator from it, so every ad-hoc run can be reproduced
+bit-exactly from its own output.  Covers the three fixed call sites:
+``bootstrap_ci``, ``morris`` and ``latin_hypercube``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import morris
+from repro.doe.lhs import latin_hypercube
+from repro.stats.ci import bootstrap_ci
+
+SAMPLE = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+BOUNDS = [(0.0, 1.0), (10.0, 20.0)]
+NAMES = ["alpha", "beta"]
+
+
+def evaluator(x: np.ndarray) -> float:
+    return float(x[0] * 2.0 + x[1])
+
+
+class TestBootstrapCi:
+    def test_entropy_recorded_when_rng_omitted(self):
+        ci = bootstrap_ci(SAMPLE, n_resamples=50)
+        assert ci.entropy is not None
+
+    def test_entropy_none_for_caller_generator(self):
+        ci = bootstrap_ci(SAMPLE, n_resamples=50, rng=np.random.default_rng(7))
+        assert ci.entropy is None
+
+    def test_recorded_entropy_reproduces_interval(self):
+        first = bootstrap_ci(SAMPLE, n_resamples=200)
+        replay = bootstrap_ci(
+            SAMPLE,
+            n_resamples=200,
+            rng=np.random.default_rng(np.random.SeedSequence(first.entropy)),
+        )
+        assert (first.low, first.high) == (replay.low, replay.high)
+
+    def test_same_seed_bit_identity(self):
+        a = bootstrap_ci(SAMPLE, n_resamples=200, rng=np.random.default_rng(42))
+        b = bootstrap_ci(SAMPLE, n_resamples=200, rng=np.random.default_rng(42))
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_single_value_sample_keeps_entropy_field(self):
+        ci = bootstrap_ci([1.0], n_resamples=50)
+        assert ci.n == 1
+        assert ci.entropy is not None
+
+
+class TestMorris:
+    def test_entropy_recorded_on_every_result(self):
+        results = morris(evaluator, BOUNDS, NAMES, n_trajectories=3)
+        entropies = {r.entropy for r in results}
+        assert len(entropies) == 1
+        assert entropies.pop() is not None
+
+    def test_entropy_none_for_caller_generator(self):
+        results = morris(
+            evaluator, BOUNDS, NAMES, n_trajectories=3,
+            rng=np.random.default_rng(7),
+        )
+        assert all(r.entropy is None for r in results)
+
+    def test_recorded_entropy_reproduces_screening(self):
+        first = morris(evaluator, BOUNDS, NAMES, n_trajectories=5)
+        replay = morris(
+            evaluator, BOUNDS, NAMES, n_trajectories=5,
+            rng=np.random.default_rng(
+                np.random.SeedSequence(first[0].entropy)
+            ),
+        )
+        assert [(r.name, r.mu_star, r.sigma) for r in first] == [
+            (r.name, r.mu_star, r.sigma) for r in replay
+        ]
+
+    def test_same_seed_bit_identity(self):
+        runs = [
+            morris(
+                evaluator, BOUNDS, NAMES, n_trajectories=5,
+                rng=np.random.default_rng(42),
+            )
+            for _ in range(2)
+        ]
+        assert [(r.mu_star, r.sigma) for r in runs[0]] == [
+            (r.mu_star, r.sigma) for r in runs[1]
+        ]
+
+
+class TestLatinHypercube:
+    def test_entropy_recorded_in_design_metadata(self):
+        design, _ = latin_hypercube(NAMES, BOUNDS, n_samples=6)
+        assert design.metadata["entropy"] is not None
+
+    def test_entropy_none_for_caller_generator(self):
+        design, _ = latin_hypercube(
+            NAMES, BOUNDS, n_samples=6, rng=np.random.default_rng(7)
+        )
+        assert design.metadata["entropy"] is None
+
+    def test_recorded_entropy_reproduces_design(self):
+        design, matrix = latin_hypercube(NAMES, BOUNDS, n_samples=6)
+        _, replay = latin_hypercube(
+            NAMES,
+            BOUNDS,
+            n_samples=6,
+            rng=np.random.default_rng(
+                np.random.SeedSequence(design.metadata["entropy"])
+            ),
+        )
+        np.testing.assert_array_equal(matrix, replay)
+
+    def test_same_seed_bit_identity(self):
+        matrices = [
+            latin_hypercube(
+                NAMES, BOUNDS, n_samples=6, rng=np.random.default_rng(42)
+            )[1]
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(matrices[0], matrices[1])
